@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Experiment E8 (Fig 11): the subtiles accessed by each HMMA set on
+ * Turing, for every tile configuration and precision mode.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sass/hmma_decomposer.h"
+
+using namespace tcsim;
+
+namespace {
+
+void
+print_shape(TileShape shape, TcMode mode)
+{
+    bench::section("Turing " + shape.str() + " " + tc_mode_name(mode));
+    for (int set = 0; set < turing_num_sets(mode); ++set) {
+        auto sc = turing_set_compute(mode, shape, set);
+        std::printf("SET%d: A[%2d:%2d,%2d:%2d] (%dx%d) x "
+                    "B[%2d:%2d,%2d:%2d] (%dx%d) -> C[%2d:%2d,%2d:%2d]\n",
+                    set + 1, sc.a.row0, sc.a.row1, sc.a.col0, sc.a.col1,
+                    sc.a.rows(), sc.a.cols(), sc.b.row0, sc.b.row1, sc.b.col0,
+                    sc.b.col1, sc.b.rows(), sc.b.cols(), sc.cd.row0,
+                    sc.cd.row1, sc.cd.col0, sc.cd.col1);
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("Fig 11: HMMA set analysis for Turing (RTX 2080)\n");
+    for (TileShape shape : {kShape16x16x16, kShape32x8x16, kShape8x32x16}) {
+        print_shape(shape, TcMode::kMixed);
+        print_shape(shape, TcMode::kInt8);
+    }
+    print_shape(kShape8x8x32, TcMode::kInt4);
+
+    std::printf("\nPatterns reproduced from the paper:\n"
+                " - FP16/mixed: one 8x8 subtile against a 16x8 or 8x16 "
+                "subtile.\n"
+                " - 8-bit: 8x16 subtile of A against 16x8 subtile of B.\n"
+                " - 4-bit: a single HMMA covers the whole 8x8x32 tile.\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Experiment E10 (Fig 14a): cycles to execute a WMMA-based
+ * matrix-multiply-accumulate kernel as matrix size varies, simulator
+ * versus the Titan V stand-in (analytical hardware model).  The paper
+ * reports agreement with a standard deviation below 5%.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "kernels/gemm_kernels.h"
+
+using namespace tcsim;
+
+int
+main()
+{
+    std::printf("Fig 14a: WMMA GEMM kernel cycles vs square matrix size\n");
+    std::printf("(simple WMMA MACC kernel, one tile per warp, as in the "
+                "paper's sweep)\n\n");
+
+    hwref::TitanVModel hw(bench::titan_v());
+    TextTable tbl;
+    tbl.set_header({"size", "hw_model_cycles", "sim_cycles", "sim/hw"});
+
+    std::vector<double> hw_series, sim_series;
+    for (int size : {16, 32, 64, 128, 160, 192, 224, 256, 288, 320, 384,
+                     480, 512}) {
+        GemmKernelConfig cfg;
+        cfg.m = cfg.n = cfg.k = size;
+        cfg.functional = false;
+        GemmProblem<float> prob(size, size, size, cfg.a_layout, cfg.b_layout);
+        Gpu gpu(bench::titan_v());
+        GemmBuffers buf = prob.upload(&gpu.mem());
+        LaunchStats s = gpu.launch(make_wmma_gemm_naive(cfg, buf));
+
+        hwref::GemmWorkload w;
+        w.family = hwref::KernelFamily::kWmmaNaive;
+        w.m = w.n = w.k = size;
+        w.block_m = w.block_n = 16;
+        w.block_k = 16;
+        hwref::HwPrediction p = hw.predict(w);
+
+        hw_series.push_back(p.cycles);
+        sim_series.push_back(static_cast<double>(s.cycles));
+        tbl.add_row({std::to_string(size), fmt_double(p.cycles, 0),
+                     std::to_string(s.cycles),
+                     fmt_double(static_cast<double>(s.cycles) / p.cycles,
+                                3)});
+    }
+    bench::print_table(tbl);
+
+    double dev = stats::rel_stddev_pct(hw_series, sim_series);
+    double mare = stats::mean_abs_rel_error_pct(hw_series, sim_series);
+    double corr = stats::pearson(hw_series, sim_series);
+    std::printf("\nrelative std-dev: %.2f%% (paper: < 5%%)\n", dev);
+    std::printf("mean abs rel error: %.2f%%, correlation: %.2f%%\n", mare,
+                100.0 * corr);
+    return 0;
+}

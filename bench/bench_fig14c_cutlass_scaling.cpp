@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Experiment E12 (Fig 14c): CUTLASS GEMM IPC versus matrix size,
+ * simulator against the Titan V stand-in.  The paper observes the
+ * simulator reading slightly high at the largest sizes.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cutlass/gemm.h"
+
+using namespace tcsim;
+
+int
+main()
+{
+    std::printf("Fig 14c: CUTLASS GEMM IPC vs square matrix size\n\n");
+    hwref::TitanVModel hw(bench::titan_v());
+
+    TextTable tbl;
+    tbl.set_header({"size", "hw_ipc", "sim_ipc", "sim/hw"});
+    for (int size : {128, 256, 512, 768, 1024, 2048}) {
+        cutlass::GemmTemplate t;
+        // Scale the threadblock tile down for the smallest size.
+        t.block_m = t.block_n = size >= 256 ? 128 : 64;
+        t.block_k = 32;
+        t.warp_m = 32;
+        t.warp_n = size >= 256 ? 64 : 32;
+        t.double_buffer = true;
+        if (size % t.block_k)
+            continue;
+
+        Gpu gpu(bench::titan_v());
+        GemmProblem<float> prob(size, size, size, t.a_layout, t.b_layout);
+        GemmBuffers buf = prob.upload(&gpu.mem());
+        LaunchStats s =
+            gpu.launch(cutlass::make_gemm(t, size, size, size, buf, false));
+
+        hwref::GemmWorkload w;
+        w.family = hwref::KernelFamily::kCutlass;
+        w.m = w.n = w.k = size;
+        w.block_m = t.block_m;
+        w.block_n = t.block_n;
+        w.block_k = t.block_k;
+        w.warp_m = t.warp_m;
+        w.warp_n = t.warp_n;
+        w.warps_per_cta = t.warps_per_cta();
+        w.double_buffer = t.double_buffer;
+        hwref::HwPrediction p = hw.predict(w);
+        double hw_ipc = static_cast<double>(s.instructions) / p.cycles;
+
+        tbl.add_row({std::to_string(size), fmt_double(hw_ipc, 1),
+                     fmt_double(s.ipc, 1), fmt_double(s.ipc / hw_ipc, 3)});
+    }
+    bench::print_table(tbl);
+    std::printf("\n(paper: GPGPU-Sim tends to read higher than hardware as "
+                "matrix size grows)\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Experiment E13 (Fig 15): latency distribution of wmma.load,
+ * wmma.mma and wmma.store during a shared-memory WMMA GEMM on a
+ * 1024x1024 problem.  The paper's minimum latencies are 125 (load),
+ * 70 (mma) and 120 (store) cycles.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "hwref/paper_tables.h"
+#include "kernels/gemm_kernels.h"
+
+using namespace tcsim;
+
+namespace {
+
+void
+print_dist(const char* name, const Histogram& h, int paper_min)
+{
+    std::printf("%-14s samples=%-7zu min=%-5.0f median=%-5.0f p90=%-5.0f "
+                "p99=%-6.0f max=%-6.0f (paper min: %d)\n",
+                name, h.count(), h.min(), h.median(), h.percentile(90),
+                h.percentile(99), h.max(), paper_min);
+    // Coarse histogram: 8 buckets between min and p99.
+    double lo = h.min(), hi = h.percentile(99);
+    if (hi <= lo)
+        hi = lo + 1;
+    std::vector<int> buckets(8, 0);
+    for (double v : h.samples()) {
+        int b = static_cast<int>((v - lo) / (hi - lo) * 8);
+        buckets[static_cast<size_t>(std::clamp(b, 0, 7))]++;
+    }
+    int peak = *std::max_element(buckets.begin(), buckets.end());
+    std::printf("  [%5.0f..%5.0f] ", lo, hi);
+    for (int b : buckets) {
+        int bar = peak ? (b * 8) / peak : 0;
+        std::printf("%c", " .:-=+*#"[std::clamp(bar, 0, 7)]);
+    }
+    std::printf("\n");
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("Fig 15: WMMA instruction latency distribution "
+                "(1024x1024 GEMM using shared memory)\n\n");
+
+    const int size = 1024;
+    GemmKernelConfig cfg;
+    cfg.m = cfg.n = cfg.k = size;
+    cfg.functional = false;
+    GemmProblem<float> prob(size, size, size, cfg.a_layout, cfg.b_layout);
+    Gpu gpu(bench::titan_v());
+    GemmBuffers buf = prob.upload(&gpu.mem());
+    LaunchStats s = gpu.launch(make_wmma_gemm_shared(cfg, buf));
+
+    // The kernel's wmma.load.a/b read from shared memory; wmma.load.c
+    // and wmma.store.d go to global memory, as in the paper's kernel.
+    Histogram loads("load");
+    for (MacroClass mc : {MacroClass::kWmmaLoadA, MacroClass::kWmmaLoadB,
+                          MacroClass::kWmmaLoadC}) {
+        auto it = s.macro_latency.find(mc);
+        if (it == s.macro_latency.end())
+            continue;
+        for (double v : it->second.samples())
+            loads.add(v);
+    }
+    print_dist("wmma.load", loads, hwref::kMinWmmaLoadLatency);
+    print_dist("wmma.mma", s.macro_latency.at(MacroClass::kWmmaMma),
+               hwref::kMinWmmaMmaLatency);
+    print_dist("wmma.store", s.macro_latency.at(MacroClass::kWmmaStoreD),
+               hwref::kMinWmmaStoreLatency);
+
+    std::printf("\nkernel: %llu cycles, IPC %.1f\n",
+                static_cast<unsigned long long>(s.cycles), s.ipc);
+    std::printf("(occasional high latencies come from scheduling and "
+                "memory traffic, as in the paper)\n");
+    return 0;
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Experiment E15 (Fig 17): achieved TFLOPS of the GEMM kernel
+ * families versus matrix size.  Simulated points are produced up to
+ * 2048 (1024 for the SIMT baselines); the analytical Titan V model
+ * extends every series to 16384; the paper's digitized hardware
+ * curves are printed alongside.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cutlass/gemm.h"
+#include "hwref/paper_tables.h"
+#include "kernels/gemm_kernels.h"
+#include "metrics/metrics.h"
+
+using namespace tcsim;
+
+namespace {
+
+double
+sim_tflops_cutlass(int size, TcMode mode)
+{
+    cutlass::GemmTemplate t;
+    t.mode = mode;
+    t.block_m = t.block_n = size >= 256 ? 128 : 64;
+    t.block_k = 32;
+    t.warp_m = 32;
+    t.warp_n = size >= 256 ? 64 : 32;
+    Gpu gpu(bench::titan_v());
+    GemmProblem<float> prob(size, size, size, t.a_layout, t.b_layout);
+    GemmBuffers buf = prob.upload(&gpu.mem());
+    LaunchStats s =
+        gpu.launch(cutlass::make_gemm(t, size, size, size, buf, false));
+    return metrics::tflops(2.0 * size * size * static_cast<double>(size),
+                           static_cast<double>(s.cycles),
+                           gpu.config().clock_ghz);
+}
+
+double
+sim_tflops_kernel(int size, const char* which)
+{
+    GemmKernelConfig cfg;
+    cfg.m = cfg.n = cfg.k = size;
+    cfg.functional = false;
+    Gpu gpu(bench::titan_v());
+    GemmProblem<float> prob(size, size, size, cfg.a_layout, cfg.b_layout);
+    GemmBuffers buf = prob.upload(&gpu.mem());
+    KernelDesc kd;
+    if (std::string(which) == "wmma")
+        kd = make_wmma_gemm_shared(cfg, buf);
+    else if (std::string(which) == "sgemm")
+        kd = make_sgemm_ffma(cfg, buf);
+    else
+        kd = make_hgemm_hfma2(cfg, buf);
+    LaunchStats s = gpu.launch(kd);
+    return metrics::tflops(2.0 * size * size * static_cast<double>(size),
+                           static_cast<double>(s.cycles),
+                           gpu.config().clock_ghz);
+}
+
+double
+sim_tflops_maxperf(TcMode mode)
+{
+    // Register-resident back-to-back wmma.mma (computational
+    // intensity -> infinity, as the paper's max-perf kernel).
+    Gpu gpu(bench::titan_v());
+    const int ops = 512;
+    LaunchStats s = gpu.launch(
+        make_hmma_stress(Arch::kVolta, mode, 160, 4, ops, 4));
+    double flops = 160.0 * 4 * ops * 2 * 16 * 16 * 16;
+    return metrics::tflops(flops, static_cast<double>(s.cycles),
+                           gpu.config().clock_ghz);
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("Fig 17: tensor core performance on the Titan V stand-in "
+                "(TFLOPS)\n\n");
+
+    hwref::TitanVModel hw(bench::titan_v());
+    auto sizes = hwref::fig17_sizes();
+    auto paper = hwref::fig17_hw_series();
+
+    auto model_tflops = [&](hwref::KernelFamily fam, TcMode mode,
+                            double size) {
+        hwref::GemmWorkload w;
+        w.family = fam;
+        w.mode = mode;
+        w.m = w.n = w.k = static_cast<int>(size);
+        w.block_m = w.block_n = w.m >= 256 ? 128 : 64;
+        w.block_k = 32;
+        return hw.predict(w).tflops;
+    };
+
+    TextTable tbl("series x size: paper_hw / model / sim(-=not simulated)");
+    std::vector<std::string> header = {"series"};
+    for (double s : sizes)
+        header.push_back(fmt_double(s, 0));
+    tbl.set_header(header);
+
+    auto add_series = [&](const char* name, hwref::KernelFamily fam,
+                          TcMode mode, const char* sim_kind,
+                          int sim_limit) {
+        const std::vector<double>* paper_row = nullptr;
+        for (const auto& p : paper)
+            if (std::string(p.name) == name)
+                paper_row = &p.tflops;
+        std::vector<std::string> cells = {name};
+        for (size_t i = 0; i < sizes.size(); ++i) {
+            int size = static_cast<int>(sizes[i]);
+            std::string cell =
+                paper_row ? fmt_double((*paper_row)[i], 0) : "?";
+            cell += "/" + fmt_double(model_tflops(fam, mode, sizes[i]), 0);
+            if (size <= sim_limit) {
+                double st;
+                if (std::string(sim_kind) == "cutlass")
+                    st = sim_tflops_cutlass(size, mode);
+                else
+                    st = sim_tflops_kernel(size, sim_kind);
+                cell += "/" + fmt_double(st, 0);
+            } else {
+                cell += "/-";
+            }
+            cells.push_back(cell);
+        }
+        tbl.add_row(cells);
+    };
+
+    add_series("CUBLAS_WITH_TC_FP32", hwref::KernelFamily::kCutlass,
+               TcMode::kMixed, "cutlass", 2048);
+    add_series("WMMA_OPTIMIZED", hwref::KernelFamily::kWmmaShared,
+               TcMode::kMixed, "wmma", 1024);
+    add_series("CUBLAS_WO_TC_FP32", hwref::KernelFamily::kSgemmSimt,
+               TcMode::kMixed, "sgemm", 512);
+    add_series("CUBLAS_WO_TC_FP16", hwref::KernelFamily::kHgemmSimt,
+               TcMode::kFp16, "hgemm", 512);
+    bench::print_table(tbl);
+
+    bench::section("Peak kernels");
+    std::printf("MAX PERF (mixed): paper %.1f, sim %.1f TFLOPS\n",
+                hwref::kMaxPerfMixedTflops, sim_tflops_maxperf(TcMode::kMixed));
+    std::printf("MAX PERF (fp16):  paper %.1f, sim %.1f TFLOPS\n",
+                hwref::kMaxPerfFp16Tflops, sim_tflops_maxperf(TcMode::kFp16));
+    std::printf("THEORETICAL LIMIT: %.1f TFLOPS (config implies %.1f)\n",
+                hwref::kPeakTensorTflops,
+                bench::titan_v().peak_tensor_tflops());
+
+    std::printf("\nshape checks: tensor cores ~3-6x SGEMM and ~3x HGEMM "
+                "(paper Section V-C)\n");
+    return 0;
+}

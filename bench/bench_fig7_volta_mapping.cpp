@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Experiment E1/E16 (Fig 7, Section V-A): prints the Volta operand
+ * matrix element -> thread mappings, the SASS load decomposition of
+ * each wmma.load, and the coalesced transaction counts the timing
+ * model generates.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "kernels/wmma_api.h"
+#include "tensor/transactions.h"
+
+using namespace tcsim;
+
+namespace {
+
+void
+print_owner_grid(const FragmentMap& map, const char* title)
+{
+    bench::section(title);
+    int rows = map.shape().rows(map.op());
+    int cols = map.shape().cols(map.op());
+    std::printf("threadgroup owners of each element (first owner):\n");
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            auto locs = map.locate(r, c);
+            std::printf("%d", threadgroup_of_lane(locs[0].lane));
+            if (locs.size() > 1)
+                std::printf("/%d", threadgroup_of_lane(locs[1].lane));
+            std::printf(c + 1 < cols ? " " : "\n");
+        }
+    }
+}
+
+void
+print_load_decomposition(WmmaOperand op, TcMode mode, Layout layout)
+{
+    const FragmentMap& map =
+        cached_fragment_map(Arch::kVolta, op, kShape16x16x16, mode, layout);
+    auto ops = wmma_memory_ops(map, 1024);
+    std::printf("wmma.load.%s (%s, %s-major): %zu x %s per thread, "
+                "%llu sectors/warp at ld=1024\n",
+                operand_name(op), tc_mode_name(mode), layout_name(layout),
+                ops.size(), ops.front().mnemonic(false),
+                static_cast<unsigned long long>(
+                    count_transactions(ops, /*base=*/0)));
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("Fig 7: distribution of operand matrix elements to threads "
+                "(Titan V / Volta)\n");
+
+    print_owner_grid(cached_fragment_map(Arch::kVolta, WmmaOperand::kA,
+                                         kShape16x16x16, TcMode::kMixed,
+                                         Layout::kRowMajor),
+                     "Matrix A (each element held by two threadgroups)");
+    print_owner_grid(cached_fragment_map(Arch::kVolta, WmmaOperand::kB,
+                                         kShape16x16x16, TcMode::kMixed,
+                                         Layout::kColMajor),
+                     "Matrix B (each element held by two threadgroups)");
+    print_owner_grid(cached_fragment_map(Arch::kVolta, WmmaOperand::kC,
+                                         kShape16x16x16, TcMode::kMixed,
+                                         Layout::kRowMajor),
+                     "Matrix C (single owner, 4x8 block per threadgroup)");
+
+    bench::section("wmma.load SASS decomposition (Section III-C)");
+    for (Layout l : {Layout::kRowMajor, Layout::kColMajor}) {
+        print_load_decomposition(WmmaOperand::kA, TcMode::kMixed, l);
+        print_load_decomposition(WmmaOperand::kB, TcMode::kMixed, l);
+    }
+    print_load_decomposition(WmmaOperand::kC, TcMode::kMixed,
+                             Layout::kRowMajor);
+    print_load_decomposition(WmmaOperand::kC, TcMode::kFp16,
+                             Layout::kRowMajor);
+
+    bench::section("Per-thread fragment of thread 0 (mixed, A row-major)");
+    const FragmentMap& a = cached_fragment_map(
+        Arch::kVolta, WmmaOperand::kA, kShape16x16x16, TcMode::kMixed,
+        Layout::kRowMajor);
+    const auto& frag = a.fragment(0).elems;
+    for (size_t i = 0; i < frag.size(); ++i)
+        std::printf("slot %2zu -> A[%d][%d]\n", i, frag[i].row, frag[i].col);
+    return 0;
+}

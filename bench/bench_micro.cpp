@@ -1,0 +1,106 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the hot components of the
+ * library: FP16 conversion, functional HMMA execution, the memory
+ * coalescer, the sectored cache, and a small end-to-end simulation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "fp16/half.h"
+#include "kernels/gemm_kernels.h"
+#include "sass/hmma_executor.h"
+#include "sim/gpu.h"
+#include "sim/mem/cache.h"
+#include "sim/mem/coalescer.h"
+
+using namespace tcsim;
+
+namespace {
+
+void
+BM_Fp16RoundTrip(benchmark::State& state)
+{
+    uint16_t bits = 0x3c00;
+    for (auto _ : state) {
+        float f = half::bits_to_float(bits);
+        bits = half::float_to_bits(f * 1.0009765625f);
+        benchmark::DoNotOptimize(bits);
+    }
+}
+BENCHMARK(BM_Fp16RoundTrip);
+
+void
+BM_HmmaExecutorStep(benchmark::State& state)
+{
+    HmmaExecutor exec(Arch::kVolta, TcMode::kMixed, kShape16x16x16,
+                      Layout::kRowMajor, Layout::kColMajor);
+    WarpRegState regs(64);
+    HmmaInfo info;
+    info.mode = TcMode::kMixed;
+    info.a_layout = Layout::kRowMajor;
+    info.b_layout = Layout::kColMajor;
+    info.a_reg = 20;
+    info.b_reg = 36;
+    info.c_reg = 4;
+    info.d_reg = 4;
+    for (auto _ : state) {
+        exec.execute_step(info, regs);
+        benchmark::DoNotOptimize(regs.read(0, 4));
+    }
+}
+BENCHMARK(BM_HmmaExecutorStep);
+
+void
+BM_Coalescer(benchmark::State& state)
+{
+    Instruction inst;
+    inst.op = Opcode::kLdg;
+    inst.width_bits = 128;
+    inst.n_dst = 1;
+    inst.dst[0] = 8;
+    inst.addr = std::make_unique<std::array<uint64_t, kWarpSize>>();
+    for (int lane = 0; lane < kWarpSize; ++lane)
+        (*inst.addr)[lane] = 4096 + static_cast<uint64_t>(lane) * 2048;
+    for (auto _ : state) {
+        auto sectors = coalesce_sectors(inst);
+        benchmark::DoNotOptimize(sectors.size());
+    }
+}
+BENCHMARK(BM_Coalescer);
+
+void
+BM_CacheAccess(benchmark::State& state)
+{
+    CacheConfig cfg;
+    cfg.size_bytes = 128 * 1024;
+    Cache cache(cfg);
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr, false));
+        addr += 32;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_SimSmallGemm(benchmark::State& state)
+{
+    // End-to-end: 64^3 mixed GEMM on a 1-SM Titan V, functional.
+    for (auto _ : state) {
+        GpuConfig cfg = titan_v_config();
+        cfg.num_sms = 1;
+        Gpu gpu(cfg);
+        GemmKernelConfig gc;
+        gc.m = gc.n = gc.k = 64;
+        GemmProblem<float> prob(64, 64, 64, gc.a_layout, gc.b_layout);
+        GemmBuffers buf = prob.upload(&gpu.mem());
+        LaunchStats s = gpu.launch(make_wmma_gemm_shared(gc, buf));
+        benchmark::DoNotOptimize(s.cycles);
+    }
+}
+BENCHMARK(BM_SimSmallGemm)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+#pragma once
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark binaries.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "arch/gpu_config.h"
+#include "common/table.h"
+#include "hwref/titanv_model.h"
+#include "sim/gpu.h"
+
+namespace tcsim {
+namespace bench {
+
+/** Print a titled section separator. */
+inline void
+section(const std::string& title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void
+print_table(const TextTable& t)
+{
+    std::printf("%s", t.render().c_str());
+}
+
+/** Full-size Titan V for throughput experiments. */
+inline GpuConfig
+titan_v()
+{
+    return titan_v_config();
+}
+
+/** Reduced-SM Titan V for latency experiments (identical per-SM
+ *  behaviour, faster simulation). */
+inline GpuConfig
+titan_v_slice(int sms)
+{
+    GpuConfig cfg = titan_v_config();
+    cfg.num_sms = sms;
+    return cfg;
+}
+
+}  // namespace bench
+}  // namespace tcsim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Replays the paper's reverse-engineering methodology (Section III)
+ * on the simulator:
+ *
+ *  - Fig 4: the "print your fragment" microbenchmark that uncovers
+ *    the element -> thread mapping;
+ *  - Fig 5: NOP-patching all but one HMMA;
+ *  - Fig 6: reading SR_CLOCKLO around an HMMA subsequence and storing
+ *    the deltas.
+ */
+
+#include <cstdio>
+
+#include "kernels/gemm_kernels.h"
+#include "kernels/kernel_builder.h"
+#include "sass/hmma_timing.h"
+#include "sass/microbench.h"
+#include "sim/gpu.h"
+#include "tensor/fragment.h"
+
+using namespace tcsim;
+
+int
+main()
+{
+    // --- Fig 4: decode the fragment of a few threads -------------------
+    std::printf("Fig 4 replay: 'THREAD%%d CONTAINS ...' for wmma.load.a\n");
+    FragmentMap map = volta_fragment_map(WmmaOperand::kA, TcMode::kMixed,
+                                         Layout::kRowMajor);
+    // Initialize A[r][c] = r*16 + c so printed values reveal the map.
+    for (int tid : {0, 1, 4, 31}) {
+        const auto& elems = map.fragment(tid).elems;
+        std::printf("THREAD%-2d CONTAINS", tid);
+        for (size_t i = 0; i < 4; ++i)
+            std::printf(" %.0f",
+                        static_cast<double>(elems[i].row * 16 + elems[i].col));
+        std::printf(" ... (%zu elements)\n", elems.size());
+    }
+
+    // --- Fig 6: clock injection around the first n HMMAs ---------------
+    std::printf("\nFig 6 replay: CS2R around the first n HMMAs, measured "
+                "on the simulator\n");
+    for (size_t n : {size_t{1}, size_t{4}, size_t{8}, size_t{16}}) {
+        // One warp, one wmma.mma; read the clock before HMMA 1 and
+        // after HMMA n, then store both values to global memory.
+        Gpu gpu([] {
+            GpuConfig c = titan_v_config();
+            c.num_sms = 1;
+            return c;
+        }());
+        uint64_t out = gpu.mem().alloc(256);
+
+        KernelDesc kd = make_hmma_stress(Arch::kVolta, TcMode::kMixed, 1, 1,
+                                         1, 1);
+        auto base = kd.trace;
+        kd.functional = true;
+        kd.regs_per_thread = 64;  // room for the clock registers
+        kd.trace = [base, n, out](int c, int w) {
+            WarpProgram prog = base(c, w);
+            // Patch the group down to n HMMAs (as radare2 patching
+            // does) and time them.
+            truncate_hmma_group(&prog, n);
+            inject_clocks(&prog, n, /*reg_start=*/60, /*reg_end=*/61);
+            // Store both clock registers for host inspection.
+            WarpBuilder post(Arch::kVolta);
+            std::array<uint64_t, kWarpSize> a0{}, a1{};
+            a0.fill(kNoAddr);
+            a1.fill(kNoAddr);
+            a0[0] = out;
+            a1[0] = out + 4;
+            post.mem(Opcode::kStg, 60, 32, a0);
+            post.mem(Opcode::kStg, 61, 32, a1);
+            WarpProgram tail = post.take();
+            // Insert before the final EXIT.
+            prog.insert(prog.end() - 1, tail.begin(), tail.end() - 1);
+            return prog;
+        };
+        gpu.launch(kd);
+        uint32_t t0 = gpu.mem().read_u32(out);
+        uint32_t t1 = gpu.mem().read_u32(out + 4);
+        std::printf("  n=%2zu: clock delta = %u cycles (paper cumulative: "
+                    "%d)\n",
+                    n, t1 - t0,
+                    volta_cumulative_cycles(TcMode::kMixed)[n - 1]);
+    }
+
+    // --- Fig 5: NOP patching --------------------------------------------
+    std::printf("\nFig 5 replay: disassembly after patching (keep HMMA 5)\n");
+    KernelDesc kd = make_hmma_stress(Arch::kVolta, TcMode::kMixed, 1, 1, 1,
+                                     1);
+    WarpProgram prog = kd.trace(0, 0);
+    patch_nops_except(&prog, 4);
+    int shown = 0;
+    for (const auto& inst : prog) {
+        std::printf("  %s\n", inst.disasm().c_str());
+        if (++shown >= 10)
+            break;
+    }
+    std::printf("  ...\n");
+    return 0;
+}

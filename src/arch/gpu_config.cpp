@@ -1,0 +1,60 @@
+#include "arch/gpu_config.h"
+
+#include "common/logging.h"
+
+namespace tcsim {
+
+const char*
+tc_mode_name(TcMode mode)
+{
+    switch (mode) {
+      case TcMode::kFp16: return "fp16";
+      case TcMode::kMixed: return "mixed";
+      case TcMode::kInt8: return "int8";
+      case TcMode::kInt4: return "int4";
+    }
+    panic("unknown TcMode");
+}
+
+double
+GpuConfig::peak_tensor_tflops() const
+{
+    // Each tensor core completes one 4x4x4 MACC per cycle:
+    // 64 multiplies + 64 adds = 128 FLOPs.
+    double flops_per_cycle = static_cast<double>(total_tensor_cores()) * 128.0;
+    return flops_per_cycle * clock_ghz / 1000.0;
+}
+
+double
+GpuConfig::peak_fp32_tflops() const
+{
+    double ffma_per_cycle =
+        static_cast<double>(num_sms * subcores_per_sm * fp32_lanes);
+    return ffma_per_cycle * 2.0 * clock_ghz / 1000.0;
+}
+
+GpuConfig
+titan_v_config()
+{
+    GpuConfig c;
+    c.name = "Titan V";
+    c.arch = Arch::kVolta;
+    c.num_sms = 80;
+    c.clock_ghz = 1.530;
+    return c;
+}
+
+GpuConfig
+rtx2080_config()
+{
+    GpuConfig c;
+    c.name = "RTX 2080";
+    c.arch = Arch::kTuring;
+    c.num_sms = 46;
+    c.clock_ghz = 1.710;
+    c.l2_size = 4 * 1024 * 1024;
+    c.num_mem_partitions = 16;
+    return c;
+}
+
+}  // namespace tcsim

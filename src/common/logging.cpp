@@ -1,0 +1,115 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace tcsim {
+
+namespace {
+LogLevel g_level = LogLevel::kInform;
+}  // namespace
+
+void
+set_log_level(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+log_level()
+{
+    return g_level;
+}
+
+namespace detail {
+
+std::string
+vformat(const char* fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    if (n < 0) {
+        va_end(ap2);
+        return "<format error>";
+    }
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+std::string
+format(const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformat(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+void
+log(LogLevel level, const char* tag, const std::string& msg)
+{
+    if (level < g_level)
+        return;
+    std::fprintf(stderr, "[tcsim %s] %s\n", tag, msg.c_str());
+}
+
+}  // namespace detail
+
+void
+panic(const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    detail::log(LogLevel::kError, "PANIC", msg);
+    std::abort();
+}
+
+void
+fatal(const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    detail::log(LogLevel::kError, "FATAL", msg);
+    std::exit(1);
+}
+
+void
+warn(const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    detail::log(LogLevel::kWarn, "warn", msg);
+}
+
+void
+inform(const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    detail::log(LogLevel::kInform, "info", msg);
+}
+
+void
+debug(const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    detail::log(LogLevel::kDebug, "debug", msg);
+}
+
+}  // namespace tcsim

@@ -1,0 +1,59 @@
+#pragma once
+/**
+ * @file
+ * Logging and error-reporting utilities in the gem5 style.
+ *
+ * panic()  — internal invariant violated (a tcsim bug); aborts.
+ * fatal()  — simulation cannot continue due to a user error (bad
+ *            configuration, invalid arguments); exits with code 1.
+ * warn()   — something may be modeled approximately.
+ * inform() — status messages.
+ */
+
+#include <cstdarg>
+#include <string>
+
+namespace tcsim {
+
+/** Severity levels understood by the logger. */
+enum class LogLevel { kDebug, kInform, kWarn, kError };
+
+/** Global log threshold; messages below it are suppressed. */
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+/** printf-style formatting into a std::string. */
+std::string vformat(const char* fmt, va_list ap);
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log(LogLevel level, const char* tag, const std::string& msg);
+}  // namespace detail
+
+/** Report an internal simulator bug and abort. */
+[[noreturn]] void panic(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user error and exit(1). */
+[[noreturn]] void fatal(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Warn about approximate or suspicious behaviour. */
+void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational status message. */
+void inform(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Debug-level message (suppressed unless log level is kDebug). */
+void debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Check an invariant; panics with location info when it fails.
+ * Used instead of assert() so the check survives NDEBUG builds.
+ */
+#define TCSIM_CHECK(cond)                                                     \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::tcsim::panic("check failed at %s:%d: %s", __FILE__, __LINE__,   \
+                           #cond);                                            \
+        }                                                                     \
+    } while (0)
+
+}  // namespace tcsim

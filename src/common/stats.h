@@ -1,0 +1,112 @@
+#pragma once
+/**
+ * @file
+ * Simulation statistics: counters, histograms, and the summary math
+ * the evaluation harness needs (mean/median/percentiles, Pearson
+ * correlation, normalized deviation).
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tcsim {
+
+/** A named monotonically increasing counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    void inc(uint64_t delta = 1) { value_ += delta; }
+    uint64_t value() const { return value_; }
+    const std::string& name() const { return name_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::string name_;
+    uint64_t value_ = 0;
+};
+
+/**
+ * A sample accumulator retaining all observations.
+ *
+ * The paper's evaluation plots latency distributions (Fig 15) and
+ * median-vs-size series (Fig 16); retaining samples keeps percentile
+ * queries exact at the scales we simulate.
+ */
+class Histogram
+{
+  public:
+    Histogram() = default;
+    explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+    void add(double sample) { samples_.push_back(sample); }
+    size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    double min() const;
+    double max() const;
+    double mean() const;
+    double median() const;
+    /** p in [0,100]; linear interpolation between ranks. */
+    double percentile(double p) const;
+    double stddev() const;
+
+    const std::vector<double>& samples() const { return samples_; }
+    const std::string& name() const { return name_; }
+    void reset() { samples_.clear(); }
+
+  private:
+    std::string name_;
+    std::vector<double> samples_;
+};
+
+namespace stats {
+
+/** Pearson correlation coefficient of two equal-length series. */
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+/**
+ * Mean absolute relative error of y versus reference x, in percent.
+ * The paper reports "standard deviation of less than 5%" for Fig 14a;
+ * we report both this and rel_stddev below.
+ */
+double mean_abs_rel_error_pct(const std::vector<double>& ref,
+                              const std::vector<double>& measured);
+
+/** Standard deviation of the per-point relative error, in percent. */
+double rel_stddev_pct(const std::vector<double>& ref,
+                      const std::vector<double>& measured);
+
+double mean(const std::vector<double>& v);
+double median(std::vector<double> v);
+
+}  // namespace stats
+
+/**
+ * A registry grouping counters/histograms for one simulation run so
+ * reports can enumerate them in a stable order.
+ */
+class StatRegistry
+{
+  public:
+    Counter& counter(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    const std::map<std::string, Counter>& counters() const { return counters_; }
+    const std::map<std::string, Histogram>& histograms() const
+    {
+        return histograms_;
+    }
+
+    void reset();
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace tcsim

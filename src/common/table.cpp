@@ -1,0 +1,92 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace tcsim {
+
+void
+TextTable::set_header(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::add_row(std::vector<std::string> row)
+{
+    if (!header_.empty())
+        TCSIM_CHECK(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute per-column widths across header and all rows.
+    size_t cols = header_.size();
+    for (const auto& r : rows_)
+        cols = std::max(cols, r.size());
+    std::vector<size_t> width(cols, 0);
+    auto widen = [&](const std::vector<std::string>& r) {
+        for (size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    if (!header_.empty())
+        widen(header_);
+    for (const auto& r : rows_)
+        widen(r);
+
+    std::ostringstream out;
+    if (!title_.empty())
+        out << title_ << "\n";
+    auto emit = [&](const std::vector<std::string>& r) {
+        for (size_t i = 0; i < r.size(); ++i) {
+            out << r[i];
+            if (i + 1 < r.size())
+                out << std::string(width[i] - r[i].size() + 2, ' ');
+        }
+        out << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t i = 0; i < cols; ++i)
+            total += width[i] + (i + 1 < cols ? 2 : 0);
+        out << std::string(total, '-') << "\n";
+    }
+    for (const auto& r : rows_)
+        emit(r);
+    return out.str();
+}
+
+std::string
+TextTable::render_csv() const
+{
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string>& r) {
+        for (size_t i = 0; i < r.size(); ++i) {
+            out << r[i];
+            if (i + 1 < r.size())
+                out << ",";
+        }
+        out << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto& r : rows_)
+        emit(r);
+    return out.str();
+}
+
+std::string
+fmt_double(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+}  // namespace tcsim

@@ -1,0 +1,39 @@
+#pragma once
+/**
+ * @file
+ * Plain-text table and CSV emitters used by the benchmark harness to
+ * print the rows/series each paper table and figure reports.
+ */
+
+#include <string>
+#include <vector>
+
+namespace tcsim {
+
+/** Column-aligned text table with an optional title. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+    void set_header(std::vector<std::string> header);
+    void add_row(std::vector<std::string> row);
+
+    /** Render with column alignment; returns the formatted block. */
+    std::string render() const;
+
+    /** Render as CSV (header first if present). */
+    std::string render_csv() const;
+
+    size_t num_rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision (helper for table cells). */
+std::string fmt_double(double v, int precision = 2);
+
+}  // namespace tcsim

@@ -1,0 +1,320 @@
+#include "cutlass/gemm.h"
+
+#include "common/logging.h"
+#include "kernels/kernel_builder.h"
+#include "kernels/staging.h"
+#include "sass/hmma_decomposer.h"
+#include "tensor/transactions.h"
+
+namespace tcsim {
+namespace cutlass {
+
+std::string
+GemmTemplate::name() const
+{
+    std::string s = "cutlass_gemm_";
+    s += tc_mode_name(mode);
+    s += "_" + std::to_string(block_m) + "x" + std::to_string(block_n) + "x" +
+         std::to_string(block_k);
+    s += "_w" + std::to_string(warp_m) + "x" + std::to_string(warp_n);
+    s += std::string("_") + layout_name(a_layout) + layout_name(b_layout);
+    s += double_buffer ? "_pipe2" : "_pipe1";
+    return s;
+}
+
+void
+GemmTemplate::validate() const
+{
+    TCSIM_CHECK(mode == TcMode::kMixed || mode == TcMode::kFp16);
+    TCSIM_CHECK(block_m % warp_m == 0 && block_n % warp_n == 0);
+    TCSIM_CHECK(warp_m % 16 == 0 && warp_n % 16 == 0);
+    TCSIM_CHECK(block_k % 16 == 0);
+    TCSIM_CHECK(warps_per_cta() >= 1 && warps_per_cta() <= 16);
+    // Register budget: accumulators + one A/B fragment row/col set.
+    WmmaFragRegCounts fr = wmma_fragment_regs(arch, mode, kShape16x16x16);
+    int tiles = (warp_m / 16) * (warp_n / 16);
+    int regs = 8 + tiles * fr.c + (warp_m / 16) * fr.a + (warp_n / 16) * fr.b;
+    TCSIM_CHECK(regs <= 246);
+}
+
+KernelDesc
+make_gemm(const GemmTemplate& t, int m, int n, int k, const GemmBuffers& buf,
+          bool functional)
+{
+    t.validate();
+    TCSIM_CHECK(m % t.block_m == 0);
+    TCSIM_CHECK(n % t.block_n == 0);
+    TCSIM_CHECK(k % t.block_k == 0);
+
+    const int a_ld = t.a_layout == Layout::kRowMajor ? k : m;
+    const int b_ld = t.b_layout == Layout::kRowMajor ? n : k;
+    const int cd_ld = t.cd_layout == Layout::kRowMajor ? n : m;
+    const int e = element_bytes(WmmaOperand::kA, t.mode);
+    const int cd_e = element_bytes(WmmaOperand::kC, t.mode);
+    constexpr int kPad = 8;
+
+    // Shared layout: [A stage0][A stage1][B stage0][B stage1] (single
+    // buffered: one stage each).
+    const uint32_t a_stage =
+        staged_block_bytes(t.a_layout, t.block_m, t.block_k, e, kPad);
+    const uint32_t b_stage =
+        staged_block_bytes(t.b_layout, t.block_k, t.block_n, e, kPad);
+    const int stages = t.double_buffer ? 2 : 1;
+    const uint32_t a_base = 0;
+    const uint32_t b_base = a_stage * static_cast<uint32_t>(stages);
+    const uint32_t smem = (a_stage + b_stage) *
+                          static_cast<uint32_t>(stages);
+    const int a_sld = (t.a_layout == Layout::kRowMajor ? t.block_k
+                                                       : t.block_m) +
+                      kPad;
+    const int b_sld = (t.b_layout == Layout::kRowMajor ? t.block_n
+                                                       : t.block_k) +
+                      kPad;
+
+    // Register plan.
+    WmmaFragRegCounts fr = wmma_fragment_regs(t.arch, t.mode, kShape16x16x16);
+    const int wtiles_m = t.warp_m / 16;
+    const int wtiles_n = t.warp_n / 16;
+    const uint8_t acc0 = 4;
+    const uint8_t a_frag0 =
+        static_cast<uint8_t>(acc0 + wtiles_m * wtiles_n * fr.c);
+    const uint8_t b_frag0 = static_cast<uint8_t>(a_frag0 + wtiles_m * fr.a);
+    const uint8_t stage_a_reg =
+        static_cast<uint8_t>(b_frag0 + wtiles_n * fr.b);
+    // Up to four 4-register staging windows per operand.
+    const uint8_t stage_b_reg = static_cast<uint8_t>(stage_a_reg + 16);
+    const int regs = stage_b_reg + 16 + 2;
+
+    const int grid_m = m / t.block_m;
+    const int grid_n = n / t.block_n;
+    const int warps = t.warps_per_cta();
+    const int wgrid_n = t.block_n / t.warp_n;
+
+    const int kblocks = k / t.block_k;
+    const int subk = t.block_k / 16;
+
+    KernelDesc kd;
+    kd.name = t.name();
+    kd.grid_ctas = grid_m * grid_n;
+    kd.warps_per_cta = warps;
+    kd.shared_mem_bytes = smem;
+    kd.regs_per_thread = regs;
+    kd.functional = functional;
+    kd.trace = [=](int cta, int w) -> WarpProgram {
+        WarpBuilder bld(t.arch);
+        const int bm = cta / grid_n;
+        const int bn = cta % grid_n;
+        const int wm0 = (w / wgrid_n) * t.warp_m;  // block-local rows
+        const int wn0 = (w % wgrid_n) * t.warp_n;  // block-local cols
+
+        auto acc_reg = [&](int tm, int tn) {
+            return static_cast<uint8_t>(acc0 + (tm * wtiles_n + tn) * fr.c);
+        };
+
+        // Epilogue source: load C into the accumulators.
+        for (int tm = 0; tm < wtiles_m; ++tm) {
+            for (int tn = 0; tn < wtiles_n; ++tn) {
+                bld.wmma_load(
+                    WmmaOperand::kC, t.mode, kShape16x16x16, t.cd_layout,
+                    acc_reg(tm, tn),
+                    device_elem_addr(buf.c, t.cd_layout, cd_ld,
+                                     bm * t.block_m + wm0 + 16 * tm,
+                                     bn * t.block_n + wn0 + 16 * tn, cd_e),
+                    cd_ld, false);
+            }
+        }
+
+        // Stage parameters for the A and B block copies.
+        StageBlockParams pa;
+        pa.layout = t.a_layout;
+        pa.ld_global = a_ld;
+        pa.rows = t.block_m;
+        pa.cols = t.block_k;
+        pa.warp = w;
+        pa.num_warps = warps;
+        pa.ebytes = e;
+        pa.reg = stage_a_reg;
+        pa.pad = kPad;
+        pa.k_stride =
+            (t.a_layout == Layout::kRowMajor
+                 ? static_cast<int64_t>(t.block_k)
+                 : static_cast<int64_t>(t.block_k) * a_ld) *
+            e;
+        StageBlockParams pb;
+        pb.layout = t.b_layout;
+        pb.ld_global = b_ld;
+        pb.rows = t.block_k;
+        pb.cols = t.block_n;
+        pb.warp = w;
+        pb.num_warps = warps;
+        pb.ebytes = e;
+        pb.reg = stage_b_reg;
+        pb.pad = kPad;
+        pb.k_stride =
+            (t.b_layout == Layout::kRowMajor
+                 ? static_cast<int64_t>(t.block_k) * b_ld
+                 : static_cast<int64_t>(t.block_k)) *
+            e;
+
+        const uint64_t a_block0 =
+            device_elem_addr(buf.a, t.a_layout, a_ld, bm * t.block_m, 0, e);
+        const uint64_t b_block0 =
+            device_elem_addr(buf.b, t.b_layout, b_ld, 0, bn * t.block_n, e);
+
+        // Compute phase for one staged buffer.
+        auto compute = [&](uint32_t a_buf, uint32_t b_buf, int64_t a_pp,
+                           int64_t b_pp) {
+            for (int kk = 0; kk < subk; ++kk) {
+                for (int tm = 0; tm < wtiles_m; ++tm) {
+                    bld.wmma_load(
+                        WmmaOperand::kA, t.mode, kShape16x16x16, t.a_layout,
+                        static_cast<uint8_t>(a_frag0 + tm * fr.a),
+                        device_elem_addr(a_buf, t.a_layout, a_sld,
+                                         wm0 + 16 * tm, 16 * kk, e),
+                        a_sld, true, 0, a_pp);
+                }
+                for (int tn = 0; tn < wtiles_n; ++tn) {
+                    bld.wmma_load(
+                        WmmaOperand::kB, t.mode, kShape16x16x16, t.b_layout,
+                        static_cast<uint8_t>(b_frag0 + tn * fr.b),
+                        device_elem_addr(b_buf, t.b_layout, b_sld, 16 * kk,
+                                         wn0 + 16 * tn, e),
+                        b_sld, true, 0, b_pp);
+                }
+                for (int tm = 0; tm < wtiles_m; ++tm) {
+                    for (int tn = 0; tn < wtiles_n; ++tn) {
+                        bld.wmma_mma(
+                            t.mode, kShape16x16x16,
+                            WmmaRegs{.a = static_cast<uint8_t>(a_frag0 +
+                                                               tm * fr.a),
+                                     .b = static_cast<uint8_t>(b_frag0 +
+                                                               tn * fr.b),
+                                     .c = acc_reg(tm, tn),
+                                     .d = acc_reg(tm, tn)},
+                            t.a_layout, t.b_layout);
+                    }
+                }
+            }
+        };
+
+        if (t.double_buffer && kblocks > 1) {
+            // Software-pipelined: prologue stages block 0 into buffer
+            // 0; iteration i stages block i+1 into buffer (i+1)%2 and
+            // computes block i from buffer i%2.
+            pa.block_base = a_block0;
+            pb.block_base = b_block0;
+            pa.shared_base = a_base;
+            pb.shared_base = b_base;
+            pa.k_stride = 0;  // prologue: fixed addresses
+            pb.k_stride = 0;
+            stage_block(&bld, pa);
+            stage_block(&bld, pb);
+            bld.bar();
+
+            // Loop iterations 0 .. kblocks-2.
+            pa.k_stride =
+                (t.a_layout == Layout::kRowMajor
+                     ? static_cast<int64_t>(t.block_k)
+                     : static_cast<int64_t>(t.block_k) * a_ld) *
+                e;
+            pb.k_stride =
+                (t.b_layout == Layout::kRowMajor
+                     ? static_cast<int64_t>(t.block_k) * b_ld
+                     : static_cast<int64_t>(t.block_k)) *
+                e;
+            // Stage target: buffer 1 on even iters, buffer 0 on odd.
+            pa.block_base = a_block0 + static_cast<uint64_t>(pa.k_stride);
+            pb.block_base = b_block0 + static_cast<uint64_t>(pb.k_stride);
+            pa.shared_base = a_base + a_stage;
+            pb.shared_base = b_base + b_stage;
+            pa.ping_pong = -static_cast<int64_t>(a_stage);
+            pb.ping_pong = -static_cast<int64_t>(b_stage);
+
+            bld.loop_begin(kblocks - 1);
+            // Prefetch block i+1 into registers, compute block i from
+            // shared, then commit the prefetch to the alternate buffer
+            // (the math hides the global-load latency, as CUTLASS's
+            // software pipelining does).
+            stage_block_ldg(&bld, pa);
+            stage_block_ldg(&bld, pb);
+            // Compute source: buffer 0 on even iters, buffer 1 on odd.
+            compute(a_base, b_base, static_cast<int64_t>(a_stage),
+                    static_cast<int64_t>(b_stage));
+            stage_block_sts(&bld, pa);
+            stage_block_sts(&bld, pb);
+            bld.bar();
+            bld.loop_end();
+
+            // Epilogue: compute the final staged block, buffer
+            // (kblocks-1) % 2.  LDS ping-pong no longer applies (we
+            // are outside the loop), so address the buffer directly.
+            uint32_t last = static_cast<uint32_t>((kblocks - 1) % 2);
+            compute(a_base + last * a_stage, b_base + last * b_stage, 0, 0);
+        } else {
+            // Single buffered.
+            pa.block_base = a_block0;
+            pb.block_base = b_block0;
+            pa.shared_base = a_base;
+            pb.shared_base = b_base;
+            bld.loop_begin(kblocks);
+            stage_block(&bld, pa);
+            stage_block(&bld, pb);
+            bld.bar();
+            compute(a_base, b_base, 0, 0);
+            bld.bar();
+            bld.loop_end();
+        }
+
+        // Store D.
+        for (int tm = 0; tm < wtiles_m; ++tm) {
+            for (int tn = 0; tn < wtiles_n; ++tn) {
+                bld.wmma_store(
+                    t.mode, kShape16x16x16, t.cd_layout, acc_reg(tm, tn),
+                    device_elem_addr(buf.d, t.cd_layout, cd_ld,
+                                     bm * t.block_m + wm0 + 16 * tm,
+                                     bn * t.block_n + wn0 + 16 * tn, cd_e),
+                    cd_ld, false);
+            }
+        }
+        return bld.take();
+    };
+    return kd;
+}
+
+std::vector<GemmTemplate>
+default_sweep(TcMode mode)
+{
+    std::vector<GemmTemplate> out;
+    struct Tiling
+    {
+        int bm, bn, bk, wm, wn;
+    };
+    const Tiling tilings[] = {
+        {64, 64, 16, 32, 32},   {64, 64, 32, 32, 32},
+        {128, 64, 32, 32, 32},  {64, 128, 32, 32, 64},
+        {128, 128, 32, 32, 64}, {128, 128, 32, 64, 64},
+    };
+    for (const auto& tl : tilings) {
+        for (Layout a : {Layout::kRowMajor, Layout::kColMajor}) {
+            for (Layout b : {Layout::kRowMajor, Layout::kColMajor}) {
+                for (bool pipe : {false, true}) {
+                    GemmTemplate t;
+                    t.mode = mode;
+                    t.a_layout = a;
+                    t.b_layout = b;
+                    t.block_m = tl.bm;
+                    t.block_n = tl.bn;
+                    t.block_k = tl.bk;
+                    t.warp_m = tl.wm;
+                    t.warp_n = tl.wn;
+                    t.double_buffer = pipe;
+                    out.push_back(t);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace cutlass
+}  // namespace tcsim

@@ -1,0 +1,65 @@
+#pragma once
+/**
+ * @file
+ * Mini-CUTLASS: a configurable tiled GEMM template in the structure
+ * of NVIDIA's CUTLASS library (threadblock tile -> warp tile -> WMMA
+ * instruction tile), with shared-memory staging and software
+ * pipelining (double-buffered prefetch).  This is the kernel family
+ * the paper's Fig 14b/14c IPC-correlation experiments run, and the
+ * configuration space our CUTLASS-style unit-test sweep covers.
+ */
+
+#include <string>
+
+#include "arch/gpu_config.h"
+#include "kernels/gemm_problem.h"
+#include "sim/kernel_desc.h"
+#include "tensor/types.h"
+
+namespace tcsim {
+namespace cutlass {
+
+/** One instantiation of the GEMM template. */
+struct GemmTemplate
+{
+    Arch arch = Arch::kVolta;
+    TcMode mode = TcMode::kMixed;
+    Layout a_layout = Layout::kRowMajor;
+    Layout b_layout = Layout::kRowMajor;
+    Layout cd_layout = Layout::kRowMajor;
+
+    /** Threadblock tile. */
+    int block_m = 128, block_n = 128, block_k = 32;
+    /** Warp tile (must divide the threadblock tile). */
+    int warp_m = 32, warp_n = 64;
+    /** Software pipelining: prefetch the next K block into the
+     *  alternate shared buffer while computing the current one. */
+    bool double_buffer = true;
+
+    /** Warps per CTA implied by the tiling. */
+    int warps_per_cta() const
+    {
+        return (block_m / warp_m) * (block_n / warp_n);
+    }
+
+    /** Template "mangled name" for reporting. */
+    std::string name() const;
+
+    /** Validate divisibility and resource constraints; panics with a
+     *  diagnostic on an unsupported configuration. */
+    void validate() const;
+};
+
+/** Instantiate the template for a problem size. */
+KernelDesc make_gemm(const GemmTemplate& t, int m, int n, int k,
+                     const GemmBuffers& buf, bool functional = true);
+
+/**
+ * The default configuration sweep used by the test suite and the
+ * Fig 14b correlation experiment (a spread of threadblock/warp tiles
+ * and pipelining choices, in the spirit of CUTLASS's unit tests).
+ */
+std::vector<GemmTemplate> default_sweep(TcMode mode);
+
+}  // namespace cutlass
+}  // namespace tcsim

@@ -1,0 +1,108 @@
+#include "fp16/half.h"
+
+#include <bit>
+#include <cstring>
+
+namespace tcsim {
+
+uint16_t
+half::float_to_bits(float f)
+{
+    uint32_t x = std::bit_cast<uint32_t>(f);
+    uint32_t sign = (x >> 16) & 0x8000u;
+    uint32_t abs = x & 0x7fffffffu;
+
+    if (abs >= 0x7f800000u) {
+        // Inf or NaN. Preserve NaN-ness with a quiet mantissa bit.
+        uint32_t mant = abs > 0x7f800000u ? 0x0200u | ((x >> 13) & 0x03ffu)
+                                          : 0u;
+        if (abs > 0x7f800000u && (mant & 0x03ffu) == 0)
+            mant |= 1;  // ensure NaN payload nonzero
+        return static_cast<uint16_t>(sign | 0x7c00u | (mant & 0x03ffu));
+    }
+
+    if (abs >= 0x477ff000u) {
+        // Values >= 65520 round to infinity: 65520 is the halfway point
+        // between max (65504, odd mantissa) and the next step up, so
+        // ties-to-even already selects infinity.
+        return static_cast<uint16_t>(sign | 0x7c00u);
+    }
+
+    // Exponent of float: abs >> 23; binary16 bias 15, binary32 bias 127.
+    int32_t exp32 = static_cast<int32_t>(abs >> 23) - 127;
+    int32_t exp16 = exp32 + 15;
+
+    if (exp16 >= 0x1f) {
+        // Overflow to infinity (handled above for the rounding edge,
+        // kept for exponents beyond it).
+        return static_cast<uint16_t>(sign | 0x7c00u);
+    }
+
+    uint32_t mant32 = abs & 0x007fffffu;
+
+    if (exp16 <= 0) {
+        // Subnormal or zero in binary16.
+        if (exp16 < -10) {
+            // Magnitude below 2^-25: rounds to (signed) zero. The
+            // boundary cases at 2^-25 itself have exp16 == -10 and are
+            // handled by the shift-and-round path below.
+            return static_cast<uint16_t>(sign);
+        }
+        // Add the implicit leading 1 then shift right by (1 - exp16)+13
+        // with round-to-nearest-even.
+        uint32_t mant = mant32 | 0x00800000u;
+        int shift = 14 - exp16;  // 13 (mantissa width delta) + (1 - exp16)
+        uint32_t rounded = mant >> shift;
+        uint32_t remainder = mant & ((1u << shift) - 1);
+        uint32_t halfway = 1u << (shift - 1);
+        if (remainder > halfway || (remainder == halfway && (rounded & 1)))
+            ++rounded;
+        return static_cast<uint16_t>(sign | rounded);
+    }
+
+    // Normal range: drop 13 mantissa bits with round-to-nearest-even.
+    uint32_t rounded = mant32 >> 13;
+    uint32_t remainder = mant32 & 0x1fffu;
+    if (remainder > 0x1000u || (remainder == 0x1000u && (rounded & 1)))
+        ++rounded;
+    uint32_t result = (static_cast<uint32_t>(exp16) << 10) + rounded;
+    // Mantissa carry-out increments the exponent naturally; it may
+    // carry into infinity which is the correct rounding.
+    return static_cast<uint16_t>(sign | result);
+}
+
+float
+half::bits_to_float(uint16_t bits)
+{
+    uint32_t sign = static_cast<uint32_t>(bits & 0x8000u) << 16;
+    uint32_t exp = (bits >> 10) & 0x1fu;
+    uint32_t mant = bits & 0x03ffu;
+
+    uint32_t out;
+    if (exp == 0x1f) {
+        // Inf / NaN
+        out = sign | 0x7f800000u | (mant << 13);
+    } else if (exp == 0) {
+        if (mant == 0) {
+            out = sign;  // signed zero
+        } else {
+            // Subnormal: normalize.
+            int shift = 0;
+            while ((mant & 0x0400u) == 0) {
+                mant <<= 1;
+                ++shift;
+            }
+            mant &= 0x03ffu;
+            // Subnormal value = mant * 2^-24; after normalization the
+            // implicit bit carries weight 2^(-14 - shift).
+            uint32_t e32 = static_cast<uint32_t>(127 - 14 - shift);
+            out = sign | (e32 << 23) | (mant << 13);
+        }
+    } else {
+        uint32_t e32 = exp + (127 - 15);
+        out = sign | (e32 << 23) | (mant << 13);
+    }
+    return std::bit_cast<float>(out);
+}
+
+}  // namespace tcsim

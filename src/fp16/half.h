@@ -1,0 +1,146 @@
+#pragma once
+/**
+ * @file
+ * IEEE 754 binary16 ("half") floating-point library.
+ *
+ * The paper extended GPGPU-Sim with 16-bit floating point via a
+ * header-only half library (Rau [45]); we implement the equivalent
+ * from scratch.  Storage is the 16-bit IEEE pattern
+ * (1 sign, 5 exponent, 10 mantissa bits); arithmetic promotes to
+ * float and rounds back with round-to-nearest-even, matching the
+ * behaviour of hardware FP16 multiply feeding an FP32 accumulator.
+ */
+
+#include <cstdint>
+#include <limits>
+
+namespace tcsim {
+
+/** IEEE 754 binary16 value type. */
+class half
+{
+  public:
+    /** Zero-initialized (+0.0). */
+    constexpr half() = default;
+
+    /** Convert from float with round-to-nearest-even. */
+    explicit half(float f) : bits_(float_to_bits(f)) {}
+
+    /** Construct from a raw 16-bit IEEE pattern. */
+    static constexpr half from_bits(uint16_t bits)
+    {
+        half h;
+        h.bits_ = bits;
+        return h;
+    }
+
+    /** Raw IEEE bit pattern. */
+    constexpr uint16_t bits() const { return bits_; }
+
+    /** Widen to float (exact: every binary16 value is a binary32 value). */
+    float to_float() const { return bits_to_float(bits_); }
+    explicit operator float() const { return to_float(); }
+
+    bool is_nan() const
+    {
+        return (bits_ & 0x7c00u) == 0x7c00u && (bits_ & 0x03ffu) != 0;
+    }
+    bool is_inf() const { return (bits_ & 0x7fffu) == 0x7c00u; }
+    bool is_zero() const { return (bits_ & 0x7fffu) == 0; }
+    bool signbit() const { return (bits_ & 0x8000u) != 0; }
+    /** True for nonzero values with a zero exponent field. */
+    bool is_subnormal() const
+    {
+        return (bits_ & 0x7c00u) == 0 && (bits_ & 0x03ffu) != 0;
+    }
+
+    half operator-() const { return from_bits(bits_ ^ 0x8000u); }
+
+    /** Round-to-nearest-even float -> binary16 conversion. */
+    static uint16_t float_to_bits(float f);
+    /** Exact binary16 -> float conversion. */
+    static float bits_to_float(uint16_t bits);
+
+  private:
+    uint16_t bits_ = 0;
+};
+
+// Arithmetic promotes to float and rounds the result back to half,
+// the standard software-emulation semantics for binary16.
+inline half operator+(half a, half b) { return half(a.to_float() + b.to_float()); }
+inline half operator-(half a, half b) { return half(a.to_float() - b.to_float()); }
+inline half operator*(half a, half b) { return half(a.to_float() * b.to_float()); }
+inline half operator/(half a, half b) { return half(a.to_float() / b.to_float()); }
+
+inline half& operator+=(half& a, half b) { a = a + b; return a; }
+inline half& operator-=(half& a, half b) { a = a - b; return a; }
+inline half& operator*=(half& a, half b) { a = a * b; return a; }
+inline half& operator/=(half& a, half b) { a = a / b; return a; }
+
+// IEEE comparison semantics (NaN compares unordered) via float.
+inline bool operator==(half a, half b) { return a.to_float() == b.to_float(); }
+inline bool operator!=(half a, half b) { return a.to_float() != b.to_float(); }
+inline bool operator<(half a, half b) { return a.to_float() < b.to_float(); }
+inline bool operator<=(half a, half b) { return a.to_float() <= b.to_float(); }
+inline bool operator>(half a, half b) { return a.to_float() > b.to_float(); }
+inline bool operator>=(half a, half b) { return a.to_float() >= b.to_float(); }
+
+namespace fp16_literals {
+/** 1.5_h style literal for tests and examples. */
+inline half operator""_h(long double v) { return half(static_cast<float>(v)); }
+inline half operator""_h(unsigned long long v)
+{
+    return half(static_cast<float>(v));
+}
+}  // namespace fp16_literals
+
+}  // namespace tcsim
+
+namespace std {
+
+/** numeric_limits specialization for tcsim::half. */
+template <>
+class numeric_limits<tcsim::half>
+{
+  public:
+    static constexpr bool is_specialized = true;
+    static constexpr bool is_signed = true;
+    static constexpr bool is_integer = false;
+    static constexpr bool is_exact = false;
+    static constexpr bool has_infinity = true;
+    static constexpr bool has_quiet_NaN = true;
+    static constexpr int digits = 11;       // implicit bit + 10 mantissa
+    static constexpr int max_exponent = 16;
+    static constexpr int min_exponent = -13;
+
+    static constexpr tcsim::half min()
+    {
+        return tcsim::half::from_bits(0x0400);  // 2^-14
+    }
+    static constexpr tcsim::half max()
+    {
+        return tcsim::half::from_bits(0x7bff);  // 65504
+    }
+    static constexpr tcsim::half lowest()
+    {
+        return tcsim::half::from_bits(0xfbff);  // -65504
+    }
+    static constexpr tcsim::half denorm_min()
+    {
+        return tcsim::half::from_bits(0x0001);  // 2^-24
+    }
+    static constexpr tcsim::half epsilon()
+    {
+        return tcsim::half::from_bits(0x1400);  // 2^-10
+    }
+    static constexpr tcsim::half infinity()
+    {
+        return tcsim::half::from_bits(0x7c00);
+    }
+    static constexpr tcsim::half quiet_NaN()
+    {
+        return tcsim::half::from_bits(0x7e00);
+    }
+};
+
+}  // namespace std

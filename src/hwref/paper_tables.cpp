@@ -1,0 +1,39 @@
+#include "hwref/paper_tables.h"
+
+namespace tcsim {
+namespace hwref {
+
+std::vector<double>
+fig12c_hw_cycles()
+{
+    // Digitized from Fig 12c: approximately flat through four warps,
+    // then stepwise increase as tensor-core pairs serialize.
+    return {60, 62, 64, 66, 115, 160, 205, 250};
+}
+
+std::vector<double>
+fig17_sizes()
+{
+    return {256, 512, 1024, 2048, 4096, 8192, 16384};
+}
+
+std::vector<Fig17Series>
+fig17_hw_series()
+{
+    // Digitized from Fig 17 (values approximate; the shape -- who
+    // wins, by what factor, where curves saturate -- is what the
+    // reproduction targets).
+    return {
+        {"CUBLAS_WO_TC_FP32", {4, 8, 11, 13, 14, 14, 14}},
+        {"CUBLAS_WO_TC_FP16", {6, 12, 19, 25, 28, 30, 30}},
+        {"WMMA_OPTIMIZED", {5, 10, 15, 19, 21, 22, 22}},
+        {"CUBLAS_WITH_TC_FP32", {12, 28, 52, 74, 85, 90, 88}},
+        {"CUBLAS_WITH_TC_FP16", {13, 30, 56, 78, 90, 96, 93}},
+        {"MAX_PERF_FP16", {109.6, 109.6, 109.6, 109.6, 109.6, 109.6, 109.6}},
+        {"MAX_PERF_FP32", {108.7, 108.7, 108.7, 108.7, 108.7, 108.7, 108.7}},
+        {"THEORETICAL_LIMIT", {125, 125, 125, 125, 125, 125, 125}},
+    };
+}
+
+}  // namespace hwref
+}  // namespace tcsim

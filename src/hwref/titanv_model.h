@@ -1,0 +1,82 @@
+#pragma once
+/**
+ * @file
+ * Analytical Titan V performance model: the "hardware" side of the
+ * validation experiments (Figs 14a/14b/14c).
+ *
+ * The model is deliberately a *different mechanism* from the
+ * simulator: closed-form roofline bounds (tensor-core issue, DRAM
+ * bandwidth, instruction issue) composed with wave quantization and
+ * fixed ramp latencies, with per-kernel-family efficiency factors
+ * calibrated once against the paper's published endpoints (Fig 17
+ * saturation levels, Fig 12c).  Correlating the simulator against it
+ * is therefore non-circular by construction: agreement means both
+ * independently approximate the same machine.
+ */
+
+#include <cstdint>
+
+#include "arch/gpu_config.h"
+#include "tensor/types.h"
+
+namespace tcsim {
+namespace hwref {
+
+/** Kernel families the model understands. */
+enum class KernelFamily {
+    kWmmaNaive,    ///< One tile per warp, operands from global.
+    kWmmaShared,   ///< Shared-memory staged WMMA (single buffered).
+    kCutlass,      ///< Pipelined CUTLASS-style GEMM.
+    kSgemmSimt,    ///< FP32 FFMA GEMM (no tensor cores).
+    kHgemmSimt,    ///< Packed FP16 GEMM (no tensor cores).
+};
+
+/** A GEMM workload instance for the analytical model. */
+struct GemmWorkload
+{
+    KernelFamily family = KernelFamily::kCutlass;
+    TcMode mode = TcMode::kMixed;
+    int m = 0, n = 0, k = 0;
+    /** Threadblock tile (CUTLASS/shared families). */
+    int block_m = 128, block_n = 128, block_k = 32;
+    /** Warp tile (CUTLASS family). */
+    int warp_m = 32, warp_n = 64;
+    int warps_per_cta = 8;
+    /** Software pipelining (CUTLASS family). */
+    bool double_buffer = true;
+};
+
+/** Analytical prediction for one workload. */
+struct HwPrediction
+{
+    double cycles = 0.0;
+    double instructions = 0.0;
+    double ipc = 0.0;
+    double tflops = 0.0;
+};
+
+/** The analytical model, parameterized by a GPU configuration. */
+class TitanVModel
+{
+  public:
+    explicit TitanVModel(const GpuConfig& cfg) : cfg_(cfg) {}
+
+    /** Predict cycles/IPC/TFLOPS for a GEMM workload. */
+    HwPrediction predict(const GemmWorkload& w) const;
+
+    /** Dynamic warp-instruction count of the workload's kernel
+     *  (micro-instruction level, matching the simulator's counter). */
+    double instruction_count(const GemmWorkload& w) const;
+
+  private:
+    double compute_bound_cycles(const GemmWorkload& w) const;
+    double memory_bound_cycles(const GemmWorkload& w) const;
+    double issue_bound_cycles(const GemmWorkload& w) const;
+    double efficiency(const GemmWorkload& w) const;
+    double ramp_cycles(const GemmWorkload& w) const;
+
+    GpuConfig cfg_;
+};
+
+}  // namespace hwref
+}  // namespace tcsim

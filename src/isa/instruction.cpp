@@ -1,0 +1,128 @@
+#include "isa/instruction.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace tcsim {
+
+const char*
+opcode_name(Opcode op)
+{
+    switch (op) {
+      case Opcode::kHmma: return "HMMA";
+      case Opcode::kLdg: return "LDG";
+      case Opcode::kStg: return "STG";
+      case Opcode::kLds: return "LDS";
+      case Opcode::kSts: return "STS";
+      case Opcode::kFfma: return "FFMA";
+      case Opcode::kHfma2: return "HFMA2";
+      case Opcode::kFadd: return "FADD";
+      case Opcode::kIadd: return "IADD";
+      case Opcode::kImad: return "IMAD";
+      case Opcode::kMov: return "MOV";
+      case Opcode::kCs2r: return "CS2R";
+      case Opcode::kBarSync: return "BAR.SYNC";
+      case Opcode::kNop: return "NOP";
+      case Opcode::kLoopBegin: return "LOOP.BEGIN";
+      case Opcode::kLoopEnd: return "LOOP.END";
+      case Opcode::kExit: return "EXIT";
+    }
+    return "?";
+}
+
+bool
+is_memory_opcode(Opcode op)
+{
+    return op == Opcode::kLdg || op == Opcode::kStg || op == Opcode::kLds ||
+           op == Opcode::kSts;
+}
+
+const char*
+macro_class_name(MacroClass mc)
+{
+    switch (mc) {
+      case MacroClass::kNone: return "none";
+      case MacroClass::kWmmaLoadA: return "wmma.load.a";
+      case MacroClass::kWmmaLoadB: return "wmma.load.b";
+      case MacroClass::kWmmaLoadC: return "wmma.load.c";
+      case MacroClass::kWmmaMma: return "wmma.mma";
+      case MacroClass::kWmmaStoreD: return "wmma.store.d";
+    }
+    return "?";
+}
+
+Instruction::Instruction(const Instruction& other)
+    : op(other.op), dst(other.dst), n_dst(other.n_dst), src(other.src),
+      n_src(other.n_src), width_bits(other.width_bits), imm(other.imm),
+      loop_stride(other.loop_stride), ping_pong(other.ping_pong),
+      hmma(other.hmma), macro_id(other.macro_id),
+      macro_class(other.macro_class), macro_end(other.macro_end)
+{
+    if (other.addr)
+        addr = std::make_unique<std::array<uint64_t, kWarpSize>>(*other.addr);
+}
+
+Instruction&
+Instruction::operator=(const Instruction& other)
+{
+    if (this == &other)
+        return *this;
+    op = other.op;
+    dst = other.dst;
+    n_dst = other.n_dst;
+    src = other.src;
+    n_src = other.n_src;
+    width_bits = other.width_bits;
+    imm = other.imm;
+    loop_stride = other.loop_stride;
+    ping_pong = other.ping_pong;
+    hmma = other.hmma;
+    macro_id = other.macro_id;
+    macro_class = other.macro_class;
+    macro_end = other.macro_end;
+    addr = other.addr
+               ? std::make_unique<std::array<uint64_t, kWarpSize>>(*other.addr)
+               : nullptr;
+    return *this;
+}
+
+std::string
+Instruction::disasm() const
+{
+    std::ostringstream out;
+    if (op == Opcode::kHmma) {
+        // e.g. HMMA.884.F32.F32.STEP2 R4, R24, R22, R4
+        out << "HMMA.884.";
+        if (hmma.mode == TcMode::kMixed)
+            out << "F32.F32";
+        else if (hmma.mode == TcMode::kFp16)
+            out << "F16.F16";
+        else if (hmma.mode == TcMode::kInt8)
+            out << "I32.I8";
+        else
+            out << "I32.I4";
+        out << ".SET" << int(hmma.set);
+        out << ".STEP" << int(hmma.step);
+        out << " R" << int(hmma.d_reg) << ", R" << int(hmma.a_reg) << ", R"
+            << int(hmma.b_reg) << ", R" << int(hmma.c_reg);
+        return out.str();
+    }
+    out << opcode_name(op);
+    if (is_memory_opcode(op) && width_bits)
+        out << "." << width_bits;
+    if (op == Opcode::kLoopBegin)
+        out << " x" << imm;
+    bool first = true;
+    for (int i = 0; i < n_dst; ++i) {
+        out << (first ? " " : ", ") << "R" << int(dst[i]);
+        first = false;
+    }
+    for (int i = 0; i < n_src; ++i) {
+        out << (first ? " " : ", ") << "R" << int(src[i]);
+        first = false;
+    }
+    return out.str();
+}
+
+}  // namespace tcsim

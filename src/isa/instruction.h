@@ -1,0 +1,163 @@
+#pragma once
+/**
+ * @file
+ * Warp-level machine instruction representation.
+ *
+ * The simulator is trace-driven: kernels (src/kernels, src/cutlass)
+ * emit per-warp instruction sequences in a SASS-like IR.  The IR
+ * preserves what the paper's model consumes: opcode class, register
+ * operands (register *pairs* for HMMA, Section III-C), per-thread
+ * addresses for memory operations, and the set/step annotations of
+ * HMMA instructions.
+ *
+ * Traces support one non-nested loop region (kLoopBegin/kLoopEnd)
+ * so GEMM K-loops need not be unrolled; memory instructions inside
+ * the loop advance their addresses by `loop_stride` bytes per
+ * iteration plus `ping_pong` bytes on odd iterations (double
+ * buffering).
+ */
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_config.h"
+#include "tensor/types.h"
+
+namespace tcsim {
+
+/** Opcode classes modeled by the simulator. */
+enum class Opcode : uint8_t {
+    kHmma,     ///< Tensor core matrix-multiply-accumulate step.
+    kLdg,      ///< Global memory load.
+    kStg,      ///< Global memory store.
+    kLds,      ///< Shared memory load.
+    kSts,      ///< Shared memory store.
+    kFfma,     ///< FP32 fused multiply-add (SIMT).
+    kHfma2,    ///< Packed FP16x2 multiply-add (SIMT).
+    kFadd,     ///< FP32 add.
+    kIadd,     ///< Integer add (address arithmetic etc.).
+    kImad,     ///< Integer multiply-add.
+    kMov,      ///< Register move / immediate load.
+    kCs2r,     ///< Read special register (e.g. SR_CLOCKLO); Fig 6.
+    kBarSync,  ///< CTA-wide barrier (__syncthreads / wmma implicit).
+    kNop,      ///< No operation (used by the NOP-patching microbench).
+    kLoopBegin,///< Start of the trace's loop region (imm = trip count).
+    kLoopEnd,  ///< End of the loop region.
+    kExit,     ///< Warp termination.
+};
+
+const char* opcode_name(Opcode op);
+
+/** True for LDG/STG/LDS/STS. */
+bool is_memory_opcode(Opcode op);
+
+/** Which macro WMMA operation a micro-instruction belongs to,
+ *  for per-instruction latency profiling (Figs 15/16). */
+enum class MacroClass : uint8_t {
+    kNone,
+    kWmmaLoadA,
+    kWmmaLoadB,
+    kWmmaLoadC,
+    kWmmaMma,
+    kWmmaStoreD,
+};
+
+const char* macro_class_name(MacroClass mc);
+
+/** HMMA-specific fields (valid when op == kHmma). */
+struct HmmaInfo
+{
+    TcMode mode = TcMode::kMixed;
+    TileShape shape = kShape16x16x16;
+    /** Storage layouts the A/B fragments were loaded with; the
+     *  functional executor needs them because per-thread element
+     *  ownership depends on the load pattern (Fig 7a). */
+    Layout a_layout = Layout::kRowMajor;
+    Layout b_layout = Layout::kRowMajor;
+    uint8_t set = 0;   ///< 0-based set index.
+    uint8_t step = 0;  ///< 0-based step index (always 0 on Turing).
+    bool first_in_group = false;  ///< First HMMA of the wmma.mma.
+    bool last_in_group = false;   ///< Last HMMA; releases D registers.
+    /** Base registers of the four operand fragments (A, B, C, D). */
+    uint8_t a_reg = 0, b_reg = 0, c_reg = 0, d_reg = 0;
+    /** Registers per thread occupied by each fragment (scoreboard
+     *  range extents). */
+    uint8_t a_nregs = 8, b_nregs = 8, c_nregs = 8, d_nregs = 8;
+};
+
+/**
+ * One warp-wide instruction.
+ *
+ * Register identifiers are uniform across the 32 lanes (as in SASS).
+ * Memory instructions carry per-lane byte addresses.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::kNop;
+
+    /** Destination registers (count in n_dst). */
+    std::array<uint8_t, 2> dst{};
+    uint8_t n_dst = 0;
+    /** Source registers (count in n_src). */
+    std::array<uint8_t, 6> src{};
+    uint8_t n_src = 0;
+
+    /** Memory access width per thread, bits (memory ops). */
+    uint16_t width_bits = 0;
+    /** Immediate operand (MOV with n_src == 0; kLoopBegin trip count). */
+    uint32_t imm = 0;
+
+    /** Per-iteration address advance for memory ops inside the loop
+     *  region, bytes. */
+    int64_t loop_stride = 0;
+    /** Extra advance on odd iterations (double buffering), bytes. */
+    int64_t ping_pong = 0;
+
+    /** Per-lane addresses (memory ops only; null otherwise).
+     *  UINT64_MAX marks an inactive lane. */
+    std::unique_ptr<std::array<uint64_t, kWarpSize>> addr;
+
+    /** HMMA decoration (valid when op == kHmma). */
+    HmmaInfo hmma;
+
+    /** Macro-op id for latency profiling; 0 = not part of a macro. */
+    uint32_t macro_id = 0;
+    MacroClass macro_class = MacroClass::kNone;
+    /** Last micro-instruction of its macro op. */
+    bool macro_end = false;
+
+    Instruction() = default;
+    Instruction(const Instruction& other);
+    Instruction& operator=(const Instruction& other);
+    Instruction(Instruction&&) = default;
+    Instruction& operator=(Instruction&&) = default;
+
+    /** Effective address of @p lane at loop iteration @p iter. */
+    uint64_t effective_addr(int lane, int iter) const
+    {
+        uint64_t a = (*addr)[lane];
+        if (a == UINT64_MAX)
+            return a;
+        return a + static_cast<uint64_t>(loop_stride * iter) +
+               static_cast<uint64_t>(ping_pong * (iter & 1));
+    }
+
+    /** Disassembly-style rendering for debugging and the
+     *  microbenchmark replay tooling. */
+    std::string disasm() const;
+
+    bool reads_memory() const { return op == Opcode::kLdg || op == Opcode::kLds; }
+    bool writes_memory() const { return op == Opcode::kStg || op == Opcode::kSts; }
+    bool is_shared_space() const { return op == Opcode::kLds || op == Opcode::kSts; }
+};
+
+/** A warp's full instruction trace. */
+using WarpProgram = std::vector<Instruction>;
+
+/** Inactive-lane marker for Instruction::addr entries. */
+inline constexpr uint64_t kNoAddr = UINT64_MAX;
+
+}  // namespace tcsim

@@ -1,0 +1,416 @@
+#include "kernels/gemm_kernels.h"
+
+#include "common/logging.h"
+#include "kernels/kernel_builder.h"
+#include "sass/hmma_decomposer.h"
+#include "tensor/transactions.h"
+
+namespace tcsim {
+
+namespace {
+
+/** K-loop address stride (bytes) for an operand tile walking the K
+ *  dimension in 16-element chunks. */
+int64_t
+k_stride_bytes(WmmaOperand op, Layout layout, int ld, int ebytes,
+               int kchunk = 16)
+{
+    if (op == WmmaOperand::kA) {
+        // A(m0, k): k advances along columns.
+        return layout == Layout::kRowMajor
+                   ? static_cast<int64_t>(kchunk) * ebytes
+                   : static_cast<int64_t>(kchunk) * ld * ebytes;
+    }
+    // B(k, n0): k advances along rows.
+    return layout == Layout::kRowMajor
+               ? static_cast<int64_t>(kchunk) * ld * ebytes
+               : static_cast<int64_t>(kchunk) * ebytes;
+}
+
+/**
+ * Emit a cooperative global -> shared copy of a (rows x cols) block.
+ * The block keeps its global storage layout in shared memory and is
+ * packed with leading dimension = run length.  Each lane moves
+ * `total / (warps * 32)` contiguous elements with one LDG + one STS.
+ */
+void
+stage_block(WarpBuilder* b, uint64_t block_base, Layout layout, int ld_global,
+            int rows, int cols, int warp, int num_warps,
+            uint64_t shared_base, int64_t k_stride, int ebytes, uint8_t reg,
+            int pad = 0)
+{
+    const int total = rows * cols;
+    const int run_len = layout == Layout::kRowMajor ? cols : rows;
+    const int per_lane = total / (num_warps * kWarpSize);
+    TCSIM_CHECK(per_lane >= 1);
+    TCSIM_CHECK(run_len % per_lane == 0);
+    TCSIM_CHECK(per_lane * ebytes <= 16);
+
+    std::array<uint64_t, kWarpSize> gaddr{};
+    std::array<uint64_t, kWarpSize> saddr{};
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+        int chunk = (warp * kWarpSize + lane) * per_lane;
+        int run = chunk / run_len;
+        int off = chunk % run_len;
+        int r = layout == Layout::kRowMajor ? run : off;
+        int c = layout == Layout::kRowMajor ? off : run;
+        gaddr[lane] =
+            block_base +
+            static_cast<uint64_t>(layout == Layout::kRowMajor
+                                      ? static_cast<int64_t>(r) * ld_global + c
+                                      : static_cast<int64_t>(c) * ld_global +
+                                            r) *
+                ebytes;
+        // Shared copy keeps the storage order but pads each run by
+        // `pad` elements to spread banks (standard conflict avoidance).
+        saddr[lane] = shared_base +
+                      static_cast<uint64_t>(run * (run_len + pad) + off) *
+                          ebytes;
+    }
+    int width = per_lane * ebytes * 8;
+    b->mem(Opcode::kLdg, reg, width, gaddr, k_stride);
+    b->mem(Opcode::kSts, reg, width, saddr);
+}
+
+}  // namespace
+
+KernelDesc
+make_wmma_gemm_naive(const GemmKernelConfig& cfg, const GemmBuffers& buf,
+                     int warps_per_cta)
+{
+    TCSIM_CHECK(cfg.m % 16 == 0 && cfg.n % 16 == 0 && cfg.k % 16 == 0);
+    const int tiles_m = cfg.m / 16;
+    const int tiles_n = cfg.n / 16;
+    const int tiles = tiles_m * tiles_n;
+    const int wpc = std::min(warps_per_cta, tiles);
+
+    const int a_ld = cfg.a_layout == Layout::kRowMajor ? cfg.k : cfg.m;
+    const int b_ld = cfg.b_layout == Layout::kRowMajor ? cfg.n : cfg.k;
+    const int cd_ld = cfg.cd_layout == Layout::kRowMajor ? cfg.n : cfg.m;
+    const int ab_e = element_bytes(WmmaOperand::kA, cfg.mode);
+    const int cd_e = element_bytes(WmmaOperand::kC, cfg.mode);
+
+    WmmaFragRegCounts fr = wmma_fragment_regs(cfg.arch, cfg.mode,
+                                              kShape16x16x16);
+    const uint8_t acc_reg = 4;
+    const uint8_t a_reg = static_cast<uint8_t>(acc_reg + fr.c);
+    const uint8_t b_reg = static_cast<uint8_t>(a_reg + fr.a);
+    const int regs = b_reg + fr.b + 4;
+
+    KernelDesc k;
+    k.name = "wmma_gemm_naive";
+    k.grid_ctas = (tiles + wpc - 1) / wpc;
+    k.warps_per_cta = wpc;
+    k.shared_mem_bytes = 0;
+    k.regs_per_thread = regs;
+    k.functional = cfg.functional;
+    k.trace = [cfg, buf, wpc, tiles, tiles_n, a_ld, b_ld, cd_ld, ab_e, cd_e,
+               acc_reg, a_reg, b_reg](int cta, int w) -> WarpProgram {
+        WarpBuilder bld(cfg.arch);
+        int t = cta * wpc + w;
+        if (t >= tiles)
+            return bld.take();  // idle warp (tail CTA)
+        int tm = t / tiles_n;
+        int tn = t % tiles_n;
+
+        // Accumulator <- C.
+        bld.wmma_load(WmmaOperand::kC, cfg.mode, kShape16x16x16,
+                      cfg.cd_layout, acc_reg,
+                      device_elem_addr(buf.c, cfg.cd_layout, cd_ld, tm * 16,
+                                       tn * 16, cd_e),
+                      cd_ld, /*shared=*/false);
+
+        bld.loop_begin(cfg.k / 16);
+        bld.wmma_load(WmmaOperand::kA, cfg.mode, kShape16x16x16, cfg.a_layout,
+                      a_reg,
+                      device_elem_addr(buf.a, cfg.a_layout, a_ld, tm * 16, 0,
+                                       ab_e),
+                      a_ld, false,
+                      k_stride_bytes(WmmaOperand::kA, cfg.a_layout, a_ld,
+                                     ab_e));
+        bld.wmma_load(WmmaOperand::kB, cfg.mode, kShape16x16x16, cfg.b_layout,
+                      b_reg,
+                      device_elem_addr(buf.b, cfg.b_layout, b_ld, 0, tn * 16,
+                                       ab_e),
+                      b_ld, false,
+                      k_stride_bytes(WmmaOperand::kB, cfg.b_layout, b_ld,
+                                     ab_e));
+        bld.wmma_mma(cfg.mode, kShape16x16x16,
+                     WmmaRegs{.a = a_reg, .b = b_reg, .c = acc_reg,
+                              .d = acc_reg},
+                     cfg.a_layout, cfg.b_layout);
+        bld.loop_end();
+
+        bld.wmma_store(cfg.mode, kShape16x16x16, cfg.cd_layout, acc_reg,
+                       device_elem_addr(buf.d, cfg.cd_layout, cd_ld, tm * 16,
+                                        tn * 16, cd_e),
+                       cd_ld, false);
+        return bld.take();
+    };
+    return k;
+}
+
+KernelDesc
+make_wmma_gemm_shared(const GemmKernelConfig& cfg, const GemmBuffers& buf)
+{
+    constexpr int kBm = 64, kBn = 64, kBk = 16, kWarps = 8;
+    TCSIM_CHECK(cfg.m % kBm == 0 && cfg.n % kBn == 0 && cfg.k % kBk == 0);
+
+    const int a_ld = cfg.a_layout == Layout::kRowMajor ? cfg.k : cfg.m;
+    const int b_ld = cfg.b_layout == Layout::kRowMajor ? cfg.n : cfg.k;
+    const int cd_ld = cfg.cd_layout == Layout::kRowMajor ? cfg.n : cfg.m;
+    const int ab_e = element_bytes(WmmaOperand::kA, cfg.mode);
+    const int cd_e = element_bytes(WmmaOperand::kC, cfg.mode);
+
+    // Shared layout: A block then B block, each kept in its global
+    // storage order with each run padded by 8 elements to avoid bank
+    // conflicts on fragment loads.
+    constexpr int kPad = 8;
+    const int a_runs = cfg.a_layout == Layout::kRowMajor ? kBm : kBk;
+    const int b_runs = cfg.b_layout == Layout::kRowMajor ? kBk : kBn;
+    const int a_sld = (cfg.a_layout == Layout::kRowMajor ? kBk : kBm) + kPad;
+    const int b_sld = (cfg.b_layout == Layout::kRowMajor ? kBn : kBk) + kPad;
+    const uint32_t a_bytes =
+        static_cast<uint32_t>(a_runs * a_sld * ab_e);
+    const uint32_t b_bytes =
+        static_cast<uint32_t>(b_runs * b_sld * ab_e);
+
+    WmmaFragRegCounts fr = wmma_fragment_regs(cfg.arch, cfg.mode,
+                                              kShape16x16x16);
+    const uint8_t acc0 = 4;
+    const uint8_t acc1 = static_cast<uint8_t>(acc0 + fr.c);
+    const uint8_t a_reg = static_cast<uint8_t>(acc1 + fr.c);
+    const uint8_t b0_reg = static_cast<uint8_t>(a_reg + fr.a);
+    const uint8_t b1_reg = static_cast<uint8_t>(b0_reg + fr.b);
+    const uint8_t stage_a = static_cast<uint8_t>(b1_reg + fr.b);
+    const uint8_t stage_b = static_cast<uint8_t>(stage_a + 2);
+    const int regs = stage_b + 2 + 2;
+
+    const int grid_m = cfg.m / kBm;
+    const int grid_n = cfg.n / kBn;
+
+    KernelDesc k;
+    k.name = "wmma_gemm_shared";
+    k.grid_ctas = grid_m * grid_n;
+    k.warps_per_cta = kWarps;
+    k.shared_mem_bytes = a_bytes + b_bytes;
+    k.regs_per_thread = regs;
+    k.functional = cfg.functional;
+    k.trace = [=](int cta, int w) -> WarpProgram {
+        WarpBuilder bld(cfg.arch);
+        const int bm = cta / grid_n;
+        const int bn = cta % grid_n;
+        // 4x2 warp grid over the 64x64 CTA tile: each warp computes a
+        // 16x32 strip = two 16x16 accumulators.
+        const int wr = w / 2;
+        const int wc = w % 2;
+        const int row0 = bm * kBm + wr * 16;    // global output rows
+        const int col0 = bn * kBn + wc * 32;    // global output cols
+
+        // Load C into both accumulators.
+        for (int t = 0; t < 2; ++t) {
+            bld.wmma_load(WmmaOperand::kC, cfg.mode, kShape16x16x16,
+                          cfg.cd_layout, t == 0 ? acc0 : acc1,
+                          device_elem_addr(buf.c, cfg.cd_layout, cd_ld, row0,
+                                           col0 + 16 * t, cd_e),
+                          cd_ld, false);
+        }
+
+        bld.loop_begin(cfg.k / kBk);
+
+        // Stage A (64 x 16) and B (16 x 64) blocks into shared memory.
+        stage_block(&bld,
+                    device_elem_addr(buf.a, cfg.a_layout, a_ld, bm * kBm, 0,
+                                     ab_e),
+                    cfg.a_layout, a_ld, kBm, kBk, w, kWarps, /*shared=*/0,
+                    k_stride_bytes(WmmaOperand::kA, cfg.a_layout, a_ld, ab_e,
+                                   kBk),
+                    ab_e, stage_a, kPad);
+        stage_block(&bld,
+                    device_elem_addr(buf.b, cfg.b_layout, b_ld, 0, bn * kBn,
+                                     ab_e),
+                    cfg.b_layout, b_ld, kBk, kBn, w, kWarps, a_bytes,
+                    k_stride_bytes(WmmaOperand::kB, cfg.b_layout, b_ld, ab_e,
+                                   kBk),
+                    ab_e, stage_b, kPad);
+        bld.bar();
+
+        // Fragment loads from shared (block-local coordinates).
+        bld.wmma_load(WmmaOperand::kA, cfg.mode, kShape16x16x16, cfg.a_layout,
+                      a_reg,
+                      device_elem_addr(0, cfg.a_layout, a_sld, wr * 16, 0,
+                                       ab_e),
+                      a_sld, /*shared=*/true);
+        for (int t = 0; t < 2; ++t) {
+            bld.wmma_load(WmmaOperand::kB, cfg.mode, kShape16x16x16,
+                          cfg.b_layout, t == 0 ? b0_reg : b1_reg,
+                          device_elem_addr(a_bytes, cfg.b_layout, b_sld, 0,
+                                           wc * 32 + 16 * t, ab_e),
+                          b_sld, true);
+            bld.wmma_mma(cfg.mode, kShape16x16x16,
+                         WmmaRegs{.a = a_reg,
+                                  .b = t == 0 ? b0_reg : b1_reg,
+                                  .c = t == 0 ? acc0 : acc1,
+                                  .d = t == 0 ? acc0 : acc1},
+                         cfg.a_layout, cfg.b_layout);
+        }
+        bld.bar();
+        bld.loop_end();
+
+        for (int t = 0; t < 2; ++t) {
+            bld.wmma_store(cfg.mode, kShape16x16x16, cfg.cd_layout,
+                           t == 0 ? acc0 : acc1,
+                           device_elem_addr(buf.d, cfg.cd_layout, cd_ld, row0,
+                                            col0 + 16 * t, cd_e),
+                           cd_ld, false);
+        }
+        return bld.take();
+    };
+    return k;
+}
+
+namespace {
+
+/** Shared FFMA/HFMA2 GEMM skeleton; @p half2 selects packed FP16. */
+KernelDesc
+make_simt_gemm(const GemmKernelConfig& cfg, const GemmBuffers& buf,
+               bool half2)
+{
+    constexpr int kBm = 64, kBn = 64, kBk = 16, kWarps = 8;
+    TCSIM_CHECK(cfg.m % kBm == 0 && cfg.n % kBn == 0 && cfg.k % kBk == 0);
+    const int e = half2 ? 2 : 4;
+    const int a_ld = cfg.a_layout == Layout::kRowMajor ? cfg.k : cfg.m;
+    const int b_ld = cfg.b_layout == Layout::kRowMajor ? cfg.n : cfg.k;
+
+    const uint32_t a_bytes = kBm * kBk * static_cast<uint32_t>(e);
+    const uint32_t b_bytes = kBk * kBn * static_cast<uint32_t>(e);
+
+    // Registers: 16 accumulators + 4 a + 4 b + staging.
+    const uint8_t acc = 4, areg = 20, breg = 24, stage = 28;
+
+    const int grid_m = cfg.m / kBm;
+    const int grid_n = cfg.n / kBn;
+
+    KernelDesc k;
+    k.name = half2 ? "hgemm_hfma2" : "sgemm_ffma";
+    k.grid_ctas = grid_m * grid_n;
+    k.warps_per_cta = kWarps;
+    k.shared_mem_bytes = a_bytes + b_bytes;
+    k.regs_per_thread = 48;
+    k.functional = false;  // timing-only baseline
+    k.trace = [=](int cta, int w) -> WarpProgram {
+        WarpBuilder bld(cfg.arch);
+        const int bm = cta / grid_n;
+        const int bn = cta % grid_n;
+
+        bld.loop_begin(cfg.k / kBk);
+        stage_block(&bld,
+                    device_elem_addr(buf.a, cfg.a_layout, a_ld, bm * kBm, 0,
+                                     e),
+                    cfg.a_layout, a_ld, kBm, kBk, w, kWarps, 0,
+                    k_stride_bytes(WmmaOperand::kA, cfg.a_layout, a_ld, e,
+                                   kBk),
+                    e, stage);
+        stage_block(&bld,
+                    device_elem_addr(buf.b, cfg.b_layout, b_ld, 0, bn * kBn,
+                                     e),
+                    cfg.b_layout, b_ld, kBk, kBn, w, kWarps, a_bytes,
+                    k_stride_bytes(WmmaOperand::kB, cfg.b_layout, b_ld, e,
+                                   kBk),
+                    e, stage + 2);
+        bld.bar();
+
+        // Per k-step operand fetches + MACs.  Each thread owns a 4x4
+        // output block (warp = 16x32 region); with half2 each HFMA2
+        // covers two packed MACs.
+        for (int kk = 0; kk < kBk; ++kk) {
+            std::array<uint64_t, kWarpSize> aaddr{};
+            std::array<uint64_t, kWarpSize> baddr{};
+            for (int lane = 0; lane < kWarpSize; ++lane) {
+                int lr = (lane / 8) * 4;
+                int lc = (lane % 8) * 4;
+                aaddr[lane] = static_cast<uint64_t>(
+                    ((w / 2) * 16 + lr) * kBk + kk) * e;
+                baddr[lane] = a_bytes + static_cast<uint64_t>(
+                    kk * kBn + (w % 2) * 32 + lc) * e;
+            }
+            bld.mem(Opcode::kLds, areg, 64, aaddr);
+            bld.mem(Opcode::kLds, breg, 64, baddr);
+            const int macs = half2 ? 8 : 16;
+            for (int i = 0; i < macs; ++i) {
+                uint8_t d = static_cast<uint8_t>(acc + i % 16);
+                if (half2)
+                    bld.hfma2(d, areg + i % 4, breg + i / 4, d);
+                else
+                    bld.ffma(d, areg + i % 4, breg + i / 4, d);
+            }
+        }
+        bld.bar();
+        bld.loop_end();
+
+        // Epilogue: store the 16 accumulators (one STG.128 x4 per
+        // thread equivalent).
+        std::array<uint64_t, kWarpSize> daddr{};
+        for (int r = 0; r < 4; ++r) {
+            for (int lane = 0; lane < kWarpSize; ++lane) {
+                int lr = (lane / 8) * 4 + r;
+                int lc = (lane % 8) * 4;
+                daddr[lane] = device_elem_addr(
+                    buf.d, Layout::kRowMajor, cfg.n, bm * kBm + (w / 2) * 16 +
+                    lr, bn * kBn + (w % 2) * 32 + lc, e);
+            }
+            bld.mem(Opcode::kStg, static_cast<uint8_t>(acc + 4 * r),
+                    32 * (half2 ? 2 : 4), daddr);
+        }
+        return bld.take();
+    };
+    return k;
+}
+
+}  // namespace
+
+KernelDesc
+make_sgemm_ffma(const GemmKernelConfig& cfg, const GemmBuffers& buf)
+{
+    return make_simt_gemm(cfg, buf, false);
+}
+
+KernelDesc
+make_hgemm_hfma2(const GemmKernelConfig& cfg, const GemmBuffers& buf)
+{
+    return make_simt_gemm(cfg, buf, true);
+}
+
+KernelDesc
+make_hmma_stress(Arch arch, TcMode mode, int ctas, int warps_per_cta,
+                 int wmma_per_warp, int accumulators)
+{
+    TCSIM_CHECK(accumulators >= 1 && accumulators <= 4);
+    TCSIM_CHECK(wmma_per_warp % accumulators == 0);
+    WmmaFragRegCounts fr = wmma_fragment_regs(arch, mode, kShape16x16x16);
+
+    KernelDesc k;
+    k.name = "hmma_stress";
+    k.grid_ctas = ctas;
+    k.warps_per_cta = warps_per_cta;
+    k.regs_per_thread = 8 + fr.a + fr.b + 4 * fr.c;
+    k.functional = false;
+    k.trace = [=](int, int) -> WarpProgram {
+        WarpBuilder bld(arch);
+        const uint8_t a_reg = 8;
+        const uint8_t b_reg = static_cast<uint8_t>(a_reg + fr.a);
+        const uint8_t acc0 = static_cast<uint8_t>(b_reg + fr.b);
+        bld.loop_begin(wmma_per_warp / accumulators);
+        for (int j = 0; j < accumulators; ++j) {
+            uint8_t acc = static_cast<uint8_t>(acc0 + j * fr.c);
+            bld.wmma_mma(mode, kShape16x16x16,
+                         WmmaRegs{.a = a_reg, .b = b_reg, .c = acc, .d = acc},
+                         Layout::kRowMajor, Layout::kColMajor);
+        }
+        bld.loop_end();
+        return bld.take();
+    };
+    return k;
+}
+
+}  // namespace tcsim

@@ -1,0 +1,64 @@
+#pragma once
+/**
+ * @file
+ * The GEMM kernel zoo the evaluation runs on the simulator:
+ *
+ *  - wmma naive:   one 16x16 output tile per warp, operands streamed
+ *                  from global memory (the paper's Fig 16 "w/o shared
+ *                  mem" configuration).
+ *  - wmma shared:  64x64 CTA tile staged through shared memory (the
+ *                  paper's optimized WMMA kernel, Figs 14a/15/16).
+ *  - ffma sgemm /  FP32 / packed-FP16 SIMT baselines (the
+ *    hfma2 hgemm:  CUBLAS_WO_TC curves of Fig 17).
+ *  - hmma stress:  register-resident back-to-back wmma.mma (the
+ *                  "MAX PERF" kernel of Fig 17 and the warp-scaling
+ *                  microbenchmark of Fig 12c).
+ */
+
+#include "arch/gpu_config.h"
+#include "kernels/gemm_problem.h"
+#include "sim/kernel_desc.h"
+#include "tensor/types.h"
+
+namespace tcsim {
+
+/** Common GEMM kernel parameters. */
+struct GemmKernelConfig
+{
+    Arch arch = Arch::kVolta;
+    TcMode mode = TcMode::kMixed;
+    int m = 256, n = 256, k = 256;
+    Layout a_layout = Layout::kRowMajor;
+    Layout b_layout = Layout::kRowMajor;
+    Layout cd_layout = Layout::kRowMajor;
+    bool functional = true;
+};
+
+/** Naive WMMA GEMM: one output tile per warp, no shared memory. */
+KernelDesc make_wmma_gemm_naive(const GemmKernelConfig& cfg,
+                                const GemmBuffers& buf,
+                                int warps_per_cta = 8);
+
+/** Shared-memory WMMA GEMM: 64x64 CTA tile, 8 warps, BK = 16. */
+KernelDesc make_wmma_gemm_shared(const GemmKernelConfig& cfg,
+                                 const GemmBuffers& buf);
+
+/** FP32 SIMT GEMM baseline (no tensor cores). */
+KernelDesc make_sgemm_ffma(const GemmKernelConfig& cfg,
+                           const GemmBuffers& buf);
+
+/** Packed FP16 SIMT GEMM baseline (no tensor cores). */
+KernelDesc make_hgemm_hfma2(const GemmKernelConfig& cfg,
+                            const GemmBuffers& buf);
+
+/**
+ * Register-resident HMMA stress kernel: @p wmma_per_warp back-to-back
+ * mma_sync ops rotating over @p accumulators accumulator fragments.
+ * Used for the Fig 12c warp-scaling microbenchmark and the Fig 17
+ * MAX PERF series.
+ */
+KernelDesc make_hmma_stress(Arch arch, TcMode mode, int ctas,
+                            int warps_per_cta, int wmma_per_warp,
+                            int accumulators = 4);
+
+}  // namespace tcsim

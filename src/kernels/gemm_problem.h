@@ -1,0 +1,119 @@
+#pragma once
+/**
+ * @file
+ * Host-side GEMM problem setup: allocates operand matrices in
+ * simulated device memory, uploads deterministic pseudo-random data,
+ * and verifies simulated results against the host reference.
+ */
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.h"
+#include "sim/mem/global_memory.h"
+#include "tensor/matrix.h"
+
+namespace tcsim {
+
+/** Device addresses of the four GEMM operands. */
+struct GemmBuffers
+{
+    uint64_t a = 0;
+    uint64_t b = 0;
+    uint64_t c = 0;
+    uint64_t d = 0;
+};
+
+/** Deterministic small pseudo-random half in [-2, 2). */
+inline half
+gemm_test_value(uint32_t seed)
+{
+    seed = seed * 1664525u + 1013904223u;
+    return half(static_cast<float>((seed >> 8) % 1024) / 256.0f - 2.0f);
+}
+
+/**
+ * A D = A x B + C problem with FP16 inputs and Acc accumulators
+ * (float = mixed precision, half = FP16 mode).
+ */
+template <typename Acc>
+class GemmProblem
+{
+  public:
+    GemmProblem(int m, int n, int k, Layout a_layout, Layout b_layout,
+                Layout cd_layout = Layout::kRowMajor)
+        : m_(m), n_(n), k_(k), a_(m, k, a_layout), b_(k, n, b_layout),
+          c_(m, n, cd_layout)
+    {
+        a_.fill([&](int r, int c) {
+            return gemm_test_value(static_cast<uint32_t>(r * k_ + c));
+        });
+        b_.fill([&](int r, int c) {
+            return gemm_test_value(static_cast<uint32_t>(7777 + r * n_ + c));
+        });
+        c_.fill([](int r, int c) {
+            return Acc(0.0625f * static_cast<float>((r - c) % 16));
+        });
+    }
+
+    /** Allocate and upload operands; D is allocated zeroed. */
+    GemmBuffers upload(GlobalMemory* mem) const
+    {
+        GemmBuffers buf;
+        buf.a = mem->alloc(a_.size_bytes());
+        buf.b = mem->alloc(b_.size_bytes());
+        buf.c = mem->alloc(c_.size_bytes());
+        buf.d = mem->alloc(c_.size_bytes());
+        mem->write(buf.a, a_.data(), a_.size_bytes());
+        mem->write(buf.b, b_.data(), b_.size_bytes());
+        mem->write(buf.c, c_.data(), c_.size_bytes());
+        return buf;
+    }
+
+    /** Max |D - ref| / (1 + |ref|) over all elements. */
+    double verify(const GlobalMemory& mem, uint64_t d_addr) const
+    {
+        HostMatrix<Acc> d(m_, n_, c_.layout());
+        mem.read(d_addr, d.data(), d.size_bytes());
+        HostMatrix<Acc> ref(m_, n_, c_.layout());
+        reference_gemm(a_, b_, c_, ref);
+        double worst = 0.0;
+        for (int r = 0; r < m_; ++r) {
+            for (int cc = 0; cc < n_; ++cc) {
+                double got = static_cast<float>(d.at(r, cc));
+                double want = static_cast<float>(ref.at(r, cc));
+                double err = std::abs(got - want) / (1.0 + std::abs(want));
+                worst = std::max(worst, err);
+            }
+        }
+        return worst;
+    }
+
+    int m() const { return m_; }
+    int n() const { return n_; }
+    int k() const { return k_; }
+    double flops() const { return 2.0 * m_ * n_ * k_; }
+
+    const HostMatrix<half>& a() const { return a_; }
+    const HostMatrix<half>& b() const { return b_; }
+    const HostMatrix<Acc>& c() const { return c_; }
+
+  private:
+    int m_, n_, k_;
+    HostMatrix<half> a_;
+    HostMatrix<half> b_;
+    HostMatrix<Acc> c_;
+};
+
+/** Byte address of element (r, c) of a device matrix. */
+inline uint64_t
+device_elem_addr(uint64_t base, Layout layout, int ld, int r, int c,
+                 int ebytes)
+{
+    int64_t idx = layout == Layout::kRowMajor
+                      ? static_cast<int64_t>(r) * ld + c
+                      : static_cast<int64_t>(c) * ld + r;
+    return base + static_cast<uint64_t>(idx) * ebytes;
+}
+
+}  // namespace tcsim

@@ -1,0 +1,247 @@
+#include "kernels/kernel_builder.h"
+
+#include "common/logging.h"
+#include "kernels/wmma_api.h"
+#include "tensor/transactions.h"
+
+namespace tcsim {
+
+namespace {
+
+MacroClass
+load_macro_class(WmmaOperand op)
+{
+    switch (op) {
+      case WmmaOperand::kA: return MacroClass::kWmmaLoadA;
+      case WmmaOperand::kB: return MacroClass::kWmmaLoadB;
+      case WmmaOperand::kC: return MacroClass::kWmmaLoadC;
+      case WmmaOperand::kD: return MacroClass::kWmmaStoreD;
+    }
+    return MacroClass::kNone;
+}
+
+}  // namespace
+
+void
+WarpBuilder::wmma_load(WmmaOperand op, TcMode mode, TileShape shape,
+                       Layout layout, uint8_t base_reg, uint64_t tile_addr,
+                       int ld_elems, bool shared, int64_t loop_stride,
+                       int64_t ping_pong)
+{
+    const FragmentMap& map =
+        cached_fragment_map(arch_, op, shape, mode, layout);
+    const auto& ops = cached_memory_ops(map, ld_elems);
+    const int ebytes = element_bytes(op, mode);
+    const uint32_t macro = next_macro_id();
+    const MacroClass mc = load_macro_class(op);
+
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const MemAccessDesc& d = ops[i];
+        Instruction inst;
+        inst.op = shared ? Opcode::kLds : Opcode::kLdg;
+        inst.width_bits = static_cast<uint16_t>(d.width_bits);
+        inst.n_dst = 1;
+        inst.dst[0] = static_cast<uint8_t>(base_reg +
+                                           d.first_slot * ebytes / 4);
+        inst.addr = std::make_unique<std::array<uint64_t, kWarpSize>>();
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            (*inst.addr)[lane] =
+                d.lane_offset[lane] == kInactiveLane
+                    ? kNoAddr
+                    : tile_addr + static_cast<uint64_t>(d.lane_offset[lane]);
+        }
+        inst.loop_stride = loop_stride;
+        inst.ping_pong = ping_pong;
+        inst.macro_id = macro;
+        inst.macro_class = mc;
+        inst.macro_end = i + 1 == ops.size();
+        prog_.push_back(std::move(inst));
+    }
+}
+
+void
+WarpBuilder::wmma_mma(TcMode mode, TileShape shape, const WmmaRegs& regs,
+                      Layout a_layout, Layout b_layout)
+{
+    auto group = decompose_wmma_mma(arch_, mode, shape, regs, a_layout,
+                                    b_layout, next_macro_id());
+    for (auto& inst : group)
+        prog_.push_back(std::move(inst));
+}
+
+void
+WarpBuilder::wmma_store(TcMode mode, TileShape shape, Layout layout,
+                        uint8_t base_reg, uint64_t tile_addr, int ld_elems,
+                        bool shared, int64_t loop_stride, int64_t ping_pong)
+{
+    const FragmentMap& map =
+        cached_fragment_map(arch_, WmmaOperand::kD, shape, mode, layout);
+    const auto& ops = cached_memory_ops(map, ld_elems);
+    const int ebytes = element_bytes(WmmaOperand::kD, mode);
+    const uint32_t macro = next_macro_id();
+
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const MemAccessDesc& d = ops[i];
+        Instruction inst;
+        inst.op = shared ? Opcode::kSts : Opcode::kStg;
+        inst.width_bits = static_cast<uint16_t>(d.width_bits);
+        inst.n_src = 1;
+        inst.src[0] = static_cast<uint8_t>(base_reg +
+                                           d.first_slot * ebytes / 4);
+        inst.addr = std::make_unique<std::array<uint64_t, kWarpSize>>();
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            (*inst.addr)[lane] =
+                d.lane_offset[lane] == kInactiveLane
+                    ? kNoAddr
+                    : tile_addr + static_cast<uint64_t>(d.lane_offset[lane]);
+        }
+        inst.loop_stride = loop_stride;
+        inst.ping_pong = ping_pong;
+        inst.macro_id = macro;
+        inst.macro_class = MacroClass::kWmmaStoreD;
+        inst.macro_end = i + 1 == ops.size();
+        prog_.push_back(std::move(inst));
+    }
+}
+
+void
+WarpBuilder::mem(Opcode op, uint8_t reg, int width_bits,
+                 const std::array<uint64_t, kWarpSize>& addrs,
+                 int64_t loop_stride, int64_t ping_pong, MacroClass mc,
+                 bool macro_end)
+{
+    TCSIM_CHECK(is_memory_opcode(op));
+    Instruction inst;
+    inst.op = op;
+    inst.width_bits = static_cast<uint16_t>(width_bits);
+    if (op == Opcode::kLdg || op == Opcode::kLds) {
+        inst.n_dst = 1;
+        inst.dst[0] = reg;
+    } else {
+        inst.n_src = 1;
+        inst.src[0] = reg;
+    }
+    inst.addr = std::make_unique<std::array<uint64_t, kWarpSize>>(addrs);
+    inst.loop_stride = loop_stride;
+    inst.ping_pong = ping_pong;
+    if (mc != MacroClass::kNone) {
+        inst.macro_id = next_macro_id();
+        inst.macro_class = mc;
+        inst.macro_end = macro_end;
+    }
+    prog_.push_back(std::move(inst));
+}
+
+void
+WarpBuilder::ffma(uint8_t d, uint8_t a, uint8_t b, uint8_t c)
+{
+    Instruction inst;
+    inst.op = Opcode::kFfma;
+    inst.n_dst = 1;
+    inst.dst[0] = d;
+    inst.n_src = 3;
+    inst.src[0] = a;
+    inst.src[1] = b;
+    inst.src[2] = c;
+    prog_.push_back(std::move(inst));
+}
+
+void
+WarpBuilder::hfma2(uint8_t d, uint8_t a, uint8_t b, uint8_t c)
+{
+    Instruction inst;
+    inst.op = Opcode::kHfma2;
+    inst.n_dst = 1;
+    inst.dst[0] = d;
+    inst.n_src = 3;
+    inst.src[0] = a;
+    inst.src[1] = b;
+    inst.src[2] = c;
+    prog_.push_back(std::move(inst));
+}
+
+void
+WarpBuilder::iadd(uint8_t d, uint8_t a, uint8_t b)
+{
+    Instruction inst;
+    inst.op = Opcode::kIadd;
+    inst.n_dst = 1;
+    inst.dst[0] = d;
+    inst.n_src = 2;
+    inst.src[0] = a;
+    inst.src[1] = b;
+    prog_.push_back(std::move(inst));
+}
+
+void
+WarpBuilder::mov_imm(uint8_t d, uint32_t imm)
+{
+    Instruction inst;
+    inst.op = Opcode::kMov;
+    inst.n_dst = 1;
+    inst.dst[0] = d;
+    inst.imm = imm;
+    prog_.push_back(std::move(inst));
+}
+
+void
+WarpBuilder::cs2r(uint8_t d)
+{
+    Instruction inst;
+    inst.op = Opcode::kCs2r;
+    inst.n_dst = 1;
+    inst.dst[0] = d;
+    prog_.push_back(std::move(inst));
+}
+
+void
+WarpBuilder::bar()
+{
+    Instruction inst;
+    inst.op = Opcode::kBarSync;
+    prog_.push_back(std::move(inst));
+}
+
+void
+WarpBuilder::nop()
+{
+    Instruction inst;
+    inst.op = Opcode::kNop;
+    prog_.push_back(std::move(inst));
+}
+
+void
+WarpBuilder::loop_begin(int trips)
+{
+    TCSIM_CHECK(trips >= 1);
+    TCSIM_CHECK(!in_loop_);
+    TCSIM_CHECK(!had_loop_);  // one loop region per trace
+    in_loop_ = true;
+    had_loop_ = true;
+    Instruction inst;
+    inst.op = Opcode::kLoopBegin;
+    inst.imm = static_cast<uint32_t>(trips);
+    prog_.push_back(std::move(inst));
+}
+
+void
+WarpBuilder::loop_end()
+{
+    TCSIM_CHECK(in_loop_);
+    in_loop_ = false;
+    Instruction inst;
+    inst.op = Opcode::kLoopEnd;
+    prog_.push_back(std::move(inst));
+}
+
+WarpProgram
+WarpBuilder::take()
+{
+    TCSIM_CHECK(!in_loop_);
+    Instruction inst;
+    inst.op = Opcode::kExit;
+    prog_.push_back(std::move(inst));
+    return std::move(prog_);
+}
+
+}  // namespace tcsim

@@ -1,0 +1,87 @@
+#pragma once
+/**
+ * @file
+ * WarpBuilder: the device-code DSL kernels use to emit per-warp
+ * instruction traces.  Provides both raw SASS-level emitters and the
+ * CUDA WMMA API level (load_matrix_sync / mma_sync /
+ * store_matrix_sync), which expand exactly as Section III-C observed:
+ * wmma.load/store into LD/ST groups, wmma.mma into HMMA groups.
+ */
+
+#include <array>
+#include <cstdint>
+
+#include "arch/gpu_config.h"
+#include "isa/instruction.h"
+#include "sass/hmma_decomposer.h"
+#include "tensor/types.h"
+
+namespace tcsim {
+
+/** Builds one warp's instruction trace. */
+class WarpBuilder
+{
+  public:
+    explicit WarpBuilder(Arch arch) : arch_(arch) {}
+
+    // ---- WMMA API (warp-level matrix operations) ----
+
+    /**
+     * load_matrix_sync: load the @p op fragment of a tile whose (0,0)
+     * element lives at byte address @p tile_addr in a matrix with
+     * leading dimension @p ld_elems stored in @p layout.
+     * @p shared selects shared-memory (LDS) vs global (LDG) accesses.
+     * @p loop_stride / @p ping_pong advance the address per loop
+     * iteration (see Instruction).
+     */
+    void wmma_load(WmmaOperand op, TcMode mode, TileShape shape,
+                   Layout layout, uint8_t base_reg, uint64_t tile_addr,
+                   int ld_elems, bool shared, int64_t loop_stride = 0,
+                   int64_t ping_pong = 0);
+
+    /** mma_sync: D = A x B + C on register fragments. */
+    void wmma_mma(TcMode mode, TileShape shape, const WmmaRegs& regs,
+                  Layout a_layout, Layout b_layout);
+
+    /** store_matrix_sync for the D fragment. */
+    void wmma_store(TcMode mode, TileShape shape, Layout layout,
+                    uint8_t base_reg, uint64_t tile_addr, int ld_elems,
+                    bool shared, int64_t loop_stride = 0,
+                    int64_t ping_pong = 0);
+
+    // ---- Raw emitters ----
+
+    /** Warp-wide memory instruction with explicit per-lane addresses. */
+    void mem(Opcode op, uint8_t reg, int width_bits,
+             const std::array<uint64_t, kWarpSize>& addrs,
+             int64_t loop_stride = 0, int64_t ping_pong = 0,
+             MacroClass mc = MacroClass::kNone, bool macro_end = false);
+
+    void ffma(uint8_t d, uint8_t a, uint8_t b, uint8_t c);
+    void hfma2(uint8_t d, uint8_t a, uint8_t b, uint8_t c);
+    void iadd(uint8_t d, uint8_t a, uint8_t b);
+    void mov_imm(uint8_t d, uint32_t imm);
+    void cs2r(uint8_t d);
+    void bar();
+    void nop();
+
+    /** Open the trace's single loop region (@p trips >= 1). */
+    void loop_begin(int trips);
+    void loop_end();
+
+    /** Terminate the warp and return the finished trace. */
+    WarpProgram take();
+
+    Arch arch() const { return arch_; }
+
+  private:
+    uint32_t next_macro_id() { return next_macro_++; }
+
+    Arch arch_;
+    WarpProgram prog_;
+    uint32_t next_macro_ = 1;
+    bool in_loop_ = false;
+    bool had_loop_ = false;
+};
+
+}  // namespace tcsim

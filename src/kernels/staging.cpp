@@ -1,0 +1,123 @@
+#include "kernels/staging.h"
+
+#include "common/logging.h"
+
+namespace tcsim {
+
+uint32_t
+staged_block_bytes(Layout layout, int rows, int cols, int ebytes, int pad)
+{
+    int runs = layout == Layout::kRowMajor ? rows : cols;
+    int run_len = layout == Layout::kRowMajor ? cols : rows;
+    return static_cast<uint32_t>(runs * (run_len + pad) * ebytes);
+}
+
+namespace {
+
+/** Chunking of the block copy across lanes/parts. */
+struct StagePlan
+{
+    int chunk_elems;
+    int parts;
+    int run_len;
+};
+
+StagePlan
+plan_stage(const StageBlockParams& p)
+{
+    const int total = p.rows * p.cols;
+    const int run_len = p.layout == Layout::kRowMajor ? p.cols : p.rows;
+    const int lanes_total = p.num_warps * kWarpSize;
+    TCSIM_CHECK(total % lanes_total == 0);
+    const int per_lane = total / lanes_total;
+    TCSIM_CHECK(per_lane >= 1);
+
+    // Split the per-lane share into <=16-byte contiguous chunks.
+    int chunk_elems = per_lane;
+    while (chunk_elems * p.ebytes > 16)
+        chunk_elems /= 2;
+    TCSIM_CHECK(chunk_elems >= 1);
+    TCSIM_CHECK(per_lane % chunk_elems == 0);
+    TCSIM_CHECK(run_len % chunk_elems == 0);
+    int parts = per_lane / chunk_elems;
+    // Each part owns a private 4-register staging window.
+    TCSIM_CHECK(parts <= 4);
+    return {chunk_elems, parts, run_len};
+}
+
+/** Per-lane global and shared addresses of one part. */
+void
+part_addresses(const StageBlockParams& p, const StagePlan& plan, int part,
+               std::array<uint64_t, kWarpSize>* gaddr,
+               std::array<uint64_t, kWarpSize>* saddr)
+{
+    const int lanes_total = p.num_warps * kWarpSize;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+        // Chunks are distributed so that consecutive lanes cover
+        // consecutive chunks (coalesced within each part).
+        int chunk_index = part * lanes_total + p.warp * kWarpSize + lane;
+        int elem = chunk_index * plan.chunk_elems;
+        int run = elem / plan.run_len;
+        int off = elem % plan.run_len;
+        int r = p.layout == Layout::kRowMajor ? run : off;
+        int c = p.layout == Layout::kRowMajor ? off : run;
+        (*gaddr)[lane] =
+            p.block_base +
+            static_cast<uint64_t>(
+                p.layout == Layout::kRowMajor
+                    ? static_cast<int64_t>(r) * p.ld_global + c
+                    : static_cast<int64_t>(c) * p.ld_global + r) *
+                p.ebytes;
+        (*saddr)[lane] = p.shared_base +
+                         static_cast<uint64_t>(run * (plan.run_len + p.pad) +
+                                               off) *
+                             p.ebytes;
+    }
+}
+
+}  // namespace
+
+void
+stage_block_ldg(WarpBuilder* b, const StageBlockParams& p)
+{
+    StagePlan plan = plan_stage(p);
+    for (int part = 0; part < plan.parts; ++part) {
+        std::array<uint64_t, kWarpSize> gaddr{};
+        std::array<uint64_t, kWarpSize> saddr{};
+        part_addresses(p, plan, part, &gaddr, &saddr);
+        int width = plan.chunk_elems * p.ebytes * 8;
+        b->mem(Opcode::kLdg, static_cast<uint8_t>(p.reg + 4 * part), width,
+               gaddr, p.k_stride);
+    }
+}
+
+void
+stage_block_sts(WarpBuilder* b, const StageBlockParams& p)
+{
+    StagePlan plan = plan_stage(p);
+    for (int part = 0; part < plan.parts; ++part) {
+        std::array<uint64_t, kWarpSize> gaddr{};
+        std::array<uint64_t, kWarpSize> saddr{};
+        part_addresses(p, plan, part, &gaddr, &saddr);
+        int width = plan.chunk_elems * p.ebytes * 8;
+        b->mem(Opcode::kSts, static_cast<uint8_t>(p.reg + 4 * part), width,
+               saddr, 0, p.ping_pong);
+    }
+}
+
+void
+stage_block(WarpBuilder* b, const StageBlockParams& p)
+{
+    StagePlan plan = plan_stage(p);
+    for (int part = 0; part < plan.parts; ++part) {
+        std::array<uint64_t, kWarpSize> gaddr{};
+        std::array<uint64_t, kWarpSize> saddr{};
+        part_addresses(p, plan, part, &gaddr, &saddr);
+        int width = plan.chunk_elems * p.ebytes * 8;
+        uint8_t reg = static_cast<uint8_t>(p.reg + 4 * part);
+        b->mem(Opcode::kLdg, reg, width, gaddr, p.k_stride);
+        b->mem(Opcode::kSts, reg, width, saddr, 0, p.ping_pong);
+    }
+}
+
+}  // namespace tcsim

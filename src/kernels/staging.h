@@ -1,0 +1,54 @@
+#pragma once
+/**
+ * @file
+ * Cooperative global->shared staging of operand blocks, shared by the
+ * WMMA GEMM kernels and the mini-CUTLASS templates.
+ */
+
+#include <cstdint>
+
+#include "kernels/kernel_builder.h"
+#include "tensor/types.h"
+
+namespace tcsim {
+
+/** Parameters of one cooperative block copy. */
+struct StageBlockParams
+{
+    uint64_t block_base = 0;   ///< Global byte address of block (0,0).
+    Layout layout = Layout::kRowMajor;
+    int ld_global = 0;         ///< Global leading dimension (elements).
+    int rows = 0, cols = 0;    ///< Block extent.
+    int warp = 0;              ///< This warp's id within the CTA.
+    int num_warps = 1;
+    uint64_t shared_base = 0;  ///< Shared byte offset of the block copy.
+    int64_t k_stride = 0;      ///< Global address advance per loop iter.
+    int64_t ping_pong = 0;     ///< Shared-address toggle (double buffer).
+    int ebytes = 2;
+    uint8_t reg = 0;           ///< First staging register (uses reg..reg+7).
+    int pad = 0;               ///< Padding elements per run in shared.
+};
+
+/**
+ * Emit the LDG+STS pairs copying the block; splits into multiple
+ * <=16-byte chunks per lane when the per-lane share exceeds one
+ * 128-bit access.  The shared copy keeps the global storage order
+ * with each run padded by `pad` elements.
+ */
+void stage_block(WarpBuilder* b, const StageBlockParams& p);
+
+/**
+ * Split emission for software pipelining: `stage_block_ldg` emits
+ * only the global loads into the staging registers and
+ * `stage_block_sts` only the shared stores, so compute instructions
+ * can be scheduled between them (the LDG latency is then hidden by
+ * the math instead of stalling the in-order warp at the STS).
+ */
+void stage_block_ldg(WarpBuilder* b, const StageBlockParams& p);
+void stage_block_sts(WarpBuilder* b, const StageBlockParams& p);
+
+/** Shared-memory bytes occupied by a staged block (with padding). */
+uint32_t staged_block_bytes(Layout layout, int rows, int cols, int ebytes,
+                            int pad);
+
+}  // namespace tcsim

@@ -1,0 +1,52 @@
+#include "kernels/wmma_api.h"
+
+#include <map>
+#include <memory>
+
+namespace tcsim {
+
+const FragmentMap&
+cached_fragment_map(Arch arch, WmmaOperand op, TileShape shape, TcMode mode,
+                    Layout layout)
+{
+    struct Key
+    {
+        Arch arch;
+        WmmaOperand op;
+        int m, n, k;
+        TcMode mode;
+        Layout layout;
+        auto operator<=>(const Key&) const = default;
+    };
+    static std::map<Key, std::unique_ptr<FragmentMap>> cache;
+
+    Key key{arch, op, shape.m, shape.n, shape.k, mode, layout};
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(key, std::make_unique<FragmentMap>(fragment_map(
+                                   arch, op, shape, mode, layout)))
+                 .first;
+    }
+    return *it->second;
+}
+
+const std::vector<MemAccessDesc>&
+cached_memory_ops(const FragmentMap& map, int ld_elems)
+{
+    struct Key
+    {
+        const FragmentMap* map;
+        int ld;
+        auto operator<=>(const Key&) const = default;
+    };
+    static std::map<Key, std::vector<MemAccessDesc>> cache;
+
+    Key key{&map, ld_elems};
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, wmma_memory_ops(map, ld_elems)).first;
+    return it->second;
+}
+
+}  // namespace tcsim

@@ -1,0 +1,25 @@
+#pragma once
+/**
+ * @file
+ * Cached WMMA metadata: fragment maps and their memory-op expansions
+ * are immutable per configuration, so kernels share one instance
+ * instead of rebuilding them per warp trace.
+ */
+
+#include <vector>
+
+#include "tensor/fragment.h"
+#include "tensor/transactions.h"
+
+namespace tcsim {
+
+/** Shared fragment map for (arch, op, shape, mode, layout). */
+const FragmentMap& cached_fragment_map(Arch arch, WmmaOperand op,
+                                       TileShape shape, TcMode mode,
+                                       Layout layout);
+
+/** Shared wmma.load/store memory-op expansion for (map, ld). */
+const std::vector<MemAccessDesc>& cached_memory_ops(const FragmentMap& map,
+                                                    int ld_elems);
+
+}  // namespace tcsim

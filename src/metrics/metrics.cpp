@@ -1,0 +1,50 @@
+#include "metrics/metrics.h"
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace tcsim {
+namespace metrics {
+
+CorrelationReport
+correlate(const std::vector<IpcPoint>& points)
+{
+    TCSIM_CHECK(points.size() >= 2);
+    std::vector<double> hw, sim;
+    hw.reserve(points.size());
+    sim.reserve(points.size());
+    for (const auto& p : points) {
+        hw.push_back(p.hw_ipc);
+        sim.push_back(p.sim_ipc);
+    }
+    CorrelationReport r;
+    r.pearson = stats::pearson(hw, sim);
+    r.correlation_pct = 100.0 * r.pearson;
+    r.mean_abs_rel_err_pct = stats::mean_abs_rel_error_pct(hw, sim);
+    r.rel_stddev_pct = stats::rel_stddev_pct(hw, sim);
+    r.points = points.size();
+    return r;
+}
+
+TextTable
+scatter_table(const std::string& title, const std::vector<IpcPoint>& points)
+{
+    TextTable t(title);
+    t.set_header({"config", "hw_ipc", "sim_ipc", "sim/hw"});
+    for (const auto& p : points) {
+        t.add_row({p.label, fmt_double(p.hw_ipc, 1), fmt_double(p.sim_ipc, 1),
+                   fmt_double(p.sim_ipc / p.hw_ipc, 3)});
+    }
+    return t;
+}
+
+double
+tflops(double flops, double cycles, double clock_ghz)
+{
+    TCSIM_CHECK(cycles > 0.0);
+    double seconds = cycles / (clock_ghz * 1e9);
+    return flops / seconds / 1e12;
+}
+
+}  // namespace metrics
+}  // namespace tcsim

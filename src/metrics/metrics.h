@@ -1,0 +1,45 @@
+#pragma once
+/**
+ * @file
+ * Evaluation metrics and report helpers: IPC correlation in the form
+ * the paper reports (Fig 14b), TFLOPS conversion, and scatter/series
+ * table emission for the benchmark harness.
+ */
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+
+namespace tcsim {
+namespace metrics {
+
+/** One (hardware, simulator) observation pair. */
+struct IpcPoint
+{
+    std::string label;
+    double hw_ipc = 0.0;
+    double sim_ipc = 0.0;
+};
+
+/** Correlation summary over a set of observations. */
+struct CorrelationReport
+{
+    double pearson = 0.0;            ///< Correlation coefficient.
+    double correlation_pct = 0.0;    ///< 100 x pearson (paper's metric).
+    double mean_abs_rel_err_pct = 0.0;
+    double rel_stddev_pct = 0.0;
+    size_t points = 0;
+};
+
+CorrelationReport correlate(const std::vector<IpcPoint>& points);
+
+/** Render the scatter points plus the summary line. */
+TextTable scatter_table(const std::string& title,
+                        const std::vector<IpcPoint>& points);
+
+/** TFLOPS from total FLOPs, cycles and a core clock in GHz. */
+double tflops(double flops, double cycles, double clock_ghz);
+
+}  // namespace metrics
+}  // namespace tcsim

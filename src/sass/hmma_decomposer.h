@@ -1,0 +1,114 @@
+#pragma once
+/**
+ * @file
+ * Decomposition of wmma.mma PTX instructions into HMMA SASS
+ * instruction groups (Section III-C/III-D of the paper) and the
+ * subtile geometry of each set/step (Fig 10, Fig 11, Tables II/III).
+ *
+ * Volta: mixed precision -> 4 sets x 4 steps (16 HMMAs);
+ *        FP16           -> 4 sets x 2 steps (8 HMMAs).
+ * Turing: 4 HMMAs (one per set) for all modes except INT4, which is
+ *        a single HMMA.
+ */
+
+#include <vector>
+
+#include "arch/gpu_config.h"
+#include "isa/instruction.h"
+#include "tensor/types.h"
+
+namespace tcsim {
+
+/** Inclusive 2-D element range within an operand tile. */
+struct SubtileRange
+{
+    int row0 = 0, row1 = 0;
+    int col0 = 0, col1 = 0;
+
+    bool operator==(const SubtileRange&) const = default;
+    int rows() const { return row1 - row0 + 1; }
+    int cols() const { return col1 - col0 + 1; }
+};
+
+/**
+ * The computation performed by one threadgroup in one Volta HMMA
+ * step: D[cd] += A[a] x B[b] in global tile coordinates (Table III).
+ */
+struct VoltaStepCompute
+{
+    SubtileRange a;   ///< rows of A used x K chunk.
+    SubtileRange b;   ///< K chunk x columns of B used.
+    SubtileRange cd;  ///< accumulator region written.
+};
+
+/**
+ * Geometry of a Volta HMMA step for one threadgroup.
+ *
+ * @param mode  kMixed or kFp16.
+ * @param tg    threadgroup id [0, 8).
+ * @param set   set index [0, 4).
+ * @param step  step index [0, 4) mixed, [0, 2) FP16.
+ */
+VoltaStepCompute volta_step_compute(TcMode mode, int tg, int set, int step);
+
+/** Steps per set on Volta: 4 in mixed precision, 2 in FP16. */
+int volta_steps_per_set(TcMode mode);
+
+/**
+ * The warp-level computation of one Turing HMMA set (Fig 11).
+ */
+struct TuringSetCompute
+{
+    SubtileRange a;
+    SubtileRange b;
+    SubtileRange cd;
+};
+
+TuringSetCompute turing_set_compute(TcMode mode, TileShape shape, int set);
+
+/** Number of HMMA instructions (sets) per wmma.mma on Turing. */
+int turing_num_sets(TcMode mode);
+
+/**
+ * Octet operand footprint (Table II): the union of the subtiles of
+ * operand matrices A and B accessed by the two threadgroups of octet
+ * @p octet across all sets/steps on Volta.
+ */
+SubtileRange volta_octet_a_range(int octet);
+SubtileRange volta_octet_b_range(int octet);
+
+/** Register-pair bases for the operand fragments of a wmma.mma. */
+struct WmmaRegs
+{
+    uint8_t a = 0;  ///< First register of the A fragment.
+    uint8_t b = 0;
+    uint8_t c = 0;
+    uint8_t d = 0;  ///< May equal c for in-place accumulation.
+};
+
+/**
+ * Emit the HMMA instruction group implementing one wmma.mma.
+ *
+ * The emitted instructions carry set/step annotations and the operand
+ * base registers; `first_in_group` / `last_in_group` mark the
+ * boundaries the timing model uses (the group issues back-to-back and
+ * only the final HMMA releases the destination registers).
+ */
+std::vector<Instruction> decompose_wmma_mma(Arch arch, TcMode mode,
+                                            TileShape shape,
+                                            const WmmaRegs& regs,
+                                            Layout a_layout, Layout b_layout,
+                                            uint32_t macro_id = 0);
+
+/** Total HMMA instructions per wmma.mma for the given configuration. */
+int hmma_group_size(Arch arch, TcMode mode);
+
+/** Registers per thread used by each operand fragment. */
+struct WmmaFragRegCounts
+{
+    int a = 0, b = 0, c = 0, d = 0;
+};
+
+WmmaFragRegCounts wmma_fragment_regs(Arch arch, TcMode mode, TileShape shape);
+
+}  // namespace tcsim

@@ -1,0 +1,260 @@
+#include "sass/hmma_executor.h"
+
+#include "common/logging.h"
+
+namespace tcsim {
+
+namespace {
+
+/** Build the per-threadgroup and any-owner location tables. */
+void
+build_loc_tables(const FragmentMap& map,
+                 std::array<std::vector<int32_t>, kThreadgroupsPerWarp>* per_tg,
+                 std::vector<int32_t>* any)
+{
+    int rows = map.shape().rows(map.op());
+    int cols = map.shape().cols(map.op());
+    size_t n = static_cast<size_t>(rows) * cols;
+    if (per_tg) {
+        for (auto& t : *per_tg)
+            t.assign(n, -1);
+    }
+    any->assign(n, -1);
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+        const auto& elems = map.fragment(lane).elems;
+        int tg = threadgroup_of_lane(lane);
+        for (size_t slot = 0; slot < elems.size(); ++slot) {
+            const auto& e = elems[slot];
+            size_t idx = static_cast<size_t>(e.row) * cols + e.col;
+            int32_t packed =
+                static_cast<int32_t>((lane << 8) | static_cast<int>(slot));
+            if (per_tg && (*per_tg)[tg][idx] < 0)
+                (*per_tg)[tg][idx] = packed;
+            if ((*any)[idx] < 0)
+                (*any)[idx] = packed;
+        }
+    }
+}
+
+}  // namespace
+
+HmmaExecutor::HmmaExecutor(Arch arch, TcMode mode, TileShape shape,
+                           Layout a_layout, Layout b_layout)
+    : arch_(arch), mode_(mode), shape_(shape),
+      a_map_(fragment_map(arch, WmmaOperand::kA, shape, mode, a_layout)),
+      b_map_(fragment_map(arch, WmmaOperand::kB, shape, mode, b_layout)),
+      cd_map_(fragment_map(arch, WmmaOperand::kD, shape, mode,
+                           Layout::kRowMajor))
+{
+    build_loc_tables(a_map_, &a_loc_tg_, &a_loc_any_);
+    build_loc_tables(b_map_, &b_loc_tg_, &b_loc_any_);
+    build_loc_tables(cd_map_, nullptr, &cd_loc_);
+}
+
+int32_t
+HmmaExecutor::lookup(const std::array<LocTable, kThreadgroupsPerWarp>& per_tg,
+                     const LocTable& any, int idx, int owner_tg) const
+{
+    if (owner_tg >= 0) {
+        int32_t loc = per_tg[owner_tg][idx];
+        if (loc >= 0)
+            return loc;
+    }
+    int32_t loc = any[static_cast<size_t>(idx)];
+    TCSIM_CHECK(loc >= 0);
+    return loc;
+}
+
+float
+HmmaExecutor::read_a(const WarpRegState& regs, const HmmaInfo& info, int r,
+                     int c, int owner_tg) const
+{
+    int idx = r * shape_.cols(WmmaOperand::kA) + c;
+    int32_t loc = lookup(a_loc_tg_, a_loc_any_, idx, owner_tg);
+    int lane = loc >> 8, slot = loc & 0xff;
+    return regs.read_h16(lane, info.a_reg + slot / 2, slot % 2).to_float();
+}
+
+float
+HmmaExecutor::read_b(const WarpRegState& regs, const HmmaInfo& info, int r,
+                     int c, int owner_tg) const
+{
+    int idx = r * shape_.cols(WmmaOperand::kB) + c;
+    int32_t loc = lookup(b_loc_tg_, b_loc_any_, idx, owner_tg);
+    int lane = loc >> 8, slot = loc & 0xff;
+    return regs.read_h16(lane, info.b_reg + slot / 2, slot % 2).to_float();
+}
+
+float
+HmmaExecutor::read_acc(const WarpRegState& regs, uint8_t base_reg, int r,
+                       int c) const
+{
+    int idx = r * shape_.n + c;
+    int32_t loc = cd_loc_[static_cast<size_t>(idx)];
+    TCSIM_CHECK(loc >= 0);
+    int lane = loc >> 8, slot = loc & 0xff;
+    if (mode_ == TcMode::kFp16)
+        return regs.read_h16(lane, base_reg + slot / 2, slot % 2).to_float();
+    return regs.read_f32(lane, base_reg + slot);
+}
+
+void
+HmmaExecutor::write_acc(WarpRegState& regs, uint8_t base_reg, int r, int c,
+                        float value) const
+{
+    int idx = r * shape_.n + c;
+    int32_t loc = cd_loc_[static_cast<size_t>(idx)];
+    TCSIM_CHECK(loc >= 0);
+    int lane = loc >> 8, slot = loc & 0xff;
+    if (mode_ == TcMode::kFp16)
+        regs.write_h16(lane, base_reg + slot / 2, slot % 2, half(value));
+    else
+        regs.write_f32(lane, base_reg + slot, value);
+}
+
+int
+HmmaExecutor::read_int_ab(const WarpRegState& regs, const FragmentMap& map,
+                          uint8_t base_reg, int r, int c) const
+{
+    int idx = r * map.shape().cols(map.op()) + c;
+    const auto& any = &map == &a_map_ ? a_loc_any_ : b_loc_any_;
+    int32_t loc = any[static_cast<size_t>(idx)];
+    TCSIM_CHECK(loc >= 0);
+    int lane = loc >> 8, slot = loc & 0xff;
+    if (mode_ == TcMode::kInt8)
+        return regs.read_i8(lane, base_reg + slot / 4, slot % 4);
+    return regs.read_i4(lane, base_reg + slot / 8, slot % 8);
+}
+
+int32_t
+HmmaExecutor::read_acc_i32(const WarpRegState& regs, uint8_t base_reg, int r,
+                           int c) const
+{
+    int idx = r * shape_.n + c;
+    int32_t loc = cd_loc_[static_cast<size_t>(idx)];
+    TCSIM_CHECK(loc >= 0);
+    int lane = loc >> 8, slot = loc & 0xff;
+    return static_cast<int32_t>(regs.read(lane, base_reg + slot));
+}
+
+void
+HmmaExecutor::write_acc_i32(WarpRegState& regs, uint8_t base_reg, int r,
+                            int c, int32_t value) const
+{
+    int idx = r * shape_.n + c;
+    int32_t loc = cd_loc_[static_cast<size_t>(idx)];
+    TCSIM_CHECK(loc >= 0);
+    int lane = loc >> 8, slot = loc & 0xff;
+    regs.write(lane, base_reg + slot, static_cast<uint32_t>(value));
+}
+
+void
+HmmaExecutor::accumulate(const HmmaInfo& info, WarpRegState& regs,
+                         const SubtileRange& a, const SubtileRange& b,
+                         const SubtileRange& cd, int a_owner_tg,
+                         int b_owner_tg, bool first_set) const
+{
+    TCSIM_CHECK(a.col1 - a.col0 == b.row1 - b.row0);
+    const int kextent = a.col1 - a.col0 + 1;
+    const uint8_t acc_src = first_set ? info.c_reg : info.d_reg;
+
+    const bool integer = mode_ == TcMode::kInt8 || mode_ == TcMode::kInt4;
+
+    for (int r = cd.row0; r <= cd.row1; ++r) {
+        const int ar = a.row0 + (r - cd.row0);
+        for (int c = cd.col0; c <= cd.col1; ++c) {
+            const int bc = b.col0 + (c - cd.col0);
+            if (integer) {
+                int64_t sum = 0;
+                for (int k = 0; k < kextent; ++k) {
+                    sum += static_cast<int64_t>(read_int_ab(
+                               regs, a_map_, info.a_reg, ar, a.col0 + k)) *
+                           read_int_ab(regs, b_map_, info.b_reg, b.row0 + k,
+                                       bc);
+                }
+                int64_t acc = read_acc_i32(regs, acc_src, r, c) + sum;
+                write_acc_i32(regs, info.d_reg, r, c,
+                              static_cast<int32_t>(acc));
+            } else {
+                // FEDP accumulation tree: products computed exactly,
+                // pairwise adds within each 4-element group, then the
+                // group sums are accumulated, rounding at the final
+                // accumulator write (FP16 mode only).
+                TCSIM_CHECK(kextent % 4 == 0);
+                float sum = 0.0f;
+                for (int g = 0; g < kextent; g += 4) {
+                    float p0 = read_a(regs, info, ar, a.col0 + g + 0,
+                                      a_owner_tg) *
+                               read_b(regs, info, b.row0 + g + 0, bc,
+                                      b_owner_tg);
+                    float p1 = read_a(regs, info, ar, a.col0 + g + 1,
+                                      a_owner_tg) *
+                               read_b(regs, info, b.row0 + g + 1, bc,
+                                      b_owner_tg);
+                    float p2 = read_a(regs, info, ar, a.col0 + g + 2,
+                                      a_owner_tg) *
+                               read_b(regs, info, b.row0 + g + 2, bc,
+                                      b_owner_tg);
+                    float p3 = read_a(regs, info, ar, a.col0 + g + 3,
+                                      a_owner_tg) *
+                               read_b(regs, info, b.row0 + g + 3, bc,
+                                      b_owner_tg);
+                    sum += (p0 + p1) + (p2 + p3);
+                }
+                float acc = read_acc(regs, acc_src, r, c) + sum;
+                write_acc(regs, info.d_reg, r, c, acc);
+            }
+        }
+    }
+}
+
+void
+HmmaExecutor::execute_step(const HmmaInfo& info, WarpRegState& regs) const
+{
+    TCSIM_CHECK(info.mode == mode_);
+    TCSIM_CHECK(info.shape == shape_);
+
+    if (arch_ == Arch::kVolta) {
+        const int set = info.set;
+        const int step = info.step;
+        const bool first_set = set == 0;
+        for (int tg = 0; tg < kThreadgroupsPerWarp; ++tg) {
+            VoltaStepCompute sc = volta_step_compute(mode_, tg, set, step);
+            // The B stripe used in the early steps is the one loaded by
+            // the lower threadgroup of the octet (Table III).
+            const int octet = octet_of_threadgroup(tg);
+            const bool own_half =
+                mode_ == TcMode::kMixed ? step < 2 : step < 1;
+            const int b_owner = own_half ? octet : octet + 4;
+            accumulate(info, regs, sc.a, sc.b, sc.cd, tg, b_owner, first_set);
+        }
+        return;
+    }
+
+    // Turing: one warp-level region per set.
+    TuringSetCompute sc = turing_set_compute(mode_, shape_, info.set);
+    // first_set: true the first time this accumulator region is
+    // touched, i.e. when the K chunk of the set is the first chunk.
+    bool first_set = true;
+    if (mode_ == TcMode::kFp16 || mode_ == TcMode::kMixed) {
+        if (shape_ == kShape16x16x16 || shape_ == kShape8x32x16)
+            first_set = info.set % 2 == 0;  // kk = 8 * (set % 2)
+        else if (shape_ == kShape32x8x16)
+            first_set = info.set / 2 == 0;  // kk = 8 * (set / 2)
+    }
+    // INT modes consume the full K extent in every set, so each
+    // accumulator region is touched exactly once: always first.
+    accumulate(info, regs, sc.a, sc.b, sc.cd, -1, -1, first_set);
+}
+
+void
+HmmaExecutor::execute_group(const std::vector<Instruction>& group,
+                            WarpRegState& regs) const
+{
+    for (const auto& inst : group) {
+        TCSIM_CHECK(inst.op == Opcode::kHmma);
+        execute_step(inst.hmma, regs);
+    }
+}
+
+}  // namespace tcsim

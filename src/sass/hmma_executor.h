@@ -1,0 +1,105 @@
+#pragma once
+/**
+ * @file
+ * Functional model of HMMA instruction execution.
+ *
+ * Executes one HMMA set/step against a warp's register state,
+ * computing exactly the outer products of Table III (Volta) or the
+ * per-set subtile products of Fig 11 (Turing).  Products are formed
+ * exactly (a binary16 product is exactly representable in binary32)
+ * and accumulated through the four-element-dot-product (FEDP) tree of
+ * the proposed microarchitecture: pairwise adds, then accumulation,
+ * rounding to the destination precision at the accumulator write.
+ */
+
+#include <array>
+#include <vector>
+
+#include "arch/gpu_config.h"
+#include "isa/instruction.h"
+#include "isa/reg_state.h"
+#include "sass/hmma_decomposer.h"
+#include "tensor/fragment.h"
+
+namespace tcsim {
+
+/**
+ * Functional executor for one (arch, mode, shape, layouts)
+ * configuration.  Construction precomputes the element -> (lane,
+ * slot) tables; execute_step() is then allocation-free.
+ */
+class HmmaExecutor
+{
+  public:
+    HmmaExecutor(Arch arch, TcMode mode, TileShape shape, Layout a_layout,
+                 Layout b_layout);
+
+    /** Execute one HMMA of a group against @p regs. */
+    void execute_step(const HmmaInfo& info, WarpRegState& regs) const;
+
+    /** Execute a full decomposed group in order (test convenience). */
+    void execute_group(const std::vector<Instruction>& group,
+                       WarpRegState& regs) const;
+
+    const FragmentMap& a_map() const { return a_map_; }
+    const FragmentMap& b_map() const { return b_map_; }
+    const FragmentMap& cd_map() const { return cd_map_; }
+
+  private:
+    /** Read A(r, c) as float, using the copy held by threadgroup
+     *  @p owner_tg when the element is multiply-owned (-1 = any). */
+    float read_a(const WarpRegState& regs, const HmmaInfo& info, int r, int c,
+                 int owner_tg) const;
+    float read_b(const WarpRegState& regs, const HmmaInfo& info, int r, int c,
+                 int owner_tg) const;
+
+    /** Accumulator element access (C or D fragment registers). */
+    float read_acc(const WarpRegState& regs, uint8_t base_reg, int r,
+                   int c) const;
+    void write_acc(WarpRegState& regs, uint8_t base_reg, int r, int c,
+                   float value) const;
+
+    /** Integer operand / accumulator access for Turing INT modes. */
+    int read_int_ab(const WarpRegState& regs, const FragmentMap& map,
+                    uint8_t base_reg, int r, int c) const;
+    int32_t read_acc_i32(const WarpRegState& regs, uint8_t base_reg, int r,
+                         int c) const;
+    void write_acc_i32(WarpRegState& regs, uint8_t base_reg, int r, int c,
+                       int32_t value) const;
+
+    /**
+     * Accumulate D[cd] += A[a] x B[b] for one region.  @p a_owner_tg /
+     * @p b_owner_tg select which threadgroup's copy of multiply-owned
+     * elements feeds the computation (-1 when ownership is unique).
+     * @p first_set selects the C registers (vs D) as accumulator
+     * source.
+     */
+    void accumulate(const HmmaInfo& info, WarpRegState& regs,
+                    const SubtileRange& a, const SubtileRange& b,
+                    const SubtileRange& cd, int a_owner_tg, int b_owner_tg,
+                    bool first_set) const;
+
+    /** Packed (lane << 8 | slot) location, -1 when absent. */
+    using LocTable = std::vector<int32_t>;
+
+    /** Element location of (r, c) from @p table, preferring the copy
+     *  owned by @p owner_tg. */
+    int32_t lookup(const std::array<LocTable, kThreadgroupsPerWarp>& per_tg,
+                   const LocTable& any, int idx, int owner_tg) const;
+
+    Arch arch_;
+    TcMode mode_;
+    TileShape shape_;
+    FragmentMap a_map_;
+    FragmentMap b_map_;
+    FragmentMap cd_map_;
+
+    // Precomputed location tables (index = row * cols + col).
+    std::array<LocTable, kThreadgroupsPerWarp> a_loc_tg_;
+    std::array<LocTable, kThreadgroupsPerWarp> b_loc_tg_;
+    LocTable a_loc_any_;
+    LocTable b_loc_any_;
+    LocTable cd_loc_;
+};
+
+}  // namespace tcsim

@@ -1,0 +1,88 @@
+#include "sass/hmma_timing.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace tcsim {
+
+std::vector<int>
+volta_cumulative_cycles(TcMode mode)
+{
+    // Fig 9a: cumulative clock cycles after each of the 16 HMMAs of a
+    // mixed-precision wmma.mma on the Titan V.
+    if (mode == TcMode::kMixed) {
+        return {10, 12, 14, 18, 20, 22, 24, 28, 30, 32, 34, 38, 40, 42, 44,
+                54};
+    }
+    // Fig 9b: FP16 mode, 8 HMMAs.
+    TCSIM_CHECK(mode == TcMode::kFp16);
+    return {12, 21, 25, 34, 38, 47, 51, 64};
+}
+
+std::vector<int>
+turing_set_cumulative_cycles(TcMode mode, TileShape shape)
+{
+    // Table I: average cumulative clock cycles up to SET n.
+    if (shape == kShape16x16x16) {
+        switch (mode) {
+          case TcMode::kMixed: return {42, 56, 78, 99};
+          case TcMode::kFp16: return {44, 52, 60, 74};
+          case TcMode::kInt8: return {40, 44, 47, 59};
+          default: break;
+        }
+    } else if (shape == kShape32x8x16) {
+        switch (mode) {
+          case TcMode::kMixed: return {48, 60, 81, 104};
+          case TcMode::kFp16: return {44, 52, 60, 74};
+          case TcMode::kInt8: return {52, 55, 59, 73};
+          default: break;
+        }
+    } else if (shape == kShape8x32x16) {
+        switch (mode) {
+          case TcMode::kMixed: return {42, 56, 77, 99};
+          case TcMode::kFp16: return {42, 50, 58, 72};
+          case TcMode::kInt8: return {38, 42, 46, 56};
+          default: break;
+        }
+    } else if (shape == kShape8x8x32 && mode == TcMode::kInt4) {
+        return {230};
+    }
+    panic("no Table I entry for mode %s shape %s", tc_mode_name(mode),
+          shape.str().c_str());
+}
+
+const HmmaTiming&
+hmma_timing(Arch arch, TcMode mode, TileShape shape)
+{
+    struct Key
+    {
+        Arch arch;
+        TcMode mode;
+        int m, n, k;
+        auto operator<=>(const Key&) const = default;
+    };
+    static std::map<Key, HmmaTiming> cache;
+
+    Key key{arch, mode, shape.m, shape.n, shape.k};
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    HmmaTiming t;
+    if (arch == Arch::kVolta) {
+        // Fig 9 measures one completion time per HMMA directly.  The
+        // minimum initiation interval is two cycles (Section IV); the
+        // FP16 cadence is slower because each HMMA performs twice the
+        // work of a mixed-precision step (4x4 vs 2x4 outputs).
+        t.issue_interval = mode == TcMode::kMixed ? 2 : 4;
+        t.completion_offsets = volta_cumulative_cycles(mode);
+    } else {
+        // Table I gives one cumulative value per SET = per HMMA.
+        t.issue_interval = 2;
+        t.completion_offsets = turing_set_cumulative_cycles(mode, shape);
+    }
+    return cache.emplace(key, std::move(t)).first->second;
+}
+
+}  // namespace tcsim

@@ -1,0 +1,50 @@
+#pragma once
+/**
+ * @file
+ * Measured HMMA timing tables: the cumulative clock cycles of Fig 9
+ * (Volta) and Table I (Turing), which calibrate the tensor core
+ * timing model exactly as the paper calibrated its GPGPU-Sim model
+ * from these microbenchmark measurements.
+ */
+
+#include <vector>
+
+#include "arch/gpu_config.h"
+#include "tensor/types.h"
+
+namespace tcsim {
+
+/** Timing of one HMMA group configuration. */
+struct HmmaTiming
+{
+    /** Cycles between successive HMMA issues of a group. */
+    int issue_interval = 2;
+    /** completion_offset[i]: cycles from the group's first issue to
+     *  the completion of the i-th HMMA (cumulative clocks of
+     *  Fig 9 / Table I, interpolated within Turing sets). */
+    std::vector<int> completion_offsets;
+
+    int group_size() const
+    {
+        return static_cast<int>(completion_offsets.size());
+    }
+    /** Latency of the whole wmma.mma group. */
+    int group_latency() const { return completion_offsets.back(); }
+    /** Cycles the tensor core pair is occupied per group. */
+    int group_occupancy() const { return issue_interval * group_size(); }
+};
+
+/**
+ * Timing for (arch, mode, shape).  Volta supports 16x16x16 only; the
+ * Turing tables follow Table I ("16Bit (FP32 Acc)" = kMixed,
+ * "16Bit (FP16 Acc)" = kFp16, "8Bit" = kInt8, "4Bit" = kInt4).
+ */
+const HmmaTiming& hmma_timing(Arch arch, TcMode mode, TileShape shape);
+
+/** Table I row: average cumulative clock cycles after each SET. */
+std::vector<int> turing_set_cumulative_cycles(TcMode mode, TileShape shape);
+
+/** Volta Fig 9 cumulative clock cycle sequences. */
+std::vector<int> volta_cumulative_cycles(TcMode mode);
+
+}  // namespace tcsim

@@ -1,0 +1,85 @@
+#include "sass/microbench.h"
+
+#include "common/logging.h"
+
+namespace tcsim {
+
+std::vector<size_t>
+find_hmma_indices(const WarpProgram& prog)
+{
+    std::vector<size_t> idx;
+    for (size_t i = 0; i < prog.size(); ++i)
+        if (prog[i].op == Opcode::kHmma)
+            idx.push_back(i);
+    return idx;
+}
+
+int
+patch_nops_except(WarpProgram* prog, size_t keep_ordinal)
+{
+    TCSIM_CHECK(prog != nullptr);
+    auto hmma = find_hmma_indices(*prog);
+    TCSIM_CHECK(keep_ordinal < hmma.size());
+    int patched = 0;
+    for (size_t ord = 0; ord < hmma.size(); ++ord) {
+        if (ord == keep_ordinal)
+            continue;
+        Instruction& inst = (*prog)[hmma[ord]];
+        inst = Instruction{};
+        inst.op = Opcode::kNop;
+        ++patched;
+    }
+    // The survivor now forms a one-instruction group: it must both
+    // open the tensor-core group and release the destination
+    // registers itself.
+    Instruction& kept = (*prog)[hmma[keep_ordinal]];
+    kept.hmma.first_in_group = true;
+    kept.hmma.last_in_group = true;
+    kept.macro_end = true;
+    return patched;
+}
+
+void
+inject_clocks(WarpProgram* prog, size_t n, uint8_t reg_start, uint8_t reg_end)
+{
+    TCSIM_CHECK(prog != nullptr);
+    auto hmma = find_hmma_indices(*prog);
+    TCSIM_CHECK(n >= 1 && n <= hmma.size());
+
+    Instruction start;
+    start.op = Opcode::kCs2r;
+    start.n_dst = 1;
+    start.dst[0] = reg_start;
+
+    Instruction end;
+    end.op = Opcode::kCs2r;
+    end.n_dst = 1;
+    end.dst[0] = reg_end;
+    // Observe completion, not issue: depend on the n-th HMMA's
+    // destination fragment.
+    end.n_src = 1;
+    end.src[0] = (*prog)[hmma[n - 1]].hmma.d_reg;
+
+    // Insert the trailing read first so the leading insertion does not
+    // shift its index.
+    prog->insert(prog->begin() + static_cast<long>(hmma[n - 1]) + 1, end);
+    prog->insert(prog->begin() + static_cast<long>(hmma[0]), start);
+}
+
+void
+truncate_hmma_group(WarpProgram* prog, size_t n)
+{
+    TCSIM_CHECK(prog != nullptr);
+    auto hmma = find_hmma_indices(*prog);
+    TCSIM_CHECK(n >= 1 && n <= hmma.size());
+    for (size_t ord = n; ord < hmma.size(); ++ord) {
+        Instruction& inst = (*prog)[hmma[ord]];
+        inst = Instruction{};
+        inst.op = Opcode::kNop;
+    }
+    Instruction& tail = (*prog)[hmma[n - 1]];
+    tail.hmma.last_in_group = true;
+    tail.macro_end = true;
+}
+
+}  // namespace tcsim

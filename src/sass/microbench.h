@@ -1,0 +1,47 @@
+#pragma once
+/**
+ * @file
+ * Replicas of the paper's binary-patching microbenchmark methodology
+ * (Figs 5 and 6): NOP-patching all but one HMMA of a wmma.mma group,
+ * and injecting clock reads (CS2R SR_CLOCKLO) around an HMMA
+ * subsequence.  The paper performed these edits on SASS binaries with
+ * radare2; we perform them on warp instruction traces.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace tcsim {
+
+/** Indices of all HMMA instructions in @p prog. */
+std::vector<size_t> find_hmma_indices(const WarpProgram& prog);
+
+/**
+ * Replace every HMMA instruction except the @p keep_ordinal -th (0
+ * based, in HMMA order) with a NOP, as in Fig 5.  Returns the number
+ * of instructions patched.
+ */
+int patch_nops_except(WarpProgram* prog, size_t keep_ordinal);
+
+/**
+ * Insert CS2R clock reads around the first @p n HMMA instructions,
+ * as in Fig 6: one read immediately before the first HMMA (into
+ * @p reg_start) and one immediately after the n-th (into @p reg_end).
+ * The trailing read carries a data dependency on the n-th HMMA's
+ * destination so it observes completion, matching the hardware
+ * measurement.  After simulation, the elapsed cycle count is
+ * reg_end - reg_start.
+ */
+void inject_clocks(WarpProgram* prog, size_t n, uint8_t reg_start,
+                   uint8_t reg_end);
+
+/**
+ * Truncate a wmma.mma group to its first @p n HMMAs: instructions
+ * n+1.. become NOPs and the n-th is re-marked as the group tail
+ * (what patching the remaining HMMAs out of a binary does).
+ */
+void truncate_hmma_group(WarpProgram* prog, size_t n);
+
+}  // namespace tcsim

@@ -1,0 +1,59 @@
+#pragma once
+/**
+ * @file
+ * Warp scheduler policies for the sub-core: greedy-then-oldest (GTO,
+ * the GPGPU-Sim default the paper's model uses) and loose round-robin
+ * (LRR).
+ */
+
+#include <vector>
+
+namespace tcsim {
+
+enum class SchedulerPolicy { kGto, kLrr };
+
+/**
+ * Produces the warp visit order for one issue cycle over @p num_warps
+ * sub-core-resident warps.
+ */
+class WarpScheduler
+{
+  public:
+    explicit WarpScheduler(SchedulerPolicy policy = SchedulerPolicy::kGto)
+        : policy_(policy)
+    {
+    }
+
+    /** Fill @p order with warp indices in scheduling priority order. */
+    void order(int num_warps, std::vector<int>* order) const;
+
+    /** Record which warp issued this cycle (feeds greediness/rotation). */
+    void issued(int warp) { last_issued_ = warp; }
+
+  private:
+    SchedulerPolicy policy_;
+    int last_issued_ = -1;
+};
+
+inline void
+WarpScheduler::order(int num_warps, std::vector<int>* order) const
+{
+    order->clear();
+    if (num_warps == 0)
+        return;
+    if (policy_ == SchedulerPolicy::kGto) {
+        // Greedy: last issued warp first, then oldest (ascending index).
+        if (last_issued_ >= 0 && last_issued_ < num_warps)
+            order->push_back(last_issued_);
+        for (int w = 0; w < num_warps; ++w)
+            if (w != last_issued_)
+                order->push_back(w);
+    } else {
+        // LRR: start after the last issued warp.
+        int start = last_issued_ < 0 ? 0 : (last_issued_ + 1) % num_warps;
+        for (int i = 0; i < num_warps; ++i)
+            order->push_back((start + i) % num_warps);
+    }
+}
+
+}  // namespace tcsim

@@ -1,0 +1,92 @@
+#include "sim/core/scoreboard.h"
+
+#include "common/logging.h"
+
+namespace tcsim {
+
+namespace {
+
+/** Registers written by a load of the given width. */
+int
+dst_span(const Instruction& inst)
+{
+    if (inst.op == Opcode::kLdg || inst.op == Opcode::kLds)
+        return std::max(1, inst.width_bits / 32);
+    return 1;
+}
+
+/** Registers read by a store of the given width. */
+int
+src_span(const Instruction& inst)
+{
+    if (inst.op == Opcode::kStg || inst.op == Opcode::kSts)
+        return std::max(1, inst.width_bits / 32);
+    return 1;
+}
+
+}  // namespace
+
+void
+Scoreboard::for_each_dst(const Instruction& inst, auto&& fn)
+{
+    if (inst.op == Opcode::kHmma) {
+        for (int r = 0; r < inst.hmma.d_nregs; ++r)
+            fn(inst.hmma.d_reg + r);
+        return;
+    }
+    for (int i = 0; i < inst.n_dst; ++i)
+        for (int r = 0; r < dst_span(inst); ++r)
+            fn(inst.dst[i] + r);
+}
+
+void
+Scoreboard::for_each_src(const Instruction& inst, auto&& fn)
+{
+    if (inst.op == Opcode::kHmma) {
+        for (int r = 0; r < inst.hmma.a_nregs; ++r)
+            fn(inst.hmma.a_reg + r);
+        for (int r = 0; r < inst.hmma.b_nregs; ++r)
+            fn(inst.hmma.b_reg + r);
+        for (int r = 0; r < inst.hmma.c_nregs; ++r)
+            fn(inst.hmma.c_reg + r);
+        return;
+    }
+    for (int i = 0; i < inst.n_src; ++i)
+        for (int r = 0; r < src_span(inst); ++r)
+            fn(inst.src[i] + r);
+}
+
+bool
+Scoreboard::can_issue(int w, const Instruction& inst) const
+{
+    const auto& bits = pending_[w];
+
+    if (inst.op == Opcode::kHmma && !inst.hmma.first_in_group) {
+        // Intra-group accumulator reuse is forwarded inside the tensor
+        // core; the group issues as a unit once its head clears.
+        return true;
+    }
+
+    bool ok = true;
+    for_each_src(inst, [&](int reg) { ok = ok && !bits[reg]; });
+    for_each_dst(inst, [&](int reg) { ok = ok && !bits[reg]; });
+    return ok;
+}
+
+void
+Scoreboard::issue(int w, const Instruction& inst)
+{
+    if (inst.op == Opcode::kHmma && !inst.hmma.first_in_group)
+        return;  // D registers were marked by the group head.
+    for_each_dst(inst, [&](int reg) { pending_[w][reg] = true; });
+}
+
+void
+Scoreboard::complete(int w, const Instruction& inst)
+{
+    if (inst.op == Opcode::kHmma && !inst.hmma.last_in_group)
+        return;  // only the group tail releases the D registers
+    for_each_dst(inst, [&](int reg) { pending_[w][reg] = false; });
+}
+
+}  // namespace tcsim

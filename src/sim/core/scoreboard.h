@@ -1,0 +1,50 @@
+#pragma once
+/**
+ * @file
+ * Per-warp register scoreboard.  Tracks registers with writes in
+ * flight; an instruction may not issue while any of its source (RAW)
+ * or destination (WAW) registers are pending, mirroring the paper's
+ * "updated the scoreboard to check for RAW and WAW hazard associated
+ * with wmma.mma instructions".
+ */
+
+#include <bitset>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace tcsim {
+
+/** Scoreboard over up to 256 registers for a set of warps. */
+class Scoreboard
+{
+  public:
+    explicit Scoreboard(int num_warps) : pending_(num_warps) {}
+
+    /** Grow tracking state for a newly resident warp. */
+    void add_warp() { pending_.emplace_back(); }
+
+    /** True if @p inst of warp @p w has no RAW/WAW hazard.  HMMA
+     *  instructions that are not first in their group bypass operand
+     *  checks: the tensor core forwards the accumulator internally. */
+    bool can_issue(int w, const Instruction& inst) const;
+
+    /** Mark destination registers pending at issue. */
+    void issue(int w, const Instruction& inst);
+
+    /** Clear pending destinations at writeback. */
+    void complete(int w, const Instruction& inst);
+
+    bool reg_pending(int w, int reg) const { return pending_[w][reg]; }
+    bool any_pending(int w) const { return pending_[w].any(); }
+
+  private:
+    /** Destination register ranges of @p inst (HMMA: the D fragment;
+     *  loads: width-derived span). */
+    static void for_each_dst(const Instruction& inst, auto&& fn);
+    static void for_each_src(const Instruction& inst, auto&& fn);
+
+    std::vector<std::bitset<256>> pending_;
+};
+
+}  // namespace tcsim

@@ -1,0 +1,354 @@
+#include "sim/core/sm.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sim/mem/coalescer.h"
+
+namespace tcsim {
+
+HmmaExecutor&
+ExecutorCache::get(Arch arch, const HmmaInfo& info)
+{
+    uint64_t key = (static_cast<uint64_t>(arch) << 40) |
+                   (static_cast<uint64_t>(info.mode) << 36) |
+                   (static_cast<uint64_t>(info.a_layout) << 34) |
+                   (static_cast<uint64_t>(info.b_layout) << 32) |
+                   (static_cast<uint64_t>(info.shape.m) << 16) |
+                   (static_cast<uint64_t>(info.shape.n) << 8) |
+                   static_cast<uint64_t>(info.shape.k);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+        it = cache_
+                 .emplace(key, std::make_unique<HmmaExecutor>(
+                                   arch, info.mode, info.shape, info.a_layout,
+                                   info.b_layout))
+                 .first;
+    }
+    return *it->second;
+}
+
+SM::SM(int id, const GpuConfig& cfg, MemorySystem* mem, GridState* grid,
+       RunStatsCollector* stats, ExecutorCache* executors,
+       SchedulerPolicy policy)
+    : id_(id), cfg_(cfg), mem_(mem), grid_(grid), stats_(stats),
+      executors_(executors)
+{
+    subcores_.reserve(static_cast<size_t>(cfg.subcores_per_sm));
+    for (int i = 0; i < cfg.subcores_per_sm; ++i)
+        subcores_.push_back(std::make_unique<SubCore>(this, i, policy));
+    int slots = max_concurrent_ctas();
+    cta_slots_.resize(static_cast<size_t>(slots));
+    cta_warps_.resize(static_cast<size_t>(slots));
+}
+
+int
+SM::max_concurrent_ctas() const
+{
+    const KernelDesc& k = *grid_->kernel;
+    TCSIM_CHECK(k.warps_per_cta > 0);
+    int by_warps = cfg_.max_warps_per_sm / k.warps_per_cta;
+    int by_smem = k.shared_mem_bytes == 0
+                      ? cfg_.max_ctas_per_sm
+                      : static_cast<int>(cfg_.shared_mem_per_sm /
+                                         k.shared_mem_bytes);
+    uint64_t cta_regs = static_cast<uint64_t>(k.warps_per_cta) * kWarpSize *
+                        k.regs_per_thread;
+    int by_regs = static_cast<int>(cfg_.registers_per_sm / cta_regs);
+    int slots = std::min({cfg_.max_ctas_per_sm, by_warps, by_smem, by_regs});
+    if (slots < 1) {
+        fatal("kernel %s exceeds SM resources (warps=%d smem=%u regs=%d)",
+              k.name.c_str(), k.warps_per_cta, k.shared_mem_bytes,
+              k.regs_per_thread);
+    }
+    return slots;
+}
+
+void
+SM::try_launch_ctas()
+{
+    if (!grid_->pending())
+        return;
+    // One launch per cycle keeps the initial distribution balanced
+    // across SMs (round-robin, as hardware rasterizes the grid).
+    for (size_t slot = 0; slot < cta_slots_.size(); ++slot) {
+        if (!cta_slots_[slot].valid) {
+            launch_cta(static_cast<int>(slot), grid_->next_cta++);
+            break;
+        }
+    }
+}
+
+void
+SM::launch_cta(int slot, int cta_id)
+{
+    const KernelDesc& k = *grid_->kernel;
+    CtaSlot& cta = cta_slots_[static_cast<size_t>(slot)];
+    cta.valid = true;
+    cta.cta_id = cta_id;
+    cta.live_warps = k.warps_per_cta;
+    cta.barrier_arrived = 0;
+    cta.shared = k.shared_mem_bytes
+                     ? std::make_unique<SharedMemoryStorage>(
+                           k.shared_mem_bytes)
+                     : nullptr;
+    cta_warps_[static_cast<size_t>(slot)].clear();
+
+    for (int wi = 0; wi < k.warps_per_cta; ++wi) {
+        auto w = std::make_unique<Warp>();
+        w->prog = k.trace(cta_id, wi);
+        TCSIM_CHECK(!w->prog.empty());
+        TCSIM_CHECK(w->prog.back().op == Opcode::kExit);
+        if (k.functional)
+            w->regs = std::make_unique<WarpRegState>(k.regs_per_thread);
+        w->cta_slot = slot;
+        w->warp_in_cta = wi;
+        int sc = wi % cfg_.subcores_per_sm;
+        int warp_slot = subcores_[static_cast<size_t>(sc)]->add_warp(
+            std::move(w));
+        cta_warps_[static_cast<size_t>(slot)].push_back({sc, warp_slot});
+    }
+}
+
+void
+SM::cycle(uint64_t now)
+{
+    now_ = now;
+    try_launch_ctas();
+    process_mio();
+    for (auto& sc : subcores_) {
+        sc->do_writebacks(now);
+        sc->try_issue(now);
+    }
+}
+
+bool
+SM::busy() const
+{
+    for (const auto& sc : subcores_)
+        if (sc->busy())
+            return true;
+    return !mio_shared_.empty() || !mio_global_.empty();
+}
+
+uint64_t
+SM::issued() const
+{
+    uint64_t total = 0;
+    for (const auto& sc : subcores_)
+        total += sc->issued();
+    return total;
+}
+
+bool
+SM::mio_push(int subcore, int warp_slot, const Instruction* inst, int iter)
+{
+    auto& queue = inst->is_shared_space() ? mio_shared_ : mio_global_;
+    if (static_cast<int>(queue.size()) >= cfg_.ldst_queue_depth)
+        return false;
+    queue.push_back(MioEntry{subcore, warp_slot, inst, iter});
+    return true;
+}
+
+void
+SM::process_mio()
+{
+    // Shared-memory pipe.
+    if (!mio_shared_.empty() && now_ >= mio_shared_free_) {
+        MioEntry entry = mio_shared_.front();
+        mio_shared_.pop_front();
+        const Instruction& inst = *entry.inst;
+        int degree = shared_bank_conflict_degree(inst, cfg_.shared_mem_banks,
+                                                 entry.iter);
+        int words = std::max(1, inst.width_bits / 32);
+        // Each conflict replay and each extra 32-bit phase serializes.
+        uint64_t occupancy = static_cast<uint64_t>(degree) * words;
+        uint64_t done = now_ + static_cast<uint64_t>(cfg_.shared_mem_latency) +
+                        occupancy - 1;
+        mio_shared_free_ = now_ + occupancy;
+        subcores_[static_cast<size_t>(entry.subcore)]->register_writeback(
+            done, entry.warp_slot, entry.inst, entry.iter);
+    }
+    // L1/global pipe.
+    if (!mio_global_.empty() && now_ >= mio_global_free_) {
+        MioEntry entry = mio_global_.front();
+        mio_global_.pop_front();
+        const Instruction& inst = *entry.inst;
+        auto sectors = coalesce_sectors(inst, cfg_.l1_sector_bytes,
+                                        entry.iter);
+        bool is_write = inst.op == Opcode::kStg;
+        uint64_t done = mem_->access_global(id_, sectors, is_write, now_);
+        // The LDST port accepts ~2 sectors per cycle.
+        uint64_t occupancy = std::max<uint64_t>(1, sectors.size() / 2);
+        mio_global_free_ = now_ + occupancy;
+        subcores_[static_cast<size_t>(entry.subcore)]->register_writeback(
+            done, entry.warp_slot, entry.inst, entry.iter);
+    }
+}
+
+void
+SM::barrier_arrive(int cta_slot)
+{
+    CtaSlot& cta = cta_slots_[static_cast<size_t>(cta_slot)];
+    TCSIM_CHECK(cta.valid);
+    if (++cta.barrier_arrived < cta.live_warps)
+        return;
+    cta.barrier_arrived = 0;
+    for (auto [sc, slot] : cta_warps_[static_cast<size_t>(cta_slot)])
+        subcores_[static_cast<size_t>(sc)]->release_barrier(slot);
+}
+
+void
+SM::warp_finished(int cta_slot)
+{
+    CtaSlot& cta = cta_slots_[static_cast<size_t>(cta_slot)];
+    TCSIM_CHECK(cta.valid && cta.live_warps > 0);
+    if (--cta.live_warps == 0) {
+        ++ctas_completed_;
+        cta.valid = false;
+        cta.shared.reset();
+    }
+}
+
+void
+SM::count_issue(const Instruction& inst)
+{
+    ++stats_->instructions;
+    if (inst.op == Opcode::kHmma)
+        ++stats_->hmma_instructions;
+}
+
+SharedMemoryStorage*
+SM::shared(int cta_slot)
+{
+    return cta_slots_[static_cast<size_t>(cta_slot)].shared.get();
+}
+
+void
+SM::execute_functional(Warp& w, const Instruction& inst)
+{
+    if (!w.regs)
+        return;
+    WarpRegState& regs = *w.regs;
+
+    switch (inst.op) {
+      case Opcode::kHmma:
+        executors_->get(cfg_.arch, inst.hmma).execute_step(inst.hmma, regs);
+        break;
+
+      case Opcode::kLdg:
+      case Opcode::kLds: {
+        TCSIM_CHECK(inst.addr);
+        const int bytes = inst.width_bits / 8;
+        SharedMemoryStorage* shm =
+            inst.op == Opcode::kLds ? shared(w.cta_slot) : nullptr;
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            uint64_t a = inst.effective_addr(lane, w.iter);
+            if (a == kNoAddr)
+                continue;
+            uint32_t buf[4] = {0, 0, 0, 0};
+            if (inst.op == Opcode::kLds) {
+                TCSIM_CHECK(shm != nullptr);
+                shm->read(a, buf, static_cast<size_t>(bytes));
+            } else {
+                mem_->global().read(a, buf, static_cast<size_t>(bytes));
+            }
+            int nregs = std::max(1, inst.width_bits / 32);
+            for (int r = 0; r < nregs; ++r)
+                regs.write(lane, inst.dst[0] + r, buf[r]);
+        }
+        break;
+      }
+
+      case Opcode::kStg:
+      case Opcode::kSts: {
+        TCSIM_CHECK(inst.addr);
+        const int bytes = inst.width_bits / 8;
+        SharedMemoryStorage* shm =
+            inst.op == Opcode::kSts ? shared(w.cta_slot) : nullptr;
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            uint64_t a = inst.effective_addr(lane, w.iter);
+            if (a == kNoAddr)
+                continue;
+            uint32_t buf[4];
+            int nregs = std::max(1, inst.width_bits / 32);
+            for (int r = 0; r < nregs; ++r)
+                buf[r] = regs.read(lane, inst.src[0] + r);
+            if (inst.op == Opcode::kSts) {
+                TCSIM_CHECK(shm != nullptr);
+                shm->write(a, buf, static_cast<size_t>(bytes));
+            } else {
+                mem_->global().write(a, buf, static_cast<size_t>(bytes));
+            }
+        }
+        break;
+      }
+
+      case Opcode::kFfma:
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            float v = regs.read_f32(lane, inst.src[0]) *
+                          regs.read_f32(lane, inst.src[1]) +
+                      regs.read_f32(lane, inst.src[2]);
+            regs.write_f32(lane, inst.dst[0], v);
+        }
+        break;
+
+      case Opcode::kFadd:
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            regs.write_f32(lane, inst.dst[0],
+                           regs.read_f32(lane, inst.src[0]) +
+                               regs.read_f32(lane, inst.src[1]));
+        }
+        break;
+
+      case Opcode::kHfma2:
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            for (int hi = 0; hi < 2; ++hi) {
+                half v(regs.read_h16(lane, inst.src[0], hi).to_float() *
+                           regs.read_h16(lane, inst.src[1], hi).to_float() +
+                       regs.read_h16(lane, inst.src[2], hi).to_float());
+                regs.write_h16(lane, inst.dst[0], hi, v);
+            }
+        }
+        break;
+
+      case Opcode::kIadd:
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            regs.write(lane, inst.dst[0],
+                       regs.read(lane, inst.src[0]) +
+                           regs.read(lane, inst.src[1]));
+        }
+        break;
+
+      case Opcode::kImad:
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            regs.write(lane, inst.dst[0],
+                       regs.read(lane, inst.src[0]) *
+                               regs.read(lane, inst.src[1]) +
+                           regs.read(lane, inst.src[2]));
+        }
+        break;
+
+      case Opcode::kMov:
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            uint32_t v = inst.n_src == 0 ? inst.imm
+                                         : regs.read(lane, inst.src[0]);
+            regs.write(lane, inst.dst[0], v);
+        }
+        break;
+
+      case Opcode::kCs2r:
+        for (int lane = 0; lane < kWarpSize; ++lane)
+            regs.write(lane, inst.dst[0], static_cast<uint32_t>(now_));
+        break;
+
+      case Opcode::kBarSync:
+      case Opcode::kNop:
+      case Opcode::kLoopBegin:
+      case Opcode::kLoopEnd:
+      case Opcode::kExit:
+        break;
+    }
+}
+
+}  // namespace tcsim

@@ -1,0 +1,145 @@
+#pragma once
+/**
+ * @file
+ * Streaming multiprocessor model: four sub-cores, the shared MIO
+ * (memory input/output) path, CTA residency and barrier handling, and
+ * per-SM statistics.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "arch/gpu_config.h"
+#include "common/stats.h"
+#include "sass/hmma_executor.h"
+#include "sim/core/subcore.h"
+#include "sim/kernel_desc.h"
+#include "sim/mem/memory_system.h"
+
+namespace tcsim {
+
+/** Grid-wide CTA dispenser shared by all SMs. */
+struct GridState
+{
+    const KernelDesc* kernel = nullptr;
+    int next_cta = 0;
+
+    bool pending() const { return next_cta < kernel->grid_ctas; }
+};
+
+/** Chip-wide collected statistics (single-threaded simulation). */
+struct RunStatsCollector
+{
+    uint64_t instructions = 0;
+    uint64_t hmma_instructions = 0;
+    /** Latency histograms of the WMMA macro classes (Figs 15/16). */
+    std::map<MacroClass, Histogram> macro_latency;
+
+    void record_macro(MacroClass mc, uint64_t latency)
+    {
+        macro_latency[mc].add(static_cast<double>(latency));
+    }
+};
+
+/** Cache of functional HMMA executors keyed by configuration. */
+class ExecutorCache
+{
+  public:
+    HmmaExecutor& get(Arch arch, const HmmaInfo& info);
+
+  private:
+    std::map<uint64_t, std::unique_ptr<HmmaExecutor>> cache_;
+};
+
+/** One streaming multiprocessor. */
+class SM
+{
+  public:
+    SM(int id, const GpuConfig& cfg, MemorySystem* mem, GridState* grid,
+       RunStatsCollector* stats, ExecutorCache* executors,
+       SchedulerPolicy policy);
+
+    /** Advance one core clock. */
+    void cycle(uint64_t now);
+
+    /** True while CTAs are resident or traffic is in flight. */
+    bool busy() const;
+
+    // ---- Interface used by SubCore ----
+    const GpuConfig& config() const { return cfg_; }
+    bool functional() const { return grid_->kernel->functional; }
+    MemorySystem& mem() { return *mem_; }
+    uint64_t now() const { return now_; }
+    int id() const { return id_; }
+
+    /** Enqueue a memory instruction into the MIO path; false if the
+     *  queue is full (the warp stalls). */
+    bool mio_push(int subcore, int warp_slot, const Instruction* inst,
+                  int iter);
+
+    /** Functional execution of one instruction (loads/stores/ALU/HMMA). */
+    void execute_functional(Warp& w, const Instruction& inst);
+
+    void barrier_arrive(int cta_slot);
+    void warp_finished(int cta_slot);
+    void count_issue(const Instruction& inst);
+    void record_macro(MacroClass mc, uint64_t latency)
+    {
+        stats_->record_macro(mc, latency);
+    }
+    SharedMemoryStorage* shared(int cta_slot);
+
+    /** Instructions issued by this SM. */
+    uint64_t issued() const;
+
+    /** CTAs completed by this SM. */
+    int ctas_completed() const { return ctas_completed_; }
+
+    /** Sum of sub-core issue-stall counters (index = StallReason). */
+    void add_stalls(uint64_t* out) const
+    {
+        for (const auto& sc : subcores_)
+            for (int i = 0; i < 8; ++i)
+                out[i] += sc->stall_counts()[i];
+    }
+
+  private:
+    void try_launch_ctas();
+    void launch_cta(int slot, int cta_id);
+    void process_mio();
+    int max_concurrent_ctas() const;
+
+    struct MioEntry
+    {
+        int subcore;
+        int warp_slot;
+        const Instruction* inst;
+        int iter;
+    };
+
+    int id_;
+    GpuConfig cfg_;
+    MemorySystem* mem_;
+    GridState* grid_;
+    RunStatsCollector* stats_;
+    ExecutorCache* executors_;
+    uint64_t now_ = 0;
+
+    std::vector<std::unique_ptr<SubCore>> subcores_;
+    std::vector<CtaSlot> cta_slots_;
+    /** (subcore, warp_slot) pairs per CTA slot, for barrier release. */
+    std::vector<std::vector<std::pair<int, int>>> cta_warps_;
+
+    /** Separate shared-memory and L1/global pipes behind the MIO
+     *  scheduler (each accepts one warp instruction per cycle). */
+    std::deque<MioEntry> mio_shared_;
+    std::deque<MioEntry> mio_global_;
+    uint64_t mio_shared_free_ = 0;
+    uint64_t mio_global_free_ = 0;
+    int ctas_completed_ = 0;
+};
+
+}  // namespace tcsim

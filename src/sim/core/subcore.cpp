@@ -1,0 +1,261 @@
+#include "sim/core/subcore.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sim/core/sm.h"
+
+namespace tcsim {
+
+SubCore::SubCore(SM* sm, int index, SchedulerPolicy policy)
+    : sm_(sm), index_(index), policy_(policy),
+      tc_(sm->config().arch)
+{
+    const GpuConfig& cfg = sm->config();
+    // Warp-level initiation interval = 32 threads / lanes.
+    fp32_ = ExecUnit(kWarpSize / cfg.fp32_lanes, cfg.fp32_latency);
+    int_ = ExecUnit(kWarpSize / cfg.int_lanes, cfg.int_latency);
+    fp64_ = ExecUnit(kWarpSize / cfg.fp64_lanes, cfg.fp64_latency);
+    mufu_ = ExecUnit(kWarpSize / cfg.mufu_lanes, cfg.mufu_latency);
+}
+
+int
+SubCore::add_warp(std::unique_ptr<Warp> warp)
+{
+    warps_.push_back(std::move(warp));
+    scoreboard_.add_warp();
+    int slot = static_cast<int>(warps_.size()) - 1;
+    active_.push_back(slot);
+    return slot;
+}
+
+bool
+SubCore::busy() const
+{
+    return !active_.empty() || !inflight_.empty();
+}
+
+void
+SubCore::do_writebacks(uint64_t now)
+{
+    for (size_t i = 0; i < inflight_.size();) {
+        if (inflight_[i].done > now) {
+            ++i;
+            continue;
+        }
+        InFlight entry = inflight_[i];
+        inflight_[i] = inflight_.back();
+        inflight_.pop_back();
+
+        Warp& w = *warps_[entry.warp_slot];
+        scoreboard_.complete(entry.warp_slot, *entry.inst);
+        --w.inflight;
+        if (entry.inst->macro_id != 0 && entry.inst->macro_end) {
+            uint64_t key = Warp::macro_key(entry.inst->macro_id, entry.iter);
+            auto it = w.macro_start.find(key);
+            if (it != w.macro_start.end()) {
+                sm_->record_macro(entry.inst->macro_class,
+                                  entry.done - it->second);
+                w.macro_start.erase(it);
+            }
+        }
+        maybe_finish_warp(entry.warp_slot);
+    }
+}
+
+void
+SubCore::maybe_finish_warp(int slot)
+{
+    Warp& w = *warps_[slot];
+    if (!w.exited || w.inflight > 0 || w.state == WarpState::kFinished)
+        return;
+    w.state = WarpState::kFinished;
+    // Release trace and register storage eagerly; large grids recycle
+    // thousands of warps per SM.
+    w.prog.clear();
+    w.prog.shrink_to_fit();
+    w.regs.reset();
+    auto it = std::find(active_.begin(), active_.end(), slot);
+    TCSIM_CHECK(it != active_.end());
+    active_.erase(it);
+    sm_->warp_finished(w.cta_slot);
+}
+
+void
+SubCore::release_barrier(int warp_slot)
+{
+    Warp& w = *warps_[warp_slot];
+    if (w.state == WarpState::kAtBarrier)
+        w.state = WarpState::kReady;
+}
+
+bool
+SubCore::try_issue(uint64_t now)
+{
+    if (active_.empty()) {
+        ++stalls_[static_cast<int>(StallReason::kEmpty)];
+        return false;
+    }
+    last_block_ = StallReason::kDrained;
+
+    if (policy_ == SchedulerPolicy::kGto) {
+        // Greedy: stay with the last issued warp while it can issue.
+        if (last_issued_ >= 0 &&
+            warps_[last_issued_]->state != WarpState::kFinished) {
+            if (try_issue_warp(last_issued_, now))
+                return true;
+        }
+        for (int slot : active_) {
+            if (slot == last_issued_)
+                continue;
+            if (try_issue_warp(slot, now))
+                return true;
+        }
+        ++stalls_[static_cast<int>(last_block_)];
+        return false;
+    }
+
+    // LRR: rotate through the active list.
+    int n = static_cast<int>(active_.size());
+    for (int i = 0; i < n; ++i) {
+        int slot = active_[(lrr_pos_ + i) % n];
+        if (try_issue_warp(slot, now)) {
+            lrr_pos_ = (lrr_pos_ + i + 1) % n;
+            return true;
+        }
+    }
+    ++stalls_[static_cast<int>(last_block_)];
+    return false;
+}
+
+bool
+SubCore::try_issue_warp(int slot, uint64_t now)
+{
+    Warp& w = *warps_[slot];
+    if (!w.issuable()) {
+        if (w.state == WarpState::kAtBarrier)
+            last_block_ = StallReason::kBarrier;
+        return false;
+    }
+
+    const Instruction& inst = w.prog[w.pc];
+
+    if (!scoreboard_.can_issue(slot, inst)) {
+        last_block_ = StallReason::kScoreboard;
+        return false;
+    }
+
+    bool loop_back = false;
+
+    switch (inst.op) {
+      case Opcode::kHmma: {
+        auto done = tc_.try_issue(slot, inst, now);
+        if (!done) {
+            last_block_ = StallReason::kTcBusy;
+            return false;
+        }
+        scoreboard_.issue(slot, inst);
+        register_writeback(*done, slot, &inst, w.iter);
+        ++w.inflight;
+        break;
+      }
+      case Opcode::kLdg:
+      case Opcode::kStg:
+      case Opcode::kLds:
+      case Opcode::kSts: {
+        if (!sm_->mio_push(index_, slot, &inst, w.iter)) {
+            last_block_ = StallReason::kMioFull;
+            return false;
+        }
+        scoreboard_.issue(slot, inst);
+        ++w.inflight;
+        break;
+      }
+      case Opcode::kFfma:
+      case Opcode::kFadd:
+      case Opcode::kHfma2: {
+        if (!fp32_.ready(now)) {
+            last_block_ = StallReason::kAluBusy;
+            return false;
+        }
+        scoreboard_.issue(slot, inst);
+        register_writeback(fp32_.issue(now), slot, &inst, w.iter);
+        ++w.inflight;
+        break;
+      }
+      case Opcode::kIadd:
+      case Opcode::kImad:
+      case Opcode::kMov:
+      case Opcode::kCs2r: {
+        if (!int_.ready(now)) {
+            last_block_ = StallReason::kAluBusy;
+            return false;
+        }
+        scoreboard_.issue(slot, inst);
+        register_writeback(int_.issue(now), slot, &inst, w.iter);
+        ++w.inflight;
+        break;
+      }
+      case Opcode::kBarSync: {
+        w.state = WarpState::kAtBarrier;
+        break;
+      }
+      case Opcode::kLoopBegin: {
+        TCSIM_CHECK(inst.imm >= 1);
+        w.loop_trips = static_cast<int>(inst.imm);
+        w.loop_begin = w.pc;
+        w.iter = 0;
+        break;
+      }
+      case Opcode::kLoopEnd: {
+        if (w.iter + 1 < w.loop_trips)
+            loop_back = true;
+        break;
+      }
+      case Opcode::kNop:
+        break;
+      case Opcode::kExit: {
+        w.exited = true;
+        break;
+      }
+    }
+
+    finish_issue(slot, w, inst, now);
+    if (loop_back) {
+        ++w.iter;
+        w.pc = w.loop_begin + 1;  // finish_issue advanced past kLoopEnd
+    }
+    if (inst.op == Opcode::kBarSync)
+        sm_->barrier_arrive(w.cta_slot);
+    if (inst.op == Opcode::kExit)
+        maybe_finish_warp(slot);
+    return true;
+}
+
+void
+SubCore::finish_issue(int slot, Warp& w, const Instruction& inst,
+                      uint64_t now)
+{
+    if (inst.macro_id != 0) {
+        uint64_t key = Warp::macro_key(inst.macro_id, w.iter);
+        if (!w.macro_start.contains(key))
+            w.macro_start.emplace(key, now);
+    }
+    if (sm_->functional())
+        sm_->execute_functional(w, inst);
+    ++w.pc;
+    ++issued_;
+    last_issued_ = slot;
+    sm_->count_issue(inst);
+}
+
+void
+SubCore::register_writeback(uint64_t done, int warp_slot,
+                            const Instruction* inst, int iter)
+{
+    // Writebacks at `now` must still complete; nudge to the next cycle.
+    inflight_.push_back(InFlight{std::max(done, sm_->now() + 1), warp_slot,
+                                 inst, iter});
+}
+
+}  // namespace tcsim

@@ -1,0 +1,104 @@
+#pragma once
+/**
+ * @file
+ * Sub-core model (Fig 1 of the paper): one warp scheduler issuing one
+ * warp-instruction per clock into the FP32/INT/FP64/MUFU paths, the
+ * tensor core pair, or the MIO (memory) queue, with scoreboard-based
+ * hazard tracking and in-order per-warp issue.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/core/exec_unit.h"
+#include "sim/core/scheduler.h"
+#include "sim/core/scoreboard.h"
+#include "sim/core/warp.h"
+#include "sim/tc/tensor_core_unit.h"
+
+namespace tcsim {
+
+class SM;
+
+/** One of the four processing blocks of an SM. */
+class SubCore
+{
+  public:
+    SubCore(SM* sm, int index, SchedulerPolicy policy);
+
+    /** Add a warp at CTA launch; returns its slot index. */
+    int add_warp(std::unique_ptr<Warp> warp);
+
+    Warp& warp(int slot) { return *warps_[slot]; }
+
+    /** True while any resident warp is unfinished or writes are in
+     *  flight. */
+    bool busy() const;
+
+    /** Complete instructions whose writeback cycle has arrived. */
+    void do_writebacks(uint64_t now);
+
+    /** Attempt to issue one instruction; true if something issued. */
+    bool try_issue(uint64_t now);
+
+    /** Register a future writeback (used by the SM's MIO path too).
+     *  @p iter is the loop iteration the instruction issued at. */
+    void register_writeback(uint64_t done, int warp_slot,
+                            const Instruction* inst, int iter);
+
+    /** Number of instructions issued by this sub-core. */
+    uint64_t issued() const { return issued_; }
+
+    /** Issue-stall attribution (cycles no instruction issued, by the
+     *  blocking reason of the first resident warp). */
+    enum class StallReason : uint8_t {
+        kNone, kEmpty, kBarrier, kScoreboard, kTcBusy, kMioFull,
+        kAluBusy, kDrained,
+    };
+    const uint64_t* stall_counts() const { return stalls_; }
+
+    const TensorCoreUnit& tensor_cores() const { return tc_; }
+
+    /** Release a warp blocked at the CTA barrier. */
+    void release_barrier(int warp_slot);
+
+  private:
+    /** Try to issue the next instruction of one warp. */
+    bool try_issue_warp(int slot, uint64_t now);
+
+    /** Issue bookkeeping common to all instruction classes. */
+    void finish_issue(int slot, Warp& w, const Instruction& inst,
+                      uint64_t now);
+
+    /** Retire a warp whose EXIT has drained. */
+    void maybe_finish_warp(int slot);
+
+    struct InFlight
+    {
+        uint64_t done;
+        int warp_slot;
+        const Instruction* inst;
+        int iter;
+    };
+
+    SM* sm_;
+    int index_;
+    SchedulerPolicy policy_;
+    std::vector<std::unique_ptr<Warp>> warps_;
+    std::vector<int> active_;  ///< Slots of resident, unfinished warps.
+    Scoreboard scoreboard_{0};
+    ExecUnit fp32_;
+    ExecUnit int_;
+    ExecUnit fp64_;
+    ExecUnit mufu_;
+    TensorCoreUnit tc_;
+    std::vector<InFlight> inflight_;
+    int last_issued_ = -1;
+    int lrr_pos_ = 0;
+    uint64_t issued_ = 0;
+    uint64_t stalls_[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    StallReason last_block_ = StallReason::kNone;
+};
+
+}  // namespace tcsim

@@ -1,0 +1,72 @@
+#include "sim/gpu.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tcsim {
+
+Gpu::Gpu(GpuConfig cfg, SimOptions opts)
+    : cfg_(std::move(cfg)), opts_(opts),
+      mem_(std::make_unique<MemorySystem>(cfg_))
+{
+}
+
+Gpu::~Gpu() = default;
+
+LaunchStats
+Gpu::launch(const KernelDesc& kernel)
+{
+    TCSIM_CHECK(kernel.grid_ctas > 0);
+    TCSIM_CHECK(kernel.trace != nullptr);
+
+    mem_->reset_timing();
+
+    GridState grid;
+    grid.kernel = &kernel;
+
+    RunStatsCollector collector;
+
+    // SM timing state is per-launch; functional memory persists.
+    int active_sms = std::min(cfg_.num_sms, kernel.grid_ctas);
+    std::vector<std::unique_ptr<SM>> sms;
+    sms.reserve(static_cast<size_t>(cfg_.num_sms));
+    for (int i = 0; i < cfg_.num_sms; ++i) {
+        sms.push_back(std::make_unique<SM>(i, cfg_, mem_.get(), &grid,
+                                           &collector, &executors_,
+                                           opts_.scheduler));
+    }
+    (void)active_sms;
+
+    uint64_t cycle = 0;
+    bool busy = true;
+    while (busy || grid.pending()) {
+        busy = false;
+        for (auto& sm : sms) {
+            sm->cycle(cycle);
+            busy = busy || sm->busy();
+        }
+        ++cycle;
+        if (cycle > opts_.max_cycles) {
+            panic("kernel %s exceeded max_cycles=%llu", kernel.name.c_str(),
+                  static_cast<unsigned long long>(opts_.max_cycles));
+        }
+    }
+
+    LaunchStats stats;
+    stats.kernel = kernel.name;
+    stats.cycles = cycle;
+    stats.instructions = collector.instructions;
+    stats.hmma_instructions = collector.hmma_instructions;
+    stats.ipc = cycle > 0 ? static_cast<double>(collector.instructions) /
+                                static_cast<double>(cycle)
+                          : 0.0;
+    stats.mem = mem_->stats();
+    stats.macro_latency = std::move(collector.macro_latency);
+    for (const auto& sm : sms)
+        sm->add_stalls(stats.stalls);
+    return stats;
+}
+
+}  // namespace tcsim

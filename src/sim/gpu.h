@@ -1,0 +1,81 @@
+#pragma once
+/**
+ * @file
+ * Top-level GPU simulator: owns the memory system and SMs, dispatches
+ * CTAs, and runs launched kernels to completion, collecting the
+ * statistics the paper's evaluation reports (cycles, IPC, WMMA
+ * instruction latencies, memory traffic).
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "arch/gpu_config.h"
+#include "common/stats.h"
+#include "sim/core/scheduler.h"
+#include "sim/core/sm.h"
+#include "sim/kernel_desc.h"
+#include "sim/mem/memory_system.h"
+
+namespace tcsim {
+
+/** Result of one kernel launch. */
+struct LaunchStats
+{
+    std::string kernel;
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t hmma_instructions = 0;
+    /** Chip-wide instructions per cycle. */
+    double ipc = 0.0;
+    MemStats mem;
+    /** Latency distributions per WMMA macro class (Figs 15/16). */
+    std::map<MacroClass, Histogram> macro_latency;
+    /** Issue-stall attribution summed over sub-cores
+     *  (index = SubCore::StallReason). */
+    uint64_t stalls[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+
+    /** Achieved TFLOPS for a GEMM of the given FLOP count. */
+    double tflops(double flops, double clock_ghz) const
+    {
+        if (cycles == 0)
+            return 0.0;
+        double seconds = static_cast<double>(cycles) / (clock_ghz * 1e9);
+        return flops / seconds / 1e12;
+    }
+};
+
+/** Options controlling one simulation run. */
+struct SimOptions
+{
+    SchedulerPolicy scheduler = SchedulerPolicy::kGto;
+    /** Abort runaway simulations after this many cycles. */
+    uint64_t max_cycles = 2'000'000'000;
+};
+
+/** The simulated GPU. */
+class Gpu
+{
+  public:
+    explicit Gpu(GpuConfig cfg, SimOptions opts = {});
+    ~Gpu();
+
+    GpuConfig& config() { return cfg_; }
+    const GpuConfig& config() const { return cfg_; }
+
+    /** Device memory (persists across launches). */
+    GlobalMemory& mem() { return mem_->global(); }
+
+    /** Run @p kernel to completion and return its statistics. */
+    LaunchStats launch(const KernelDesc& kernel);
+
+  private:
+    GpuConfig cfg_;
+    SimOptions opts_;
+    std::unique_ptr<MemorySystem> mem_;
+    ExecutorCache executors_;
+};
+
+}  // namespace tcsim

@@ -1,0 +1,38 @@
+#pragma once
+/**
+ * @file
+ * Kernel launch descriptor: grid geometry, per-CTA resources, and the
+ * per-warp trace generator the simulator executes (the role nvcc +
+ * the PTX/SASS toolchain plays for GPGPU-Sim).
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "isa/instruction.h"
+
+namespace tcsim {
+
+/** A kernel launch: geometry, resources, and trace generator. */
+struct KernelDesc
+{
+    std::string name = "kernel";
+    /** Number of thread blocks (CTAs) in the grid. */
+    int grid_ctas = 1;
+    /** Warps per CTA. */
+    int warps_per_cta = 1;
+    /** Shared memory per CTA, bytes. */
+    uint32_t shared_mem_bytes = 0;
+    /** Architectural registers per thread (bounds scoreboard state). */
+    int regs_per_thread = 64;
+    /** Execute instruction semantics (loads/stores/HMMA move real
+     *  data).  Disable for timing-only runs at large problem sizes. */
+    bool functional = true;
+
+    /** Produces the instruction trace of warp @p warp_id (within the
+     *  CTA) of CTA @p cta_id.  Called lazily at CTA dispatch. */
+    std::function<WarpProgram(int cta_id, int warp_id)> trace;
+};
+
+}  // namespace tcsim

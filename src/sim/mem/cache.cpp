@@ -1,0 +1,87 @@
+#include "sim/mem/cache.h"
+
+#include "common/logging.h"
+
+namespace tcsim {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg)
+{
+    TCSIM_CHECK(cfg.line_bytes % cfg.sector_bytes == 0);
+    sectors_per_line_ = cfg.line_bytes / cfg.sector_bytes;
+    TCSIM_CHECK(sectors_per_line_ <= 8);
+    num_sets_ = static_cast<int>(cfg.size_bytes /
+                                 (static_cast<uint32_t>(cfg.line_bytes) *
+                                  cfg.assoc));
+    TCSIM_CHECK(num_sets_ > 0);
+    lines_.resize(static_cast<size_t>(num_sets_) * cfg.assoc);
+}
+
+CacheOutcome
+Cache::access(uint64_t addr, bool is_write)
+{
+    ++tick_;
+    uint64_t line_addr = addr / cfg_.line_bytes;
+    // Modulo indexing (set counts need not be a power of two, e.g.
+    // the Titan V's 4608 KB L2).
+    int set = static_cast<int>(line_addr % static_cast<uint64_t>(num_sets_));
+    uint64_t tag = line_addr / static_cast<uint64_t>(num_sets_);
+    int sector = static_cast<int>((addr % cfg_.line_bytes) /
+                                  cfg_.sector_bytes);
+    uint8_t sector_bit = static_cast<uint8_t>(1u << sector);
+
+    Line* entry = nullptr;
+    for (int w = 0; w < cfg_.assoc; ++w) {
+        Line& line = lines_[static_cast<size_t>(set) * cfg_.assoc + w];
+        if (line.valid && line.tag == tag) {
+            entry = &line;
+            break;
+        }
+    }
+
+    if (entry) {
+        entry->lru = tick_;
+        if (entry->sector_valid & sector_bit) {
+            ++hits_;
+            return CacheOutcome::kHit;
+        }
+        // Line present, sector absent: fetch one sector.
+        if (!is_write || cfg_.write_allocate)
+            entry->sector_valid |= sector_bit;
+        ++misses_;
+        return CacheOutcome::kSectorMiss;
+    }
+
+    ++misses_;
+    if (is_write && !cfg_.write_allocate)
+        return CacheOutcome::kLineMiss;  // write-through, no fill
+
+    // Victim = LRU way.
+    Line* victim = &lines_[static_cast<size_t>(set) * cfg_.assoc];
+    for (int w = 1; w < cfg_.assoc; ++w) {
+        Line& line = lines_[static_cast<size_t>(set) * cfg_.assoc + w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lru < victim->lru)
+            victim = &line;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = tick_;
+    victim->sector_valid = sector_bit;
+    return CacheOutcome::kLineMiss;
+}
+
+void
+Cache::flush()
+{
+    for (auto& line : lines_) {
+        line.valid = false;
+        line.sector_valid = 0;
+    }
+    hits_ = 0;
+    misses_ = 0;
+}
+
+}  // namespace tcsim

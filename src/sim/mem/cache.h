@@ -1,0 +1,71 @@
+#pragma once
+/**
+ * @file
+ * Sectored set-associative cache timing model (tag store only; data
+ * is held functionally in GlobalMemory).  Used for both the per-SM L1
+ * and the shared L2.
+ *
+ * Lines are 128 B with four 32-byte sectors; a miss on a cached line
+ * with an absent sector fetches just that sector (sector-miss), as in
+ * Volta's L1 (Khairy et al.).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace tcsim {
+
+/** Outcome of a cache lookup. */
+enum class CacheOutcome { kHit, kSectorMiss, kLineMiss };
+
+/** Configuration of one cache instance. */
+struct CacheConfig
+{
+    uint32_t size_bytes = 128 * 1024;
+    int line_bytes = 128;
+    int sector_bytes = 32;
+    int assoc = 4;
+    bool write_allocate = false;  ///< Streaming write-through when false.
+};
+
+/** Sectored set-associative tag store with LRU replacement. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig& cfg);
+
+    /**
+     * Access one sector (byte address anywhere within it).  Updates
+     * tags/LRU and returns the outcome.  Write misses do not allocate
+     * unless configured.
+     */
+    CacheOutcome access(uint64_t addr, bool is_write);
+
+    /** Invalidate all lines (kernel boundary). */
+    void flush();
+
+    int num_sets() const { return num_sets_; }
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = ~uint64_t{0};
+        uint64_t lru = 0;
+        uint8_t sector_valid = 0;  ///< Bitmask over sectors.
+        bool valid = false;
+    };
+
+    CacheConfig cfg_;
+    int num_sets_;
+    int sectors_per_line_;
+    std::vector<Line> lines_;  // [set * assoc + way]
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+}  // namespace tcsim

@@ -1,0 +1,35 @@
+#include "sim/mem/coalescer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tcsim {
+
+std::vector<uint64_t>
+coalesce_sectors(const Instruction& inst, int sector_bytes, int iter)
+{
+    TCSIM_CHECK(is_memory_opcode(inst.op));
+    TCSIM_CHECK(inst.addr != nullptr);
+    TCSIM_CHECK(inst.width_bits >= 8);
+
+    std::vector<uint64_t> sectors;
+    sectors.reserve(kWarpSize);
+    const uint64_t bytes = inst.width_bits / 8;
+    const uint64_t mask = ~static_cast<uint64_t>(sector_bytes - 1);
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+        uint64_t a = inst.effective_addr(lane, iter);
+        if (a == kNoAddr)
+            continue;
+        uint64_t first = a & mask;
+        uint64_t last = (a + bytes - 1) & mask;
+        for (uint64_t s = first; s <= last;
+             s += static_cast<uint64_t>(sector_bytes))
+            sectors.push_back(s);
+    }
+    std::sort(sectors.begin(), sectors.end());
+    sectors.erase(std::unique(sectors.begin(), sectors.end()), sectors.end());
+    return sectors;
+}
+
+}  // namespace tcsim

@@ -1,0 +1,22 @@
+#pragma once
+/**
+ * @file
+ * Memory access coalescer: collapses the 32 per-lane addresses of a
+ * warp-wide load/store into the set of distinct 32-byte sectors it
+ * touches, the granularity at which Volta's L1 moves data.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace tcsim {
+
+/** Coalesce one warp-wide access into sorted unique sector addresses
+ *  (byte address of each sector start).  @p iter is the loop
+ *  iteration the instruction issued at. */
+std::vector<uint64_t> coalesce_sectors(const Instruction& inst,
+                                       int sector_bytes = 32, int iter = 0);
+
+}  // namespace tcsim

@@ -1,0 +1,39 @@
+#include "sim/mem/dram.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tcsim {
+
+DramModel::DramModel(int num_partitions, double bytes_per_cycle, int latency,
+                     int interleave_bytes)
+    : num_partitions_(num_partitions), cycles_per_byte_(1.0 / bytes_per_cycle),
+      latency_(latency), interleave_bytes_(interleave_bytes),
+      next_free_(static_cast<size_t>(num_partitions), 0.0)
+{
+    TCSIM_CHECK(num_partitions > 0);
+    TCSIM_CHECK(bytes_per_cycle > 0.0);
+}
+
+uint64_t
+DramModel::access(uint64_t addr, int bytes, uint64_t now)
+{
+    int part = static_cast<int>((addr / interleave_bytes_) % num_partitions_);
+    double start = std::max(static_cast<double>(now), next_free_[part]);
+    double service = bytes * cycles_per_byte_;
+    next_free_[part] = start + service;
+    total_bytes_ += static_cast<uint64_t>(bytes);
+    ++total_requests_;
+    return static_cast<uint64_t>(start + service) + latency_;
+}
+
+void
+DramModel::reset()
+{
+    std::fill(next_free_.begin(), next_free_.end(), 0.0);
+    total_bytes_ = 0;
+    total_requests_ = 0;
+}
+
+}  // namespace tcsim

@@ -1,0 +1,44 @@
+#pragma once
+/**
+ * @file
+ * DRAM (HBM2) timing model: address-interleaved partitions, each with
+ * a service rate in bytes/cycle and a fixed access latency.  Sector
+ * requests queue at their partition; the returned completion time
+ * reflects both bandwidth contention and latency.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace tcsim {
+
+/** Per-partition bandwidth/latency model. */
+class DramModel
+{
+  public:
+    DramModel(int num_partitions, double bytes_per_cycle, int latency,
+              int interleave_bytes = 256);
+
+    /**
+     * Enqueue one sector request at cycle @p now; returns the cycle
+     * the data is available at L2.
+     */
+    uint64_t access(uint64_t addr, int bytes, uint64_t now);
+
+    uint64_t total_bytes() const { return total_bytes_; }
+    uint64_t total_requests() const { return total_requests_; }
+
+    /** Reset queue state between kernels. */
+    void reset();
+
+  private:
+    int num_partitions_;
+    double cycles_per_byte_;
+    int latency_;
+    int interleave_bytes_;
+    std::vector<double> next_free_;  ///< Per-partition service horizon.
+    uint64_t total_bytes_ = 0;
+    uint64_t total_requests_ = 0;
+};
+
+}  // namespace tcsim

@@ -1,0 +1,73 @@
+#pragma once
+/**
+ * @file
+ * Functional global-memory backing store with a bump allocator.
+ *
+ * Simulated kernels address a flat 64-bit space; allocations are
+ * 256-byte aligned (so tile base addresses behave like cudaMalloc
+ * results with respect to coalescing).
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tcsim {
+
+/** Flat byte-addressable device memory (functional model). */
+class GlobalMemory
+{
+  public:
+    GlobalMemory() = default;
+
+    /** Allocate @p bytes, 256-byte aligned; returns the device address.
+     *  Address 0 is reserved (null). */
+    uint64_t alloc(uint64_t bytes)
+    {
+        uint64_t addr = (next_ + 255) & ~uint64_t{255};
+        next_ = addr + bytes;
+        if (next_ > data_.size())
+            data_.resize(next_);
+        return addr;
+    }
+
+    /** Total allocated footprint in bytes. */
+    uint64_t footprint() const { return next_; }
+
+    void write(uint64_t addr, const void* src, size_t bytes)
+    {
+        TCSIM_CHECK(addr + bytes <= data_.size());
+        std::memcpy(data_.data() + addr, src, bytes);
+    }
+
+    void read(uint64_t addr, void* dst, size_t bytes) const
+    {
+        TCSIM_CHECK(addr + bytes <= data_.size());
+        std::memcpy(dst, data_.data() + addr, bytes);
+    }
+
+    uint32_t read_u32(uint64_t addr) const
+    {
+        uint32_t v;
+        read(addr, &v, 4);
+        return v;
+    }
+
+    void write_u32(uint64_t addr, uint32_t v) { write(addr, &v, 4); }
+
+    /** Raw pointer for bulk host-side initialization. */
+    uint8_t* raw(uint64_t addr, size_t bytes)
+    {
+        TCSIM_CHECK(addr + bytes <= data_.size());
+        return data_.data() + addr;
+    }
+
+  private:
+    // First allocation starts past null page.
+    uint64_t next_ = 4096;
+    std::vector<uint8_t> data_;
+};
+
+}  // namespace tcsim

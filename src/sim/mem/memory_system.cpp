@@ -1,0 +1,104 @@
+#include "sim/mem/memory_system.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tcsim {
+
+MemorySystem::MemorySystem(const GpuConfig& cfg) : cfg_(cfg)
+{
+    CacheConfig l1cfg;
+    l1cfg.size_bytes = cfg.l1_size;
+    l1cfg.line_bytes = cfg.l1_line_bytes;
+    l1cfg.sector_bytes = cfg.l1_sector_bytes;
+    l1cfg.assoc = cfg.l1_assoc;
+    l1cfg.write_allocate = false;  // Volta L1: write-through, no allocate
+    l1_.reserve(static_cast<size_t>(cfg.num_sms));
+    for (int i = 0; i < cfg.num_sms; ++i)
+        l1_.push_back(std::make_unique<Cache>(l1cfg));
+
+    CacheConfig l2cfg;
+    l2cfg.size_bytes = cfg.l2_size;
+    l2cfg.line_bytes = cfg.l1_line_bytes;
+    l2cfg.sector_bytes = cfg.l1_sector_bytes;
+    l2cfg.assoc = cfg.l2_assoc;
+    l2cfg.write_allocate = true;
+    l2_ = std::make_unique<Cache>(l2cfg);
+
+    dram_ = std::make_unique<DramModel>(
+        cfg.num_mem_partitions, cfg.dram_bytes_per_cycle_per_partition,
+        cfg.dram_latency);
+}
+
+uint64_t
+MemorySystem::access_global(int sm, const std::vector<uint64_t>& sectors,
+                            bool is_write, uint64_t now)
+{
+    TCSIM_CHECK(sm >= 0 && sm < static_cast<int>(l1_.size()));
+    Cache& l1 = *l1_[sm];
+    uint64_t done = now;
+    global_sectors_ += sectors.size();
+
+    // The L1 accepts one sector per cycle (port serialization).
+    uint64_t port_cycle = now;
+    for (uint64_t sector : sectors) {
+        uint64_t t0 = port_cycle++;
+        CacheOutcome o1 = l1.access(sector, is_write);
+        uint64_t sector_done;
+        if (is_write) {
+            // Write-through: the warp's store is acknowledged at the
+            // L1; the write drains through L2/DRAM in the background
+            // but still consumes DRAM bandwidth.
+            CacheOutcome o2 = l2_->access(sector, true);
+            if (o2 == CacheOutcome::kLineMiss ||
+                o2 == CacheOutcome::kSectorMiss) {
+                dram_->access(sector, cfg_.l1_sector_bytes,
+                              t0 + cfg_.l2_hit_latency);
+            }
+            sector_done = t0 + static_cast<uint64_t>(cfg_.l1_hit_latency);
+        } else if (o1 == CacheOutcome::kHit) {
+            sector_done = t0 + static_cast<uint64_t>(cfg_.l1_hit_latency);
+        } else {
+            CacheOutcome o2 = l2_->access(sector, false);
+            if (o2 == CacheOutcome::kHit) {
+                sector_done = t0 + static_cast<uint64_t>(cfg_.l2_hit_latency);
+            } else {
+                // DRAM round trip; the L2 transit cost rides on top.
+                uint64_t dram_done =
+                    dram_->access(sector, cfg_.l1_sector_bytes, t0);
+                sector_done =
+                    dram_done + static_cast<uint64_t>(cfg_.l2_hit_latency);
+            }
+        }
+        done = std::max(done, sector_done);
+    }
+    return done;
+}
+
+void
+MemorySystem::reset_timing()
+{
+    for (auto& c : l1_)
+        c->flush();
+    l2_->flush();
+    dram_->reset();
+    global_sectors_ = 0;
+}
+
+MemStats
+MemorySystem::stats() const
+{
+    MemStats s;
+    for (const auto& c : l1_) {
+        s.l1_hits += c->hits();
+        s.l1_misses += c->misses();
+    }
+    s.l2_hits = l2_->hits();
+    s.l2_misses = l2_->misses();
+    s.dram_bytes = dram_->total_bytes();
+    s.global_sectors = global_sectors_;
+    return s;
+}
+
+}  // namespace tcsim

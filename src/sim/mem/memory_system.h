@@ -1,0 +1,62 @@
+#pragma once
+/**
+ * @file
+ * Chip-level memory system: per-SM sectored L1s in front of a shared
+ * L2 and the partitioned DRAM model, plus the functional global
+ * memory backing store.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/gpu_config.h"
+#include "sim/mem/cache.h"
+#include "sim/mem/dram.h"
+#include "sim/mem/global_memory.h"
+
+namespace tcsim {
+
+/** Aggregated memory-system counters for one kernel. */
+struct MemStats
+{
+    uint64_t l1_hits = 0;
+    uint64_t l1_misses = 0;
+    uint64_t l2_hits = 0;
+    uint64_t l2_misses = 0;
+    uint64_t dram_bytes = 0;
+    uint64_t global_sectors = 0;
+};
+
+/** Timing + functional chip memory. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const GpuConfig& cfg);
+
+    GlobalMemory& global() { return gmem_; }
+    const GpuConfig& config() const { return cfg_; }
+
+    /**
+     * Timed warp-wide global access of @p sectors (sector-aligned byte
+     * addresses) from SM @p sm at cycle @p now.  Returns the cycle the
+     * last sector's data is available (loads) or accepted (stores).
+     */
+    uint64_t access_global(int sm, const std::vector<uint64_t>& sectors,
+                           bool is_write, uint64_t now);
+
+    /** Invalidate caches and reset queue state (kernel boundary). */
+    void reset_timing();
+
+    MemStats stats() const;
+
+  private:
+    GpuConfig cfg_;
+    GlobalMemory gmem_;
+    std::vector<std::unique_ptr<Cache>> l1_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<DramModel> dram_;
+    uint64_t global_sectors_ = 0;
+};
+
+}  // namespace tcsim

@@ -1,0 +1,37 @@
+#include "sim/mem/shared_memory.h"
+
+#include <algorithm>
+#include <array>
+
+namespace tcsim {
+
+int
+shared_bank_conflict_degree(const Instruction& inst, int num_banks, int iter)
+{
+    TCSIM_CHECK(inst.addr != nullptr);
+    TCSIM_CHECK(num_banks <= 32);
+    const int word_bytes = 4;
+    const int words = std::max(1, inst.width_bits / 32);
+
+    int worst = 1;
+    // Each 4-byte phase is a separate shared-memory cycle.
+    for (int phase = 0; phase < words; ++phase) {
+        // Distinct words requested per bank in this phase.
+        std::array<std::vector<uint64_t>, 32> bank_words;
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            uint64_t a = inst.effective_addr(lane, iter);
+            if (a == kNoAddr)
+                continue;
+            uint64_t word_addr = a / word_bytes + phase;
+            int bank = static_cast<int>(word_addr % num_banks);
+            auto& v = bank_words[static_cast<size_t>(bank)];
+            if (std::find(v.begin(), v.end(), word_addr) == v.end())
+                v.push_back(word_addr);
+        }
+        for (const auto& v : bank_words)
+            worst = std::max(worst, static_cast<int>(v.size()));
+    }
+    return worst;
+}
+
+}  // namespace tcsim

@@ -1,0 +1,93 @@
+#include "tensor/fragment.h"
+
+#include "common/logging.h"
+
+namespace tcsim {
+
+FragmentMap::FragmentMap(Arch arch, WmmaOperand op, TileShape shape,
+                         TcMode mode, Layout layout,
+                         std::vector<Fragment> frags)
+    : arch_(arch), op_(op), shape_(shape), mode_(mode), layout_(layout),
+      frags_(std::move(frags))
+{
+    TCSIM_CHECK(frags_.size() == kWarpSize);
+    size_t per_thread = frags_.front().elems.size();
+    for (const auto& f : frags_)
+        TCSIM_CHECK(f.elems.size() == per_thread);
+
+    int rows = shape_.rows(op_);
+    int cols = shape_.cols(op_);
+    index_.resize(static_cast<size_t>(rows) * cols);
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+        const auto& elems = frags_[lane].elems;
+        for (size_t slot = 0; slot < elems.size(); ++slot) {
+            const ElemCoord& e = elems[slot];
+            TCSIM_CHECK(e.row >= 0 && e.row < rows);
+            TCSIM_CHECK(e.col >= 0 && e.col < cols);
+            index_[static_cast<size_t>(e.row) * cols + e.col].push_back(
+                {lane, static_cast<int>(slot)});
+        }
+    }
+    // Every tile element must be owned by at least one thread.
+    for (const auto& owners : index_)
+        TCSIM_CHECK(!owners.empty());
+}
+
+const Fragment&
+FragmentMap::fragment(int lane) const
+{
+    TCSIM_CHECK(lane >= 0 && lane < kWarpSize);
+    return frags_[lane];
+}
+
+std::vector<ElemLocation>
+FragmentMap::locate(int r, int c) const
+{
+    int cols = shape_.cols(op_);
+    TCSIM_CHECK(r >= 0 && r < shape_.rows(op_));
+    TCSIM_CHECK(c >= 0 && c < cols);
+    return index_[static_cast<size_t>(r) * cols + c];
+}
+
+bool
+FragmentMap::is_fp16_storage() const
+{
+    if (op_ == WmmaOperand::kA || op_ == WmmaOperand::kB) {
+        return mode_ == TcMode::kFp16 || mode_ == TcMode::kMixed;
+    }
+    // C / D accumulator storage.
+    return mode_ == TcMode::kFp16;
+}
+
+int
+FragmentMap::regs_per_thread() const
+{
+    int elems = elems_per_thread();
+    if (op_ == WmmaOperand::kA || op_ == WmmaOperand::kB) {
+        switch (mode_) {
+          case TcMode::kFp16:
+          case TcMode::kMixed:
+            return elems / 2;  // two halfs per 32-bit register
+          case TcMode::kInt8:
+            return elems / 4;
+          case TcMode::kInt4:
+            return elems / 8;
+        }
+    }
+    // Accumulators: FP32/INT32 use one register per element; FP16 packs
+    // two elements per register.
+    return mode_ == TcMode::kFp16 ? elems / 2 : elems;
+}
+
+FragmentMap
+fragment_map(Arch arch, WmmaOperand op, TileShape shape, TcMode mode,
+             Layout layout)
+{
+    if (arch == Arch::kVolta) {
+        TCSIM_CHECK(shape == kShape16x16x16);
+        return volta_fragment_map(op, mode, layout);
+    }
+    return turing_fragment_map(op, shape, mode, layout);
+}
+
+}  // namespace tcsim

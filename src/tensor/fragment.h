@@ -1,0 +1,102 @@
+#pragma once
+/**
+ * @file
+ * Fragment maps: the distribution of WMMA operand-matrix elements to
+ * the registers of individual threads in a warp (Figs 7 and 8 of the
+ * paper).
+ *
+ * A *fragment* is the set of tile elements mapped into one thread's
+ * registers.  On Volta each A/B element is held by exactly two threads
+ * (one in each threadgroup of a pair); on Turing each element is held
+ * exactly once.
+ */
+
+#include <vector>
+
+#include "arch/gpu_config.h"
+#include "tensor/types.h"
+
+namespace tcsim {
+
+/** One thread's fragment: tile elements in register-slot order. */
+struct Fragment
+{
+    /** elems[i] lives in register slot i (2 half slots or 1 float
+     *  slot per 32-bit register). */
+    std::vector<ElemCoord> elems;
+};
+
+/** Location of one tile element within a warp's registers. */
+struct ElemLocation
+{
+    int lane = 0;  ///< Thread index within the warp [0, 32).
+    int slot = 0;  ///< Register-slot index within the fragment.
+};
+
+/**
+ * The complete element-to-thread mapping of one operand tile for one
+ * (architecture, operand, shape, mode, layout) combination.
+ */
+class FragmentMap
+{
+  public:
+    FragmentMap(Arch arch, WmmaOperand op, TileShape shape, TcMode mode,
+                Layout layout, std::vector<Fragment> frags);
+
+    Arch arch() const { return arch_; }
+    WmmaOperand op() const { return op_; }
+    TileShape shape() const { return shape_; }
+    TcMode mode() const { return mode_; }
+    Layout layout() const { return layout_; }
+
+    /** Per-lane fragments, index = lane id. */
+    const std::vector<Fragment>& fragments() const { return frags_; }
+    const Fragment& fragment(int lane) const;
+
+    /** Elements per thread. */
+    int elems_per_thread() const
+    {
+        return static_cast<int>(frags_.front().elems.size());
+    }
+
+    /** All warp locations holding tile element (r, c).
+     *  Volta A/B: exactly two; Turing and all C/D: exactly one. */
+    std::vector<ElemLocation> locate(int r, int c) const;
+
+    /** Number of 32-bit registers each thread devotes to the fragment. */
+    int regs_per_thread() const;
+
+    /** True if the element type is 16-bit (A/B always; C/D in FP16). */
+    bool is_fp16_storage() const;
+
+  private:
+    Arch arch_;
+    WmmaOperand op_;
+    TileShape shape_;
+    TcMode mode_;
+    Layout layout_;
+    std::vector<Fragment> frags_;
+    /** locate() index: (r * cols + c) -> locations. */
+    std::vector<std::vector<ElemLocation>> index_;
+};
+
+/**
+ * Build the Volta (Titan V) fragment map per Fig 7.  Only the
+ * 16x16x16 shape exists on Volta.  @p layout is the storage layout of
+ * the operand matrix; it changes load instruction shape, not element
+ * ownership.
+ */
+FragmentMap volta_fragment_map(WmmaOperand op, TcMode mode, Layout layout);
+
+/**
+ * Build the Turing (RTX 2080) fragment map per Fig 8 for shapes
+ * 16x16x16 / 32x8x16 / 8x32x16 (fp16, mixed, int8) and 8x8x32 (int4).
+ */
+FragmentMap turing_fragment_map(WmmaOperand op, TileShape shape, TcMode mode,
+                                Layout layout);
+
+/** Dispatch on architecture. */
+FragmentMap fragment_map(Arch arch, WmmaOperand op, TileShape shape,
+                         TcMode mode, Layout layout);
+
+}  // namespace tcsim

@@ -1,0 +1,148 @@
+#pragma once
+/**
+ * @file
+ * Direct host-matrix <-> warp-register fragment transfer.
+ *
+ * These helpers implement the *functional* effect of
+ * wmma.load_matrix_sync / wmma.store_matrix_sync without going
+ * through the simulated memory system: each fragment slot is filled
+ * from (or drained to) the corresponding tile element.  The simulator
+ * kernels perform the same transfer via LD/ST micro-ops; tests use
+ * both paths and cross-check them.
+ */
+
+#include <cstdint>
+
+#include "common/logging.h"
+#include "fp16/half.h"
+#include "isa/reg_state.h"
+#include "tensor/fragment.h"
+#include "tensor/matrix.h"
+
+namespace tcsim {
+
+/** Load an FP16 operand tile (A/B, or C/D in FP16 mode) into
+ *  registers starting at @p base_reg. */
+inline void
+pack_fragment_h16(const FragmentMap& map, const HostMatrix<half>& m,
+                  WarpRegState* regs, uint8_t base_reg, int row0 = 0,
+                  int col0 = 0)
+{
+    TCSIM_CHECK(map.is_fp16_storage());
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+        const auto& elems = map.fragment(lane).elems;
+        for (size_t slot = 0; slot < elems.size(); ++slot) {
+            half v = m.at(row0 + elems[slot].row, col0 + elems[slot].col);
+            regs->write_h16(lane, base_reg + static_cast<int>(slot / 2),
+                            static_cast<int>(slot % 2), v);
+        }
+    }
+}
+
+/** Load an FP32 accumulator tile into registers. */
+inline void
+pack_fragment_f32(const FragmentMap& map, const HostMatrix<float>& m,
+                  WarpRegState* regs, uint8_t base_reg, int row0 = 0,
+                  int col0 = 0)
+{
+    TCSIM_CHECK(!map.is_fp16_storage());
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+        const auto& elems = map.fragment(lane).elems;
+        for (size_t slot = 0; slot < elems.size(); ++slot) {
+            float v = m.at(row0 + elems[slot].row, col0 + elems[slot].col);
+            regs->write_f32(lane, base_reg + static_cast<int>(slot), v);
+        }
+    }
+}
+
+/** Load an INT8 operand tile. */
+inline void
+pack_fragment_i8(const FragmentMap& map, const HostMatrix<int8_t>& m,
+                 WarpRegState* regs, uint8_t base_reg)
+{
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+        const auto& elems = map.fragment(lane).elems;
+        for (size_t slot = 0; slot < elems.size(); ++slot) {
+            regs->write_i8(lane, base_reg + static_cast<int>(slot / 4),
+                           static_cast<int>(slot % 4),
+                           m.at(elems[slot].row, elems[slot].col));
+        }
+    }
+}
+
+/** Load an INT4 operand tile (values must be in [-8, 7]). */
+inline void
+pack_fragment_i4(const FragmentMap& map, const HostMatrix<int8_t>& m,
+                 WarpRegState* regs, uint8_t base_reg)
+{
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+        const auto& elems = map.fragment(lane).elems;
+        for (size_t slot = 0; slot < elems.size(); ++slot) {
+            regs->write_i4(lane, base_reg + static_cast<int>(slot / 8),
+                           static_cast<int>(slot % 8),
+                           m.at(elems[slot].row, elems[slot].col));
+        }
+    }
+}
+
+/** Load an INT32 accumulator tile. */
+inline void
+pack_fragment_i32(const FragmentMap& map, const HostMatrix<int32_t>& m,
+                  WarpRegState* regs, uint8_t base_reg)
+{
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+        const auto& elems = map.fragment(lane).elems;
+        for (size_t slot = 0; slot < elems.size(); ++slot) {
+            regs->write(lane, base_reg + static_cast<int>(slot),
+                        static_cast<uint32_t>(
+                            m.at(elems[slot].row, elems[slot].col)));
+        }
+    }
+}
+
+/** Store an FP16 accumulator fragment back to a host matrix. */
+inline void
+unpack_fragment_h16(const FragmentMap& map, const WarpRegState& regs,
+                    uint8_t base_reg, HostMatrix<half>* m, int row0 = 0,
+                    int col0 = 0)
+{
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+        const auto& elems = map.fragment(lane).elems;
+        for (size_t slot = 0; slot < elems.size(); ++slot) {
+            m->at(row0 + elems[slot].row, col0 + elems[slot].col) =
+                regs.read_h16(lane, base_reg + static_cast<int>(slot / 2),
+                              static_cast<int>(slot % 2));
+        }
+    }
+}
+
+/** Store an FP32 accumulator fragment back to a host matrix. */
+inline void
+unpack_fragment_f32(const FragmentMap& map, const WarpRegState& regs,
+                    uint8_t base_reg, HostMatrix<float>* m, int row0 = 0,
+                    int col0 = 0)
+{
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+        const auto& elems = map.fragment(lane).elems;
+        for (size_t slot = 0; slot < elems.size(); ++slot) {
+            m->at(row0 + elems[slot].row, col0 + elems[slot].col) =
+                regs.read_f32(lane, base_reg + static_cast<int>(slot));
+        }
+    }
+}
+
+/** Store an INT32 accumulator fragment back to a host matrix. */
+inline void
+unpack_fragment_i32(const FragmentMap& map, const WarpRegState& regs,
+                    uint8_t base_reg, HostMatrix<int32_t>* m)
+{
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+        const auto& elems = map.fragment(lane).elems;
+        for (size_t slot = 0; slot < elems.size(); ++slot) {
+            m->at(elems[slot].row, elems[slot].col) = static_cast<int32_t>(
+                regs.read(lane, base_reg + static_cast<int>(slot)));
+        }
+    }
+}
+
+}  // namespace tcsim

@@ -1,0 +1,69 @@
+#include <vector>
+
+#include "common/logging.h"
+#include "tensor/fragment.h"
+
+namespace tcsim {
+
+namespace {
+
+/**
+ * Turing distribution rule (Section III-B2): each element is loaded
+ * exactly once; each row (A and C) or column (B) is owned by one
+ * threadgroup, and consecutive threadgroups own consecutive
+ * rows/columns (round-robin, tg = index % 8).  Within a threadgroup
+ * the owned row/column is split into four equal contiguous chunks,
+ * one per thread.
+ */
+Fragment
+turing_fragment(WmmaOperand op, TileShape shape, int lane)
+{
+    int tg = threadgroup_of_lane(lane);
+    int t = lane % kThreadgroupSize;
+    int rows = shape.rows(op);
+    int cols = shape.cols(op);
+
+    Fragment frag;
+    if (op == WmmaOperand::kB) {
+        // Columns round-robin across threadgroups; threads split the
+        // column (K extent) into 4 chunks.
+        int chunk = rows / kThreadgroupSize;
+        TCSIM_CHECK(chunk >= 1);
+        for (int c = tg; c < cols; c += kThreadgroupsPerWarp)
+            for (int j = 0; j < chunk; ++j)
+                frag.elems.push_back({static_cast<int16_t>(t * chunk + j),
+                                      static_cast<int16_t>(c)});
+    } else {
+        // A, C, D: rows round-robin across threadgroups; threads split
+        // the row into 4 chunks.
+        int chunk = cols / kThreadgroupSize;
+        TCSIM_CHECK(chunk >= 1);
+        for (int r = tg; r < rows; r += kThreadgroupsPerWarp)
+            for (int j = 0; j < chunk; ++j)
+                frag.elems.push_back({static_cast<int16_t>(r),
+                                      static_cast<int16_t>(t * chunk + j)});
+    }
+    return frag;
+}
+
+}  // namespace
+
+FragmentMap
+turing_fragment_map(WmmaOperand op, TileShape shape, TcMode mode,
+                    Layout layout)
+{
+    if (mode == TcMode::kInt4) {
+        TCSIM_CHECK(shape == kShape8x8x32);
+    } else {
+        TCSIM_CHECK(shape == kShape16x16x16 || shape == kShape32x8x16 ||
+                    shape == kShape8x32x16);
+    }
+    std::vector<Fragment> frags;
+    frags.reserve(kWarpSize);
+    for (int lane = 0; lane < kWarpSize; ++lane)
+        frags.push_back(turing_fragment(op, shape, lane));
+    return FragmentMap(Arch::kTuring, op, shape, mode, layout,
+                       std::move(frags));
+}
+
+}  // namespace tcsim

@@ -1,0 +1,132 @@
+#include <vector>
+
+#include "common/logging.h"
+#include "tensor/fragment.h"
+#include "tensor/mapping_volta.h"
+
+namespace tcsim {
+
+namespace {
+
+/**
+ * A/B fragment for one lane.
+ *
+ * "Contiguous" orientation (A row-major, B column-major): the thread
+ * holds 16 consecutive elements -- one full row (A) or column (B) of
+ * its threadgroup's segment -- loaded via two 128-bit loads (Fig 7a
+ * circled 2).
+ *
+ * "Strided" orientation (A column-major, B row-major): the thread
+ * holds four blocks of four consecutive elements with a stride of 64
+ * elements, loaded via four 64-bit loads (Fig 7a circled 3).
+ *
+ * In both orientations register pair s (slots 4s..4s+3) carries the
+ * operand data consumed by HMMA set s.
+ */
+Fragment
+volta_ab_fragment(WmmaOperand op, Layout layout, int lane)
+{
+    int tg = threadgroup_of_lane(lane);
+    int t = lane % kThreadgroupSize;
+    Fragment frag;
+    frag.elems.reserve(16);
+
+    bool contiguous;
+    if (op == WmmaOperand::kA)
+        contiguous = layout == Layout::kRowMajor;
+    else
+        contiguous = layout == Layout::kColMajor;
+
+    if (op == WmmaOperand::kA) {
+        int row0 = kVoltaARowStart[tg];
+        if (contiguous) {
+            // Thread t holds row (row0 + t) entirely: slots = cols 0..15.
+            for (int c = 0; c < 16; ++c)
+                frag.elems.push_back(
+                    {static_cast<int16_t>(row0 + t), static_cast<int16_t>(c)});
+        } else {
+            // Block k: column (4k + t), rows row0..row0+3.
+            for (int k = 0; k < 4; ++k)
+                for (int j = 0; j < 4; ++j)
+                    frag.elems.push_back({static_cast<int16_t>(row0 + j),
+                                          static_cast<int16_t>(4 * k + t)});
+        }
+    } else {
+        int col0 = kVoltaBColStart[tg];
+        if (contiguous) {
+            // Thread t holds column (col0 + t): slots = rows 0..15.
+            for (int r = 0; r < 16; ++r)
+                frag.elems.push_back(
+                    {static_cast<int16_t>(r), static_cast<int16_t>(col0 + t)});
+        } else {
+            // Block k: row (4k + t), columns col0..col0+3.
+            for (int k = 0; k < 4; ++k)
+                for (int j = 0; j < 4; ++j)
+                    frag.elems.push_back({static_cast<int16_t>(4 * k + t),
+                                          static_cast<int16_t>(col0 + j)});
+        }
+    }
+    return frag;
+}
+
+/**
+ * C/D fragment for one lane.  The threadgroup owns a 4x8 block
+ * (kVoltaCRowStart/kVoltaCColStart); the distribution within the
+ * threadgroup depends on the accumulator precision (Fig 7b) and lines
+ * up with the 2x4 (mixed) or 4x4 (FP16) HMMA step outputs:
+ *
+ *  - Mixed (FP32): step s covers local rows {2(s&1)..} x cols
+ *    {4(s>>1)..}; within a step block thread t holds row t/2, columns
+ *    2(t%2)+{0,1}.  Slots 2s, 2s+1 belong to step s (one register
+ *    pair per step, cf. destination pairs R8/R10/R4/R6 in Fig 9a).
+ *  - FP16: thread t holds local row t of the block; slots 0..3 are
+ *    columns 0..3 (step 0 of each set), slots 4..7 are columns 4..7
+ *    (step 1), matching destination pairs R4/R6 in Fig 9b.
+ */
+Fragment
+volta_cd_fragment(TcMode mode, int lane)
+{
+    int tg = threadgroup_of_lane(lane);
+    int t = lane % kThreadgroupSize;
+    int row0 = kVoltaCRowStart[tg];
+    int col0 = kVoltaCColStart[tg];
+    Fragment frag;
+    frag.elems.reserve(8);
+
+    if (mode == TcMode::kFp16) {
+        for (int c = 0; c < 8; ++c)
+            frag.elems.push_back(
+                {static_cast<int16_t>(row0 + t), static_cast<int16_t>(col0 + c)});
+    } else {
+        TCSIM_CHECK(mode == TcMode::kMixed);
+        for (int s = 0; s < 4; ++s) {
+            int lr = 2 * (s & 1) + t / 2;
+            int lc = 4 * (s >> 1) + 2 * (t % 2);
+            frag.elems.push_back({static_cast<int16_t>(row0 + lr),
+                                  static_cast<int16_t>(col0 + lc)});
+            frag.elems.push_back({static_cast<int16_t>(row0 + lr),
+                                  static_cast<int16_t>(col0 + lc + 1)});
+        }
+    }
+    return frag;
+}
+
+}  // namespace
+
+FragmentMap
+volta_fragment_map(WmmaOperand op, TcMode mode, Layout layout)
+{
+    TCSIM_CHECK(mode == TcMode::kFp16 || mode == TcMode::kMixed);
+    std::vector<Fragment> frags;
+    frags.reserve(kWarpSize);
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+        if (op == WmmaOperand::kA || op == WmmaOperand::kB)
+            frags.push_back(volta_ab_fragment(op, layout, lane));
+        else
+            frags.push_back(volta_cd_fragment(mode, lane));
+    }
+    return FragmentMap(Arch::kVolta, op, kShape16x16x16, mode, layout,
+                       std::move(frags));
+}
+
+}  // namespace tcsim

@@ -1,0 +1,60 @@
+#pragma once
+/**
+ * @file
+ * Volta (Titan V) operand-distribution constants from Section III of
+ * the paper, shared between the fragment mapper, the HMMA
+ * decomposition engine, and the tests that validate Figs 7/10 and
+ * Tables II/III.
+ *
+ * Geometry recovered from the paper:
+ *  - Matrix A is split into four 4x16 row *segments*; segment r
+ *    (rows 4r..4r+3) is loaded by two threadgroups (Fig 7a).
+ *  - Matrix B is split into four 16x4 column segments, each loaded by
+ *    two threadgroups; pooling the pair of threadgroups in an octet
+ *    covers the 16x8 B subtile of Table II.
+ *  - Matrix C/D: each threadgroup owns a 4x8 block; the two
+ *    threadgroups of an octet stack vertically to form the octet's
+ *    8x8 result subtile (Fig 10b, Table II).
+ */
+
+#include <array>
+
+namespace tcsim {
+
+/** First row of matrix A held by each threadgroup (4 consecutive
+ *  rows).  Rows 0-3 -> tgs {0,2}; 4-7 -> {4,6}; 8-11 -> {1,3};
+ *  12-15 -> {5,7} (Fig 7a). */
+inline constexpr std::array<int, 8> kVoltaARowStart = {
+    0, 8, 0, 8, 4, 12, 4, 12,
+};
+
+/** First column of matrix B held by each threadgroup (4 consecutive
+ *  columns).  Octet X = {tg X, tg X+4} pools columns into the 8-wide
+ *  N range of Table II. */
+inline constexpr std::array<int, 8> kVoltaBColStart = {
+    0, 0, 8, 8, 4, 4, 12, 12,
+};
+
+/** Top-left (row, col) of each threadgroup's 4x8 C/D block. */
+inline constexpr std::array<int, 8> kVoltaCRowStart = {
+    0, 8, 0, 8, 4, 12, 4, 12,
+};
+inline constexpr std::array<int, 8> kVoltaCColStart = {
+    0, 0, 8, 8, 0, 0, 8, 8,
+};
+
+/** Octet operand ranges (Table II).  Octet X = tg X union tg X+4. */
+struct VoltaOctetRange
+{
+    int a_row0, a_row1;  ///< Inclusive row range of A.
+    int b_col0, b_col1;  ///< Inclusive column range of B.
+};
+
+inline constexpr std::array<VoltaOctetRange, 4> kVoltaOctetRanges = {{
+    {0, 7, 0, 7},    // octet 0: tg 0,4
+    {8, 15, 0, 7},   // octet 1: tg 1,5
+    {0, 7, 8, 15},   // octet 2: tg 2,6
+    {8, 15, 8, 15},  // octet 3: tg 3,7
+}};
+
+}  // namespace tcsim

@@ -1,0 +1,108 @@
+#pragma once
+/**
+ * @file
+ * Host-side dense matrix container with explicit layout, used as the
+ * source/sink of simulated GEMM operands and as the golden-reference
+ * data structure in tests.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "fp16/half.h"
+#include "tensor/types.h"
+
+namespace tcsim {
+
+/**
+ * Dense rows x cols matrix with row- or column-major storage and a
+ * leading dimension equal to the packed extent.
+ */
+template <typename T>
+class HostMatrix
+{
+  public:
+    HostMatrix() = default;
+
+    HostMatrix(int rows, int cols, Layout layout = Layout::kRowMajor)
+        : rows_(rows), cols_(cols), layout_(layout),
+          data_(static_cast<size_t>(rows) * cols)
+    {
+        TCSIM_CHECK(rows > 0 && cols > 0);
+    }
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    Layout layout() const { return layout_; }
+
+    /** Leading dimension: elements between consecutive rows (row-major)
+     *  or columns (column-major). */
+    int ld() const { return layout_ == Layout::kRowMajor ? cols_ : rows_; }
+
+    /** Linear element index of (r, c) under the storage layout. */
+    size_t index(int r, int c) const
+    {
+        TCSIM_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+        if (layout_ == Layout::kRowMajor)
+            return static_cast<size_t>(r) * cols_ + c;
+        return static_cast<size_t>(c) * rows_ + r;
+    }
+
+    T& at(int r, int c) { return data_[index(r, c)]; }
+    const T& at(int r, int c) const { return data_[index(r, c)]; }
+
+    T* data() { return data_.data(); }
+    const T* data() const { return data_.data(); }
+    size_t size_bytes() const { return data_.size() * sizeof(T); }
+    size_t size() const { return data_.size(); }
+
+    /** Fill with f(r, c). */
+    template <typename F>
+    void fill(F&& f)
+    {
+        for (int r = 0; r < rows_; ++r)
+            for (int c = 0; c < cols_; ++c)
+                at(r, c) = f(r, c);
+    }
+
+  private:
+    int rows_ = 0;
+    int cols_ = 0;
+    Layout layout_ = Layout::kRowMajor;
+    std::vector<T> data_;
+};
+
+/**
+ * Reference GEMM: D = A x B + C with FP16 inputs, accumulating in
+ * `Acc` (float for mixed precision, half for FP16 mode).  This mirrors
+ * the tensor core datapath: products are computed exactly in FP32
+ * (a half product is exactly representable in float) and the
+ * accumulation chain rounds per-add in FP16 mode only.
+ */
+template <typename Acc>
+void
+reference_gemm(const HostMatrix<half>& a, const HostMatrix<half>& b,
+               const HostMatrix<Acc>& c, HostMatrix<Acc>& d)
+{
+    TCSIM_CHECK(a.cols() == b.rows());
+    TCSIM_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+    TCSIM_CHECK(d.rows() == a.rows() && d.cols() == b.cols());
+    for (int i = 0; i < a.rows(); ++i) {
+        for (int j = 0; j < b.cols(); ++j) {
+            if constexpr (std::is_same_v<Acc, float>) {
+                float acc = c.at(i, j);
+                for (int k = 0; k < a.cols(); ++k)
+                    acc += a.at(i, k).to_float() * b.at(k, j).to_float();
+                d.at(i, j) = acc;
+            } else {
+                Acc acc = c.at(i, j);
+                for (int k = 0; k < a.cols(); ++k)
+                    acc += a.at(i, k) * b.at(k, j);
+                d.at(i, j) = acc;
+            }
+        }
+    }
+}
+
+}  // namespace tcsim

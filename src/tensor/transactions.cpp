@@ -1,0 +1,148 @@
+#include "tensor/transactions.h"
+
+#include <set>
+
+#include "common/logging.h"
+
+namespace tcsim {
+
+const char*
+MemAccessDesc::mnemonic(bool is_store) const
+{
+    if (is_store) {
+        switch (width_bits) {
+          case 16: return "ST.E.U16";
+          case 32: return "ST.E.SYS";
+          case 64: return "ST.E.64";
+          case 128: return "ST.E.128";
+        }
+    } else {
+        switch (width_bits) {
+          case 16: return "LD.E.U16";
+          case 32: return "LD.E.SYS";
+          case 64: return "LD.E.64";
+          case 128: return "LD.E.128";
+        }
+    }
+    return "LD.E.?";
+}
+
+int
+element_bytes(WmmaOperand op, TcMode mode)
+{
+    if (op == WmmaOperand::kA || op == WmmaOperand::kB) {
+        switch (mode) {
+          case TcMode::kFp16:
+          case TcMode::kMixed:
+            return 2;
+          case TcMode::kInt8:
+            return 1;
+          case TcMode::kInt4:
+            return 1;  // two elements per byte; modeled as byte pairs
+        }
+    }
+    // Accumulators: FP32 / INT32 are 4 bytes; FP16 is 2 bytes.
+    return mode == TcMode::kFp16 ? 2 : 4;
+}
+
+namespace {
+
+/** Byte offset of element (r, c) in a matrix with leading dimension
+ *  ld (elements) stored in @p layout. */
+int64_t
+elem_offset(const ElemCoord& e, Layout layout, int ld, int ebytes)
+{
+    int64_t idx = layout == Layout::kRowMajor
+                      ? static_cast<int64_t>(e.row) * ld + e.col
+                      : static_cast<int64_t>(e.col) * ld + e.row;
+    return idx * ebytes;
+}
+
+}  // namespace
+
+std::vector<MemAccessDesc>
+wmma_memory_ops(const FragmentMap& map, int ld_elems)
+{
+    const int ebytes = element_bytes(map.op(), map.mode());
+    const int per_thread = map.elems_per_thread();
+    const Layout layout = map.layout();
+    const bool is_acc =
+        map.op() == WmmaOperand::kC || map.op() == WmmaOperand::kD;
+
+    // Determine the widest chunking that keeps every lane's chunk
+    // contiguous in memory.  All lanes share one pattern (SASS
+    // instructions are warp-uniform); accumulator accesses are fixed
+    // at 32 bits per the paper.
+    const int max_chunk_bytes = is_acc ? 4 : 16;
+    int chunk_elems = max_chunk_bytes / ebytes;
+
+    auto contiguous_everywhere = [&](int chunk) {
+        if (per_thread % chunk != 0)
+            return false;
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            const auto& elems = map.fragment(lane).elems;
+            for (int base = 0; base + chunk <= per_thread; base += chunk) {
+                int64_t off0 = elem_offset(elems[base], layout, ld_elems,
+                                           ebytes);
+                for (int j = 1; j < chunk; ++j) {
+                    int64_t off = elem_offset(elems[base + j], layout,
+                                              ld_elems, ebytes);
+                    if (off != off0 + static_cast<int64_t>(j) * ebytes)
+                        return false;
+                }
+            }
+        }
+        return true;
+    };
+
+    while (chunk_elems > 1 && !contiguous_everywhere(chunk_elems))
+        chunk_elems /= 2;
+    TCSIM_CHECK(chunk_elems >= 1);
+    TCSIM_CHECK(per_thread % chunk_elems == 0);
+
+    std::vector<MemAccessDesc> ops;
+    const int num_ops = per_thread / chunk_elems;
+    ops.reserve(num_ops);
+    for (int i = 0; i < num_ops; ++i) {
+        MemAccessDesc d;
+        d.width_bits = chunk_elems * ebytes * 8;
+        d.first_slot = i * chunk_elems;
+        d.num_slots = chunk_elems;
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            const auto& elems = map.fragment(lane).elems;
+            d.lane_offset[lane] =
+                elem_offset(elems[d.first_slot], layout, ld_elems, ebytes);
+        }
+        ops.push_back(d);
+    }
+    return ops;
+}
+
+uint64_t
+sectors_for_access(const MemAccessDesc& op, uint64_t base_addr,
+                   int sector_bytes)
+{
+    std::set<uint64_t> sectors;
+    int bytes = op.width_bits / 8;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+        if (op.lane_offset[lane] == kInactiveLane)
+            continue;
+        uint64_t lo = base_addr + static_cast<uint64_t>(op.lane_offset[lane]);
+        uint64_t hi = lo + static_cast<uint64_t>(bytes) - 1;
+        for (uint64_t s = lo / sector_bytes; s <= hi / sector_bytes; ++s)
+            sectors.insert(s);
+    }
+    return sectors.size();
+}
+
+uint64_t
+count_transactions(const std::vector<MemAccessDesc>& ops, uint64_t base_addr,
+                   int sector_bytes)
+{
+    uint64_t total = 0;
+    for (const auto& op : ops)
+        total += sectors_for_access(op, base_addr, sector_bytes);
+    return total;
+}
+
+}  // namespace tcsim

@@ -1,0 +1,71 @@
+#pragma once
+/**
+ * @file
+ * Decomposition of wmma.load / wmma.store PTX instructions into
+ * warp-wide SASS memory operations (LD.E.128 / LD.E.64 / LD.E.SYS and
+ * the store equivalents) and coalescing of those operations into
+ * memory-sector transactions (Section III-C and Section V-A of the
+ * paper).
+ */
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/fragment.h"
+
+namespace tcsim {
+
+/** Sentinel for lanes not participating in an access. */
+inline constexpr int64_t kInactiveLane = -1;
+
+/**
+ * One warp-wide SASS memory instruction produced by expanding a
+ * wmma.load or wmma.store.
+ */
+struct MemAccessDesc
+{
+    /** Access width per thread in bits (16/32/64/128). */
+    int width_bits = 32;
+    /** First fragment register-slot this access fills. */
+    int first_slot = 0;
+    /** Slots filled per lane by this access. */
+    int num_slots = 0;
+    /** Per-lane byte offset from the tile base address
+     *  (kInactiveLane when the lane does not access memory). */
+    std::array<int64_t, kWarpSize> lane_offset{};
+
+    /** SASS-style mnemonic, e.g. "LD.E.128". */
+    const char* mnemonic(bool is_store) const;
+};
+
+/**
+ * Expand a wmma.load/store of @p map from a matrix stored with
+ * leading dimension @p ld_elems (in elements) into per-thread SASS
+ * memory operations.
+ *
+ * A/B operands follow Fig 7a: contiguous fragments use 128-bit
+ * accesses, strided fragments use 64-bit accesses (16-bit when the
+ * layout scatters individual elements, as on Turing column-major A).
+ * C/D operands always use 32-bit accesses, matching the paper's
+ * observation that wmma.load.c is broken into LD.E.SYS instructions.
+ */
+std::vector<MemAccessDesc> wmma_memory_ops(const FragmentMap& map,
+                                           int ld_elems);
+
+/** Bytes per stored element of the operand under the given mode. */
+int element_bytes(WmmaOperand op, TcMode mode);
+
+/**
+ * Count the coalesced memory transactions a list of accesses
+ * generates, at @p sector_bytes granularity (32 B on Volta), assuming
+ * the tile starts at @p base_addr.
+ */
+uint64_t count_transactions(const std::vector<MemAccessDesc>& ops,
+                            uint64_t base_addr, int sector_bytes = 32);
+
+/** Distinct sectors touched by one warp-wide access. */
+uint64_t sectors_for_access(const MemAccessDesc& op, uint64_t base_addr,
+                            int sector_bytes = 32);
+
+}  // namespace tcsim

@@ -1,0 +1,119 @@
+#pragma once
+/**
+ * @file
+ * Core tile/fragment vocabulary shared by the tensor-core model:
+ * layouts, WMMA operand roles, tile shapes, and element coordinates.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace tcsim {
+
+/** Storage order of an operand matrix in memory. */
+enum class Layout { kRowMajor, kColMajor };
+
+inline const char*
+layout_name(Layout l)
+{
+    return l == Layout::kRowMajor ? "row" : "col";
+}
+
+/** Role of an operand matrix in D = A x B + C. */
+enum class WmmaOperand { kA, kB, kC, kD };
+
+inline const char*
+operand_name(WmmaOperand op)
+{
+    switch (op) {
+      case WmmaOperand::kA: return "A";
+      case WmmaOperand::kB: return "B";
+      case WmmaOperand::kC: return "C";
+      case WmmaOperand::kD: return "D";
+    }
+    return "?";
+}
+
+/**
+ * WMMA tile shape M x N x K: A is M x K, B is K x N, C/D are M x N.
+ */
+struct TileShape
+{
+    int m = 16;
+    int n = 16;
+    int k = 16;
+
+    bool operator==(const TileShape&) const = default;
+
+    std::string str() const
+    {
+        return std::to_string(m) + "x" + std::to_string(n) + "x" +
+               std::to_string(k);
+    }
+
+    /** Rows of the given operand's tile. */
+    int rows(WmmaOperand op) const
+    {
+        switch (op) {
+          case WmmaOperand::kA: return m;
+          case WmmaOperand::kB: return k;
+          default: return m;
+        }
+    }
+
+    /** Columns of the given operand's tile. */
+    int cols(WmmaOperand op) const
+    {
+        switch (op) {
+          case WmmaOperand::kA: return k;
+          case WmmaOperand::kB: return n;
+          default: return n;
+        }
+    }
+};
+
+/** The m16n16k16 shape supported since CUDA 9.0. */
+inline constexpr TileShape kShape16x16x16{16, 16, 16};
+/** Turing-only shapes (Section III-B2 of the paper). */
+inline constexpr TileShape kShape32x8x16{32, 8, 16};
+inline constexpr TileShape kShape8x32x16{8, 32, 16};
+inline constexpr TileShape kShape8x8x32{8, 8, 32};
+
+/** Position of one element inside an operand tile. */
+struct ElemCoord
+{
+    int16_t row = 0;
+    int16_t col = 0;
+
+    bool operator==(const ElemCoord&) const = default;
+};
+
+/** Threads per warp and threadgroup geometry (Section III). */
+inline constexpr int kWarpSize = 32;
+inline constexpr int kThreadgroupSize = 4;
+inline constexpr int kThreadgroupsPerWarp = kWarpSize / kThreadgroupSize;
+/** Octet X = threadgroup X and threadgroup X+4 (Table II). */
+inline constexpr int kOctetsPerWarp = 4;
+
+/** Threadgroup id of a lane: floor(threadIdx / 4). */
+inline int
+threadgroup_of_lane(int lane)
+{
+    return lane / kThreadgroupSize;
+}
+
+/** Octet id of a threadgroup: octet X = {tg X, tg X+4}. */
+inline int
+octet_of_threadgroup(int tg)
+{
+    return tg % kOctetsPerWarp;
+}
+
+/** Octet id of a lane. */
+inline int
+octet_of_lane(int lane)
+{
+    return octet_of_threadgroup(threadgroup_of_lane(lane));
+}
+
+}  // namespace tcsim

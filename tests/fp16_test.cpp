@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit and property tests for the IEEE binary16 library (substrate
+ * S1): conversion exactness, rounding behaviour, special values, and
+ * round-trip invariants across the full 16-bit pattern space.
+ */
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "fp16/half.h"
+
+namespace tcsim {
+namespace {
+
+using fp16_literals::operator""_h;
+
+TEST(Fp16, ZeroAndSign)
+{
+    EXPECT_EQ(half(0.0f).bits(), 0x0000);
+    EXPECT_EQ(half(-0.0f).bits(), 0x8000);
+    EXPECT_TRUE(half(-0.0f).is_zero());
+    EXPECT_TRUE(half(-0.0f).signbit());
+    EXPECT_FALSE(half(0.0f).signbit());
+    EXPECT_EQ(half(0.0f), half(-0.0f));  // IEEE: +0 == -0
+}
+
+TEST(Fp16, KnownEncodings)
+{
+    EXPECT_EQ(half(1.0f).bits(), 0x3c00);
+    EXPECT_EQ(half(-1.0f).bits(), 0xbc00);
+    EXPECT_EQ(half(2.0f).bits(), 0x4000);
+    EXPECT_EQ(half(0.5f).bits(), 0x3800);
+    EXPECT_EQ(half(65504.0f).bits(), 0x7bff);  // max normal
+    EXPECT_EQ(half(-65504.0f).bits(), 0xfbff);
+}
+
+TEST(Fp16, ExactSmallIntegers)
+{
+    // All integers up to 2048 are exactly representable (11-bit
+    // significand).
+    for (int i = -2048; i <= 2048; ++i) {
+        half h(static_cast<float>(i));
+        EXPECT_EQ(h.to_float(), static_cast<float>(i)) << "i=" << i;
+    }
+}
+
+TEST(Fp16, Infinity)
+{
+    half inf = std::numeric_limits<half>::infinity();
+    EXPECT_TRUE(inf.is_inf());
+    EXPECT_FALSE(inf.is_nan());
+    EXPECT_EQ(inf.to_float(), std::numeric_limits<float>::infinity());
+    EXPECT_EQ((-inf).to_float(), -std::numeric_limits<float>::infinity());
+    // Overflow rounds to infinity.
+    EXPECT_TRUE(half(1e9f).is_inf());
+    EXPECT_TRUE(half(-1e9f).is_inf());
+    EXPECT_TRUE(half(-1e9f).signbit());
+    EXPECT_TRUE(half(std::numeric_limits<float>::infinity()).is_inf());
+}
+
+TEST(Fp16, OverflowBoundary)
+{
+    // 65520 is the rounding boundary between max (65504) and infinity.
+    EXPECT_EQ(half(65519.0f).bits(), 0x7bff);
+    EXPECT_TRUE(half(65520.0f).is_inf());
+    EXPECT_TRUE(half(65536.0f).is_inf());
+}
+
+TEST(Fp16, NaN)
+{
+    half nan = std::numeric_limits<half>::quiet_NaN();
+    EXPECT_TRUE(nan.is_nan());
+    EXPECT_FALSE(nan.is_inf());
+    EXPECT_TRUE(std::isnan(nan.to_float()));
+    EXPECT_TRUE(half(std::numeric_limits<float>::quiet_NaN()).is_nan());
+    // NaN compares unordered.
+    EXPECT_FALSE(nan == nan);
+    EXPECT_TRUE(nan != nan);
+    EXPECT_FALSE(nan < nan);
+}
+
+TEST(Fp16, Subnormals)
+{
+    half dmin = std::numeric_limits<half>::denorm_min();
+    EXPECT_TRUE(dmin.is_subnormal());
+    EXPECT_FLOAT_EQ(dmin.to_float(), std::ldexp(1.0f, -24));
+    half min_norm = std::numeric_limits<half>::min();
+    EXPECT_FALSE(min_norm.is_subnormal());
+    EXPECT_FLOAT_EQ(min_norm.to_float(), std::ldexp(1.0f, -14));
+
+    // Values below half the smallest subnormal flush to zero under
+    // round-to-nearest-even.
+    EXPECT_TRUE(half(std::ldexp(1.0f, -26)).is_zero());
+    // Exactly 2^-25 ties to even -> zero.
+    EXPECT_TRUE(half(std::ldexp(1.0f, -25)).is_zero());
+    // Just above 2^-25 rounds up to the smallest subnormal.
+    EXPECT_EQ(half(std::ldexp(1.2f, -25)).bits(), 0x0001);
+}
+
+TEST(Fp16, RoundToNearestEven)
+{
+    // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10; ties go to
+    // the even mantissa (1.0).
+    EXPECT_EQ(half(1.0f + std::ldexp(1.0f, -11)).bits(), 0x3c00);
+    // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; even is
+    // 1+2^-9 (mantissa 0b10).
+    EXPECT_EQ(half(1.0f + 3 * std::ldexp(1.0f, -11)).bits(), 0x3c02);
+    // Slightly above the halfway point rounds up.
+    EXPECT_EQ(half(1.0f + std::ldexp(1.1f, -11)).bits(), 0x3c01);
+}
+
+TEST(Fp16, RoundTripAllPatterns)
+{
+    // Property: every binary16 value converts to float and back to the
+    // identical bit pattern (NaNs keep NaN-ness).
+    for (uint32_t b = 0; b <= 0xffff; ++b) {
+        half h = half::from_bits(static_cast<uint16_t>(b));
+        half rt(h.to_float());
+        if (h.is_nan()) {
+            EXPECT_TRUE(rt.is_nan()) << "bits=" << b;
+        } else {
+            EXPECT_EQ(rt.bits(), h.bits()) << "bits=" << b;
+        }
+    }
+}
+
+TEST(Fp16, ConversionMonotonic)
+{
+    // Property: to_float is strictly increasing over positive normals
+    // and subnormals.
+    float prev = half::from_bits(0x0000).to_float();
+    for (uint16_t b = 1; b < 0x7c00; ++b) {
+        float cur = half::from_bits(b).to_float();
+        EXPECT_GT(cur, prev) << "bits=" << b;
+        prev = cur;
+    }
+}
+
+TEST(Fp16, Arithmetic)
+{
+    EXPECT_EQ((1.5_h + 2.5_h).to_float(), 4.0f);
+    EXPECT_EQ((2.0_h * 3.0_h).to_float(), 6.0f);
+    EXPECT_EQ((7.0_h - 2.0_h).to_float(), 5.0f);
+    EXPECT_EQ((6.0_h / 3.0_h).to_float(), 2.0f);
+    half x = 1.0_h;
+    x += 1.0_h;
+    EXPECT_EQ(x.to_float(), 2.0f);
+    EXPECT_EQ((-x).to_float(), -2.0f);
+}
+
+TEST(Fp16, ArithmeticRounds)
+{
+    // 2048 + 1 = 2049 is not representable (ulp at 2048 is 2);
+    // round-to-nearest-even gives 2048.
+    EXPECT_EQ((half(2048.0f) + half(1.0f)).to_float(), 2048.0f);
+    // 2048 + 3 = 2051 is exactly halfway between 2050 and 2052;
+    // ties-to-even picks the even mantissa (2052).
+    EXPECT_EQ((half(2048.0f) + half(3.0f)).to_float(), 2052.0f);
+    // 2048 + 4 is exact.
+    EXPECT_EQ((half(2048.0f) + half(4.0f)).to_float(), 2052.0f);
+}
+
+TEST(Fp16, Comparisons)
+{
+    EXPECT_LT(1.0_h, 2.0_h);
+    EXPECT_GT(-1.0_h, -2.0_h);
+    EXPECT_LE(1.0_h, 1.0_h);
+    EXPECT_GE(2.0_h, 1.0_h);
+}
+
+/** Parameterized sweep: float -> half conversion matches the
+ *  arithmetic definition of round-to-nearest-even for a lattice of
+ *  exponents and mantissa offsets. */
+class Fp16RoundingSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Fp16RoundingSweep, MatchesNearestRepresentable)
+{
+    int exp = GetParam();
+    // Scan a few hundred floats in [2^exp, 2^(exp+1)) and verify the
+    // conversion picks one of the two neighbouring half values and the
+    // closer one when not a tie.
+    for (int i = 0; i < 257; ++i) {
+        float f = std::ldexp(1.0f + static_cast<float>(i) / 257.0f, exp);
+        half h(f);
+        float back = h.to_float();
+        // Next representable half below/above.
+        half lo = half::from_bits(static_cast<uint16_t>(h.bits() - 1));
+        half hi = half::from_bits(static_cast<uint16_t>(h.bits() + 1));
+        if (!h.is_inf()) {
+            double err = std::abs(static_cast<double>(back) - f);
+            if (!lo.is_nan() && !lo.is_inf()) {
+                EXPECT_LE(err,
+                          std::abs(static_cast<double>(lo.to_float()) - f));
+            }
+            if (!hi.is_nan() && !hi.is_inf()) {
+                EXPECT_LE(err,
+                          std::abs(static_cast<double>(hi.to_float()) - f));
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, Fp16RoundingSweep,
+                         ::testing::Values(-14, -10, -5, -1, 0, 1, 5, 10, 14));
+
+}  // namespace
+}  // namespace tcsim

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests of the Turing fragment map against Fig 8: single-load
+ * ownership, round-robin row/column assignment to threadgroups, and
+ * the Turing-only tile shapes and integer modes.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tensor/fragment.h"
+
+namespace tcsim {
+namespace {
+
+struct TuringCase
+{
+    TileShape shape;
+    TcMode mode;
+};
+
+class TuringShapes : public ::testing::TestWithParam<TuringCase>
+{
+};
+
+TEST_P(TuringShapes, EveryElementLoadedExactlyOnce)
+{
+    auto [shape, mode] = GetParam();
+    for (WmmaOperand op : {WmmaOperand::kA, WmmaOperand::kB, WmmaOperand::kC}) {
+        FragmentMap map =
+            turing_fragment_map(op, shape, mode, Layout::kRowMajor);
+        for (int r = 0; r < shape.rows(op); ++r)
+            for (int c = 0; c < shape.cols(op); ++c)
+                EXPECT_EQ(map.locate(r, c).size(), 1u)
+                    << operand_name(op) << " (" << r << "," << c << ")";
+    }
+}
+
+TEST_P(TuringShapes, FragmentSizesConsistent)
+{
+    auto [shape, mode] = GetParam();
+    for (WmmaOperand op : {WmmaOperand::kA, WmmaOperand::kB, WmmaOperand::kC}) {
+        FragmentMap map =
+            turing_fragment_map(op, shape, mode, Layout::kRowMajor);
+        int total = shape.rows(op) * shape.cols(op);
+        EXPECT_EQ(map.elems_per_thread() * kWarpSize, total)
+            << operand_name(op);
+    }
+}
+
+TEST_P(TuringShapes, ConsecutiveThreadgroupsOwnConsecutiveRowsOrCols)
+{
+    auto [shape, mode] = GetParam();
+    // A: row r owned by threadgroup r % 8.
+    FragmentMap a = turing_fragment_map(WmmaOperand::kA, shape, mode,
+                                        Layout::kRowMajor);
+    for (int r = 0; r < shape.m; ++r) {
+        auto loc = a.locate(r, 0);
+        ASSERT_EQ(loc.size(), 1u);
+        EXPECT_EQ(threadgroup_of_lane(loc[0].lane), r % 8) << "row " << r;
+    }
+    // B: column c owned by threadgroup c % 8.
+    FragmentMap b = turing_fragment_map(WmmaOperand::kB, shape, mode,
+                                        Layout::kRowMajor);
+    for (int c = 0; c < shape.n; ++c) {
+        auto loc = b.locate(0, c);
+        ASSERT_EQ(loc.size(), 1u);
+        EXPECT_EQ(threadgroup_of_lane(loc[0].lane), c % 8) << "col " << c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fp16AndInt8, TuringShapes,
+    ::testing::Values(TuringCase{kShape16x16x16, TcMode::kFp16},
+                      TuringCase{kShape16x16x16, TcMode::kMixed},
+                      TuringCase{kShape16x16x16, TcMode::kInt8},
+                      TuringCase{kShape32x8x16, TcMode::kFp16},
+                      TuringCase{kShape32x8x16, TcMode::kMixed},
+                      TuringCase{kShape32x8x16, TcMode::kInt8},
+                      TuringCase{kShape8x32x16, TcMode::kFp16},
+                      TuringCase{kShape8x32x16, TcMode::kMixed},
+                      TuringCase{kShape8x32x16, TcMode::kInt8}));
+
+TEST(TuringInt4, Shape8x8x32)
+{
+    FragmentMap a = turing_fragment_map(WmmaOperand::kA, kShape8x8x32,
+                                        TcMode::kInt4, Layout::kRowMajor);
+    // 8x32 elements / 32 threads = 8 int4 per thread = 1 register.
+    EXPECT_EQ(a.elems_per_thread(), 8);
+    EXPECT_EQ(a.regs_per_thread(), 1);
+    FragmentMap c = turing_fragment_map(WmmaOperand::kC, kShape8x8x32,
+                                        TcMode::kInt4, Layout::kRowMajor);
+    // 8x8 INT32 accumulators / 32 threads = 2 registers.
+    EXPECT_EQ(c.elems_per_thread(), 2);
+    EXPECT_EQ(c.regs_per_thread(), 2);
+}
+
+TEST(TuringFragment, ThreadChunksAreContiguous)
+{
+    // Within a threadgroup, thread t takes the t-th contiguous quarter
+    // of each owned row (operand A).
+    FragmentMap a = turing_fragment_map(WmmaOperand::kA, kShape16x16x16,
+                                        TcMode::kFp16, Layout::kRowMajor);
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+        int t = lane % 4;
+        const auto& elems = a.fragment(lane).elems;
+        // 2 owned rows x 4 columns each.
+        ASSERT_EQ(elems.size(), 8u);
+        for (int i = 0; i < 8; ++i)
+            EXPECT_EQ(elems[i].col, 4 * t + (i % 4));
+    }
+}
+
+TEST(TuringFragment, Volta16x16x16DiffersFromTuring)
+{
+    // The paper stresses Turing "behaves differently from the Volta
+    // tensor cores": Volta loads each element twice, Turing once.
+    FragmentMap volta = fragment_map(Arch::kVolta, WmmaOperand::kA,
+                                     kShape16x16x16, TcMode::kFp16,
+                                     Layout::kRowMajor);
+    FragmentMap turing = fragment_map(Arch::kTuring, WmmaOperand::kA,
+                                      kShape16x16x16, TcMode::kFp16,
+                                      Layout::kRowMajor);
+    EXPECT_EQ(volta.locate(0, 0).size(), 2u);
+    EXPECT_EQ(turing.locate(0, 0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace tcsim

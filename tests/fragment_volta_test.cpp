@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Tests of the Volta fragment map against Fig 7 and Tables II/III of
+ * the paper: threadgroup segment assignments, double-loading of A/B
+ * elements, octet pooling, layout-dependent intra-threadgroup
+ * distribution, and C/D accumulator blocks.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tensor/fragment.h"
+#include "tensor/mapping_volta.h"
+
+namespace tcsim {
+namespace {
+
+/** All lanes holding element (r,c), as threadgroup ids. */
+std::set<int>
+owner_tgs(const FragmentMap& map, int r, int c)
+{
+    std::set<int> tgs;
+    for (const auto& loc : map.locate(r, c))
+        tgs.insert(threadgroup_of_lane(loc.lane));
+    return tgs;
+}
+
+class VoltaAbLayouts
+    : public ::testing::TestWithParam<std::tuple<WmmaOperand, Layout, TcMode>>
+{
+};
+
+TEST_P(VoltaAbLayouts, EveryElementLoadedByTwoThreadgroups)
+{
+    auto [op, layout, mode] = GetParam();
+    FragmentMap map = volta_fragment_map(op, mode, layout);
+    for (int r = 0; r < 16; ++r) {
+        for (int c = 0; c < 16; ++c) {
+            auto locs = map.locate(r, c);
+            // "each element of the A and B operand matrices are loaded
+            //  by two different threads in a warp on Volta"
+            EXPECT_EQ(locs.size(), 2u) << "(" << r << "," << c << ")";
+            auto tgs = owner_tgs(map, r, c);
+            EXPECT_EQ(tgs.size(), 2u);
+        }
+    }
+}
+
+TEST_P(VoltaAbLayouts, SixteenElementsPerThread)
+{
+    auto [op, layout, mode] = GetParam();
+    FragmentMap map = volta_fragment_map(op, mode, layout);
+    EXPECT_EQ(map.elems_per_thread(), 16);
+    EXPECT_EQ(map.regs_per_thread(), 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, VoltaAbLayouts,
+    ::testing::Combine(::testing::Values(WmmaOperand::kA, WmmaOperand::kB),
+                       ::testing::Values(Layout::kRowMajor,
+                                         Layout::kColMajor),
+                       ::testing::Values(TcMode::kFp16, TcMode::kMixed)));
+
+TEST(VoltaMappingA, RowSegmentAssignments)
+{
+    // Fig 7a: rows 0-3 -> threadgroups 0 and 2; rows 4-7 -> 4 and 6;
+    // rows 8-11 -> 1 and 3; rows 12-15 -> 5 and 7.
+    FragmentMap map =
+        volta_fragment_map(WmmaOperand::kA, TcMode::kMixed, Layout::kRowMajor);
+    EXPECT_EQ(owner_tgs(map, 0, 0), (std::set<int>{0, 2}));
+    EXPECT_EQ(owner_tgs(map, 3, 15), (std::set<int>{0, 2}));
+    EXPECT_EQ(owner_tgs(map, 4, 5), (std::set<int>{4, 6}));
+    EXPECT_EQ(owner_tgs(map, 7, 0), (std::set<int>{4, 6}));
+    EXPECT_EQ(owner_tgs(map, 8, 8), (std::set<int>{1, 3}));
+    EXPECT_EQ(owner_tgs(map, 11, 1), (std::set<int>{1, 3}));
+    EXPECT_EQ(owner_tgs(map, 12, 0), (std::set<int>{5, 7}));
+    EXPECT_EQ(owner_tgs(map, 15, 15), (std::set<int>{5, 7}));
+}
+
+TEST(VoltaMappingA, OwnershipIndependentOfLayout)
+{
+    // The set of elements per threadgroup does not change with layout
+    // (only the per-thread split within the threadgroup does).
+    FragmentMap row =
+        volta_fragment_map(WmmaOperand::kA, TcMode::kMixed, Layout::kRowMajor);
+    FragmentMap col =
+        volta_fragment_map(WmmaOperand::kA, TcMode::kMixed, Layout::kColMajor);
+    for (int r = 0; r < 16; ++r)
+        for (int c = 0; c < 16; ++c)
+            EXPECT_EQ(owner_tgs(row, r, c), owner_tgs(col, r, c));
+}
+
+TEST(VoltaMappingA, RowMajorThreadHoldsContiguousRow)
+{
+    FragmentMap map =
+        volta_fragment_map(WmmaOperand::kA, TcMode::kMixed, Layout::kRowMajor);
+    // Thread 1 of threadgroup 0 holds row 1 in column order.
+    const auto& f = map.fragment(1);
+    for (int c = 0; c < 16; ++c) {
+        EXPECT_EQ(f.elems[c].row, 1);
+        EXPECT_EQ(f.elems[c].col, c);
+    }
+}
+
+TEST(VoltaMappingA, ColMajorThreadHoldsStridedColumns)
+{
+    FragmentMap map =
+        volta_fragment_map(WmmaOperand::kA, TcMode::kMixed, Layout::kColMajor);
+    // Thread 2 of threadgroup 0: block k covers column 4k+2,
+    // rows 0..3 (Fig 7a circled 3).
+    const auto& f = map.fragment(2);
+    for (int k = 0; k < 4; ++k) {
+        for (int j = 0; j < 4; ++j) {
+            EXPECT_EQ(f.elems[4 * k + j].row, j);
+            EXPECT_EQ(f.elems[4 * k + j].col, 4 * k + 2);
+        }
+    }
+}
+
+TEST(VoltaMappingB, ColumnStripesPoolToOctetRanges)
+{
+    // Table II: octet X covers B columns [0:7] (octets 0,1) or [8:15]
+    // (octets 2,3), pooled from two 4-wide threadgroup stripes.
+    FragmentMap map =
+        volta_fragment_map(WmmaOperand::kB, TcMode::kMixed, Layout::kColMajor);
+    for (int c = 0; c < 16; ++c) {
+        auto tgs = owner_tgs(map, 0, c);
+        for (int tg : tgs) {
+            int octet = octet_of_threadgroup(tg);
+            int expect_lo = (octet == 0 || octet == 1) ? 0 : 8;
+            EXPECT_GE(c, expect_lo) << "col " << c << " tg " << tg;
+            EXPECT_LT(c, expect_lo + 8) << "col " << c << " tg " << tg;
+        }
+    }
+}
+
+TEST(VoltaMappingB, StripeStartsMatchModel)
+{
+    FragmentMap map =
+        volta_fragment_map(WmmaOperand::kB, TcMode::kFp16, Layout::kColMajor);
+    for (int tg = 0; tg < 8; ++tg) {
+        int lane = tg * 4;  // thread 0 of the threadgroup
+        const auto& f = map.fragment(lane);
+        // Thread 0 holds column kVoltaBColStart[tg] top to bottom.
+        for (int r = 0; r < 16; ++r) {
+            EXPECT_EQ(f.elems[r].row, r);
+            EXPECT_EQ(f.elems[r].col, kVoltaBColStart[tg]);
+        }
+    }
+}
+
+TEST(VoltaMappingC, SingleOwnerPerElement)
+{
+    for (TcMode mode : {TcMode::kFp16, TcMode::kMixed}) {
+        FragmentMap map =
+            volta_fragment_map(WmmaOperand::kC, mode, Layout::kRowMajor);
+        for (int r = 0; r < 16; ++r)
+            for (int c = 0; c < 16; ++c)
+                EXPECT_EQ(map.locate(r, c).size(), 1u)
+                    << tc_mode_name(mode) << " (" << r << "," << c << ")";
+    }
+}
+
+TEST(VoltaMappingC, ThreadgroupBlocksMatchFig10b)
+{
+    // D-matrix blocks (Fig 10b): rows 0-3 -> tg {0 | 2}, rows 4-7 ->
+    // {4 | 6}, rows 8-11 -> {1 | 3}, rows 12-15 -> {5 | 7}, columns
+    // split 0-7 / 8-15.
+    FragmentMap map =
+        volta_fragment_map(WmmaOperand::kC, TcMode::kMixed, Layout::kRowMajor);
+    auto block_tg = [&](int r, int c) {
+        auto tgs = owner_tgs(map, r, c);
+        EXPECT_EQ(tgs.size(), 1u);
+        return *tgs.begin();
+    };
+    EXPECT_EQ(block_tg(0, 0), 0);
+    EXPECT_EQ(block_tg(3, 7), 0);
+    EXPECT_EQ(block_tg(0, 8), 2);
+    EXPECT_EQ(block_tg(4, 0), 4);
+    EXPECT_EQ(block_tg(4, 8), 6);
+    EXPECT_EQ(block_tg(8, 0), 1);
+    EXPECT_EQ(block_tg(8, 8), 3);
+    EXPECT_EQ(block_tg(12, 0), 5);
+    EXPECT_EQ(block_tg(12, 8), 7);
+}
+
+TEST(VoltaMappingC, LayoutIndependent)
+{
+    // "the specific distribution ... is independent of the layout".
+    for (TcMode mode : {TcMode::kFp16, TcMode::kMixed}) {
+        FragmentMap row =
+            volta_fragment_map(WmmaOperand::kC, mode, Layout::kRowMajor);
+        FragmentMap col =
+            volta_fragment_map(WmmaOperand::kC, mode, Layout::kColMajor);
+        for (int lane = 0; lane < kWarpSize; ++lane)
+            EXPECT_EQ(row.fragment(lane).elems, col.fragment(lane).elems);
+    }
+}
+
+TEST(VoltaMappingC, RegisterCounts)
+{
+    FragmentMap fp32 =
+        volta_fragment_map(WmmaOperand::kC, TcMode::kMixed, Layout::kRowMajor);
+    EXPECT_EQ(fp32.elems_per_thread(), 8);
+    EXPECT_EQ(fp32.regs_per_thread(), 8);  // one FP32 per register
+    FragmentMap fp16 =
+        volta_fragment_map(WmmaOperand::kC, TcMode::kFp16, Layout::kRowMajor);
+    EXPECT_EQ(fp16.elems_per_thread(), 8);
+    EXPECT_EQ(fp16.regs_per_thread(), 4);  // two halfs per register
+}
+
+TEST(VoltaMappingC, Fp16ThreadHoldsOneRow)
+{
+    FragmentMap map =
+        volta_fragment_map(WmmaOperand::kC, TcMode::kFp16, Layout::kRowMajor);
+    // Thread t of tg holds local row t of the threadgroup's 4x8 block.
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+        const auto& f = map.fragment(lane);
+        int t = lane % 4;
+        int tg = threadgroup_of_lane(lane);
+        for (int i = 0; i < 8; ++i) {
+            EXPECT_EQ(f.elems[i].row, kVoltaCRowStart[tg] + t);
+            EXPECT_EQ(f.elems[i].col, kVoltaCColStart[tg] + i);
+        }
+    }
+}
+
+TEST(VoltaMappingC, MixedStepPairsAreAdjacentColumns)
+{
+    // In mixed precision each register pair (slots 2s, 2s+1) holds two
+    // horizontally adjacent elements of the step-s 2x4 block.
+    FragmentMap map =
+        volta_fragment_map(WmmaOperand::kC, TcMode::kMixed, Layout::kRowMajor);
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+        const auto& f = map.fragment(lane);
+        for (int s = 0; s < 4; ++s) {
+            EXPECT_EQ(f.elems[2 * s].row, f.elems[2 * s + 1].row);
+            EXPECT_EQ(f.elems[2 * s].col + 1, f.elems[2 * s + 1].col);
+        }
+    }
+}
+
+TEST(VoltaMappingAB, RowMajorAEqualsColMajorBPattern)
+{
+    // "The distribution ... for operand matrix A stored in row-major
+    //  layout is the same as the distribution of operand matrix B
+    //  stored in column-major layout" -- in the transposed sense:
+    // thread fragments of B(col) are A(row) fragments with row/col
+    // meaning swapped and the B column stripe replacing the A row band.
+    FragmentMap a =
+        volta_fragment_map(WmmaOperand::kA, TcMode::kMixed, Layout::kRowMajor);
+    FragmentMap b =
+        volta_fragment_map(WmmaOperand::kB, TcMode::kMixed, Layout::kColMajor);
+    // Both are "contiguous" patterns: 16 consecutive elements along
+    // the leading dimension per thread.
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+        const auto& fa = a.fragment(lane).elems;
+        const auto& fb = b.fragment(lane).elems;
+        for (int i = 0; i < 16; ++i) {
+            EXPECT_EQ(fa[i].col, i);   // A: fixed row, all columns
+            EXPECT_EQ(fb[i].row, i);   // B: fixed column, all rows
+        }
+    }
+}
+
+}  // namespace
+}  // namespace tcsim

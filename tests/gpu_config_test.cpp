@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tests that the GPU configuration presets reproduce the published
+ * Titan V / RTX 2080 resource numbers the paper quotes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/gpu_config.h"
+
+namespace tcsim {
+namespace {
+
+TEST(TitanV, ResourceNumbers)
+{
+    GpuConfig c = titan_v_config();
+    EXPECT_EQ(c.arch, Arch::kVolta);
+    EXPECT_EQ(c.num_sms, 80);
+    EXPECT_EQ(c.subcores_per_sm, 4);
+    EXPECT_EQ(c.tensor_cores_per_subcore, 2);
+    // "The Tesla Titan V GPU contains 640 tensor cores distributed
+    //  across 80 SMs, with eight tensor cores per SM" (Section II-D).
+    EXPECT_EQ(c.total_tensor_cores(), 640);
+    EXPECT_EQ(c.subcores_per_sm * c.tensor_cores_per_subcore, 8);
+}
+
+TEST(TitanV, PeakTensorTflops)
+{
+    // "... providing a theoretical performance of 125 TFLOPS at an
+    //  operational frequency of 1530 MHz" (Section II-D).
+    GpuConfig c = titan_v_config();
+    EXPECT_NEAR(c.peak_tensor_tflops(), 125.0, 1.0);
+}
+
+TEST(TitanV, PeakFp32Tflops)
+{
+    // 5120 FP32 lanes * 2 FLOP * 1.53 GHz = 15.7 TFLOPS.
+    GpuConfig c = titan_v_config();
+    EXPECT_NEAR(c.peak_fp32_tflops(), 15.7, 0.2);
+}
+
+TEST(TitanV, TensorCoreMicroarchConstants)
+{
+    GpuConfig c = titan_v_config();
+    // Section IV: 16 FEDP units per tensor core, 4-stage pipeline,
+    // HMMA initiation interval of 2 cycles, 4 HMMA warps per SM.
+    EXPECT_EQ(c.fedp_units_per_tc, 16);
+    EXPECT_EQ(c.fedp_pipeline_stages, 4);
+    EXPECT_EQ(c.hmma_issue_interval, 2);
+    EXPECT_EQ(c.max_tc_warps_per_sm, 4);
+}
+
+TEST(Rtx2080, Preset)
+{
+    GpuConfig c = rtx2080_config();
+    EXPECT_EQ(c.arch, Arch::kTuring);
+    EXPECT_EQ(c.num_sms, 46);
+    EXPECT_GT(c.peak_tensor_tflops(), 0.0);
+}
+
+TEST(TcModeNames, AllNamed)
+{
+    EXPECT_STREQ(tc_mode_name(TcMode::kFp16), "fp16");
+    EXPECT_STREQ(tc_mode_name(TcMode::kMixed), "mixed");
+    EXPECT_STREQ(tc_mode_name(TcMode::kInt8), "int8");
+    EXPECT_STREQ(tc_mode_name(TcMode::kInt4), "int4");
+}
+
+}  // namespace
+}  // namespace tcsim

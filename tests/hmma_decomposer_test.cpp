@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests of the wmma.mma -> HMMA decomposition against Section III-C/D
+ * of the paper: group sizes, set/step structure (Figs 9/10), octet
+ * geometry (Table II), and the per-step outer products (Table III).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sass/hmma_decomposer.h"
+#include "tensor/mapping_volta.h"
+
+namespace tcsim {
+namespace {
+
+TEST(GroupSize, VoltaMixedIs16)
+{
+    // "each PTX wmma.mma instruction is broken into 16 HMMA
+    //  instructions ... organized as four sets of four".
+    EXPECT_EQ(hmma_group_size(Arch::kVolta, TcMode::kMixed), 16);
+}
+
+TEST(GroupSize, VoltaFp16Is8)
+{
+    // "a single PTX wmma.mma instruction is broken into four sets
+    //  consisting of only 2 steps".
+    EXPECT_EQ(hmma_group_size(Arch::kVolta, TcMode::kFp16), 8);
+}
+
+TEST(GroupSize, TuringIsFourExceptInt4)
+{
+    // "each PTX wmma.mma instruction is broken into a group of four
+    //  HMMA instructions for all modes except 4-bit".
+    EXPECT_EQ(hmma_group_size(Arch::kTuring, TcMode::kMixed), 4);
+    EXPECT_EQ(hmma_group_size(Arch::kTuring, TcMode::kFp16), 4);
+    EXPECT_EQ(hmma_group_size(Arch::kTuring, TcMode::kInt8), 4);
+    EXPECT_EQ(hmma_group_size(Arch::kTuring, TcMode::kInt4), 1);
+}
+
+TEST(Decompose, VoltaMixedSetStepOrder)
+{
+    WmmaRegs regs{.a = 20, .b = 12, .c = 4, .d = 4};
+    auto group = decompose_wmma_mma(Arch::kVolta, TcMode::kMixed,
+                                    kShape16x16x16, regs, Layout::kRowMajor,
+                                    Layout::kColMajor);
+    ASSERT_EQ(group.size(), 16u);
+    for (int i = 0; i < 16; ++i) {
+        const auto& h = group[i].hmma;
+        EXPECT_EQ(h.set, i / 4);
+        EXPECT_EQ(h.step, i % 4);
+        EXPECT_EQ(h.a_reg, 20);
+        EXPECT_EQ(h.d_reg, 4);
+    }
+    EXPECT_TRUE(group.front().hmma.first_in_group);
+    EXPECT_TRUE(group.back().hmma.last_in_group);
+    EXPECT_TRUE(group.back().macro_end);
+    // Only the endpoints are marked.
+    for (int i = 1; i < 15; ++i) {
+        EXPECT_FALSE(group[i].hmma.first_in_group);
+        EXPECT_FALSE(group[i].hmma.last_in_group);
+    }
+}
+
+TEST(Decompose, DisasmRendersStepAnnotations)
+{
+    WmmaRegs regs{.a = 24, .b = 22, .c = 8, .d = 8};
+    auto group = decompose_wmma_mma(Arch::kVolta, TcMode::kMixed,
+                                    kShape16x16x16, regs, Layout::kColMajor,
+                                    Layout::kRowMajor);
+    // Mirrors Fig 9a: "HMMA.884.F32.F32.STEP0 R8, R24, R22, R8".
+    EXPECT_EQ(group[0].disasm(), "HMMA.884.F32.F32.SET0.STEP0 R8, R24, R22, R8");
+    EXPECT_EQ(group[3].disasm(), "HMMA.884.F32.F32.SET0.STEP3 R8, R24, R22, R8");
+    EXPECT_EQ(group[15].disasm(),
+              "HMMA.884.F32.F32.SET3.STEP3 R8, R24, R22, R8");
+}
+
+TEST(VoltaSteps, Table3OuterProducts)
+{
+    // Table III, octet 0 (threadgroups 0 and 4), set s, steps 0..3:
+    //   tg0 step0: a[0:1] x A   -> A rows 0-1, B cols 0-3
+    //   tg0 step2: a[0:1] x E   -> A rows 0-1, B cols 4-7
+    //   tg4 step1: e[2:3] x A   -> A rows 6-7, B cols 0-3
+    for (int set = 0; set < 4; ++set) {
+        int k0 = 4 * set;
+        auto s0 = volta_step_compute(TcMode::kMixed, 0, set, 0);
+        EXPECT_EQ(s0.a, (SubtileRange{0, 1, k0, k0 + 3}));
+        EXPECT_EQ(s0.b, (SubtileRange{k0, k0 + 3, 0, 3}));
+        EXPECT_EQ(s0.cd, (SubtileRange{0, 1, 0, 3}));
+
+        auto s2 = volta_step_compute(TcMode::kMixed, 0, set, 2);
+        EXPECT_EQ(s2.a, (SubtileRange{0, 1, k0, k0 + 3}));
+        EXPECT_EQ(s2.b, (SubtileRange{k0, k0 + 3, 4, 7}));
+
+        auto t4s1 = volta_step_compute(TcMode::kMixed, 4, set, 1);
+        EXPECT_EQ(t4s1.a, (SubtileRange{6, 7, k0, k0 + 3}));
+        EXPECT_EQ(t4s1.b, (SubtileRange{k0, k0 + 3, 0, 3}));
+        EXPECT_EQ(t4s1.cd, (SubtileRange{6, 7, 0, 3}));
+    }
+}
+
+TEST(VoltaSteps, SetCoversFourByEightPerThreadgroup)
+{
+    // Fig 10a: per set, each threadgroup multiplies a 4x4 subtile of A
+    // with a 4x8 subtile of B accumulating a 4x8 region of C/D.
+    for (int tg = 0; tg < 8; ++tg) {
+        for (int set = 0; set < 4; ++set) {
+            int rmin = 16, rmax = -1, cmin = 16, cmax = -1;
+            for (int step = 0; step < 4; ++step) {
+                auto sc = volta_step_compute(TcMode::kMixed, tg, set, step);
+                rmin = std::min(rmin, sc.cd.row0);
+                rmax = std::max(rmax, sc.cd.row1);
+                cmin = std::min(cmin, sc.cd.col0);
+                cmax = std::max(cmax, sc.cd.col1);
+            }
+            EXPECT_EQ(rmax - rmin + 1, 4);
+            EXPECT_EQ(cmax - cmin + 1, 8);
+        }
+    }
+}
+
+TEST(VoltaSteps, Fp16StepIsFourByFour)
+{
+    // Fig 10c: in FP16 mode each step is a full 4x4 x 4x4 product.
+    for (int tg = 0; tg < 8; ++tg) {
+        for (int step = 0; step < 2; ++step) {
+            auto sc = volta_step_compute(TcMode::kFp16, tg, 0, step);
+            EXPECT_EQ(sc.a.rows(), 4);
+            EXPECT_EQ(sc.a.cols(), 4);
+            EXPECT_EQ(sc.b.rows(), 4);
+            EXPECT_EQ(sc.b.cols(), 4);
+            EXPECT_EQ(sc.cd.rows(), 4);
+            EXPECT_EQ(sc.cd.cols(), 4);
+        }
+    }
+}
+
+TEST(VoltaOctets, Table2Ranges)
+{
+    // Table II.
+    EXPECT_EQ(volta_octet_a_range(0), (SubtileRange{0, 7, 0, 15}));
+    EXPECT_EQ(volta_octet_b_range(0), (SubtileRange{0, 15, 0, 7}));
+    EXPECT_EQ(volta_octet_a_range(1), (SubtileRange{8, 15, 0, 15}));
+    EXPECT_EQ(volta_octet_b_range(1), (SubtileRange{0, 15, 0, 7}));
+    EXPECT_EQ(volta_octet_a_range(2), (SubtileRange{0, 7, 0, 15}));
+    EXPECT_EQ(volta_octet_b_range(2), (SubtileRange{0, 15, 8, 15}));
+    EXPECT_EQ(volta_octet_a_range(3), (SubtileRange{8, 15, 0, 15}));
+    EXPECT_EQ(volta_octet_b_range(3), (SubtileRange{0, 15, 8, 15}));
+}
+
+TEST(VoltaOctets, StepsStayInsideOctetFootprint)
+{
+    // Property: every step's operand ranges lie inside the octet's
+    // Table II footprint, for both modes.
+    for (TcMode mode : {TcMode::kMixed, TcMode::kFp16}) {
+        for (int tg = 0; tg < 8; ++tg) {
+            int octet = octet_of_threadgroup(tg);
+            auto arange = volta_octet_a_range(octet);
+            auto brange = volta_octet_b_range(octet);
+            for (int set = 0; set < 4; ++set) {
+                for (int step = 0; step < volta_steps_per_set(mode); ++step) {
+                    auto sc = volta_step_compute(mode, tg, set, step);
+                    EXPECT_GE(sc.a.row0, arange.row0);
+                    EXPECT_LE(sc.a.row1, arange.row1);
+                    EXPECT_GE(sc.b.col0, brange.col0);
+                    EXPECT_LE(sc.b.col1, brange.col1);
+                }
+            }
+        }
+    }
+}
+
+TEST(VoltaSteps, GroupCoversWholeTileExactlyOnce)
+{
+    // Property: across all 8 threadgroups, 4 sets and all steps, every
+    // (row, col, k) MAC of the 16x16x16 product is performed exactly
+    // once.
+    for (TcMode mode : {TcMode::kMixed, TcMode::kFp16}) {
+        std::vector<int> macs(16 * 16 * 16, 0);
+        for (int tg = 0; tg < 8; ++tg) {
+            for (int set = 0; set < 4; ++set) {
+                for (int step = 0; step < volta_steps_per_set(mode); ++step) {
+                    auto sc = volta_step_compute(mode, tg, set, step);
+                    for (int r = sc.cd.row0; r <= sc.cd.row1; ++r)
+                        for (int c = sc.cd.col0; c <= sc.cd.col1; ++c)
+                            for (int k = sc.a.col0; k <= sc.a.col1; ++k)
+                                ++macs[(r * 16 + c) * 16 + k];
+                }
+            }
+        }
+        for (int v : macs)
+            EXPECT_EQ(v, 1) << tc_mode_name(mode);
+    }
+}
+
+TEST(TuringSets, WholeTileCoveredExactlyOnce)
+{
+    struct Case
+    {
+        TileShape shape;
+        TcMode mode;
+    };
+    for (const auto& [shape, mode] :
+         {Case{kShape16x16x16, TcMode::kMixed},
+          Case{kShape16x16x16, TcMode::kFp16},
+          Case{kShape16x16x16, TcMode::kInt8},
+          Case{kShape32x8x16, TcMode::kMixed},
+          Case{kShape32x8x16, TcMode::kInt8},
+          Case{kShape8x32x16, TcMode::kFp16},
+          Case{kShape8x32x16, TcMode::kInt8},
+          Case{kShape8x8x32, TcMode::kInt4}}) {
+        std::vector<int> macs(
+            static_cast<size_t>(shape.m) * shape.n * shape.k, 0);
+        for (int set = 0; set < turing_num_sets(mode); ++set) {
+            auto sc = turing_set_compute(mode, shape, set);
+            for (int r = sc.cd.row0; r <= sc.cd.row1; ++r)
+                for (int c = sc.cd.col0; c <= sc.cd.col1; ++c)
+                    for (int k = sc.a.col0; k <= sc.a.col1; ++k)
+                        ++macs[(static_cast<size_t>(r) * shape.n + c) *
+                                   shape.k +
+                               k];
+        }
+        for (int v : macs)
+            EXPECT_EQ(v, 1) << shape.str() << " " << tc_mode_name(mode);
+    }
+}
+
+TEST(TuringSets, SubtileShapesMatchFig11)
+{
+    // FP16/mixed 16x16x16: 16x8 A subtile x 8x8 B subtile.
+    auto sc = turing_set_compute(TcMode::kFp16, kShape16x16x16, 0);
+    EXPECT_EQ(sc.a.rows(), 16);
+    EXPECT_EQ(sc.a.cols(), 8);
+    EXPECT_EQ(sc.b.rows(), 8);
+    EXPECT_EQ(sc.b.cols(), 8);
+    // 8-bit: 8x16 A x 16x8 B.
+    sc = turing_set_compute(TcMode::kInt8, kShape16x16x16, 0);
+    EXPECT_EQ(sc.a.rows(), 8);
+    EXPECT_EQ(sc.a.cols(), 16);
+    EXPECT_EQ(sc.b.rows(), 16);
+    EXPECT_EQ(sc.b.cols(), 8);
+    // 32x8x16 FP: 16x8 A x 8x8 B.
+    sc = turing_set_compute(TcMode::kMixed, kShape32x8x16, 0);
+    EXPECT_EQ(sc.a.rows(), 16);
+    EXPECT_EQ(sc.a.cols(), 8);
+    // 8x32x16 FP: 8x8 A x 8x16 B.
+    sc = turing_set_compute(TcMode::kFp16, kShape8x32x16, 0);
+    EXPECT_EQ(sc.a.rows(), 8);
+    EXPECT_EQ(sc.a.cols(), 8);
+    EXPECT_EQ(sc.b.cols(), 16);
+}
+
+}  // namespace
+}  // namespace tcsim

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Functional tests of the HMMA executor: full-tile GEMM correctness
+ * for every supported mode/layout on both architectures, numerical
+ * semantics (FEDP rounding), and the value-perturbation experiment
+ * the paper used to discover octet structure (Section III-E).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sass/hmma_decomposer.h"
+#include "sass/hmma_executor.h"
+#include "tensor/fragment_io.h"
+#include "tensor/matrix.h"
+
+namespace tcsim {
+namespace {
+
+/** Deterministic pseudo-random half values in [-2, 2). */
+half
+rand_half(uint32_t seed)
+{
+    seed = seed * 1664525u + 1013904223u;
+    float v = static_cast<float>((seed >> 8) % 1024) / 256.0f - 2.0f;
+    return half(v);
+}
+
+/** Naive reference with float accumulation (tolerance comparisons). */
+template <typename Acc>
+HostMatrix<Acc>
+naive_gemm(const HostMatrix<half>& a, const HostMatrix<half>& b,
+           const HostMatrix<Acc>& c)
+{
+    HostMatrix<Acc> d(c.rows(), c.cols(), c.layout());
+    reference_gemm(a, b, c, d);
+    return d;
+}
+
+struct VoltaCase
+{
+    TcMode mode;
+    Layout a_layout;
+    Layout b_layout;
+};
+
+class VoltaExecutor : public ::testing::TestWithParam<VoltaCase>
+{
+};
+
+TEST_P(VoltaExecutor, MixedGemmMatchesReference)
+{
+    auto [mode, a_layout, b_layout] = GetParam();
+
+    HostMatrix<half> a(16, 16, a_layout);
+    HostMatrix<half> b(16, 16, b_layout);
+    a.fill([](int r, int c) { return rand_half(r * 16 + c); });
+    b.fill([](int r, int c) { return rand_half(1000 + r * 16 + c); });
+
+    HmmaExecutor exec(Arch::kVolta, mode, kShape16x16x16, a_layout, b_layout);
+    WarpRegState regs(64);
+    WmmaRegs wregs{.a = 20, .b = 36, .c = 4, .d = 4};
+    pack_fragment_h16(exec.a_map(), a, &regs, wregs.a);
+    pack_fragment_h16(exec.b_map(), b, &regs, wregs.b);
+
+    auto group = decompose_wmma_mma(Arch::kVolta, mode, kShape16x16x16, wregs,
+                                    a_layout, b_layout);
+
+    if (mode == TcMode::kMixed) {
+        HostMatrix<float> c(16, 16);
+        c.fill([](int r, int c2) { return 0.25f * (r - c2); });
+        pack_fragment_f32(exec.cd_map(), c, &regs, wregs.c);
+        exec.execute_group(group, regs);
+        HostMatrix<float> d(16, 16);
+        unpack_fragment_f32(exec.cd_map(), regs, wregs.d, &d);
+        HostMatrix<float> ref = naive_gemm(a, b, c);
+        for (int r = 0; r < 16; ++r)
+            for (int cc = 0; cc < 16; ++cc)
+                EXPECT_NEAR(d.at(r, cc), ref.at(r, cc),
+                            1e-3 * (1.0 + std::abs(ref.at(r, cc))))
+                    << r << "," << cc;
+    } else {
+        HostMatrix<half> c(16, 16);
+        c.fill([](int r, int c2) { return half(0.25f * (r - c2)); });
+        pack_fragment_h16(exec.cd_map(), c, &regs, wregs.c);
+        exec.execute_group(group, regs);
+        HostMatrix<half> d(16, 16);
+        unpack_fragment_h16(exec.cd_map(), regs, wregs.d, &d);
+        HostMatrix<half> ref = naive_gemm(a, b, c);
+        for (int r = 0; r < 16; ++r)
+            for (int cc = 0; cc < 16; ++cc)
+                EXPECT_NEAR(d.at(r, cc).to_float(), ref.at(r, cc).to_float(),
+                            0.25 * (1.0 + std::abs(ref.at(r, cc).to_float())))
+                    << r << "," << cc;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayoutModeCombos, VoltaExecutor,
+    ::testing::Values(
+        VoltaCase{TcMode::kMixed, Layout::kRowMajor, Layout::kRowMajor},
+        VoltaCase{TcMode::kMixed, Layout::kRowMajor, Layout::kColMajor},
+        VoltaCase{TcMode::kMixed, Layout::kColMajor, Layout::kRowMajor},
+        VoltaCase{TcMode::kMixed, Layout::kColMajor, Layout::kColMajor},
+        VoltaCase{TcMode::kFp16, Layout::kRowMajor, Layout::kRowMajor},
+        VoltaCase{TcMode::kFp16, Layout::kRowMajor, Layout::kColMajor},
+        VoltaCase{TcMode::kFp16, Layout::kColMajor, Layout::kRowMajor},
+        VoltaCase{TcMode::kFp16, Layout::kColMajor, Layout::kColMajor}));
+
+TEST(VoltaExecutorExact, MixedIdentityTimesMatrix)
+{
+    // A = I: D must equal B + C exactly (products are exact and each
+    // output element accumulates exactly one nonzero product).
+    HostMatrix<half> a(16, 16);
+    a.fill([](int r, int c) { return half(r == c ? 1.0f : 0.0f); });
+    HostMatrix<half> b(16, 16);
+    b.fill([](int r, int c) { return rand_half(77 + r * 16 + c); });
+    HostMatrix<float> c(16, 16);
+    c.fill([](int r, int c2) { return static_cast<float>(r + c2); });
+
+    HmmaExecutor exec(Arch::kVolta, TcMode::kMixed, kShape16x16x16,
+                      Layout::kRowMajor, Layout::kRowMajor);
+    WarpRegState regs(64);
+    WmmaRegs wregs{.a = 20, .b = 36, .c = 4, .d = 4};
+    pack_fragment_h16(exec.a_map(), a, &regs, wregs.a);
+    pack_fragment_h16(exec.b_map(), b, &regs, wregs.b);
+    pack_fragment_f32(exec.cd_map(), c, &regs, wregs.c);
+    auto group = decompose_wmma_mma(Arch::kVolta, TcMode::kMixed,
+                                    kShape16x16x16, wregs, Layout::kRowMajor,
+                                    Layout::kRowMajor);
+    exec.execute_group(group, regs);
+    HostMatrix<float> d(16, 16);
+    unpack_fragment_f32(exec.cd_map(), regs, wregs.d, &d);
+    for (int r = 0; r < 16; ++r)
+        for (int cc = 0; cc < 16; ++cc)
+            EXPECT_EQ(d.at(r, cc), b.at(r, cc).to_float() + c.at(r, cc));
+}
+
+TEST(VoltaExecutorExact, SeparateDRegistersLeaveCIntact)
+{
+    // When D registers differ from C registers, C must not be
+    // modified and D must hold the result.
+    HostMatrix<half> a(16, 16), b(16, 16);
+    a.fill([](int r, int c) { return half(r == c ? 2.0f : 0.0f); });
+    b.fill([](int, int) { return half(1.0f); });
+    HostMatrix<float> c(16, 16);
+    c.fill([](int, int) { return 10.0f; });
+
+    HmmaExecutor exec(Arch::kVolta, TcMode::kMixed, kShape16x16x16,
+                      Layout::kRowMajor, Layout::kRowMajor);
+    WarpRegState regs(64);
+    WmmaRegs wregs{.a = 20, .b = 36, .c = 4, .d = 12};
+    pack_fragment_h16(exec.a_map(), a, &regs, wregs.a);
+    pack_fragment_h16(exec.b_map(), b, &regs, wregs.b);
+    pack_fragment_f32(exec.cd_map(), c, &regs, wregs.c);
+    auto group = decompose_wmma_mma(Arch::kVolta, TcMode::kMixed,
+                                    kShape16x16x16, wregs, Layout::kRowMajor,
+                                    Layout::kRowMajor);
+    exec.execute_group(group, regs);
+
+    HostMatrix<float> d(16, 16), c_after(16, 16);
+    unpack_fragment_f32(exec.cd_map(), regs, wregs.d, &d);
+    unpack_fragment_f32(exec.cd_map(), regs, wregs.c, &c_after);
+    for (int r = 0; r < 16; ++r) {
+        for (int cc = 0; cc < 16; ++cc) {
+            EXPECT_EQ(d.at(r, cc), 12.0f);       // 2*1 + 10
+            EXPECT_EQ(c_after.at(r, cc), 10.0f); // untouched
+        }
+    }
+}
+
+TEST(VoltaExecutorOctets, PerturbingOneCopyAffectsOnlyConsumingOctet)
+{
+    // Section III-E methodology: alter the value held in one thread's
+    // registers (one of the two copies of a B element) and observe
+    // which output elements change.  Only the octet that consumes that
+    // copy may be affected.
+    HostMatrix<half> a(16, 16), b(16, 16);
+    a.fill([](int, int) { return half(1.0f); });
+    b.fill([](int, int) { return half(1.0f); });
+    HostMatrix<float> c(16, 16);
+    c.fill([](int, int) { return 0.0f; });
+
+    HmmaExecutor exec(Arch::kVolta, TcMode::kMixed, kShape16x16x16,
+                      Layout::kRowMajor, Layout::kRowMajor);
+    WmmaRegs wregs{.a = 20, .b = 36, .c = 4, .d = 4};
+    auto group = decompose_wmma_mma(Arch::kVolta, TcMode::kMixed,
+                                    kShape16x16x16, wregs, Layout::kRowMajor,
+                                    Layout::kRowMajor);
+
+    // Baseline.
+    WarpRegState base_regs(64);
+    pack_fragment_h16(exec.a_map(), a, &base_regs, wregs.a);
+    pack_fragment_h16(exec.b_map(), b, &base_regs, wregs.b);
+    pack_fragment_f32(exec.cd_map(), c, &base_regs, wregs.c);
+    exec.execute_group(group, base_regs);
+    HostMatrix<float> d_base(16, 16);
+    unpack_fragment_f32(exec.cd_map(), base_regs, wregs.d, &d_base);
+
+    // Perturb B element (0, 0) as held by threadgroup 0 only (the
+    // other copy, in threadgroup 1, stays 1.0).
+    WarpRegState pert_regs(64);
+    pack_fragment_h16(exec.a_map(), a, &pert_regs, wregs.a);
+    pack_fragment_h16(exec.b_map(), b, &pert_regs, wregs.b);
+    pack_fragment_f32(exec.cd_map(), c, &pert_regs, wregs.c);
+    bool perturbed = false;
+    for (const auto& loc : exec.b_map().locate(0, 0)) {
+        if (threadgroup_of_lane(loc.lane) == 0) {
+            pert_regs.write_h16(loc.lane, wregs.b + loc.slot / 2,
+                                loc.slot % 2, half(100.0f));
+            perturbed = true;
+        }
+    }
+    ASSERT_TRUE(perturbed);
+    exec.execute_group(group, pert_regs);
+    HostMatrix<float> d_pert(16, 16);
+    unpack_fragment_f32(exec.cd_map(), pert_regs, wregs.d, &d_pert);
+
+    // Only octet 0's D region (rows 0-7, cols 0-7) may change, and
+    // within it only column 0 (B[0,0] feeds column 0 outputs).
+    for (int r = 0; r < 16; ++r) {
+        for (int cc = 0; cc < 16; ++cc) {
+            bool changed = d_base.at(r, cc) != d_pert.at(r, cc);
+            bool in_octet0 = r < 8 && cc < 8;
+            if (!in_octet0) {
+                EXPECT_FALSE(changed) << r << "," << cc;
+            } else if (cc == 0) {
+                EXPECT_TRUE(changed) << r << "," << cc;
+            } else {
+                EXPECT_FALSE(changed) << r << "," << cc;
+            }
+        }
+    }
+}
+
+struct TuringExecCase
+{
+    TileShape shape;
+    TcMode mode;
+};
+
+class TuringExecutor : public ::testing::TestWithParam<TuringExecCase>
+{
+};
+
+TEST_P(TuringExecutor, FpGemmMatchesReference)
+{
+    auto [shape, mode] = GetParam();
+    HostMatrix<half> a(shape.m, shape.k);
+    HostMatrix<half> b(shape.k, shape.n);
+    a.fill([&](int r, int c) { return rand_half(r * shape.k + c); });
+    b.fill([&](int r, int c) { return rand_half(555 + r * shape.n + c); });
+
+    HmmaExecutor exec(Arch::kTuring, mode, shape, Layout::kRowMajor,
+                      Layout::kRowMajor);
+    WarpRegState regs(80);
+    WmmaRegs wregs{.a = 20, .b = 40, .c = 4, .d = 4};
+    pack_fragment_h16(exec.a_map(), a, &regs, wregs.a);
+    pack_fragment_h16(exec.b_map(), b, &regs, wregs.b);
+
+    auto group = decompose_wmma_mma(Arch::kTuring, mode, shape, wregs,
+                                    Layout::kRowMajor, Layout::kRowMajor);
+
+    if (mode == TcMode::kMixed) {
+        HostMatrix<float> c(shape.m, shape.n);
+        c.fill([](int r, int c2) { return 0.125f * (c2 - r); });
+        pack_fragment_f32(exec.cd_map(), c, &regs, wregs.c);
+        exec.execute_group(group, regs);
+        HostMatrix<float> d(shape.m, shape.n);
+        unpack_fragment_f32(exec.cd_map(), regs, wregs.d, &d);
+        HostMatrix<float> ref = naive_gemm(a, b, c);
+        for (int r = 0; r < shape.m; ++r)
+            for (int cc = 0; cc < shape.n; ++cc)
+                EXPECT_NEAR(d.at(r, cc), ref.at(r, cc),
+                            1e-3 * (1.0 + std::abs(ref.at(r, cc))));
+    } else {
+        HostMatrix<half> c(shape.m, shape.n);
+        c.fill([](int, int) { return half(0.5f); });
+        pack_fragment_h16(exec.cd_map(), c, &regs, wregs.c);
+        exec.execute_group(group, regs);
+        HostMatrix<half> d(shape.m, shape.n);
+        unpack_fragment_h16(exec.cd_map(), regs, wregs.d, &d);
+        HostMatrix<half> ref = naive_gemm(a, b, c);
+        for (int r = 0; r < shape.m; ++r)
+            for (int cc = 0; cc < shape.n; ++cc)
+                EXPECT_NEAR(d.at(r, cc).to_float(), ref.at(r, cc).to_float(),
+                            0.25 *
+                                (1.0 + std::abs(ref.at(r, cc).to_float())));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TuringExecutor,
+    ::testing::Values(TuringExecCase{kShape16x16x16, TcMode::kMixed},
+                      TuringExecCase{kShape16x16x16, TcMode::kFp16},
+                      TuringExecCase{kShape32x8x16, TcMode::kMixed},
+                      TuringExecCase{kShape32x8x16, TcMode::kFp16},
+                      TuringExecCase{kShape8x32x16, TcMode::kMixed},
+                      TuringExecCase{kShape8x32x16, TcMode::kFp16}));
+
+TEST(TuringExecutorInt8, ExactIntegerGemm)
+{
+    TileShape shape = kShape16x16x16;
+    HostMatrix<int8_t> a(shape.m, shape.k), b(shape.k, shape.n);
+    a.fill([](int r, int c) { return static_cast<int8_t>((r * 7 + c * 3) % 255 - 127); });
+    b.fill([](int r, int c) { return static_cast<int8_t>((r * 5 + c * 11) % 255 - 127); });
+    HostMatrix<int32_t> c(shape.m, shape.n);
+    c.fill([](int r, int c2) { return r - c2; });
+
+    HmmaExecutor exec(Arch::kTuring, TcMode::kInt8, shape, Layout::kRowMajor,
+                      Layout::kRowMajor);
+    WarpRegState regs(80);
+    WmmaRegs wregs{.a = 20, .b = 30, .c = 4, .d = 4};
+    pack_fragment_i8(exec.a_map(), a, &regs, wregs.a);
+    pack_fragment_i8(exec.b_map(), b, &regs, wregs.b);
+    pack_fragment_i32(exec.cd_map(), c, &regs, wregs.c);
+
+    auto group = decompose_wmma_mma(Arch::kTuring, TcMode::kInt8, shape,
+                                    wregs, Layout::kRowMajor,
+                                    Layout::kRowMajor);
+    exec.execute_group(group, regs);
+
+    HostMatrix<int32_t> d(shape.m, shape.n);
+    unpack_fragment_i32(exec.cd_map(), regs, wregs.d, &d);
+    for (int r = 0; r < shape.m; ++r) {
+        for (int cc = 0; cc < shape.n; ++cc) {
+            int32_t ref = c.at(r, cc);
+            for (int k = 0; k < shape.k; ++k)
+                ref += static_cast<int32_t>(a.at(r, k)) * b.at(k, cc);
+            EXPECT_EQ(d.at(r, cc), ref) << r << "," << cc;
+        }
+    }
+}
+
+TEST(TuringExecutorInt4, ExactIntegerGemm)
+{
+    TileShape shape = kShape8x8x32;
+    HostMatrix<int8_t> a(shape.m, shape.k), b(shape.k, shape.n);
+    a.fill([](int r, int c) { return static_cast<int8_t>((r + c) % 16 - 8); });
+    b.fill([](int r, int c) { return static_cast<int8_t>((r * 3 + c) % 16 - 8); });
+    HostMatrix<int32_t> c(shape.m, shape.n);
+    c.fill([](int, int) { return 5; });
+
+    HmmaExecutor exec(Arch::kTuring, TcMode::kInt4, shape, Layout::kRowMajor,
+                      Layout::kRowMajor);
+    WarpRegState regs(80);
+    WmmaRegs wregs{.a = 20, .b = 24, .c = 4, .d = 4};
+    pack_fragment_i4(exec.a_map(), a, &regs, wregs.a);
+    pack_fragment_i4(exec.b_map(), b, &regs, wregs.b);
+    pack_fragment_i32(exec.cd_map(), c, &regs, wregs.c);
+
+    auto group = decompose_wmma_mma(Arch::kTuring, TcMode::kInt4, shape,
+                                    wregs, Layout::kRowMajor,
+                                    Layout::kRowMajor);
+    ASSERT_EQ(group.size(), 1u);  // single HMMA in 4-bit mode
+    exec.execute_group(group, regs);
+
+    HostMatrix<int32_t> d(shape.m, shape.n);
+    unpack_fragment_i32(exec.cd_map(), regs, wregs.d, &d);
+    for (int r = 0; r < shape.m; ++r) {
+        for (int cc = 0; cc < shape.n; ++cc) {
+            int32_t ref = c.at(r, cc);
+            for (int k = 0; k < shape.k; ++k)
+                ref += static_cast<int32_t>(a.at(r, k)) * b.at(k, cc);
+            EXPECT_EQ(d.at(r, cc), ref);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace tcsim

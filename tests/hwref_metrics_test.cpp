@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the Titan V analytical model, the paper-measurement
+ * tables, the metrics helpers, and the cooperative staging planner.
+ */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "hwref/paper_tables.h"
+#include "hwref/titanv_model.h"
+#include "kernels/staging.h"
+#include "metrics/metrics.h"
+
+namespace tcsim {
+namespace {
+
+hwref::GemmWorkload
+cutlass_workload(int size)
+{
+    hwref::GemmWorkload w;
+    w.family = hwref::KernelFamily::kCutlass;
+    w.m = w.n = w.k = size;
+    return w;
+}
+
+TEST(TitanVModel, CyclesGrowWithSize)
+{
+    hwref::TitanVModel model(titan_v_config());
+    double prev = 0.0;
+    for (int size : {256, 512, 1024, 2048, 4096}) {
+        double c = model.predict(cutlass_workload(size)).cycles;
+        EXPECT_GT(c, prev) << size;
+        prev = c;
+    }
+}
+
+TEST(TitanVModel, TflopsSaturateBelowPeak)
+{
+    hwref::TitanVModel model(titan_v_config());
+    double t8k = model.predict(cutlass_workload(8192)).tflops;
+    double t16k = model.predict(cutlass_workload(16384)).tflops;
+    EXPECT_GT(t8k, 20.0);
+    EXPECT_LT(t8k, 125.0);
+    // Saturation: the last doubling changes throughput by < 15%.
+    EXPECT_NEAR(t16k / t8k, 1.0, 0.15);
+}
+
+TEST(TitanVModel, TensorCoreKernelsBeatSimt)
+{
+    hwref::TitanVModel model(titan_v_config());
+    auto tc = cutlass_workload(4096);
+    auto simt = tc;
+    simt.family = hwref::KernelFamily::kSgemmSimt;
+    double ratio = model.predict(tc).tflops / model.predict(simt).tflops;
+    // Paper: 3-6x SGEMM.
+    EXPECT_GT(ratio, 2.5);
+    EXPECT_LT(ratio, 8.0);
+}
+
+TEST(TitanVModel, PipeliningHelps)
+{
+    // Small threadblocks at a modest size: the K-loop latency floor
+    // binds, so the un-pipelined variant must be slower.
+    hwref::TitanVModel model(titan_v_config());
+    auto pipe = cutlass_workload(256);
+    pipe.block_m = pipe.block_n = 64;
+    auto nopipe = pipe;
+    nopipe.double_buffer = false;
+    EXPECT_LT(model.predict(pipe).cycles, model.predict(nopipe).cycles);
+}
+
+TEST(TitanVModel, SmallGridsLoseOccupancy)
+{
+    // One CTA cannot use 80 SMs: per-FLOP cycles must be much worse
+    // at 128 than at 2048.
+    hwref::TitanVModel model(titan_v_config());
+    auto small = model.predict(cutlass_workload(128));
+    auto large = model.predict(cutlass_workload(2048));
+    double small_cpf = small.cycles / (2.0 * 128 * 128 * 128);
+    double large_cpf = large.cycles / (2.0 * 2048 * 2048 * 2048.0);
+    EXPECT_GT(small_cpf, 10.0 * large_cpf);
+}
+
+TEST(PaperTables, Fig12cShape)
+{
+    auto hw = hwref::fig12c_hw_cycles();
+    ASSERT_EQ(hw.size(), 8u);
+    // Flat through 4 warps, then rising.
+    EXPECT_LT(hw[3] / hw[0], 1.2);
+    EXPECT_GT(hw[7] / hw[3], 2.0);
+}
+
+TEST(PaperTables, Fig17SeriesConsistent)
+{
+    auto sizes = hwref::fig17_sizes();
+    for (const auto& s : hwref::fig17_hw_series()) {
+        EXPECT_EQ(s.tflops.size(), sizes.size()) << s.name;
+        for (double v : s.tflops)
+            EXPECT_LE(v, hwref::kPeakTensorTflops) << s.name;
+    }
+}
+
+TEST(Metrics, PerfectCorrelation)
+{
+    std::vector<metrics::IpcPoint> pts;
+    for (int i = 1; i <= 10; ++i)
+        pts.push_back({"p" + std::to_string(i), 10.0 * i, 10.0 * i});
+    auto r = metrics::correlate(pts);
+    EXPECT_NEAR(r.correlation_pct, 100.0, 1e-9);
+    EXPECT_NEAR(r.mean_abs_rel_err_pct, 0.0, 1e-9);
+    EXPECT_EQ(r.points, 10u);
+}
+
+TEST(Metrics, ScatterTableRows)
+{
+    std::vector<metrics::IpcPoint> pts = {{"a", 1.0, 2.0}, {"b", 3.0, 3.0}};
+    TextTable t = metrics::scatter_table("x", pts);
+    EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Metrics, Tflops)
+{
+    // 2e12 FLOPs in 1e9 cycles at 1 GHz = 1 second = 2 TFLOPS.
+    EXPECT_DOUBLE_EQ(metrics::tflops(2e12, 1e9, 1.0), 2.0);
+}
+
+TEST(Staging, BytesAccountForPadding)
+{
+    EXPECT_EQ(staged_block_bytes(Layout::kRowMajor, 64, 16, 2, 8),
+              64u * 24 * 2);
+    EXPECT_EQ(staged_block_bytes(Layout::kColMajor, 64, 16, 2, 8),
+              16u * 72 * 2);
+}
+
+TEST(Staging, CoversBlockExactlyOnce)
+{
+    // Union of all warps' LDG lanes covers each block element once.
+    WarpBuilder builders[8] = {WarpBuilder(Arch::kVolta),
+                               WarpBuilder(Arch::kVolta),
+                               WarpBuilder(Arch::kVolta),
+                               WarpBuilder(Arch::kVolta),
+                               WarpBuilder(Arch::kVolta),
+                               WarpBuilder(Arch::kVolta),
+                               WarpBuilder(Arch::kVolta),
+                               WarpBuilder(Arch::kVolta)};
+    std::map<uint64_t, int> touched;
+    for (int w = 0; w < 8; ++w) {
+        StageBlockParams p;
+        p.block_base = 0;
+        p.layout = Layout::kRowMajor;
+        p.ld_global = 64;
+        p.rows = 64;
+        p.cols = 32;
+        p.warp = w;
+        p.num_warps = 8;
+        p.ebytes = 2;
+        p.reg = 40;
+        stage_block(&builders[w], p);
+        WarpProgram prog = builders[w].take();
+        for (const auto& inst : prog) {
+            if (inst.op != Opcode::kLdg)
+                continue;
+            int bytes = inst.width_bits / 8;
+            for (int lane = 0; lane < kWarpSize; ++lane) {
+                uint64_t a = (*inst.addr)[lane];
+                for (int b = 0; b < bytes; b += 2)
+                    touched[a + static_cast<uint64_t>(b)]++;
+            }
+        }
+    }
+    // 64 x 32 halfs, each exactly once.
+    EXPECT_EQ(touched.size(), 64u * 32);
+    for (const auto& [addr, count] : touched)
+        EXPECT_EQ(count, 1) << addr;
+}
+
+}  // namespace
+}  // namespace tcsim

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Unit tests for the memory-system substrates: coalescer, sectored
+ * caches, DRAM bandwidth model, banked shared memory, and the
+ * functional global memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/mem/cache.h"
+#include "sim/mem/coalescer.h"
+#include "sim/mem/dram.h"
+#include "sim/mem/global_memory.h"
+#include "sim/mem/memory_system.h"
+#include "sim/mem/shared_memory.h"
+
+namespace tcsim {
+namespace {
+
+Instruction
+make_load(std::array<uint64_t, kWarpSize> addrs, int width_bits,
+          Opcode op = Opcode::kLdg)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.width_bits = static_cast<uint16_t>(width_bits);
+    inst.n_dst = 1;
+    inst.dst[0] = 8;
+    inst.addr = std::make_unique<std::array<uint64_t, kWarpSize>>(addrs);
+    return inst;
+}
+
+TEST(Coalescer, FullyCoalescedWarp)
+{
+    // 32 lanes x 4B contiguous = 128 B = 4 sectors.
+    std::array<uint64_t, kWarpSize> a{};
+    for (int i = 0; i < kWarpSize; ++i)
+        a[i] = 0x1000 + 4 * static_cast<uint64_t>(i);
+    auto sectors = coalesce_sectors(make_load(a, 32));
+    EXPECT_EQ(sectors.size(), 4u);
+    EXPECT_EQ(sectors.front(), 0x1000u);
+}
+
+TEST(Coalescer, SameAddressBroadcast)
+{
+    std::array<uint64_t, kWarpSize> a{};
+    a.fill(0x2000);
+    EXPECT_EQ(coalesce_sectors(make_load(a, 32)).size(), 1u);
+}
+
+TEST(Coalescer, ScatteredAccesses)
+{
+    std::array<uint64_t, kWarpSize> a{};
+    for (int i = 0; i < kWarpSize; ++i)
+        a[i] = static_cast<uint64_t>(i) * 256;
+    EXPECT_EQ(coalesce_sectors(make_load(a, 32)).size(), 32u);
+}
+
+TEST(Coalescer, InactiveLanesSkipped)
+{
+    std::array<uint64_t, kWarpSize> a{};
+    a.fill(kNoAddr);
+    a[3] = 0x40;
+    EXPECT_EQ(coalesce_sectors(make_load(a, 32)).size(), 1u);
+}
+
+TEST(Coalescer, LoopIterationAdvancesAddresses)
+{
+    std::array<uint64_t, kWarpSize> a{};
+    for (int i = 0; i < kWarpSize; ++i)
+        a[i] = 4 * static_cast<uint64_t>(i);
+    Instruction inst = make_load(a, 32);
+    inst.loop_stride = 128;
+    auto s0 = coalesce_sectors(inst, 32, 0);
+    auto s1 = coalesce_sectors(inst, 32, 1);
+    EXPECT_EQ(s0.front() + 128, s1.front());
+}
+
+TEST(Cache, HitAfterFill)
+{
+    CacheConfig cfg;
+    cfg.size_bytes = 4096;
+    cfg.assoc = 4;
+    Cache c(cfg);
+    EXPECT_EQ(c.access(0x100, false), CacheOutcome::kLineMiss);
+    EXPECT_EQ(c.access(0x100, false), CacheOutcome::kHit);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, SectorMissWithinCachedLine)
+{
+    CacheConfig cfg;
+    cfg.size_bytes = 4096;
+    Cache c(cfg);
+    EXPECT_EQ(c.access(0x100, false), CacheOutcome::kLineMiss);
+    // Same 128B line, different 32B sector.
+    EXPECT_EQ(c.access(0x120, false), CacheOutcome::kSectorMiss);
+    EXPECT_EQ(c.access(0x120, false), CacheOutcome::kHit);
+}
+
+TEST(Cache, LruEviction)
+{
+    CacheConfig cfg;
+    cfg.size_bytes = 1024;  // 2 sets x 4 ways
+    cfg.assoc = 4;
+    Cache c(cfg);
+    // Fill all 4 ways of set 0 (line addresses with even line index).
+    for (uint64_t i = 0; i < 4; ++i)
+        c.access(i * 2 * 128, false);
+    for (uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(c.access(i * 2 * 128, false), CacheOutcome::kHit);
+    // A fifth line evicts the LRU (line 0).
+    c.access(4 * 2 * 128, false);
+    EXPECT_EQ(c.access(0, false), CacheOutcome::kLineMiss);
+}
+
+TEST(Cache, WriteNoAllocate)
+{
+    CacheConfig cfg;
+    cfg.size_bytes = 4096;
+    cfg.write_allocate = false;
+    Cache c(cfg);
+    EXPECT_EQ(c.access(0x100, true), CacheOutcome::kLineMiss);
+    // Still a miss: the write did not allocate.
+    EXPECT_EQ(c.access(0x100, false), CacheOutcome::kLineMiss);
+}
+
+TEST(Cache, FlushResets)
+{
+    CacheConfig cfg;
+    cfg.size_bytes = 4096;
+    Cache c(cfg);
+    c.access(0x100, false);
+    c.flush();
+    EXPECT_EQ(c.access(0x100, false), CacheOutcome::kLineMiss);
+    EXPECT_EQ(c.misses(), 1u);  // counters reset by flush
+}
+
+TEST(Dram, LatencyOnly)
+{
+    DramModel d(4, 16.0, 200);
+    uint64_t t = d.access(0, 32, 1000);
+    EXPECT_EQ(t, 1000 + 2 + 200u);  // 32B at 16B/cyc = 2 cycles + latency
+}
+
+TEST(Dram, BandwidthQueueing)
+{
+    DramModel d(1, 16.0, 200);
+    // Ten back-to-back 32B requests to one partition serialize at
+    // 2 cycles each.
+    uint64_t last = 0;
+    for (int i = 0; i < 10; ++i)
+        last = d.access(0, 32, 0);
+    EXPECT_EQ(last, 20 + 200u);
+    EXPECT_EQ(d.total_bytes(), 320u);
+}
+
+TEST(Dram, PartitionInterleaving)
+{
+    DramModel d(2, 16.0, 100, 256);
+    // Addresses 0 and 256 hit different partitions: both complete at
+    // the unloaded latency.
+    uint64_t t0 = d.access(0, 32, 0);
+    uint64_t t1 = d.access(256, 32, 0);
+    EXPECT_EQ(t0, t1);
+}
+
+TEST(SharedMemory, ConflictFree)
+{
+    std::array<uint64_t, kWarpSize> a{};
+    for (int i = 0; i < kWarpSize; ++i)
+        a[i] = 4 * static_cast<uint64_t>(i);  // one word per bank
+    EXPECT_EQ(shared_bank_conflict_degree(make_load(a, 32, Opcode::kLds)), 1);
+}
+
+TEST(SharedMemory, Broadcast)
+{
+    std::array<uint64_t, kWarpSize> a{};
+    a.fill(64);  // all lanes read the same word: broadcast, no conflict
+    EXPECT_EQ(shared_bank_conflict_degree(make_load(a, 32, Opcode::kLds)), 1);
+}
+
+TEST(SharedMemory, WorstCaseConflict)
+{
+    std::array<uint64_t, kWarpSize> a{};
+    for (int i = 0; i < kWarpSize; ++i)
+        a[i] = 128 * static_cast<uint64_t>(i);  // all lanes in bank 0
+    EXPECT_EQ(shared_bank_conflict_degree(make_load(a, 32, Opcode::kLds)),
+              32);
+}
+
+TEST(SharedMemory, TwoWayConflict)
+{
+    std::array<uint64_t, kWarpSize> a{};
+    for (int i = 0; i < kWarpSize; ++i)
+        a[i] = 4 * static_cast<uint64_t>(i % 16) + 64 * (i / 16) * 4;
+    // Lanes i and i+16 share a bank with different words.
+    EXPECT_EQ(shared_bank_conflict_degree(make_load(a, 32, Opcode::kLds)), 2);
+}
+
+TEST(SharedMemoryStorage, ReadWrite)
+{
+    SharedMemoryStorage s(1024);
+    uint32_t v = 0xdeadbeef;
+    s.write(64, &v, 4);
+    uint32_t r = 0;
+    s.read(64, &r, 4);
+    EXPECT_EQ(r, v);
+}
+
+TEST(GlobalMemory, AllocAlignment)
+{
+    GlobalMemory g;
+    uint64_t a = g.alloc(100);
+    uint64_t b = g.alloc(100);
+    EXPECT_EQ(a % 256, 0u);
+    EXPECT_EQ(b % 256, 0u);
+    EXPECT_GE(b, a + 100);
+}
+
+TEST(GlobalMemory, ReadWriteRoundTrip)
+{
+    GlobalMemory g;
+    uint64_t a = g.alloc(64);
+    g.write_u32(a + 8, 42);
+    EXPECT_EQ(g.read_u32(a + 8), 42u);
+}
+
+TEST(MemorySystem, L1HitFasterThanMiss)
+{
+    GpuConfig cfg = titan_v_config();
+    MemorySystem ms(cfg);
+    std::vector<uint64_t> sectors = {0x10000};
+    uint64_t t_miss = ms.access_global(0, sectors, false, 0);
+    uint64_t t_hit = ms.access_global(0, sectors, false, t_miss);
+    EXPECT_GT(t_miss, 0u + cfg.l2_hit_latency);  // went to DRAM
+    EXPECT_EQ(t_hit - t_miss, static_cast<uint64_t>(cfg.l1_hit_latency));
+}
+
+TEST(MemorySystem, L2SharedAcrossSms)
+{
+    GpuConfig cfg = titan_v_config();
+    MemorySystem ms(cfg);
+    std::vector<uint64_t> sectors = {0x20000};
+    ms.access_global(0, sectors, false, 0);  // SM0 fills L2
+    uint64_t t = ms.access_global(1, sectors, false, 1000);
+    // SM1 misses its L1 but hits L2.
+    EXPECT_EQ(t - 1000, static_cast<uint64_t>(cfg.l2_hit_latency));
+}
+
+TEST(MemorySystem, StatsAccumulate)
+{
+    GpuConfig cfg = titan_v_config();
+    MemorySystem ms(cfg);
+    std::vector<uint64_t> sectors = {0x0, 0x20, 0x40};
+    ms.access_global(0, sectors, false, 0);
+    MemStats s = ms.stats();
+    EXPECT_EQ(s.global_sectors, 3u);
+    EXPECT_EQ(s.l1_misses, 3u);
+    ms.reset_timing();
+    EXPECT_EQ(ms.stats().global_sectors, 0u);
+}
+
+}  // namespace
+}  // namespace tcsim

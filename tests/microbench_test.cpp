@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests of the NOP-patching / clock-injection microbenchmark
+ * utilities (the paper's Figs 5 and 6 methodology, re-homed from
+ * radare2 binary patching to instruction traces).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sass/hmma_decomposer.h"
+#include "sass/microbench.h"
+
+namespace tcsim {
+namespace {
+
+WarpProgram
+make_program()
+{
+    WmmaRegs regs{.a = 20, .b = 36, .c = 4, .d = 4};
+    WarpProgram prog;
+    Instruction mov;
+    mov.op = Opcode::kMov;
+    mov.n_dst = 1;
+    mov.dst[0] = 1;
+    prog.push_back(mov);
+    auto group = decompose_wmma_mma(Arch::kVolta, TcMode::kMixed,
+                                    kShape16x16x16, regs, Layout::kRowMajor,
+                                    Layout::kRowMajor);
+    for (auto& inst : group)
+        prog.push_back(std::move(inst));
+    Instruction exit;
+    exit.op = Opcode::kExit;
+    prog.push_back(exit);
+    return prog;
+}
+
+TEST(FindHmma, LocatesAllSixteen)
+{
+    WarpProgram prog = make_program();
+    auto idx = find_hmma_indices(prog);
+    ASSERT_EQ(idx.size(), 16u);
+    EXPECT_EQ(idx.front(), 1u);   // after the MOV
+    EXPECT_EQ(idx.back(), 16u);
+}
+
+TEST(PatchNops, KeepsExactlyOneHmma)
+{
+    // Fig 5: replace all HMMA operations except one with NOPs.
+    for (size_t keep = 0; keep < 16; ++keep) {
+        WarpProgram prog = make_program();
+        int patched = patch_nops_except(&prog, keep);
+        EXPECT_EQ(patched, 15);
+        auto idx = find_hmma_indices(prog);
+        ASSERT_EQ(idx.size(), 1u);
+        // The surviving HMMA is the keep-th of the original order.
+        EXPECT_EQ(idx[0], 1u + keep);
+        // Program length unchanged (NOPs substituted in place).
+        EXPECT_EQ(prog.size(), 18u);
+    }
+}
+
+TEST(PatchNops, SurvivorRetainsAnnotations)
+{
+    WarpProgram prog = make_program();
+    patch_nops_except(&prog, 6);  // set 1, step 2
+    auto idx = find_hmma_indices(prog);
+    ASSERT_EQ(idx.size(), 1u);
+    const auto& h = prog[idx[0]].hmma;
+    EXPECT_EQ(h.set, 1);
+    EXPECT_EQ(h.step, 2);
+}
+
+TEST(InjectClocks, WrapsFirstNHmmas)
+{
+    // Fig 6: read the clock register before the 1st and after the nth
+    // HMMA instruction.
+    WarpProgram prog = make_program();
+    inject_clocks(&prog, 4, /*reg_start=*/60, /*reg_end=*/61);
+    EXPECT_EQ(prog.size(), 20u);
+    // CS2R before the first HMMA.
+    EXPECT_EQ(prog[1].op, Opcode::kCs2r);
+    EXPECT_EQ(prog[1].dst[0], 60);
+    // First HMMA shifted by one.
+    EXPECT_EQ(prog[2].op, Opcode::kHmma);
+    // CS2R right after the 4th HMMA (positions 2,3,4,5).
+    EXPECT_EQ(prog[6].op, Opcode::kCs2r);
+    EXPECT_EQ(prog[6].dst[0], 61);
+    EXPECT_EQ(prog[7].op, Opcode::kHmma);
+}
+
+TEST(InjectClocks, FullGroup)
+{
+    WarpProgram prog = make_program();
+    inject_clocks(&prog, 16, 60, 61);
+    auto idx = find_hmma_indices(prog);
+    EXPECT_EQ(idx.size(), 16u);
+    EXPECT_EQ(prog[idx.back() + 1].op, Opcode::kCs2r);
+}
+
+}  // namespace
+}  // namespace tcsim

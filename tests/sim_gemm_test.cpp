@@ -1,0 +1,274 @@
+/**
+ * @file
+ * End-to-end integration tests: full WMMA GEMM kernels executed on
+ * the cycle-level simulator with functional verification against the
+ * host reference, across sizes, layouts, modes and kernel variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/gemm_kernels.h"
+#include "sass/hmma_decomposer.h"
+#include "sim/gpu.h"
+
+namespace tcsim {
+namespace {
+
+/** Small Titan V (fewer SMs) keeps unit-test runtime low without
+ *  changing per-SM behaviour. */
+GpuConfig
+small_titan_v(int sms = 4)
+{
+    GpuConfig cfg = titan_v_config();
+    cfg.num_sms = sms;
+    return cfg;
+}
+
+struct E2eCase
+{
+    int m, n, k;
+    TcMode mode;
+    Layout a_layout, b_layout;
+    bool shared;
+};
+
+class GemmEndToEnd : public ::testing::TestWithParam<E2eCase>
+{
+};
+
+TEST_P(GemmEndToEnd, SimulatedResultMatchesReference)
+{
+    const E2eCase& tc = GetParam();
+    Gpu gpu(small_titan_v());
+
+    GemmKernelConfig cfg;
+    cfg.mode = tc.mode;
+    cfg.m = tc.m;
+    cfg.n = tc.n;
+    cfg.k = tc.k;
+    cfg.a_layout = tc.a_layout;
+    cfg.b_layout = tc.b_layout;
+
+    LaunchStats stats;
+    double err;
+    if (tc.mode == TcMode::kMixed) {
+        GemmProblem<float> prob(tc.m, tc.n, tc.k, tc.a_layout, tc.b_layout);
+        GemmBuffers buf = prob.upload(&gpu.mem());
+        KernelDesc kd = tc.shared ? make_wmma_gemm_shared(cfg, buf)
+                                  : make_wmma_gemm_naive(cfg, buf);
+        stats = gpu.launch(kd);
+        err = prob.verify(gpu.mem(), buf.d);
+        EXPECT_LT(err, 1e-3);
+    } else {
+        GemmProblem<half> prob(tc.m, tc.n, tc.k, tc.a_layout, tc.b_layout);
+        GemmBuffers buf = prob.upload(&gpu.mem());
+        KernelDesc kd = tc.shared ? make_wmma_gemm_shared(cfg, buf)
+                                  : make_wmma_gemm_naive(cfg, buf);
+        stats = gpu.launch(kd);
+        err = prob.verify(gpu.mem(), buf.d);
+        // FP16 accumulation differs from the float reference by
+        // rounding; a 16-deep K at magnitude ~4 stays well under 5%.
+        EXPECT_LT(err, 0.05);
+    }
+
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_GT(stats.instructions, 0u);
+    // Every 16x16x16 tile product runs one wmma.mma.
+    uint64_t wmma_ops = static_cast<uint64_t>(tc.m / 16) * (tc.n / 16) *
+                        (tc.k / 16);
+    uint64_t per_group =
+        static_cast<uint64_t>(hmma_group_size(Arch::kVolta, tc.mode));
+    EXPECT_EQ(stats.hmma_instructions, wmma_ops * per_group);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GemmEndToEnd,
+    ::testing::Values(
+        // Naive kernel: layout cross product at 32^3.
+        E2eCase{32, 32, 32, TcMode::kMixed, Layout::kRowMajor,
+                Layout::kRowMajor, false},
+        E2eCase{32, 32, 32, TcMode::kMixed, Layout::kRowMajor,
+                Layout::kColMajor, false},
+        E2eCase{32, 32, 32, TcMode::kMixed, Layout::kColMajor,
+                Layout::kRowMajor, false},
+        E2eCase{32, 32, 32, TcMode::kMixed, Layout::kColMajor,
+                Layout::kColMajor, false},
+        E2eCase{32, 32, 32, TcMode::kFp16, Layout::kRowMajor,
+                Layout::kRowMajor, false},
+        E2eCase{32, 32, 32, TcMode::kFp16, Layout::kColMajor,
+                Layout::kColMajor, false},
+        // Non-square and deeper K.
+        E2eCase{48, 80, 64, TcMode::kMixed, Layout::kRowMajor,
+                Layout::kColMajor, false},
+        E2eCase{16, 16, 128, TcMode::kMixed, Layout::kRowMajor,
+                Layout::kRowMajor, false},
+        // Shared-memory kernel (64-multiple sizes).
+        E2eCase{64, 64, 64, TcMode::kMixed, Layout::kRowMajor,
+                Layout::kRowMajor, true},
+        E2eCase{64, 64, 64, TcMode::kMixed, Layout::kRowMajor,
+                Layout::kColMajor, true},
+        E2eCase{64, 64, 64, TcMode::kMixed, Layout::kColMajor,
+                Layout::kColMajor, true},
+        E2eCase{64, 64, 64, TcMode::kFp16, Layout::kRowMajor,
+                Layout::kRowMajor, true},
+        E2eCase{128, 128, 64, TcMode::kMixed, Layout::kRowMajor,
+                Layout::kRowMajor, true},
+        E2eCase{128, 64, 128, TcMode::kFp16, Layout::kColMajor,
+                Layout::kRowMajor, true}));
+
+TEST(GemmKernels, SharedUsesFewerGlobalSectors)
+{
+    // The whole point of the shared-memory kernel: operand reuse
+    // moves traffic from global to shared memory.
+    Gpu gpu1(small_titan_v());
+    GemmKernelConfig cfg;
+    cfg.m = cfg.n = cfg.k = 128;
+    GemmProblem<float> prob(128, 128, 128, cfg.a_layout, cfg.b_layout);
+
+    GemmBuffers buf1 = prob.upload(&gpu1.mem());
+    LaunchStats naive = gpu1.launch(make_wmma_gemm_naive(cfg, buf1));
+
+    Gpu gpu2(small_titan_v());
+    GemmBuffers buf2 = prob.upload(&gpu2.mem());
+    LaunchStats shared = gpu2.launch(make_wmma_gemm_shared(cfg, buf2));
+
+    EXPECT_LT(shared.mem.global_sectors, naive.mem.global_sectors);
+}
+
+TEST(GemmKernels, BaselinesRun)
+{
+    Gpu gpu(small_titan_v(2));
+    GemmKernelConfig cfg;
+    cfg.m = cfg.n = cfg.k = 64;
+    GemmProblem<float> prob(64, 64, 64, cfg.a_layout, cfg.b_layout);
+    GemmBuffers buf = prob.upload(&gpu.mem());
+
+    LaunchStats s1 = gpu.launch(make_sgemm_ffma(cfg, buf));
+    EXPECT_GT(s1.cycles, 0u);
+    EXPECT_EQ(s1.hmma_instructions, 0u);  // no tensor cores
+
+    LaunchStats s2 = gpu.launch(make_hgemm_hfma2(cfg, buf));
+    EXPECT_GT(s2.cycles, 0u);
+    // HFMA2 does two MACs per instruction: fewer issues than SGEMM.
+    EXPECT_LT(s2.instructions, s1.instructions);
+}
+
+TEST(GemmKernels, TensorCoreBeatsSimtBaseline)
+{
+    // The headline claim: tensor cores give a substantial speedup
+    // over FP32 SIMT GEMM (3-6x in the paper, Fig 17).
+    GemmKernelConfig cfg;
+    cfg.m = cfg.n = cfg.k = 256;
+    GemmProblem<float> prob(256, 256, 256, cfg.a_layout, cfg.b_layout);
+
+    Gpu gpu1(small_titan_v());
+    GemmBuffers buf1 = prob.upload(&gpu1.mem());
+    cfg.functional = false;
+    LaunchStats tc = gpu1.launch(make_wmma_gemm_shared(cfg, buf1));
+
+    Gpu gpu2(small_titan_v());
+    GemmBuffers buf2 = prob.upload(&gpu2.mem());
+    LaunchStats simt = gpu2.launch(make_sgemm_ffma(cfg, buf2));
+
+    EXPECT_GT(static_cast<double>(simt.cycles) / tc.cycles, 2.0);
+}
+
+TEST(GemmKernels, MacroLatenciesRecorded)
+{
+    Gpu gpu(small_titan_v(1));
+    GemmKernelConfig cfg;
+    cfg.m = cfg.n = cfg.k = 64;
+    GemmProblem<float> prob(64, 64, 64, cfg.a_layout, cfg.b_layout);
+    GemmBuffers buf = prob.upload(&gpu.mem());
+    LaunchStats s = gpu.launch(make_wmma_gemm_shared(cfg, buf));
+
+    ASSERT_TRUE(s.macro_latency.contains(MacroClass::kWmmaMma));
+    ASSERT_TRUE(s.macro_latency.contains(MacroClass::kWmmaLoadA));
+    ASSERT_TRUE(s.macro_latency.contains(MacroClass::kWmmaStoreD));
+    const Histogram& mma = s.macro_latency.at(MacroClass::kWmmaMma);
+    // One sample per wmma.mma: (64/16)^3 tiles x ... each warp runs
+    // 2 mma per iteration x 4 iterations x 8 warps x 1 CTA... = 64.
+    EXPECT_EQ(mma.count(), 64u);
+    // Minimum latency is at least the Fig 9a pipeline latency.
+    EXPECT_GE(mma.min(), 54.0);
+}
+
+TEST(HmmaStress, WarpScalingSaturatesAtFourWarps)
+{
+    // Fig 12c: with <= 4 warps per CTA (one per sub-core) HMMA
+    // executes fully parallel; beyond 4 warps the tensor core pairs
+    // serialize.
+    std::vector<uint64_t> cycles;
+    for (int warps = 1; warps <= 8; ++warps) {
+        Gpu gpu(small_titan_v(1));
+        LaunchStats s = gpu.launch(
+            make_hmma_stress(Arch::kVolta, TcMode::kMixed, 1, warps,
+                             /*wmma_per_warp=*/4, /*accumulators=*/4));
+        cycles.push_back(s.cycles);
+    }
+    // Flat region: warps 1-4 within a small tolerance of each other.
+    for (int w = 1; w < 4; ++w)
+        EXPECT_NEAR(static_cast<double>(cycles[w]),
+                    static_cast<double>(cycles[0]), 8.0)
+            << w + 1 << " warps";
+    // 8 warps is markedly slower than 4 (two groups per sub-core).
+    EXPECT_GT(cycles[7], cycles[3] + 24);
+}
+
+TEST(HmmaStress, SteadyStateThroughput)
+{
+    // Back-to-back wmma.mma with rotating accumulators should approach
+    // the 32-cycle group occupancy per sub-core (Section IV).
+    Gpu gpu(small_titan_v(1));
+    const int ops = 256;
+    LaunchStats s = gpu.launch(
+        make_hmma_stress(Arch::kVolta, TcMode::kMixed, 1, 4, ops, 4));
+    // 4 warps on 4 sub-cores: ideal cycles = ops * 32 + drain.
+    double ideal = ops * 32.0;
+    EXPECT_LT(static_cast<double>(s.cycles), ideal * 1.25);
+    EXPECT_GT(static_cast<double>(s.cycles), ideal * 0.95);
+}
+
+TEST(Gpu, MultiSmDistribution)
+{
+    // CTAs spread across SMs: more SMs => fewer cycles.  The grid must
+    // be large enough that throughput (not one CTA's latency) binds.
+    GemmKernelConfig cfg;
+    cfg.m = cfg.n = 512;
+    cfg.k = 64;
+    cfg.functional = false;
+    GemmProblem<float> prob(512, 512, 64, cfg.a_layout, cfg.b_layout);
+
+    Gpu gpu1(small_titan_v(1));
+    GemmBuffers b1 = prob.upload(&gpu1.mem());
+    uint64_t c1 = gpu1.launch(make_wmma_gemm_naive(cfg, b1)).cycles;
+
+    Gpu gpu4(small_titan_v(4));
+    GemmBuffers b4 = prob.upload(&gpu4.mem());
+    uint64_t c4 = gpu4.launch(make_wmma_gemm_naive(cfg, b4)).cycles;
+
+    EXPECT_LT(static_cast<double>(c4), 0.6 * static_cast<double>(c1));
+}
+
+TEST(Gpu, TimingOnlyMatchesFunctionalTiming)
+{
+    // Functional execution must not alter timing.
+    GemmKernelConfig cfg;
+    cfg.m = cfg.n = cfg.k = 64;
+    GemmProblem<float> prob(64, 64, 64, cfg.a_layout, cfg.b_layout);
+
+    Gpu gpu1(small_titan_v(2));
+    GemmBuffers b1 = prob.upload(&gpu1.mem());
+    cfg.functional = true;
+    uint64_t c_func = gpu1.launch(make_wmma_gemm_shared(cfg, b1)).cycles;
+
+    Gpu gpu2(small_titan_v(2));
+    GemmBuffers b2 = prob.upload(&gpu2.mem());
+    cfg.functional = false;
+    uint64_t c_time = gpu2.launch(make_wmma_gemm_shared(cfg, b2)).cycles;
+
+    EXPECT_EQ(c_func, c_time);
+}
+
+}  // namespace
+}  // namespace tcsim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tests for the table/CSV emitters used by the bench harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+
+namespace tcsim {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t("Title");
+    t.set_header({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("Title"), std::string::npos);
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    // Column alignment: "value" column starts at the same offset in
+    // each data line.
+    auto pos1 = s.find("1");
+    auto pos22 = s.find("22");
+    ASSERT_NE(pos1, std::string::npos);
+    ASSERT_NE(pos22, std::string::npos);
+}
+
+TEST(TextTable, Csv)
+{
+    TextTable t;
+    t.set_header({"a", "b"});
+    t.add_row({"1", "2"});
+    EXPECT_EQ(t.render_csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, NumRows)
+{
+    TextTable t;
+    EXPECT_EQ(t.num_rows(), 0u);
+    t.add_row({"x"});
+    EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(FmtDouble, Precision)
+{
+    EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt_double(2.0, 0), "2");
+    EXPECT_EQ(fmt_double(1234.5, 1), "1234.5");
+}
+
+}  // namespace
+}  // namespace tcsim

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests of the wmma.load/store -> SASS memory-op expansion against
+ * Section III-C of the paper: instruction widths and counts per
+ * layout, and coalesced transaction counting (Section V-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/transactions.h"
+
+namespace tcsim {
+namespace {
+
+TEST(VoltaLoadA, RowMajorUsesTwo128BitLoads)
+{
+    // "wmma.load PTX instructions are broken into either four 64-bit
+    //  loads (LD.E.64) or two 128-bit loads (LD.E.128)".
+    FragmentMap map =
+        volta_fragment_map(WmmaOperand::kA, TcMode::kMixed, Layout::kRowMajor);
+    auto ops = wmma_memory_ops(map, 16);
+    ASSERT_EQ(ops.size(), 2u);
+    for (const auto& op : ops) {
+        EXPECT_EQ(op.width_bits, 128);
+        EXPECT_STREQ(op.mnemonic(false), "LD.E.128");
+    }
+}
+
+TEST(VoltaLoadA, ColMajorUsesFour64BitLoads)
+{
+    FragmentMap map =
+        volta_fragment_map(WmmaOperand::kA, TcMode::kMixed, Layout::kColMajor);
+    auto ops = wmma_memory_ops(map, 16);
+    ASSERT_EQ(ops.size(), 4u);
+    for (const auto& op : ops) {
+        EXPECT_EQ(op.width_bits, 64);
+        EXPECT_STREQ(op.mnemonic(false), "LD.E.64");
+    }
+}
+
+TEST(VoltaLoadA, ColMajorStrideIs64Elements)
+{
+    // "four coalesced 64-bit wide load instructions, each with a
+    //  stride distance of 64 elements".
+    FragmentMap map =
+        volta_fragment_map(WmmaOperand::kA, TcMode::kMixed, Layout::kColMajor);
+    auto ops = wmma_memory_ops(map, 16);
+    ASSERT_EQ(ops.size(), 4u);
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+        for (size_t i = 1; i < ops.size(); ++i) {
+            int64_t delta =
+                ops[i].lane_offset[lane] - ops[i - 1].lane_offset[lane];
+            EXPECT_EQ(delta, 64 * 2) << "lane " << lane;  // 64 halfs
+        }
+    }
+}
+
+TEST(VoltaLoadB, MirrorsAcrossLayouts)
+{
+    FragmentMap col =
+        volta_fragment_map(WmmaOperand::kB, TcMode::kMixed, Layout::kColMajor);
+    EXPECT_EQ(wmma_memory_ops(col, 16).size(), 2u);  // LD.E.128 x2
+    FragmentMap row =
+        volta_fragment_map(WmmaOperand::kB, TcMode::kMixed, Layout::kRowMajor);
+    EXPECT_EQ(wmma_memory_ops(row, 16).size(), 4u);  // LD.E.64 x4
+}
+
+TEST(VoltaLoadC, Uses32BitAccessesBothModes)
+{
+    // "32-bit wide (partially coalesced) load instructions are used to
+    //  access elements of matrix C in both modes of operation."
+    for (TcMode mode : {TcMode::kFp16, TcMode::kMixed}) {
+        FragmentMap map =
+            volta_fragment_map(WmmaOperand::kC, mode, Layout::kRowMajor);
+        auto ops = wmma_memory_ops(map, 16);
+        size_t expect = mode == TcMode::kMixed ? 8u : 4u;
+        EXPECT_EQ(ops.size(), expect) << tc_mode_name(mode);
+        for (const auto& op : ops)
+            EXPECT_EQ(op.width_bits, 32) << tc_mode_name(mode);
+    }
+}
+
+TEST(VoltaLoadA, TransactionCountRowMajor)
+{
+    // Row-major A, ld = 16 halfs: each 32-byte row is one sector; the
+    // first 128-bit load covers its low half and the second its high
+    // half, so each instruction touches all 16 row-sectors.
+    FragmentMap map =
+        volta_fragment_map(WmmaOperand::kA, TcMode::kMixed, Layout::kRowMajor);
+    auto ops = wmma_memory_ops(map, 16);
+    ASSERT_EQ(ops.size(), 2u);
+    EXPECT_EQ(sectors_for_access(ops[0], 0), 16u);
+    EXPECT_EQ(sectors_for_access(ops[1], 0), 16u);
+    EXPECT_EQ(count_transactions(ops, /*base=*/0), 32u);
+}
+
+TEST(VoltaLoadA, TransactionCountLargeLeadingDimension)
+{
+    // With ld = 1024 halfs, each row sits in its own pair of sectors:
+    // 16 rows x 2 accesses wide = 32 sectors (each row is 32 B, and
+    // the two 128-bit loads split it into two 16 B halves that share
+    // a sector only when aligned together; at 2048-byte row pitch the
+    // two halves of one row land in the same 32 B sector).
+    FragmentMap map =
+        volta_fragment_map(WmmaOperand::kA, TcMode::kMixed, Layout::kRowMajor);
+    auto ops = wmma_memory_ops(map, 1024);
+    ASSERT_EQ(ops.size(), 2u);
+    // First load touches 16 different rows: addresses r*2048 .. +16B.
+    // Each row contributes one distinct sector; two threads (dual
+    // ownership) share it.
+    EXPECT_EQ(sectors_for_access(ops[0], 0), 16u);
+    EXPECT_EQ(sectors_for_access(ops[1], 0), 16u);
+}
+
+TEST(Transactions, SectorSharingAcrossLanes)
+{
+    // All lanes reading the same 4 bytes is one transaction.
+    MemAccessDesc op;
+    op.width_bits = 32;
+    for (int lane = 0; lane < kWarpSize; ++lane)
+        op.lane_offset[lane] = 0;
+    EXPECT_EQ(sectors_for_access(op, 0), 1u);
+    // Fully scattered 32-bit accesses, one sector each.
+    for (int lane = 0; lane < kWarpSize; ++lane)
+        op.lane_offset[lane] = lane * 128;
+    EXPECT_EQ(sectors_for_access(op, 0), 32u);
+}
+
+TEST(Transactions, UnalignedAccessSpansTwoSectors)
+{
+    MemAccessDesc op;
+    op.width_bits = 128;
+    for (int lane = 0; lane < kWarpSize; ++lane)
+        op.lane_offset[lane] = kInactiveLane;
+    op.lane_offset[0] = 24;  // 16-byte access at offset 24: sectors 0,1
+    EXPECT_EQ(sectors_for_access(op, 0), 2u);
+}
+
+TEST(ElementBytes, PerOperandAndMode)
+{
+    EXPECT_EQ(element_bytes(WmmaOperand::kA, TcMode::kFp16), 2);
+    EXPECT_EQ(element_bytes(WmmaOperand::kA, TcMode::kMixed), 2);
+    EXPECT_EQ(element_bytes(WmmaOperand::kA, TcMode::kInt8), 1);
+    EXPECT_EQ(element_bytes(WmmaOperand::kC, TcMode::kMixed), 4);
+    EXPECT_EQ(element_bytes(WmmaOperand::kC, TcMode::kFp16), 2);
+    EXPECT_EQ(element_bytes(WmmaOperand::kC, TcMode::kInt8), 4);
+}
+
+TEST(TuringLoadA, RowMajor16x16x16)
+{
+    FragmentMap map = turing_fragment_map(WmmaOperand::kA, kShape16x16x16,
+                                          TcMode::kFp16, Layout::kRowMajor);
+    auto ops = wmma_memory_ops(map, 16);
+    // 8 elements per thread in 4-element contiguous chunks: 2 64-bit
+    // loads.
+    ASSERT_EQ(ops.size(), 2u);
+    EXPECT_EQ(ops[0].width_bits, 64);
+}
+
+TEST(TuringLoadA, ColMajorScatters)
+{
+    // In column-major the row chunks scatter: accesses degrade to
+    // 16-bit element loads.
+    FragmentMap map = turing_fragment_map(WmmaOperand::kA, kShape16x16x16,
+                                          TcMode::kFp16, Layout::kColMajor);
+    auto ops = wmma_memory_ops(map, 16);
+    ASSERT_EQ(ops.size(), 8u);
+    EXPECT_EQ(ops[0].width_bits, 16);
+}
+
+}  // namespace
+}  // namespace tcsim
