@@ -59,5 +59,10 @@ main()
     std::printf("\nrelative std-dev: %.2f%% (paper: < 5%%)\n", dev);
     std::printf("mean abs rel error: %.2f%%, correlation: %.2f%%\n", mare,
                 100.0 * corr);
+
+    bench::JsonEmitter json("fig14a");
+    json.add("rel_stddev_pct", dev);
+    json.add("mean_abs_rel_error_pct", mare);
+    json.add("pearson", corr);
     return 0;
 }

@@ -79,5 +79,14 @@ main()
                 static_cast<unsigned long long>(s.cycles), s.ipc);
     std::printf("(occasional high latencies come from scheduling and "
                 "memory traffic, as in the paper)\n");
+
+    bench::JsonEmitter json("fig15");
+    json.add("cycles", static_cast<double>(s.cycles));
+    json.add("ipc", s.ipc);
+    json.add("wmma_load_median", loads.median());
+    json.add("wmma_mma_median",
+             s.macro_latency.at(MacroClass::kWmmaMma).median());
+    json.add("wmma_store_median",
+             s.macro_latency.at(MacroClass::kWmmaStoreD).median());
     return 0;
 }

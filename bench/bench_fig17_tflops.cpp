@@ -8,6 +8,8 @@
  */
 
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "bench_util.h"
 #include "cutlass/gemm.h"
@@ -103,6 +105,8 @@ main()
         header.push_back(fmt_double(s, 0));
     tbl.set_header(header);
 
+    // sim TFLOPS points captured during the sweep, keyed "kind@size".
+    std::map<std::string, double> sim_points;
     auto add_series = [&](const char* name, hwref::KernelFamily fam,
                           TcMode mode, const char* sim_kind,
                           int sim_limit) {
@@ -122,6 +126,8 @@ main()
                     st = sim_tflops_cutlass(size, mode);
                 else
                     st = sim_tflops_kernel(size, sim_kind);
+                sim_points[std::string(sim_kind) + "@" +
+                           std::to_string(size)] = st;
                 cell += "/" + fmt_double(st, 0);
             } else {
                 cell += "/-";
@@ -142,13 +148,21 @@ main()
     bench::print_table(tbl);
 
     bench::section("Peak kernels");
+    double max_mixed = sim_tflops_maxperf(TcMode::kMixed);
+    double max_fp16 = sim_tflops_maxperf(TcMode::kFp16);
     std::printf("MAX PERF (mixed): paper %.1f, sim %.1f TFLOPS\n",
-                hwref::kMaxPerfMixedTflops, sim_tflops_maxperf(TcMode::kMixed));
+                hwref::kMaxPerfMixedTflops, max_mixed);
     std::printf("MAX PERF (fp16):  paper %.1f, sim %.1f TFLOPS\n",
-                hwref::kMaxPerfFp16Tflops, sim_tflops_maxperf(TcMode::kFp16));
+                hwref::kMaxPerfFp16Tflops, max_fp16);
     std::printf("THEORETICAL LIMIT: %.1f TFLOPS (config implies %.1f)\n",
                 hwref::kPeakTensorTflops,
                 bench::titan_v().peak_tensor_tflops());
+
+    bench::JsonEmitter json("fig17");
+    json.add("max_perf_mixed_tflops", max_mixed);
+    json.add("max_perf_fp16_tflops", max_fp16);
+    json.add("wmma_shared_1024_tflops", sim_points["wmma@1024"]);
+    json.add("cutlass_1024_tflops", sim_points["cutlass@1024"]);
 
     std::printf("\nshape checks: tensor cores ~3-6x SGEMM and ~3x HGEMM "
                 "(paper Section V-C)\n");

@@ -1,11 +1,15 @@
 #pragma once
 /**
  * @file
- * Shared helpers for the per-figure benchmark binaries.
+ * Shared helpers for the per-figure benchmark binaries, including the
+ * machine-readable JSON emitter the perf-trajectory tooling consumes.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "arch/gpu_config.h"
 #include "common/table.h"
@@ -14,6 +18,63 @@
 
 namespace tcsim {
 namespace bench {
+
+/**
+ * Collects named scalar metrics and writes them as
+ * `BENCH_<name>.json` in the working directory, so bench binaries
+ * leave a machine-readable record next to their human-readable tables:
+ *
+ *   {"bench": "fig14a", "metrics": {"rel_stddev_pct": 3.21, ...}}
+ *
+ * Written on destruction (or an explicit write()); emission failures
+ * only warn, so benches stay usable in read-only directories.
+ */
+class JsonEmitter
+{
+  public:
+    explicit JsonEmitter(std::string name) : name_(std::move(name)) {}
+
+    JsonEmitter(const JsonEmitter&) = delete;
+    JsonEmitter& operator=(const JsonEmitter&) = delete;
+
+    ~JsonEmitter() { write(); }
+
+    void add(const std::string& key, double value)
+    {
+        metrics_.emplace_back(key, value);
+    }
+
+    void write()
+    {
+        if (written_)
+            return;
+        written_ = true;
+        std::string path = "BENCH_" + name_ + ".json";
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+            return;
+        }
+        std::fprintf(f, "{\"bench\": \"%s\", \"metrics\": {", name_.c_str());
+        for (size_t i = 0; i < metrics_.size(); ++i) {
+            std::fprintf(f, "%s\"%s\": ", i ? ", " : "",
+                         metrics_[i].first.c_str());
+            // JSON has no nan/inf literals; degrade to null.
+            if (std::isfinite(metrics_[i].second))
+                std::fprintf(f, "%.10g", metrics_[i].second);
+            else
+                std::fprintf(f, "null");
+        }
+        std::fprintf(f, "}}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::vector<std::pair<std::string, double>> metrics_;
+    bool written_ = false;
+};
 
 /** Print a titled section separator. */
 inline void

@@ -35,6 +35,10 @@ class ExecUnit
     int latency() const { return latency_; }
     int initiation_interval() const { return ii_; }
 
+    /** Earliest cycle a new issue can be accepted (event-driven main
+     *  loop: the time a unit-busy stall resolves). */
+    uint64_t next_free() const { return next_free_; }
+
   private:
     int ii_ = 1;
     int latency_ = 1;

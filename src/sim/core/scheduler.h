@@ -2,23 +2,36 @@
 /**
  * @file
  * Warp scheduler policies for the sub-core: greedy-then-oldest (GTO,
- * the GPGPU-Sim default the paper's model uses) and loose round-robin
- * (LRR).
+ * the GPGPU-Sim default the paper's model uses), loose round-robin
+ * (LRR), and a two-level scheduler that round-robins a small fetch
+ * group of warps and promotes from the pending pool only when the
+ * group stalls (Narasiman et al., MICRO'11 style).
  */
 
+#include <algorithm>
 #include <vector>
 
 namespace tcsim {
 
-enum class SchedulerPolicy { kGto, kLrr };
+enum class SchedulerPolicy { kGto, kLrr, kTwoLevel };
 
 /**
  * Produces the warp visit order for one issue cycle over @p num_warps
  * sub-core-resident warps.
+ *
+ * This is the stateless reference of each policy's visit order (unit
+ * tested in tests/scheduler_test.cpp); the engine's sub-core issue
+ * loop (SubCore::try_issue) implements the same orders over its
+ * mutable active-warp list, where kTwoLevel additionally promotes an
+ * issuing pending-pool warp into the fetch group.
  */
 class WarpScheduler
 {
   public:
+    /** Fetch-group size of the two-level policy: warps 0..G-1 of the
+     *  priority order form the active set; the rest are pending. */
+    static constexpr int kFetchGroupSize = 8;
+
     explicit WarpScheduler(SchedulerPolicy policy = SchedulerPolicy::kGto)
         : policy_(policy)
     {
@@ -41,18 +54,38 @@ WarpScheduler::order(int num_warps, std::vector<int>* order) const
     order->clear();
     if (num_warps == 0)
         return;
-    if (policy_ == SchedulerPolicy::kGto) {
+    switch (policy_) {
+      case SchedulerPolicy::kGto:
         // Greedy: last issued warp first, then oldest (ascending index).
         if (last_issued_ >= 0 && last_issued_ < num_warps)
             order->push_back(last_issued_);
         for (int w = 0; w < num_warps; ++w)
             if (w != last_issued_)
                 order->push_back(w);
-    } else {
+        break;
+
+      case SchedulerPolicy::kLrr: {
         // LRR: start after the last issued warp.
         int start = last_issued_ < 0 ? 0 : (last_issued_ + 1) % num_warps;
         for (int i = 0; i < num_warps; ++i)
             order->push_back((start + i) % num_warps);
+        break;
+      }
+
+      case SchedulerPolicy::kTwoLevel: {
+        // Active set: warps 0..g-1, visited LRR so long-latency stalls
+        // rotate within the group; pending warps (g..n-1) are only
+        // considered when the whole group is blocked, in age order.
+        int g = std::min(kFetchGroupSize, num_warps);
+        int start = (last_issued_ >= 0 && last_issued_ < g)
+                        ? (last_issued_ + 1) % g
+                        : 0;
+        for (int i = 0; i < g; ++i)
+            order->push_back((start + i) % g);
+        for (int w = g; w < num_warps; ++w)
+            order->push_back(w);
+        break;
+      }
     }
 }
 

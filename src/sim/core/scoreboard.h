@@ -24,6 +24,9 @@ class Scoreboard
     /** Grow tracking state for a newly resident warp. */
     void add_warp() { pending_.emplace_back(); }
 
+    /** Clear state when a finished warp's slot is recycled. */
+    void reset_warp(int w) { pending_[w].reset(); }
+
     /** True if @p inst of warp @p w has no RAW/WAW hazard.  HMMA
      *  instructions that are not first in their group bypass operand
      *  checks: the tensor core forwards the accumulator internally. */

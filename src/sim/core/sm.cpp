@@ -28,63 +28,59 @@ ExecutorCache::get(Arch arch, const HmmaInfo& info)
     return *it->second;
 }
 
-SM::SM(int id, const GpuConfig& cfg, MemorySystem* mem, GridState* grid,
-       RunStatsCollector* stats, ExecutorCache* executors,
-       SchedulerPolicy policy)
-    : id_(id), cfg_(cfg), mem_(mem), grid_(grid), stats_(stats),
-      executors_(executors)
+SM::SM(int id, const GpuConfig& cfg, MemorySystem* mem,
+       ExecutorCache* executors, SchedulerPolicy policy)
+    : id_(id), cfg_(cfg), mem_(mem), executors_(executors)
 {
     subcores_.reserve(static_cast<size_t>(cfg.subcores_per_sm));
     for (int i = 0; i < cfg.subcores_per_sm; ++i)
         subcores_.push_back(std::make_unique<SubCore>(this, i, policy));
-    int slots = max_concurrent_ctas();
-    cta_slots_.resize(static_cast<size_t>(slots));
-    cta_warps_.resize(static_cast<size_t>(slots));
+    cta_slots_.resize(static_cast<size_t>(cfg.max_ctas_per_sm));
+    cta_warps_.resize(static_cast<size_t>(cfg.max_ctas_per_sm));
 }
 
-int
-SM::max_concurrent_ctas() const
+/** Per-CTA register demand of @p k (32-bit registers). */
+static uint64_t
+cta_registers(const KernelDesc& k)
 {
-    const KernelDesc& k = *grid_->kernel;
+    return static_cast<uint64_t>(k.warps_per_cta) * kWarpSize *
+           static_cast<uint64_t>(k.regs_per_thread);
+}
+
+void
+SM::check_fits(const GpuConfig& cfg, const KernelDesc& k)
+{
     TCSIM_CHECK(k.warps_per_cta > 0);
-    int by_warps = cfg_.max_warps_per_sm / k.warps_per_cta;
-    int by_smem = k.shared_mem_bytes == 0
-                      ? cfg_.max_ctas_per_sm
-                      : static_cast<int>(cfg_.shared_mem_per_sm /
-                                         k.shared_mem_bytes);
-    uint64_t cta_regs = static_cast<uint64_t>(k.warps_per_cta) * kWarpSize *
-                        k.regs_per_thread;
-    int by_regs = static_cast<int>(cfg_.registers_per_sm / cta_regs);
-    int slots = std::min({cfg_.max_ctas_per_sm, by_warps, by_smem, by_regs});
-    if (slots < 1) {
+    if (k.warps_per_cta > cfg.max_warps_per_sm ||
+        k.shared_mem_bytes > cfg.shared_mem_per_sm ||
+        cta_registers(k) > cfg.registers_per_sm) {
         fatal("kernel %s exceeds SM resources (warps=%d smem=%u regs=%d)",
               k.name.c_str(), k.warps_per_cta, k.shared_mem_bytes,
               k.regs_per_thread);
     }
-    return slots;
+}
+
+bool
+SM::can_accept(const KernelDesc& k) const
+{
+    return used_ctas_ < cfg_.max_ctas_per_sm &&
+           used_warps_ + k.warps_per_cta <= cfg_.max_warps_per_sm &&
+           used_smem_ + k.shared_mem_bytes <= cfg_.shared_mem_per_sm &&
+           used_regs_ + cta_registers(k) <= cfg_.registers_per_sm;
 }
 
 void
-SM::try_launch_ctas()
+SM::launch_cta(GridRun* grid, int cta_id)
 {
-    if (!grid_->pending())
-        return;
-    // One launch per cycle keeps the initial distribution balanced
-    // across SMs (round-robin, as hardware rasterizes the grid).
-    for (size_t slot = 0; slot < cta_slots_.size(); ++slot) {
-        if (!cta_slots_[slot].valid) {
-            launch_cta(static_cast<int>(slot), grid_->next_cta++);
-            break;
-        }
-    }
-}
+    const KernelDesc& k = *grid->kernel;
+    size_t slot = 0;
+    while (slot < cta_slots_.size() && cta_slots_[slot].valid)
+        ++slot;
+    TCSIM_CHECK(slot < cta_slots_.size());
 
-void
-SM::launch_cta(int slot, int cta_id)
-{
-    const KernelDesc& k = *grid_->kernel;
-    CtaSlot& cta = cta_slots_[static_cast<size_t>(slot)];
+    CtaSlot& cta = cta_slots_[slot];
     cta.valid = true;
+    cta.grid = grid;
     cta.cta_id = cta_id;
     cta.live_warps = k.warps_per_cta;
     cta.barrier_arrived = 0;
@@ -92,7 +88,12 @@ SM::launch_cta(int slot, int cta_id)
                      ? std::make_unique<SharedMemoryStorage>(
                            k.shared_mem_bytes)
                      : nullptr;
-    cta_warps_[static_cast<size_t>(slot)].clear();
+    cta_warps_[slot].clear();
+
+    ++used_ctas_;
+    used_warps_ += k.warps_per_cta;
+    used_smem_ += k.shared_mem_bytes;
+    used_regs_ += cta_registers(k);
 
     for (int wi = 0; wi < k.warps_per_cta; ++wi) {
         auto w = std::make_unique<Warp>();
@@ -101,12 +102,13 @@ SM::launch_cta(int slot, int cta_id)
         TCSIM_CHECK(w->prog.back().op == Opcode::kExit);
         if (k.functional)
             w->regs = std::make_unique<WarpRegState>(k.regs_per_thread);
-        w->cta_slot = slot;
+        w->grid = grid;
+        w->cta_slot = static_cast<int>(slot);
         w->warp_in_cta = wi;
         int sc = wi % cfg_.subcores_per_sm;
         int warp_slot = subcores_[static_cast<size_t>(sc)]->add_warp(
             std::move(w));
-        cta_warps_[static_cast<size_t>(slot)].push_back({sc, warp_slot});
+        cta_warps_[slot].push_back({sc, warp_slot});
     }
 }
 
@@ -114,11 +116,13 @@ void
 SM::cycle(uint64_t now)
 {
     now_ = now;
-    try_launch_ctas();
+    progress_ = false;
     process_mio();
     for (auto& sc : subcores_) {
-        sc->do_writebacks(now);
-        sc->try_issue(now);
+        if (sc->do_writebacks(now))
+            progress_ = true;
+        if (sc->try_issue(now))
+            progress_ = true;
     }
 }
 
@@ -129,6 +133,30 @@ SM::busy() const
         if (sc->busy())
             return true;
     return !mio_shared_.empty() || !mio_global_.empty();
+}
+
+uint64_t
+SM::next_event(uint64_t now) const
+{
+    if (!busy())
+        return UINT64_MAX;
+    if (progress_)
+        return now + 1;
+    uint64_t e = UINT64_MAX;
+    if (!mio_shared_.empty())
+        e = std::min(e, std::max(mio_shared_free_, now + 1));
+    if (!mio_global_.empty())
+        e = std::min(e, std::max(mio_global_free_, now + 1));
+    for (const auto& sc : subcores_)
+        e = std::min(e, sc->next_event(now));
+    return e;
+}
+
+void
+SM::account_skipped(uint64_t cycles)
+{
+    for (auto& sc : subcores_)
+        sc->account_skipped(cycles);
 }
 
 uint64_t
@@ -157,6 +185,7 @@ SM::process_mio()
     if (!mio_shared_.empty() && now_ >= mio_shared_free_) {
         MioEntry entry = mio_shared_.front();
         mio_shared_.pop_front();
+        progress_ = true;
         const Instruction& inst = *entry.inst;
         int degree = shared_bank_conflict_degree(inst, cfg_.shared_mem_banks,
                                                  entry.iter);
@@ -173,6 +202,7 @@ SM::process_mio()
     if (!mio_global_.empty() && now_ >= mio_global_free_) {
         MioEntry entry = mio_global_.front();
         mio_global_.pop_front();
+        progress_ = true;
         const Instruction& inst = *entry.inst;
         auto sectors = coalesce_sectors(inst, cfg_.l1_sector_bytes,
                                         entry.iter);
@@ -203,19 +233,31 @@ SM::warp_finished(int cta_slot)
 {
     CtaSlot& cta = cta_slots_[static_cast<size_t>(cta_slot)];
     TCSIM_CHECK(cta.valid && cta.live_warps > 0);
-    if (--cta.live_warps == 0) {
-        ++ctas_completed_;
-        cta.valid = false;
-        cta.shared.reset();
-    }
+    if (--cta.live_warps > 0)
+        return;
+
+    ++ctas_completed_;
+    GridRun* grid = cta.grid;
+    const KernelDesc& k = *grid->kernel;
+    --used_ctas_;
+    used_warps_ -= k.warps_per_cta;
+    used_smem_ -= k.shared_mem_bytes;
+    used_regs_ -= cta_registers(k);
+    cta.valid = false;
+    cta.grid = nullptr;
+    cta.shared.reset();
+
+    if (++grid->ctas_done == k.grid_ctas)
+        grid->finish_cycle = now_;
 }
 
 void
-SM::count_issue(const Instruction& inst)
+SM::count_issue(const Warp& w, const Instruction& inst)
 {
-    ++stats_->instructions;
+    RunStatsCollector& s = w.grid->stats;
+    ++s.instructions;
     if (inst.op == Opcode::kHmma)
-        ++stats_->hmma_instructions;
+        ++s.hmma_instructions;
 }
 
 SharedMemoryStorage*

@@ -4,6 +4,11 @@
  * Streaming multiprocessor model: four sub-cores, the shared MIO
  * (memory input/output) path, CTA residency and barrier handling, and
  * per-SM statistics.
+ *
+ * An SM is grid-agnostic: CTAs from several resident grids (concurrent
+ * kernel execution across streams) may co-exist, gated by additive
+ * warp/shared-memory/register/slot accounting.  Statistics are
+ * attributed to each warp's owning GridRun.
  */
 
 #include <cstdint>
@@ -16,33 +21,11 @@
 #include "common/stats.h"
 #include "sass/hmma_executor.h"
 #include "sim/core/subcore.h"
+#include "sim/grid_run.h"
 #include "sim/kernel_desc.h"
 #include "sim/mem/memory_system.h"
 
 namespace tcsim {
-
-/** Grid-wide CTA dispenser shared by all SMs. */
-struct GridState
-{
-    const KernelDesc* kernel = nullptr;
-    int next_cta = 0;
-
-    bool pending() const { return next_cta < kernel->grid_ctas; }
-};
-
-/** Chip-wide collected statistics (single-threaded simulation). */
-struct RunStatsCollector
-{
-    uint64_t instructions = 0;
-    uint64_t hmma_instructions = 0;
-    /** Latency histograms of the WMMA macro classes (Figs 15/16). */
-    std::map<MacroClass, Histogram> macro_latency;
-
-    void record_macro(MacroClass mc, uint64_t latency)
-    {
-        macro_latency[mc].add(static_cast<double>(latency));
-    }
-};
 
 /** Cache of functional HMMA executors keyed by configuration. */
 class ExecutorCache
@@ -58,9 +41,8 @@ class ExecutorCache
 class SM
 {
   public:
-    SM(int id, const GpuConfig& cfg, MemorySystem* mem, GridState* grid,
-       RunStatsCollector* stats, ExecutorCache* executors,
-       SchedulerPolicy policy);
+    SM(int id, const GpuConfig& cfg, MemorySystem* mem,
+       ExecutorCache* executors, SchedulerPolicy policy);
 
     /** Advance one core clock. */
     void cycle(uint64_t now);
@@ -68,9 +50,33 @@ class SM
     /** True while CTAs are resident or traffic is in flight. */
     bool busy() const;
 
+    // ---- Engine-facing dispatch interface ----
+
+    /** True if a CTA of @p k fits the SM's currently free resources. */
+    bool can_accept(const KernelDesc& k) const;
+
+    /** Place CTA @p cta_id of @p grid on this SM.  The caller must
+     *  have checked can_accept(); at most one CTA per SM per cycle
+     *  (hardware rasterizer pacing). */
+    void launch_cta(GridRun* grid, int cta_id);
+
+    /** Abort with a diagnostic if @p k cannot fit even an empty SM. */
+    static void check_fits(const GpuConfig& cfg, const KernelDesc& k);
+
+    /**
+     * Earliest future cycle this SM can make progress: now+1 after a
+     * productive tick, otherwise the nearest writeback / MIO / unit
+     * event, or UINT64_MAX when idle.  The engine's event-driven loop
+     * skips the provably dead cycles in between.
+     */
+    uint64_t next_event(uint64_t now) const;
+
+    /** Attribute @p cycles of skipped (provably stalled) time to the
+     *  sub-cores' issue-stall counters. */
+    void account_skipped(uint64_t cycles);
+
     // ---- Interface used by SubCore ----
     const GpuConfig& config() const { return cfg_; }
-    bool functional() const { return grid_->kernel->functional; }
     MemorySystem& mem() { return *mem_; }
     uint64_t now() const { return now_; }
     int id() const { return id_; }
@@ -85,10 +91,11 @@ class SM
 
     void barrier_arrive(int cta_slot);
     void warp_finished(int cta_slot);
-    void count_issue(const Instruction& inst);
-    void record_macro(MacroClass mc, uint64_t latency)
+    /** Count one issued instruction against @p w's grid. */
+    void count_issue(const Warp& w, const Instruction& inst);
+    void record_macro(GridRun* grid, MacroClass mc, uint64_t latency)
     {
-        stats_->record_macro(mc, latency);
+        grid->stats.record_macro(mc, latency);
     }
     SharedMemoryStorage* shared(int cta_slot);
 
@@ -97,6 +104,9 @@ class SM
 
     /** CTAs completed by this SM. */
     int ctas_completed() const { return ctas_completed_; }
+
+    /** CTAs currently resident. */
+    int resident_ctas() const { return used_ctas_; }
 
     /** Sum of sub-core issue-stall counters (index = StallReason). */
     void add_stalls(uint64_t* out) const
@@ -107,10 +117,7 @@ class SM
     }
 
   private:
-    void try_launch_ctas();
-    void launch_cta(int slot, int cta_id);
     void process_mio();
-    int max_concurrent_ctas() const;
 
     struct MioEntry
     {
@@ -123,15 +130,21 @@ class SM
     int id_;
     GpuConfig cfg_;
     MemorySystem* mem_;
-    GridState* grid_;
-    RunStatsCollector* stats_;
     ExecutorCache* executors_;
     uint64_t now_ = 0;
+    /** Anything happened this tick (issue/writeback/MIO pop)? */
+    bool progress_ = false;
 
     std::vector<std::unique_ptr<SubCore>> subcores_;
     std::vector<CtaSlot> cta_slots_;
     /** (subcore, warp_slot) pairs per CTA slot, for barrier release. */
     std::vector<std::vector<std::pair<int, int>>> cta_warps_;
+
+    /** Additive occupancy accounting across all resident grids. */
+    int used_ctas_ = 0;
+    int used_warps_ = 0;
+    uint64_t used_smem_ = 0;
+    uint64_t used_regs_ = 0;
 
     /** Separate shared-memory and L1/global pipes behind the MIO
      *  scheduler (each accepts one warp instruction per cycle). */

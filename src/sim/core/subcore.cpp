@@ -22,9 +22,17 @@ SubCore::SubCore(SM* sm, int index, SchedulerPolicy policy)
 int
 SubCore::add_warp(std::unique_ptr<Warp> warp)
 {
-    warps_.push_back(std::move(warp));
-    scoreboard_.add_warp();
-    int slot = static_cast<int>(warps_.size()) - 1;
+    int slot;
+    if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+        warps_[static_cast<size_t>(slot)] = std::move(warp);
+        scoreboard_.reset_warp(slot);
+    } else {
+        warps_.push_back(std::move(warp));
+        scoreboard_.add_warp();
+        slot = static_cast<int>(warps_.size()) - 1;
+    }
     active_.push_back(slot);
     return slot;
 }
@@ -35,9 +43,10 @@ SubCore::busy() const
     return !active_.empty() || !inflight_.empty();
 }
 
-void
+bool
 SubCore::do_writebacks(uint64_t now)
 {
+    bool completed = false;
     for (size_t i = 0; i < inflight_.size();) {
         if (inflight_[i].done > now) {
             ++i;
@@ -46,6 +55,7 @@ SubCore::do_writebacks(uint64_t now)
         InFlight entry = inflight_[i];
         inflight_[i] = inflight_.back();
         inflight_.pop_back();
+        completed = true;
 
         Warp& w = *warps_[entry.warp_slot];
         scoreboard_.complete(entry.warp_slot, *entry.inst);
@@ -54,13 +64,14 @@ SubCore::do_writebacks(uint64_t now)
             uint64_t key = Warp::macro_key(entry.inst->macro_id, entry.iter);
             auto it = w.macro_start.find(key);
             if (it != w.macro_start.end()) {
-                sm_->record_macro(entry.inst->macro_class,
+                sm_->record_macro(w.grid, entry.inst->macro_class,
                                   entry.done - it->second);
                 w.macro_start.erase(it);
             }
         }
         maybe_finish_warp(entry.warp_slot);
     }
+    return completed;
 }
 
 void
@@ -78,6 +89,12 @@ SubCore::maybe_finish_warp(int slot)
     auto it = std::find(active_.begin(), active_.end(), slot);
     TCSIM_CHECK(it != active_.end());
     active_.erase(it);
+    // Recycle the slot for a later CTA.  Drop the greedy pointer so a
+    // recycled warp is not mistaken for the last issuer (preserves GTO
+    // order of the non-recycling model).
+    free_slots_.push_back(slot);
+    if (last_issued_ == slot)
+        last_issued_ = -1;
     sm_->warp_finished(w.cta_slot);
 }
 
@@ -115,17 +132,70 @@ SubCore::try_issue(uint64_t now)
         return false;
     }
 
-    // LRR: rotate through the active list.
+    if (policy_ == SchedulerPolicy::kLrr) {
+        // LRR: rotate through the active list.
+        int n = static_cast<int>(active_.size());
+        for (int i = 0; i < n; ++i) {
+            int slot = active_[(lrr_pos_ + i) % n];
+            if (try_issue_warp(slot, now)) {
+                lrr_pos_ = (lrr_pos_ + i + 1) % n;
+                return true;
+            }
+        }
+        ++stalls_[static_cast<int>(last_block_)];
+        return false;
+    }
+
+    // Two-level (authoritative implementation; WarpScheduler::order in
+    // scheduler.h is the stateless reference of the same visit order):
+    // LRR within the fetch group (the first G active warps); the
+    // pending pool is only considered when the whole group is blocked.
+    // An issuing pending warp is promoted into the group in place of
+    // the least-recently-scheduled member, and rotation then moves
+    // past it — exactly as if a group member had issued.
     int n = static_cast<int>(active_.size());
-    for (int i = 0; i < n; ++i) {
-        int slot = active_[(lrr_pos_ + i) % n];
-        if (try_issue_warp(slot, now)) {
-            lrr_pos_ = (lrr_pos_ + i + 1) % n;
+    int g = std::min(WarpScheduler::kFetchGroupSize, n);
+    for (int i = 0; i < g; ++i) {
+        int pos = (lrr_pos_ + i) % g;
+        if (try_issue_warp(active_[pos], now)) {
+            lrr_pos_ = (pos + 1) % g;
+            return true;
+        }
+    }
+    for (int i = g; i < n; ++i) {
+        if (try_issue_warp(active_[i], now)) {
+            int pos = lrr_pos_ % g;
+            std::swap(active_[static_cast<size_t>(i)],
+                      active_[static_cast<size_t>(pos)]);
+            lrr_pos_ = (pos + 1) % g;
             return true;
         }
     }
     ++stalls_[static_cast<int>(last_block_)];
     return false;
+}
+
+uint64_t
+SubCore::next_event(uint64_t now) const
+{
+    uint64_t e = UINT64_MAX;
+    for (const auto& f : inflight_)
+        e = std::min(e, f.done);
+    if (!active_.empty()) {
+        for (const ExecUnit* u : {&fp32_, &int_, &fp64_, &mufu_})
+            if (u->next_free() > now)
+                e = std::min(e, u->next_free());
+        if (tc_.next_ready() > now)
+            e = std::min(e, tc_.next_ready());
+    }
+    return e;
+}
+
+void
+SubCore::account_skipped(uint64_t cycles)
+{
+    StallReason r = active_.empty() ? StallReason::kEmpty : last_block_;
+    stalls_[static_cast<int>(r)] += cycles;
 }
 
 bool
@@ -241,12 +311,12 @@ SubCore::finish_issue(int slot, Warp& w, const Instruction& inst,
         if (!w.macro_start.contains(key))
             w.macro_start.emplace(key, now);
     }
-    if (sm_->functional())
+    if (w.grid->kernel->functional)
         sm_->execute_functional(w, inst);
     ++w.pc;
     ++issued_;
     last_issued_ = slot;
-    sm_->count_issue(inst);
+    sm_->count_issue(w, inst);
 }
 
 void

@@ -27,7 +27,9 @@ class SubCore
   public:
     SubCore(SM* sm, int index, SchedulerPolicy policy);
 
-    /** Add a warp at CTA launch; returns its slot index. */
+    /** Add a warp at CTA launch; returns its slot index.  Slots of
+     *  finished warps are recycled so long multi-kernel runs keep a
+     *  bounded footprint. */
     int add_warp(std::unique_ptr<Warp> warp);
 
     Warp& warp(int slot) { return *warps_[slot]; }
@@ -36,11 +38,20 @@ class SubCore
      *  flight. */
     bool busy() const;
 
-    /** Complete instructions whose writeback cycle has arrived. */
-    void do_writebacks(uint64_t now);
+    /** Complete instructions whose writeback cycle has arrived; true
+     *  if any instruction completed. */
+    bool do_writebacks(uint64_t now);
 
     /** Attempt to issue one instruction; true if something issued. */
     bool try_issue(uint64_t now);
+
+    /** Earliest future cycle a stalled sub-core can change state: the
+     *  nearest in-flight writeback or execution-unit ready time. */
+    uint64_t next_event(uint64_t now) const;
+
+    /** Attribute @p cycles of skipped stalled time to the issue-stall
+     *  counters (same reason the last real attempt recorded). */
+    void account_skipped(uint64_t cycles);
 
     /** Register a future writeback (used by the SM's MIO path too).
      *  @p iter is the loop iteration the instruction issued at. */
@@ -87,6 +98,7 @@ class SubCore
     SchedulerPolicy policy_;
     std::vector<std::unique_ptr<Warp>> warps_;
     std::vector<int> active_;  ///< Slots of resident, unfinished warps.
+    std::vector<int> free_slots_;  ///< Recyclable finished slots.
     Scoreboard scoreboard_{0};
     ExecUnit fp32_;
     ExecUnit int_;

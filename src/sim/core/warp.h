@@ -10,6 +10,7 @@
 
 #include "isa/instruction.h"
 #include "isa/reg_state.h"
+#include "sim/grid_run.h"
 #include "sim/mem/shared_memory.h"
 
 namespace tcsim {
@@ -29,6 +30,9 @@ struct Warp
     /** Functional registers (null in timing-only runs). */
     std::unique_ptr<WarpRegState> regs;
 
+    /** Grid this warp belongs to (statistics attribution, functional
+     *  mode); warps from several grids may share a sub-core. */
+    GridRun* grid = nullptr;
     int cta_slot = -1;    ///< Index into the SM's CTA slot table.
     int warp_in_cta = 0;
 
@@ -61,6 +65,7 @@ struct Warp
 struct CtaSlot
 {
     bool valid = false;
+    GridRun* grid = nullptr;  ///< Grid the CTA came from (multi-grid SM).
     int cta_id = -1;
     int live_warps = 0;      ///< Warps not yet finished.
     int barrier_arrived = 0;

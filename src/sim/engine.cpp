@@ -1,0 +1,205 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tcsim {
+
+ExecutionEngine::ExecutionEngine(const GpuConfig& cfg, const SimOptions& opts,
+                                 MemorySystem* mem, ExecutorCache* executors)
+    : cfg_(cfg), opts_(opts), mem_(mem), executors_(executors)
+{
+}
+
+ExecutionEngine::~ExecutionEngine() = default;
+
+void
+ExecutionEngine::promote_streams(uint64_t now)
+{
+    for (StreamRun& sr : stream_runs_) {
+        if (sr.live != nullptr || sr.stream->queue_.empty())
+            continue;
+        auto l = std::make_unique<Launch>();
+        l->desc = sr.stream->pop();
+        l->grid.kernel = &l->desc;
+        l->grid.grid_id = next_grid_id_++;
+        l->grid.stream_id = sr.stream->id();
+        l->grid.start_cycle = now;
+        l->mem_base = mem_->stats();
+        sr.live = l.get();
+        resident_.push_back(std::move(l));
+    }
+}
+
+bool
+ExecutionEngine::dispatch_to(SM* sm)
+{
+    // Resident grids compete in launch order; one CTA per SM per cycle
+    // (hardware rasterizer pacing, matching the legacy distribution).
+    for (auto& l : resident_) {
+        if (l->grid.pending() && sm->can_accept(*l->grid.kernel)) {
+            sm->launch_cta(&l->grid, l->grid.next_cta++);
+            return true;
+        }
+    }
+    return false;
+}
+
+LaunchStats
+ExecutionEngine::finalize(Launch& l) const
+{
+    LaunchStats s;
+    s.kernel = l.desc.name;
+    s.stream = l.grid.stream_id;
+    s.start_cycle = l.grid.start_cycle;
+    s.finish_cycle = l.grid.finish_cycle;
+    s.cycles = l.grid.finish_cycle - l.grid.start_cycle + 1;
+    s.instructions = l.grid.stats.instructions;
+    s.hmma_instructions = l.grid.stats.hmma_instructions;
+    s.ipc = s.cycles > 0 ? static_cast<double>(s.instructions) /
+                               static_cast<double>(s.cycles)
+                         : 0.0;
+    s.mem = mem_->stats().since(l.mem_base);
+    s.macro_latency = std::move(l.grid.stats.macro_latency);
+    return s;
+}
+
+EngineStats
+ExecutionEngine::run(const std::vector<Stream*>& streams)
+{
+    EngineStats out;
+
+    // Validate every queued kernel and bound the useful SM count: a
+    // run whose grids total fewer CTAs than the chip has SMs never
+    // occupies the excess SMs, so don't construct (or tick) them.
+    uint64_t total_ctas = 0;
+    size_t total_kernels = 0;
+    for (Stream* s : streams) {
+        for (const KernelDesc& k : s->queue_) {
+            TCSIM_CHECK(k.grid_ctas > 0);
+            TCSIM_CHECK(k.trace != nullptr);
+            SM::check_fits(cfg_, k);
+            total_ctas += static_cast<uint64_t>(k.grid_ctas);
+            ++total_kernels;
+        }
+    }
+    if (total_kernels == 0)
+        return out;
+
+    mem_->reset_timing();
+
+    int num_sms = static_cast<int>(
+        std::min<uint64_t>(cfg_.num_sms, std::max<uint64_t>(1, total_ctas)));
+    sms_.clear();
+    sms_.reserve(static_cast<size_t>(num_sms));
+    for (int i = 0; i < num_sms; ++i) {
+        sms_.push_back(std::make_unique<SM>(i, cfg_, mem_, executors_,
+                                            opts_.scheduler));
+    }
+
+    stream_runs_.clear();
+    for (Stream* s : streams)
+        stream_runs_.push_back(StreamRun{s, nullptr});
+    resident_.clear();
+    next_grid_id_ = 0;
+
+    uint64_t now = 0;
+    uint64_t last_finish = 0;
+    size_t completed = 0;
+    out.kernels.reserve(total_kernels);
+
+    while (completed < total_kernels) {
+        promote_streams(now);
+
+        bool dispatch_pending = false;
+        for (const auto& l : resident_)
+            if (l->grid.pending())
+                dispatch_pending = true;
+
+        // Tick: every SM while CTAs await dispatch (any SM may accept
+        // one), otherwise only the busy ones.
+        bool launched = false;
+        for (auto& sm : sms_) {
+            if (dispatch_pending) {
+                launched |= dispatch_to(sm.get());
+                sm->cycle(now);
+            } else if (sm->busy()) {
+                sm->cycle(now);
+            }
+        }
+        ++out.ticks;
+
+        // Retire launches whose last CTA drained this tick.
+        bool retired = false;
+        for (size_t i = 0; i < resident_.size();) {
+            if (!resident_[i]->grid.done()) {
+                ++i;
+                continue;
+            }
+            Launch& l = *resident_[i];
+            last_finish = std::max(last_finish, l.grid.finish_cycle);
+            out.kernels.push_back(finalize(l));
+            for (StreamRun& sr : stream_runs_)
+                if (sr.live == &l)
+                    sr.live = nullptr;
+            resident_.erase(resident_.begin() +
+                            static_cast<ptrdiff_t>(i));
+            ++completed;
+            retired = true;
+        }
+        if (completed == total_kernels)
+            break;
+
+        // Next tick: the successor of a retired launch becomes
+        // dispatchable next cycle; otherwise jump to the next event
+        // when the whole chip is provably stalled.
+        uint64_t next = now + 1;
+        if (!launched && !retired) {
+            uint64_t e = UINT64_MAX;
+            for (const auto& sm : sms_)
+                e = std::min(e, sm->next_event(now));
+            if (e == UINT64_MAX) {
+                panic("engine stalled at cycle %llu with %zu kernels "
+                      "unfinished (first: %s)",
+                      static_cast<unsigned long long>(now),
+                      total_kernels - completed,
+                      resident_.empty() ? "<none resident>"
+                                        : resident_[0]->desc.name.c_str());
+            }
+            if (e > now + 1) {
+                uint64_t gap = e - (now + 1);
+                for (auto& sm : sms_)
+                    if (sm->busy())
+                        sm->account_skipped(gap);
+                out.skipped_cycles += gap;
+            }
+            next = e;
+        }
+        now = next;
+        if (now > opts_.max_cycles) {
+            panic("engine exceeded max_cycles=%llu (%zu kernels "
+                  "unfinished, first: %s)",
+                  static_cast<unsigned long long>(opts_.max_cycles),
+                  total_kernels - completed,
+                  resident_.empty() ? "<none resident>"
+                                    : resident_[0]->desc.name.c_str());
+        }
+    }
+
+    out.cycles = last_finish + 1;
+    for (const LaunchStats& k : out.kernels) {
+        out.instructions += k.instructions;
+        out.hmma_instructions += k.hmma_instructions;
+    }
+    out.ipc = out.cycles > 0 ? static_cast<double>(out.instructions) /
+                                   static_cast<double>(out.cycles)
+                             : 0.0;
+    out.mem = mem_->stats();
+    for (const auto& sm : sms_)
+        sm->add_stalls(out.stalls);
+    sms_.clear();
+    return out;
+}
+
+}  // namespace tcsim

@@ -1,0 +1,154 @@
+#pragma once
+/**
+ * @file
+ * Stream-aware multi-kernel execution engine.
+ *
+ * Replaces the lock-step one-kernel-at-a-time loop: streams hold
+ * ordered launch queues, a chip-level dispatcher assigns CTAs from all
+ * resident grids to SMs (concurrent kernel execution when occupancy
+ * allows), and the main loop is event-driven — idle SMs are not
+ * ticked, and when every SM is provably stalled the clock jumps to the
+ * next writeback / MIO / execution-unit event.
+ *
+ * Memory timing (caches, DRAM queues) persists across launches within
+ * one engine run; Gpu::launch() wraps a single-kernel run and so keeps
+ * the old cold-cache per-launch semantics.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_config.h"
+#include "common/stats.h"
+#include "sim/core/scheduler.h"
+#include "sim/core/sm.h"
+#include "sim/grid_run.h"
+#include "sim/kernel_desc.h"
+#include "sim/mem/memory_system.h"
+#include "sim/stream.h"
+
+namespace tcsim {
+
+/** Result of one kernel launch. */
+struct LaunchStats
+{
+    std::string kernel;
+    /** Stream the launch ran on. */
+    int stream = 0;
+    /** Engine cycle window the launch occupied. */
+    uint64_t start_cycle = 0;
+    uint64_t finish_cycle = 0;
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t hmma_instructions = 0;
+    /** Instructions per cycle over the launch's own cycle window. */
+    double ipc = 0.0;
+    /** Memory traffic during the launch's window (shared with any
+     *  concurrently resident kernels). */
+    MemStats mem;
+    /** Latency distributions per WMMA macro class (Figs 15/16). */
+    std::map<MacroClass, Histogram> macro_latency;
+    /** Issue-stall attribution summed over sub-cores
+     *  (index = SubCore::StallReason).  Chip-wide: only filled for
+     *  single-kernel runs via Gpu::launch(). */
+    uint64_t stalls[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+
+    /** Achieved TFLOPS for a GEMM of the given FLOP count. */
+    double tflops(double flops, double clock_ghz) const
+    {
+        if (cycles == 0)
+            return 0.0;
+        double seconds = static_cast<double>(cycles) / (clock_ghz * 1e9);
+        return flops / seconds / 1e12;
+    }
+};
+
+/** Aggregate result of one engine run (all streams drained). */
+struct EngineStats
+{
+    /** Cycle the last kernel drained, plus one (total run length). */
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t hmma_instructions = 0;
+    /** Chip-wide instructions per cycle over the whole run. */
+    double ipc = 0.0;
+    /** Aggregate memory traffic of the run. */
+    MemStats mem;
+    /** Per-kernel statistics, in completion order. */
+    std::vector<LaunchStats> kernels;
+    /** Issue-stall attribution summed over all SMs. */
+    uint64_t stalls[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+
+    /** Event-driven loop telemetry: ticks actually simulated and
+     *  cycles skipped because every SM was provably stalled. */
+    uint64_t ticks = 0;
+    uint64_t skipped_cycles = 0;
+
+    double tflops(double flops, double clock_ghz) const
+    {
+        if (cycles == 0)
+            return 0.0;
+        double seconds = static_cast<double>(cycles) / (clock_ghz * 1e9);
+        return flops / seconds / 1e12;
+    }
+};
+
+/** Options controlling one simulation run. */
+struct SimOptions
+{
+    SchedulerPolicy scheduler = SchedulerPolicy::kGto;
+    /** Abort runaway simulations after this many cycles. */
+    uint64_t max_cycles = 2'000'000'000;
+};
+
+/**
+ * One engine run: owns the per-run SM timing state and drains a set of
+ * streams.  Construct fresh per run (Gpu does this); functional memory
+ * and the executor cache live outside and persist.
+ */
+class ExecutionEngine
+{
+  public:
+    ExecutionEngine(const GpuConfig& cfg, const SimOptions& opts,
+                    MemorySystem* mem, ExecutorCache* executors);
+    ~ExecutionEngine();
+
+    /** Run every queued launch of @p streams to completion. */
+    EngineStats run(const std::vector<Stream*>& streams);
+
+  private:
+    /** One in-flight launch: the owned descriptor plus grid state. */
+    struct Launch
+    {
+        KernelDesc desc;
+        GridRun grid;
+        MemStats mem_base;  ///< Memory counters at residency start.
+    };
+
+    /** Per-stream progress: launches run strictly in stream order. */
+    struct StreamRun
+    {
+        Stream* stream = nullptr;
+        Launch* live = nullptr;  ///< Currently resident launch, if any.
+    };
+
+    void promote_streams(uint64_t now);
+    bool dispatch_to(SM* sm);
+    LaunchStats finalize(Launch& l) const;
+
+    const GpuConfig& cfg_;
+    SimOptions opts_;
+    MemorySystem* mem_;
+    ExecutorCache* executors_;
+
+    std::vector<std::unique_ptr<SM>> sms_;
+    std::vector<StreamRun> stream_runs_;
+    /** Resident launches in dispatch-priority (launch-id) order. */
+    std::vector<std::unique_ptr<Launch>> resident_;
+    int next_grid_id_ = 0;
+};
+
+}  // namespace tcsim

@@ -1,7 +1,6 @@
 #include "sim/gpu.h"
 
-#include <algorithm>
-#include <vector>
+#include <cstring>
 
 #include "common/logging.h"
 
@@ -15,57 +14,49 @@ Gpu::Gpu(GpuConfig cfg, SimOptions opts)
 
 Gpu::~Gpu() = default;
 
+Stream&
+Gpu::create_stream()
+{
+    streams_.push_back(
+        std::make_unique<Stream>(static_cast<int>(streams_.size()) + 1));
+    return *streams_.back();
+}
+
+Stream&
+Gpu::default_stream()
+{
+    if (!default_stream_)
+        default_stream_ = std::make_unique<Stream>(0);
+    return *default_stream_;
+}
+
+EngineStats
+Gpu::run()
+{
+    std::vector<Stream*> active;
+    active.reserve(streams_.size() + 1);
+    if (default_stream_)
+        active.push_back(default_stream_.get());
+    for (auto& s : streams_)
+        active.push_back(s.get());
+    ExecutionEngine engine(cfg_, opts_, mem_.get(), &executors_);
+    return engine.run(active);
+}
+
 LaunchStats
 Gpu::launch(const KernelDesc& kernel)
 {
-    TCSIM_CHECK(kernel.grid_ctas > 0);
-    TCSIM_CHECK(kernel.trace != nullptr);
-
-    mem_->reset_timing();
-
-    GridState grid;
-    grid.kernel = &kernel;
-
-    RunStatsCollector collector;
-
-    // SM timing state is per-launch; functional memory persists.
-    int active_sms = std::min(cfg_.num_sms, kernel.grid_ctas);
-    std::vector<std::unique_ptr<SM>> sms;
-    sms.reserve(static_cast<size_t>(cfg_.num_sms));
-    for (int i = 0; i < cfg_.num_sms; ++i) {
-        sms.push_back(std::make_unique<SM>(i, cfg_, mem_.get(), &grid,
-                                           &collector, &executors_,
-                                           opts_.scheduler));
-    }
-    (void)active_sms;
-
-    uint64_t cycle = 0;
-    bool busy = true;
-    while (busy || grid.pending()) {
-        busy = false;
-        for (auto& sm : sms) {
-            sm->cycle(cycle);
-            busy = busy || sm->busy();
-        }
-        ++cycle;
-        if (cycle > opts_.max_cycles) {
-            panic("kernel %s exceeded max_cycles=%llu", kernel.name.c_str(),
-                  static_cast<unsigned long long>(opts_.max_cycles));
-        }
-    }
-
-    LaunchStats stats;
-    stats.kernel = kernel.name;
-    stats.cycles = cycle;
-    stats.instructions = collector.instructions;
-    stats.hmma_instructions = collector.hmma_instructions;
-    stats.ipc = cycle > 0 ? static_cast<double>(collector.instructions) /
-                                static_cast<double>(cycle)
-                          : 0.0;
-    stats.mem = mem_->stats();
-    stats.macro_latency = std::move(collector.macro_latency);
-    for (const auto& sm : sms)
-        sm->add_stalls(stats.stalls);
+    // Isolated single-kernel run on a private stream: fresh SM and
+    // cache timing state, exactly the legacy lock-step semantics.
+    Stream solo(/*id=*/0);
+    solo.enqueue(kernel);
+    ExecutionEngine engine(cfg_, opts_, mem_.get(), &executors_);
+    EngineStats es = engine.run({&solo});
+    TCSIM_CHECK(es.kernels.size() == 1);
+    LaunchStats stats = std::move(es.kernels.front());
+    // Single-kernel run: the chip-wide stall attribution is the
+    // kernel's own.
+    std::memcpy(stats.stalls, es.stalls, sizeof(stats.stalls));
     return stats;
 }
 

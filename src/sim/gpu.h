@@ -1,59 +1,30 @@
 #pragma once
 /**
  * @file
- * Top-level GPU simulator: owns the memory system and SMs, dispatches
- * CTAs, and runs launched kernels to completion, collecting the
- * statistics the paper's evaluation reports (cycles, IPC, WMMA
- * instruction latencies, memory traffic).
+ * Top-level GPU simulator: owns the functional memory and the stream
+ * set, and runs queued kernel launches through the stream-aware
+ * execution engine, collecting the statistics the paper's evaluation
+ * reports (cycles, IPC, WMMA instruction latencies, memory traffic).
+ *
+ * Two usage models:
+ *  - Stream API: create_stream() / Stream::enqueue() / run() — kernels
+ *    on different streams execute concurrently when SM occupancy
+ *    allows; memory timing persists across launches within the run.
+ *  - launch(): single-kernel compatibility wrapper with the legacy
+ *    semantics (cold caches, isolated timing), cycle-exact with the
+ *    original lock-step simulator.
  */
 
-#include <cstdint>
-#include <map>
 #include <memory>
-#include <string>
+#include <vector>
 
 #include "arch/gpu_config.h"
-#include "common/stats.h"
-#include "sim/core/scheduler.h"
-#include "sim/core/sm.h"
+#include "sim/engine.h"
 #include "sim/kernel_desc.h"
 #include "sim/mem/memory_system.h"
+#include "sim/stream.h"
 
 namespace tcsim {
-
-/** Result of one kernel launch. */
-struct LaunchStats
-{
-    std::string kernel;
-    uint64_t cycles = 0;
-    uint64_t instructions = 0;
-    uint64_t hmma_instructions = 0;
-    /** Chip-wide instructions per cycle. */
-    double ipc = 0.0;
-    MemStats mem;
-    /** Latency distributions per WMMA macro class (Figs 15/16). */
-    std::map<MacroClass, Histogram> macro_latency;
-    /** Issue-stall attribution summed over sub-cores
-     *  (index = SubCore::StallReason). */
-    uint64_t stalls[8] = {0, 0, 0, 0, 0, 0, 0, 0};
-
-    /** Achieved TFLOPS for a GEMM of the given FLOP count. */
-    double tflops(double flops, double clock_ghz) const
-    {
-        if (cycles == 0)
-            return 0.0;
-        double seconds = static_cast<double>(cycles) / (clock_ghz * 1e9);
-        return flops / seconds / 1e12;
-    }
-};
-
-/** Options controlling one simulation run. */
-struct SimOptions
-{
-    SchedulerPolicy scheduler = SchedulerPolicy::kGto;
-    /** Abort runaway simulations after this many cycles. */
-    uint64_t max_cycles = 2'000'000'000;
-};
 
 /** The simulated GPU. */
 class Gpu
@@ -65,10 +36,25 @@ class Gpu
     GpuConfig& config() { return cfg_; }
     const GpuConfig& config() const { return cfg_; }
 
-    /** Device memory (persists across launches). */
+    /** Device memory (persists across launches and runs). */
     GlobalMemory& mem() { return mem_->global(); }
 
-    /** Run @p kernel to completion and return its statistics. */
+    /** Create a new stream (an ordered launch queue).  Streams live
+     *  as long as the Gpu and may be refilled between runs. */
+    Stream& create_stream();
+
+    /** The implicit stream 0 (created on first use).  Always distinct
+     *  from streams returned by create_stream(). */
+    Stream& default_stream();
+
+    /** Run every launch queued on every stream to completion:
+     *  launches within a stream run back-to-back, launches on
+     *  different streams overlap when occupancy allows. */
+    EngineStats run();
+
+    /** Run @p kernel alone to completion and return its statistics.
+     *  Compatibility wrapper: cold caches, isolated timing — does not
+     *  touch kernels queued on this Gpu's streams. */
     LaunchStats launch(const KernelDesc& kernel);
 
   private:
@@ -76,6 +62,10 @@ class Gpu
     SimOptions opts_;
     std::unique_ptr<MemorySystem> mem_;
     ExecutorCache executors_;
+    /** The implicit stream (id 0), lazily created. */
+    std::unique_ptr<Stream> default_stream_;
+    /** Streams from create_stream(), ids 1.. */
+    std::vector<std::unique_ptr<Stream>> streams_;
 };
 
 }  // namespace tcsim

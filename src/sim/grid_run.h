@@ -1,0 +1,61 @@
+#pragma once
+/**
+ * @file
+ * Runtime state of one resident grid (a kernel launch being executed
+ * by the engine): the CTA dispenser, per-kernel statistics, and the
+ * cycle window the launch occupied.  Shared between the chip-level
+ * execution engine (which owns and dispatches grids) and the SM model
+ * (which hosts their CTAs and attributes statistics).
+ */
+
+#include <cstdint>
+#include <map>
+
+#include "common/stats.h"
+#include "sim/kernel_desc.h"
+
+namespace tcsim {
+
+/** Per-kernel collected statistics (single-threaded simulation). */
+struct RunStatsCollector
+{
+    uint64_t instructions = 0;
+    uint64_t hmma_instructions = 0;
+    /** Latency histograms of the WMMA macro classes (Figs 15/16). */
+    std::map<MacroClass, Histogram> macro_latency;
+
+    void record_macro(MacroClass mc, uint64_t latency)
+    {
+        macro_latency[mc].add(static_cast<double>(latency));
+    }
+};
+
+/**
+ * One resident grid: CTA dispenser plus per-kernel accounting.  Grids
+ * from different streams may be resident simultaneously; CTAs of all
+ * resident grids compete for SM resources (concurrent kernel
+ * execution).
+ */
+struct GridRun
+{
+    const KernelDesc* kernel = nullptr;
+    /** Engine-unique launch id (also the dispatch priority order). */
+    int grid_id = 0;
+    /** Stream this launch arrived on. */
+    int stream_id = 0;
+
+    int next_cta = 0;   ///< Next CTA id to dispatch.
+    int ctas_done = 0;  ///< CTAs fully completed (all warps drained).
+
+    /** Cycle the grid became resident (eligible for dispatch). */
+    uint64_t start_cycle = 0;
+    /** Cycle the last CTA drained (valid once done()). */
+    uint64_t finish_cycle = 0;
+
+    RunStatsCollector stats;
+
+    bool pending() const { return next_cta < kernel->grid_ctas; }
+    bool done() const { return ctas_done == kernel->grid_ctas; }
+};
+
+}  // namespace tcsim

@@ -17,7 +17,7 @@
 
 namespace tcsim {
 
-/** Aggregated memory-system counters for one kernel. */
+/** Aggregated memory-system counters for one kernel or run window. */
 struct MemStats
 {
     uint64_t l1_hits = 0;
@@ -26,6 +26,18 @@ struct MemStats
     uint64_t l2_misses = 0;
     uint64_t dram_bytes = 0;
     uint64_t global_sectors = 0;
+
+    /** Counters accumulated since snapshot @p base (per-kernel window
+     *  attribution within a multi-launch engine run). */
+    MemStats since(const MemStats& base) const
+    {
+        return MemStats{l1_hits - base.l1_hits,
+                        l1_misses - base.l1_misses,
+                        l2_hits - base.l2_hits,
+                        l2_misses - base.l2_misses,
+                        dram_bytes - base.dram_bytes,
+                        global_sectors - base.global_sectors};
+    }
 };
 
 /** Timing + functional chip memory. */
@@ -45,7 +57,10 @@ class MemorySystem
     uint64_t access_global(int sm, const std::vector<uint64_t>& sectors,
                            bool is_write, uint64_t now);
 
-    /** Invalidate caches and reset queue state (kernel boundary). */
+    /** Invalidate caches and reset queue state.  Called at engine-run
+     *  boundaries, not per kernel: launches within one stream run see
+     *  each other's warm caches (Gpu::launch() wraps a single-kernel
+     *  run and so keeps the old cold-cache per-launch behaviour). */
     void reset_timing();
 
     MemStats stats() const;

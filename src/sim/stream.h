@@ -1,0 +1,52 @@
+#pragma once
+/**
+ * @file
+ * CUDA-style stream: an ordered queue of kernel launches.  Launches
+ * within one stream execute back-to-back in enqueue order; launches on
+ * different streams may execute concurrently when SM occupancy allows,
+ * mirroring `cudaStreamCreate` / kernel<<<...,stream>>> semantics.
+ */
+
+#include <deque>
+#include <utility>
+
+#include "sim/kernel_desc.h"
+
+namespace tcsim {
+
+/** An ordered launch queue.  Created via Gpu::create_stream(). */
+class Stream
+{
+  public:
+    explicit Stream(int id) : id_(id) {}
+
+    Stream(const Stream&) = delete;
+    Stream& operator=(const Stream&) = delete;
+
+    int id() const { return id_; }
+
+    /** Append a kernel launch; it runs after all earlier launches on
+     *  this stream have completed.  The descriptor is copied. */
+    void enqueue(KernelDesc kernel) { queue_.push_back(std::move(kernel)); }
+
+    /** Launches not yet started by the engine. */
+    size_t depth() const { return queue_.size(); }
+    bool empty() const { return queue_.empty(); }
+
+  private:
+    friend class ExecutionEngine;
+
+    /** Engine side: pop the next launch (engine keeps it alive for the
+     *  duration of the run). */
+    KernelDesc pop()
+    {
+        KernelDesc k = std::move(queue_.front());
+        queue_.pop_front();
+        return k;
+    }
+
+    int id_;
+    std::deque<KernelDesc> queue_;
+};
+
+}  // namespace tcsim

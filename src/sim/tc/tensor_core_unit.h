@@ -41,6 +41,14 @@ class TensorCoreUnit
 
     uint64_t groups_issued() const { return groups_issued_; }
 
+    /** Earliest cycle a blocked HMMA could be accepted: the cadence
+     *  gate of the active group, or the occupancy boundary for a new
+     *  group head (event-driven main loop). */
+    uint64_t next_ready() const
+    {
+        return group_active() ? next_issue_ : unit_free_;
+    }
+
   private:
     Arch arch_;
     int active_warp_ = -1;

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * WarpScheduler policy tests: GTO greediness, LRR rotation, and the
+ * two-level fetch-group policy, plus end-to-end runs of each policy
+ * through the full simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "kernels/gemm_kernels.h"
+#include "sim/core/scheduler.h"
+#include "sim/gpu.h"
+
+namespace tcsim {
+namespace {
+
+std::vector<int>
+visit_order(const WarpScheduler& s, int n)
+{
+    std::vector<int> order;
+    s.order(n, &order);
+    return order;
+}
+
+// ---- GTO ---------------------------------------------------------------
+
+TEST(GtoPolicy, OldestFirstBeforeAnyIssue)
+{
+    WarpScheduler s(SchedulerPolicy::kGto);
+    EXPECT_EQ(visit_order(s, 4), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(GtoPolicy, StaysGreedyOnLastIssuer)
+{
+    WarpScheduler s(SchedulerPolicy::kGto);
+    s.issued(2);
+    auto order = visit_order(s, 4);
+    EXPECT_EQ(order, (std::vector<int>{2, 0, 1, 3}));
+    // Greedy persists while the same warp keeps issuing.
+    s.issued(2);
+    EXPECT_EQ(visit_order(s, 4).front(), 2);
+}
+
+TEST(GtoPolicy, FallsBackToOldestWhenIssuerGone)
+{
+    WarpScheduler s(SchedulerPolicy::kGto);
+    s.issued(7);
+    // Warp 7 no longer resident (e.g. finished): plain age order.
+    EXPECT_EQ(visit_order(s, 4), (std::vector<int>{0, 1, 2, 3}));
+}
+
+// ---- LRR ---------------------------------------------------------------
+
+TEST(LrrPolicy, RotatesPastLastIssuer)
+{
+    WarpScheduler s(SchedulerPolicy::kLrr);
+    s.issued(0);
+    EXPECT_EQ(visit_order(s, 4), (std::vector<int>{1, 2, 3, 0}));
+    s.issued(3);
+    EXPECT_EQ(visit_order(s, 4), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(LrrPolicy, FullRotationVisitsEveryWarpEqually)
+{
+    WarpScheduler s(SchedulerPolicy::kLrr);
+    std::vector<int> firsts;
+    for (int round = 0; round < 4; ++round) {
+        auto order = visit_order(s, 4);
+        firsts.push_back(order.front());
+        s.issued(order.front());
+    }
+    EXPECT_EQ(firsts, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// ---- Two-level ---------------------------------------------------------
+
+TEST(TwoLevelPolicy, SmallPoolDegeneratesToLrr)
+{
+    // With at most kFetchGroupSize warps there is no pending pool.
+    WarpScheduler s(SchedulerPolicy::kTwoLevel);
+    s.issued(1);
+    EXPECT_EQ(visit_order(s, 4), (std::vector<int>{2, 3, 0, 1}));
+}
+
+TEST(TwoLevelPolicy, PendingWarpsRankAfterFetchGroup)
+{
+    WarpScheduler s(SchedulerPolicy::kTwoLevel);
+    int g = WarpScheduler::kFetchGroupSize;
+    auto order = visit_order(s, g + 4);
+    ASSERT_EQ(order.size(), static_cast<size_t>(g + 4));
+    // The first g visited warps are exactly the fetch group 0..g-1.
+    std::vector<int> head(order.begin(), order.begin() + g);
+    std::sort(head.begin(), head.end());
+    for (int i = 0; i < g; ++i)
+        EXPECT_EQ(head[static_cast<size_t>(i)], i);
+    // The pending pool follows in age order.
+    std::vector<int> tail(order.begin() + g, order.end());
+    EXPECT_EQ(tail, (std::vector<int>{g, g + 1, g + 2, g + 3}));
+}
+
+TEST(TwoLevelPolicy, RotatesWithinFetchGroupOnly)
+{
+    WarpScheduler s(SchedulerPolicy::kTwoLevel);
+    int g = WarpScheduler::kFetchGroupSize;
+    s.issued(3);
+    auto order = visit_order(s, g + 2);
+    EXPECT_EQ(order.front(), 4);  // LRR successor within the group
+    // Issuing a pending-pool warp does not change group rotation.
+    s.issued(g + 1);
+    EXPECT_EQ(visit_order(s, g + 2).front(), 0);
+}
+
+// ---- End-to-end: every policy completes with correct results -----------
+
+class PolicyEndToEnd : public ::testing::TestWithParam<SchedulerPolicy>
+{
+};
+
+TEST_P(PolicyEndToEnd, SharedGemmCompletesAndVerifies)
+{
+    GpuConfig cfg = titan_v_config();
+    cfg.num_sms = 2;
+    SimOptions opts;
+    opts.scheduler = GetParam();
+    Gpu gpu(cfg, opts);
+
+    GemmKernelConfig kc;
+    kc.m = kc.n = kc.k = 64;
+    GemmProblem<float> prob(64, 64, 64, kc.a_layout, kc.b_layout);
+    GemmBuffers buf = prob.upload(&gpu.mem());
+    LaunchStats s = gpu.launch(make_wmma_gemm_shared(kc, buf));
+
+    EXPECT_GT(s.cycles, 0u);
+    EXPECT_GT(s.instructions, 0u);
+    EXPECT_LT(prob.verify(gpu.mem(), buf.d), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PolicyEndToEnd,
+                         ::testing::Values(SchedulerPolicy::kGto,
+                                           SchedulerPolicy::kLrr,
+                                           SchedulerPolicy::kTwoLevel));
+
+TEST(TwoLevelPolicy, ManyWarpKernelCompletes)
+{
+    // More resident warps per sub-core than the fetch group size:
+    // pending-pool promotion must keep every warp making progress
+    // (no starvation, run completes).
+    GpuConfig cfg = titan_v_config();
+    cfg.num_sms = 1;
+    SimOptions opts;
+    opts.scheduler = SchedulerPolicy::kTwoLevel;
+    Gpu gpu(cfg, opts);
+
+    GemmKernelConfig kc;
+    kc.m = kc.n = 256;
+    kc.k = 64;
+    kc.functional = false;
+    GemmProblem<float> prob(256, 256, 64, kc.a_layout, kc.b_layout);
+    GemmBuffers buf = prob.upload(&gpu.mem());
+    LaunchStats s = gpu.launch(make_wmma_gemm_naive(kc, buf));
+    EXPECT_GT(s.cycles, 0u);
+    // All (256/16)*(256/16)*(64/16) tile products ran.
+    EXPECT_EQ(s.hmma_instructions, 256u / 16 * (256 / 16) * (64 / 16) * 16);
+}
+
+}  // namespace
+}  // namespace tcsim
