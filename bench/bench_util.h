@@ -13,6 +13,7 @@
 
 #include "arch/gpu_config.h"
 #include "common/table.h"
+#include "driver/json.h"
 #include "hwref/titanv_model.h"
 #include "sim/gpu.h"
 
@@ -28,6 +29,11 @@ namespace bench {
  *
  * Written on destruction (or an explicit write()); emission failures
  * only warn, so benches stay usable in read-only directories.
+ *
+ * Strings are JSON-escaped and the file is written to a temp path and
+ * renamed into place, so a partial failure never clobbers an existing
+ * snapshot with a truncated document (the bench-regression gate in CI
+ * parses these files).
  */
 class JsonEmitter
 {
@@ -50,24 +56,20 @@ class JsonEmitter
             return;
         written_ = true;
         std::string path = "BENCH_" + name_ + ".json";
-        std::FILE* f = std::fopen(path.c_str(), "w");
-        if (!f) {
+        // The driver's writer handles escaping, the nan/inf -> null
+        // degradation, and the temp-file + rename protocol, keeping
+        // snapshots round-trippable through the same parser the
+        // scenario driver and bench_compare.py rely on.
+        driver::JsonValue doc = driver::JsonValue::object();
+        doc.set("bench", name_);
+        driver::JsonValue metrics = driver::JsonValue::object();
+        for (const auto& [key, value] : metrics_)
+            metrics.set(key, value);
+        doc.set("metrics", std::move(metrics));
+        if (!driver::json_write_file_atomic(doc, path))
             std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
-            return;
-        }
-        std::fprintf(f, "{\"bench\": \"%s\", \"metrics\": {", name_.c_str());
-        for (size_t i = 0; i < metrics_.size(); ++i) {
-            std::fprintf(f, "%s\"%s\": ", i ? ", " : "",
-                         metrics_[i].first.c_str());
-            // JSON has no nan/inf literals; degrade to null.
-            if (std::isfinite(metrics_[i].second))
-                std::fprintf(f, "%.10g", metrics_[i].second);
-            else
-                std::fprintf(f, "null");
-        }
-        std::fprintf(f, "}}\n");
-        std::fclose(f);
-        std::printf("wrote %s\n", path.c_str());
+        else
+            std::printf("wrote %s\n", path.c_str());
     }
 
   private:

@@ -16,8 +16,8 @@
 #include <string>
 #include <vector>
 
-#include "common/table.h"
 #include "kernels/gemm_kernels.h"
+#include "metrics/metrics.h"
 #include "sim/gpu.h"
 
 using namespace tcsim;
@@ -91,21 +91,18 @@ print_run(const char* title, const EngineStats& es, double total_flops,
           double clock_ghz)
 {
     std::printf("\n=== %s ===\n", title);
-    TextTable t;
-    t.set_header({"kernel", "stream", "window", "cycles", "ipc", "tflops"});
     std::vector<Workload> work = make_workloads();
+    std::vector<double> flops;
     for (const LaunchStats& k : es.kernels) {
-        double flops = 0.0;
+        double f = 0.0;
         for (const Workload& w : work)
             if (w.name == k.kernel)
-                flops = w.flops;
-        t.add_row({k.kernel, std::to_string(k.stream),
-                   "[" + std::to_string(k.start_cycle) + ", " +
-                       std::to_string(k.finish_cycle) + "]",
-                   std::to_string(k.cycles), fmt_double(k.ipc, 2),
-                   fmt_double(k.tflops(flops, clock_ghz), 2)});
+                f = w.flops;
+        flops.push_back(f);
     }
-    std::printf("%s", t.render().c_str());
+    std::printf("%s", metrics::launch_table(es.kernels, flops, clock_ghz)
+                          .render()
+                          .c_str());
     std::printf("aggregate: %llu cycles, IPC %.2f, %.2f TFLOPS "
                 "(%llu ticks simulated, %llu stalled cycles skipped)\n",
                 static_cast<unsigned long long>(es.cycles), es.ipc,

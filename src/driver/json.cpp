@@ -1,0 +1,529 @@
+#include "driver/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tcsim {
+namespace driver {
+
+// ---- Accessors ----------------------------------------------------------
+
+namespace {
+
+const char*
+type_name(JsonValue::Type t)
+{
+    switch (t) {
+      case JsonValue::Type::kNull: return "null";
+      case JsonValue::Type::kBool: return "bool";
+      case JsonValue::Type::kNumber: return "number";
+      case JsonValue::Type::kString: return "string";
+      case JsonValue::Type::kArray: return "array";
+      case JsonValue::Type::kObject: return "object";
+    }
+    return "?";
+}
+
+[[noreturn]] void
+type_error(const char* want, JsonValue::Type got)
+{
+    throw JsonError(std::string("expected ") + want + ", got " +
+                    type_name(got));
+}
+
+}  // namespace
+
+bool
+JsonValue::as_bool() const
+{
+    if (type_ != Type::kBool)
+        type_error("bool", type_);
+    return bool_;
+}
+
+double
+JsonValue::as_number() const
+{
+    if (type_ != Type::kNumber)
+        type_error("number", type_);
+    return num_;
+}
+
+int64_t
+JsonValue::as_int() const
+{
+    double d = as_number();
+    if (std::nearbyint(d) != d || std::abs(d) > 9.007199254740992e15)
+        throw JsonError("expected integer, got " + std::to_string(d));
+    return static_cast<int64_t>(d);
+}
+
+const std::string&
+JsonValue::as_string() const
+{
+    if (type_ != Type::kString)
+        type_error("string", type_);
+    return str_;
+}
+
+const std::vector<JsonValue>&
+JsonValue::as_array() const
+{
+    if (type_ != Type::kArray)
+        type_error("array", type_);
+    return arr_;
+}
+
+const JsonValue::Members&
+JsonValue::as_object() const
+{
+    if (type_ != Type::kObject)
+        type_error("object", type_);
+    return obj_;
+}
+
+const JsonValue*
+JsonValue::find(const std::string& key) const
+{
+    if (type_ != Type::kObject)
+        return nullptr;
+    for (const auto& [k, v] : obj_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+void
+JsonValue::push_back(JsonValue v)
+{
+    if (type_ != Type::kArray)
+        type_error("array", type_);
+    arr_.push_back(std::move(v));
+}
+
+void
+JsonValue::set(const std::string& key, JsonValue v)
+{
+    if (type_ != Type::kObject)
+        type_error("object", type_);
+    for (auto& [k, old] : obj_) {
+        if (k == key) {
+            old = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+// ---- Writer -------------------------------------------------------------
+
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void
+dump_number(std::string* out, double d)
+{
+    // JSON has no nan/inf literals; degrade to null.
+    if (!std::isfinite(d)) {
+        *out += "null";
+        return;
+    }
+    if (std::nearbyint(d) == d && std::abs(d) < 9.007199254740992e15) {
+        *out += std::to_string(static_cast<int64_t>(d));
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    *out += buf;
+}
+
+void
+newline_indent(std::string* out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void
+JsonValue::dump_to(std::string* out, int indent, int depth) const
+{
+    switch (type_) {
+      case Type::kNull:
+        *out += "null";
+        break;
+      case Type::kBool:
+        *out += bool_ ? "true" : "false";
+        break;
+      case Type::kNumber:
+        dump_number(out, num_);
+        break;
+      case Type::kString:
+        *out += '"';
+        *out += json_escape(str_);
+        *out += '"';
+        break;
+      case Type::kArray:
+        *out += '[';
+        for (size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                *out += indent > 0 ? "," : ", ";
+            newline_indent(out, indent, depth + 1);
+            arr_[i].dump_to(out, indent, depth + 1);
+        }
+        if (!arr_.empty())
+            newline_indent(out, indent, depth);
+        *out += ']';
+        break;
+      case Type::kObject:
+        *out += '{';
+        for (size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                *out += indent > 0 ? "," : ", ";
+            newline_indent(out, indent, depth + 1);
+            *out += '"';
+            *out += json_escape(obj_[i].first);
+            *out += "\": ";
+            obj_[i].second.dump_to(out, indent, depth + 1);
+        }
+        if (!obj_.empty())
+            newline_indent(out, indent, depth);
+        *out += '}';
+        break;
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dump_to(&out, indent, 0);
+    return out;
+}
+
+// ---- Parser -------------------------------------------------------------
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    JsonValue parse_document()
+    {
+        skip_ws();
+        JsonValue v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size())
+            fail("trailing garbage after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string& msg) const
+    {
+        int line = 1, col = 1;
+        for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        throw JsonError(std::to_string(line) + ":" + std::to_string(col) +
+                        ": " + msg);
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+    char next()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_++];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    void skip_ws()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+                ++pos_;
+            } else if (c == '/' && pos_ + 1 < text_.size() &&
+                       text_[pos_ + 1] == '/') {
+                // Allow // line comments: scenarios are hand-written.
+                while (pos_ < text_.size() && text_[pos_] != '\n')
+                    ++pos_;
+            } else {
+                break;
+            }
+        }
+    }
+
+    bool consume_literal(const char* lit)
+    {
+        size_t n = std::char_traits<char>::length(lit);
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue parse_value()
+    {
+        switch (peek()) {
+          case '{': return parse_object();
+          case '[': return parse_array();
+          case '"': return JsonValue(parse_string());
+          case 't':
+            if (consume_literal("true"))
+                return JsonValue(true);
+            fail("invalid literal");
+          case 'f':
+            if (consume_literal("false"))
+                return JsonValue(false);
+            fail("invalid literal");
+          case 'n':
+            if (consume_literal("null"))
+                return JsonValue();
+            fail("invalid literal");
+          default: return parse_number();
+        }
+    }
+
+    JsonValue parse_object()
+    {
+        expect('{');
+        JsonValue obj = JsonValue::object();
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        for (;;) {
+            skip_ws();
+            if (peek() != '"')
+                fail("expected object key");
+            std::string key = parse_string();
+            if (obj.find(key))
+                fail("duplicate key \"" + key + "\"");
+            skip_ws();
+            expect(':');
+            skip_ws();
+            obj.set(key, parse_value());
+            skip_ws();
+            char c = next();
+            if (c == '}')
+                return obj;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue parse_array()
+    {
+        expect('[');
+        JsonValue arr = JsonValue::array();
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        for (;;) {
+            skip_ws();
+            arr.push_back(parse_value());
+            skip_ws();
+            char c = next();
+            if (c == ']')
+                return arr;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string parse_string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            char c = next();
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            char e = next();
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = next();
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("invalid \\u escape");
+                }
+                // UTF-8 encode the BMP code point; surrogate halves
+                // degrade to U+FFFD (scenario files are ASCII anyway).
+                if (cp >= 0xD800 && cp <= 0xDFFF)
+                    cp = 0xFFFD;
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xC0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                }
+                break;
+              }
+              default: fail("invalid escape sequence");
+            }
+        }
+    }
+
+    JsonValue parse_number()
+    {
+        size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            fail("invalid number");
+        if (peek() == '0' && pos_ + 1 < text_.size() &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))
+            fail("invalid number: leading zero");
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos_;
+        if (peek() == '.') {
+            ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                fail("invalid number: missing fraction digits");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                fail("invalid number: missing exponent digits");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        try {
+            return JsonValue(std::stod(text_.substr(start, pos_ - start)));
+        } catch (const std::out_of_range&) {
+            pos_ = start;
+            fail("number out of range");
+        }
+    }
+
+    const std::string& text_;
+    size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue
+json_parse(const std::string& text)
+{
+    return Parser(text).parse_document();
+}
+
+bool
+json_write_file_atomic(const JsonValue& v, const std::string& path,
+                       int indent)
+{
+    std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (!f)
+        return false;
+    std::string text = v.dump(indent);
+    text += '\n';
+    bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    // fclose reports buffered-write failures (e.g. a full disk); only
+    // a fully flushed temp file may replace the target.
+    ok &= std::fclose(f) == 0;
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+JsonValue
+json_parse_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw JsonError(path + ": cannot open");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    try {
+        return json_parse(ss.str());
+    } catch (const JsonError& e) {
+        throw JsonError(path + ":" + e.what());
+    }
+}
+
+}  // namespace driver
+}  // namespace tcsim

@@ -1,0 +1,119 @@
+#pragma once
+/**
+ * @file
+ * Minimal dependency-free JSON: a variant value type, a strict
+ * recursive-descent parser with line/column error reporting, and a
+ * writer with full string escaping.
+ *
+ * This is the wire format of the scenario driver (scenario files),
+ * the simrunner batch report, and the BENCH_<name>.json snapshots —
+ * one parser for all three keeps the formats round-trippable without
+ * an external dependency.
+ *
+ * Scope: the JSON grammar of RFC 8259 minus surrogate-pair decoding
+ * (escaped surrogates are preserved as replacement text).  Object keys
+ * keep insertion order so emitted reports diff cleanly.
+ */
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tcsim {
+namespace driver {
+
+/** Thrown on malformed JSON or schema violations. */
+class JsonError : public std::runtime_error
+{
+  public:
+    explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** A parsed JSON value. */
+class JsonValue
+{
+  public:
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    /** Object member list; insertion order preserved. */
+    using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+    JsonValue() = default;
+    JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+    JsonValue(double d) : type_(Type::kNumber), num_(d) {}
+    JsonValue(int i) : type_(Type::kNumber), num_(i) {}
+    JsonValue(int64_t i)
+        : type_(Type::kNumber), num_(static_cast<double>(i))
+    {
+    }
+    JsonValue(uint64_t i)
+        : type_(Type::kNumber), num_(static_cast<double>(i))
+    {
+    }
+    JsonValue(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+    JsonValue(const char* s) : type_(Type::kString), str_(s) {}
+
+    static JsonValue array() { return JsonValue(Type::kArray); }
+    static JsonValue object() { return JsonValue(Type::kObject); }
+
+    Type type() const { return type_; }
+    bool is_null() const { return type_ == Type::kNull; }
+    bool is_bool() const { return type_ == Type::kBool; }
+    bool is_number() const { return type_ == Type::kNumber; }
+    bool is_string() const { return type_ == Type::kString; }
+    bool is_array() const { return type_ == Type::kArray; }
+    bool is_object() const { return type_ == Type::kObject; }
+
+    /** Typed accessors; throw JsonError on type mismatch. */
+    bool as_bool() const;
+    double as_number() const;
+    /** as_number() checked to be integral and in-range. */
+    int64_t as_int() const;
+    const std::string& as_string() const;
+    const std::vector<JsonValue>& as_array() const;
+    const Members& as_object() const;
+
+    /** Object lookup; nullptr when absent (or not an object). */
+    const JsonValue* find(const std::string& key) const;
+
+    /** Builder helpers. */
+    void push_back(JsonValue v);
+    void set(const std::string& key, JsonValue v);
+
+    /** Serialize.  @p indent > 0 pretty-prints. */
+    std::string dump(int indent = 0) const;
+
+  private:
+    explicit JsonValue(Type t) : type_(t) {}
+    void dump_to(std::string* out, int indent, int depth) const;
+
+    Type type_ = Type::kNull;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    Members obj_;
+};
+
+/** Parse a complete JSON document; throws JsonError with line:col. */
+JsonValue json_parse(const std::string& text);
+
+/** Parse the file at @p path; throws JsonError (includes the path). */
+JsonValue json_parse_file(const std::string& path);
+
+/**
+ * Atomically write @p v to @p path (temp file + rename, trailing
+ * newline): a partial failure never clobbers an existing document.
+ * Returns false and removes the temp file on failure.
+ */
+bool json_write_file_atomic(const JsonValue& v, const std::string& path,
+                            int indent = 0);
+
+/** Escape @p s for embedding in a JSON string literal (no quotes). */
+std::string json_escape(const std::string& s);
+
+}  // namespace driver
+}  // namespace tcsim

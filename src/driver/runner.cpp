@@ -1,0 +1,477 @@
+#include "driver/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "common/logging.h"
+#include "kernels/gemm_problem.h"
+#include "kernels/kernel_registry.h"
+#include "metrics/metrics.h"
+#include "sim/core/sm.h"
+#include "sim/gpu.h"
+#include "tensor/types.h"
+
+namespace tcsim {
+namespace driver {
+
+namespace {
+
+/** Type-erased GEMM operand setup (accumulator type varies by mode). */
+class GemmSetup
+{
+  public:
+    virtual ~GemmSetup() = default;
+    virtual GemmBuffers upload(GlobalMemory* mem) = 0;
+    virtual double verify(const GlobalMemory& mem, uint64_t d_addr) = 0;
+};
+
+template <typename Acc>
+class GemmSetupT : public GemmSetup
+{
+  public:
+    GemmSetupT(const KernelSpec& spec)
+        : prob_(spec.m, spec.n, spec.k, spec.a_layout, spec.b_layout,
+                spec.cd_layout)
+    {
+    }
+
+    GemmBuffers upload(GlobalMemory* mem) override
+    {
+        return prob_.upload(mem);
+    }
+
+    double verify(const GlobalMemory& mem, uint64_t d_addr) override
+    {
+        return prob_.verify(mem, d_addr);
+    }
+
+  private:
+    GemmProblem<Acc> prob_;
+};
+
+/** Timing-only runs skip host data generation: bare allocations give
+ *  the kernels valid, distinct address ranges.  Element widths come
+ *  from the registry so the allocations cover exactly the address
+ *  range each builder computes (sgemm_ffma addresses FP32 operands). */
+GemmBuffers
+alloc_only(const KernelSpec& spec, const KernelFamilyInfo& info,
+           GlobalMemory* mem)
+{
+    const uint64_t ab_elem = info.ab_elem_bytes;
+    // Only the WMMA families narrow C/D with TcMode; the SIMT
+    // baselines fix their element width per family.
+    uint64_t cd_elem = info.cd_elem_bytes;
+    if (info.supports_functional && spec.mode == TcMode::kFp16)
+        cd_elem = 2;
+    GemmBuffers buf;
+    buf.a = mem->alloc(static_cast<uint64_t>(spec.m) * spec.k * ab_elem);
+    buf.b = mem->alloc(static_cast<uint64_t>(spec.k) * spec.n * ab_elem);
+    buf.c = mem->alloc(static_cast<uint64_t>(spec.m) * spec.n * cd_elem);
+    buf.d = mem->alloc(static_cast<uint64_t>(spec.m) * spec.n * cd_elem);
+    return buf;
+}
+
+/** One prepared launch: descriptor plus deferred verification. */
+struct PreparedKernel
+{
+    const KernelSpec* spec = nullptr;
+    KernelDesc desc;
+    std::unique_ptr<GemmSetup> setup;  ///< Functional GEMMs only.
+    GemmBuffers buf;
+    double flops = 0.0;
+};
+
+PreparedKernel
+prepare_kernel(const KernelSpec& spec, Arch arch, GlobalMemory* mem)
+{
+    const KernelFamilyInfo* info = find_kernel_family(spec.family);
+    TCSIM_CHECK(info != nullptr);  // Validated at parse time.
+
+    PreparedKernel pk;
+    pk.spec = &spec;
+    if (info->is_gemm) {
+        if (spec.functional) {
+            if (spec.mode == TcMode::kFp16)
+                pk.setup = std::make_unique<GemmSetupT<half>>(spec);
+            else
+                pk.setup = std::make_unique<GemmSetupT<float>>(spec);
+            pk.buf = pk.setup->upload(mem);
+        } else {
+            pk.buf = alloc_only(spec, *info, mem);
+        }
+        GemmKernelConfig cfg;
+        cfg.arch = arch;
+        cfg.mode = spec.mode;
+        cfg.m = spec.m;
+        cfg.n = spec.n;
+        cfg.k = spec.k;
+        cfg.a_layout = spec.a_layout;
+        cfg.b_layout = spec.b_layout;
+        cfg.cd_layout = spec.cd_layout;
+        cfg.functional = spec.functional;
+        pk.desc =
+            build_gemm_kernel(info->family, cfg, pk.buf, spec.warps_per_cta);
+        pk.flops = gemm_flops(spec.m, spec.n, spec.k);
+    } else {
+        pk.desc = make_hmma_stress(arch, spec.mode, spec.ctas,
+                                   spec.warps_per_cta, spec.wmma_per_warp,
+                                   spec.accumulators);
+        pk.flops = hmma_stress_flops(spec.ctas, spec.warps_per_cta,
+                                     spec.wmma_per_warp);
+    }
+    pk.desc.name = spec.name;
+    return pk;
+}
+
+/** Pre-check launchability with SM::fits so one oversubscribed
+ *  scenario reports an error instead of taking down a whole batch
+ *  through the engine's fatal() path. */
+void
+check_kernel_fits(const GpuConfig& cfg, const KernelDesc& k)
+{
+    if (!SM::fits(cfg, k))
+        throw ScenarioError(
+            "kernel \"" + k.name + "\" exceeds SM resources (warps=" +
+            std::to_string(k.warps_per_cta) + " smem=" +
+            std::to_string(k.shared_mem_bytes) + " regs_per_thread=" +
+            std::to_string(k.regs_per_thread) + ")");
+}
+
+double
+resolve_total_metric(const ScenarioResult& r, const std::string& field)
+{
+    const EngineStats& t = r.totals;
+    if (field == "cycles")
+        return static_cast<double>(t.cycles);
+    if (field == "instructions")
+        return static_cast<double>(t.instructions);
+    if (field == "hmma_instructions")
+        return static_cast<double>(t.hmma_instructions);
+    if (field == "ipc")
+        return t.ipc;
+    if (field == "tflops")
+        return r.total_tflops;
+    if (field == "ticks")
+        return static_cast<double>(t.ticks);
+    if (field == "skipped_cycles")
+        return static_cast<double>(t.skipped_cycles);
+    throw ScenarioError("unknown total metric \"" + field + "\"");
+}
+
+double
+resolve_kernel_metric(const KernelResult& k, const std::string& field)
+{
+    const LaunchStats& s = k.stats;
+    if (field == "cycles")
+        return static_cast<double>(s.cycles);
+    if (field == "instructions")
+        return static_cast<double>(s.instructions);
+    if (field == "hmma_instructions")
+        return static_cast<double>(s.hmma_instructions);
+    if (field == "ipc")
+        return s.ipc;
+    if (field == "tflops")
+        return k.tflops;
+    if (field == "start_cycle")
+        return static_cast<double>(s.start_cycle);
+    if (field == "finish_cycle")
+        return static_cast<double>(s.finish_cycle);
+    if (field == "stream")
+        return k.stream;
+    if (field == "verify_rel_err") {
+        if (k.verify_rel_err < 0)
+            throw ScenarioError("kernel \"" + k.name +
+                                "\" did not verify (functional is false)");
+        return k.verify_rel_err;
+    }
+    throw ScenarioError("unknown kernel metric \"" + field + "\"");
+}
+
+double
+resolve_metric(const ScenarioResult& r, const std::string& path)
+{
+    if (path.rfind("total.", 0) == 0)
+        return resolve_total_metric(r, path.substr(6));
+    if (path.rfind("verify.", 0) == 0) {
+        if (path.substr(7) != "max_rel_err")
+            throw ScenarioError("unknown verify metric \"" + path + "\"");
+        if (r.verify_max_rel_err < 0)
+            throw ScenarioError("verify.max_rel_err: no functional kernel "
+                                "ran");
+        return r.verify_max_rel_err;
+    }
+    if (path.rfind("kernel.", 0) == 0) {
+        std::string rest = path.substr(7);
+        size_t dot = rest.rfind('.');
+        if (dot == std::string::npos)
+            throw ScenarioError("bad metric path \"" + path + "\"");
+        std::string name = rest.substr(0, dot);
+        for (const KernelResult& k : r.kernels)
+            if (k.name == name)
+                return resolve_kernel_metric(k, rest.substr(dot + 1));
+        throw ScenarioError("metric \"" + path +
+                            "\": no kernel result named \"" + name + "\"");
+    }
+    throw ScenarioError("bad metric path \"" + path + "\"");
+}
+
+AssertionResult
+evaluate(const ScenarioResult& r, const Expectation& e)
+{
+    AssertionResult a;
+    a.metric = e.metric;
+    a.value = resolve_metric(r, e.metric);
+    a.passed = true;
+    char buf[96];
+    if (e.has_equals) {
+        a.passed = a.value == e.equals;
+        std::snprintf(buf, sizeof(buf), "== %.10g", e.equals);
+        a.detail = buf;
+    } else {
+        std::string detail;
+        if (e.has_min) {
+            a.passed &= a.value >= e.min;
+            std::snprintf(buf, sizeof(buf), ">= %.10g", e.min);
+            detail = buf;
+        }
+        if (e.has_max) {
+            a.passed &= a.value <= e.max;
+            std::snprintf(buf, sizeof(buf), "<= %.10g", e.max);
+            if (!detail.empty())
+                detail += ", ";
+            detail += buf;
+        }
+        a.detail = detail;
+    }
+    return a;
+}
+
+}  // namespace
+
+ScenarioResult
+run_scenario(const Scenario& scenario)
+{
+    using clock = std::chrono::steady_clock;
+    ScenarioResult result;
+    result.name = scenario.name;
+    result.file = scenario.file;
+    auto t0 = clock::now();
+
+    try {
+        GpuConfig cfg = scenario.gpu_config();
+        result.clock_ghz = cfg.clock_ghz;
+        Gpu gpu(cfg, scenario.sim);
+
+        std::vector<PreparedKernel> prepared;
+        prepared.reserve(scenario.kernels.size());
+        for (const KernelSpec& spec : scenario.kernels) {
+            prepared.push_back(prepare_kernel(spec, cfg.arch, &gpu.mem()));
+            check_kernel_fits(cfg, prepared.back().desc);
+        }
+
+        // Map scenario stream ids onto engine streams: 0 is the
+        // implicit stream; the rest are created in ascending id order
+        // so engine dispatch priority is deterministic.
+        std::vector<int> ids;
+        for (const KernelSpec& spec : scenario.kernels)
+            if (spec.stream != 0)
+                ids.push_back(spec.stream);
+        std::sort(ids.begin(), ids.end());
+        ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+        std::map<int, Stream*> streams;
+        streams[0] = &gpu.default_stream();
+        for (int id : ids)
+            streams[id] = &gpu.create_stream();
+
+        for (PreparedKernel& pk : prepared)
+            streams[pk.spec->stream]->enqueue(pk.desc);
+
+        result.totals = gpu.run();
+
+        // Attribute per-kernel results (names are unique by schema).
+        for (PreparedKernel& pk : prepared) {
+            KernelResult kr;
+            kr.name = pk.spec->name;
+            kr.family = pk.spec->family;
+            kr.stream = pk.spec->stream;
+            kr.flops = pk.flops;
+            for (const LaunchStats& ls : result.totals.kernels)
+                if (ls.kernel == kr.name)
+                    kr.stats = ls;
+            if (kr.stats.cycles > 0)
+                kr.tflops = metrics::tflops(
+                    kr.flops, static_cast<double>(kr.stats.cycles),
+                    cfg.clock_ghz);
+            if (pk.setup) {
+                kr.verify_rel_err = pk.setup->verify(gpu.mem(), pk.buf.d);
+                result.verify_max_rel_err =
+                    std::max(result.verify_max_rel_err, kr.verify_rel_err);
+            }
+            result.total_flops += kr.flops;
+            result.kernels.push_back(std::move(kr));
+        }
+        if (result.totals.cycles > 0)
+            result.total_tflops = metrics::tflops(
+                result.total_flops,
+                static_cast<double>(result.totals.cycles), cfg.clock_ghz);
+
+        // Implicit assertion: every functional kernel verifies within
+        // the scenario tolerance.
+        if (result.verify_max_rel_err >= 0) {
+            AssertionResult a;
+            a.metric = "verify.max_rel_err";
+            a.value = result.verify_max_rel_err;
+            a.passed = result.verify_max_rel_err <= scenario.verify_tolerance;
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "<= %.3g (verify_tolerance)",
+                          scenario.verify_tolerance);
+            a.detail = buf;
+            result.assertions.push_back(std::move(a));
+        }
+        for (const Expectation& e : scenario.expect)
+            result.assertions.push_back(evaluate(result, e));
+
+        result.passed = true;
+        for (const AssertionResult& a : result.assertions)
+            result.passed &= a.passed;
+    } catch (const std::exception& e) {
+        result.error = e.what();
+        result.passed = false;
+    }
+
+    result.wall_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    return result;
+}
+
+int
+BatchReport::failed() const
+{
+    int n = 0;
+    for (const ScenarioResult& r : results)
+        n += r.passed ? 0 : 1;
+    return n;
+}
+
+BatchReport
+run_batch(const std::vector<Scenario>& scenarios, int jobs)
+{
+    using clock = std::chrono::steady_clock;
+    BatchReport report;
+    report.jobs = std::max(1, jobs);
+    report.results.resize(scenarios.size());
+    auto t0 = clock::now();
+
+    if (report.jobs == 1 || scenarios.size() <= 1) {
+        for (size_t i = 0; i < scenarios.size(); ++i)
+            report.results[i] = run_scenario(scenarios[i]);
+    } else {
+        // One simulator instance per in-flight scenario; workers pull
+        // indices from a shared counter and write disjoint slots.
+        std::atomic<size_t> next{0};
+        auto worker = [&] {
+            for (;;) {
+                size_t i = next.fetch_add(1);
+                if (i >= scenarios.size())
+                    return;
+                report.results[i] = run_scenario(scenarios[i]);
+            }
+        };
+        size_t nthreads =
+            std::min<size_t>(report.jobs, scenarios.size());
+        std::vector<std::thread> threads;
+        threads.reserve(nthreads);
+        for (size_t t = 0; t < nthreads; ++t)
+            threads.emplace_back(worker);
+        for (std::thread& t : threads)
+            t.join();
+    }
+
+    report.wall_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    return report;
+}
+
+JsonValue
+report_to_json(const BatchReport& report)
+{
+    JsonValue root = JsonValue::object();
+    root.set("schema", "tcsim-batch-report-v1");
+    root.set("jobs", report.jobs);
+    root.set("wall_ms", report.wall_ms);
+    root.set("scenarios", static_cast<int64_t>(report.results.size()));
+    root.set("failed", report.failed());
+
+    JsonValue results = JsonValue::array();
+    for (const ScenarioResult& r : report.results) {
+        JsonValue jr = JsonValue::object();
+        jr.set("name", r.name);
+        if (!r.file.empty())
+            jr.set("file", r.file);
+        jr.set("passed", r.passed);
+        if (!r.error.empty())
+            jr.set("error", r.error);
+        jr.set("wall_ms", r.wall_ms);
+
+        JsonValue totals = JsonValue::object();
+        totals.set("cycles", r.totals.cycles);
+        totals.set("instructions", r.totals.instructions);
+        totals.set("hmma_instructions", r.totals.hmma_instructions);
+        totals.set("ipc", r.totals.ipc);
+        totals.set("tflops", r.total_tflops);
+        totals.set("ticks", r.totals.ticks);
+        totals.set("skipped_cycles", r.totals.skipped_cycles);
+        jr.set("total", std::move(totals));
+
+        JsonValue kernels = JsonValue::array();
+        for (const KernelResult& k : r.kernels) {
+            JsonValue jk = JsonValue::object();
+            jk.set("name", k.name);
+            jk.set("family", k.family);
+            jk.set("stream", k.stream);
+            jk.set("start_cycle", k.stats.start_cycle);
+            jk.set("finish_cycle", k.stats.finish_cycle);
+            jk.set("cycles", k.stats.cycles);
+            jk.set("instructions", k.stats.instructions);
+            jk.set("hmma_instructions", k.stats.hmma_instructions);
+            jk.set("ipc", k.stats.ipc);
+            jk.set("tflops", k.tflops);
+            if (k.verify_rel_err >= 0)
+                jk.set("verify_rel_err", k.verify_rel_err);
+            kernels.push_back(std::move(jk));
+        }
+        jr.set("kernels", std::move(kernels));
+
+        JsonValue assertions = JsonValue::array();
+        for (const AssertionResult& a : r.assertions) {
+            JsonValue ja = JsonValue::object();
+            ja.set("metric", a.metric);
+            ja.set("value", a.value);
+            ja.set("bound", a.detail);
+            ja.set("passed", a.passed);
+            assertions.push_back(std::move(ja));
+        }
+        jr.set("assertions", std::move(assertions));
+        results.push_back(std::move(jr));
+    }
+    root.set("results", std::move(results));
+    return root;
+}
+
+bool
+write_report_file(const BatchReport& report, const std::string& path)
+{
+    if (!json_write_file_atomic(report_to_json(report), path, 2)) {
+        warn("cannot write report %s", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+}  // namespace driver
+}  // namespace tcsim

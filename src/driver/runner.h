@@ -1,0 +1,99 @@
+#pragma once
+/**
+ * @file
+ * Scenario execution: ScenarioRunner instantiates one Gpu per
+ * scenario (own memory system, executor cache, streams), runs every
+ * declared launch through the stream-aware engine, verifies
+ * functional kernels against the host reference, and evaluates the
+ * scenario's expected-metric assertions.
+ *
+ * The batch runner executes N independent scenarios on a small thread
+ * pool — one simulator instance per worker, no shared mutable state —
+ * so scenario suites scale with host cores while every per-scenario
+ * cycle count stays bit-identical to a serial run.
+ */
+
+#include <string>
+#include <vector>
+
+#include "driver/json.h"
+#include "driver/scenario.h"
+#include "sim/engine.h"
+
+namespace tcsim {
+namespace driver {
+
+/** Outcome of one expected-metric assertion. */
+struct AssertionResult
+{
+    std::string metric;
+    double value = 0.0;
+    bool passed = false;
+    std::string detail;  ///< Human-readable bound description.
+};
+
+/** Per-kernel outcome within a scenario. */
+struct KernelResult
+{
+    std::string name;
+    std::string family;
+    int stream = 0;
+    double flops = 0.0;
+    double tflops = 0.0;
+    /** Max |D - ref| / (1 + |ref|); negative when not verified. */
+    double verify_rel_err = -1.0;
+    LaunchStats stats;
+};
+
+/** Outcome of one scenario. */
+struct ScenarioResult
+{
+    std::string name;
+    std::string file;
+    /** Ran to completion and every assertion passed. */
+    bool passed = false;
+    /** Non-empty when the scenario failed to run at all. */
+    std::string error;
+
+    EngineStats totals;
+    /** Core clock of the scenario's GPU config (for TFLOPS display). */
+    double clock_ghz = 0.0;
+    double total_flops = 0.0;
+    double total_tflops = 0.0;
+    /** Worst functional-verification error; negative = none ran. */
+    double verify_max_rel_err = -1.0;
+    std::vector<KernelResult> kernels;
+    std::vector<AssertionResult> assertions;
+    double wall_ms = 0.0;
+};
+
+/** Run one scenario to completion; never throws (errors land in
+ *  ScenarioResult::error). */
+ScenarioResult run_scenario(const Scenario& scenario);
+
+/** Aggregate outcome of a scenario batch. */
+struct BatchReport
+{
+    std::vector<ScenarioResult> results;  ///< Input order preserved.
+    int jobs = 1;
+    double wall_ms = 0.0;
+
+    int failed() const;
+};
+
+/**
+ * Run @p scenarios on @p jobs worker threads (1 = serial, in the
+ * calling thread).  Results keep input order; per-scenario statistics
+ * are independent of @p jobs.
+ */
+BatchReport run_batch(const std::vector<Scenario>& scenarios, int jobs);
+
+/** The batch report as JSON (schema "tcsim-batch-report-v1"). */
+JsonValue report_to_json(const BatchReport& report);
+
+/** Atomically write the JSON report (temp file + rename).
+ *  Returns false (with a warning) when the path is not writable. */
+bool write_report_file(const BatchReport& report, const std::string& path);
+
+}  // namespace driver
+}  // namespace tcsim

@@ -1,0 +1,482 @@
+#include "driver/scenario.h"
+
+#include <cmath>
+#include <set>
+
+#include "kernels/kernel_registry.h"
+
+namespace tcsim {
+namespace driver {
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string& file, const std::string& msg)
+{
+    throw ScenarioError(file.empty() ? msg : file + ": " + msg);
+}
+
+/** Reject keys outside @p allowed (schema strictness). */
+void
+check_keys(const JsonValue& obj, std::initializer_list<const char*> allowed,
+           const std::string& where, const std::string& file)
+{
+    for (const auto& [key, value] : obj.as_object()) {
+        bool known = false;
+        for (const char* a : allowed)
+            known |= key == a;
+        if (!known)
+            fail(file, "unknown key \"" + key + "\" in " + where);
+    }
+}
+
+int
+get_int(const JsonValue& obj, const char* key, int fallback,
+        const std::string& file)
+{
+    const JsonValue* v = obj.find(key);
+    if (!v)
+        return fallback;
+    int64_t i = v->as_int();
+    if (i < -(1LL << 31) || i >= (1LL << 31))
+        fail(file, std::string(key) + " out of range");
+    return static_cast<int>(i);
+}
+
+std::string
+get_string(const JsonValue& obj, const char* key, const std::string& fallback)
+{
+    const JsonValue* v = obj.find(key);
+    return v ? v->as_string() : fallback;
+}
+
+Layout
+parse_layout(const std::string& s, const std::string& file)
+{
+    if (s == "row")
+        return Layout::kRowMajor;
+    if (s == "col")
+        return Layout::kColMajor;
+    fail(file, "bad layout \"" + s + "\" (want \"row\" or \"col\")");
+}
+
+TcMode
+parse_mode(const std::string& s, const std::string& file)
+{
+    if (s == "fp16")
+        return TcMode::kFp16;
+    if (s == "mixed")
+        return TcMode::kMixed;
+    if (s == "int8")
+        return TcMode::kInt8;
+    if (s == "int4")
+        return TcMode::kInt4;
+    fail(file, "bad mode \"" + s +
+                   "\" (want fp16 | mixed | int8 | int4)");
+}
+
+SchedulerPolicy
+parse_scheduler(const std::string& s, const std::string& file)
+{
+    if (s == "gto")
+        return SchedulerPolicy::kGto;
+    if (s == "lrr")
+        return SchedulerPolicy::kLrr;
+    if (s == "two_level")
+        return SchedulerPolicy::kTwoLevel;
+    fail(file, "bad scheduler \"" + s + "\" (want gto | lrr | two_level)");
+}
+
+KernelSpec
+parse_kernel(const JsonValue& obj, size_t index, const std::string& file)
+{
+    std::string where = "kernels[" + std::to_string(index) + "]";
+
+    KernelSpec spec;
+    const JsonValue* family = obj.find("kernel");
+    if (!family)
+        fail(file, where + ": missing required key \"kernel\"");
+    spec.family = family->as_string();
+    const KernelFamilyInfo* info = find_kernel_family(spec.family);
+    if (!info)
+        fail(file, where + ": unknown kernel \"" + spec.family +
+                       "\" (known: " + kernel_family_names() + ")");
+
+    // Strict schema: only keys the selected family actually honours
+    // are accepted, so an ignored "warps_per_cta" on wmma_shared (the
+    // builder fixes 8 warps) is an error rather than a silent no-op.
+    where += " (" + spec.family + ")";
+    if (info->family == KernelFamily::kWmmaNaive) {
+        check_keys(obj,
+                   {"kernel", "name", "stream", "m", "n", "k", "mode",
+                    "a_layout", "b_layout", "cd_layout", "functional",
+                    "warps_per_cta"},
+                   where, file);
+    } else if (info->is_gemm) {
+        check_keys(obj,
+                   {"kernel", "name", "stream", "m", "n", "k", "mode",
+                    "a_layout", "b_layout", "cd_layout", "functional"},
+                   where, file);
+    } else {
+        check_keys(obj,
+                   {"kernel", "name", "stream", "mode", "ctas",
+                    "warps_per_cta", "wmma_per_warp", "accumulators"},
+                   where, file);
+    }
+
+    spec.name = get_string(obj, "name",
+                           spec.family + "_" + std::to_string(index));
+    spec.stream = get_int(obj, "stream", 0, file);
+    if (spec.stream < 0 || spec.stream > 63)
+        fail(file, where + ": stream must be in [0, 63]");
+
+    spec.m = get_int(obj, "m", spec.m, file);
+    spec.n = get_int(obj, "n", spec.n, file);
+    spec.k = get_int(obj, "k", spec.k, file);
+    spec.mode = parse_mode(get_string(obj, "mode", "mixed"), file);
+    spec.a_layout = parse_layout(get_string(obj, "a_layout", "row"), file);
+    spec.b_layout = parse_layout(get_string(obj, "b_layout", "row"), file);
+    spec.cd_layout = parse_layout(get_string(obj, "cd_layout", "row"), file);
+    if (const JsonValue* v = obj.find("functional"))
+        spec.functional = v->as_bool();
+    spec.warps_per_cta = get_int(obj, "warps_per_cta", 8, file);
+    spec.ctas = get_int(obj, "ctas", 8, file);
+    spec.wmma_per_warp = get_int(obj, "wmma_per_warp", 64, file);
+    spec.accumulators = get_int(obj, "accumulators", 4, file);
+
+    if (info->is_gemm) {
+        if (spec.m <= 0 || spec.n <= 0 || spec.k <= 0)
+            fail(file, where + ": m/n/k must be positive");
+        // CTA tile divisibility the builders TCSIM_CHECK (fail at parse
+        // time instead of aborting mid-batch).
+        const bool naive = info->family == KernelFamily::kWmmaNaive;
+        const int dm = naive ? 16 : 64, dn = naive ? 16 : 64, dk = 16;
+        if (spec.m % dm || spec.n % dn || spec.k % dk)
+            fail(file, where + ": " + spec.family +
+                           " needs m % " + std::to_string(dm) + " == 0, n % " +
+                           std::to_string(dn) + " == 0, k % " +
+                           std::to_string(dk) + " == 0");
+        if (spec.mode != TcMode::kFp16 && spec.mode != TcMode::kMixed)
+            fail(file, where + ": GEMM kernels support fp16 | mixed only");
+        if (naive && (spec.warps_per_cta < 1 || spec.warps_per_cta > 32))
+            fail(file, where + ": warps_per_cta must be in [1, 32]");
+        if (spec.functional && !info->supports_functional)
+            fail(file, where + ": " + spec.family +
+                           " is a timing-only baseline (functional must "
+                           "be false)");
+    } else {
+        if (spec.ctas < 1 || spec.warps_per_cta < 1 ||
+            spec.wmma_per_warp < 1)
+            fail(file, where + ": ctas/warps_per_cta/wmma_per_warp must be "
+                               "positive");
+        if (spec.accumulators < 1 || spec.accumulators > 4 ||
+            spec.wmma_per_warp % spec.accumulators)
+            fail(file, where + ": accumulators must be in [1, 4] and divide "
+                               "wmma_per_warp");
+    }
+    return spec;
+}
+
+Expectation
+parse_expectation(const JsonValue& obj, size_t index,
+                  const std::string& file)
+{
+    std::string where = "expect[" + std::to_string(index) + "]";
+    check_keys(obj, {"metric", "min", "max", "equals"}, where, file);
+    Expectation e;
+    const JsonValue* metric = obj.find("metric");
+    if (!metric)
+        fail(file, where + ": missing required key \"metric\"");
+    e.metric = metric->as_string();
+    if (e.metric.rfind("total.", 0) != 0 &&
+        e.metric.rfind("kernel.", 0) != 0 &&
+        e.metric.rfind("verify.", 0) != 0)
+        fail(file, where + ": metric must start with \"total.\", "
+                           "\"kernel.\" or \"verify.\"");
+    if (const JsonValue* v = obj.find("min")) {
+        e.has_min = true;
+        e.min = v->as_number();
+    }
+    if (const JsonValue* v = obj.find("max")) {
+        e.has_max = true;
+        e.max = v->as_number();
+    }
+    if (const JsonValue* v = obj.find("equals")) {
+        e.has_equals = true;
+        e.equals = v->as_number();
+    }
+    if (!e.has_min && !e.has_max && !e.has_equals)
+        fail(file, where + ": needs at least one of min/max/equals");
+    if (e.has_equals && (e.has_min || e.has_max))
+        fail(file, where + ": equals excludes min/max");
+    return e;
+}
+
+}  // namespace
+
+namespace {
+
+/** One overridable GpuConfig field: the scenario key, whether it is
+ *  genuinely fractional, and the setter.  The single declaration per
+ *  field drives key listing, validation, and application. */
+struct OverrideField
+{
+    const char* name;
+    bool is_float;
+    void (*apply)(GpuConfig*, double);
+};
+
+#define TCSIM_INT_FIELD(key)                                                  \
+    {#key, false, [](GpuConfig* c, double v) {                                \
+         c->key = static_cast<decltype(c->key)>(v);                           \
+     }}
+#define TCSIM_FLOAT_FIELD(key)                                                \
+    {#key, true, [](GpuConfig* c, double v) { c->key = v; }}
+
+constexpr OverrideField kOverrideFields[] = {
+    TCSIM_INT_FIELD(num_sms),
+    TCSIM_INT_FIELD(subcores_per_sm),
+    TCSIM_INT_FIELD(tensor_cores_per_subcore),
+    TCSIM_INT_FIELD(max_warps_per_sm),
+    TCSIM_INT_FIELD(max_ctas_per_sm),
+    TCSIM_INT_FIELD(registers_per_sm),
+    TCSIM_INT_FIELD(shared_mem_per_sm),
+    TCSIM_FLOAT_FIELD(clock_ghz),
+    TCSIM_INT_FIELD(fp32_lanes),
+    TCSIM_INT_FIELD(fedp_units_per_tc),
+    TCSIM_INT_FIELD(hmma_issue_interval),
+    TCSIM_INT_FIELD(max_tc_warps_per_sm),
+    TCSIM_INT_FIELD(ldst_queue_depth),
+    TCSIM_INT_FIELD(shared_mem_banks),
+    TCSIM_INT_FIELD(shared_mem_latency),
+    TCSIM_INT_FIELD(l1_size),
+    TCSIM_INT_FIELD(l1_hit_latency),
+    TCSIM_INT_FIELD(l2_size),
+    TCSIM_INT_FIELD(l2_hit_latency),
+    TCSIM_INT_FIELD(dram_latency),
+    TCSIM_INT_FIELD(num_mem_partitions),
+    TCSIM_FLOAT_FIELD(dram_bytes_per_cycle_per_partition),
+    TCSIM_INT_FIELD(mio_bytes_per_cycle),
+};
+
+#undef TCSIM_INT_FIELD
+#undef TCSIM_FLOAT_FIELD
+
+const OverrideField*
+find_override_field(const std::string& key)
+{
+    for (const OverrideField& f : kOverrideFields)
+        if (key == f.name)
+            return &f;
+    return nullptr;
+}
+
+}  // namespace
+
+const std::vector<std::string>&
+gpu_override_keys()
+{
+    static const std::vector<std::string> keys = [] {
+        std::vector<std::string> k;
+        for (const OverrideField& f : kOverrideFields)
+            k.push_back(f.name);
+        return k;
+    }();
+    return keys;
+}
+
+void
+apply_gpu_override(GpuConfig* cfg, const std::string& key, double value)
+{
+    const OverrideField* f = find_override_field(key);
+    if (!f)
+        throw ScenarioError("unknown gpu override \"" + key + "\"");
+    f->apply(cfg, value);
+}
+
+GpuConfig
+Scenario::gpu_config() const
+{
+    GpuConfig cfg =
+        gpu_preset == "rtx2080" ? rtx2080_config() : titan_v_config();
+    for (const auto& [key, value] : gpu_overrides)
+        apply_gpu_override(&cfg, key, value);
+    return cfg;
+}
+
+Scenario
+parse_scenario(const JsonValue& doc, const std::string& file)
+{
+    if (!doc.is_object())
+        fail(file, "scenario document must be a JSON object");
+    check_keys(doc,
+               {"name", "description", "gpu", "sim", "kernels",
+                "verify_tolerance", "expect"},
+               "scenario", file);
+
+    Scenario sc;
+    sc.file = file;
+    const JsonValue* name = doc.find("name");
+    if (!name || name->as_string().empty())
+        fail(file, "missing required key \"name\"");
+    sc.name = name->as_string();
+    sc.description = get_string(doc, "description", "");
+
+    if (const JsonValue* gpu = doc.find("gpu")) {
+        for (const auto& [key, value] : gpu->as_object()) {
+            if (key == "preset") {
+                sc.gpu_preset = value.as_string();
+                if (sc.gpu_preset != "titan_v" && sc.gpu_preset != "rtx2080")
+                    fail(file, "bad gpu.preset \"" + sc.gpu_preset +
+                                   "\" (want titan_v | rtx2080)");
+            } else {
+                const OverrideField* field = find_override_field(key);
+                if (!field)
+                    fail(file, "unknown key \"" + key + "\" in gpu");
+                double v;
+                if (field->is_float) {
+                    v = value.as_number();
+                    if (v <= 0)
+                        fail(file, "gpu." + key + " must be positive");
+                } else {
+                    // Integer fields: reject fractional values before
+                    // the setter truncates them (0.9 SMs must not
+                    // silently become 0).
+                    if (!value.is_number() ||
+                        std::nearbyint(value.as_number()) !=
+                            value.as_number())
+                        fail(file, "gpu." + key + " must be an integer");
+                    v = value.as_number();
+                    if (v < 1)
+                        fail(file, "gpu." + key + " must be >= 1");
+                }
+                sc.gpu_overrides.emplace_back(key, v);
+            }
+        }
+    }
+
+    if (const JsonValue* sim = doc.find("sim")) {
+        check_keys(*sim, {"scheduler", "max_cycles"}, "sim", file);
+        sc.sim.scheduler =
+            parse_scheduler(get_string(*sim, "scheduler", "gto"), file);
+        if (const JsonValue* v = sim->find("max_cycles")) {
+            int64_t mc = v->as_int();
+            if (mc <= 0)
+                fail(file, "sim.max_cycles must be positive");
+            sc.sim.max_cycles = static_cast<uint64_t>(mc);
+        }
+    }
+
+    const JsonValue* kernels = doc.find("kernels");
+    if (!kernels || kernels->as_array().empty())
+        fail(file, "scenario needs a non-empty \"kernels\" array");
+    std::set<std::string> names;
+    std::set<std::string> functional_names;
+    bool any_functional = false;
+    const Arch arch = sc.gpu_preset == "rtx2080" ? Arch::kTuring : Arch::kVolta;
+    for (size_t i = 0; i < kernels->as_array().size(); ++i) {
+        KernelSpec spec = parse_kernel(kernels->as_array()[i], i, file);
+        if ((spec.mode == TcMode::kInt8 || spec.mode == TcMode::kInt4) &&
+            arch != Arch::kTuring)
+            fail(file, "kernels[" + std::to_string(i) +
+                           "]: int8/int4 modes need the rtx2080 preset");
+        if (spec.mode == TcMode::kInt4)
+            fail(file, "kernels[" + std::to_string(i) +
+                           "]: int4 needs the 8x8x32 tile, which no "
+                           "registered kernel family emits yet");
+        if (!names.insert(spec.name).second)
+            fail(file, "duplicate kernel name \"" + spec.name + "\"");
+        any_functional |= spec.functional;
+        if (spec.functional)
+            functional_names.insert(spec.name);
+        sc.kernels.push_back(std::move(spec));
+    }
+
+    if (const JsonValue* v = doc.find("verify_tolerance")) {
+        sc.verify_tolerance = v->as_number();
+        if (sc.verify_tolerance <= 0)
+            fail(file, "verify_tolerance must be positive");
+    }
+
+    if (const JsonValue* expect = doc.find("expect")) {
+        for (size_t i = 0; i < expect->as_array().size(); ++i) {
+            Expectation e =
+                parse_expectation(expect->as_array()[i], i, file);
+            if (e.metric.rfind("kernel.", 0) == 0) {
+                // kernel.<name>.<field> — the name must exist, and
+                // verify_rel_err only exists on functional kernels
+                // (else the -1 "not verified" sentinel would satisfy
+                // any max bound vacuously).
+                std::string rest = e.metric.substr(7);
+                size_t dot = rest.rfind('.');
+                if (dot == std::string::npos || dot == 0)
+                    fail(file, "bad metric path \"" + e.metric + "\"");
+                std::string kname = rest.substr(0, dot);
+                if (!names.count(kname))
+                    fail(file, "metric \"" + e.metric +
+                                   "\" references an unknown kernel");
+                if (rest.substr(dot + 1) == "verify_rel_err" &&
+                    !functional_names.count(kname))
+                    fail(file, "metric \"" + e.metric +
+                                   "\" needs a functional kernel");
+            }
+            if (e.metric.rfind("verify.", 0) == 0 && !any_functional)
+                fail(file, "metric \"" + e.metric +
+                               "\" needs a functional kernel");
+            sc.expect.push_back(std::move(e));
+        }
+    }
+    return sc;
+}
+
+Scenario
+parse_scenario_text(const std::string& text, const std::string& file)
+{
+    try {
+        return parse_scenario(json_parse(text), file);
+    } catch (const JsonError& e) {
+        fail(file, e.what());
+    }
+}
+
+Scenario
+load_scenario_file(const std::string& path)
+{
+    try {
+        return parse_scenario(json_parse_file(path), path);
+    } catch (const JsonError& e) {
+        // Type errors thrown by as_int()/as_number() during schema
+        // extraction carry no location; prefix the file like every
+        // other diagnostic (json_parse_file already includes it).
+        std::string what = e.what();
+        if (what.rfind(path, 0) == 0)
+            throw ScenarioError(what);
+        fail(path, what);
+    }
+}
+
+const char*
+tc_mode_key(TcMode mode)
+{
+    switch (mode) {
+      case TcMode::kFp16: return "fp16";
+      case TcMode::kMixed: return "mixed";
+      case TcMode::kInt8: return "int8";
+      case TcMode::kInt4: return "int4";
+    }
+    return "?";
+}
+
+const char*
+scheduler_key(SchedulerPolicy policy)
+{
+    switch (policy) {
+      case SchedulerPolicy::kGto: return "gto";
+      case SchedulerPolicy::kLrr: return "lrr";
+      case SchedulerPolicy::kTwoLevel: return "two_level";
+    }
+    return "?";
+}
+
+}  // namespace driver
+}  // namespace tcsim

@@ -1,0 +1,137 @@
+#pragma once
+/**
+ * @file
+ * Declarative simulation scenarios: a small JSON format that names a
+ * GPU preset plus config overrides, a scheduler policy, a list of
+ * kernel launches (family, GEMM shape, precision, layouts, stream),
+ * and expected-metric assertions.  Every workload the paper sweeps by
+ * recompiling a bench binary becomes a data file under scenarios/.
+ *
+ * Schema (all keys optional unless noted; unknown keys are errors):
+ *
+ *   {
+ *     "name": "fig14a_gemm128",            // required
+ *     "description": "...",
+ *     "gpu": {"preset": "titan_v",          // or "rtx2080"
+ *             "num_sms": 8, "clock_ghz": 1.53, ...},  // field overrides
+ *     "sim": {"scheduler": "gto" | "lrr" | "two_level",
+ *             "max_cycles": 100000000},
+ *     "kernels": [                          // required, non-empty
+ *       {"kernel": "wmma_shared",           // required; see registry
+ *        "name": "gemm0", "stream": 0,
+ *        "m": 128, "n": 128, "k": 128,
+ *        "mode": "mixed" | "fp16" | "int8" | "int4",
+ *        "a_layout": "row" | "col", "b_layout": ..., "cd_layout": ...,
+ *        "functional": false,
+ *        "warps_per_cta": 8,                // wmma_naive only
+ *        "ctas": 8, "wmma_per_warp": 64,    // hmma_stress only
+ *        "accumulators": 4}],
+ *     "verify_tolerance": 0.05,             // max rel err, functional runs
+ *     "expect": [
+ *       {"metric": "total.cycles", "max": 60000, "min": 1000},
+ *       {"metric": "kernel.gemm0.tflops", "min": 4.0},
+ *       {"metric": "verify.max_rel_err", "max": 0.01}]
+ *   }
+ *
+ * Metric paths: total.{cycles,instructions,hmma_instructions,ipc,
+ * tflops,ticks,skipped_cycles}, kernel.<name>.{cycles,instructions,
+ * hmma_instructions,ipc,tflops,start_cycle,finish_cycle,stream}, and
+ * verify.max_rel_err (functional kernels only).
+ */
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/gpu_config.h"
+#include "driver/json.h"
+#include "sim/engine.h"
+#include "tensor/types.h"
+
+namespace tcsim {
+namespace driver {
+
+/** Thrown on schema violations (unknown keys, bad values). */
+class ScenarioError : public std::runtime_error
+{
+  public:
+    explicit ScenarioError(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** One kernel launch of a scenario. */
+struct KernelSpec
+{
+    std::string family;  ///< Registry name ("wmma_shared", ...).
+    std::string name;    ///< Display name; defaults to family_<index>.
+    int stream = 0;      ///< 0 = the implicit default stream.
+
+    // GEMM families.
+    int m = 64, n = 64, k = 64;
+    TcMode mode = TcMode::kMixed;
+    Layout a_layout = Layout::kRowMajor;
+    Layout b_layout = Layout::kRowMajor;
+    Layout cd_layout = Layout::kRowMajor;
+    bool functional = false;
+    int warps_per_cta = 8;  ///< wmma_naive only.
+
+    // hmma_stress.
+    int ctas = 8;
+    int wmma_per_warp = 64;
+    int accumulators = 4;
+};
+
+/** One expected-metric assertion. */
+struct Expectation
+{
+    std::string metric;
+    bool has_min = false, has_max = false, has_equals = false;
+    double min = 0.0, max = 0.0, equals = 0.0;
+};
+
+/** A parsed scenario. */
+struct Scenario
+{
+    std::string name;
+    std::string description;
+    std::string file;  ///< Source path when loaded from disk.
+
+    std::string gpu_preset = "titan_v";
+    /** GpuConfig field overrides, in declaration order. */
+    std::vector<std::pair<std::string, double>> gpu_overrides;
+
+    SimOptions sim;
+    std::vector<KernelSpec> kernels;
+    std::vector<Expectation> expect;
+    /** Max allowed |D - ref| / (1 + |ref|) for functional kernels. */
+    double verify_tolerance = 0.05;
+
+    /** Preset with overrides applied. */
+    GpuConfig gpu_config() const;
+};
+
+/** Names of the GpuConfig fields overridable from the "gpu" object. */
+const std::vector<std::string>& gpu_override_keys();
+
+/** Apply one override to @p cfg; throws ScenarioError when unknown. */
+void apply_gpu_override(GpuConfig* cfg, const std::string& key,
+                        double value);
+
+/** Parse a scenario document; @p file is used in error messages. */
+Scenario parse_scenario(const JsonValue& doc, const std::string& file = "");
+
+/** Parse from JSON text. */
+Scenario parse_scenario_text(const std::string& text,
+                             const std::string& file = "");
+
+/** Load and parse scenarios/<name>.json. */
+Scenario load_scenario_file(const std::string& path);
+
+const char* tc_mode_key(TcMode mode);
+const char* scheduler_key(SchedulerPolicy policy);
+
+}  // namespace driver
+}  // namespace tcsim

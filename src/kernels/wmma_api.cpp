@@ -2,8 +2,14 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 namespace tcsim {
+
+// The memoization caches below are shared by every simulator instance
+// in the process; the batch runner executes scenarios on several
+// threads, so lookups take a mutex.  References returned point at
+// node-stable map entries that are never erased.
 
 const FragmentMap&
 cached_fragment_map(Arch arch, WmmaOperand op, TileShape shape, TcMode mode,
@@ -19,6 +25,8 @@ cached_fragment_map(Arch arch, WmmaOperand op, TileShape shape, TcMode mode,
         auto operator<=>(const Key&) const = default;
     };
     static std::map<Key, std::unique_ptr<FragmentMap>> cache;
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
 
     Key key{arch, op, shape.m, shape.n, shape.k, mode, layout};
     auto it = cache.find(key);
@@ -41,6 +49,8 @@ cached_memory_ops(const FragmentMap& map, int ld_elems)
         auto operator<=>(const Key&) const = default;
     };
     static std::map<Key, std::vector<MemAccessDesc>> cache;
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
 
     Key key{&map, ld_elems};
     auto it = cache.find(key);

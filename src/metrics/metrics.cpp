@@ -46,5 +46,27 @@ tflops(double flops, double cycles, double clock_ghz)
     return flops / seconds / 1e12;
 }
 
+TextTable
+launch_table(const std::vector<LaunchStats>& kernels,
+             const std::vector<double>& flops, double clock_ghz)
+{
+    TCSIM_CHECK(flops.size() == kernels.size());
+    TextTable t;
+    t.set_header({"kernel", "stream", "window", "cycles", "ipc", "tflops"});
+    for (size_t i = 0; i < kernels.size(); ++i) {
+        const LaunchStats& k = kernels[i];
+        double tf = k.cycles > 0 && flops[i] > 0
+                        ? tflops(flops[i], static_cast<double>(k.cycles),
+                                 clock_ghz)
+                        : 0.0;
+        t.add_row({k.kernel, std::to_string(k.stream),
+                   "[" + std::to_string(k.start_cycle) + ", " +
+                       std::to_string(k.finish_cycle) + "]",
+                   std::to_string(k.cycles), fmt_double(k.ipc, 2),
+                   fmt_double(tf, 2)});
+    }
+    return t;
+}
+
 }  // namespace metrics
 }  // namespace tcsim

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/table.h"
+#include "sim/engine.h"
 
 namespace tcsim {
 namespace metrics {
@@ -40,6 +41,15 @@ TextTable scatter_table(const std::string& title,
 
 /** TFLOPS from total FLOPs, cycles and a core clock in GHz. */
 double tflops(double flops, double cycles, double clock_ghz);
+
+/**
+ * Per-kernel result table (kernel, stream, cycle window, cycles, IPC,
+ * TFLOPS).  @p flops must parallel @p kernels (pass 0 for kernels
+ * with unknown FLOP counts); shared by simrunner and the example
+ * programs.
+ */
+TextTable launch_table(const std::vector<LaunchStats>& kernels,
+                       const std::vector<double>& flops, double clock_ghz);
 
 }  // namespace metrics
 }  // namespace tcsim

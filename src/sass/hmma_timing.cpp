@@ -1,6 +1,7 @@
 #include "sass/hmma_timing.h"
 
 #include <map>
+#include <mutex>
 
 #include "common/logging.h"
 
@@ -62,7 +63,12 @@ hmma_timing(Arch arch, TcMode mode, TileShape shape)
         int m, n, k;
         auto operator<=>(const Key&) const = default;
     };
+    // Shared across simulator instances; the batch runner calls in
+    // from several threads.  Map nodes are stable and never erased,
+    // so returned references stay valid after the lock drops.
     static std::map<Key, HmmaTiming> cache;
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
 
     Key key{arch, mode, shape.m, shape.n, shape.k};
     auto it = cache.find(key);

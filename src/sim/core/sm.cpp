@@ -47,13 +47,19 @@ cta_registers(const KernelDesc& k)
            static_cast<uint64_t>(k.regs_per_thread);
 }
 
+bool
+SM::fits(const GpuConfig& cfg, const KernelDesc& k)
+{
+    TCSIM_CHECK(k.warps_per_cta > 0);
+    return k.warps_per_cta <= cfg.max_warps_per_sm &&
+           k.shared_mem_bytes <= cfg.shared_mem_per_sm &&
+           cta_registers(k) <= cfg.registers_per_sm;
+}
+
 void
 SM::check_fits(const GpuConfig& cfg, const KernelDesc& k)
 {
-    TCSIM_CHECK(k.warps_per_cta > 0);
-    if (k.warps_per_cta > cfg.max_warps_per_sm ||
-        k.shared_mem_bytes > cfg.shared_mem_per_sm ||
-        cta_registers(k) > cfg.registers_per_sm) {
+    if (!fits(cfg, k)) {
         fatal("kernel %s exceeds SM resources (warps=%d smem=%u regs=%d)",
               k.name.c_str(), k.warps_per_cta, k.shared_mem_bytes,
               k.regs_per_thread);

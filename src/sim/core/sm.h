@@ -60,6 +60,11 @@ class SM
      *  (hardware rasterizer pacing). */
     void launch_cta(GridRun* grid, int cta_id);
 
+    /** True if a CTA of @p k fits an empty SM of @p cfg.  The single
+     *  source of truth for launchability — the scenario driver
+     *  pre-checks with this to report instead of abort. */
+    static bool fits(const GpuConfig& cfg, const KernelDesc& k);
+
     /** Abort with a diagnostic if @p k cannot fit even an empty SM. */
     static void check_fits(const GpuConfig& cfg, const KernelDesc& k);
 

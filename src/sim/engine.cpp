@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/logging.h"
 
@@ -178,12 +179,16 @@ ExecutionEngine::run(const std::vector<Stream*>& streams)
         }
         now = next;
         if (now > opts_.max_cycles) {
-            panic("engine exceeded max_cycles=%llu (%zu kernels "
-                  "unfinished, first: %s)",
-                  static_cast<unsigned long long>(opts_.max_cycles),
-                  total_kernels - completed,
-                  resident_.empty() ? "<none resident>"
-                                    : resident_[0]->desc.name.c_str());
+            // A user-settable limit, not an internal invariant: throw
+            // so embedders (the scenario batch runner) can report one
+            // runaway simulation without aborting the process.
+            throw std::runtime_error(detail::format(
+                "engine exceeded max_cycles=%llu (%zu kernels "
+                "unfinished, first: %s)",
+                static_cast<unsigned long long>(opts_.max_cycles),
+                total_kernels - completed,
+                resident_.empty() ? "<none resident>"
+                                  : resident_[0]->desc.name.c_str()));
         }
     }
 

@@ -100,7 +100,8 @@ struct EngineStats
 struct SimOptions
 {
     SchedulerPolicy scheduler = SchedulerPolicy::kGto;
-    /** Abort runaway simulations after this many cycles. */
+    /** Stop runaway simulations after this many cycles (the engine
+     *  throws std::runtime_error when exceeded). */
     uint64_t max_cycles = 2'000'000'000;
 };
 

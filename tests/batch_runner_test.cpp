@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Batch runner tests: N scenarios on 4 worker threads must produce
+ * per-scenario cycle counts identical to serial execution (each worker
+ * owns a full simulator instance; the only cross-thread state is the
+ * mutex-guarded decode/timing memoization caches), plus report
+ * structure and error isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "driver/runner.h"
+#include "driver/scenario.h"
+
+using namespace tcsim;
+using namespace tcsim::driver;
+
+namespace {
+
+/** A small mixed bag of workloads, cheap enough for unit tests. */
+std::vector<Scenario>
+make_suite()
+{
+    std::vector<Scenario> suite;
+    auto add = [&](const std::string& text) {
+        suite.push_back(parse_scenario_text(text));
+    };
+    for (int i = 0; i < 3; ++i) {
+        add(R"({
+          "name": "stress_)" + std::to_string(i) + R"(",
+          "gpu": {"preset": "titan_v", "num_sms": 2},
+          "kernels": [
+            {"kernel": "hmma_stress", "name": "s", "ctas": )" +
+            std::to_string(2 + i) + R"(, "warps_per_cta": 2,
+             "wmma_per_warp": 16}
+          ]
+        })");
+    }
+    add(R"({
+      "name": "naive_gemm64",
+      "gpu": {"preset": "titan_v", "num_sms": 2},
+      "kernels": [
+        {"kernel": "wmma_naive", "name": "g", "m": 64, "n": 64, "k": 64}
+      ]
+    })");
+    add(R"({
+      "name": "two_streams",
+      "gpu": {"preset": "titan_v", "num_sms": 2},
+      "kernels": [
+        {"kernel": "hmma_stress", "name": "a", "stream": 1, "ctas": 2,
+         "warps_per_cta": 2, "wmma_per_warp": 16},
+        {"kernel": "hmma_stress", "name": "b", "stream": 2, "ctas": 2,
+         "warps_per_cta": 2, "wmma_per_warp": 16}
+      ]
+    })");
+    add(R"({
+      "name": "lrr_gemm64",
+      "gpu": {"preset": "titan_v", "num_sms": 2},
+      "sim": {"scheduler": "lrr"},
+      "kernels": [
+        {"kernel": "wmma_naive", "name": "g", "m": 64, "n": 64, "k": 64}
+      ]
+    })");
+    return suite;
+}
+
+}  // namespace
+
+TEST(BatchRunner, ParallelCyclesMatchSerial)
+{
+    std::vector<Scenario> suite = make_suite();
+    BatchReport serial = run_batch(suite, 1);
+    BatchReport parallel = run_batch(suite, 4);
+
+    ASSERT_EQ(serial.results.size(), suite.size());
+    ASSERT_EQ(parallel.results.size(), suite.size());
+    EXPECT_EQ(serial.failed(), 0);
+    EXPECT_EQ(parallel.failed(), 0);
+
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const ScenarioResult& a = serial.results[i];
+        const ScenarioResult& b = parallel.results[i];
+        // Input order is preserved by both modes.
+        EXPECT_EQ(a.name, suite[i].name);
+        EXPECT_EQ(b.name, suite[i].name);
+        EXPECT_EQ(a.totals.cycles, b.totals.cycles) << a.name;
+        EXPECT_EQ(a.totals.instructions, b.totals.instructions) << a.name;
+        ASSERT_EQ(a.kernels.size(), b.kernels.size());
+        for (size_t k = 0; k < a.kernels.size(); ++k) {
+            EXPECT_EQ(a.kernels[k].stats.cycles, b.kernels[k].stats.cycles)
+                << a.name << "/" << a.kernels[k].name;
+            EXPECT_EQ(a.kernels[k].stats.instructions,
+                      b.kernels[k].stats.instructions)
+                << a.name << "/" << a.kernels[k].name;
+        }
+    }
+}
+
+TEST(BatchRunner, RepeatedParallelRunsAreDeterministic)
+{
+    std::vector<Scenario> suite = make_suite();
+    BatchReport r1 = run_batch(suite, 4);
+    BatchReport r2 = run_batch(suite, 4);
+    for (size_t i = 0; i < suite.size(); ++i)
+        EXPECT_EQ(r1.results[i].totals.cycles, r2.results[i].totals.cycles)
+            << r1.results[i].name;
+}
+
+TEST(BatchRunner, FailingScenarioDoesNotPoisonTheBatch)
+{
+    std::vector<Scenario> suite = make_suite();
+    // Oversubscribed: reported as a per-scenario error, not a fatal().
+    suite.insert(suite.begin() + 1, parse_scenario_text(R"({
+      "name": "too_big",
+      "gpu": {"preset": "titan_v", "num_sms": 1, "registers_per_sm": 1024},
+      "kernels": [{"kernel": "hmma_stress", "warps_per_cta": 4}]
+    })"));
+
+    BatchReport report = run_batch(suite, 4);
+    EXPECT_EQ(report.failed(), 1);
+    EXPECT_FALSE(report.results[1].passed);
+    EXPECT_FALSE(report.results[1].error.empty());
+    for (size_t i = 0; i < report.results.size(); ++i) {
+        if (i != 1) {
+            EXPECT_TRUE(report.results[i].passed)
+                << report.results[i].name << ": "
+                << report.results[i].error;
+        }
+    }
+}
+
+TEST(BatchRunner, ReportJsonRoundTrips)
+{
+    std::vector<Scenario> suite = make_suite();
+    suite.resize(2);
+    BatchReport report = run_batch(suite, 2);
+    JsonValue doc = json_parse(report_to_json(report).dump(2));
+
+    EXPECT_EQ(doc.find("schema")->as_string(), "tcsim-batch-report-v1");
+    EXPECT_EQ(doc.find("scenarios")->as_int(), 2);
+    EXPECT_EQ(doc.find("failed")->as_int(), 0);
+    const auto& results = doc.find("results")->as_array();
+    ASSERT_EQ(results.size(), 2u);
+    for (size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].find("name")->as_string(), suite[i].name);
+        EXPECT_EQ(
+            static_cast<uint64_t>(
+                results[i].find("total")->find("cycles")->as_int()),
+            report.results[i].totals.cycles);
+    }
+}

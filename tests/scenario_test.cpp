@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Scenario driver unit tests: the JSON parser (malformed input, escape
+ * handling, error positions), the strict scenario schema (unknown
+ * keys, invalid values), assertion evaluation on real runs, and the
+ * bench JsonEmitter round-tripping through the driver parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "bench_util.h"
+#include "driver/json.h"
+#include "driver/runner.h"
+#include "driver/scenario.h"
+
+using namespace tcsim;
+using namespace tcsim::driver;
+
+// ---- JSON parser --------------------------------------------------------
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(json_parse("null").is_null());
+    EXPECT_EQ(json_parse("true").as_bool(), true);
+    EXPECT_EQ(json_parse("false").as_bool(), false);
+    EXPECT_DOUBLE_EQ(json_parse("-2.5e3").as_number(), -2500.0);
+    EXPECT_EQ(json_parse("42").as_int(), 42);
+    EXPECT_EQ(json_parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNested)
+{
+    JsonValue v = json_parse(R"({"a": [1, 2, {"b": "c"}], "d": {}})");
+    ASSERT_TRUE(v.is_object());
+    const JsonValue* a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->as_array().size(), 3u);
+    EXPECT_EQ(a->as_array()[2].find("b")->as_string(), "c");
+    EXPECT_TRUE(v.find("d")->as_object().empty());
+}
+
+TEST(Json, AllowsLineComments)
+{
+    JsonValue v = json_parse("{\n  // a comment\n  \"a\": 1\n}");
+    EXPECT_EQ(v.find("a")->as_int(), 1);
+}
+
+TEST(Json, EscapeRoundTrips)
+{
+    std::string nasty = "quote\" back\\slash\nnew\ttab\x01ctl";
+    JsonValue obj = JsonValue::object();
+    obj.set(nasty, JsonValue(nasty));
+    JsonValue parsed = json_parse(obj.dump());
+    EXPECT_EQ(parsed.find(nasty)->as_string(), nasty);
+}
+
+TEST(Json, RejectsMalformedWithPosition)
+{
+    EXPECT_THROW(json_parse(""), JsonError);
+    EXPECT_THROW(json_parse("{"), JsonError);
+    EXPECT_THROW(json_parse("{\"a\": 1,}"), JsonError);
+    EXPECT_THROW(json_parse("[1 2]"), JsonError);
+    EXPECT_THROW(json_parse("\"unterminated"), JsonError);
+    EXPECT_THROW(json_parse("nul"), JsonError);
+    EXPECT_THROW(json_parse("1.e5"), JsonError);
+    EXPECT_THROW(json_parse("0123"), JsonError);
+    EXPECT_THROW(json_parse("-0123"), JsonError);
+    EXPECT_THROW(json_parse("1e999"), JsonError);
+    EXPECT_DOUBLE_EQ(json_parse("0.5").as_number(), 0.5);
+    EXPECT_EQ(json_parse("0").as_int(), 0);
+    EXPECT_THROW(json_parse("{} trailing"), JsonError);
+    EXPECT_THROW(json_parse(R"({"a": 1, "a": 2})"), JsonError);
+    try {
+        json_parse("{\n  \"a\": tru\n}");
+        FAIL() << "expected JsonError";
+    } catch (const JsonError& e) {
+        EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Json, TypeMismatchThrows)
+{
+    JsonValue v = json_parse("[1]");
+    EXPECT_THROW(v.as_object(), JsonError);
+    EXPECT_THROW(v.as_string(), JsonError);
+    EXPECT_THROW(json_parse("1.5").as_int(), JsonError);
+}
+
+// ---- Scenario schema ----------------------------------------------------
+
+namespace {
+
+const char* kMinimalScenario = R"({
+  "name": "tiny",
+  "gpu": {"preset": "titan_v", "num_sms": 1},
+  "kernels": [
+    {"kernel": "wmma_naive", "name": "g", "m": 16, "n": 16, "k": 16,
+     "warps_per_cta": 1}
+  ]
+})";
+
+}  // namespace
+
+TEST(Scenario, ParsesMinimal)
+{
+    Scenario sc = parse_scenario_text(kMinimalScenario);
+    EXPECT_EQ(sc.name, "tiny");
+    EXPECT_EQ(sc.kernels.size(), 1u);
+    EXPECT_EQ(sc.kernels[0].family, "wmma_naive");
+    EXPECT_EQ(sc.kernels[0].stream, 0);
+    EXPECT_FALSE(sc.kernels[0].functional);
+    EXPECT_EQ(sc.gpu_config().num_sms, 1);
+    EXPECT_EQ(sc.sim.scheduler, SchedulerPolicy::kGto);
+}
+
+TEST(Scenario, DefaultsKernelName)
+{
+    Scenario sc = parse_scenario_text(R"({
+      "name": "s",
+      "kernels": [{"kernel": "hmma_stress"}]
+    })");
+    EXPECT_EQ(sc.kernels[0].name, "hmma_stress_0");
+}
+
+TEST(Scenario, AppliesGpuOverrides)
+{
+    Scenario sc = parse_scenario_text(R"({
+      "name": "s",
+      "gpu": {"preset": "rtx2080", "num_sms": 4, "clock_ghz": 2.0,
+              "l1_size": 65536},
+      "kernels": [{"kernel": "hmma_stress"}]
+    })");
+    GpuConfig cfg = sc.gpu_config();
+    EXPECT_EQ(cfg.arch, Arch::kTuring);
+    EXPECT_EQ(cfg.num_sms, 4);
+    EXPECT_DOUBLE_EQ(cfg.clock_ghz, 2.0);
+    EXPECT_EQ(cfg.l1_size, 65536u);
+}
+
+TEST(Scenario, RejectsInapplicableKernelKeys)
+{
+    // warps_per_cta is fixed by every family except wmma_naive.
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s",
+      "kernels": [{"kernel": "wmma_shared", "warps_per_cta": 4}]
+    })"),
+                 ScenarioError);
+    // hmma_stress knobs are meaningless on GEMM families...
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s",
+      "kernels": [{"kernel": "wmma_naive", "ctas": 4}]
+    })"),
+                 ScenarioError);
+    // ...and GEMM shape/layout keys on hmma_stress.
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s",
+      "kernels": [{"kernel": "hmma_stress", "m": 64}]
+    })"),
+                 ScenarioError);
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s",
+      "kernels": [{"kernel": "hmma_stress", "functional": false}]
+    })"),
+                 ScenarioError);
+}
+
+TEST(Scenario, RejectsFractionalIntegerOverrides)
+{
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s", "gpu": {"num_sms": 0.9},
+      "kernels": [{"kernel": "hmma_stress"}]
+    })"),
+                 ScenarioError);
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s", "gpu": {"max_warps_per_sm": 2.5},
+      "kernels": [{"kernel": "hmma_stress"}]
+    })"),
+                 ScenarioError);
+    // Genuinely fractional fields stay fractional.
+    Scenario sc = parse_scenario_text(R"({
+      "name": "s", "gpu": {"clock_ghz": 1.47},
+      "kernels": [{"kernel": "hmma_stress"}]
+    })");
+    EXPECT_DOUBLE_EQ(sc.gpu_config().clock_ghz, 1.47);
+}
+
+TEST(Scenario, RejectsUnknownKeys)
+{
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s", "typo_key": 1,
+      "kernels": [{"kernel": "hmma_stress"}]
+    })"),
+                 ScenarioError);
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s",
+      "kernels": [{"kernel": "hmma_stress", "warp_count": 4}]
+    })"),
+                 ScenarioError);
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s", "gpu": {"sm_count": 4},
+      "kernels": [{"kernel": "hmma_stress"}]
+    })"),
+                 ScenarioError);
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s", "sim": {"policy": "gto"},
+      "kernels": [{"kernel": "hmma_stress"}]
+    })"),
+                 ScenarioError);
+}
+
+TEST(Scenario, RejectsInvalidValues)
+{
+    // Missing name.
+    EXPECT_THROW(
+        parse_scenario_text(R"({"kernels": [{"kernel": "hmma_stress"}]})"),
+        ScenarioError);
+    // Missing / empty kernels.
+    EXPECT_THROW(parse_scenario_text(R"({"name": "s"})"), ScenarioError);
+    EXPECT_THROW(parse_scenario_text(R"({"name": "s", "kernels": []})"),
+                 ScenarioError);
+    // Unknown kernel family.
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s", "kernels": [{"kernel": "dgemm"}]
+    })"),
+                 ScenarioError);
+    // Bad enum strings.
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s",
+      "kernels": [{"kernel": "wmma_shared", "mode": "fp64"}]
+    })"),
+                 ScenarioError);
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s",
+      "kernels": [{"kernel": "wmma_shared", "a_layout": "rowmajor"}]
+    })"),
+                 ScenarioError);
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s", "sim": {"scheduler": "fifo"},
+      "kernels": [{"kernel": "hmma_stress"}]
+    })"),
+                 ScenarioError);
+    // CTA tile divisibility.
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s",
+      "kernels": [{"kernel": "wmma_shared", "m": 96, "n": 64, "k": 16}]
+    })"),
+                 ScenarioError);
+    // Duplicate kernel names.
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s",
+      "kernels": [{"kernel": "hmma_stress", "name": "k"},
+                  {"kernel": "hmma_stress", "name": "k"}]
+    })"),
+                 ScenarioError);
+    // The SIMT baselines and hmma_stress are timing-only.
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s",
+      "kernels": [{"kernel": "sgemm_ffma", "functional": true}]
+    })"),
+                 ScenarioError);
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s",
+      "kernels": [{"kernel": "hgemm_hfma2", "functional": true}]
+    })"),
+                 ScenarioError);
+    // int8 needs the Turing preset; int4 has no registered family.
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s",
+      "kernels": [{"kernel": "hmma_stress", "mode": "int8"}]
+    })"),
+                 ScenarioError);
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s", "gpu": {"preset": "rtx2080"},
+      "kernels": [{"kernel": "hmma_stress", "mode": "int4"}]
+    })"),
+                 ScenarioError);
+}
+
+TEST(Scenario, RejectsBadExpectations)
+{
+    // Unknown kernel reference.
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s", "kernels": [{"kernel": "hmma_stress", "name": "k"}],
+      "expect": [{"metric": "kernel.other.cycles", "min": 1}]
+    })"),
+                 ScenarioError);
+    // verify.* without a functional kernel.
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s", "kernels": [{"kernel": "hmma_stress"}],
+      "expect": [{"metric": "verify.max_rel_err", "max": 0.1}]
+    })"),
+                 ScenarioError);
+    // kernel.<name>.verify_rel_err on a timing-only kernel would pass
+    // vacuously against the -1 sentinel; rejected at parse time.
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s",
+      "kernels": [{"kernel": "wmma_naive", "name": "g"}],
+      "expect": [{"metric": "kernel.g.verify_rel_err", "max": 0.01}]
+    })"),
+                 ScenarioError);
+    // No bound at all / contradictory bounds.
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s", "kernels": [{"kernel": "hmma_stress"}],
+      "expect": [{"metric": "total.cycles"}]
+    })"),
+                 ScenarioError);
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s", "kernels": [{"kernel": "hmma_stress"}],
+      "expect": [{"metric": "total.cycles", "equals": 5, "min": 1}]
+    })"),
+                 ScenarioError);
+    // Bad metric prefix.
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s", "kernels": [{"kernel": "hmma_stress"}],
+      "expect": [{"metric": "cycles", "min": 1}]
+    })"),
+                 ScenarioError);
+}
+
+// ---- Assertion evaluation on real runs ----------------------------------
+
+namespace {
+
+Scenario
+tiny_stress_scenario(const std::string& extra_expect)
+{
+    std::string text = R"({
+      "name": "tiny_stress",
+      "gpu": {"preset": "titan_v", "num_sms": 1},
+      "kernels": [
+        {"kernel": "hmma_stress", "name": "s", "ctas": 1,
+         "warps_per_cta": 1, "wmma_per_warp": 8}
+      ],
+      "expect": [)" + extra_expect + R"(]
+    })";
+    return parse_scenario_text(text);
+}
+
+}  // namespace
+
+TEST(ScenarioRun, AssertionsPass)
+{
+    ScenarioResult r = run_scenario(tiny_stress_scenario(
+        R"({"metric": "total.cycles", "min": 1, "max": 1000000},
+           {"metric": "kernel.s.hmma_instructions", "min": 1},
+           {"metric": "kernel.s.stream", "equals": 0})"));
+    EXPECT_TRUE(r.error.empty()) << r.error;
+    EXPECT_TRUE(r.passed);
+    ASSERT_EQ(r.assertions.size(), 3u);
+    for (const AssertionResult& a : r.assertions)
+        EXPECT_TRUE(a.passed) << a.metric;
+    EXPECT_GT(r.totals.cycles, 0u);
+    ASSERT_EQ(r.kernels.size(), 1u);
+    EXPECT_EQ(r.kernels[0].stats.cycles, r.totals.cycles);
+}
+
+TEST(ScenarioRun, AssertionFailureFailsScenario)
+{
+    ScenarioResult r = run_scenario(
+        tiny_stress_scenario(R"({"metric": "total.cycles", "max": 1})"));
+    EXPECT_TRUE(r.error.empty()) << r.error;
+    EXPECT_FALSE(r.passed);
+    ASSERT_EQ(r.assertions.size(), 1u);
+    EXPECT_FALSE(r.assertions[0].passed);
+    EXPECT_GT(r.assertions[0].value, 1.0);
+}
+
+TEST(ScenarioRun, FunctionalVerificationFeedsAssertions)
+{
+    Scenario sc = parse_scenario_text(R"({
+      "name": "verify64",
+      "gpu": {"preset": "titan_v", "num_sms": 1},
+      "kernels": [
+        {"kernel": "wmma_naive", "name": "g", "m": 16, "n": 16, "k": 16,
+         "warps_per_cta": 1, "functional": true}
+      ],
+      "expect": [{"metric": "verify.max_rel_err", "max": 0.01}]
+    })");
+    ScenarioResult r = run_scenario(sc);
+    EXPECT_TRUE(r.error.empty()) << r.error;
+    EXPECT_TRUE(r.passed);
+    EXPECT_GE(r.verify_max_rel_err, 0.0);
+    // Implicit tolerance assertion plus the explicit one.
+    EXPECT_EQ(r.assertions.size(), 2u);
+}
+
+TEST(ScenarioRun, MaxCyclesExceededReportsErrorInsteadOfAborting)
+{
+    Scenario sc = parse_scenario_text(R"({
+      "name": "runaway",
+      "gpu": {"preset": "titan_v", "num_sms": 1},
+      "sim": {"max_cycles": 10},
+      "kernels": [{"kernel": "hmma_stress", "name": "s", "ctas": 1,
+                   "warps_per_cta": 1, "wmma_per_warp": 64}]
+    })");
+    ScenarioResult r = run_scenario(sc);
+    EXPECT_FALSE(r.passed);
+    EXPECT_NE(r.error.find("max_cycles"), std::string::npos) << r.error;
+}
+
+TEST(ScenarioRun, OversubscribedKernelReportsErrorInsteadOfAborting)
+{
+    Scenario sc = parse_scenario_text(R"({
+      "name": "too_big",
+      "gpu": {"preset": "titan_v", "num_sms": 1, "registers_per_sm": 1024},
+      "kernels": [{"kernel": "hmma_stress", "warps_per_cta": 4}]
+    })");
+    ScenarioResult r = run_scenario(sc);
+    EXPECT_FALSE(r.passed);
+    EXPECT_NE(r.error.find("exceeds SM resources"), std::string::npos)
+        << r.error;
+}
+
+// ---- JsonEmitter round-trip ---------------------------------------------
+
+TEST(JsonEmitter, RoundTripsThroughDriverParser)
+{
+    const std::string path = "BENCH_emitter_roundtrip.json";
+    {
+        bench::JsonEmitter json("emitter_roundtrip");
+        json.add("plain", 1.25);
+        json.add("quote\"key", 2.0);
+        json.add("back\\slash\nnewline", -3.5);
+        json.add("not_finite", std::nan(""));
+    }
+    JsonValue doc = json_parse_file(path);
+    EXPECT_EQ(doc.find("bench")->as_string(), "emitter_roundtrip");
+    const JsonValue* metrics = doc.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_DOUBLE_EQ(metrics->find("plain")->as_number(), 1.25);
+    EXPECT_DOUBLE_EQ(metrics->find("quote\"key")->as_number(), 2.0);
+    EXPECT_DOUBLE_EQ(metrics->find("back\\slash\nnewline")->as_number(),
+                     -3.5);
+    EXPECT_TRUE(metrics->find("not_finite")->is_null());
+    // Atomic write: no temp file left behind.
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good());
+    std::remove(path.c_str());
+}

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare BENCH_*.json snapshots to baselines.
+
+The per-figure bench binaries emit machine-readable metric snapshots
+(``BENCH_<name>.json``, written by bench_util.h's JsonEmitter).  CI
+checks fresh snapshots against the committed baselines in
+``bench/baselines/`` and fails the job when a metric drifts beyond its
+tolerance class:
+
+* cycle/instruction counts (key contains ``cycles``, ``instructions``
+  or ``count``) must match **exactly** — the simulator is
+  deterministic, so any drift is a real modelling change;
+* wall-time metrics (key contains ``wall`` or ends with ``_ms``) get
+  a wide relative tolerance (default +/-25%) — machine noise;
+* everything else (TFLOPS, IPC, correlation statistics) gets a small
+  relative tolerance (default 1e-6) that absorbs cross-compiler
+  floating-point wiggle but nothing more.
+
+A deliberate metric change must update the baseline file in the same
+commit, which makes the perf trajectory reviewable in the diff.
+
+Usage:
+    tools/bench_compare.py <baseline_dir> <current_dir>
+        [--wall-tol 0.25] [--rel-tol 1e-6]
+
+Exit status: 0 when every baseline metric matches, 1 otherwise.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def classify(key):
+    """Return the tolerance class of a metric key."""
+    low = key.lower()
+    if "wall" in low or low.endswith("_ms"):
+        return "wall"
+    if "cycles" in low or "instructions" in low or "count" in low:
+        return "exact"
+    return "float"
+
+
+def within(baseline, current, tolerance):
+    if baseline == current:
+        return True
+    if baseline is None or current is None:
+        return False
+    scale = max(abs(baseline), abs(current))
+    return abs(baseline - current) <= tolerance * scale
+
+
+def compare_file(base_path, cur_path, wall_tol, rel_tol):
+    failures = []
+    with open(base_path) as f:
+        base = json.load(f)
+    if not os.path.exists(cur_path):
+        return ["missing snapshot {} (did the bench run?)".format(cur_path)]
+    with open(cur_path) as f:
+        cur = json.load(f)
+
+    base_metrics = base.get("metrics", {})
+    cur_metrics = cur.get("metrics", {})
+    for key, want in base_metrics.items():
+        if key not in cur_metrics:
+            failures.append("{}: metric '{}' disappeared".format(
+                os.path.basename(base_path), key))
+            continue
+        got = cur_metrics[key]
+        cls = classify(key)
+        if cls == "exact":
+            ok = want == got
+            bound = "exact"
+        elif cls == "wall":
+            ok = within(want, got, wall_tol)
+            bound = "+/-{:.0%}".format(wall_tol)
+        else:
+            ok = within(want, got, rel_tol)
+            bound = "rel {:g}".format(rel_tol)
+        if not ok:
+            failures.append(
+                "{}: '{}' drifted: baseline {} -> current {} ({})".format(
+                    os.path.basename(base_path), key, want, got, bound))
+    for key in cur_metrics:
+        if key not in base_metrics:
+            print("note: {} has new metric '{}' = {} (not in baseline)".
+                  format(os.path.basename(cur_path), key, cur_metrics[key]))
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="compare BENCH_*.json snapshots to baselines")
+    parser.add_argument("baseline_dir")
+    parser.add_argument("current_dir")
+    parser.add_argument("--wall-tol", type=float, default=0.25,
+                        help="relative tolerance for wall-time metrics")
+    parser.add_argument("--rel-tol", type=float, default=1e-6,
+                        help="relative tolerance for float metrics")
+    args = parser.parse_args()
+
+    baselines = sorted(
+        glob.glob(os.path.join(args.baseline_dir, "BENCH_*.json")))
+    if not baselines:
+        print("bench_compare: no baselines in", args.baseline_dir)
+        return 1
+
+    failures = []
+    for base_path in baselines:
+        cur_path = os.path.join(args.current_dir,
+                                os.path.basename(base_path))
+        failures += compare_file(base_path, cur_path, args.wall_tol,
+                                 args.rel_tol)
+        print("checked", os.path.basename(base_path))
+
+    if failures:
+        print("\nbench-regression gate FAILED:")
+        for failure in failures:
+            print("  ", failure)
+        print("(intended change? update bench/baselines/ in this commit)")
+        return 1
+    print("bench-regression gate passed ({} baseline files)".format(
+        len(baselines)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * simrunner: the scenario driver CLI.  Loads declarative JSON
+ * scenarios (files or directories), runs them on a thread-pool batch
+ * runner — one simulator instance per worker — and prints per-scenario
+ * tables plus an aggregate summary.  Optionally writes the full batch
+ * report as JSON.
+ *
+ * Usage:
+ *   simrunner [options] <scenario.json | dir>...
+ *     --jobs N       worker threads (default: hardware concurrency)
+ *     --report FILE  write the aggregate JSON report to FILE
+ *     --filter SUB   only run scenarios whose name contains SUB
+ *     --list         list matching scenarios and exit
+ *     --quiet        only print the summary and failures
+ *
+ * Exit status: 0 when every scenario passed, 1 otherwise.
+ *
+ *   ./build/simrunner scenarios/                 # the curated suite
+ *   ./build/simrunner --jobs 4 scenarios/ --report report.json
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/table.h"
+#include "driver/runner.h"
+#include "driver/scenario.h"
+#include "metrics/metrics.h"
+
+using namespace tcsim;
+
+namespace {
+
+struct Options
+{
+    int jobs = 0;  ///< 0 = hardware concurrency.
+    std::string report_path;
+    std::string filter;
+    bool list = false;
+    bool quiet = false;
+    std::vector<std::string> inputs;
+};
+
+void
+usage(std::FILE* to)
+{
+    std::fprintf(
+        to,
+        "usage: simrunner [options] <scenario.json | dir>...\n"
+        "  --jobs N       worker threads (default: hardware concurrency)\n"
+        "  --report FILE  write the aggregate JSON report to FILE\n"
+        "  --filter SUB   only run scenarios whose name contains SUB\n"
+        "  --list         list matching scenarios and exit\n"
+        "  --quiet        only print the summary and failures\n");
+}
+
+bool
+parse_args(int argc, char** argv, Options* opts)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "simrunner: %s needs a value\n",
+                             arg.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs" || arg == "-j") {
+            const char* v = value();
+            if (!v)
+                return false;
+            opts->jobs = std::atoi(v);
+            if (opts->jobs < 1) {
+                std::fprintf(stderr, "simrunner: bad --jobs value\n");
+                return false;
+            }
+        } else if (arg == "--report") {
+            const char* v = value();
+            if (!v)
+                return false;
+            opts->report_path = v;
+        } else if (arg == "--filter") {
+            const char* v = value();
+            if (!v)
+                return false;
+            opts->filter = v;
+        } else if (arg == "--list") {
+            opts->list = true;
+        } else if (arg == "--quiet" || arg == "-q") {
+            opts->quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            std::exit(0);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "simrunner: unknown option %s\n",
+                         arg.c_str());
+            return false;
+        } else {
+            opts->inputs.push_back(std::move(arg));
+        }
+    }
+    if (opts->inputs.empty()) {
+        usage(stderr);
+        return false;
+    }
+    return true;
+}
+
+/** Expand files/directories into a sorted scenario file list. */
+std::vector<std::string>
+collect_files(const std::vector<std::string>& inputs)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    for (const std::string& input : inputs) {
+        fs::path p(input);
+        if (fs::is_directory(p)) {
+            std::vector<std::string> dir_files;
+            for (const auto& entry : fs::directory_iterator(p))
+                if (entry.is_regular_file() &&
+                    entry.path().extension() == ".json")
+                    dir_files.push_back(entry.path().string());
+            std::sort(dir_files.begin(), dir_files.end());
+            files.insert(files.end(), dir_files.begin(), dir_files.end());
+        } else {
+            files.push_back(input);
+        }
+    }
+    return files;
+}
+
+void
+print_result(const driver::ScenarioResult& r, bool quiet)
+{
+    if (quiet && r.passed)
+        return;
+    std::printf("\n=== %s (%s) ===\n", r.name.c_str(),
+                r.passed ? "PASS" : "FAIL");
+    if (!r.error.empty()) {
+        std::printf("  error: %s\n", r.error.c_str());
+        return;
+    }
+    std::vector<double> flops;
+    std::vector<LaunchStats> kernels;
+    kernels.reserve(r.kernels.size());
+    for (const driver::KernelResult& k : r.kernels) {
+        flops.push_back(k.flops);
+        kernels.push_back(k.stats);
+    }
+    std::printf(
+        "%s",
+        metrics::launch_table(kernels, flops, r.clock_ghz).render().c_str());
+    std::printf("  total: %llu cycles, IPC %.2f, %.2f TFLOPS, %.1f ms "
+                "wall\n",
+                static_cast<unsigned long long>(r.totals.cycles),
+                r.totals.ipc, r.total_tflops, r.wall_ms);
+    for (const driver::AssertionResult& a : r.assertions)
+        std::printf("  %s %s = %.10g (want %s)\n", a.passed ? "ok " : "FAIL",
+                    a.metric.c_str(), a.value, a.detail.c_str());
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options opts;
+    if (!parse_args(argc, argv, &opts))
+        return 1;
+    if (opts.jobs == 0) {
+        unsigned hc = std::thread::hardware_concurrency();
+        opts.jobs = hc ? static_cast<int>(hc) : 1;
+    }
+
+    std::vector<driver::Scenario> scenarios;
+    int load_failures = 0;
+    for (const std::string& file : collect_files(opts.inputs)) {
+        try {
+            driver::Scenario sc = driver::load_scenario_file(file);
+            if (!opts.filter.empty() &&
+                sc.name.find(opts.filter) == std::string::npos)
+                continue;
+            scenarios.push_back(std::move(sc));
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "simrunner: %s\n", e.what());
+            ++load_failures;
+        }
+    }
+
+    if (opts.list) {
+        TextTable t;
+        t.set_header({"scenario", "kernels", "gpu", "file"});
+        for (const driver::Scenario& sc : scenarios)
+            t.add_row({sc.name, std::to_string(sc.kernels.size()),
+                       sc.gpu_preset, sc.file});
+        std::printf("%s", t.render().c_str());
+        return load_failures ? 1 : 0;
+    }
+
+    if (scenarios.empty()) {
+        std::fprintf(stderr, "simrunner: no scenarios to run\n");
+        return 1;
+    }
+
+    std::printf("running %zu scenario(s) on %d worker thread(s)\n",
+                scenarios.size(), opts.jobs);
+    driver::BatchReport report = driver::run_batch(scenarios, opts.jobs);
+
+    for (const driver::ScenarioResult& r : report.results)
+        print_result(r, opts.quiet);
+
+    int failed = report.failed() + load_failures;
+    std::printf("\n%zu scenario(s), %d failed, %.1f ms wall (%d jobs)\n",
+                report.results.size(), failed, report.wall_ms, report.jobs);
+
+    if (!opts.report_path.empty()) {
+        // A vanished report artifact must not look like a green run.
+        if (driver::write_report_file(report, opts.report_path))
+            std::printf("wrote %s\n", opts.report_path.c_str());
+        else
+            ++failed;
+    }
+
+    return failed == 0 ? 0 : 1;
+}
