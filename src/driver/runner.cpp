@@ -160,6 +160,8 @@ resolve_total_metric(const ScenarioResult& r, const std::string& field)
         return static_cast<double>(t.ticks);
     if (field == "skipped_cycles")
         return static_cast<double>(t.skipped_cycles);
+    if (field == "stall_cycles")
+        return static_cast<double>(t.stalls.total());
     throw ScenarioError("unknown total metric \"" + field + "\"");
 }
 
@@ -183,6 +185,8 @@ resolve_kernel_metric(const KernelResult& k, const std::string& field)
         return static_cast<double>(s.finish_cycle);
     if (field == "stream")
         return k.stream;
+    if (field == "stall_cycles")
+        return static_cast<double>(s.stalls.total());
     if (field == "verify_rel_err") {
         if (k.verify_rel_err < 0)
             throw ScenarioError("kernel \"" + k.name +
@@ -216,6 +220,19 @@ resolve_metric(const ScenarioResult& r, const std::string& path)
                 return resolve_kernel_metric(k, rest.substr(dot + 1));
         throw ScenarioError("metric \"" + path +
                             "\": no kernel result named \"" + name + "\"");
+    }
+    if (path.rfind("event.", 0) == 0) {
+        std::string rest = path.substr(6);
+        size_t dot = rest.rfind('.');
+        if (dot == std::string::npos || rest.substr(dot + 1) != "cycle")
+            throw ScenarioError("bad metric path \"" + path +
+                                "\" (want event.<name>.cycle)");
+        std::string name = rest.substr(0, dot);
+        for (const EventResult& e : r.events)
+            if (e.name == name)
+                return static_cast<double>(e.cycle);
+        throw ScenarioError("metric \"" + path + "\": event \"" + name +
+                            "\" never completed");
     }
     throw ScenarioError("bad metric path \"" + path + "\"");
 }
@@ -288,10 +305,43 @@ run_scenario(const Scenario& scenario)
         for (int id : ids)
             streams[id] = &gpu.create_stream();
 
-        for (PreparedKernel& pk : prepared)
-            streams[pk.spec->stream]->enqueue(pk.desc);
+        // Wire the dependency DAG: named events first use creates;
+        // "sync" joins every stream with earlier launches through
+        // per-join auto events.
+        std::map<std::string, Event*> events;
+        auto named_event = [&](const std::string& name) {
+            auto [it, fresh] = events.emplace(name, nullptr);
+            if (fresh)
+                it->second = &gpu.create_event(name);
+            return it->second;
+        };
+        std::map<int, int> launches_on;  ///< Enqueued launches per stream.
+        for (PreparedKernel& pk : prepared) {
+            const KernelSpec& spec = *pk.spec;
+            Stream* stream = streams[spec.stream];
+            if (spec.sync) {
+                for (auto& [sid, other] : streams) {
+                    if (other == stream || launches_on[sid] == 0)
+                        continue;
+                    Event& join = gpu.create_event(
+                        "sync:" + spec.name + ":s" + std::to_string(sid));
+                    other->record(join);
+                    stream->wait(join);
+                }
+            }
+            for (const std::string& e : spec.wait_events)
+                stream->wait(*named_event(e));
+            stream->enqueue(std::move(pk.desc));
+            if (!spec.record_event.empty())
+                stream->record(*named_event(spec.record_event));
+            ++launches_on[spec.stream];
+        }
 
         result.totals = gpu.run();
+
+        for (const auto& [name, ev] : events)
+            if (ev->complete())
+                result.events.push_back(EventResult{name, ev->cycle()});
 
         // Attribute per-kernel results (names are unique by schema).
         for (PreparedKernel& pk : prepared) {
@@ -426,6 +476,7 @@ report_to_json(const BatchReport& report)
         totals.set("tflops", r.total_tflops);
         totals.set("ticks", r.totals.ticks);
         totals.set("skipped_cycles", r.totals.skipped_cycles);
+        totals.set("stall_cycles", r.totals.stalls.total());
         jr.set("total", std::move(totals));
 
         JsonValue kernels = JsonValue::array();
@@ -441,11 +492,33 @@ report_to_json(const BatchReport& report)
             jk.set("hmma_instructions", k.stats.hmma_instructions);
             jk.set("ipc", k.stats.ipc);
             jk.set("tflops", k.tflops);
+            jk.set("stall_cycles", k.stats.stalls.total());
+            if (k.stats.stalls.total() > 0) {
+                JsonValue stalls = JsonValue::object();
+                for (size_t i = 0; i < kNumStallReasons; ++i) {
+                    StallReason reason = static_cast<StallReason>(i);
+                    if (k.stats.stalls[reason] > 0)
+                        stalls.set(stall_reason_name(reason),
+                                   k.stats.stalls[reason]);
+                }
+                jk.set("stalls", std::move(stalls));
+            }
             if (k.verify_rel_err >= 0)
                 jk.set("verify_rel_err", k.verify_rel_err);
             kernels.push_back(std::move(jk));
         }
         jr.set("kernels", std::move(kernels));
+
+        if (!r.events.empty()) {
+            JsonValue events = JsonValue::array();
+            for (const EventResult& e : r.events) {
+                JsonValue je = JsonValue::object();
+                je.set("name", e.name);
+                je.set("cycle", e.cycle);
+                events.push_back(std::move(je));
+            }
+            jr.set("events", std::move(events));
+        }
 
         JsonValue assertions = JsonValue::array();
         for (const AssertionResult& a : r.assertions) {

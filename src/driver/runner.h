@@ -45,6 +45,13 @@ struct KernelResult
     LaunchStats stats;
 };
 
+/** Completion stamp of one named scenario event. */
+struct EventResult
+{
+    std::string name;
+    uint64_t cycle = 0;
+};
+
 /** Outcome of one scenario. */
 struct ScenarioResult
 {
@@ -63,6 +70,8 @@ struct ScenarioResult
     /** Worst functional-verification error; negative = none ran. */
     double verify_max_rel_err = -1.0;
     std::vector<KernelResult> kernels;
+    /** Named events the scenario recorded, with completion cycles. */
+    std::vector<EventResult> events;
     std::vector<AssertionResult> assertions;
     double wall_ms = 0.0;
 };

@@ -105,22 +105,25 @@ parse_kernel(const JsonValue& obj, size_t index, const std::string& file)
     // Strict schema: only keys the selected family actually honours
     // are accepted, so an ignored "warps_per_cta" on wmma_shared (the
     // builder fixes 8 warps) is an error rather than a silent no-op.
+    // The synchronization keys apply to every family.
     where += " (" + spec.family + ")";
     if (info->family == KernelFamily::kWmmaNaive) {
         check_keys(obj,
                    {"kernel", "name", "stream", "m", "n", "k", "mode",
                     "a_layout", "b_layout", "cd_layout", "functional",
-                    "warps_per_cta"},
+                    "warps_per_cta", "wait_event", "record_event", "sync"},
                    where, file);
     } else if (info->is_gemm) {
         check_keys(obj,
                    {"kernel", "name", "stream", "m", "n", "k", "mode",
-                    "a_layout", "b_layout", "cd_layout", "functional"},
+                    "a_layout", "b_layout", "cd_layout", "functional",
+                    "wait_event", "record_event", "sync"},
                    where, file);
     } else {
         check_keys(obj,
                    {"kernel", "name", "stream", "mode", "ctas",
-                    "warps_per_cta", "wmma_per_warp", "accumulators"},
+                    "warps_per_cta", "wmma_per_warp", "accumulators",
+                    "wait_event", "record_event", "sync"},
                    where, file);
     }
 
@@ -143,6 +146,25 @@ parse_kernel(const JsonValue& obj, size_t index, const std::string& file)
     spec.ctas = get_int(obj, "ctas", 8, file);
     spec.wmma_per_warp = get_int(obj, "wmma_per_warp", 64, file);
     spec.accumulators = get_int(obj, "accumulators", 4, file);
+
+    if (const JsonValue* v = obj.find("record_event")) {
+        spec.record_event = v->as_string();
+        if (spec.record_event.empty())
+            fail(file, where + ": record_event must be a non-empty string");
+    }
+    if (const JsonValue* v = obj.find("wait_event")) {
+        if (v->is_array()) {
+            for (const JsonValue& e : v->as_array())
+                spec.wait_events.push_back(e.as_string());
+        } else {
+            spec.wait_events.push_back(v->as_string());
+        }
+        for (const std::string& e : spec.wait_events)
+            if (e.empty())
+                fail(file, where + ": wait_event names must be non-empty");
+    }
+    if (const JsonValue* v = obj.find("sync"))
+        spec.sync = v->as_bool();
 
     if (info->is_gemm) {
         if (spec.m <= 0 || spec.n <= 0 || spec.k <= 0)
@@ -190,9 +212,10 @@ parse_expectation(const JsonValue& obj, size_t index,
     e.metric = metric->as_string();
     if (e.metric.rfind("total.", 0) != 0 &&
         e.metric.rfind("kernel.", 0) != 0 &&
+        e.metric.rfind("event.", 0) != 0 &&
         e.metric.rfind("verify.", 0) != 0)
         fail(file, where + ": metric must start with \"total.\", "
-                           "\"kernel.\" or \"verify.\"");
+                           "\"kernel.\", \"event.\" or \"verify.\"");
     if (const JsonValue* v = obj.find("min")) {
         e.has_min = true;
         e.min = v->as_number();
@@ -372,6 +395,7 @@ parse_scenario(const JsonValue& doc, const std::string& file)
         fail(file, "scenario needs a non-empty \"kernels\" array");
     std::set<std::string> names;
     std::set<std::string> functional_names;
+    std::set<std::string> recorded_events;
     bool any_functional = false;
     const Arch arch = sc.gpu_preset == "rtx2080" ? Arch::kTuring : Arch::kVolta;
     for (size_t i = 0; i < kernels->as_array().size(); ++i) {
@@ -389,8 +413,21 @@ parse_scenario(const JsonValue& doc, const std::string& file)
         any_functional |= spec.functional;
         if (spec.functional)
             functional_names.insert(spec.name);
+        if (!spec.record_event.empty())
+            recorded_events.insert(spec.record_event);
         sc.kernels.push_back(std::move(spec));
     }
+    // Dependency sanity: a wait on an event no kernel records can
+    // never be satisfied — fail those at parse time.  Deeper problems
+    // (record/wait cycles, a record ordered behind its own wait) are
+    // left to the engine, which reports them as an EngineDeadlockError
+    // with the cycle-accurate wait graph.
+    for (size_t i = 0; i < sc.kernels.size(); ++i)
+        for (const std::string& e : sc.kernels[i].wait_events)
+            if (!recorded_events.count(e))
+                fail(file, "kernels[" + std::to_string(i) +
+                               "]: waits on event \"" + e +
+                               "\" which no kernel records");
 
     if (const JsonValue* v = doc.find("verify_tolerance")) {
         sc.verify_tolerance = v->as_number();
@@ -423,6 +460,19 @@ parse_scenario(const JsonValue& doc, const std::string& file)
             if (e.metric.rfind("verify.", 0) == 0 && !any_functional)
                 fail(file, "metric \"" + e.metric +
                                "\" needs a functional kernel");
+            if (e.metric.rfind("event.", 0) == 0) {
+                // event.<name>.cycle — the event must be recorded.
+                std::string rest = e.metric.substr(6);
+                size_t dot = rest.rfind('.');
+                if (dot == std::string::npos || dot == 0 ||
+                    rest.substr(dot + 1) != "cycle")
+                    fail(file, "bad metric path \"" + e.metric +
+                                   "\" (want event.<name>.cycle)");
+                if (!recorded_events.count(rest.substr(0, dot)))
+                    fail(file, "metric \"" + e.metric +
+                                   "\" references an event no kernel "
+                                   "records");
+            }
             sc.expect.push_back(std::move(e));
         }
     }

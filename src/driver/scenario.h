@@ -25,7 +25,10 @@
  *        "functional": false,
  *        "warps_per_cta": 8,                // wmma_naive only
  *        "ctas": 8, "wmma_per_warp": 64,    // hmma_stress only
- *        "accumulators": 4}],
+ *        "accumulators": 4,
+ *        "wait_event": "e0" | ["e0","e1"],  // gate on recorded events
+ *        "record_event": "e2",              // record after this launch
+ *        "sync": true}],                    // join all prior launches
  *     "verify_tolerance": 0.05,             // max rel err, functional runs
  *     "expect": [
  *       {"metric": "total.cycles", "max": 60000, "min": 1000},
@@ -34,8 +37,10 @@
  *   }
  *
  * Metric paths: total.{cycles,instructions,hmma_instructions,ipc,
- * tflops,ticks,skipped_cycles}, kernel.<name>.{cycles,instructions,
- * hmma_instructions,ipc,tflops,start_cycle,finish_cycle,stream}, and
+ * tflops,ticks,skipped_cycles,stall_cycles},
+ * kernel.<name>.{cycles,instructions,hmma_instructions,ipc,tflops,
+ * start_cycle,finish_cycle,stream,stall_cycles},
+ * event.<name>.cycle (completion stamp of a recorded event), and
  * verify.max_rel_err (functional kernels only).
  */
 
@@ -82,6 +87,15 @@ struct KernelSpec
     int ctas = 8;
     int wmma_per_warp = 64;
     int accumulators = 4;
+
+    // Synchronization (any family).
+    /** Events this launch's stream waits on before it may start. */
+    std::vector<std::string> wait_events;
+    /** Event recorded on the stream right after this launch. */
+    std::string record_event;
+    /** Join barrier: wait for every launch declared before this one
+     *  (across all streams) before starting. */
+    bool sync = false;
 };
 
 /** One expected-metric assertion. */

@@ -113,12 +113,19 @@ class SM
     /** CTAs currently resident. */
     int resident_ctas() const { return used_ctas_; }
 
-    /** Sum of sub-core issue-stall counters (index = StallReason). */
-    void add_stalls(uint64_t* out) const
+    /** Sum of sub-core issue-stall counters into @p out. */
+    void add_stalls(StallCounts* out) const
     {
         for (const auto& sc : subcores_)
-            for (int i = 0; i < 8; ++i)
-                out[i] += sc->stall_counts()[i];
+            out->add(sc->stall_counts());
+    }
+
+    /** @p grid is retiring: clear any sub-core stall-attribution
+     *  pointers into it before the GridRun is destroyed. */
+    void forget_grid(const GridRun* grid)
+    {
+        for (const auto& sc : subcores_)
+            sc->forget_grid(grid);
     }
 
   private:

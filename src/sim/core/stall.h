@@ -1,0 +1,86 @@
+#pragma once
+/**
+ * @file
+ * Issue-stall taxonomy shared by the sub-core model (which records
+ * stalls), GridRun (per-kernel attribution), and the engine's
+ * LaunchStats/EngineStats (reporting): the reason a warp scheduler
+ * issued nothing on a cycle, plus a typed counter array indexed by
+ * that reason.
+ */
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace tcsim {
+
+/** Why a sub-core's warp scheduler issued nothing this cycle (the
+ *  blocking reason of the last warp the scheduler considered). */
+enum class StallReason : uint8_t {
+    kNone,        ///< Not stalled (bookkeeping placeholder).
+    kEmpty,       ///< No resident warps at all.
+    kBarrier,     ///< Blocked at a CTA-wide BAR.SYNC.
+    kScoreboard,  ///< Register hazard (scoreboard busy).
+    kTcBusy,      ///< Tensor-core pair not ready for the next HMMA.
+    kMioFull,     ///< MIO (memory) queue full.
+    kAluBusy,     ///< FP32/INT path not ready.
+    kDrained,     ///< Warps exited, in-flight writes still draining.
+};
+
+constexpr size_t kNumStallReasons = 8;
+
+/** Stable lower-case name of @p r (report keys, diagnostics). */
+constexpr const char*
+stall_reason_name(StallReason r)
+{
+    switch (r) {
+      case StallReason::kNone: return "none";
+      case StallReason::kEmpty: return "empty";
+      case StallReason::kBarrier: return "barrier";
+      case StallReason::kScoreboard: return "scoreboard";
+      case StallReason::kTcBusy: return "tc_busy";
+      case StallReason::kMioFull: return "mio_full";
+      case StallReason::kAluBusy: return "alu_busy";
+      case StallReason::kDrained: return "drained";
+    }
+    return "?";
+}
+
+/**
+ * Per-reason stall-cycle counters: a typed std::array indexed by
+ * StallReason instead of the raw uint64_t[8] it replaces, so callers
+ * cannot mix up reason and index.
+ */
+struct StallCounts
+{
+    std::array<uint64_t, kNumStallReasons> counts{};
+
+    uint64_t& operator[](StallReason r)
+    {
+        return counts[static_cast<size_t>(r)];
+    }
+    uint64_t operator[](StallReason r) const
+    {
+        return counts[static_cast<size_t>(r)];
+    }
+
+    /** Named accessor: stall cycles attributed to @p r. */
+    uint64_t cycles(StallReason r) const { return (*this)[r]; }
+
+    /** Total stall cycles across every reason. */
+    uint64_t total() const
+    {
+        uint64_t t = 0;
+        for (uint64_t c : counts)
+            t += c;
+        return t;
+    }
+
+    void add(const StallCounts& other)
+    {
+        for (size_t i = 0; i < kNumStallReasons; ++i)
+            counts[i] += other.counts[i];
+    }
+};
+
+}  // namespace tcsim

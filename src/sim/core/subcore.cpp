@@ -110,10 +110,11 @@ bool
 SubCore::try_issue(uint64_t now)
 {
     if (active_.empty()) {
-        ++stalls_[static_cast<int>(StallReason::kEmpty)];
+        note_stall(StallReason::kEmpty, 1, nullptr);
         return false;
     }
     last_block_ = StallReason::kDrained;
+    last_block_grid_ = nullptr;
 
     if (policy_ == SchedulerPolicy::kGto) {
         // Greedy: stay with the last issued warp while it can issue.
@@ -128,7 +129,7 @@ SubCore::try_issue(uint64_t now)
             if (try_issue_warp(slot, now))
                 return true;
         }
-        ++stalls_[static_cast<int>(last_block_)];
+        note_stall(last_block_, 1, last_block_grid_);
         return false;
     }
 
@@ -142,7 +143,7 @@ SubCore::try_issue(uint64_t now)
                 return true;
             }
         }
-        ++stalls_[static_cast<int>(last_block_)];
+        note_stall(last_block_, 1, last_block_grid_);
         return false;
     }
 
@@ -171,7 +172,7 @@ SubCore::try_issue(uint64_t now)
             return true;
         }
     }
-    ++stalls_[static_cast<int>(last_block_)];
+    note_stall(last_block_, 1, last_block_grid_);
     return false;
 }
 
@@ -195,7 +196,16 @@ void
 SubCore::account_skipped(uint64_t cycles)
 {
     StallReason r = active_.empty() ? StallReason::kEmpty : last_block_;
-    stalls_[static_cast<int>(r)] += cycles;
+    note_stall(r, cycles, r == StallReason::kEmpty ? nullptr
+                                                   : last_block_grid_);
+}
+
+void
+SubCore::note_stall(StallReason r, uint64_t cycles, GridRun* grid)
+{
+    stalls_[r] += cycles;
+    if (grid != nullptr)
+        grid->stats.stalls[r] += cycles;
 }
 
 bool
@@ -203,8 +213,10 @@ SubCore::try_issue_warp(int slot, uint64_t now)
 {
     Warp& w = *warps_[slot];
     if (!w.issuable()) {
-        if (w.state == WarpState::kAtBarrier)
+        if (w.state == WarpState::kAtBarrier) {
             last_block_ = StallReason::kBarrier;
+            last_block_grid_ = w.grid;
+        }
         return false;
     }
 
@@ -212,6 +224,7 @@ SubCore::try_issue_warp(int slot, uint64_t now)
 
     if (!scoreboard_.can_issue(slot, inst)) {
         last_block_ = StallReason::kScoreboard;
+        last_block_grid_ = w.grid;
         return false;
     }
 
@@ -222,6 +235,7 @@ SubCore::try_issue_warp(int slot, uint64_t now)
         auto done = tc_.try_issue(slot, inst, now);
         if (!done) {
             last_block_ = StallReason::kTcBusy;
+            last_block_grid_ = w.grid;
             return false;
         }
         scoreboard_.issue(slot, inst);
@@ -235,6 +249,7 @@ SubCore::try_issue_warp(int slot, uint64_t now)
       case Opcode::kSts: {
         if (!sm_->mio_push(index_, slot, &inst, w.iter)) {
             last_block_ = StallReason::kMioFull;
+            last_block_grid_ = w.grid;
             return false;
         }
         scoreboard_.issue(slot, inst);
@@ -246,6 +261,7 @@ SubCore::try_issue_warp(int slot, uint64_t now)
       case Opcode::kHfma2: {
         if (!fp32_.ready(now)) {
             last_block_ = StallReason::kAluBusy;
+            last_block_grid_ = w.grid;
             return false;
         }
         scoreboard_.issue(slot, inst);
@@ -259,6 +275,7 @@ SubCore::try_issue_warp(int slot, uint64_t now)
       case Opcode::kCs2r: {
         if (!int_.ready(now)) {
             last_block_ = StallReason::kAluBusy;
+            last_block_grid_ = w.grid;
             return false;
         }
         scoreboard_.issue(slot, inst);

@@ -14,6 +14,7 @@
 #include "sim/core/exec_unit.h"
 #include "sim/core/scheduler.h"
 #include "sim/core/scoreboard.h"
+#include "sim/core/stall.h"
 #include "sim/core/warp.h"
 #include "sim/tc/tensor_core_unit.h"
 
@@ -62,17 +63,24 @@ class SubCore
     uint64_t issued() const { return issued_; }
 
     /** Issue-stall attribution (cycles no instruction issued, by the
-     *  blocking reason of the first resident warp). */
-    enum class StallReason : uint8_t {
-        kNone, kEmpty, kBarrier, kScoreboard, kTcBusy, kMioFull,
-        kAluBusy, kDrained,
-    };
-    const uint64_t* stall_counts() const { return stalls_; }
+     *  blocking reason of the last warp the scheduler considered).
+     *  The enum lives in sim/core/stall.h; the alias keeps the
+     *  historical SubCore::StallReason spelling working. */
+    using StallReason = tcsim::StallReason;
+    const StallCounts& stall_counts() const { return stalls_; }
 
     const TensorCoreUnit& tensor_cores() const { return tc_; }
 
     /** Release a warp blocked at the CTA barrier. */
     void release_barrier(int warp_slot);
+
+    /** @p grid is retiring: drop the stall-attribution pointer if it
+     *  references it (the GridRun is about to be destroyed). */
+    void forget_grid(const GridRun* grid)
+    {
+        if (last_block_grid_ == grid)
+            last_block_grid_ = nullptr;
+    }
 
   private:
     /** Try to issue the next instruction of one warp. */
@@ -84,6 +92,11 @@ class SubCore
 
     /** Retire a warp whose EXIT has drained. */
     void maybe_finish_warp(int slot);
+
+    /** Count @p cycles of issue stall for @p r, attributed both to
+     *  this sub-core's totals and (when known) to the grid whose warp
+     *  blocked the scheduler. */
+    void note_stall(StallReason r, uint64_t cycles, GridRun* grid);
 
     struct InFlight
     {
@@ -109,8 +122,10 @@ class SubCore
     int last_issued_ = -1;
     int lrr_pos_ = 0;
     uint64_t issued_ = 0;
-    uint64_t stalls_[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    StallCounts stalls_;
     StallReason last_block_ = StallReason::kNone;
+    /** Grid of the warp that set last_block_ (stall attribution). */
+    GridRun* last_block_grid_ = nullptr;
 };
 
 }  // namespace tcsim

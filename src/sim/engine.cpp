@@ -15,22 +15,146 @@ ExecutionEngine::ExecutionEngine(const GpuConfig& cfg, const SimOptions& opts,
 
 ExecutionEngine::~ExecutionEngine() = default;
 
+uint64_t
+ExecutionEngine::now() const
+{
+    return run_ ? run_->now : 0;
+}
+
+bool
+ExecutionEngine::prepare(const std::vector<Stream*>& streams)
+{
+    entry_streams_ = streams;
+    if (!run_) {
+        bool any_work = false;
+        for (Stream* s : streams)
+            any_work |= !s->ops_.empty();
+        if (!any_work)
+            return false;
+        run_ = std::make_unique<RunState>();
+        mem_->reset_timing();
+    }
+    absorb_streams(streams);
+    validate_and_size();
+    return true;
+}
+
 void
+ExecutionEngine::absorb_streams(const std::vector<Stream*>& streams)
+{
+    // Streams created since the run began join at the end (their
+    // StreamRun order follows the caller's stream order on first
+    // sight).
+    for (Stream* s : streams) {
+        bool known = false;
+        for (const StreamRun& sr : run_->stream_runs)
+            known |= sr.stream == s;
+        if (!known)
+            run_->stream_runs.push_back(StreamRun{s, nullptr});
+    }
+}
+
+void
+ExecutionEngine::validate_and_size()
+{
+    // Validate every queued launch and count the CTAs pending: a run
+    // whose grids total fewer CTAs than the chip has SMs never
+    // occupies the excess SMs, so don't construct (or tick) them.
+    // Re-run on every advance entry and after host callbacks fire, so
+    // work enqueued mid-run is checked and sized too.
+    uint64_t total_ctas = 0;
+    for (const StreamRun& sr : run_->stream_runs) {
+        for (const Stream::Op& op : sr.stream->ops_) {
+            if (op.kind != Stream::OpKind::kLaunch)
+                continue;
+            const KernelDesc& k = op.kernel;
+            TCSIM_CHECK(k.grid_ctas > 0);
+            TCSIM_CHECK(k.trace != nullptr);
+            SM::check_fits(cfg_, k);
+            total_ctas += static_cast<uint64_t>(k.grid_ctas);
+        }
+    }
+    for (const auto& l : run_->resident)
+        total_ctas += static_cast<uint64_t>(l->desc.grid_ctas);
+
+    // Grow the SM array when new work justifies it; SMs appended
+    // mid-run behave exactly like SMs that had been idle all along, so
+    // timing is independent of when (or whether) the excess SMs exist.
+    size_t want = static_cast<size_t>(std::min<uint64_t>(
+        cfg_.num_sms, std::max<uint64_t>(1, total_ctas)));
+    while (run_->sms.size() < want) {
+        run_->sms.push_back(std::make_unique<SM>(
+            static_cast<int>(run_->sms.size()), cfg_, mem_, executors_,
+            opts_.scheduler));
+    }
+}
+
+bool
 ExecutionEngine::promote_streams(uint64_t now)
 {
-    for (StreamRun& sr : stream_runs_) {
-        if (sr.live != nullptr || sr.stream->queue_.empty())
-            continue;
-        auto l = std::make_unique<Launch>();
-        l->desc = sr.stream->pop();
-        l->grid.kernel = &l->desc;
-        l->grid.grid_id = next_grid_id_++;
-        l->grid.stream_id = sr.stream->id();
-        l->grid.start_cycle = now;
-        l->mem_base = mem_->stats();
-        sr.live = l.get();
-        resident_.push_back(std::move(l));
+    RunState& rs = *run_;
+    bool any_op = false;
+    // Fixpoint: a record completed on one stream can unblock a wait on
+    // another in the same tick, so rescan until nothing changes.
+    for (bool progress = true; progress;) {
+        progress = false;
+        for (StreamRun& sr : rs.stream_runs) {
+            while (sr.live == nullptr && !sr.stream->ops_.empty()) {
+                Stream::Op& front = sr.stream->ops_.front();
+                if (front.kind == Stream::OpKind::kWaitEvent) {
+                    // Dependency gate: not promotable past this point
+                    // until the event has been recorded and retired.
+                    if (!front.wait->complete())
+                        break;
+                    sr.stream->ops_.pop_front();
+                    any_op = progress = true;
+                    continue;
+                }
+                if (front.kind == Stream::OpKind::kRecordEvent) {
+                    // All prior work on this stream has retired:
+                    // complete the event, stamped with this cycle.
+                    Event* ev = front.record;
+                    sr.stream->ops_.pop_front();
+                    ev->complete_ = true;
+                    ev->cycle_ = now;
+                    any_op = progress = true;
+                    continue;
+                }
+                if (front.kind == Stream::OpKind::kCallback) {
+                    // Pop before invoking: the callback may enqueue
+                    // more work onto this very stream.  step() re-runs
+                    // validation/SM sizing after the promote pass.
+                    auto fn = std::move(front.callback);
+                    sr.stream->ops_.pop_front();
+                    if (fn)
+                        fn(now);
+                    callbacks_fired_ = true;
+                    any_op = progress = true;
+                    continue;
+                }
+                // Validate at promotion too: launches injected by a
+                // host callback never pass through prepare(), and an
+                // unfittable grid must die with the check_fits
+                // diagnostic, not a confusing engine-stall panic.
+                TCSIM_CHECK(front.kernel.grid_ctas > 0);
+                TCSIM_CHECK(front.kernel.trace != nullptr);
+                SM::check_fits(cfg_, front.kernel);
+                Stream::Op op = sr.stream->pop();
+                auto l = std::make_unique<Launch>();
+                l->desc = std::move(op.kernel);
+                l->grid.kernel = &l->desc;
+                l->grid.grid_id = rs.next_grid_id++;
+                l->grid.stream_id = sr.stream->id();
+                l->grid.start_cycle = now;
+                l->mem_base = mem_->stats();
+                sr.live = l.get();
+                rs.resident.push_back(std::move(l));
+                progress = true;
+                break;
+            }
+        }
     }
+    return any_op;
 }
 
 bool
@@ -38,7 +162,7 @@ ExecutionEngine::dispatch_to(SM* sm)
 {
     // Resident grids compete in launch order; one CTA per SM per cycle
     // (hardware rasterizer pacing, matching the legacy distribution).
-    for (auto& l : resident_) {
+    for (auto& l : run_->resident) {
         if (l->grid.pending() && sm->can_accept(*l->grid.kernel)) {
             sm->launch_cta(&l->grid, l->grid.next_cta++);
             return true;
@@ -63,147 +187,300 @@ ExecutionEngine::finalize(Launch& l) const
                          : 0.0;
     s.mem = mem_->stats().since(l.mem_base);
     s.macro_latency = std::move(l.grid.stats.macro_latency);
+    s.stalls = l.grid.stats.stalls;
     return s;
+}
+
+bool
+ExecutionEngine::drained() const
+{
+    for (const StreamRun& sr : run_->stream_runs)
+        if (sr.live != nullptr || !sr.stream->empty())
+            return false;
+    return run_->resident.empty();
+}
+
+void
+ExecutionEngine::report_deadlock()
+{
+    RunState& rs = *run_;
+    // Chip idle, streams blocked: every remaining front op is a wait
+    // on an event that did not complete.  Report the wait graph.
+    std::string graph = detail::format(
+        "deadlock detected at cycle %llu: no stream can make progress\n",
+        static_cast<unsigned long long>(rs.now));
+    for (const StreamRun& sr : rs.stream_runs) {
+        if (sr.stream->ops_.empty())
+            continue;
+        const Stream::Op& front = sr.stream->ops_.front();
+        if (front.kind != Stream::OpKind::kWaitEvent)
+            continue;
+        const Event* ev = front.wait;
+        // Every stream still holding a record for this event (a
+        // re-recorded event may have several).
+        std::vector<int> recorders;
+        for (const StreamRun& other : rs.stream_runs) {
+            for (const Stream::Op& op : other.stream->ops_) {
+                if (op.kind == Stream::OpKind::kRecordEvent &&
+                    op.record == ev) {
+                    recorders.push_back(other.stream->id());
+                    break;
+                }
+            }
+        }
+        std::string why;
+        if (!recorders.empty()) {
+            why = recorders.size() == 1 ? "record queued on stream"
+                                        : "records queued on streams";
+            for (size_t r = 0; r < recorders.size(); ++r)
+                why += (r == 0 ? " " : ", ") + std::to_string(recorders[r]);
+            why += ", behind work that cannot start";
+        } else if (ev->recorded()) {
+            why = "its record was dropped before the engine reached it";
+        } else {
+            why = "never recorded";
+        }
+        graph += detail::format(
+            "  stream %d: waiting on event \"%s\" (%s), %zu launch(es) "
+            "gated behind it\n",
+            sr.stream->id(), ev->name().c_str(), why.c_str(),
+            sr.stream->depth());
+    }
+    throw EngineDeadlockError(graph);
+}
+
+ExecutionEngine::StepResult
+ExecutionEngine::step()
+{
+    RunState& rs = *run_;
+    uint64_t now = rs.now;
+    bool ops = promote_streams(now);
+    if (callbacks_fired_) {
+        // A host callback may have enqueued work — possibly onto a
+        // stream created inside the callback.  Re-fetch the live
+        // stream set, validate the new launches, and grow the SM
+        // array before this tick dispatches anything.
+        callbacks_fired_ = false;
+        absorb_streams(stream_source_ ? stream_source_() : entry_streams_);
+        validate_and_size();
+    }
+
+    bool dispatch_pending = false;
+    for (const auto& l : rs.resident)
+        if (l->grid.pending())
+            dispatch_pending = true;
+
+    // Tick: every SM while CTAs await dispatch (any SM may accept
+    // one), otherwise only the busy ones.
+    bool launched = false;
+    for (auto& sm : rs.sms) {
+        if (dispatch_pending) {
+            launched |= dispatch_to(sm.get());
+            sm->cycle(now);
+        } else if (sm->busy()) {
+            sm->cycle(now);
+        }
+    }
+    ++rs.stats.ticks;
+
+    // Retire launches whose last CTA drained this tick.
+    bool retired = false;
+    for (size_t i = 0; i < rs.resident.size();) {
+        if (!rs.resident[i]->grid.done()) {
+            ++i;
+            continue;
+        }
+        Launch& l = *rs.resident[i];
+        rs.last_finish = std::max(rs.last_finish, l.grid.finish_cycle);
+        rs.stats.kernels.push_back(finalize(l));
+        for (StreamRun& sr : rs.stream_runs)
+            if (sr.live == &l)
+                sr.live = nullptr;
+        for (auto& sm : rs.sms)
+            sm->forget_grid(&l.grid);
+        rs.resident.erase(rs.resident.begin() + static_cast<ptrdiff_t>(i));
+        retired = true;
+    }
+    if (drained())
+        return StepResult::kDrained;
+
+    // Next tick: the successor of a retired launch (or of a processed
+    // record/wait/callback) becomes dispatchable next cycle; otherwise
+    // jump to the next event when the whole chip is provably stalled.
+    uint64_t next = now + 1;
+    if (!launched && !retired && !ops) {
+        uint64_t e = UINT64_MAX;
+        for (const auto& sm : rs.sms)
+            e = std::min(e, sm->next_event(now));
+        if (e == UINT64_MAX) {
+            if (!rs.resident.empty()) {
+                // Work is on the chip but no SM can ever advance: an
+                // internal modelling bug, not a user-constructed
+                // dependency cycle.
+                size_t unfinished = rs.resident.size();
+                for (const StreamRun& sr : rs.stream_runs)
+                    unfinished += sr.stream->depth();
+                panic("engine stalled at cycle %llu with %zu kernels "
+                      "unfinished (first: %s)",
+                      static_cast<unsigned long long>(rs.now), unfinished,
+                      rs.resident[0]->desc.name.c_str());
+            }
+            // Only blocked waits remain; the clock stays put so the
+            // host may record the missing event and resume.
+            return StepResult::kBlocked;
+        }
+        if (e > now + 1) {
+            uint64_t gap = e - (now + 1);
+            for (auto& sm : rs.sms)
+                if (sm->busy())
+                    sm->account_skipped(gap);
+            rs.stats.skipped_cycles += gap;
+        }
+        next = e;
+    }
+    rs.now = next;
+    if (rs.now > opts_.max_cycles) {
+        // A user-settable limit, not an internal invariant: throw so
+        // embedders (the scenario batch runner) can report one runaway
+        // simulation without aborting the process.
+        size_t unfinished = rs.resident.size();
+        for (const StreamRun& sr : rs.stream_runs)
+            unfinished += sr.stream->depth();
+        throw std::runtime_error(detail::format(
+            "engine exceeded max_cycles=%llu (%zu kernels unfinished, "
+            "first: %s)",
+            static_cast<unsigned long long>(opts_.max_cycles), unfinished,
+            rs.resident.empty() ? "<none resident>"
+                                : rs.resident[0]->desc.name.c_str()));
+    }
+    return StepResult::kRunning;
+}
+
+void
+ExecutionEngine::fill_totals(EngineStats* out) const
+{
+    out->cycles = out->kernels.empty() ? 0 : run_->last_finish + 1;
+    out->instructions = 0;
+    out->hmma_instructions = 0;
+    for (const LaunchStats& k : out->kernels) {
+        out->instructions += k.instructions;
+        out->hmma_instructions += k.hmma_instructions;
+    }
+    out->ipc = out->cycles > 0 ? static_cast<double>(out->instructions) /
+                                     static_cast<double>(out->cycles)
+                               : 0.0;
+    out->mem = mem_->stats();
+    out->stalls = StallCounts{};
+    for (const auto& sm : run_->sms)
+        sm->add_stalls(&out->stalls);
+    out->current_cycle = run_->now;
+}
+
+EngineStats
+ExecutionEngine::snapshot() const
+{
+    EngineStats out = run_->stats;
+    fill_totals(&out);
+    return out;
+}
+
+EngineStats
+ExecutionEngine::finish()
+{
+    EngineStats out = std::move(run_->stats);
+    fill_totals(&out);
+    run_.reset();
+    return out;
+}
+
+template <typename DoneFn>
+EngineStats
+ExecutionEngine::advance(DoneFn done, bool pause_on_block)
+{
+    while (!done()) {
+        switch (step()) {
+          case StepResult::kDrained:
+            return finish();
+          case StepResult::kBlocked:
+            if (!pause_on_block)
+                report_deadlock();
+            return snapshot();
+          case StepResult::kRunning:
+            break;
+        }
+    }
+    return snapshot();
 }
 
 EngineStats
 ExecutionEngine::run(const std::vector<Stream*>& streams)
 {
-    EngineStats out;
+    if (!prepare(streams))
+        return EngineStats{};
+    return advance([] { return false; }, /*pause_on_block=*/false);
+}
 
-    // Validate every queued kernel and bound the useful SM count: a
-    // run whose grids total fewer CTAs than the chip has SMs never
-    // occupies the excess SMs, so don't construct (or tick) them.
-    uint64_t total_ctas = 0;
-    size_t total_kernels = 0;
-    for (Stream* s : streams) {
-        for (const KernelDesc& k : s->queue_) {
-            TCSIM_CHECK(k.grid_ctas > 0);
-            TCSIM_CHECK(k.trace != nullptr);
-            SM::check_fits(cfg_, k);
-            total_ctas += static_cast<uint64_t>(k.grid_ctas);
-            ++total_kernels;
-        }
+EngineStats
+ExecutionEngine::run_until(const std::vector<Stream*>& streams,
+                           uint64_t cycle)
+{
+    if (!prepare(streams))
+        return EngineStats{};
+    // A bounded advance pauses on host-resolvable waits instead of
+    // throwing: the caller may record the missing event and resume.
+    return advance([&] { return run_->now > cycle; },
+                   /*pause_on_block=*/true);
+}
+
+EngineStats
+ExecutionEngine::synchronize(const std::vector<Stream*>& streams,
+                             const Stream& stream)
+{
+    // Synchronizing an idle stream is a no-op (the cudaStreamSynchronize
+    // pattern): return without beginning a run — prepare() would create
+    // RunState and reset memory timing for nothing.
+    bool idle = stream.ops_.empty();
+    if (idle && run_) {
+        for (const StreamRun& sr : run_->stream_runs)
+            if (sr.stream == &stream)
+                idle = sr.live == nullptr;
     }
-    if (total_kernels == 0)
-        return out;
+    if (idle)
+        return active() ? snapshot() : EngineStats{};
+    if (!prepare(streams))
+        return EngineStats{};
+    return advance(
+        [&] {
+            for (const StreamRun& sr : run_->stream_runs)
+                if (sr.stream == &stream)
+                    return sr.live == nullptr && sr.stream->empty();
+            return true;  // Unknown stream: trivially drained.
+        },
+        /*pause_on_block=*/false);
+}
 
-    mem_->reset_timing();
-
-    int num_sms = static_cast<int>(
-        std::min<uint64_t>(cfg_.num_sms, std::max<uint64_t>(1, total_ctas)));
-    sms_.clear();
-    sms_.reserve(static_cast<size_t>(num_sms));
-    for (int i = 0; i < num_sms; ++i) {
-        sms_.push_back(std::make_unique<SM>(i, cfg_, mem_, executors_,
-                                            opts_.scheduler));
+EngineStats
+ExecutionEngine::synchronize(const std::vector<Stream*>& streams,
+                             const Event& event)
+{
+    if (event.complete())
+        return active() ? snapshot() : EngineStats{};
+    if (!prepare(streams)) {
+        throw EngineDeadlockError(detail::format(
+            "synchronize: event \"%s\" has not completed and no work is "
+            "queued that could complete it",
+            event.name().c_str()));
     }
-
-    stream_runs_.clear();
-    for (Stream* s : streams)
-        stream_runs_.push_back(StreamRun{s, nullptr});
-    resident_.clear();
-    next_grid_id_ = 0;
-
-    uint64_t now = 0;
-    uint64_t last_finish = 0;
-    size_t completed = 0;
-    out.kernels.reserve(total_kernels);
-
-    while (completed < total_kernels) {
-        promote_streams(now);
-
-        bool dispatch_pending = false;
-        for (const auto& l : resident_)
-            if (l->grid.pending())
-                dispatch_pending = true;
-
-        // Tick: every SM while CTAs await dispatch (any SM may accept
-        // one), otherwise only the busy ones.
-        bool launched = false;
-        for (auto& sm : sms_) {
-            if (dispatch_pending) {
-                launched |= dispatch_to(sm.get());
-                sm->cycle(now);
-            } else if (sm->busy()) {
-                sm->cycle(now);
-            }
-        }
-        ++out.ticks;
-
-        // Retire launches whose last CTA drained this tick.
-        bool retired = false;
-        for (size_t i = 0; i < resident_.size();) {
-            if (!resident_[i]->grid.done()) {
-                ++i;
-                continue;
-            }
-            Launch& l = *resident_[i];
-            last_finish = std::max(last_finish, l.grid.finish_cycle);
-            out.kernels.push_back(finalize(l));
-            for (StreamRun& sr : stream_runs_)
-                if (sr.live == &l)
-                    sr.live = nullptr;
-            resident_.erase(resident_.begin() +
-                            static_cast<ptrdiff_t>(i));
-            ++completed;
-            retired = true;
-        }
-        if (completed == total_kernels)
-            break;
-
-        // Next tick: the successor of a retired launch becomes
-        // dispatchable next cycle; otherwise jump to the next event
-        // when the whole chip is provably stalled.
-        uint64_t next = now + 1;
-        if (!launched && !retired) {
-            uint64_t e = UINT64_MAX;
-            for (const auto& sm : sms_)
-                e = std::min(e, sm->next_event(now));
-            if (e == UINT64_MAX) {
-                panic("engine stalled at cycle %llu with %zu kernels "
-                      "unfinished (first: %s)",
-                      static_cast<unsigned long long>(now),
-                      total_kernels - completed,
-                      resident_.empty() ? "<none resident>"
-                                        : resident_[0]->desc.name.c_str());
-            }
-            if (e > now + 1) {
-                uint64_t gap = e - (now + 1);
-                for (auto& sm : sms_)
-                    if (sm->busy())
-                        sm->account_skipped(gap);
-                out.skipped_cycles += gap;
-            }
-            next = e;
-        }
-        now = next;
-        if (now > opts_.max_cycles) {
-            // A user-settable limit, not an internal invariant: throw
-            // so embedders (the scenario batch runner) can report one
-            // runaway simulation without aborting the process.
-            throw std::runtime_error(detail::format(
-                "engine exceeded max_cycles=%llu (%zu kernels "
-                "unfinished, first: %s)",
-                static_cast<unsigned long long>(opts_.max_cycles),
-                total_kernels - completed,
-                resident_.empty() ? "<none resident>"
-                                  : resident_[0]->desc.name.c_str()));
-        }
+    EngineStats out = advance([&] { return event.complete(); },
+                              /*pause_on_block=*/false);
+    if (!event.complete()) {
+        throw EngineDeadlockError(detail::format(
+            "synchronize: every stream drained at cycle %llu but event "
+            "\"%s\" never completed (%s)",
+            static_cast<unsigned long long>(out.current_cycle),
+            event.name().c_str(),
+            event.recorded() ? "its record was dropped" : "never recorded"));
     }
-
-    out.cycles = last_finish + 1;
-    for (const LaunchStats& k : out.kernels) {
-        out.instructions += k.instructions;
-        out.hmma_instructions += k.hmma_instructions;
-    }
-    out.ipc = out.cycles > 0 ? static_cast<double>(out.instructions) /
-                                   static_cast<double>(out.cycles)
-                             : 0.0;
-    out.mem = mem_->stats();
-    for (const auto& sm : sms_)
-        sm->add_stalls(out.stalls);
-    sms_.clear();
     return out;
 }
 

@@ -3,21 +3,36 @@
  * @file
  * Stream-aware multi-kernel execution engine.
  *
- * Replaces the lock-step one-kernel-at-a-time loop: streams hold
- * ordered launch queues, a chip-level dispatcher assigns CTAs from all
- * resident grids to SMs (concurrent kernel execution when occupancy
- * allows), and the main loop is event-driven — idle SMs are not
- * ticked, and when every SM is provably stalled the clock jumps to the
- * next writeback / MIO / execution-unit event.
+ * Streams hold ordered operation queues (launches, event records,
+ * event waits, host callbacks), a chip-level dispatcher assigns CTAs
+ * from all resident grids to SMs (concurrent kernel execution when
+ * occupancy allows), and the main loop is event-driven — idle SMs are
+ * not ticked, and when every SM is provably stalled the clock jumps to
+ * the next writeback / MIO / execution-unit event.
  *
- * Memory timing (caches, DRAM queues) persists across launches within
- * one engine run; Gpu::launch() wraps a single-kernel run and so keeps
- * the old cold-cache per-launch semantics.
+ * The engine is a persistent object (Gpu owns one): per-run state
+ * lives in an explicit RunState, so a run can be advanced
+ * incrementally — run_until() pauses at a cycle bound, synchronize()
+ * drains one stream or waits for one event — and resumed later, with
+ * new work enqueued between advances.  A run begins when any advance
+ * entry point finds queued work and no active run, and ends when every
+ * stream has drained; memory timing (caches, DRAM queues) persists
+ * across launches within one run and resets at run boundaries.
+ * Gpu::launch() wraps a single-kernel run on a private engine and so
+ * keeps the old cold-cache per-launch semantics.
+ *
+ * Dependency gating: a launch queued behind a Stream::wait() is not
+ * promotable until the awaited event has been recorded and the
+ * recording stream's earlier work has retired.  When no stream can
+ * make progress and the chip is idle, the engine throws
+ * EngineDeadlockError with the cycle-accurate wait graph.
  */
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -25,6 +40,8 @@
 #include "common/stats.h"
 #include "sim/core/scheduler.h"
 #include "sim/core/sm.h"
+#include "sim/core/stall.h"
+#include "sim/event.h"
 #include "sim/grid_run.h"
 #include "sim/kernel_desc.h"
 #include "sim/mem/memory_system.h"
@@ -51,10 +68,11 @@ struct LaunchStats
     MemStats mem;
     /** Latency distributions per WMMA macro class (Figs 15/16). */
     std::map<MacroClass, Histogram> macro_latency;
-    /** Issue-stall attribution summed over sub-cores
-     *  (index = SubCore::StallReason).  Chip-wide: only filled for
-     *  single-kernel runs via Gpu::launch(). */
-    uint64_t stalls[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    /** Issue-stall cycles attributed to this kernel's warps (the warp
+     *  blocking a sub-core scheduler belonged to this launch), indexed
+     *  by SubCore::StallReason.  Gpu::launch() overwrites this with
+     *  the chip-wide attribution (legacy single-kernel semantics). */
+    StallCounts stalls;
 
     /** Achieved TFLOPS for a GEMM of the given FLOP count. */
     double tflops(double flops, double clock_ghz) const
@@ -66,10 +84,12 @@ struct LaunchStats
     }
 };
 
-/** Aggregate result of one engine run (all streams drained). */
+/** Aggregate statistics of one engine run (or a paused snapshot of
+ *  one: run_until()/synchronize() return progress so far). */
 struct EngineStats
 {
-    /** Cycle the last kernel drained, plus one (total run length). */
+    /** Cycle the last retired kernel drained, plus one (total length
+     *  of the completed work; 0 when nothing retired yet). */
     uint64_t cycles = 0;
     uint64_t instructions = 0;
     uint64_t hmma_instructions = 0;
@@ -79,13 +99,19 @@ struct EngineStats
     MemStats mem;
     /** Per-kernel statistics, in completion order. */
     std::vector<LaunchStats> kernels;
-    /** Issue-stall attribution summed over all SMs. */
-    uint64_t stalls[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    /** Issue-stall attribution summed over all SMs, indexed by
+     *  SubCore::StallReason. */
+    StallCounts stalls;
 
     /** Event-driven loop telemetry: ticks actually simulated and
      *  cycles skipped because every SM was provably stalled. */
     uint64_t ticks = 0;
     uint64_t skipped_cycles = 0;
+
+    /** Engine clock when this result was produced.  For a paused run
+     *  (run_until/synchronize) this is the next cycle the engine will
+     *  simulate on resume. */
+    uint64_t current_cycle = 0;
 
     double tflops(double flops, double clock_ghz) const
     {
@@ -105,10 +131,22 @@ struct SimOptions
     uint64_t max_cycles = 2'000'000'000;
 };
 
+/** Thrown when no stream can make progress: every unfinished stream
+ *  is blocked on an event that will never complete.  The message is
+ *  the cycle-accurate wait graph. */
+class EngineDeadlockError : public std::runtime_error
+{
+  public:
+    explicit EngineDeadlockError(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
 /**
- * One engine run: owns the per-run SM timing state and drains a set of
- * streams.  Construct fresh per run (Gpu does this); functional memory
- * and the executor cache live outside and persist.
+ * The persistent execution engine: owns the per-run SM timing state
+ * (inside RunState) and drains stream operation queues.  Functional
+ * memory and the executor cache live outside and persist across runs.
  */
 class ExecutionEngine
 {
@@ -117,8 +155,48 @@ class ExecutionEngine
                     MemorySystem* mem, ExecutorCache* executors);
     ~ExecutionEngine();
 
-    /** Run every queued launch of @p streams to completion. */
+    ExecutionEngine(const ExecutionEngine&) = delete;
+    ExecutionEngine& operator=(const ExecutionEngine&) = delete;
+
+    /** Run every queued operation of @p streams to completion
+     *  (resumes the active run first when one is paused). */
     EngineStats run(const std::vector<Stream*>& streams);
+
+    /** Advance the active (or newly begun) run while the engine clock
+     *  is <= @p cycle.  Returns progress so far; the final advance
+     *  that drains every stream returns the complete run's stats.
+     *  Unlike run(), a bounded advance does not treat blocked waits
+     *  as fatal: when only host action can unblock the run (an event
+     *  nobody has recorded yet), it pauses early instead of throwing,
+     *  so the host may record/enqueue and resume. */
+    EngineStats run_until(const std::vector<Stream*>& streams,
+                          uint64_t cycle);
+
+    /** Advance until @p stream has no queued ops and no live launch. */
+    EngineStats synchronize(const std::vector<Stream*>& streams,
+                            const Stream& stream);
+
+    /** Advance until @p event completes.  Throws EngineDeadlockError
+     *  when every stream drains without the event ever completing. */
+    EngineStats synchronize(const std::vector<Stream*>& streams,
+                            const Event& event);
+
+    /** A run has begun and not yet drained (paused, resumable). */
+    bool active() const { return run_ != nullptr; }
+
+    /** Engine clock of the active run (0 when idle). */
+    uint64_t now() const;
+
+    /** Install a live stream-set provider (Gpu wires this to its
+     *  stream list).  Consulted after host callbacks fire so work
+     *  enqueued mid-run — even on streams created inside the callback
+     *  — is validated, absorbed, and given a correctly sized SM
+     *  array.  Without it the engine falls back to the stream vector
+     *  passed to the last advance entry point. */
+    void set_stream_source(std::function<std::vector<Stream*>()> source)
+    {
+        stream_source_ = std::move(source);
+    }
 
   private:
     /** One in-flight launch: the owned descriptor plus grid state. */
@@ -136,20 +214,81 @@ class ExecutionEngine
         Launch* live = nullptr;  ///< Currently resident launch, if any.
     };
 
-    void promote_streams(uint64_t now);
+    /** Per-run state: everything that resets at a run boundary.  The
+     *  split makes the engine itself persistent and runs resumable. */
+    struct RunState
+    {
+        std::vector<std::unique_ptr<SM>> sms;
+        std::vector<StreamRun> stream_runs;
+        /** Resident launches in dispatch-priority (launch-id) order. */
+        std::vector<std::unique_ptr<Launch>> resident;
+        int next_grid_id = 0;
+        uint64_t now = 0;
+        uint64_t last_finish = 0;
+        /** Accumulates ticks/skipped_cycles and retired kernels. */
+        EngineStats stats;
+    };
+
+    /** Validate queued launches, begin a run if none is active, and
+     *  absorb streams/SMs added since the run began.  False when
+     *  there is neither an active run nor queued work. */
+    bool prepare(const std::vector<Stream*>& streams);
+
+    /** Add StreamRuns for streams the run has not seen yet. */
+    void absorb_streams(const std::vector<Stream*>& streams);
+
+    /** Validate every queued launch and grow the SM array to cover
+     *  the CTAs now pending (queued + resident).  Re-run whenever new
+     *  work can have appeared: at every advance entry and after host
+     *  callbacks fire. */
+    void validate_and_size();
+
+    /** Outcome of one engine tick. */
+    enum class StepResult {
+        kRunning,  ///< Progress made (or clock advanced); keep going.
+        kDrained,  ///< Every stream drained: the run is complete.
+        kBlocked,  ///< Chip idle, streams blocked on events only host
+                   ///< action can complete; the clock did not advance.
+    };
+
+    /** One engine tick. */
+    StepResult step();
+
+    /** Process stream queues at @p now until a fixpoint: promote
+     *  launches, complete records, satisfy waits, fire callbacks.
+     *  True when any non-launch op was processed (the clock must not
+     *  jump over newly unblocked work). */
+    bool promote_streams(uint64_t now);
+
     bool dispatch_to(SM* sm);
     LaunchStats finalize(Launch& l) const;
+    bool drained() const;
+    /** Snapshot of the active run's progress. */
+    EngineStats snapshot() const;
+    /** Final stats of the drained run; tears the run down. */
+    EngineStats finish();
+    /** Fill the aggregate fields derived from retired kernels. */
+    void fill_totals(EngineStats* out) const;
+    /** Advance until @p done_fn() or the run drains; returns final or
+     *  snapshot stats accordingly.  When the run blocks on waits only
+     *  the host can resolve, pause (snapshot) if @p pause_on_block,
+     *  else throw EngineDeadlockError with the wait graph. */
+    template <typename DoneFn>
+    EngineStats advance(DoneFn done, bool pause_on_block);
+    [[noreturn]] void report_deadlock();
 
     const GpuConfig& cfg_;
     SimOptions opts_;
     MemorySystem* mem_;
     ExecutorCache* executors_;
 
-    std::vector<std::unique_ptr<SM>> sms_;
-    std::vector<StreamRun> stream_runs_;
-    /** Resident launches in dispatch-priority (launch-id) order. */
-    std::vector<std::unique_ptr<Launch>> resident_;
-    int next_grid_id_ = 0;
+    std::unique_ptr<RunState> run_;
+    /** Live stream list provider (see set_stream_source). */
+    std::function<std::vector<Stream*>()> stream_source_;
+    /** Streams passed at the last advance entry (callback fallback). */
+    std::vector<Stream*> entry_streams_;
+    /** A host callback ran during the last promote pass. */
+    bool callbacks_fired_ = false;
 };
 
 }  // namespace tcsim

@@ -1,0 +1,77 @@
+#pragma once
+/**
+ * @file
+ * CUDA-style event: a cycle-stamped synchronization point recorded
+ * into a stream.  `Stream::record(Event&)` enqueues a record marker
+ * that completes — and stamps the event with the engine cycle — once
+ * every launch enqueued on that stream before it has retired.
+ * `Stream::wait(const Event&)` gates all later work on that stream
+ * until the event completes (cross-stream happens-before), and
+ * `Event::elapsed_cycles()` is the cycle-domain analog of
+ * `cudaEventElapsedTime`.
+ *
+ * Events are created by Gpu::create_event() and live as long as the
+ * Gpu.  Re-recording an event resets it; the last record processed by
+ * the engine wins.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "common/logging.h"
+
+namespace tcsim {
+
+/** A cycle-stamped cross-stream synchronization point. */
+class Event
+{
+  public:
+    Event(int id, std::string name)
+        : id_(id), name_(std::move(name))
+    {
+    }
+
+    Event(const Event&) = delete;
+    Event& operator=(const Event&) = delete;
+
+    int id() const { return id_; }
+    const std::string& name() const { return name_; }
+
+    /** A record for this event has been enqueued on some stream (it
+     *  may not have been reached by the engine yet). */
+    bool recorded() const { return recorded_; }
+
+    /** The engine reached the (latest) record: all work enqueued
+     *  before it has retired and cycle() is valid. */
+    bool complete() const { return complete_; }
+
+    /** Engine cycle the event completed at.  Only valid once
+     *  complete(); stamps are in the timebase of the run that
+     *  processed the record. */
+    uint64_t cycle() const
+    {
+        TCSIM_CHECK(complete_);
+        return cycle_;
+    }
+
+    /** Cycles between two completed events of the same run (the
+     *  cudaEventElapsedTime analog, in core clocks). */
+    static uint64_t elapsed_cycles(const Event& start, const Event& end)
+    {
+        TCSIM_CHECK(start.complete_ && end.complete_);
+        TCSIM_CHECK(end.cycle_ >= start.cycle_);
+        return end.cycle_ - start.cycle_;
+    }
+
+  private:
+    friend class Stream;           // record() marks recorded_.
+    friend class ExecutionEngine;  // Completion stamping.
+
+    int id_;
+    std::string name_;
+    bool recorded_ = false;
+    bool complete_ = false;
+    uint64_t cycle_ = 0;
+};
+
+}  // namespace tcsim

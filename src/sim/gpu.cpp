@@ -1,15 +1,18 @@
 #include "sim/gpu.h"
 
-#include <cstring>
-
 #include "common/logging.h"
 
 namespace tcsim {
 
 Gpu::Gpu(GpuConfig cfg, SimOptions opts)
     : cfg_(std::move(cfg)), opts_(opts),
-      mem_(std::make_unique<MemorySystem>(cfg_))
+      mem_(std::make_unique<MemorySystem>(cfg_)),
+      engine_(cfg_, opts_, mem_.get(), &executors_)
 {
+    // Host callbacks may create streams and enqueue onto them
+    // mid-run; the engine re-fetches the live stream set through this
+    // hook so that work joins the run instead of being dropped.
+    engine_.set_stream_source([this] { return active_streams(); });
 }
 
 Gpu::~Gpu() = default;
@@ -30,8 +33,18 @@ Gpu::default_stream()
     return *default_stream_;
 }
 
-EngineStats
-Gpu::run()
+Event&
+Gpu::create_event(std::string name)
+{
+    int id = static_cast<int>(events_.size());
+    if (name.empty())
+        name = "event" + std::to_string(id);
+    events_.push_back(std::make_unique<Event>(id, std::move(name)));
+    return *events_.back();
+}
+
+std::vector<Stream*>
+Gpu::active_streams()
 {
     std::vector<Stream*> active;
     active.reserve(streams_.size() + 1);
@@ -39,15 +52,44 @@ Gpu::run()
         active.push_back(default_stream_.get());
     for (auto& s : streams_)
         active.push_back(s.get());
-    ExecutionEngine engine(cfg_, opts_, mem_.get(), &executors_);
-    return engine.run(active);
+    return active;
+}
+
+EngineStats
+Gpu::run()
+{
+    return engine_.run(active_streams());
+}
+
+EngineStats
+Gpu::run_until(uint64_t cycle)
+{
+    return engine_.run_until(active_streams(), cycle);
+}
+
+EngineStats
+Gpu::synchronize(const Stream& stream)
+{
+    return engine_.synchronize(active_streams(), stream);
+}
+
+EngineStats
+Gpu::synchronize(const Event& event)
+{
+    return engine_.synchronize(active_streams(), event);
 }
 
 LaunchStats
 Gpu::launch(const KernelDesc& kernel)
 {
-    // Isolated single-kernel run on a private stream: fresh SM and
-    // cache timing state, exactly the legacy lock-step semantics.
+    // Isolated single-kernel run on a private stream and engine: fresh
+    // SM and cache timing state, exactly the legacy lock-step
+    // semantics.  A paused resumable run shares the memory system, so
+    // interleaving launch() with it would corrupt the run's timing.
+    if (engine_.active())
+        throw std::runtime_error(
+            "Gpu::launch() called while a resumable run is paused; finish "
+            "it with run()/synchronize() first");
     Stream solo(/*id=*/0);
     solo.enqueue(kernel);
     ExecutionEngine engine(cfg_, opts_, mem_.get(), &executors_);
@@ -56,7 +98,7 @@ Gpu::launch(const KernelDesc& kernel)
     LaunchStats stats = std::move(es.kernels.front());
     // Single-kernel run: the chip-wide stall attribution is the
     // kernel's own.
-    std::memcpy(stats.stalls, es.stalls, sizeof(stats.stalls));
+    stats.stalls = es.stalls;
     return stats;
 }
 

@@ -1,25 +1,34 @@
 #pragma once
 /**
  * @file
- * Top-level GPU simulator: owns the functional memory and the stream
- * set, and runs queued kernel launches through the stream-aware
- * execution engine, collecting the statistics the paper's evaluation
- * reports (cycles, IPC, WMMA instruction latencies, memory traffic).
+ * Top-level GPU simulator: owns the functional memory, the stream and
+ * event sets, and a persistent execution engine, and runs queued
+ * kernel launches through the stream-aware engine, collecting the
+ * statistics the paper's evaluation reports (cycles, IPC, WMMA
+ * instruction latencies, memory traffic).
  *
- * Two usage models:
+ * Usage models (CUDA-runtime shaped):
  *  - Stream API: create_stream() / Stream::enqueue() / run() — kernels
  *    on different streams execute concurrently when SM occupancy
  *    allows; memory timing persists across launches within the run.
+ *  - Events: create_event() + Stream::record()/wait() build dependency
+ *    DAGs across streams; Event::elapsed_cycles() times sub-windows.
+ *  - Incremental runs: run_until(cycle) pauses a run at a cycle bound,
+ *    synchronize(stream|event) drains one stream or waits for one
+ *    event; the paused run resumes — and accepts newly enqueued work —
+ *    on the next run()/run_until()/synchronize() call.
  *  - launch(): single-kernel compatibility wrapper with the legacy
  *    semantics (cold caches, isolated timing), cycle-exact with the
  *    original lock-step simulator.
  */
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "arch/gpu_config.h"
 #include "sim/engine.h"
+#include "sim/event.h"
 #include "sim/kernel_desc.h"
 #include "sim/mem/memory_system.h"
 #include "sim/stream.h"
@@ -39,7 +48,7 @@ class Gpu
     /** Device memory (persists across launches and runs). */
     GlobalMemory& mem() { return mem_->global(); }
 
-    /** Create a new stream (an ordered launch queue).  Streams live
+    /** Create a new stream (an ordered operation queue).  Streams live
      *  as long as the Gpu and may be refilled between runs. */
     Stream& create_stream();
 
@@ -47,17 +56,49 @@ class Gpu
      *  from streams returned by create_stream(). */
     Stream& default_stream();
 
-    /** Run every launch queued on every stream to completion:
+    /** Create an event for Stream::record()/wait() dependency edges
+     *  and sub-window timing.  Events live as long as the Gpu;
+     *  @p name defaults to "event<id>". */
+    Event& create_event(std::string name = "");
+
+    /** Run every operation queued on every stream to completion:
      *  launches within a stream run back-to-back, launches on
-     *  different streams overlap when occupancy allows. */
+     *  different streams overlap when occupancy allows, and waits
+     *  gate work on recorded events.  Resumes a paused run first. */
     EngineStats run();
+
+    /** Advance the current run (beginning one if needed) while the
+     *  engine clock is <= @p cycle, then pause.  Returns progress so
+     *  far; the advance that drains everything returns the complete
+     *  run's statistics.  Work may be enqueued between advances, and
+     *  a bounded advance pauses early (instead of throwing) when the
+     *  run blocks on an event only host action can record. */
+    EngineStats run_until(uint64_t cycle);
+
+    /** Advance until @p stream has no queued work and no live launch
+     *  (cudaStreamSynchronize). */
+    EngineStats synchronize(const Stream& stream);
+
+    /** Advance until @p event completes (cudaEventSynchronize).
+     *  Throws EngineDeadlockError when every stream drains without
+     *  the event completing. */
+    EngineStats synchronize(const Event& event);
+
+    /** A paused, resumable run is in progress. */
+    bool run_active() const { return engine_.active(); }
+
+    /** Engine clock of the active run (0 when idle). */
+    uint64_t current_cycle() const { return engine_.now(); }
 
     /** Run @p kernel alone to completion and return its statistics.
      *  Compatibility wrapper: cold caches, isolated timing — does not
-     *  touch kernels queued on this Gpu's streams. */
+     *  touch operations queued on this Gpu's streams. */
     LaunchStats launch(const KernelDesc& kernel);
 
   private:
+    /** All streams, default stream first (engine dispatch order). */
+    std::vector<Stream*> active_streams();
+
     GpuConfig cfg_;
     SimOptions opts_;
     std::unique_ptr<MemorySystem> mem_;
@@ -66,6 +107,10 @@ class Gpu
     std::unique_ptr<Stream> default_stream_;
     /** Streams from create_stream(), ids 1.. */
     std::vector<std::unique_ptr<Stream>> streams_;
+    /** Events from create_event(), stable addresses. */
+    std::vector<std::unique_ptr<Event>> events_;
+    /** The persistent engine: holds the active run's RunState. */
+    ExecutionEngine engine_;
 };
 
 }  // namespace tcsim

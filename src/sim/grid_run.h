@@ -12,6 +12,7 @@
 #include <map>
 
 #include "common/stats.h"
+#include "sim/core/stall.h"
 #include "sim/kernel_desc.h"
 
 namespace tcsim {
@@ -23,6 +24,9 @@ struct RunStatsCollector
     uint64_t hmma_instructions = 0;
     /** Latency histograms of the WMMA macro classes (Figs 15/16). */
     std::map<MacroClass, Histogram> macro_latency;
+    /** Issue-stall cycles attributed to this grid's warps (the warp
+     *  that blocked the scheduler belonged to this grid). */
+    StallCounts stalls;
 
     void record_macro(MacroClass mc, uint64_t latency)
     {

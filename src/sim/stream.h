@@ -1,20 +1,33 @@
 #pragma once
 /**
  * @file
- * CUDA-style stream: an ordered queue of kernel launches.  Launches
- * within one stream execute back-to-back in enqueue order; launches on
- * different streams may execute concurrently when SM occupancy allows,
- * mirroring `cudaStreamCreate` / kernel<<<...,stream>>> semantics.
+ * CUDA-style stream: an ordered queue of operations — kernel launches,
+ * event records, event waits, and host callbacks.  Launches within one
+ * stream execute back-to-back in enqueue order; launches on different
+ * streams may execute concurrently when SM occupancy allows, mirroring
+ * `cudaStreamCreate` / kernel<<<...,stream>>> semantics.
+ *
+ * Synchronization ops give streams a dependency DAG:
+ *  - record(Event&)   completes the event (cycle-stamped) once every
+ *    earlier launch on this stream has retired (cudaEventRecord);
+ *  - wait(Event&)     blocks all later work on this stream until the
+ *    event completes (cudaStreamWaitEvent, cross-stream
+ *    happens-before);
+ *  - add_callback(fn) invokes a host-side hook, with the engine cycle,
+ *    once every earlier launch has retired (cudaStreamAddCallback).
  */
 
+#include <cstddef>
 #include <deque>
+#include <functional>
 #include <utility>
 
+#include "sim/event.h"
 #include "sim/kernel_desc.h"
 
 namespace tcsim {
 
-/** An ordered launch queue.  Created via Gpu::create_stream(). */
+/** An ordered operation queue.  Created via Gpu::create_stream(). */
 class Stream
 {
   public:
@@ -25,28 +38,99 @@ class Stream
 
     int id() const { return id_; }
 
-    /** Append a kernel launch; it runs after all earlier launches on
-     *  this stream have completed.  The descriptor is copied. */
-    void enqueue(KernelDesc kernel) { queue_.push_back(std::move(kernel)); }
+    /** Append a kernel launch; it runs after all earlier work on this
+     *  stream has completed (and after any preceding wait() is
+     *  satisfied).  Taken by value and moved into the queue, so
+     *  callers that move a descriptor pay no copy. */
+    void enqueue(KernelDesc kernel)
+    {
+        ops_.emplace_back();
+        ops_.back().kind = OpKind::kLaunch;
+        ops_.back().kernel = std::move(kernel);
+    }
 
-    /** Launches not yet started by the engine. */
-    size_t depth() const { return queue_.size(); }
-    bool empty() const { return queue_.empty(); }
+    /** Record @p event: it completes — and is stamped with the engine
+     *  cycle — once every launch enqueued on this stream before this
+     *  call has retired.  Re-recording resets the event; the last
+     *  record processed wins. */
+    void record(Event& event)
+    {
+        event.recorded_ = true;
+        event.complete_ = false;
+        ops_.emplace_back();
+        ops_.back().kind = OpKind::kRecordEvent;
+        ops_.back().record = &event;
+    }
+
+    /** Block all work enqueued on this stream after this call until
+     *  @p event completes.  Waiting on an event this same stream has
+     *  already recorded is a no-op by construction. */
+    void wait(const Event& event)
+    {
+        ops_.emplace_back();
+        ops_.back().kind = OpKind::kWaitEvent;
+        ops_.back().wait = &event;
+    }
+
+    /** Host-side hook: @p fn(cycle) is invoked (from the engine loop)
+     *  once every launch enqueued before this call has retired.  The
+     *  callback may enqueue further work onto streams but must not
+     *  re-enter Gpu::run()/run_until()/synchronize(). */
+    void add_callback(std::function<void(uint64_t)> fn)
+    {
+        ops_.emplace_back();
+        ops_.back().kind = OpKind::kCallback;
+        ops_.back().callback = std::move(fn);
+    }
+
+    /** Kernel launches not yet started by the engine. */
+    size_t depth() const
+    {
+        size_t n = 0;
+        for (const Op& op : ops_)
+            n += op.kind == OpKind::kLaunch ? 1 : 0;
+        return n;
+    }
+
+    /** No queued operations of any kind. */
+    bool empty() const { return ops_.empty(); }
+
+    /** Drop every queued operation (launches, records, waits,
+     *  callbacks) so the stream can be rebuilt between runs.  Must not
+     *  be called while an engine run is draining this stream. */
+    void clear() { ops_.clear(); }
 
   private:
     friend class ExecutionEngine;
 
-    /** Engine side: pop the next launch (engine keeps it alive for the
-     *  duration of the run). */
-    KernelDesc pop()
+    enum class OpKind : uint8_t {
+        kLaunch,
+        kRecordEvent,
+        kWaitEvent,
+        kCallback,
+    };
+
+    /** One queued stream operation. */
+    struct Op
     {
-        KernelDesc k = std::move(queue_.front());
-        queue_.pop_front();
-        return k;
+        OpKind kind = OpKind::kLaunch;
+        KernelDesc kernel;             ///< kLaunch.
+        Event* record = nullptr;       ///< kRecordEvent.
+        const Event* wait = nullptr;   ///< kWaitEvent.
+        std::function<void(uint64_t)> callback;  ///< kCallback.
+    };
+
+    /** Engine side: pop the next op (the engine keeps launches alive
+     *  for the duration of their residency). */
+    Op pop()
+    {
+        Op op = std::move(ops_.front());
+        ops_.pop_front();
+        return op;
     }
 
     int id_;
-    std::deque<KernelDesc> queue_;
+    std::deque<Op> ops_;
 };
 
 }  // namespace tcsim

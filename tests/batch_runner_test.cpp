@@ -64,6 +64,33 @@ make_suite()
         {"kernel": "wmma_naive", "name": "g", "m": 64, "n": 64, "k": 64}
       ]
     })");
+    // Event-DAG scenarios: cross-stream record/wait dependencies and a
+    // sync join must stay bit-identical between serial and parallel
+    // batch execution too.
+    add(R"({
+      "name": "event_chain",
+      "gpu": {"preset": "titan_v", "num_sms": 2},
+      "kernels": [
+        {"kernel": "hmma_stress", "name": "p", "stream": 1, "ctas": 2,
+         "warps_per_cta": 2, "wmma_per_warp": 16, "record_event": "e"},
+        {"kernel": "hmma_stress", "name": "c", "stream": 2, "ctas": 2,
+         "warps_per_cta": 2, "wmma_per_warp": 16, "wait_event": "e"}
+      ]
+    })");
+    add(R"({
+      "name": "event_fork_join",
+      "gpu": {"preset": "titan_v", "num_sms": 2},
+      "kernels": [
+        {"kernel": "hmma_stress", "name": "root", "stream": 1, "ctas": 1,
+         "warps_per_cta": 2, "wmma_per_warp": 16, "record_event": "r"},
+        {"kernel": "hmma_stress", "name": "fa", "stream": 2, "ctas": 1,
+         "warps_per_cta": 2, "wmma_per_warp": 16, "wait_event": "r"},
+        {"kernel": "hmma_stress", "name": "fb", "stream": 3, "ctas": 1,
+         "warps_per_cta": 2, "wmma_per_warp": 16, "wait_event": "r"},
+        {"kernel": "hmma_stress", "name": "join", "stream": 1, "ctas": 1,
+         "warps_per_cta": 2, "wmma_per_warp": 16, "sync": true}
+      ]
+    })");
     return suite;
 }
 

@@ -441,3 +441,136 @@ TEST(JsonEmitter, RoundTripsThroughDriverParser)
     EXPECT_FALSE(tmp.good());
     std::remove(path.c_str());
 }
+
+// ---- Event & synchronization schema -------------------------------------
+
+TEST(Scenario, ParsesEventKeys)
+{
+    Scenario sc = parse_scenario_text(R"({
+      "name": "dag",
+      "kernels": [
+        {"kernel": "hmma_stress", "name": "p", "stream": 1,
+         "record_event": "e0"},
+        {"kernel": "hmma_stress", "name": "q", "stream": 2,
+         "wait_event": "e0", "record_event": "e1"},
+        {"kernel": "hmma_stress", "name": "r", "stream": 3,
+         "wait_event": ["e0", "e1"], "sync": true}
+      ]
+    })");
+    EXPECT_EQ(sc.kernels[0].record_event, "e0");
+    EXPECT_TRUE(sc.kernels[0].wait_events.empty());
+    ASSERT_EQ(sc.kernels[1].wait_events.size(), 1u);
+    EXPECT_EQ(sc.kernels[1].wait_events[0], "e0");
+    ASSERT_EQ(sc.kernels[2].wait_events.size(), 2u);
+    EXPECT_TRUE(sc.kernels[2].sync);
+    EXPECT_FALSE(sc.kernels[1].sync);
+}
+
+TEST(Scenario, RejectsWaitOnEventNobodyRecords)
+{
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s",
+      "kernels": [
+        {"kernel": "hmma_stress", "name": "k", "wait_event": "ghost"}
+      ]
+    })"),
+                 ScenarioError);
+}
+
+TEST(Scenario, RejectsBadEventMetrics)
+{
+    // event metric referencing an unrecorded event.
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s",
+      "kernels": [{"kernel": "hmma_stress", "name": "k"}],
+      "expect": [{"metric": "event.ghost.cycle", "min": 1}]
+    })"),
+                 ScenarioError);
+    // Only .cycle exists on events.
+    EXPECT_THROW(parse_scenario_text(R"({
+      "name": "s",
+      "kernels": [
+        {"kernel": "hmma_stress", "name": "k", "record_event": "e"}
+      ],
+      "expect": [{"metric": "event.e.latency", "min": 1}]
+    })"),
+                 ScenarioError);
+}
+
+TEST(ScenarioRun, EventDagGatesAndExposesEventMetrics)
+{
+    Scenario sc = parse_scenario_text(R"({
+      "name": "dag_run",
+      "gpu": {"preset": "titan_v", "num_sms": 2},
+      "kernels": [
+        {"kernel": "hmma_stress", "name": "p", "stream": 1, "ctas": 1,
+         "warps_per_cta": 2, "wmma_per_warp": 16, "record_event": "e"},
+        {"kernel": "hmma_stress", "name": "c", "stream": 2, "ctas": 1,
+         "warps_per_cta": 2, "wmma_per_warp": 16, "wait_event": "e"}
+      ],
+      "expect": [
+        {"metric": "event.e.cycle", "min": 1},
+        {"metric": "kernel.c.start_cycle", "min": 1}
+      ]
+    })");
+    ScenarioResult r = run_scenario(sc);
+    EXPECT_TRUE(r.passed) << r.error;
+    ASSERT_EQ(r.events.size(), 1u);
+    EXPECT_EQ(r.events[0].name, "e");
+    // Happens-before: the consumer starts only after the event.
+    const LaunchStats* producer = nullptr;
+    const LaunchStats* consumer = nullptr;
+    for (const KernelResult& k : r.kernels) {
+        if (k.name == "p")
+            producer = &k.stats;
+        if (k.name == "c")
+            consumer = &k.stats;
+    }
+    ASSERT_NE(producer, nullptr);
+    ASSERT_NE(consumer, nullptr);
+    EXPECT_GT(consumer->start_cycle, producer->finish_cycle);
+    EXPECT_LE(r.events[0].cycle, consumer->start_cycle);
+}
+
+TEST(ScenarioRun, SyncJoinsAllPriorLaunches)
+{
+    Scenario sc = parse_scenario_text(R"({
+      "name": "sync_join",
+      "gpu": {"preset": "titan_v", "num_sms": 2},
+      "kernels": [
+        {"kernel": "hmma_stress", "name": "a", "stream": 1, "ctas": 1,
+         "warps_per_cta": 2, "wmma_per_warp": 16},
+        {"kernel": "hmma_stress", "name": "b", "stream": 2, "ctas": 1,
+         "warps_per_cta": 2, "wmma_per_warp": 48},
+        {"kernel": "hmma_stress", "name": "join", "stream": 3, "ctas": 1,
+         "warps_per_cta": 2, "wmma_per_warp": 16, "sync": true}
+      ]
+    })");
+    ScenarioResult r = run_scenario(sc);
+    EXPECT_TRUE(r.passed) << r.error;
+    uint64_t join_start = 0, max_finish = 0;
+    for (const KernelResult& k : r.kernels) {
+        if (k.name == "join")
+            join_start = k.stats.start_cycle;
+        else
+            max_finish = std::max(max_finish, k.stats.finish_cycle);
+    }
+    EXPECT_GT(join_start, max_finish);
+}
+
+TEST(ScenarioRun, StallCyclesMetricResolves)
+{
+    Scenario sc = parse_scenario_text(R"({
+      "name": "stall_metric",
+      "gpu": {"preset": "titan_v", "num_sms": 1},
+      "kernels": [
+        {"kernel": "wmma_naive", "name": "g", "m": 32, "n": 32, "k": 32}
+      ],
+      "expect": [
+        {"metric": "total.stall_cycles", "min": 1},
+        {"metric": "kernel.g.stall_cycles", "min": 1}
+      ]
+    })");
+    ScenarioResult r = run_scenario(sc);
+    EXPECT_TRUE(r.passed) << r.error;
+}

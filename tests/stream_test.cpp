@@ -234,6 +234,45 @@ TEST(Engine, DefaultStreamDistinctFromCreatedStreams)
     EXPECT_EQ(es.kernels[1].start_cycle, 0u);
 }
 
+TEST(Engine, StreamClearDropsQueuedWork)
+{
+    // clear() empties a mis-built queue so the stream can be reused
+    // without running the stale work.
+    Gpu gpu(small_titan_v(2));
+    GemmProblem<float> prob(64, 64, 64, Layout::kRowMajor, Layout::kRowMajor);
+    Stream& s = gpu.default_stream();
+    Event& e = gpu.create_event("e");
+
+    s.enqueue(small_gemm(&gpu, &prob, false, "stale"));
+    s.record(e);
+    EXPECT_EQ(s.depth(), 1u);
+    EXPECT_FALSE(s.empty());
+    s.clear();
+    EXPECT_EQ(s.depth(), 0u);
+    EXPECT_TRUE(s.empty());
+
+    EngineStats es = gpu.run();
+    EXPECT_TRUE(es.kernels.empty());
+
+    s.enqueue(small_gemm(&gpu, &prob, false, "fresh"));
+    EngineStats es2 = gpu.run();
+    ASSERT_EQ(es2.kernels.size(), 1u);
+    EXPECT_EQ(es2.kernels[0].kernel, "fresh");
+}
+
+TEST(Engine, EnqueueMovesDescriptor)
+{
+    // enqueue takes by value and moves: a moved-in descriptor's trace
+    // (a std::function) transfers without copying its state.
+    Gpu gpu(small_titan_v(2));
+    GemmProblem<float> prob(64, 64, 64, Layout::kRowMajor, Layout::kRowMajor);
+    KernelDesc kd = small_gemm(&gpu, &prob, false, "moved");
+    gpu.default_stream().enqueue(std::move(kd));
+    EngineStats es = gpu.run();
+    ASSERT_EQ(es.kernels.size(), 1u);
+    EXPECT_EQ(es.kernels[0].kernel, "moved");
+}
+
 TEST(Engine, StreamsReusableAcrossRuns)
 {
     Gpu gpu(small_titan_v(2));

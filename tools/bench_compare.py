@@ -61,12 +61,28 @@ def compare_file(base_path, cur_path, wall_tol, rel_tol):
     with open(cur_path) as f:
         cur = json.load(f)
 
-    base_metrics = base.get("metrics", {})
-    cur_metrics = cur.get("metrics", {})
+    name = os.path.basename(base_path)
+    if "metrics" not in base or not isinstance(base["metrics"], dict):
+        return ["{}: baseline has no 'metrics' object (corrupt "
+                "baseline file?)".format(name)]
+    base_metrics = base["metrics"]
+    if "metrics" not in cur or not isinstance(cur["metrics"], dict):
+        return ["{}: report has no 'metrics' object; all {} baseline "
+                "key(s) missing: {}".format(
+                    name, len(base_metrics),
+                    ", ".join(sorted(base_metrics)))]
+    cur_metrics = cur["metrics"]
+
+    # One aggregated failure for vanished keys, so a renamed metric or
+    # a bench that stopped emitting reads as a clear list instead of a
+    # KeyError (or N separate lines).
+    missing = sorted(k for k in base_metrics if k not in cur_metrics)
+    if missing:
+        failures.append(
+            "{}: {} baseline key(s) missing from the report: {}".format(
+                name, len(missing), ", ".join(missing)))
     for key, want in base_metrics.items():
         if key not in cur_metrics:
-            failures.append("{}: metric '{}' disappeared".format(
-                os.path.basename(base_path), key))
             continue
         got = cur_metrics[key]
         cls = classify(key)

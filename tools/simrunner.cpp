@@ -158,6 +158,10 @@ print_result(const driver::ScenarioResult& r, bool quiet)
     std::printf(
         "%s",
         metrics::launch_table(kernels, flops, r.clock_ghz).render().c_str());
+    for (const driver::EventResult& e : r.events)
+        std::printf("  event %-20s completed at cycle %llu\n",
+                    e.name.c_str(),
+                    static_cast<unsigned long long>(e.cycle));
     std::printf("  total: %llu cycles, IPC %.2f, %.2f TFLOPS, %.1f ms "
                 "wall\n",
                 static_cast<unsigned long long>(r.totals.cycles),
