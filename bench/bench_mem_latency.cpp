@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Memory-hierarchy queueing snapshot: the tiny-L1 streaming WMMA GEMM
+ * (the mem_pressure scenario family) run against the transaction path
+ * with each level constricted in turn — baseline, few MSHR entries,
+ * narrow NoC, shallow DRAM queues.  Emits the cycle counts and
+ * per-level queueing/stall counters as BENCH_mem_latency.json for the
+ * CI bench-regression gate: any drift in the queued-transaction
+ * timing model shows up as an exact-match failure.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "kernels/gemm_kernels.h"
+#include "sim/gpu.h"
+
+using namespace tcsim;
+
+namespace {
+
+struct Variant
+{
+    const char* key;
+    const char* what;
+    void (*tweak)(GpuConfig*);
+};
+
+const Variant kVariants[] = {
+    {"base", "unconstricted transaction path", [](GpuConfig*) {}},
+    {"mshr4", "4 MSHR entries per SM",
+     [](GpuConfig* c) { c->l1_mshr_entries = 4; }},
+    {"noc8", "8 B/cycle NoC, 16 in-flight",
+     [](GpuConfig* c) {
+         c->noc_bytes_per_cycle = 8.0;
+         c->noc_queue_depth = 16;
+     }},
+    {"dramq", "1 partition, 2-deep DRAM queue, 1 B/cycle",
+     [](GpuConfig* c) {
+         c->num_mem_partitions = 1;
+         c->dram_queue_depth = 2;
+         c->dram_bytes_per_cycle_per_partition = 1.0;
+         c->l2_size = 64 * 1024;
+     }},
+};
+
+LaunchStats
+run_variant(const Variant& v)
+{
+    GpuConfig cfg = bench::titan_v();
+    cfg.num_sms = 8;
+    cfg.l1_size = 16 * 1024;
+    cfg.dram_latency = 400;
+    v.tweak(&cfg);
+
+    Gpu gpu(cfg);
+    GemmKernelConfig kc;
+    kc.m = kc.n = kc.k = 128;
+    kc.functional = false;
+    GemmBuffers buf;
+    buf.a = gpu.mem().alloc(static_cast<uint64_t>(kc.m) * kc.k * 2);
+    buf.b = gpu.mem().alloc(static_cast<uint64_t>(kc.k) * kc.n * 2);
+    buf.c = gpu.mem().alloc(static_cast<uint64_t>(kc.m) * kc.n * 4);
+    buf.d = gpu.mem().alloc(static_cast<uint64_t>(kc.m) * kc.n * 4);
+    return gpu.launch(make_wmma_gemm_naive(kc, buf));
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("Memory-hierarchy queueing: 128^3 naive WMMA GEMM, "
+                "8 SMs, 16 KiB L1, each level constricted in turn\n\n");
+
+    bench::JsonEmitter json("mem_latency");
+    TextTable t;
+    t.set_header({"variant", "cycles", "mshr_full", "noc_busy",
+                  "dram_queue", "noc_qcyc", "l2_qcyc", "dram_qcyc"});
+    for (const Variant& v : kVariants) {
+        LaunchStats s = run_variant(v);
+        t.add_row({v.key, std::to_string(s.cycles),
+                   std::to_string(s.stalls[StallReason::kMshrFull]),
+                   std::to_string(s.stalls[StallReason::kNocBusy]),
+                   std::to_string(s.stalls[StallReason::kDramQueue]),
+                   std::to_string(s.mem.noc_queue_cycles),
+                   std::to_string(s.mem.l2_queue_cycles),
+                   std::to_string(s.mem.dram_queue_cycles)});
+        std::string p = v.key;
+        json.add(p + "_cycles", static_cast<double>(s.cycles));
+        json.add(p + "_stall_mshr_full_cycles",
+                 static_cast<double>(s.stalls[StallReason::kMshrFull]));
+        json.add(p + "_stall_noc_busy_cycles",
+                 static_cast<double>(s.stalls[StallReason::kNocBusy]));
+        json.add(p + "_stall_dram_queue_cycles",
+                 static_cast<double>(s.stalls[StallReason::kDramQueue]));
+        json.add(p + "_noc_queue_cycles",
+                 static_cast<double>(s.mem.noc_queue_cycles));
+        json.add(p + "_l2_queue_cycles",
+                 static_cast<double>(s.mem.l2_queue_cycles));
+        json.add(p + "_dram_queue_cycles",
+                 static_cast<double>(s.mem.dram_queue_cycles));
+        json.add(p + "_mshr_peak",
+                 static_cast<double>(s.mem.mshr_peak));
+        std::printf("%-6s %s\n", v.key, v.what);
+    }
+    std::printf("\n%s\n", t.render().c_str());
+    json.write();
+    return 0;
+}

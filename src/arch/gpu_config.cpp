@@ -54,6 +54,8 @@ rtx2080_config()
     c.clock_ghz = 1.710;
     c.l2_size = 4 * 1024 * 1024;
     c.num_mem_partitions = 16;
+    c.l2_banks = 32;  // 2 per partition, as on the Titan V.
+    c.noc_bytes_per_cycle = 1024.0;
     return c;
 }
 

@@ -85,6 +85,20 @@ struct GpuConfig
     double dram_bytes_per_cycle_per_partition = 16.0;
     int mio_bytes_per_cycle = 64; ///< MIO datapath width (Fig 1).
 
+    // --- Transaction-queued memory path (MSHRs, NoC, banked L2,
+    //     DRAM queueing).  Misses travel coalescer -> L1/MSHR -> NoC
+    //     -> L2 bank -> DRAM partition as queued transactions; when a
+    //     stage's slots are exhausted the refusal propagates back to
+    //     the issuing warp as back-pressure. ---
+    int l1_mshr_entries = 256;      ///< Outstanding line fills per SM.
+    int l2_banks = 48;              ///< L2 service banks (2 per partition).
+    double l2_bank_bytes_per_cycle = 32.0;  ///< Per-bank service rate.
+    int l2_bank_queue_depth = 64;   ///< Requests queued per bank.
+    double noc_bytes_per_cycle = 2048.0;    ///< SM<->L2 crossbar bisection.
+    int noc_queue_depth = 1024;     ///< In-flight NoC transfers.
+    int dram_queue_depth = 64;      ///< Requests queued per partition.
+    int dram_rw_turnaround = 8;     ///< Bus-direction switch penalty.
+
     /** Peak tensor-core TFLOPS implied by the configuration. */
     double peak_tensor_tflops() const;
     /** Peak FP32 (non tensor core) TFLOPS. */

@@ -142,10 +142,62 @@ check_kernel_fits(const GpuConfig& cfg, const KernelDesc& k)
             std::to_string(k.regs_per_thread) + ")");
 }
 
+/** Per-reason stall-cycle lookup: @p field is the lower-case reason
+ *  name from stall_reason_name (e.g. "mshr_full"). */
+double
+resolve_stall_metric(const StallCounts& stalls, const std::string& field,
+                     const std::string& path)
+{
+    for (size_t i = 0; i < kNumStallReasons; ++i) {
+        StallReason r = static_cast<StallReason>(i);
+        if (field == stall_reason_name(r))
+            return static_cast<double>(stalls[r]);
+    }
+    throw ScenarioError("unknown stall reason in metric \"" + path + "\"");
+}
+
+/** The exported MemStats counters: one declaration drives both the
+ *  mem.* metric resolver and the report JSON (same pattern as
+ *  kOverrideFields in scenario.cpp — a counter added here appears in
+ *  both surfaces, one missed cannot diverge silently). */
+struct MemCounter
+{
+    const char* name;
+    uint64_t MemStats::* member;
+};
+
+constexpr MemCounter kMemCounters[] = {
+    {"l1_hits", &MemStats::l1_hits},
+    {"l1_misses", &MemStats::l1_misses},
+    {"l2_hits", &MemStats::l2_hits},
+    {"l2_misses", &MemStats::l2_misses},
+    {"dram_bytes", &MemStats::dram_bytes},
+    {"global_sectors", &MemStats::global_sectors},
+    {"mshr_merges", &MemStats::mshr_merges},
+    {"mshr_peak", &MemStats::mshr_peak},
+    {"noc_queue_cycles", &MemStats::noc_queue_cycles},
+    {"l2_queue_cycles", &MemStats::l2_queue_cycles},
+    {"dram_queue_cycles", &MemStats::dram_queue_cycles},
+    {"dram_turnarounds", &MemStats::dram_turnarounds},
+};
+
+double
+resolve_mem_metric(const MemStats& m, const std::string& field,
+                   const std::string& path)
+{
+    for (const MemCounter& c : kMemCounters)
+        if (field == c.name)
+            return static_cast<double>(m.*(c.member));
+    throw ScenarioError("unknown mem metric \"" + path + "\"");
+}
+
 double
 resolve_total_metric(const ScenarioResult& r, const std::string& field)
 {
     const EngineStats& t = r.totals;
+    if (field.rfind("stall.", 0) == 0)
+        return resolve_stall_metric(t.stalls, field.substr(6),
+                                    "total." + field);
     if (field == "cycles")
         return static_cast<double>(t.cycles);
     if (field == "instructions")
@@ -169,6 +221,9 @@ double
 resolve_kernel_metric(const KernelResult& k, const std::string& field)
 {
     const LaunchStats& s = k.stats;
+    if (field.rfind("stall.", 0) == 0)
+        return resolve_stall_metric(s.stalls, field.substr(6),
+                                    "kernel." + k.name + "." + field);
     if (field == "cycles")
         return static_cast<double>(s.cycles);
     if (field == "instructions")
@@ -209,9 +264,15 @@ resolve_metric(const ScenarioResult& r, const std::string& path)
                                 "ran");
         return r.verify_max_rel_err;
     }
+    if (path.rfind("mem.", 0) == 0)
+        return resolve_mem_metric(r.totals.mem, path.substr(4), path);
     if (path.rfind("kernel.", 0) == 0) {
         std::string rest = path.substr(7);
-        size_t dot = rest.rfind('.');
+        // "stall.<reason>" is the one two-component field; split in
+        // front of it so kernel names keep working with rfind.
+        size_t dot = rest.find(".stall.");
+        if (dot == std::string::npos)
+            dot = rest.rfind('.');
         if (dot == std::string::npos)
             throw ScenarioError("bad metric path \"" + path + "\"");
         std::string name = rest.substr(0, dot);
@@ -404,12 +465,37 @@ BatchReport::failed() const
 {
     int n = 0;
     for (const ScenarioResult& r : results)
-        n += r.passed ? 0 : 1;
+        n += (!r.passed && !r.skipped) ? 1 : 0;
     return n;
 }
 
+int
+BatchReport::skipped() const
+{
+    int n = 0;
+    for (const ScenarioResult& r : results)
+        n += r.skipped ? 1 : 0;
+    return n;
+}
+
+namespace {
+
+/** Placeholder result for a scenario a --fail-fast stop skipped. */
+ScenarioResult
+skipped_result(const Scenario& sc)
+{
+    ScenarioResult r;
+    r.name = sc.name;
+    r.file = sc.file;
+    r.skipped = true;
+    r.error = "skipped: an earlier scenario failed (--fail-fast)";
+    return r;
+}
+
+}  // namespace
+
 BatchReport
-run_batch(const std::vector<Scenario>& scenarios, int jobs)
+run_batch(const std::vector<Scenario>& scenarios, int jobs, bool fail_fast)
 {
     using clock = std::chrono::steady_clock;
     BatchReport report;
@@ -417,9 +503,20 @@ run_batch(const std::vector<Scenario>& scenarios, int jobs)
     report.results.resize(scenarios.size());
     auto t0 = clock::now();
 
+    // Set once a failure is observed; workers stop *starting* new
+    // scenarios but finish the one they are on.
+    std::atomic<bool> stop{false};
+
     if (report.jobs == 1 || scenarios.size() <= 1) {
-        for (size_t i = 0; i < scenarios.size(); ++i)
+        for (size_t i = 0; i < scenarios.size(); ++i) {
+            if (stop.load(std::memory_order_relaxed)) {
+                report.results[i] = skipped_result(scenarios[i]);
+                continue;
+            }
             report.results[i] = run_scenario(scenarios[i]);
+            if (fail_fast && !report.results[i].passed)
+                stop.store(true, std::memory_order_relaxed);
+        }
     } else {
         // One simulator instance per in-flight scenario; workers pull
         // indices from a shared counter and write disjoint slots.
@@ -429,7 +526,13 @@ run_batch(const std::vector<Scenario>& scenarios, int jobs)
                 size_t i = next.fetch_add(1);
                 if (i >= scenarios.size())
                     return;
+                if (stop.load(std::memory_order_relaxed)) {
+                    report.results[i] = skipped_result(scenarios[i]);
+                    continue;
+                }
                 report.results[i] = run_scenario(scenarios[i]);
+                if (fail_fast && !report.results[i].passed)
+                    stop.store(true, std::memory_order_relaxed);
             }
         };
         size_t nthreads =
@@ -456,6 +559,8 @@ report_to_json(const BatchReport& report)
     root.set("wall_ms", report.wall_ms);
     root.set("scenarios", static_cast<int64_t>(report.results.size()));
     root.set("failed", report.failed());
+    if (report.skipped() > 0)
+        root.set("skipped", report.skipped());
 
     JsonValue results = JsonValue::array();
     for (const ScenarioResult& r : report.results) {
@@ -464,6 +569,8 @@ report_to_json(const BatchReport& report)
         if (!r.file.empty())
             jr.set("file", r.file);
         jr.set("passed", r.passed);
+        if (r.skipped)
+            jr.set("skipped", true);
         if (!r.error.empty())
             jr.set("error", r.error);
         jr.set("wall_ms", r.wall_ms);
@@ -477,7 +584,24 @@ report_to_json(const BatchReport& report)
         totals.set("ticks", r.totals.ticks);
         totals.set("skipped_cycles", r.totals.skipped_cycles);
         totals.set("stall_cycles", r.totals.stalls.total());
+        if (r.totals.stalls.total() > 0) {
+            JsonValue stalls = JsonValue::object();
+            for (size_t i = 0; i < kNumStallReasons; ++i) {
+                StallReason reason = static_cast<StallReason>(i);
+                if (r.totals.stalls[reason] > 0)
+                    stalls.set(stall_reason_name(reason),
+                               r.totals.stalls[reason]);
+            }
+            totals.set("stalls", std::move(stalls));
+        }
         jr.set("total", std::move(totals));
+
+        // Run-wide memory-hierarchy counters (the transaction path).
+        const MemStats& m = r.totals.mem;
+        JsonValue mem = JsonValue::object();
+        for (const MemCounter& c : kMemCounters)
+            mem.set(c.name, m.*(c.member));
+        jr.set("mem", std::move(mem));
 
         JsonValue kernels = JsonValue::array();
         for (const KernelResult& k : r.kernels) {

@@ -59,6 +59,8 @@ struct ScenarioResult
     std::string file;
     /** Ran to completion and every assertion passed. */
     bool passed = false;
+    /** Never ran: an earlier failure stopped a --fail-fast batch. */
+    bool skipped = false;
     /** Non-empty when the scenario failed to run at all. */
     std::string error;
 
@@ -88,14 +90,19 @@ struct BatchReport
     double wall_ms = 0.0;
 
     int failed() const;
+    /** Scenarios never started because --fail-fast stopped the batch. */
+    int skipped() const;
 };
 
 /**
  * Run @p scenarios on @p jobs worker threads (1 = serial, in the
  * calling thread).  Results keep input order; per-scenario statistics
- * are independent of @p jobs.
+ * are independent of @p jobs.  With @p fail_fast, the first failure
+ * stops the batch: scenarios not yet started are marked skipped
+ * (already-running workers finish their current scenario).
  */
-BatchReport run_batch(const std::vector<Scenario>& scenarios, int jobs);
+BatchReport run_batch(const std::vector<Scenario>& scenarios, int jobs,
+                      bool fail_fast = false);
 
 /** The batch report as JSON (schema "tcsim-batch-report-v1"). */
 JsonValue report_to_json(const BatchReport& report);

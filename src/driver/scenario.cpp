@@ -213,9 +213,11 @@ parse_expectation(const JsonValue& obj, size_t index,
     if (e.metric.rfind("total.", 0) != 0 &&
         e.metric.rfind("kernel.", 0) != 0 &&
         e.metric.rfind("event.", 0) != 0 &&
+        e.metric.rfind("mem.", 0) != 0 &&
         e.metric.rfind("verify.", 0) != 0)
         fail(file, where + ": metric must start with \"total.\", "
-                           "\"kernel.\", \"event.\" or \"verify.\"");
+                           "\"kernel.\", \"event.\", \"mem.\" or "
+                           "\"verify.\"");
     if (const JsonValue* v = obj.find("min")) {
         e.has_min = true;
         e.min = v->as_number();
@@ -240,21 +242,27 @@ parse_expectation(const JsonValue& obj, size_t index,
 namespace {
 
 /** One overridable GpuConfig field: the scenario key, whether it is
- *  genuinely fractional, and the setter.  The single declaration per
- *  field drives key listing, validation, and application. */
+ *  genuinely fractional, the smallest accepted value, and the setter.
+ *  The single declaration per field drives key listing, validation,
+ *  and application. */
 struct OverrideField
 {
     const char* name;
     bool is_float;
+    int min_value;
     void (*apply)(GpuConfig*, double);
 };
 
 #define TCSIM_INT_FIELD(key)                                                  \
-    {#key, false, [](GpuConfig* c, double v) {                                \
+    {#key, false, 1, [](GpuConfig* c, double v) {                             \
+         c->key = static_cast<decltype(c->key)>(v);                           \
+     }}
+#define TCSIM_INT_FIELD_MIN0(key)                                             \
+    {#key, false, 0, [](GpuConfig* c, double v) {                             \
          c->key = static_cast<decltype(c->key)>(v);                           \
      }}
 #define TCSIM_FLOAT_FIELD(key)                                                \
-    {#key, true, [](GpuConfig* c, double v) { c->key = v; }}
+    {#key, true, 1, [](GpuConfig* c, double v) { c->key = v; }}
 
 constexpr OverrideField kOverrideFields[] = {
     TCSIM_INT_FIELD(num_sms),
@@ -280,9 +288,18 @@ constexpr OverrideField kOverrideFields[] = {
     TCSIM_INT_FIELD(num_mem_partitions),
     TCSIM_FLOAT_FIELD(dram_bytes_per_cycle_per_partition),
     TCSIM_INT_FIELD(mio_bytes_per_cycle),
+    TCSIM_INT_FIELD(l1_mshr_entries),
+    TCSIM_INT_FIELD(l2_banks),
+    TCSIM_FLOAT_FIELD(l2_bank_bytes_per_cycle),
+    TCSIM_INT_FIELD(l2_bank_queue_depth),
+    TCSIM_FLOAT_FIELD(noc_bytes_per_cycle),
+    TCSIM_INT_FIELD(noc_queue_depth),
+    TCSIM_INT_FIELD(dram_queue_depth),
+    TCSIM_INT_FIELD_MIN0(dram_rw_turnaround),
 };
 
 #undef TCSIM_INT_FIELD
+#undef TCSIM_INT_FIELD_MIN0
 #undef TCSIM_FLOAT_FIELD
 
 const OverrideField*
@@ -370,8 +387,9 @@ parse_scenario(const JsonValue& doc, const std::string& file)
                             value.as_number())
                         fail(file, "gpu." + key + " must be an integer");
                     v = value.as_number();
-                    if (v < 1)
-                        fail(file, "gpu." + key + " must be >= 1");
+                    if (v < field->min_value)
+                        fail(file, "gpu." + key + " must be >= " +
+                                       std::to_string(field->min_value));
                 }
                 sc.gpu_overrides.emplace_back(key, v);
             }
@@ -445,7 +463,10 @@ parse_scenario(const JsonValue& doc, const std::string& file)
                 // (else the -1 "not verified" sentinel would satisfy
                 // any max bound vacuously).
                 std::string rest = e.metric.substr(7);
-                size_t dot = rest.rfind('.');
+                // "stall.<reason>" is the one two-component field.
+                size_t dot = rest.find(".stall.");
+                if (dot == std::string::npos)
+                    dot = rest.rfind('.');
                 if (dot == std::string::npos || dot == 0)
                     fail(file, "bad metric path \"" + e.metric + "\"");
                 std::string kname = rest.substr(0, dot);

@@ -38,10 +38,22 @@
  *
  * Metric paths: total.{cycles,instructions,hmma_instructions,ipc,
  * tflops,ticks,skipped_cycles,stall_cycles},
+ * total.stall.<reason> (per-reason issue-stall cycles, e.g.
+ * total.stall.mshr_full / noc_busy / dram_queue),
  * kernel.<name>.{cycles,instructions,hmma_instructions,ipc,tflops,
  * start_cycle,finish_cycle,stream,stall_cycles},
+ * kernel.<name>.stall.<reason>,
+ * mem.{l1_hits,l1_misses,l2_hits,l2_misses,dram_bytes,global_sectors,
+ * mshr_merges,mshr_peak,noc_queue_cycles,l2_queue_cycles,
+ * dram_queue_cycles,dram_turnarounds} (run-wide memory-hierarchy
+ * counters from the transaction path),
  * event.<name>.cycle (completion stamp of a recorded event), and
  * verify.max_rel_err (functional kernels only).
+ *
+ * The "gpu" object also accepts the memory-hierarchy knobs
+ * l1_mshr_entries, l2_banks, l2_bank_bytes_per_cycle,
+ * l2_bank_queue_depth, noc_bytes_per_cycle, noc_queue_depth,
+ * dram_queue_depth and dram_rw_turnaround (see GpuConfig).
  */
 
 #include <stdexcept>

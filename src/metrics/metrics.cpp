@@ -68,5 +68,39 @@ launch_table(const std::vector<LaunchStats>& kernels,
     return t;
 }
 
+std::string
+mem_summary(const MemStats& mem)
+{
+    if (mem.global_sectors == 0)
+        return "";
+    auto rate = [](uint64_t hits, uint64_t total) {
+        return total == 0 ? 0.0
+                          : 100.0 * static_cast<double>(hits) /
+                                static_cast<double>(total);
+    };
+    std::string s = "mem: " + std::to_string(mem.global_sectors) +
+                    " sectors, L1 " +
+                    fmt_double(rate(mem.l1_hits,
+                                    mem.l1_hits + mem.l1_misses),
+                               1) +
+                    "% hit, L2 " +
+                    fmt_double(rate(mem.l2_hits,
+                                    mem.l2_hits + mem.l2_misses),
+                               1) +
+                    "% hit, " + std::to_string(mem.dram_bytes / 1024) +
+                    " KiB DRAM";
+    if (mem.mshr_merges > 0 || mem.mshr_peak > 0)
+        s += ", mshr peak " + std::to_string(mem.mshr_peak) + " (" +
+             std::to_string(mem.mshr_merges) + " merges)";
+    uint64_t queued = mem.noc_queue_cycles + mem.l2_queue_cycles +
+                      mem.dram_queue_cycles;
+    if (queued > 0)
+        s += ", queue delay noc/l2/dram " +
+             std::to_string(mem.noc_queue_cycles) + "/" +
+             std::to_string(mem.l2_queue_cycles) + "/" +
+             std::to_string(mem.dram_queue_cycles) + " cyc";
+    return s;
+}
+
 }  // namespace metrics
 }  // namespace tcsim

@@ -51,5 +51,13 @@ double tflops(double flops, double cycles, double clock_ghz);
 TextTable launch_table(const std::vector<LaunchStats>& kernels,
                        const std::vector<double>& flops, double clock_ghz);
 
+/**
+ * One-line memory-hierarchy summary of the transaction path: L1/L2
+ * hit rates, DRAM traffic, MSHR merge count and peak occupancy, and
+ * per-level queueing delay.  Empty when the window saw no global
+ * traffic.  Shared by simrunner and the example programs.
+ */
+std::string mem_summary(const MemStats& mem);
+
 }  // namespace metrics
 }  // namespace tcsim

@@ -151,8 +151,13 @@ SM::next_event(uint64_t now) const
     uint64_t e = UINT64_MAX;
     if (!mio_shared_.empty())
         e = std::min(e, std::max(mio_shared_free_, now + 1));
-    if (!mio_global_.empty())
-        e = std::min(e, std::max(mio_global_free_, now + 1));
+    if (!mio_global_.empty()) {
+        // A head blocked by memory back-pressure cannot progress
+        // before its retry cycle; jumping straight there is exact
+        // because queue slots free only at already-scheduled times.
+        uint64_t t = std::max(mio_global_free_, mio_global_retry_);
+        e = std::min(e, std::max(t, now + 1));
+    }
     for (const auto& sc : subcores_)
         e = std::min(e, sc->next_event(now));
     return e;
@@ -174,14 +179,21 @@ SM::issued() const
     return total;
 }
 
-bool
+StallReason
 SM::mio_push(int subcore, int warp_slot, const Instruction* inst, int iter)
 {
     auto& queue = inst->is_shared_space() ? mio_shared_ : mio_global_;
-    if (static_cast<int>(queue.size()) >= cfg_.ldst_queue_depth)
-        return false;
+    if (static_cast<int>(queue.size()) >= cfg_.ldst_queue_depth) {
+        // A full global queue caused by a refused head transaction
+        // surfaces the memory system's reason, so the warp's stall is
+        // attributed to the level that is actually back-pressuring.
+        if (!inst->is_shared_space() &&
+            mio_block_reason_ != StallReason::kNone)
+            return mio_block_reason_;
+        return StallReason::kMioFull;
+    }
     queue.push_back(MioEntry{subcore, warp_slot, inst, iter});
-    return true;
+    return StallReason::kNone;
 }
 
 void
@@ -204,22 +216,64 @@ SM::process_mio()
         subcores_[static_cast<size_t>(entry.subcore)]->register_writeback(
             done, entry.warp_slot, entry.inst, entry.iter);
     }
-    // L1/global pipe.
-    if (!mio_global_.empty() && now_ >= mio_global_free_) {
-        MioEntry entry = mio_global_.front();
-        mio_global_.pop_front();
-        progress_ = true;
-        const Instruction& inst = *entry.inst;
-        auto sectors = coalesce_sectors(inst, cfg_.l1_sector_bytes,
-                                        entry.iter);
-        bool is_write = inst.op == Opcode::kStg;
-        uint64_t done = mem_->access_global(id_, sectors, is_write, now_);
+    // L1/global pipe: drive the head entry's sectors through the
+    // transaction path.  A refused sector (MSHR / NoC / DRAM-queue
+    // back-pressure) leaves the entry at the head with its progress;
+    // the retry cycle feeds next_event so idle-skip stays exact.
+    if (!mio_global_.empty() &&
+        now_ >= std::max(mio_global_free_, mio_global_retry_)) {
+        MioEntry& entry = mio_global_.front();
+        if (!entry.primed) {
+            entry.sectors = coalesce_sectors(*entry.inst,
+                                             cfg_.l1_sector_bytes,
+                                             entry.iter);
+            entry.port_next = now_;
+            entry.primed = true;
+        }
+        const bool is_write = entry.inst->op == Opcode::kStg;
+        mio_global_retry_ = 0;
+        mio_block_reason_ = StallReason::kNone;
+        size_t accepted = 0;
+        while (entry.next_sector < entry.sectors.size()) {
+            // The L1 tag port serializes: one sector per cycle.
+            uint64_t t0 = std::max(entry.port_next, now_);
+            MemAccessResult r = mem_->access_sector(
+                id_, entry.sectors[entry.next_sector], is_write, t0);
+            if (r.status != MemAccept::kAccepted) {
+                mio_global_retry_ = std::max(r.cycle, now_ + 1);
+                mio_block_reason_ = stall_reason_of(r.status);
+                break;
+            }
+            entry.done = std::max(entry.done, r.cycle);
+            entry.port_next = t0 + 1;
+            ++entry.next_sector;
+            ++accepted;
+        }
+        if (accepted > 0)
+            progress_ = true;
         // The LDST port accepts ~2 sectors per cycle.
-        uint64_t occupancy = std::max<uint64_t>(1, sectors.size() / 2);
-        mio_global_free_ = now_ + occupancy;
-        subcores_[static_cast<size_t>(entry.subcore)]->register_writeback(
-            done, entry.warp_slot, entry.inst, entry.iter);
+        if (accepted > 0)
+            mio_global_free_ = now_ + std::max<uint64_t>(1, accepted / 2);
+        if (entry.next_sector == entry.sectors.size()) {
+            progress_ = true;
+            uint64_t done = std::max(entry.done, now_);
+            subcores_[static_cast<size_t>(entry.subcore)]->register_writeback(
+                done, entry.warp_slot, entry.inst, entry.iter);
+            mio_global_.pop_front();
+        }
     }
+}
+
+StallReason
+SM::stall_reason_of(MemAccept status)
+{
+    switch (status) {
+      case MemAccept::kMshrFull: return StallReason::kMshrFull;
+      case MemAccept::kNocBusy: return StallReason::kNocBusy;
+      case MemAccept::kDramQueue: return StallReason::kDramQueue;
+      case MemAccept::kAccepted: break;
+    }
+    return StallReason::kNone;
 }
 
 void

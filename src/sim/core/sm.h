@@ -86,10 +86,14 @@ class SM
     uint64_t now() const { return now_; }
     int id() const { return id_; }
 
-    /** Enqueue a memory instruction into the MIO path; false if the
-     *  queue is full (the warp stalls). */
-    bool mio_push(int subcore, int warp_slot, const Instruction* inst,
-                  int iter);
+    /** Enqueue a memory instruction into the MIO path.  Returns
+     *  StallReason::kNone on success; otherwise the reason the warp
+     *  must stall — kMioFull when the finite load/store queue itself
+     *  is full, or the downstream back-pressure reason (kMshrFull /
+     *  kNocBusy / kDramQueue) when the queue is full *because* the
+     *  memory system is refusing its head transaction. */
+    StallReason mio_push(int subcore, int warp_slot, const Instruction* inst,
+                         int iter);
 
     /** Functional execution of one instruction (loads/stores/ALU/HMMA). */
     void execute_functional(Warp& w, const Instruction& inst);
@@ -131,12 +135,25 @@ class SM
   private:
     void process_mio();
 
+    /** Pipeline stall reason for a memory-system refusal. */
+    static StallReason stall_reason_of(MemAccept status);
+
     struct MioEntry
     {
         int subcore;
         int warp_slot;
         const Instruction* inst;
         int iter;
+        /** Global-path transaction state: the warp's coalesced sectors
+         *  (computed when the entry reaches the head of the queue) and
+         *  how far admission has progressed.  A sector refused by the
+         *  memory system leaves the entry at the head; it resumes from
+         *  next_sector at the retry cycle. */
+        std::vector<uint64_t> sectors;
+        size_t next_sector = 0;
+        uint64_t done = 0;       ///< Max completion across sectors so far.
+        uint64_t port_next = 0;  ///< L1 port cycle of the next sector.
+        bool primed = false;     ///< Sectors computed.
     };
 
     int id_;
@@ -164,6 +181,13 @@ class SM
     std::deque<MioEntry> mio_global_;
     uint64_t mio_shared_free_ = 0;
     uint64_t mio_global_free_ = 0;
+    /** Earliest cycle a refused head transaction may be retried (0 =
+     *  head not blocked).  Folded into next_event so idle-skip jumps
+     *  exactly to the retry. */
+    uint64_t mio_global_retry_ = 0;
+    /** Why the global head is blocked (memory back-pressure), for
+     *  stall attribution when the LSQ backs up to the scheduler. */
+    StallReason mio_block_reason_ = StallReason::kNone;
     int ctas_completed_ = 0;
 };
 

@@ -25,9 +25,12 @@ enum class StallReason : uint8_t {
     kMioFull,     ///< MIO (memory) queue full.
     kAluBusy,     ///< FP32/INT path not ready.
     kDrained,     ///< Warps exited, in-flight writes still draining.
+    kMshrFull,    ///< L1 MSHR file out of entries (memory back-pressure).
+    kNocBusy,     ///< SM<->L2 interconnect / L2 bank queues saturated.
+    kDramQueue,   ///< DRAM partition request queue full.
 };
 
-constexpr size_t kNumStallReasons = 8;
+constexpr size_t kNumStallReasons = 11;
 
 /** Stable lower-case name of @p r (report keys, diagnostics). */
 constexpr const char*
@@ -42,6 +45,9 @@ stall_reason_name(StallReason r)
       case StallReason::kMioFull: return "mio_full";
       case StallReason::kAluBusy: return "alu_busy";
       case StallReason::kDrained: return "drained";
+      case StallReason::kMshrFull: return "mshr_full";
+      case StallReason::kNocBusy: return "noc_busy";
+      case StallReason::kDramQueue: return "dram_queue";
     }
     return "?";
 }

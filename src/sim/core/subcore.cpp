@@ -247,8 +247,9 @@ SubCore::try_issue_warp(int slot, uint64_t now)
       case Opcode::kStg:
       case Opcode::kLds:
       case Opcode::kSts: {
-        if (!sm_->mio_push(index_, slot, &inst, w.iter)) {
-            last_block_ = StallReason::kMioFull;
+        StallReason block = sm_->mio_push(index_, slot, &inst, w.iter);
+        if (block != StallReason::kNone) {
+            last_block_ = block;
             last_block_grid_ = w.grid;
             return false;
         }

@@ -329,14 +329,18 @@ ExecutionEngine::step()
             // host may record the missing event and resume.
             return StepResult::kBlocked;
         }
-        if (e > now + 1) {
+        if (e > now + 1 && opts_.idle_skip) {
             uint64_t gap = e - (now + 1);
             for (auto& sm : rs.sms)
                 if (sm->busy())
                     sm->account_skipped(gap);
             rs.stats.skipped_cycles += gap;
+            next = e;
+        } else if (opts_.idle_skip) {
+            next = e;
         }
-        next = e;
+        // Lockstep (idle_skip off): tick every cycle; e was still
+        // computed so the dead-chip panic above catches real stalls.
     }
     rs.now = next;
     if (rs.now > opts_.max_cycles) {

@@ -8,7 +8,13 @@
  * from all resident grids to SMs (concurrent kernel execution when
  * occupancy allows), and the main loop is event-driven — idle SMs are
  * not ticked, and when every SM is provably stalled the clock jumps to
- * the next writeback / MIO / execution-unit event.
+ * the next writeback / MIO / execution-unit event.  Pending memory
+ * transactions fold into that jump target: in-flight completions are
+ * registered writebacks, and a head transaction refused by the memory
+ * system (MSHR/NoC/DRAM back-pressure) contributes its exact retry
+ * cycle, so cycle-jumping stays bit-identical to a lockstep run even
+ * when the only outstanding work is in the memory hierarchy
+ * (SimOptions::idle_skip).
  *
  * The engine is a persistent object (Gpu owns one): per-run state
  * lives in an explicit RunState, so a run can be advanced
@@ -129,6 +135,14 @@ struct SimOptions
     /** Stop runaway simulations after this many cycles (the engine
      *  throws std::runtime_error when exceeded). */
     uint64_t max_cycles = 2'000'000'000;
+    /**
+     * Jump the clock over provably stalled cycles (the event-driven
+     * fast path).  The jump target folds in every pending memory
+     * completion and blocked-transaction retry cycle, so results are
+     * bit-identical either way; disabling it ticks every cycle and
+     * exists to prove exactly that (see tests/engine_mem_test.cpp).
+     */
+    bool idle_skip = true;
 };
 
 /** Thrown when no stream can make progress: every unfinished stream

@@ -16,37 +16,49 @@ Cache::Cache(const CacheConfig& cfg) : cfg_(cfg)
     lines_.resize(static_cast<size_t>(num_sets_) * cfg.assoc);
 }
 
+Cache::Addr
+Cache::decompose(uint64_t addr) const
+{
+    uint64_t line_addr = addr / cfg_.line_bytes;
+    // Modulo indexing (set counts need not be a power of two, e.g.
+    // the Titan V's 4608 KB L2).
+    Addr a;
+    a.set = static_cast<int>(line_addr % static_cast<uint64_t>(num_sets_));
+    a.tag = line_addr / static_cast<uint64_t>(num_sets_);
+    int sector = static_cast<int>((addr % cfg_.line_bytes) /
+                                  cfg_.sector_bytes);
+    a.sector_bit = static_cast<uint8_t>(1u << sector);
+    return a;
+}
+
+const Cache::Line*
+Cache::find(const Addr& a) const
+{
+    for (int w = 0; w < cfg_.assoc; ++w) {
+        const Line& line =
+            lines_[static_cast<size_t>(a.set) * cfg_.assoc + w];
+        if (line.valid && line.tag == a.tag)
+            return &line;
+    }
+    return nullptr;
+}
+
 CacheOutcome
 Cache::access(uint64_t addr, bool is_write)
 {
     ++tick_;
-    uint64_t line_addr = addr / cfg_.line_bytes;
-    // Modulo indexing (set counts need not be a power of two, e.g.
-    // the Titan V's 4608 KB L2).
-    int set = static_cast<int>(line_addr % static_cast<uint64_t>(num_sets_));
-    uint64_t tag = line_addr / static_cast<uint64_t>(num_sets_);
-    int sector = static_cast<int>((addr % cfg_.line_bytes) /
-                                  cfg_.sector_bytes);
-    uint8_t sector_bit = static_cast<uint8_t>(1u << sector);
-
-    Line* entry = nullptr;
-    for (int w = 0; w < cfg_.assoc; ++w) {
-        Line& line = lines_[static_cast<size_t>(set) * cfg_.assoc + w];
-        if (line.valid && line.tag == tag) {
-            entry = &line;
-            break;
-        }
-    }
+    Addr a = decompose(addr);
+    Line* entry = const_cast<Line*>(find(a));
 
     if (entry) {
         entry->lru = tick_;
-        if (entry->sector_valid & sector_bit) {
+        if (entry->sector_valid & a.sector_bit) {
             ++hits_;
             return CacheOutcome::kHit;
         }
         // Line present, sector absent: fetch one sector.
         if (!is_write || cfg_.write_allocate)
-            entry->sector_valid |= sector_bit;
+            entry->sector_valid |= a.sector_bit;
         ++misses_;
         return CacheOutcome::kSectorMiss;
     }
@@ -56,9 +68,9 @@ Cache::access(uint64_t addr, bool is_write)
         return CacheOutcome::kLineMiss;  // write-through, no fill
 
     // Victim = LRU way.
-    Line* victim = &lines_[static_cast<size_t>(set) * cfg_.assoc];
+    Line* victim = &lines_[static_cast<size_t>(a.set) * cfg_.assoc];
     for (int w = 1; w < cfg_.assoc; ++w) {
-        Line& line = lines_[static_cast<size_t>(set) * cfg_.assoc + w];
+        Line& line = lines_[static_cast<size_t>(a.set) * cfg_.assoc + w];
         if (!line.valid) {
             victim = &line;
             break;
@@ -67,19 +79,34 @@ Cache::access(uint64_t addr, bool is_write)
             victim = &line;
     }
     victim->valid = true;
-    victim->tag = tag;
+    victim->tag = a.tag;
     victim->lru = tick_;
-    victim->sector_valid = sector_bit;
+    victim->sector_valid = a.sector_bit;
     return CacheOutcome::kLineMiss;
+}
+
+CacheOutcome
+Cache::probe(uint64_t addr, bool is_write) const
+{
+    (void)is_write;  // Same lookup either way; kept for symmetry.
+    Addr a = decompose(addr);
+    const Line* line = find(a);
+    if (!line)
+        return CacheOutcome::kLineMiss;
+    return (line->sector_valid & a.sector_bit) ? CacheOutcome::kHit
+                                               : CacheOutcome::kSectorMiss;
 }
 
 void
 Cache::flush()
 {
-    for (auto& line : lines_) {
-        line.valid = false;
-        line.sector_valid = 0;
-    }
+    // Reset the LRU clock alongside the tags: stale per-line `lru`
+    // stamps and a still-running tick_ would make post-flush
+    // replacement state depend on pre-flush history, so two engine
+    // runs over the same workload could diverge from a fresh cache.
+    for (auto& line : lines_)
+        line = Line{};
+    tick_ = 0;
     hits_ = 0;
     misses_ = 0;
 }

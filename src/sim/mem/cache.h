@@ -43,7 +43,16 @@ class Cache
      */
     CacheOutcome access(uint64_t addr, bool is_write);
 
-    /** Invalidate all lines (kernel boundary). */
+    /**
+     * Outcome access() would return, with no side effects (no LRU
+     * update, no counters, no fill).  The transaction path probes
+     * before committing so a refused (back-pressured) access can be
+     * retried without perturbing replacement state.
+     */
+    CacheOutcome probe(uint64_t addr, bool is_write) const;
+
+    /** Invalidate all lines and reset the LRU clock and counters
+     *  (engine-run boundary). */
     void flush();
 
     int num_sets() const { return num_sets_; }
@@ -58,6 +67,18 @@ class Cache
         uint8_t sector_valid = 0;  ///< Bitmask over sectors.
         bool valid = false;
     };
+
+    /** Decomposed address: the single source of the set/tag/sector
+     *  math shared by access() and probe(). */
+    struct Addr
+    {
+        int set;
+        uint64_t tag;
+        uint8_t sector_bit;
+    };
+    Addr decompose(uint64_t addr) const;
+    /** Matching valid line in @p a's set, or nullptr. */
+    const Line* find(const Addr& a) const;
 
     CacheConfig cfg_;
     int num_sets_;

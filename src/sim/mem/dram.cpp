@@ -1,39 +1,74 @@
 #include "sim/mem/dram.h"
 
-#include <algorithm>
-
 #include "common/logging.h"
 
 namespace tcsim {
 
 DramModel::DramModel(int num_partitions, double bytes_per_cycle, int latency,
-                     int interleave_bytes)
-    : num_partitions_(num_partitions), cycles_per_byte_(1.0 / bytes_per_cycle),
-      latency_(latency), interleave_bytes_(interleave_bytes),
-      next_free_(static_cast<size_t>(num_partitions), 0.0)
+                     int interleave_bytes, int queue_depth, int rw_turnaround)
+    : num_partitions_(num_partitions), latency_(latency),
+      interleave_bytes_(interleave_bytes), rw_turnaround_(rw_turnaround)
 {
     TCSIM_CHECK(num_partitions > 0);
-    TCSIM_CHECK(bytes_per_cycle > 0.0);
+    TCSIM_CHECK(rw_turnaround >= 0);
+    parts_.resize(static_cast<size_t>(num_partitions));
+    for (Partition& p : parts_)
+        p.chan = BoundedChannel(bytes_per_cycle, queue_depth,
+                                /*retire_on_submit=*/true);
 }
 
 uint64_t
-DramModel::access(uint64_t addr, int bytes, uint64_t now)
+DramModel::access(uint64_t addr, int bytes, bool is_write, uint64_t now)
 {
-    int part = static_cast<int>((addr / interleave_bytes_) % num_partitions_);
-    double start = std::max(static_cast<double>(now), next_free_[part]);
-    double service = bytes * cycles_per_byte_;
-    next_free_[part] = start + service;
-    total_bytes_ += static_cast<uint64_t>(bytes);
-    ++total_requests_;
-    return static_cast<uint64_t>(start + service) + latency_;
+    Partition& p = parts_[static_cast<size_t>(partition(addr))];
+    double turnaround = 0.0;
+    if (p.active && p.last_write != is_write && rw_turnaround_ > 0) {
+        turnaround = static_cast<double>(rw_turnaround_);
+        ++turnarounds_;
+    }
+    p.active = true;
+    p.last_write = is_write;
+    p.chan.submit(now, bytes, turnaround);
+    return static_cast<uint64_t>(p.chan.horizon()) +
+           static_cast<uint64_t>(latency_);
+}
+
+uint64_t
+DramModel::total_bytes() const
+{
+    uint64_t n = 0;
+    for (const Partition& p : parts_)
+        n += p.chan.total_bytes();
+    return n;
+}
+
+uint64_t
+DramModel::total_requests() const
+{
+    uint64_t n = 0;
+    for (const Partition& p : parts_)
+        n += p.chan.total_requests();
+    return n;
+}
+
+uint64_t
+DramModel::queue_cycles() const
+{
+    uint64_t n = 0;
+    for (const Partition& p : parts_)
+        n += p.chan.queue_cycles();
+    return n;
 }
 
 void
 DramModel::reset()
 {
-    std::fill(next_free_.begin(), next_free_.end(), 0.0);
-    total_bytes_ = 0;
-    total_requests_ = 0;
+    for (Partition& p : parts_) {
+        p.chan.reset();
+        p.last_write = false;
+        p.active = false;
+    }
+    turnarounds_ = 0;
 }
 
 }  // namespace tcsim

@@ -159,6 +159,63 @@ TEST(BatchRunner, FailingScenarioDoesNotPoisonTheBatch)
     }
 }
 
+TEST(BatchRunner, FailFastStopsSerialBatchAtFirstFailure)
+{
+    std::vector<Scenario> suite = make_suite();
+    // Fail the second scenario; everything after it must be skipped.
+    suite.insert(suite.begin() + 1, parse_scenario_text(R"({
+      "name": "too_big",
+      "gpu": {"preset": "titan_v", "num_sms": 1, "registers_per_sm": 1024},
+      "kernels": [{"kernel": "hmma_stress", "warps_per_cta": 4}]
+    })"));
+
+    BatchReport report = run_batch(suite, 1, /*fail_fast=*/true);
+    EXPECT_EQ(report.failed(), 1);
+    EXPECT_EQ(report.skipped(),
+              static_cast<int>(suite.size()) - 2);
+    EXPECT_TRUE(report.results[0].passed);
+    EXPECT_FALSE(report.results[1].passed);
+    EXPECT_FALSE(report.results[1].skipped);
+    for (size_t i = 2; i < report.results.size(); ++i) {
+        EXPECT_TRUE(report.results[i].skipped) << report.results[i].name;
+        EXPECT_FALSE(report.results[i].passed);
+        EXPECT_EQ(report.results[i].name, suite[i].name);
+    }
+}
+
+TEST(BatchRunner, FailFastParallelSkipsScenariosNotYetStarted)
+{
+    std::vector<Scenario> suite = make_suite();
+    suite.insert(suite.begin(), parse_scenario_text(R"({
+      "name": "too_big",
+      "gpu": {"preset": "titan_v", "num_sms": 1, "registers_per_sm": 1024},
+      "kernels": [{"kernel": "hmma_stress", "warps_per_cta": 4}]
+    })"));
+
+    // Workers finish scenarios already in flight, so the exact skip
+    // count depends on timing; the invariants are: the failure is
+    // recorded, nothing reports as passed-and-skipped, and the batch
+    // still fails.
+    BatchReport report = run_batch(suite, 2, /*fail_fast=*/true);
+    EXPECT_GE(report.failed(), 1);
+    EXPECT_FALSE(report.results[0].passed);
+    for (const ScenarioResult& r : report.results)
+        EXPECT_FALSE(r.passed && r.skipped);
+}
+
+TEST(BatchRunner, NoFailFastRunsEverythingDespiteFailure)
+{
+    std::vector<Scenario> suite = make_suite();
+    suite.insert(suite.begin(), parse_scenario_text(R"({
+      "name": "too_big",
+      "gpu": {"preset": "titan_v", "num_sms": 1, "registers_per_sm": 1024},
+      "kernels": [{"kernel": "hmma_stress", "warps_per_cta": 4}]
+    })"));
+    BatchReport report = run_batch(suite, 1);
+    EXPECT_EQ(report.failed(), 1);
+    EXPECT_EQ(report.skipped(), 0);
+}
+
 TEST(BatchRunner, ReportJsonRoundTrips)
 {
     std::vector<Scenario> suite = make_suite();

@@ -11,6 +11,7 @@
  *     --jobs N       worker threads (default: hardware concurrency)
  *     --report FILE  write the aggregate JSON report to FILE
  *     --filter SUB   only run scenarios whose name contains SUB
+ *     --fail-fast    stop the batch on the first scenario failure
  *     --list         list matching scenarios and exit
  *     --quiet        only print the summary and failures
  *
@@ -42,6 +43,7 @@ struct Options
     int jobs = 0;  ///< 0 = hardware concurrency.
     std::string report_path;
     std::string filter;
+    bool fail_fast = false;
     bool list = false;
     bool quiet = false;
     std::vector<std::string> inputs;
@@ -56,6 +58,7 @@ usage(std::FILE* to)
         "  --jobs N       worker threads (default: hardware concurrency)\n"
         "  --report FILE  write the aggregate JSON report to FILE\n"
         "  --filter SUB   only run scenarios whose name contains SUB\n"
+        "  --fail-fast    stop the batch on the first scenario failure\n"
         "  --list         list matching scenarios and exit\n"
         "  --quiet        only print the summary and failures\n");
 }
@@ -92,6 +95,8 @@ parse_args(int argc, char** argv, Options* opts)
             if (!v)
                 return false;
             opts->filter = v;
+        } else if (arg == "--fail-fast") {
+            opts->fail_fast = true;
         } else if (arg == "--list") {
             opts->list = true;
         } else if (arg == "--quiet" || arg == "-q") {
@@ -140,12 +145,13 @@ collect_files(const std::vector<std::string>& inputs)
 void
 print_result(const driver::ScenarioResult& r, bool quiet)
 {
-    if (quiet && r.passed)
+    if (quiet && (r.passed || r.skipped))
         return;
     std::printf("\n=== %s (%s) ===\n", r.name.c_str(),
-                r.passed ? "PASS" : "FAIL");
+                r.skipped ? "SKIP" : (r.passed ? "PASS" : "FAIL"));
     if (!r.error.empty()) {
-        std::printf("  error: %s\n", r.error.c_str());
+        std::printf("  %s%s\n", r.skipped ? "" : "error: ",
+                    r.error.c_str());
         return;
     }
     std::vector<double> flops;
@@ -166,6 +172,9 @@ print_result(const driver::ScenarioResult& r, bool quiet)
                 "wall\n",
                 static_cast<unsigned long long>(r.totals.cycles),
                 r.totals.ipc, r.total_tflops, r.wall_ms);
+    std::string mem = metrics::mem_summary(r.totals.mem);
+    if (!mem.empty())
+        std::printf("  %s\n", mem.c_str());
     for (const driver::AssertionResult& a : r.assertions)
         std::printf("  %s %s = %.10g (want %s)\n", a.passed ? "ok " : "FAIL",
                     a.metric.c_str(), a.value, a.detail.c_str());
@@ -214,16 +223,37 @@ main(int argc, char** argv)
         return 1;
     }
 
-    std::printf("running %zu scenario(s) on %d worker thread(s)\n",
-                scenarios.size(), opts.jobs);
-    driver::BatchReport report = driver::run_batch(scenarios, opts.jobs);
+    std::printf("running %zu scenario(s) on %d worker thread(s)%s\n",
+                scenarios.size(), opts.jobs,
+                opts.fail_fast ? " (fail-fast)" : "");
+    driver::BatchReport report =
+        driver::run_batch(scenarios, opts.jobs, opts.fail_fast);
 
     for (const driver::ScenarioResult& r : report.results)
         print_result(r, opts.quiet);
 
+    // Aggregate report: one line per scenario with its wall time, so
+    // slow scenarios are visible without digging through the JSON.
+    // Suppressed by --quiet (which promises summary-and-failures only);
+    // the JSON report carries per-scenario wall_ms either way.
+    if (!opts.quiet) {
+        char wall[32];
+        TextTable agg;
+        agg.set_header({"scenario", "status", "wall ms"});
+        for (const driver::ScenarioResult& r : report.results) {
+            std::snprintf(wall, sizeof(wall), "%.1f", r.wall_ms);
+            agg.add_row({r.name,
+                         r.skipped ? "SKIP" : (r.passed ? "PASS" : "FAIL"),
+                         wall});
+        }
+        std::printf("\n%s", agg.render().c_str());
+    }
+
     int failed = report.failed() + load_failures;
-    std::printf("\n%zu scenario(s), %d failed, %.1f ms wall (%d jobs)\n",
-                report.results.size(), failed, report.wall_ms, report.jobs);
+    std::printf("\n%zu scenario(s), %d failed, %d skipped, %.1f ms wall "
+                "(%d jobs)\n",
+                report.results.size(), failed, report.skipped(),
+                report.wall_ms, report.jobs);
 
     if (!opts.report_path.empty()) {
         // A vanished report artifact must not look like a green run.
