@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Engine scaling snapshot: one large memory-bound scenario (a 256^3
+ * streaming WMMA GEMM on the full 80-SM Titan V with a 16 KiB L1) run
+ * with the parallel simulation core at 1, 2 and 4 worker threads.
+ *
+ * Two things are gated in CI from BENCH_engine_scaling.json:
+ *  - determinism: the cycle and tick counts at every thread count are
+ *    committed as exact-match baselines (they must all be equal, and
+ *    must never drift without a deliberate model change);
+ *  - speedup visibility: wall times and the 4-thread speedup are
+ *    emitted for the artifact charts, but deliberately *not* gated —
+ *    they measure the host, not the model.  Set TCSIM_SCALING_MIN to
+ *    a factor (e.g. 2.0) to make the binary fail below that speedup
+ *    on machines with enough cores.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "kernels/gemm_kernels.h"
+#include "sim/gpu.h"
+
+using namespace tcsim;
+
+namespace {
+
+/** The mem_pressure scenario family scaled to the full chip. */
+GpuConfig
+big_mem_bound()
+{
+    GpuConfig cfg = bench::titan_v();
+    cfg.l1_size = 16 * 1024;
+    cfg.dram_latency = 400;
+    return cfg;
+}
+
+struct Sample
+{
+    uint64_t cycles = 0;
+    uint64_t ticks = 0;
+    double wall_ms = 0.0;
+};
+
+Sample
+run_with_threads(int threads)
+{
+    SimOptions opts;
+    opts.sim_threads = threads;
+    Gpu gpu(big_mem_bound(), opts);
+    GemmKernelConfig kc;
+    kc.m = kc.n = kc.k = 256;
+    kc.functional = false;
+    GemmBuffers buf;
+    buf.a = gpu.mem().alloc(static_cast<uint64_t>(kc.m) * kc.k * 2);
+    buf.b = gpu.mem().alloc(static_cast<uint64_t>(kc.k) * kc.n * 2);
+    buf.c = gpu.mem().alloc(static_cast<uint64_t>(kc.m) * kc.n * 4);
+    buf.d = gpu.mem().alloc(static_cast<uint64_t>(kc.m) * kc.n * 4);
+    gpu.default_stream().enqueue(make_wmma_gemm_naive(kc, buf));
+
+    bench::Timer timer;
+    EngineStats es = gpu.run();
+    Sample s;
+    s.cycles = es.cycles;
+    s.ticks = es.ticks;
+    s.wall_ms = timer.ms();
+    return s;
+}
+
+}  // namespace
+
+int
+main()
+{
+    unsigned hc = std::thread::hardware_concurrency();
+    std::printf("Engine scaling: 256^3 naive WMMA GEMM, 80 SMs, 16 KiB L1 "
+                "(memory-bound), %u hardware thread(s)\n\n", hc);
+
+    bench::JsonEmitter json("engine_scaling");
+    TextTable t;
+    t.set_header({"sim_threads", "cycles", "ticks", "wall ms", "ticks/s",
+                  "speedup"});
+
+    const int kThreads[] = {1, 2, 4};
+    Sample base;
+    double speedup4 = 0.0;
+    char key[48], buf[6][32];
+    for (int threads : kThreads) {
+        Sample s = run_with_threads(threads);
+        if (threads == 1)
+            base = s;
+        double speedup = s.wall_ms > 0.0 ? base.wall_ms / s.wall_ms : 0.0;
+        if (threads == 4)
+            speedup4 = speedup;
+
+        std::snprintf(key, sizeof(key), "t%d_cycles", threads);
+        json.add(key, static_cast<double>(s.cycles));
+        std::snprintf(key, sizeof(key), "t%d_tick_count", threads);
+        json.add(key, static_cast<double>(s.ticks));
+        std::snprintf(key, sizeof(key), "t%d_wall_ms", threads);
+        json.add(key, s.wall_ms);
+
+        std::snprintf(buf[0], sizeof(buf[0]), "%d", threads);
+        std::snprintf(buf[1], sizeof(buf[1]), "%llu",
+                      static_cast<unsigned long long>(s.cycles));
+        std::snprintf(buf[2], sizeof(buf[2]), "%llu",
+                      static_cast<unsigned long long>(s.ticks));
+        std::snprintf(buf[3], sizeof(buf[3]), "%.1f", s.wall_ms);
+        std::snprintf(buf[4], sizeof(buf[4]), "%.3g",
+                      s.wall_ms > 0.0
+                          ? static_cast<double>(s.ticks) / (s.wall_ms / 1e3)
+                          : 0.0);
+        std::snprintf(buf[5], sizeof(buf[5]), "%.2fx", speedup);
+        t.add_row({buf[0], buf[1], buf[2], buf[3], buf[4], buf[5]});
+
+        // Determinism is the benchmark's contract: refuse to emit a
+        // snapshot where the thread count changed the simulation.
+        if (s.cycles != base.cycles || s.ticks != base.ticks) {
+            std::printf("FAILED: sim_threads=%d diverged from serial "
+                        "(%llu vs %llu cycles)\n", threads,
+                        static_cast<unsigned long long>(s.cycles),
+                        static_cast<unsigned long long>(base.cycles));
+            return 1;
+        }
+    }
+    json.add("speedup_4t_wall", speedup4);
+
+    std::printf("%s\n", t.render().c_str());
+    std::printf("4-thread speedup: %.2fx (wall; meaningful only with >= 4 "
+                "hardware threads)\n", speedup4);
+
+    if (const char* min = std::getenv("TCSIM_SCALING_MIN")) {
+        double want = std::atof(min);
+        if (speedup4 < want) {
+            std::printf("FAILED: TCSIM_SCALING_MIN=%.2f not reached\n",
+                        want);
+            return 1;
+        }
+    }
+    return 0;
+}

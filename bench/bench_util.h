@@ -5,6 +5,7 @@
  * machine-readable JSON emitter the perf-trajectory tooling consumes.
  */
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -76,6 +77,24 @@ class JsonEmitter
     std::string name_;
     std::vector<std::pair<std::string, double>> metrics_;
     bool written_ = false;
+};
+
+/** Wall-clock stopwatch (steady clock, starts at construction). */
+class Timer
+{
+  public:
+    Timer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Milliseconds elapsed since construction. */
+    double ms() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
 };
 
 /** Print a titled section separator. */

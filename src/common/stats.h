@@ -44,6 +44,12 @@ class Histogram
     explicit Histogram(std::string name) : name_(std::move(name)) {}
 
     void add(double sample) { samples_.push_back(sample); }
+    /** Append every sample of @p other (in its recorded order). */
+    void merge(const Histogram& other)
+    {
+        samples_.insert(samples_.end(), other.samples_.begin(),
+                        other.samples_.end());
+    }
     size_t count() const { return samples_.size(); }
     bool empty() const { return samples_.empty(); }
 

@@ -14,6 +14,7 @@
 #include "metrics/metrics.h"
 #include "sim/core/sm.h"
 #include "sim/gpu.h"
+#include "sim/worker_pool.h"
 #include "tensor/types.h"
 
 namespace tcsim {
@@ -332,18 +333,23 @@ evaluate(const ScenarioResult& r, const Expectation& e)
 }  // namespace
 
 ScenarioResult
-run_scenario(const Scenario& scenario)
+run_scenario(const Scenario& scenario, int sim_threads_override)
 {
     using clock = std::chrono::steady_clock;
     ScenarioResult result;
     result.name = scenario.name;
     result.file = scenario.file;
+    SimOptions sim = scenario.sim;
+    if (sim_threads_override >= 0)
+        sim.sim_threads = sim_threads_override;
+    result.sim_threads =
+        sim.sim_threads > 0 ? sim.sim_threads : hardware_threads();
     auto t0 = clock::now();
 
     try {
         GpuConfig cfg = scenario.gpu_config();
         result.clock_ghz = cfg.clock_ghz;
-        Gpu gpu(cfg, scenario.sim);
+        Gpu gpu(cfg, sim);
 
         std::vector<PreparedKernel> prepared;
         prepared.reserve(scenario.kernels.size());
@@ -457,6 +463,9 @@ run_scenario(const Scenario& scenario)
 
     result.wall_ms =
         std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    if (result.wall_ms > 0.0)
+        result.ticks_per_sec = static_cast<double>(result.totals.ticks) /
+                               (result.wall_ms / 1000.0);
     return result;
 }
 
@@ -494,12 +503,44 @@ skipped_result(const Scenario& sc)
 
 }  // namespace
 
+int
+effective_jobs(const BatchOptions& opts,
+               const std::vector<Scenario>& scenarios)
+{
+    int hw = hardware_threads();
+    int jobs = std::max(1, opts.jobs);
+    // An explicit jobs request floors the default budget: batches of
+    // *serial* simulations keep exactly the worker count they asked
+    // for (oversubscribing with more scenarios than cores is a valid,
+    // pre-existing use).  The clamp below only redistributes the
+    // budget when intra-sim threads would multiply it.
+    int budget = opts.thread_budget > 0 ? opts.thread_budget
+                                        : std::max(hw, jobs);
+    // The widest simulation the batch will run: the override if set,
+    // else the largest per-scenario request (0 = auto = hw).
+    int per_sim = 1;
+    if (opts.sim_threads >= 0) {
+        per_sim = opts.sim_threads == 0 ? hw : opts.sim_threads;
+    } else {
+        for (const Scenario& sc : scenarios) {
+            int t = sc.sim.sim_threads == 0 ? hw : sc.sim.sim_threads;
+            per_sim = std::max(per_sim, t);
+        }
+    }
+    // Intra-sim width wins the budget; batch parallelism yields (one
+    // big scenario bounding the batch is exactly the case the worker
+    // pool exists for).
+    return std::max(1, std::min(jobs, budget / std::max(1, per_sim)));
+}
+
 BatchReport
-run_batch(const std::vector<Scenario>& scenarios, int jobs, bool fail_fast)
+run_batch(const std::vector<Scenario>& scenarios, const BatchOptions& opts)
 {
     using clock = std::chrono::steady_clock;
+    const bool fail_fast = opts.fail_fast;
+    const int sim_threads = opts.sim_threads;
     BatchReport report;
-    report.jobs = std::max(1, jobs);
+    report.jobs = effective_jobs(opts, scenarios);
     report.results.resize(scenarios.size());
     auto t0 = clock::now();
 
@@ -513,7 +554,7 @@ run_batch(const std::vector<Scenario>& scenarios, int jobs, bool fail_fast)
                 report.results[i] = skipped_result(scenarios[i]);
                 continue;
             }
-            report.results[i] = run_scenario(scenarios[i]);
+            report.results[i] = run_scenario(scenarios[i], sim_threads);
             if (fail_fast && !report.results[i].passed)
                 stop.store(true, std::memory_order_relaxed);
         }
@@ -530,7 +571,7 @@ run_batch(const std::vector<Scenario>& scenarios, int jobs, bool fail_fast)
                     report.results[i] = skipped_result(scenarios[i]);
                     continue;
                 }
-                report.results[i] = run_scenario(scenarios[i]);
+                report.results[i] = run_scenario(scenarios[i], sim_threads);
                 if (fail_fast && !report.results[i].passed)
                     stop.store(true, std::memory_order_relaxed);
             }
@@ -548,6 +589,15 @@ run_batch(const std::vector<Scenario>& scenarios, int jobs, bool fail_fast)
     report.wall_ms =
         std::chrono::duration<double, std::milli>(clock::now() - t0).count();
     return report;
+}
+
+BatchReport
+run_batch(const std::vector<Scenario>& scenarios, int jobs, bool fail_fast)
+{
+    BatchOptions opts;
+    opts.jobs = jobs;
+    opts.fail_fast = fail_fast;
+    return run_batch(scenarios, opts);
 }
 
 JsonValue
@@ -574,6 +624,16 @@ report_to_json(const BatchReport& report)
         if (!r.error.empty())
             jr.set("error", r.error);
         jr.set("wall_ms", r.wall_ms);
+
+        // Simulation-speed telemetry (CI artifacts chart speedups from
+        // these).  Wall-clock shaped: tools/report_diff.py strips the
+        // whole "sim" key, so run-dependent fields belong in here —
+        // everything outside it must be identical across runs.
+        JsonValue sim = JsonValue::object();
+        sim.set("wall_ms", r.wall_ms);
+        sim.set("ticks_per_sec", r.ticks_per_sec);
+        sim.set("sim_threads", r.sim_threads);
+        jr.set("sim", std::move(sim));
 
         JsonValue totals = JsonValue::object();
         totals.set("cycles", r.totals.cycles);

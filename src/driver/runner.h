@@ -76,11 +76,20 @@ struct ScenarioResult
     std::vector<EventResult> events;
     std::vector<AssertionResult> assertions;
     double wall_ms = 0.0;
+    /** Simulation throughput: engine ticks per wall-clock second
+     *  (ticks, not simulated cycles — idle-skip jumps make cycles a
+     *  poor rate denominator). */
+    double ticks_per_sec = 0.0;
+    /** Worker threads the simulation ran with (resolved, >= 1). */
+    int sim_threads = 1;
 };
 
 /** Run one scenario to completion; never throws (errors land in
- *  ScenarioResult::error). */
-ScenarioResult run_scenario(const Scenario& scenario);
+ *  ScenarioResult::error).  @p sim_threads_override replaces the
+ *  scenario's sim.sim_threads when >= 0 (the simrunner --sim-threads
+ *  flag and the CI serial-vs-threaded identity legs). */
+ScenarioResult run_scenario(const Scenario& scenario,
+                            int sim_threads_override = -1);
 
 /** Aggregate outcome of a scenario batch. */
 struct BatchReport
@@ -94,13 +103,42 @@ struct BatchReport
     int skipped() const;
 };
 
+/** Batch execution knobs. */
+struct BatchOptions
+{
+    /** Requested batch worker threads (scenarios in flight at once). */
+    int jobs = 1;
+    /** Stop starting new scenarios after the first failure. */
+    bool fail_fast = false;
+    /** Override every scenario's sim.sim_threads (-1 = keep the
+     *  per-scenario setting). */
+    int sim_threads = -1;
+    /** Total thread budget shared between batch workers and each
+     *  simulation's intra-sim workers (0 = the larger of hardware
+     *  concurrency and the explicit jobs request, so batches of
+     *  serial simulations keep exactly the workers they asked for):
+     *  jobs is clamped to budget / sim_threads so batch parallelism
+     *  times intra-sim parallelism never oversubscribes the host. */
+    int thread_budget = 0;
+};
+
+/** The batch worker count run_batch will actually use for @p opts
+ *  over @p scenarios (the --jobs request after the thread-budget
+ *  clamp). */
+int effective_jobs(const BatchOptions& opts,
+                   const std::vector<Scenario>& scenarios);
+
 /**
- * Run @p scenarios on @p jobs worker threads (1 = serial, in the
- * calling thread).  Results keep input order; per-scenario statistics
- * are independent of @p jobs.  With @p fail_fast, the first failure
- * stops the batch: scenarios not yet started are marked skipped
+ * Run @p scenarios on a batch worker pool.  Results keep input order;
+ * per-scenario statistics are independent of jobs and of each
+ * simulation's sim_threads.  With fail_fast, the first failure stops
+ * the batch: scenarios not yet started are marked skipped
  * (already-running workers finish their current scenario).
  */
+BatchReport run_batch(const std::vector<Scenario>& scenarios,
+                      const BatchOptions& opts);
+
+/** Legacy signature: jobs + fail_fast only. */
 BatchReport run_batch(const std::vector<Scenario>& scenarios, int jobs,
                       bool fail_fast = false);
 

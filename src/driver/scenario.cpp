@@ -397,7 +397,9 @@ parse_scenario(const JsonValue& doc, const std::string& file)
     }
 
     if (const JsonValue* sim = doc.find("sim")) {
-        check_keys(*sim, {"scheduler", "max_cycles"}, "sim", file);
+        check_keys(*sim,
+                   {"scheduler", "max_cycles", "sim_threads", "idle_skip"},
+                   "sim", file);
         sc.sim.scheduler =
             parse_scheduler(get_string(*sim, "scheduler", "gto"), file);
         if (const JsonValue* v = sim->find("max_cycles")) {
@@ -406,6 +408,15 @@ parse_scenario(const JsonValue& doc, const std::string& file)
                 fail(file, "sim.max_cycles must be positive");
             sc.sim.max_cycles = static_cast<uint64_t>(mc);
         }
+        if (const JsonValue* v = sim->find("sim_threads")) {
+            int64_t t = v->as_int();
+            if (t < 0)
+                fail(file, "sim.sim_threads must be >= 0 (0 = one per "
+                           "hardware thread)");
+            sc.sim.sim_threads = static_cast<int>(t);
+        }
+        if (const JsonValue* v = sim->find("idle_skip"))
+            sc.sim.idle_skip = v->as_bool();
     }
 
     const JsonValue* kernels = doc.find("kernels");

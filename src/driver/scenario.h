@@ -15,7 +15,11 @@
  *     "gpu": {"preset": "titan_v",          // or "rtx2080"
  *             "num_sms": 8, "clock_ghz": 1.53, ...},  // field overrides
  *     "sim": {"scheduler": "gto" | "lrr" | "two_level",
- *             "max_cycles": 100000000},
+ *             "max_cycles": 100000000,
+ *             "sim_threads": 1,      // intra-sim worker threads
+ *                                    // (0 = hardware concurrency);
+ *                                    // results are thread-invariant
+ *             "idle_skip": true},    // false = lockstep main loop
  *     "kernels": [                          // required, non-empty
  *       {"kernel": "wmma_shared",           // required; see registry
  *        "name": "gemm0", "stream": 0,

@@ -1,28 +1,42 @@
 #include "sim/core/sm.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/logging.h"
 #include "sim/mem/coalescer.h"
 
 namespace tcsim {
 
+uint64_t
+ExecutorCache::key(Arch arch, const HmmaInfo& info)
+{
+    return (static_cast<uint64_t>(arch) << 40) |
+           (static_cast<uint64_t>(info.mode) << 36) |
+           (static_cast<uint64_t>(info.a_layout) << 34) |
+           (static_cast<uint64_t>(info.b_layout) << 32) |
+           (static_cast<uint64_t>(info.shape.m) << 16) |
+           (static_cast<uint64_t>(info.shape.n) << 8) |
+           static_cast<uint64_t>(info.shape.k);
+}
+
 HmmaExecutor&
 ExecutorCache::get(Arch arch, const HmmaInfo& info)
 {
-    uint64_t key = (static_cast<uint64_t>(arch) << 40) |
-                   (static_cast<uint64_t>(info.mode) << 36) |
-                   (static_cast<uint64_t>(info.a_layout) << 34) |
-                   (static_cast<uint64_t>(info.b_layout) << 32) |
-                   (static_cast<uint64_t>(info.shape.m) << 16) |
-                   (static_cast<uint64_t>(info.shape.n) << 8) |
-                   static_cast<uint64_t>(info.shape.k);
-    auto it = cache_.find(key);
+    uint64_t k = key(arch, info);
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        auto it = cache_.find(k);
+        if (it != cache_.end())
+            return *it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto it = cache_.find(k);  // Lost the upgrade race?  Reuse.
     if (it == cache_.end()) {
         it = cache_
-                 .emplace(key, std::make_unique<HmmaExecutor>(
-                                   arch, info.mode, info.shape, info.a_layout,
-                                   info.b_layout))
+                 .emplace(k, std::make_unique<HmmaExecutor>(
+                                 arch, info.mode, info.shape, info.a_layout,
+                                 info.b_layout))
                  .first;
     }
     return *it->second;
@@ -121,15 +135,46 @@ SM::launch_cta(GridRun* grid, int cta_id)
 void
 SM::cycle(uint64_t now)
 {
+    begin_tick(now);
+    tick_compute(now);
+    commit_tick();
+}
+
+void
+SM::begin_tick(uint64_t now)
+{
     now_ = now;
     progress_ = false;
     process_mio();
+}
+
+void
+SM::tick_compute(uint64_t now)
+{
     for (auto& sc : subcores_) {
         if (sc->do_writebacks(now))
             progress_ = true;
         if (sc->try_issue(now))
             progress_ = true;
     }
+    // Tick-end caches: computed here (possibly on a worker thread) so
+    // the engine's busy-list rebuild and stalled-chip event scan read
+    // one value per SM instead of re-walking SM internals serially.
+    busy_cache_ = busy();
+    next_event_cache_ = next_event(now);
+}
+
+void
+SM::commit_tick()
+{
+    for (const StagedMemOp& op : staged_mem_)
+        functional_global_access(*op.warp, *op.inst, op.iter);
+    staged_mem_.clear();
+    for (GridRun* grid : staged_cta_done_) {
+        if (++grid->ctas_done == grid->kernel->grid_ctas)
+            grid->finish_cycle = now_;
+    }
+    staged_cta_done_.clear();
 }
 
 bool
@@ -307,14 +352,15 @@ SM::warp_finished(int cta_slot)
     cta.grid = nullptr;
     cta.shared.reset();
 
-    if (++grid->ctas_done == k.grid_ctas)
-        grid->finish_cycle = now_;
+    // ctas_done / finish_cycle are shared by every SM hosting this
+    // grid: the increment applies at commit_tick, in SM-index order.
+    staged_cta_done_.push_back(grid);
 }
 
 void
 SM::count_issue(const Warp& w, const Instruction& inst)
 {
-    RunStatsCollector& s = w.grid->stats;
+    RunStatsShard& s = w.grid->stats.shard(id_);
     ++s.instructions;
     if (inst.op == Opcode::kHmma)
         ++s.hmma_instructions;
@@ -334,27 +380,43 @@ SM::execute_functional(Warp& w, const Instruction& inst)
     WarpRegState& regs = *w.regs;
 
     switch (inst.op) {
-      case Opcode::kHmma:
-        executors_->get(cfg_.arch, inst.hmma).execute_step(inst.hmma, regs);
+      case Opcode::kHmma: {
+        // Per-SM memo of the shared executor cache: kernels switch
+        // HMMA configurations rarely, and skipping the reader lock
+        // keeps worker threads off a shared cache line in the
+        // functional hot path (same pattern as timing_for).
+        uint64_t key = ExecutorCache::key(cfg_.arch, inst.hmma);
+        if (executor_memo_ == nullptr || key != executor_memo_key_) {
+            executor_memo_ = &executors_->get(cfg_.arch, inst.hmma);
+            executor_memo_key_ = key;
+        }
+        executor_memo_->execute_step(inst.hmma, regs);
         break;
+      }
 
       case Opcode::kLdg:
+      case Opcode::kStg:
+        // Global memory is shared across SMs: stage the access and
+        // apply it in commit_tick (engine thread, SM-index order).
+        // Nothing can observe the warp's registers or the addressed
+        // bytes between issue and commit — the warp issues at most
+        // one instruction per tick and dependents are scoreboarded —
+        // so the deferral is invisible to a serial run.
+        TCSIM_CHECK(inst.addr);
+        staged_mem_.push_back(StagedMemOp{&w, &inst, w.iter});
+        break;
+
       case Opcode::kLds: {
         TCSIM_CHECK(inst.addr);
         const int bytes = inst.width_bits / 8;
-        SharedMemoryStorage* shm =
-            inst.op == Opcode::kLds ? shared(w.cta_slot) : nullptr;
+        SharedMemoryStorage* shm = shared(w.cta_slot);
+        TCSIM_CHECK(shm != nullptr);
         for (int lane = 0; lane < kWarpSize; ++lane) {
             uint64_t a = inst.effective_addr(lane, w.iter);
             if (a == kNoAddr)
                 continue;
             uint32_t buf[4] = {0, 0, 0, 0};
-            if (inst.op == Opcode::kLds) {
-                TCSIM_CHECK(shm != nullptr);
-                shm->read(a, buf, static_cast<size_t>(bytes));
-            } else {
-                mem_->global().read(a, buf, static_cast<size_t>(bytes));
-            }
+            shm->read(a, buf, static_cast<size_t>(bytes));
             int nregs = std::max(1, inst.width_bits / 32);
             for (int r = 0; r < nregs; ++r)
                 regs.write(lane, inst.dst[0] + r, buf[r]);
@@ -362,12 +424,11 @@ SM::execute_functional(Warp& w, const Instruction& inst)
         break;
       }
 
-      case Opcode::kStg:
       case Opcode::kSts: {
         TCSIM_CHECK(inst.addr);
         const int bytes = inst.width_bits / 8;
-        SharedMemoryStorage* shm =
-            inst.op == Opcode::kSts ? shared(w.cta_slot) : nullptr;
+        SharedMemoryStorage* shm = shared(w.cta_slot);
+        TCSIM_CHECK(shm != nullptr);
         for (int lane = 0; lane < kWarpSize; ++lane) {
             uint64_t a = inst.effective_addr(lane, w.iter);
             if (a == kNoAddr)
@@ -376,12 +437,7 @@ SM::execute_functional(Warp& w, const Instruction& inst)
             int nregs = std::max(1, inst.width_bits / 32);
             for (int r = 0; r < nregs; ++r)
                 buf[r] = regs.read(lane, inst.src[0] + r);
-            if (inst.op == Opcode::kSts) {
-                TCSIM_CHECK(shm != nullptr);
-                shm->write(a, buf, static_cast<size_t>(bytes));
-            } else {
-                mem_->global().write(a, buf, static_cast<size_t>(bytes));
-            }
+            shm->write(a, buf, static_cast<size_t>(bytes));
         }
         break;
       }
@@ -450,6 +506,36 @@ SM::execute_functional(Warp& w, const Instruction& inst)
       case Opcode::kLoopEnd:
       case Opcode::kExit:
         break;
+    }
+}
+
+void
+SM::functional_global_access(Warp& w, const Instruction& inst, int iter)
+{
+    WarpRegState& regs = *w.regs;
+    const int bytes = inst.width_bits / 8;
+    const int nregs = std::max(1, inst.width_bits / 32);
+    if (inst.op == Opcode::kLdg) {
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            uint64_t a = inst.effective_addr(lane, iter);
+            if (a == kNoAddr)
+                continue;
+            uint32_t buf[4] = {0, 0, 0, 0};
+            mem_->global().read(a, buf, static_cast<size_t>(bytes));
+            for (int r = 0; r < nregs; ++r)
+                regs.write(lane, inst.dst[0] + r, buf[r]);
+        }
+        return;
+    }
+    TCSIM_CHECK(inst.op == Opcode::kStg);
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+        uint64_t a = inst.effective_addr(lane, iter);
+        if (a == kNoAddr)
+            continue;
+        uint32_t buf[4];
+        for (int r = 0; r < nregs; ++r)
+            buf[r] = regs.read(lane, inst.src[0] + r);
+        mem_->global().write(a, buf, static_cast<size_t>(bytes));
     }
 }
 

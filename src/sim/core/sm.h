@@ -15,6 +15,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "arch/gpu_config.h"
@@ -27,13 +28,21 @@
 
 namespace tcsim {
 
-/** Cache of functional HMMA executors keyed by configuration. */
+/** Cache of functional HMMA executors keyed by configuration.
+ *  Thread-safe: SMs on different worker threads share one cache
+ *  (executors are immutable after construction), so lookups take a
+ *  reader lock and only a first-use miss takes the writer lock. */
 class ExecutorCache
 {
   public:
     HmmaExecutor& get(Arch arch, const HmmaInfo& info);
 
+    /** Cache key of (arch, info) — exposed so callers can memoize the
+     *  executor pointer and skip the lock when the key repeats. */
+    static uint64_t key(Arch arch, const HmmaInfo& info);
+
   private:
+    std::shared_mutex mutex_;
     std::map<uint64_t, std::unique_ptr<HmmaExecutor>> cache_;
 };
 
@@ -44,11 +53,53 @@ class SM
     SM(int id, const GpuConfig& cfg, MemorySystem* mem,
        ExecutorCache* executors, SchedulerPolicy policy);
 
-    /** Advance one core clock. */
+    /**
+     * Advance one core clock.  Equivalent to the three tick phases
+     * back-to-back; the engine calls the phases separately so that
+     * tick_compute() of many SMs can run on a worker pool while the
+     * phases that touch shared state stay on the engine thread in
+     * canonical SM-index order.
+     */
     void cycle(uint64_t now);
+
+    // ---- Two-phase tick (deterministic parallel simulation) ----
+    //
+    // Phase A  begin_tick():   drains the MIO heads through the shared
+    //                          MemorySystem.  Engine thread, ascending
+    //                          SM-index order — acceptance/refusal and
+    //                          retry cycles match a serial run exactly.
+    // Phase B  tick_compute(): sub-core writebacks + issue.  Touches
+    //                          only SM-local state, this SM's shard of
+    //                          per-grid statistics, and SM-local
+    //                          staging buffers — safe to run for all
+    //                          SMs concurrently.
+    // Phase C  commit_tick():  applies the staged functional
+    //                          global-memory accesses and grid CTA
+    //                          completions.  Engine thread, ascending
+    //                          SM-index order — cross-SM data flow
+    //                          through global memory replays in the
+    //                          same order a serial run produced.
+
+    /** Phase A: start the tick and service the MIO queues. */
+    void begin_tick(uint64_t now);
+
+    /** Phase B: parallel-safe compute; also caches busy()/next_event()
+     *  so the engine's event scan does not touch SM internals. */
+    void tick_compute(uint64_t now);
+
+    /** Phase C: apply this tick's staged side effects. */
+    void commit_tick();
 
     /** True while CTAs are resident or traffic is in flight. */
     bool busy() const;
+
+    /** busy() as of the end of the last tick_compute(). */
+    bool busy_cached() const { return busy_cache_; }
+
+    /** next_event() as of the end of the last tick_compute(): the
+     *  engine's stalled-chip scan reads this O(1) cache instead of
+     *  re-walking sub-core in-flight lists. */
+    uint64_t next_event_cached() const { return next_event_cache_; }
 
     // ---- Engine-facing dispatch interface ----
 
@@ -104,7 +155,7 @@ class SM
     void count_issue(const Warp& w, const Instruction& inst);
     void record_macro(GridRun* grid, MacroClass mc, uint64_t latency)
     {
-        grid->stats.record_macro(mc, latency);
+        grid->stats.shard(id_).record_macro(mc, latency);
     }
     SharedMemoryStorage* shared(int cta_slot);
 
@@ -132,8 +183,21 @@ class SM
             sc->forget_grid(grid);
     }
 
+    /** Batched form: one pass for every grid retiring this tick (the
+     *  engine collects retirements first instead of re-walking every
+     *  SM once per retired launch). */
+    void forget_grids(const std::vector<const GridRun*>& grids)
+    {
+        for (const GridRun* g : grids)
+            forget_grid(g);
+    }
+
   private:
     void process_mio();
+
+    /** Functional execution of one staged global LDG/STG. */
+    void functional_global_access(Warp& w, const Instruction& inst,
+                                  int iter);
 
     /** Pipeline stall reason for a memory-system refusal. */
     static StallReason stall_reason_of(MemAccept status);
@@ -160,6 +224,11 @@ class SM
     GpuConfig cfg_;
     MemorySystem* mem_;
     ExecutorCache* executors_;
+    /** One-entry memo over executors_ (see the kHmma functional
+     *  case): executors are immutable and never evicted, so the
+     *  pointer stays valid for the cache's lifetime. */
+    HmmaExecutor* executor_memo_ = nullptr;
+    uint64_t executor_memo_key_ = 0;
     uint64_t now_ = 0;
     /** Anything happened this tick (issue/writeback/MIO pop)? */
     bool progress_ = false;
@@ -189,6 +258,26 @@ class SM
      *  stall attribution when the LSQ backs up to the scheduler. */
     StallReason mio_block_reason_ = StallReason::kNone;
     int ctas_completed_ = 0;
+
+    /** One global-memory instruction whose functional effect is
+     *  deferred to commit_tick().  Issued this tick, applied this
+     *  tick: nothing can observe the warp's registers or the target
+     *  addresses in between, but deferral keeps the parallel compute
+     *  phase free of cross-SM loads/stores. */
+    struct StagedMemOp
+    {
+        Warp* warp;
+        const Instruction* inst;
+        int iter;
+    };
+    std::vector<StagedMemOp> staged_mem_;
+    /** Grids whose CTAs completed this tick (ctas_done / finish_cycle
+     *  are grid-shared, so the increments apply at commit). */
+    std::vector<GridRun*> staged_cta_done_;
+
+    /** Tick-end caches consumed by the engine (see tick_compute). */
+    bool busy_cache_ = false;
+    uint64_t next_event_cache_ = UINT64_MAX;
 };
 
 }  // namespace tcsim

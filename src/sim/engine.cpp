@@ -11,6 +11,8 @@ ExecutionEngine::ExecutionEngine(const GpuConfig& cfg, const SimOptions& opts,
                                  MemorySystem* mem, ExecutorCache* executors)
     : cfg_(cfg), opts_(opts), mem_(mem), executors_(executors)
 {
+    threads_ = opts_.sim_threads > 0 ? opts_.sim_threads
+                                     : hardware_threads();
 }
 
 ExecutionEngine::~ExecutionEngine() = default;
@@ -87,6 +89,10 @@ ExecutionEngine::validate_and_size()
             static_cast<int>(run_->sms.size()), cfg_, mem_, executors_,
             opts_.scheduler));
     }
+    // Every resident grid needs a stats shard per SM (growth can
+    // happen mid-run when work is enqueued between advances).
+    for (const auto& l : run_->resident)
+        l->grid.stats.ensure_shards(run_->sms.size());
 }
 
 bool
@@ -146,6 +152,7 @@ ExecutionEngine::promote_streams(uint64_t now)
                 l->grid.grid_id = rs.next_grid_id++;
                 l->grid.stream_id = sr.stream->id();
                 l->grid.start_cycle = now;
+                l->grid.stats.ensure_shards(rs.sms.size());
                 l->mem_base = mem_->stats();
                 sr.live = l.get();
                 rs.resident.push_back(std::move(l));
@@ -180,14 +187,14 @@ ExecutionEngine::finalize(Launch& l) const
     s.start_cycle = l.grid.start_cycle;
     s.finish_cycle = l.grid.finish_cycle;
     s.cycles = l.grid.finish_cycle - l.grid.start_cycle + 1;
-    s.instructions = l.grid.stats.instructions;
-    s.hmma_instructions = l.grid.stats.hmma_instructions;
+    s.instructions = l.grid.stats.instructions();
+    s.hmma_instructions = l.grid.stats.hmma_instructions();
     s.ipc = s.cycles > 0 ? static_cast<double>(s.instructions) /
                                static_cast<double>(s.cycles)
                          : 0.0;
     s.mem = mem_->stats().since(l.mem_base);
-    s.macro_latency = std::move(l.grid.stats.macro_latency);
-    s.stalls = l.grid.stats.stalls;
+    s.macro_latency = l.grid.stats.merged_macro_latency();
+    s.stalls = l.grid.stats.stalls();
     return s;
 }
 
@@ -270,36 +277,83 @@ ExecutionEngine::step()
         if (l->grid.pending())
             dispatch_pending = true;
 
-    // Tick: every SM while CTAs await dispatch (any SM may accept
-    // one), otherwise only the busy ones.
+    // Select the SMs that tick this cycle: every SM while CTAs await
+    // dispatch (any SM may accept one — and idle SMs' schedulers
+    // record the same kEmpty stalls a serial run did), otherwise only
+    // the busy list.  cycled_ stays in ascending SM-index order: the
+    // serial phases below rely on it for determinism.
     bool launched = false;
-    for (auto& sm : rs.sms) {
-        if (dispatch_pending) {
+    cycled_.clear();
+    if (dispatch_pending) {
+        cycled_.reserve(rs.sms.size());
+        for (auto& sm : rs.sms) {
             launched |= dispatch_to(sm.get());
-            sm->cycle(now);
-        } else if (sm->busy()) {
-            sm->cycle(now);
+            cycled_.push_back(sm.get());
         }
+    } else {
+        cycled_.reserve(rs.busy_sms.size());
+        for (int id : rs.busy_sms)
+            cycled_.push_back(rs.sms[static_cast<size_t>(id)].get());
     }
+
+    // Two-phase tick.  Phase A (engine thread, SM-index order): drain
+    // the MIO heads through the shared memory hierarchy, so every
+    // acceptance/refusal and retry cycle lands in the same canonical
+    // order a serial run produces.
+    for (SM* sm : cycled_)
+        sm->begin_tick(now);
+
+    // Phase B (worker pool): SM-local compute — writebacks, issue,
+    // functional execution into per-SM staging buffers and per-SM
+    // stats shards.  No shared mutable state, so any thread count and
+    // any scheduling of the shards yields identical results.
+    if (threads_ > 1 && !pool_ && cycled_.size() > 1)
+        pool_ = std::make_unique<WorkerPool>(threads_);
+    if (pool_ && cycled_.size() > 1) {
+        pool_->for_n(cycled_.size(),
+                     [&](size_t i) { cycled_[i]->tick_compute(now); });
+    } else {
+        for (SM* sm : cycled_)
+            sm->tick_compute(now);
+    }
+
+    // Phase C (engine thread, SM-index order): apply the staged
+    // functional global-memory accesses and grid CTA completions.
+    for (SM* sm : cycled_)
+        sm->commit_tick();
+
+    // The busy list for the next tick (ascending, since cycled_ is).
+    rs.busy_sms.clear();
+    for (SM* sm : cycled_)
+        if (sm->busy_cached())
+            rs.busy_sms.push_back(sm->id());
     ++rs.stats.ticks;
 
-    // Retire launches whose last CTA drained this tick.
+    // Retire launches whose last CTA drained this tick: finalize in
+    // residency order, then one forget pass over the SMs for all of
+    // them together (the per-launch pass inside the erase loop was
+    // O(SMs x resident^2) on grid-heavy ticks).
     bool retired = false;
-    for (size_t i = 0; i < rs.resident.size();) {
-        if (!rs.resident[i]->grid.done()) {
-            ++i;
+    retiring_.clear();
+    for (const auto& l : rs.resident) {
+        if (!l->grid.done())
             continue;
-        }
-        Launch& l = *rs.resident[i];
-        rs.last_finish = std::max(rs.last_finish, l.grid.finish_cycle);
-        rs.stats.kernels.push_back(finalize(l));
+        rs.last_finish = std::max(rs.last_finish, l->grid.finish_cycle);
+        rs.stats.kernels.push_back(finalize(*l));
         for (StreamRun& sr : rs.stream_runs)
-            if (sr.live == &l)
+            if (sr.live == l.get())
                 sr.live = nullptr;
-        for (auto& sm : rs.sms)
-            sm->forget_grid(&l.grid);
-        rs.resident.erase(rs.resident.begin() + static_cast<ptrdiff_t>(i));
+        retiring_.push_back(&l->grid);
         retired = true;
+    }
+    if (retired) {
+        for (auto& sm : rs.sms)
+            sm->forget_grids(retiring_);
+        std::erase_if(rs.resident,
+                      [](const std::unique_ptr<Launch>& l) {
+                          return l->grid.done();
+                      });
+        retiring_.clear();
     }
     if (drained())
         return StepResult::kDrained;
@@ -307,11 +361,14 @@ ExecutionEngine::step()
     // Next tick: the successor of a retired launch (or of a processed
     // record/wait/callback) becomes dispatchable next cycle; otherwise
     // jump to the next event when the whole chip is provably stalled.
+    // Only busy SMs are consulted, and each answers from the O(1)
+    // next-event cache its compute phase filled in.
     uint64_t next = now + 1;
     if (!launched && !retired && !ops) {
         uint64_t e = UINT64_MAX;
-        for (const auto& sm : rs.sms)
-            e = std::min(e, sm->next_event(now));
+        for (int id : rs.busy_sms)
+            e = std::min(e, rs.sms[static_cast<size_t>(id)]
+                                ->next_event_cached());
         if (e == UINT64_MAX) {
             if (!rs.resident.empty()) {
                 // Work is on the chip but no SM can ever advance: an
@@ -331,9 +388,8 @@ ExecutionEngine::step()
         }
         if (e > now + 1 && opts_.idle_skip) {
             uint64_t gap = e - (now + 1);
-            for (auto& sm : rs.sms)
-                if (sm->busy())
-                    sm->account_skipped(gap);
+            for (int id : rs.busy_sms)
+                rs.sms[static_cast<size_t>(id)]->account_skipped(gap);
             rs.stats.skipped_cycles += gap;
             next = e;
         } else if (opts_.idle_skip) {

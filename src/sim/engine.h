@@ -32,6 +32,16 @@
  * recording stream's earlier work has retired.  When no stream can
  * make progress and the chip is idle, the engine throws
  * EngineDeadlockError with the cycle-accurate wait graph.
+ *
+ * Parallel simulation core (SimOptions::sim_threads): each tick is a
+ * two-phase transaction — the MIO drains through the shared memory
+ * hierarchy on the engine thread in SM-index order (phase A), the
+ * SM-local compute shards across a persistent worker pool (phase B,
+ * staging functional global-memory accesses and grid completions into
+ * per-SM buffers and writing statistics to per-SM shards), and the
+ * staged side effects commit on the engine thread in SM-index order
+ * (phase C).  Results are bit-identical for every thread count; see
+ * README "Performance" for the determinism argument.
  */
 
 #include <cstdint>
@@ -52,6 +62,7 @@
 #include "sim/kernel_desc.h"
 #include "sim/mem/memory_system.h"
 #include "sim/stream.h"
+#include "sim/worker_pool.h"
 
 namespace tcsim {
 
@@ -143,6 +154,17 @@ struct SimOptions
      * exists to prove exactly that (see tests/engine_mem_test.cpp).
      */
     bool idle_skip = true;
+    /**
+     * Worker threads for the engine's parallel tick phase, including
+     * the engine thread itself (1 = fully serial, 0 = one per
+     * hardware thread).  Results are bit-identical for every value:
+     * each tick shards the SMs across the pool for the compute phase
+     * only, while every interaction with shared state (MIO drains
+     * through the memory hierarchy, staged functional-memory commits,
+     * CTA dispatch and retirement) runs on the engine thread in
+     * canonical SM-index order.  See README "Performance".
+     */
+    int sim_threads = 1;
 };
 
 /** Thrown when no stream can make progress: every unfinished stream
@@ -236,6 +258,10 @@ class ExecutionEngine
         std::vector<StreamRun> stream_runs;
         /** Resident launches in dispatch-priority (launch-id) order. */
         std::vector<std::unique_ptr<Launch>> resident;
+        /** Indices (ascending) of SMs with work in flight: the only
+         *  SMs a non-dispatch tick touches, so idle SMs on a large
+         *  chip cost nothing — not even a busy() probe. */
+        std::vector<int> busy_sms;
         int next_grid_id = 0;
         uint64_t now = 0;
         uint64_t last_finish = 0;
@@ -295,6 +321,17 @@ class ExecutionEngine
     SimOptions opts_;
     MemorySystem* mem_;
     ExecutorCache* executors_;
+
+    /** Resolved sim_threads (0 -> hardware concurrency). */
+    int threads_ = 1;
+    /** Worker pool for the parallel tick phase; created lazily on the
+     *  first tick with enough cycled SMs to shard (so serial configs
+     *  and tiny chips never spawn threads). */
+    std::unique_ptr<WorkerPool> pool_;
+    /** Scratch: SMs cycled this tick, ascending SM-index order. */
+    std::vector<SM*> cycled_;
+    /** Scratch: grids retiring this tick (batched forget pass). */
+    std::vector<const GridRun*> retiring_;
 
     std::unique_ptr<RunState> run_;
     /** Live stream list provider (see set_stream_source). */

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 #include "common/stats.h"
 #include "sim/core/stall.h"
@@ -17,8 +18,14 @@
 
 namespace tcsim {
 
-/** Per-kernel collected statistics (single-threaded simulation). */
-struct RunStatsCollector
+/**
+ * One SM's slice of a grid's statistics.  During the engine's parallel
+ * compute phase every SM writes only its own shard, so grids shared by
+ * many SMs need no synchronization; the engine aggregates shards in
+ * SM-index order, which makes the totals independent of how the SMs
+ * were scheduled across worker threads.
+ */
+struct RunStatsShard
 {
     uint64_t instructions = 0;
     uint64_t hmma_instructions = 0;
@@ -32,6 +39,61 @@ struct RunStatsCollector
     {
         macro_latency[mc].add(static_cast<double>(latency));
     }
+};
+
+/** Per-kernel collected statistics, sharded by SM. */
+class RunStatsCollector
+{
+  public:
+    /** Grow to at least @p n shards.  Engine thread only: called when
+     *  the grid is promoted and whenever the SM array grows, never
+     *  concurrently with the parallel tick phase. */
+    void ensure_shards(size_t n)
+    {
+        if (shards_.size() < n)
+            shards_.resize(n);
+    }
+
+    /** SM @p sm's private slice (the only shard that SM may write). */
+    RunStatsShard& shard(int sm) { return shards_[static_cast<size_t>(sm)]; }
+
+    uint64_t instructions() const
+    {
+        uint64_t t = 0;
+        for (const RunStatsShard& s : shards_)
+            t += s.instructions;
+        return t;
+    }
+
+    uint64_t hmma_instructions() const
+    {
+        uint64_t t = 0;
+        for (const RunStatsShard& s : shards_)
+            t += s.hmma_instructions;
+        return t;
+    }
+
+    StallCounts stalls() const
+    {
+        StallCounts t;
+        for (const RunStatsShard& s : shards_)
+            t.add(s.stalls);
+        return t;
+    }
+
+    /** Macro-latency histograms merged across shards in SM-index
+     *  order (deterministic sample order). */
+    std::map<MacroClass, Histogram> merged_macro_latency() const
+    {
+        std::map<MacroClass, Histogram> merged;
+        for (const RunStatsShard& s : shards_)
+            for (const auto& [mc, h] : s.macro_latency)
+                merged[mc].merge(h);
+        return merged;
+    }
+
+  private:
+    std::vector<RunStatsShard> shards_;
 };
 
 /**

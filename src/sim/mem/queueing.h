@@ -16,7 +16,7 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -38,7 +38,8 @@ class BoundedChannel
                    bool retire_on_submit = false)
         : cycles_per_byte_(1.0 / bytes_per_cycle),
           depth_(static_cast<size_t>(depth)),
-          retire_on_submit_(retire_on_submit)
+          retire_on_submit_(retire_on_submit),
+          slots_(static_cast<size_t>(depth))
     {
         TCSIM_CHECK(bytes_per_cycle > 0.0);
         TCSIM_CHECK(depth > 0);
@@ -48,14 +49,14 @@ class BoundedChannel
     size_t occupancy(uint64_t now)
     {
         prune(now);
-        return inflight_.size();
+        return count_;
     }
 
     /** True when a request arriving at @p now can take a slot. */
     bool can_accept(uint64_t now)
     {
         prune(now);
-        return inflight_.size() < depth_;
+        return count_ < depth_;
     }
 
     /**
@@ -66,11 +67,11 @@ class BoundedChannel
     uint64_t retry_cycle(uint64_t now)
     {
         prune(now);
-        TCSIM_CHECK(inflight_.size() >= depth_);
+        TCSIM_CHECK(count_ >= depth_);
         // Completions are pushed in nondecreasing order (the horizon
         // is monotone); the slot frees when the oldest outstanding
         // request retires.
-        double t = inflight_[inflight_.size() - depth_];
+        double t = slots_[head_];
         uint64_t c = static_cast<uint64_t>(t);
         return c < t ? c + 1 : c;  // ceil: free strictly after t
     }
@@ -98,7 +99,12 @@ class BoundedChannel
         horizon_ = start + bytes * cycles_per_byte_;
         total_bytes_ += static_cast<uint64_t>(bytes);
         ++total_requests_;
-        inflight_.push_back(horizon_);
+        // Every submit is preceded by a passing can_accept at an epoch
+        // no later than the completions already queued, so a slot is
+        // guaranteed; the ring therefore never grows past depth_.
+        TCSIM_CHECK(count_ < depth_);
+        slots_[(head_ + count_) % depth_] = horizon_;
+        ++count_;
         return start;
     }
 
@@ -113,7 +119,8 @@ class BoundedChannel
     void reset()
     {
         horizon_ = 0.0;
-        inflight_.clear();
+        head_ = 0;
+        count_ = 0;
         queue_cycles_ = 0;
         total_bytes_ = 0;
         total_requests_ = 0;
@@ -122,17 +129,29 @@ class BoundedChannel
   private:
     void prune(uint64_t now)
     {
-        while (!inflight_.empty() &&
-               inflight_.front() <= static_cast<double>(now))
-            inflight_.pop_front();
+        // Completion times are nondecreasing around the ring, so
+        // retiring from the head until it outlives `now` is exact.
+        while (count_ > 0 && slots_[head_] <= static_cast<double>(now)) {
+            head_ = (head_ + 1) % depth_;
+            --count_;
+        }
     }
 
     double cycles_per_byte_ = 1.0;
     size_t depth_ = 1;
     bool retire_on_submit_ = false;
     double horizon_ = 0.0;
-    /** Service-completion times of requests holding slots (ascending). */
-    std::deque<double> inflight_;
+    /**
+     * Service-completion times of the requests holding slots, as a
+     * fixed-capacity ring (a request occupies a slot from acceptance
+     * to completion, so at most depth_ are ever live — the deque this
+     * replaces paid an allocation every few hundred requests in the
+     * engine's hottest loop).  Valid entries are the count_ ascending
+     * values starting at head_.
+     */
+    std::vector<double> slots_ = std::vector<double>(1);
+    size_t head_ = 0;
+    size_t count_ = 0;
     uint64_t queue_cycles_ = 0;
     uint64_t total_bytes_ = 0;
     uint64_t total_requests_ = 0;

@@ -9,7 +9,7 @@ TensorCoreUnit::try_issue(int warp, const Instruction& inst, uint64_t now)
 {
     TCSIM_CHECK(inst.op == Opcode::kHmma);
     const HmmaInfo& info = inst.hmma;
-    const HmmaTiming& timing = hmma_timing(arch_, info.mode, info.shape);
+    const HmmaTiming& timing = timing_for(info);
 
     if (active_warp_ < 0) {
         // Unit idle: only a group head may start, and only once the

@@ -50,7 +50,26 @@ class TensorCoreUnit
     }
 
   private:
+    /** hmma_timing() for @p info, memoized per unit: the global
+     *  timing-table cache sits behind a mutex, and one lookup per
+     *  HMMA issue attempt is hot enough to contend when many SMs
+     *  tick on worker threads.  Kernels switch shapes rarely, so a
+     *  one-entry cache absorbs nearly every lookup. */
+    const HmmaTiming& timing_for(const HmmaInfo& info)
+    {
+        if (timing_ == nullptr || info.mode != timing_mode_ ||
+            !(info.shape == timing_shape_)) {
+            timing_ = &hmma_timing(arch_, info.mode, info.shape);
+            timing_mode_ = info.mode;
+            timing_shape_ = info.shape;
+        }
+        return *timing_;
+    }
+
     Arch arch_;
+    const HmmaTiming* timing_ = nullptr;
+    TcMode timing_mode_{};
+    TileShape timing_shape_{};
     int active_warp_ = -1;
     int position_ = 0;            ///< Next expected HMMA index in group.
     uint64_t first_issue_ = 0;    ///< Cycle the group head issued.

@@ -1,0 +1,87 @@
+#include "sim/worker_pool.h"
+
+namespace tcsim {
+
+WorkerPool::WorkerPool(int threads)
+{
+    int extra = threads - 1;
+    threads_.reserve(static_cast<size_t>(extra > 0 ? extra : 0));
+    for (int i = 0; i < extra; ++i)
+        threads_.emplace_back([this] { worker_main(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread& t : threads_)
+        t.join();
+}
+
+void
+WorkerPool::for_n(size_t n, const std::function<void(size_t)>& fn)
+{
+    if (n == 0)
+        return;
+    if (threads_.empty()) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        batch_n_ = n;
+        batch_fn_ = &fn;
+        next_.store(0, std::memory_order_relaxed);
+        running_ = static_cast<int>(threads_.size());
+        ++epoch_;
+    }
+    start_cv_.notify_all();
+    // The caller is a worker too: claim indices until the batch is
+    // exhausted, then wait for the pool threads to drain theirs.
+    for (;;) {
+        size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n)
+            break;
+        fn(i);
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return running_ == 0; });
+    batch_fn_ = nullptr;
+}
+
+void
+WorkerPool::worker_main()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(size_t)>* fn;
+        size_t n;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            start_cv_.wait(
+                lock, [&] { return stop_ || epoch_ != seen; });
+            if (stop_)
+                return;
+            seen = epoch_;
+            fn = batch_fn_;
+            n = batch_n_;
+        }
+        for (;;) {
+            size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                break;
+            (*fn)(i);
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --running_;
+        }
+        done_cv_.notify_one();
+    }
+}
+
+}  // namespace tcsim

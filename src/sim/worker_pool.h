@@ -1,0 +1,75 @@
+#pragma once
+/**
+ * @file
+ * Persistent worker pool for the engine's parallel tick phase.
+ *
+ * The pool owns N-1 threads; the caller participates as the N-th
+ * worker, so `WorkerPool(threads)` saturates exactly `threads` cores.
+ * Work items are claimed from a shared atomic counter (dynamic load
+ * balancing — SMs vary wildly in per-tick cost), which is safe because
+ * the engine only hands the pool phases whose items touch disjoint
+ * state: execution order within a phase is irrelevant by construction.
+ *
+ * for_n() is a full barrier: it returns only after every index in
+ * [0, n) has been processed, so the engine's serial phases before and
+ * after it need no further synchronization.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tcsim {
+
+/** The host's hardware thread count, never less than 1 (the shared
+ *  resolution for sim_threads=0 and batch thread budgets). */
+inline int
+hardware_threads()
+{
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+/** A fixed set of workers executing indexed parallel-for batches. */
+class WorkerPool
+{
+  public:
+    /** @p threads: total worker count including the calling thread
+     *  (so `threads - 1` pool threads are spawned; 1 = no threads,
+     *  for_n degrades to a plain loop). */
+    explicit WorkerPool(int threads);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool&) = delete;
+    WorkerPool& operator=(const WorkerPool&) = delete;
+
+    /** Run fn(i) for every i in [0, n), on the pool plus the calling
+     *  thread; returns when all n calls have completed. */
+    void for_n(size_t n, const std::function<void(size_t)>& fn);
+
+    /** Total worker count including the caller. */
+    int threads() const { return static_cast<int>(threads_.size()) + 1; }
+
+  private:
+    void worker_main();
+
+    std::vector<std::thread> threads_;
+    std::mutex mutex_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    /** Bumped per batch; workers wake when it changes. */
+    uint64_t epoch_ = 0;
+    /** Pool threads still inside the current batch. */
+    int running_ = 0;
+    bool stop_ = false;
+    size_t batch_n_ = 0;
+    const std::function<void(size_t)>* batch_fn_ = nullptr;
+    /** Next unclaimed index of the current batch. */
+    std::atomic<size_t> next_{0};
+};
+
+}  // namespace tcsim

@@ -234,5 +234,72 @@ TEST(BatchRunner, ReportJsonRoundTrips)
             static_cast<uint64_t>(
                 results[i].find("total")->find("cycles")->as_int()),
             report.results[i].totals.cycles);
+        // Speed telemetry rides in a dedicated "sim" block so the
+        // serial-vs-threaded CI diff can strip it wholesale.
+        const JsonValue* sim = results[i].find("sim");
+        ASSERT_NE(sim, nullptr);
+        EXPECT_NE(sim->find("wall_ms"), nullptr);
+        EXPECT_NE(sim->find("ticks_per_sec"), nullptr);
+        EXPECT_EQ(sim->find("sim_threads")->as_int(), 1);
+    }
+}
+
+TEST(BatchRunner, ThreadBudgetClampsJobs)
+{
+    std::vector<Scenario> suite = make_suite();
+
+    // 8-core budget, 4 intra-sim threads -> at most 2 batch workers.
+    BatchOptions opts;
+    opts.jobs = 8;
+    opts.fail_fast = false;
+    opts.sim_threads = 4;
+    opts.thread_budget = 8;
+    EXPECT_EQ(effective_jobs(opts, suite), 2);
+
+    // Intra-sim width wins: never below one batch worker.
+    opts.sim_threads = 32;
+    EXPECT_EQ(effective_jobs(opts, suite), 1);
+
+    // Serial sims use the whole budget for batch workers.
+    opts.sim_threads = 1;
+    EXPECT_EQ(effective_jobs(opts, suite), 8);
+
+    // Default budget floors at the explicit jobs request: a batch of
+    // serial sims may deliberately oversubscribe the host.
+    opts.thread_budget = 0;
+    opts.jobs = 64;
+    EXPECT_EQ(effective_jobs(opts, suite), 64);
+
+    // No override: the widest per-scenario sim.sim_threads counts.
+    opts.jobs = 8;
+    opts.thread_budget = 8;
+    opts.sim_threads = -1;
+    suite[0].sim.sim_threads = 4;
+    EXPECT_EQ(effective_jobs(opts, suite), 2);
+}
+
+TEST(BatchRunner, SimThreadsOverrideKeepsResultsIdentical)
+{
+    std::vector<Scenario> suite = make_suite();
+    BatchOptions serial;
+    serial.jobs = 1;
+    serial.sim_threads = 1;
+    serial.thread_budget = 1;
+    BatchOptions threaded;
+    threaded.jobs = 1;
+    threaded.sim_threads = 3;
+    threaded.thread_budget = 3;
+
+    BatchReport a = run_batch(suite, serial);
+    BatchReport b = run_batch(suite, threaded);
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (size_t i = 0; i < a.results.size(); ++i) {
+        EXPECT_TRUE(b.results[i].passed) << b.results[i].name;
+        EXPECT_EQ(a.results[i].totals.cycles, b.results[i].totals.cycles)
+            << a.results[i].name;
+        EXPECT_EQ(a.results[i].totals.instructions,
+                  b.results[i].totals.instructions);
+        EXPECT_EQ(a.results[i].totals.ticks, b.results[i].totals.ticks);
+        EXPECT_EQ(b.results[i].sim_threads, 3);
     }
 }

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Determinism tests for the parallel simulation core: sharding the SMs
+ * across a worker pool (SimOptions::sim_threads > 1) must produce
+ * results bit-identical to a serial run — every cycle stamp, memory
+ * counter, stall counter and macro-latency sample — across
+ * memory-pressure configs, multi-stream event DAGs, functional
+ * (data-carrying) kernels, resumable runs, and both the idle-skip and
+ * lockstep main loops.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/gemm_kernels.h"
+#include "sim/gpu.h"
+
+namespace tcsim {
+namespace {
+
+GpuConfig
+small_titan_v(int sms)
+{
+    GpuConfig cfg = titan_v_config();
+    cfg.num_sms = sms;
+    return cfg;
+}
+
+/** The memory-bound config the mem_pressure scenarios use: a tiny L1
+ *  keeps transactions (and MIO-head refusals) in flight for most of
+ *  the run, which is exactly where cross-SM ordering could leak. */
+GpuConfig
+mem_bound_config(int sms)
+{
+    GpuConfig cfg = small_titan_v(sms);
+    cfg.l1_size = 16 * 1024;
+    cfg.dram_latency = 400;
+    return cfg;
+}
+
+void
+expect_identical_kernel(const LaunchStats& a, const LaunchStats& b)
+{
+    EXPECT_EQ(a.kernel, b.kernel);
+    EXPECT_EQ(a.stream, b.stream);
+    EXPECT_EQ(a.start_cycle, b.start_cycle);
+    EXPECT_EQ(a.finish_cycle, b.finish_cycle);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.hmma_instructions, b.hmma_instructions);
+    EXPECT_EQ(a.mem.l1_hits, b.mem.l1_hits);
+    EXPECT_EQ(a.mem.l1_misses, b.mem.l1_misses);
+    for (size_t i = 0; i < kNumStallReasons; ++i) {
+        StallReason r = static_cast<StallReason>(i);
+        EXPECT_EQ(a.stalls[r], b.stalls[r])
+            << a.kernel << ": " << stall_reason_name(r);
+    }
+    // Macro-latency histograms must hold the same samples in the same
+    // order (the aggregation order across SM shards is canonical).
+    ASSERT_EQ(a.macro_latency.size(), b.macro_latency.size());
+    for (const auto& [mc, ha] : a.macro_latency) {
+        auto it = b.macro_latency.find(mc);
+        ASSERT_NE(it, b.macro_latency.end());
+        EXPECT_EQ(ha.samples(), it->second.samples());
+    }
+}
+
+void
+expect_identical(const EngineStats& a, const EngineStats& b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.hmma_instructions, b.hmma_instructions);
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.skipped_cycles, b.skipped_cycles);
+    EXPECT_EQ(a.current_cycle, b.current_cycle);
+    EXPECT_EQ(a.mem.l1_hits, b.mem.l1_hits);
+    EXPECT_EQ(a.mem.l1_misses, b.mem.l1_misses);
+    EXPECT_EQ(a.mem.l2_hits, b.mem.l2_hits);
+    EXPECT_EQ(a.mem.l2_misses, b.mem.l2_misses);
+    EXPECT_EQ(a.mem.dram_bytes, b.mem.dram_bytes);
+    EXPECT_EQ(a.mem.global_sectors, b.mem.global_sectors);
+    EXPECT_EQ(a.mem.mshr_merges, b.mem.mshr_merges);
+    EXPECT_EQ(a.mem.mshr_peak, b.mem.mshr_peak);
+    EXPECT_EQ(a.mem.noc_queue_cycles, b.mem.noc_queue_cycles);
+    EXPECT_EQ(a.mem.l2_queue_cycles, b.mem.l2_queue_cycles);
+    EXPECT_EQ(a.mem.dram_queue_cycles, b.mem.dram_queue_cycles);
+    EXPECT_EQ(a.mem.dram_turnarounds, b.mem.dram_turnarounds);
+    for (size_t i = 0; i < kNumStallReasons; ++i) {
+        StallReason r = static_cast<StallReason>(i);
+        EXPECT_EQ(a.stalls[r], b.stalls[r]) << stall_reason_name(r);
+    }
+    ASSERT_EQ(a.kernels.size(), b.kernels.size());
+    for (size_t k = 0; k < a.kernels.size(); ++k)
+        expect_identical_kernel(a.kernels[k], b.kernels[k]);
+}
+
+/** Run one timing-only naive GEMM through the stream engine. */
+EngineStats
+run_gemm(const GpuConfig& cfg, SimOptions opts, int mnk = 128)
+{
+    Gpu gpu(cfg, opts);
+    GemmKernelConfig kc;
+    kc.m = kc.n = kc.k = mnk;
+    kc.functional = false;
+    GemmBuffers buf;
+    buf.a = gpu.mem().alloc(static_cast<uint64_t>(kc.m) * kc.k * 2);
+    buf.b = gpu.mem().alloc(static_cast<uint64_t>(kc.k) * kc.n * 2);
+    buf.c = gpu.mem().alloc(static_cast<uint64_t>(kc.m) * kc.n * 4);
+    buf.d = gpu.mem().alloc(static_cast<uint64_t>(kc.m) * kc.n * 4);
+    gpu.default_stream().enqueue(make_wmma_gemm_naive(kc, buf));
+    return gpu.run();
+}
+
+/** Identity of @p serial-vs-threaded runs for every thread count in
+ *  @p threads, in both idle-skip and lockstep modes. */
+void
+expect_thread_identity(const GpuConfig& cfg,
+                       std::initializer_list<int> threads)
+{
+    for (bool idle_skip : {true, false}) {
+        SimOptions serial;
+        serial.idle_skip = idle_skip;
+        serial.sim_threads = 1;
+        EngineStats base = run_gemm(cfg, serial);
+        for (int t : threads) {
+            SimOptions par = serial;
+            par.sim_threads = t;
+            EngineStats es = run_gemm(cfg, par);
+            SCOPED_TRACE("sim_threads=" + std::to_string(t) +
+                         " idle_skip=" + std::to_string(idle_skip));
+            expect_identical(base, es);
+        }
+    }
+}
+
+TEST(ParallelIdentity, MemoryBoundGemm)
+{
+    expect_thread_identity(mem_bound_config(8), {2, 4});
+}
+
+TEST(ParallelIdentity, HeavyBackpressure)
+{
+    // Constrict every memory level so refusals and retry cycles
+    // dominate: the serial Phase-A drain order is what keeps the
+    // accept/refuse decisions canonical.
+    GpuConfig cfg = mem_bound_config(8);
+    cfg.l1_mshr_entries = 4;
+    cfg.noc_bytes_per_cycle = 16.0;
+    cfg.noc_queue_depth = 8;
+    cfg.l2_bank_queue_depth = 2;
+    cfg.dram_queue_depth = 4;
+    cfg.l2_size = 64 * 1024;
+    expect_thread_identity(cfg, {3});
+}
+
+TEST(ParallelIdentity, MoreThreadsThanSms)
+{
+    expect_thread_identity(mem_bound_config(2), {8});
+}
+
+TEST(ParallelIdentity, FunctionalEventDagAcrossStreams)
+{
+    // Functional kernels carry real data through the shared global
+    // memory (the staged-commit path), on two streams gated by an
+    // event: both the timing and the computed matrices must match a
+    // serial run exactly.
+    auto run = [](int threads) {
+        SimOptions opts;
+        opts.sim_threads = threads;
+        Gpu gpu(mem_bound_config(4), opts);
+        GemmProblem<float> p1(64, 64, 64, Layout::kRowMajor,
+                              Layout::kRowMajor);
+        GemmProblem<float> p2(64, 64, 64, Layout::kRowMajor,
+                              Layout::kRowMajor);
+        GemmKernelConfig kc;
+        kc.m = kc.n = kc.k = 64;
+        kc.functional = true;
+        GemmBuffers b1 = p1.upload(&gpu.mem());
+        GemmBuffers b2 = p2.upload(&gpu.mem());
+        Stream& s1 = gpu.default_stream();
+        Stream& s2 = gpu.create_stream();
+        Event& e = gpu.create_event("producer_done");
+        KernelDesc k1 = make_wmma_gemm_naive(kc, b1);
+        k1.name = "producer";
+        s1.enqueue(std::move(k1));
+        s1.record(e);
+        s2.wait(e);
+        KernelDesc k2 = make_wmma_gemm_naive(kc, b2);
+        k2.name = "consumer";
+        s2.enqueue(std::move(k2));
+        EngineStats es = gpu.run();
+        EXPECT_LE(p1.verify(gpu.mem(), b1.d), 1e-3);
+        EXPECT_LE(p2.verify(gpu.mem(), b2.d), 1e-3);
+        return es;
+    };
+    EngineStats serial = run(1);
+    EngineStats threaded = run(4);
+    expect_identical(serial, threaded);
+    ASSERT_EQ(serial.kernels.size(), 2u);
+}
+
+TEST(ParallelIdentity, ResumableRunMatchesOneShot)
+{
+    // Pausing and resuming with run_until must not perturb the
+    // sharded tick: a threaded chunked run equals a serial one-shot.
+    GpuConfig cfg = mem_bound_config(4);
+    SimOptions serial;
+    EngineStats base = run_gemm(cfg, serial, 64);
+
+    SimOptions par;
+    par.sim_threads = 4;
+    Gpu gpu(cfg, par);
+    GemmKernelConfig kc;
+    kc.m = kc.n = kc.k = 64;
+    kc.functional = false;
+    GemmBuffers buf;
+    buf.a = gpu.mem().alloc(static_cast<uint64_t>(kc.m) * kc.k * 2);
+    buf.b = gpu.mem().alloc(static_cast<uint64_t>(kc.k) * kc.n * 2);
+    buf.c = gpu.mem().alloc(static_cast<uint64_t>(kc.m) * kc.n * 4);
+    buf.d = gpu.mem().alloc(static_cast<uint64_t>(kc.m) * kc.n * 4);
+    gpu.default_stream().enqueue(make_wmma_gemm_naive(kc, buf));
+    EngineStats es = gpu.run_until(base.cycles / 2);
+    EXPECT_TRUE(gpu.run_active());
+    es = gpu.run();
+    expect_identical(base, es);
+}
+
+TEST(ParallelIdentity, AutoThreadCountRuns)
+{
+    // sim_threads = 0 resolves to the host's hardware concurrency;
+    // whatever that is, results must equal the serial run.
+    GpuConfig cfg = mem_bound_config(4);
+    SimOptions serial;
+    SimOptions autov;
+    autov.sim_threads = 0;
+    expect_identical(run_gemm(cfg, serial, 64), run_gemm(cfg, autov, 64));
+}
+
+}  // namespace
+}  // namespace tcsim

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * BoundedChannel edge behavior after the ring-buffer swap: lazy
+ * pruning exactly at slot-full boundaries, retire_on_submit with
+ * out-of-order arrival epochs (the DRAM admission pattern), occupancy
+ * after long idle gaps, and ring-wrap correctness over many times the
+ * slot capacity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/mem/queueing.h"
+
+namespace tcsim {
+namespace {
+
+TEST(BoundedChannel, FillsToDepthAndRefuses)
+{
+    // 1 byte/cycle, 3 slots: three 10-byte transfers submitted at t=0
+    // complete at 10, 20, 30 (service serializes on the horizon).
+    BoundedChannel ch(1.0, 3);
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(ch.can_accept(0));
+        ch.submit(0, 10);
+    }
+    EXPECT_EQ(ch.occupancy(0), 3u);
+    EXPECT_FALSE(ch.can_accept(0));
+    // The oldest request retires at its completion horizon (cycle 10);
+    // a slot is free strictly after that.
+    EXPECT_EQ(ch.retry_cycle(0), 10u);
+}
+
+TEST(BoundedChannel, LazyPruneAtSlotFullBoundary)
+{
+    BoundedChannel ch(1.0, 2);
+    ch.submit(0, 10);  // completes at 10
+    ch.submit(0, 10);  // completes at 20
+    // One cycle before the oldest completion the channel is still
+    // full; at the completion cycle the lazy prune frees the slot.
+    EXPECT_FALSE(ch.can_accept(9));
+    EXPECT_EQ(ch.retry_cycle(9), 10u);
+    EXPECT_TRUE(ch.can_accept(10));
+    EXPECT_EQ(ch.occupancy(10), 1u);
+    // Refill the freed slot: full again until cycle 20.
+    ch.submit(10, 10);  // queues behind horizon 20, completes at 30
+    EXPECT_FALSE(ch.can_accept(19));
+    EXPECT_EQ(ch.retry_cycle(19), 20u);
+    EXPECT_TRUE(ch.can_accept(20));
+}
+
+TEST(BoundedChannel, QueueingDelayBehindEarlierWork)
+{
+    // The second transfer arrives while the first is in service: its
+    // start is the first's horizon and the wait is accounted.
+    BoundedChannel ch(2.0, 4);
+    double s0 = ch.submit(0, 32);   // service [0, 16)
+    double s1 = ch.submit(4, 32);   // waits 12, service [16, 32)
+    EXPECT_DOUBLE_EQ(s0, 0.0);
+    EXPECT_DOUBLE_EQ(s1, 16.0);
+    EXPECT_EQ(ch.queue_cycles(), 12u);
+    EXPECT_EQ(ch.total_bytes(), 64u);
+    EXPECT_EQ(ch.total_requests(), 2u);
+}
+
+TEST(BoundedChannel, RetireOnSubmitOutOfOrderEpochs)
+{
+    // DRAM-partition pattern: admission is checked at the L1 port
+    // cycle but arrivals carry later (and non-monotone) epochs.  A
+    // submit at a *later* epoch retires completed slots; a subsequent
+    // submit at an *earlier* epoch must still find the ring
+    // consistent (pruning is monotone — nothing already retired can
+    // come back).
+    BoundedChannel ch(1.0, 2, /*retire_on_submit=*/true);
+    ch.submit(0, 5);    // completes at 5
+    ch.submit(0, 5);    // completes at 10
+    EXPECT_EQ(ch.occupancy(0), 2u);
+    // Arrival at epoch 12 retires both completed slots at submit time
+    // (no explicit can_accept needed to make room).
+    ch.submit(12, 5);   // completes at 17
+    EXPECT_EQ(ch.occupancy(12), 1u);
+    // Out-of-order arrival at epoch 11 — earlier than the previous
+    // submit.  The prune at 11 retires nothing (the live slot
+    // completes at 17); the request queues behind the horizon.
+    double start = ch.submit(11, 5);
+    EXPECT_DOUBLE_EQ(start, 17.0);
+    EXPECT_EQ(ch.occupancy(11), 2u);
+    EXPECT_EQ(ch.occupancy(17), 1u);   // first retires at its horizon
+    EXPECT_EQ(ch.occupancy(22), 0u);
+}
+
+TEST(BoundedChannel, OccupancyAfterLongIdleGap)
+{
+    BoundedChannel ch(4.0, 3);
+    for (int i = 0; i < 3; ++i)
+        ch.submit(0, 64);
+    EXPECT_FALSE(ch.can_accept(1));
+    // A query far in the future retires everything in one prune.
+    EXPECT_EQ(ch.occupancy(1'000'000), 0u);
+    EXPECT_TRUE(ch.can_accept(1'000'000));
+    // The channel stays usable after the gap: service restarts at the
+    // arrival epoch, not at the stale horizon.
+    double start = ch.submit(1'000'000, 64);
+    EXPECT_DOUBLE_EQ(start, 1'000'000.0);
+    EXPECT_EQ(ch.occupancy(1'000'000), 1u);
+}
+
+TEST(BoundedChannel, RingWrapsManyTimesOverCapacity)
+{
+    // Push far more requests than slots, pruning between bursts: the
+    // ring indices wrap repeatedly and retry_cycle must always report
+    // the oldest *outstanding* completion.
+    BoundedChannel ch(1.0, 4);
+    uint64_t now = 0;
+    for (int burst = 0; burst < 16; ++burst) {
+        std::vector<double> completions;
+        for (int i = 0; i < 4; ++i) {
+            ASSERT_TRUE(ch.can_accept(now));
+            ch.submit(now, 3);
+            completions.push_back(ch.horizon());
+        }
+        ASSERT_FALSE(ch.can_accept(now));
+        // Oldest outstanding completion gates the next slot.
+        EXPECT_EQ(ch.retry_cycle(now),
+                  static_cast<uint64_t>(completions.front()));
+        // Advance past half the burst: exactly two slots free.
+        now = static_cast<uint64_t>(completions[1]);
+        EXPECT_EQ(ch.occupancy(now), 2u);
+        // Drain fully before the next burst.
+        now = static_cast<uint64_t>(completions.back()) + 1;
+        EXPECT_EQ(ch.occupancy(now), 0u);
+    }
+    EXPECT_EQ(ch.total_requests(), 64u);
+}
+
+TEST(BoundedChannel, ResetClearsSlotsAndCounters)
+{
+    BoundedChannel ch(1.0, 2);
+    ch.submit(0, 8);
+    ch.submit(0, 8);
+    ch.reset();
+    EXPECT_EQ(ch.occupancy(0), 0u);
+    EXPECT_TRUE(ch.can_accept(0));
+    EXPECT_EQ(ch.queue_cycles(), 0u);
+    EXPECT_EQ(ch.total_bytes(), 0u);
+    EXPECT_EQ(ch.total_requests(), 0u);
+    EXPECT_DOUBLE_EQ(ch.horizon(), 0.0);
+    // Post-reset service timeline restarts from scratch.
+    EXPECT_DOUBLE_EQ(ch.submit(5, 8), 5.0);
+}
+
+}  // namespace
+}  // namespace tcsim

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Serial-vs-threaded identity gate for the scenario suite.
+
+Runs simrunner twice over the same scenario set — ``--sim-threads 1``
+and ``--sim-threads N`` — and requires the two batch reports to be
+identical modulo wall-time fields (see report_diff.py).  This is the
+end-to-end proof that the parallel simulation core is deterministic:
+every cycle stamp, stall counter, memory counter, event stamp and
+assertion value must match across thread counts, for every scenario in
+the suite.
+
+Usage:
+    tools/check_parallel_identity.py <simrunner> <scenarios...>
+        [--threads 4] [--workdir DIR]
+
+Exit status: 0 on identity (and both runs passing), 1 otherwise.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def run_leg(simrunner, inputs, threads, report):
+    cmd = [simrunner, "--quiet", "--jobs", "1",
+           "--sim-threads", str(threads), "--report", report] + inputs
+    print("+", " ".join(cmd), flush=True)
+    return subprocess.call(cmd)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="serial-vs-threaded scenario report identity")
+    parser.add_argument("simrunner")
+    parser.add_argument("inputs", nargs="+",
+                        help="scenario files or directories")
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--workdir", default=".")
+    args = parser.parse_args()
+
+    serial = os.path.join(args.workdir, "report_serial.json")
+    threaded = os.path.join(args.workdir,
+                            "report_t{}.json".format(args.threads))
+
+    rc_serial = run_leg(args.simrunner, args.inputs, 1, serial)
+    rc_threaded = run_leg(args.simrunner, args.inputs, args.threads,
+                          threaded)
+    # Scenario failures fail the gate too, but only after the diff ran:
+    # an identity break plus a red scenario should report both.
+    rc_diff = subprocess.call(
+        [sys.executable, os.path.join(HERE, "report_diff.py"), serial,
+         threaded])
+
+    if rc_diff != 0:
+        print("check_parallel_identity: FAILED — sim_threads={} diverged "
+              "from serial".format(args.threads))
+        return 1
+    if rc_serial != 0 or rc_threaded != 0:
+        print("check_parallel_identity: scenario failures (serial rc={}, "
+              "threaded rc={})".format(rc_serial, rc_threaded))
+        return 1
+    print("check_parallel_identity: OK — sim_threads={} bit-identical to "
+          "serial across the suite".format(args.threads))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,17 +8,24 @@
  *
  * Usage:
  *   simrunner [options] <scenario.json | dir>...
- *     --jobs N       worker threads (default: hardware concurrency)
- *     --report FILE  write the aggregate JSON report to FILE
- *     --filter SUB   only run scenarios whose name contains SUB
- *     --fail-fast    stop the batch on the first scenario failure
- *     --list         list matching scenarios and exit
- *     --quiet        only print the summary and failures
+ *     --jobs N        batch worker threads (default: hardware
+ *                     concurrency); shares one thread budget with
+ *                     --sim-threads, so the two never oversubscribe
+ *     --sim-threads N worker threads *inside* each simulation
+ *                     (0 = hardware concurrency); overrides the
+ *                     scenarios' sim.sim_threads.  Results are
+ *                     bit-identical for every value
+ *     --report FILE   write the aggregate JSON report to FILE
+ *     --filter SUB    only run scenarios whose name contains SUB
+ *     --fail-fast     stop the batch on the first scenario failure
+ *     --list          list matching scenarios and exit
+ *     --quiet         only print the summary and failures
  *
  * Exit status: 0 when every scenario passed, 1 otherwise.
  *
  *   ./build/simrunner scenarios/                 # the curated suite
  *   ./build/simrunner --jobs 4 scenarios/ --report report.json
+ *   ./build/simrunner --sim-threads 4 scenarios/ # parallel sim core
  */
 
 #include <algorithm>
@@ -26,7 +33,6 @@
 #include <cstring>
 #include <filesystem>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/table.h"
@@ -40,7 +46,8 @@ namespace {
 
 struct Options
 {
-    int jobs = 0;  ///< 0 = hardware concurrency.
+    int jobs = 0;         ///< 0 = hardware concurrency.
+    int sim_threads = -1; ///< -1 = per-scenario sim.sim_threads.
     std::string report_path;
     std::string filter;
     bool fail_fast = false;
@@ -55,12 +62,17 @@ usage(std::FILE* to)
     std::fprintf(
         to,
         "usage: simrunner [options] <scenario.json | dir>...\n"
-        "  --jobs N       worker threads (default: hardware concurrency)\n"
-        "  --report FILE  write the aggregate JSON report to FILE\n"
-        "  --filter SUB   only run scenarios whose name contains SUB\n"
-        "  --fail-fast    stop the batch on the first scenario failure\n"
-        "  --list         list matching scenarios and exit\n"
-        "  --quiet        only print the summary and failures\n");
+        "  --jobs N        batch worker threads (default: hardware\n"
+        "                  concurrency; clamped so jobs x sim-threads\n"
+        "                  stays within the host's cores)\n"
+        "  --sim-threads N worker threads inside each simulation\n"
+        "                  (0 = hardware concurrency; results are\n"
+        "                  bit-identical for every value)\n"
+        "  --report FILE   write the aggregate JSON report to FILE\n"
+        "  --filter SUB    only run scenarios whose name contains SUB\n"
+        "  --fail-fast     stop the batch on the first scenario failure\n"
+        "  --list          list matching scenarios and exit\n"
+        "  --quiet         only print the summary and failures\n");
 }
 
 bool
@@ -83,6 +95,16 @@ parse_args(int argc, char** argv, Options* opts)
             opts->jobs = std::atoi(v);
             if (opts->jobs < 1) {
                 std::fprintf(stderr, "simrunner: bad --jobs value\n");
+                return false;
+            }
+        } else if (arg == "--sim-threads") {
+            const char* v = value();
+            if (!v)
+                return false;
+            opts->sim_threads = std::atoi(v);
+            if (opts->sim_threads < 0 ||
+                (opts->sim_threads == 0 && std::strcmp(v, "0") != 0)) {
+                std::fprintf(stderr, "simrunner: bad --sim-threads value\n");
                 return false;
             }
         } else if (arg == "--report") {
@@ -188,10 +210,8 @@ main(int argc, char** argv)
     Options opts;
     if (!parse_args(argc, argv, &opts))
         return 1;
-    if (opts.jobs == 0) {
-        unsigned hc = std::thread::hardware_concurrency();
-        opts.jobs = hc ? static_cast<int>(hc) : 1;
-    }
+    if (opts.jobs == 0)
+        opts.jobs = hardware_threads();
 
     std::vector<driver::Scenario> scenarios;
     int load_failures = 0;
@@ -223,11 +243,20 @@ main(int argc, char** argv)
         return 1;
     }
 
-    std::printf("running %zu scenario(s) on %d worker thread(s)%s\n",
-                scenarios.size(), opts.jobs,
-                opts.fail_fast ? " (fail-fast)" : "");
-    driver::BatchReport report =
-        driver::run_batch(scenarios, opts.jobs, opts.fail_fast);
+    driver::BatchOptions batch;
+    batch.jobs = opts.jobs;
+    batch.fail_fast = opts.fail_fast;
+    batch.sim_threads = opts.sim_threads;
+    int jobs = driver::effective_jobs(batch, scenarios);
+    std::printf("running %zu scenario(s) on %d batch worker(s)",
+                scenarios.size(), jobs);
+    if (jobs < opts.jobs)
+        std::printf(" (clamped from %d: shared budget with sim threads)",
+                    opts.jobs);
+    if (opts.sim_threads >= 0)
+        std::printf(", %d sim thread(s) per scenario", opts.sim_threads);
+    std::printf("%s\n", opts.fail_fast ? " (fail-fast)" : "");
+    driver::BatchReport report = driver::run_batch(scenarios, batch);
 
     for (const driver::ScenarioResult& r : report.results)
         print_result(r, opts.quiet);
@@ -237,14 +266,17 @@ main(int argc, char** argv)
     // Suppressed by --quiet (which promises summary-and-failures only);
     // the JSON report carries per-scenario wall_ms either way.
     if (!opts.quiet) {
-        char wall[32];
+        char wall[32], tps[32], thr[16];
         TextTable agg;
-        agg.set_header({"scenario", "status", "wall ms"});
+        agg.set_header({"scenario", "status", "wall ms", "ticks/s",
+                        "sim thr"});
         for (const driver::ScenarioResult& r : report.results) {
             std::snprintf(wall, sizeof(wall), "%.1f", r.wall_ms);
+            std::snprintf(tps, sizeof(tps), "%.3g", r.ticks_per_sec);
+            std::snprintf(thr, sizeof(thr), "%d", r.sim_threads);
             agg.add_row({r.name,
                          r.skipped ? "SKIP" : (r.passed ? "PASS" : "FAIL"),
-                         wall});
+                         wall, r.skipped ? "-" : tps, thr});
         }
         std::printf("\n%s", agg.render().c_str());
     }
