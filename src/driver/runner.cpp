@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <set>
 #include <thread>
 
 #include "common/logging.h"
@@ -299,6 +300,124 @@ resolve_metric(const ScenarioResult& r, const std::string& path)
     throw ScenarioError("bad metric path \"" + path + "\"");
 }
 
+/** Nominal FLOPs of one launch, straight from the spec (no prepared
+ *  state needed — forked sweep points attribute prefix kernels they
+ *  never prepared themselves). */
+double
+spec_flops(const KernelSpec& spec)
+{
+    const KernelFamilyInfo* info = find_kernel_family(spec.family);
+    TCSIM_CHECK(info != nullptr);  // Validated at parse time.
+    if (info->is_gemm)
+        return gemm_flops(spec.m, spec.n, spec.k);
+    return hmma_stress_flops(spec.ctas, spec.warps_per_cta,
+                             spec.wmma_per_warp);
+}
+
+/** The scenario's non-zero stream ids, ascending: position in this
+ *  list + 1 is the dense engine stream id — the mapping both the cold
+ *  path (create_stream order) and the fork path (stream_by_id after
+ *  restore) must agree on. */
+std::vector<int>
+nonzero_stream_ids(const std::vector<KernelSpec>& kernels)
+{
+    std::vector<int> ids;
+    for (const KernelSpec& spec : kernels)
+        if (spec.stream != 0)
+            ids.push_back(spec.stream);
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+}
+
+/**
+ * Wire the dependency DAG and enqueue @p prepared in declaration
+ * order: named events find-or-create (a fork finds prefix events the
+ * restore recreated); "sync" joins every stream with earlier launches
+ * through per-join auto events.  @p launches_on counts enqueued
+ * launches per scenario stream id — a fork seeds it with the prefix's
+ * counts so joins still cover prefix-only streams.
+ */
+void
+enqueue_kernels(Gpu* gpu, std::vector<PreparedKernel>* prepared,
+                const std::map<int, Stream*>& streams,
+                std::map<int, int>* launches_on)
+{
+    auto named_event = [&](const std::string& name) -> Event& {
+        Event* ev = gpu->find_event(name);
+        return ev ? *ev : gpu->create_event(name);
+    };
+    for (PreparedKernel& pk : *prepared) {
+        const KernelSpec& spec = *pk.spec;
+        Stream* stream = streams.at(spec.stream);
+        if (spec.sync) {
+            for (auto& [sid, other] : streams) {
+                if (other == stream || (*launches_on)[sid] == 0)
+                    continue;
+                Event& join = gpu->create_event(
+                    "sync:" + spec.name + ":s" + std::to_string(sid));
+                other->record(join);
+                stream->wait(join);
+            }
+        }
+        for (const std::string& e : spec.wait_events)
+            stream->wait(named_event(e));
+        stream->enqueue(std::move(pk.desc));
+        if (!spec.record_event.empty())
+            stream->record(named_event(spec.record_event));
+        ++(*launches_on)[spec.stream];
+    }
+}
+
+/** Completion stamps of the scenario's named events (not the "sync:"
+ *  auto joins), name order. */
+void
+collect_events(ScenarioResult* r, const Scenario& scenario, Gpu* gpu)
+{
+    std::set<std::string> names;
+    for (const KernelSpec& spec : scenario.kernels) {
+        if (!spec.record_event.empty())
+            names.insert(spec.record_event);
+        for (const std::string& e : spec.wait_events)
+            names.insert(e);
+    }
+    for (const std::string& name : names) {
+        Event* ev = gpu->find_event(name);
+        if (ev && ev->complete())
+            r->events.push_back(EventResult{name, ev->cycle()});
+    }
+}
+
+/** Attribute per-kernel results from the run's LaunchStats (names are
+ *  unique by schema) and fill the FLOPS-derived aggregates. */
+void
+attribute_kernels(ScenarioResult* r, const Scenario& scenario,
+                  const GpuConfig& cfg)
+{
+    for (const KernelSpec& spec : scenario.kernels) {
+        KernelResult kr;
+        kr.name = spec.name;
+        kr.family = spec.family;
+        kr.stream = spec.stream;
+        kr.flops = spec_flops(spec);
+        for (const LaunchStats& ls : r->totals.kernels)
+            if (ls.kernel == kr.name)
+                kr.stats = ls;
+        if (kr.stats.cycles > 0)
+            kr.tflops =
+                metrics::tflops(kr.flops,
+                                static_cast<double>(kr.stats.cycles),
+                                cfg.clock_ghz);
+        r->total_flops += kr.flops;
+        r->kernels.push_back(std::move(kr));
+    }
+    if (r->totals.cycles > 0)
+        r->total_tflops =
+            metrics::tflops(r->total_flops,
+                            static_cast<double>(r->totals.cycles),
+                            cfg.clock_ghz);
+}
+
 AssertionResult
 evaluate(const ScenarioResult& r, const Expectation& e)
 {
@@ -333,7 +452,8 @@ evaluate(const ScenarioResult& r, const Expectation& e)
 }  // namespace
 
 ScenarioResult
-run_scenario(const Scenario& scenario, int sim_threads_override)
+run_scenario(const Scenario& scenario, int sim_threads_override,
+             int detailed_sms_override)
 {
     using clock = std::chrono::steady_clock;
     ScenarioResult result;
@@ -342,6 +462,8 @@ run_scenario(const Scenario& scenario, int sim_threads_override)
     SimOptions sim = scenario.sim;
     if (sim_threads_override >= 0)
         sim.sim_threads = sim_threads_override;
+    if (detailed_sms_override >= 0)
+        sim.detailed_sms = detailed_sms_override;
     result.sim_threads =
         sim.sim_threads > 0 ? sim.sim_threads : hardware_threads();
     auto t0 = clock::now();
@@ -361,81 +483,31 @@ run_scenario(const Scenario& scenario, int sim_threads_override)
         // Map scenario stream ids onto engine streams: 0 is the
         // implicit stream; the rest are created in ascending id order
         // so engine dispatch priority is deterministic.
-        std::vector<int> ids;
-        for (const KernelSpec& spec : scenario.kernels)
-            if (spec.stream != 0)
-                ids.push_back(spec.stream);
-        std::sort(ids.begin(), ids.end());
-        ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
         std::map<int, Stream*> streams;
         streams[0] = &gpu.default_stream();
-        for (int id : ids)
+        for (int id : nonzero_stream_ids(scenario.kernels))
             streams[id] = &gpu.create_stream();
 
-        // Wire the dependency DAG: named events first use creates;
-        // "sync" joins every stream with earlier launches through
-        // per-join auto events.
-        std::map<std::string, Event*> events;
-        auto named_event = [&](const std::string& name) {
-            auto [it, fresh] = events.emplace(name, nullptr);
-            if (fresh)
-                it->second = &gpu.create_event(name);
-            return it->second;
-        };
         std::map<int, int> launches_on;  ///< Enqueued launches per stream.
-        for (PreparedKernel& pk : prepared) {
-            const KernelSpec& spec = *pk.spec;
-            Stream* stream = streams[spec.stream];
-            if (spec.sync) {
-                for (auto& [sid, other] : streams) {
-                    if (other == stream || launches_on[sid] == 0)
-                        continue;
-                    Event& join = gpu.create_event(
-                        "sync:" + spec.name + ":s" + std::to_string(sid));
-                    other->record(join);
-                    stream->wait(join);
-                }
-            }
-            for (const std::string& e : spec.wait_events)
-                stream->wait(*named_event(e));
-            stream->enqueue(std::move(pk.desc));
-            if (!spec.record_event.empty())
-                stream->record(*named_event(spec.record_event));
-            ++launches_on[spec.stream];
-        }
+        enqueue_kernels(&gpu, &prepared, streams, &launches_on);
 
         result.totals = gpu.run();
 
-        for (const auto& [name, ev] : events)
-            if (ev->complete())
-                result.events.push_back(EventResult{name, ev->cycle()});
+        collect_events(&result, scenario, &gpu);
+        attribute_kernels(&result, scenario, cfg);
 
-        // Attribute per-kernel results (names are unique by schema).
-        for (PreparedKernel& pk : prepared) {
-            KernelResult kr;
-            kr.name = pk.spec->name;
-            kr.family = pk.spec->family;
-            kr.stream = pk.spec->stream;
-            kr.flops = pk.flops;
-            for (const LaunchStats& ls : result.totals.kernels)
-                if (ls.kernel == kr.name)
-                    kr.stats = ls;
-            if (kr.stats.cycles > 0)
-                kr.tflops = metrics::tflops(
-                    kr.flops, static_cast<double>(kr.stats.cycles),
-                    cfg.clock_ghz);
-            if (pk.setup) {
-                kr.verify_rel_err = pk.setup->verify(gpu.mem(), pk.buf.d);
-                result.verify_max_rel_err =
-                    std::max(result.verify_max_rel_err, kr.verify_rel_err);
-            }
-            result.total_flops += kr.flops;
-            result.kernels.push_back(std::move(kr));
+        // Verify functional kernels against the host reference
+        // (prepared[i] pairs with result.kernels[i]: both follow
+        // declaration order).
+        for (size_t i = 0; i < prepared.size(); ++i) {
+            if (!prepared[i].setup)
+                continue;
+            KernelResult& kr = result.kernels[i];
+            kr.verify_rel_err =
+                prepared[i].setup->verify(gpu.mem(), prepared[i].buf.d);
+            result.verify_max_rel_err =
+                std::max(result.verify_max_rel_err, kr.verify_rel_err);
         }
-        if (result.totals.cycles > 0)
-            result.total_tflops = metrics::tflops(
-                result.total_flops,
-                static_cast<double>(result.totals.cycles), cfg.clock_ghz);
 
         // Implicit assertion: every functional kernel verifies within
         // the scenario tolerance.
@@ -467,6 +539,219 @@ run_scenario(const Scenario& scenario, int sim_threads_override)
         result.ticks_per_sec = static_cast<double>(result.totals.ticks) /
                                (result.wall_ms / 1000.0);
     return result;
+}
+
+namespace {
+
+/**
+ * Run one materialized sweep point as a fork: restore the prefix
+ * snapshot onto a fresh Gpu, append the point's kernels to the
+ * restored streams, and run to completion.  Global-memory allocation
+ * resumes from the snapshotted bump pointer, so point buffers land at
+ * the same addresses a cold run computes; statistics are attributed
+ * over the merged (prefix + point) kernel list — prefix launches that
+ * retired before the fork travel inside the snapshot's run state.
+ */
+ScenarioResult
+run_forked_point(const Scenario& sc, size_t index, const GpuConfig& cfg,
+                 const SimOptions& sim, const Snapshot& snap)
+{
+    using clock = std::chrono::steady_clock;
+    Scenario merged = materialize_sweep_point(sc, index);
+    ScenarioResult result;
+    result.name = merged.name;
+    result.file = merged.file;
+    result.sim_threads =
+        sim.sim_threads > 0 ? sim.sim_threads : hardware_threads();
+    auto t0 = clock::now();
+
+    try {
+        result.clock_ghz = cfg.clock_ghz;
+        Gpu gpu(cfg, sim);
+        gpu.restore(snap);
+
+        const size_t n_prefix = sc.kernels.size();
+        std::vector<PreparedKernel> prepared;
+        prepared.reserve(merged.kernels.size() - n_prefix);
+        for (size_t i = n_prefix; i < merged.kernels.size(); ++i) {
+            prepared.push_back(
+                prepare_kernel(merged.kernels[i], cfg.arch, &gpu.mem()));
+            check_kernel_fits(cfg, prepared.back().desc);
+        }
+
+        // Rebuild the prefix's scenario-id → engine-stream mapping on
+        // the restored stream set (points may not mint new ids, so the
+        // prefix's mapping covers every point kernel).
+        std::map<int, Stream*> streams;
+        streams[0] = &gpu.stream_by_id(0);
+        std::vector<int> ids = nonzero_stream_ids(sc.kernels);
+        for (size_t i = 0; i < ids.size(); ++i)
+            streams[ids[i]] = &gpu.stream_by_id(static_cast<int>(i) + 1);
+
+        // Seed per-stream launch counts with the prefix's so a point
+        // "sync" still joins prefix-only streams.
+        std::map<int, int> launches_on;
+        for (size_t i = 0; i < n_prefix; ++i)
+            ++launches_on[merged.kernels[i].stream];
+
+        enqueue_kernels(&gpu, &prepared, streams, &launches_on);
+
+        result.totals = gpu.run();
+
+        collect_events(&result, merged, &gpu);
+        attribute_kernels(&result, merged, cfg);
+        for (const Expectation& e : merged.expect)
+            result.assertions.push_back(evaluate(result, e));
+        result.passed = true;
+        for (const AssertionResult& a : result.assertions)
+            result.passed &= a.passed;
+    } catch (const std::exception& e) {
+        result.error = e.what();
+        result.passed = false;
+    }
+
+    result.wall_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    if (result.wall_ms > 0.0)
+        result.ticks_per_sec = static_cast<double>(result.totals.ticks) /
+                               (result.wall_ms / 1000.0);
+    return result;
+}
+
+}  // namespace
+
+std::vector<ScenarioResult>
+run_sweep(const Scenario& scenario, int jobs, int sim_threads_override,
+          int detailed_sms_override, bool cold_sweep)
+{
+    const size_t npts = scenario.sweep.points.size();
+    std::vector<ScenarioResult> out(npts);
+    auto stamp = [&](size_t i, ScenarioResult r) {
+        r.sweep_point = scenario.sweep.points[i].name;
+        r.sweep_fork_cycle = scenario.sweep.fork_cycle;
+        r.sweep_points = static_cast<int>(npts);
+        r.sweep_forked = !cold_sweep;
+        out[i] = std::move(r);
+    };
+    auto fail_point = [&](size_t i, const std::string& err) {
+        ScenarioResult r;
+        r.name = scenario.name + "/" + scenario.sweep.points[i].name;
+        r.file = scenario.file;
+        r.error = err;
+        stamp(i, std::move(r));
+    };
+    auto fail_all = [&](const std::string& err) {
+        for (size_t i = 0; i < npts; ++i)
+            fail_point(i, err);
+    };
+
+    SimOptions sim = scenario.sim;
+    if (sim_threads_override >= 0)
+        sim.sim_threads = sim_threads_override;
+    if (detailed_sms_override >= 0)
+        sim.detailed_sms = detailed_sms_override;
+
+    GpuConfig cfg;
+    try {
+        cfg = scenario.gpu_config();
+        // Pin one SM-array size across the prefix run and every point,
+        // cold or forked: the array grows with pending CTAs and idle
+        // SMs are timing-observable, so the fork (which sizes from the
+        // prefix alone) and a cold rerun (which sizes from
+        // prefix + point at cycle 0) would otherwise diverge.  Size
+        // from the widest point, measured in prepared grid CTAs on a
+        // scratch Gpu.
+        Gpu scratch(cfg, sim);
+        uint64_t prefix_ctas = 0;
+        for (const KernelSpec& spec : scenario.kernels)
+            prefix_ctas += static_cast<uint64_t>(
+                prepare_kernel(spec, cfg.arch, &scratch.mem())
+                    .desc.grid_ctas);
+        uint64_t widest = 1;
+        for (const SweepPoint& pt : scenario.sweep.points) {
+            uint64_t ctas = prefix_ctas;
+            for (const KernelSpec& spec : pt.kernels)
+                ctas += static_cast<uint64_t>(
+                    prepare_kernel(spec, cfg.arch, &scratch.mem())
+                        .desc.grid_ctas);
+            widest = std::max(
+                widest,
+                std::min<uint64_t>(static_cast<uint64_t>(cfg.num_sms), ctas));
+        }
+        sim.min_sms = std::max(sim.min_sms, static_cast<int>(widest));
+    } catch (const std::exception& e) {
+        fail_all(e.what());
+        return out;
+    }
+
+    auto for_each_point = [&](auto&& fn) {
+        size_t nthreads = std::min<size_t>(std::max(jobs, 1), npts);
+        if (nthreads <= 1) {
+            for (size_t i = 0; i < npts; ++i)
+                fn(i);
+            return;
+        }
+        std::atomic<size_t> next{0};
+        std::vector<std::thread> threads;
+        threads.reserve(nthreads);
+        for (size_t t = 0; t < nthreads; ++t)
+            threads.emplace_back([&] {
+                for (;;) {
+                    size_t i = next.fetch_add(1);
+                    if (i >= npts)
+                        return;
+                    fn(i);
+                }
+            });
+        for (std::thread& t : threads)
+            t.join();
+    };
+
+    if (cold_sweep) {
+        for_each_point([&](size_t i) {
+            Scenario merged = materialize_sweep_point(scenario, i);
+            merged.sim = sim;
+            stamp(i, run_scenario(merged));
+        });
+        return out;
+    }
+
+    // Simulate the shared prefix once and snapshot it at fork_cycle.
+    // The snapshot is a value with a shared immutable memory image, so
+    // every point worker restores from the same object concurrently.
+    Snapshot snap;
+    try {
+        Gpu prefix(cfg, sim);
+        std::vector<PreparedKernel> prepared;
+        prepared.reserve(scenario.kernels.size());
+        for (const KernelSpec& spec : scenario.kernels) {
+            prepared.push_back(prepare_kernel(spec, cfg.arch, &prefix.mem()));
+            check_kernel_fits(cfg, prepared.back().desc);
+        }
+        std::map<int, Stream*> streams;
+        streams[0] = &prefix.default_stream();
+        for (int id : nonzero_stream_ids(scenario.kernels))
+            streams[id] = &prefix.create_stream();
+        std::map<int, int> launches_on;
+        enqueue_kernels(&prefix, &prepared, streams, &launches_on);
+
+        prefix.run_until(scenario.sweep.fork_cycle);
+        if (!prefix.run_active())
+            throw ScenarioError(
+                "sweep.fork_cycle " +
+                std::to_string(scenario.sweep.fork_cycle) +
+                ": the prefix drained before the fork; lower fork_cycle "
+                "so the snapshot captures a run still in progress");
+        snap = prefix.snapshot();
+    } catch (const std::exception& e) {
+        fail_all(e.what());
+        return out;
+    }
+
+    for_each_point([&](size_t i) {
+        stamp(i, run_forked_point(scenario, i, cfg, sim, snap));
+    });
+    return out;
 }
 
 int
@@ -541,23 +826,39 @@ run_batch(const std::vector<Scenario>& scenarios, const BatchOptions& opts)
     const int sim_threads = opts.sim_threads;
     BatchReport report;
     report.jobs = effective_jobs(opts, scenarios);
-    report.results.resize(scenarios.size());
     auto t0 = clock::now();
+
+    // One slot per input scenario; sweeps expand to several results,
+    // flattened in input order after the pool drains.
+    std::vector<std::vector<ScenarioResult>> slots(scenarios.size());
 
     // Set once a failure is observed; workers stop *starting* new
     // scenarios but finish the one they are on.
     std::atomic<bool> stop{false};
 
-    if (report.jobs == 1 || scenarios.size() <= 1) {
-        for (size_t i = 0; i < scenarios.size(); ++i) {
-            if (stop.load(std::memory_order_relaxed)) {
-                report.results[i] = skipped_result(scenarios[i]);
-                continue;
-            }
-            report.results[i] = run_scenario(scenarios[i], sim_threads);
-            if (fail_fast && !report.results[i].passed)
-                stop.store(true, std::memory_order_relaxed);
+    // @p point_jobs: batch workers already saturated the budget when
+    // > 1 scenario is in flight, so only the serial branch lets a
+    // sweep fan its points out.
+    auto run_slot = [&](size_t i, int point_jobs) {
+        const Scenario& sc = scenarios[i];
+        if (stop.load(std::memory_order_relaxed)) {
+            slots[i] = {skipped_result(sc)};
+            return;
         }
+        if (sc.is_sweep())
+            slots[i] = run_sweep(sc, point_jobs, sim_threads,
+                                 opts.detailed_sms, opts.cold_sweep);
+        else
+            slots[i] = {run_scenario(sc, sim_threads, opts.detailed_sms)};
+        if (fail_fast)
+            for (const ScenarioResult& r : slots[i])
+                if (!r.passed)
+                    stop.store(true, std::memory_order_relaxed);
+    };
+
+    if (report.jobs == 1 || scenarios.size() <= 1) {
+        for (size_t i = 0; i < scenarios.size(); ++i)
+            run_slot(i, report.jobs);
     } else {
         // One simulator instance per in-flight scenario; workers pull
         // indices from a shared counter and write disjoint slots.
@@ -567,13 +868,7 @@ run_batch(const std::vector<Scenario>& scenarios, const BatchOptions& opts)
                 size_t i = next.fetch_add(1);
                 if (i >= scenarios.size())
                     return;
-                if (stop.load(std::memory_order_relaxed)) {
-                    report.results[i] = skipped_result(scenarios[i]);
-                    continue;
-                }
-                report.results[i] = run_scenario(scenarios[i], sim_threads);
-                if (fail_fast && !report.results[i].passed)
-                    stop.store(true, std::memory_order_relaxed);
+                run_slot(i, 1);
             }
         };
         size_t nthreads =
@@ -585,6 +880,10 @@ run_batch(const std::vector<Scenario>& scenarios, const BatchOptions& opts)
         for (std::thread& t : threads)
             t.join();
     }
+
+    for (std::vector<ScenarioResult>& slot : slots)
+        for (ScenarioResult& r : slot)
+            report.results.push_back(std::move(r));
 
     report.wall_ms =
         std::chrono::duration<double, std::milli>(clock::now() - t0).count();
@@ -625,14 +924,29 @@ report_to_json(const BatchReport& report)
             jr.set("error", r.error);
         jr.set("wall_ms", r.wall_ms);
 
+        // Sweep identity: which point this result expands.  Outside
+        // "sim" — a forked and a cold run of the same point must agree
+        // on it.
+        if (!r.sweep_point.empty()) {
+            JsonValue sweep = JsonValue::object();
+            sweep.set("point", r.sweep_point);
+            sweep.set("fork_cycle", r.sweep_fork_cycle);
+            sweep.set("points", r.sweep_points);
+            jr.set("sweep", std::move(sweep));
+        }
+
         // Simulation-speed telemetry (CI artifacts chart speedups from
         // these).  Wall-clock shaped: tools/report_diff.py strips the
         // whole "sim" key, so run-dependent fields belong in here —
-        // everything outside it must be identical across runs.
+        // everything outside it must be identical across runs
+        // (including "forked": the fork-identity leg diffs a forked
+        // sweep against a cold one).
         JsonValue sim = JsonValue::object();
         sim.set("wall_ms", r.wall_ms);
         sim.set("ticks_per_sec", r.ticks_per_sec);
         sim.set("sim_threads", r.sim_threads);
+        if (!r.sweep_point.empty())
+            sim.set("forked", r.sweep_forked);
         jr.set("sim", std::move(sim));
 
         JsonValue totals = JsonValue::object();

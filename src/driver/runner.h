@@ -82,14 +82,44 @@ struct ScenarioResult
     double ticks_per_sec = 0.0;
     /** Worker threads the simulation ran with (resolved, >= 1). */
     int sim_threads = 1;
+
+    // Sweep metadata (set by run_sweep; sweep_point empty otherwise).
+    /** Name of the sweep point this result expands. */
+    std::string sweep_point;
+    /** Cycle the shared prefix was snapshotted at. */
+    uint64_t sweep_fork_cycle = 0;
+    /** Total points in the owning sweep. */
+    int sweep_points = 0;
+    /** Ran as a snapshot fork (false = cold rerun of prefix+point). */
+    bool sweep_forked = false;
 };
 
 /** Run one scenario to completion; never throws (errors land in
  *  ScenarioResult::error).  @p sim_threads_override replaces the
  *  scenario's sim.sim_threads when >= 0 (the simrunner --sim-threads
- *  flag and the CI serial-vs-threaded identity legs). */
+ *  flag and the CI serial-vs-threaded identity legs);
+ *  @p detailed_sms_override likewise replaces sim.detailed_sms (the
+ *  --detailed-sms flag and the CI sampled-error leg). */
 ScenarioResult run_scenario(const Scenario& scenario,
-                            int sim_threads_override = -1);
+                            int sim_threads_override = -1,
+                            int detailed_sms_override = -1);
+
+/**
+ * Run a sweep scenario: simulate the shared kernel prefix once to
+ * sweep.fork_cycle, snapshot, and fork one run per point (restore +
+ * the point's kernels), with up to @p jobs points in flight at once.
+ * Every result is bit-identical to running the materialized point
+ * cold — which @p cold_sweep does instead (the CI fork-identity
+ * reference leg).  Both paths pin the same SimOptions::min_sms floor,
+ * sized from the largest point, so every run sees the same SM array.
+ * Returns one result per point, in declaration order; a prefix
+ * failure (or a fork_cycle the prefix never reaches) fails every
+ * point.
+ */
+std::vector<ScenarioResult> run_sweep(const Scenario& scenario, int jobs = 1,
+                                      int sim_threads_override = -1,
+                                      int detailed_sms_override = -1,
+                                      bool cold_sweep = false);
 
 /** Aggregate outcome of a scenario batch. */
 struct BatchReport
@@ -120,6 +150,12 @@ struct BatchOptions
      *  jobs is clamped to budget / sim_threads so batch parallelism
      *  times intra-sim parallelism never oversubscribes the host. */
     int thread_budget = 0;
+    /** Run sweep points cold (prefix+point from cycle 0) instead of
+     *  forking the prefix snapshot — the fork-identity reference. */
+    bool cold_sweep = false;
+    /** Override every scenario's sim.detailed_sms (-1 = keep the
+     *  per-scenario setting). */
+    int detailed_sms = -1;
 };
 
 /** The batch worker count run_batch will actually use for @p opts
@@ -133,7 +169,9 @@ int effective_jobs(const BatchOptions& opts,
  * per-scenario statistics are independent of jobs and of each
  * simulation's sim_threads.  With fail_fast, the first failure stops
  * the batch: scenarios not yet started are marked skipped
- * (already-running workers finish their current scenario).
+ * (already-running workers finish their current scenario).  A sweep
+ * scenario expands to one result per point, flattened in place (so
+ * BatchReport::results may be longer than @p scenarios).
  */
 BatchReport run_batch(const std::vector<Scenario>& scenarios,
                       const BatchOptions& opts);

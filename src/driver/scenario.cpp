@@ -237,6 +237,157 @@ parse_expectation(const JsonValue& obj, size_t index,
     return e;
 }
 
+/** Reference checks shared by the top-level and sweep-point "expect"
+ *  lists: metric paths must name known kernels/events, and verify
+ *  metrics need a functional kernel. */
+void
+validate_expectation(const Expectation& e, const std::set<std::string>& names,
+                     const std::set<std::string>& functional_names,
+                     const std::set<std::string>& recorded_events,
+                     bool any_functional, const std::string& file)
+{
+    if (e.metric.rfind("kernel.", 0) == 0) {
+        // kernel.<name>.<field> — the name must exist, and
+        // verify_rel_err only exists on functional kernels (else the
+        // -1 "not verified" sentinel would satisfy any max bound
+        // vacuously).
+        std::string rest = e.metric.substr(7);
+        // "stall.<reason>" is the one two-component field.
+        size_t dot = rest.find(".stall.");
+        if (dot == std::string::npos)
+            dot = rest.rfind('.');
+        if (dot == std::string::npos || dot == 0)
+            fail(file, "bad metric path \"" + e.metric + "\"");
+        std::string kname = rest.substr(0, dot);
+        if (!names.count(kname))
+            fail(file, "metric \"" + e.metric +
+                           "\" references an unknown kernel");
+        if (rest.substr(dot + 1) == "verify_rel_err" &&
+            !functional_names.count(kname))
+            fail(file, "metric \"" + e.metric +
+                           "\" needs a functional kernel");
+    }
+    if (e.metric.rfind("verify.", 0) == 0 && !any_functional)
+        fail(file, "metric \"" + e.metric + "\" needs a functional kernel");
+    if (e.metric.rfind("event.", 0) == 0) {
+        // event.<name>.cycle — the event must be recorded.
+        std::string rest = e.metric.substr(6);
+        size_t dot = rest.rfind('.');
+        if (dot == std::string::npos || dot == 0 ||
+            rest.substr(dot + 1) != "cycle")
+            fail(file, "bad metric path \"" + e.metric +
+                           "\" (want event.<name>.cycle)");
+        if (!recorded_events.count(rest.substr(0, dot)))
+            fail(file, "metric \"" + e.metric +
+                           "\" references an event no kernel records");
+    }
+}
+
+/**
+ * Parse {"fork_cycle": ..., "points": [...]} into sc->sweep and
+ * validate every sweep constraint against the already-parsed prefix
+ * (sc->kernels).  Shared by the inline "sweep" key and attach_sweep.
+ */
+void
+parse_sweep_into(Scenario* sc, const JsonValue& obj, const std::string& file)
+{
+    if (!obj.is_object())
+        fail(file, "\"sweep\" must be a JSON object");
+    check_keys(obj, {"fork_cycle", "points"}, "sweep", file);
+
+    const JsonValue* fc = obj.find("fork_cycle");
+    if (!fc)
+        fail(file, "sweep: missing required key \"fork_cycle\"");
+    int64_t cycle = fc->as_int();
+    if (cycle < 1)
+        fail(file, "sweep.fork_cycle must be >= 1 (snapshots capture a "
+                   "run already in progress)");
+    sc->sweep.fork_cycle = static_cast<uint64_t>(cycle);
+
+    // The prefix constraints: sweeps are timing-only (functional
+    // commits would have to be replayed per fork), and the prefix must
+    // still be in flight at the fork — which the runner checks at run
+    // time, since it depends on simulated timing.
+    std::set<std::string> base_names, base_recorded;
+    std::set<int> base_streams;
+    for (const KernelSpec& k : sc->kernels) {
+        if (k.functional)
+            fail(file, "sweep: prefix kernel \"" + k.name +
+                           "\" is functional; sweeps are timing-only "
+                           "(forks share one copy-on-write memory image)");
+        base_names.insert(k.name);
+        base_streams.insert(k.stream);
+        if (!k.record_event.empty())
+            base_recorded.insert(k.record_event);
+    }
+
+    const JsonValue* points = obj.find("points");
+    if (!points || !points->is_array() || points->as_array().empty())
+        fail(file, "sweep needs a non-empty \"points\" array");
+    std::set<std::string> point_names;
+    for (size_t pi = 0; pi < points->as_array().size(); ++pi) {
+        const JsonValue& pobj = points->as_array()[pi];
+        std::string where = "sweep.points[" + std::to_string(pi) + "]";
+        if (!pobj.is_object())
+            fail(file, where + " must be a JSON object");
+        check_keys(pobj, {"name", "kernels", "expect"}, where, file);
+
+        SweepPoint pt;
+        const JsonValue* pname = pobj.find("name");
+        if (!pname || pname->as_string().empty())
+            fail(file, where + ": missing required key \"name\"");
+        pt.name = pname->as_string();
+        if (!point_names.insert(pt.name).second)
+            fail(file, where + ": duplicate point name \"" + pt.name + "\"");
+
+        const JsonValue* pk = pobj.find("kernels");
+        if (!pk || !pk->is_array() || pk->as_array().empty())
+            fail(file, where + " needs a non-empty \"kernels\" array");
+        std::set<std::string> names = base_names;
+        std::set<std::string> recorded = base_recorded;
+        for (size_t i = 0; i < pk->as_array().size(); ++i) {
+            KernelSpec spec = parse_kernel(pk->as_array()[i], i, file);
+            if (spec.functional)
+                fail(file, where + ": kernel \"" + spec.name +
+                               "\" is functional; sweeps are timing-only");
+            // Streams are part of the forked snapshot: a point may
+            // reuse prefix streams (or the implicit stream 0) but
+            // cannot mint new ids, which would not exist in the
+            // restored state.
+            if (spec.stream != 0 && !base_streams.count(spec.stream))
+                fail(file, where + ": kernel \"" + spec.name +
+                               "\" uses stream " +
+                               std::to_string(spec.stream) +
+                               ", which the prefix never uses");
+            if (!names.insert(spec.name).second)
+                fail(file, where + ": kernel name \"" + spec.name +
+                               "\" collides with the prefix or this point");
+            if (!spec.record_event.empty())
+                recorded.insert(spec.record_event);
+            pt.kernels.push_back(std::move(spec));
+        }
+        for (const KernelSpec& k : pt.kernels)
+            for (const std::string& e : k.wait_events)
+                if (!recorded.count(e))
+                    fail(file, where + ": kernel \"" + k.name +
+                                   "\" waits on event \"" + e +
+                                   "\" recorded by neither the prefix "
+                                   "nor this point");
+
+        if (const JsonValue* expect = pobj.find("expect")) {
+            for (size_t i = 0; i < expect->as_array().size(); ++i) {
+                Expectation e =
+                    parse_expectation(expect->as_array()[i], i, file);
+                validate_expectation(e, names, /*functional_names=*/{},
+                                     recorded, /*any_functional=*/false,
+                                     file);
+                pt.expect.push_back(std::move(e));
+            }
+        }
+        sc->sweep.points.push_back(std::move(pt));
+    }
+}
+
 }  // namespace
 
 namespace {
@@ -351,7 +502,7 @@ parse_scenario(const JsonValue& doc, const std::string& file)
         fail(file, "scenario document must be a JSON object");
     check_keys(doc,
                {"name", "description", "gpu", "sim", "kernels",
-                "verify_tolerance", "expect"},
+                "verify_tolerance", "expect", "sweep"},
                "scenario", file);
 
     Scenario sc;
@@ -398,7 +549,8 @@ parse_scenario(const JsonValue& doc, const std::string& file)
 
     if (const JsonValue* sim = doc.find("sim")) {
         check_keys(*sim,
-                   {"scheduler", "max_cycles", "sim_threads", "idle_skip"},
+                   {"scheduler", "max_cycles", "sim_threads", "idle_skip",
+                    "min_sms", "detailed_sms", "sample_window"},
                    "sim", file);
         sc.sim.scheduler =
             parse_scheduler(get_string(*sim, "scheduler", "gto"), file);
@@ -417,6 +569,25 @@ parse_scenario(const JsonValue& doc, const std::string& file)
         }
         if (const JsonValue* v = sim->find("idle_skip"))
             sc.sim.idle_skip = v->as_bool();
+        if (const JsonValue* v = sim->find("min_sms")) {
+            int64_t s = v->as_int();
+            if (s < 0)
+                fail(file, "sim.min_sms must be >= 0");
+            sc.sim.min_sms = static_cast<int>(s);
+        }
+        if (const JsonValue* v = sim->find("detailed_sms")) {
+            int64_t s = v->as_int();
+            if (s < 0)
+                fail(file, "sim.detailed_sms must be >= 0 (0 = every SM "
+                           "detailed)");
+            sc.sim.detailed_sms = static_cast<int>(s);
+        }
+        if (const JsonValue* v = sim->find("sample_window")) {
+            int64_t w = v->as_int();
+            if (w < 1)
+                fail(file, "sim.sample_window must be >= 1");
+            sc.sim.sample_window = static_cast<uint64_t>(w);
+        }
     }
 
     const JsonValue* kernels = doc.find("kernels");
@@ -468,47 +639,41 @@ parse_scenario(const JsonValue& doc, const std::string& file)
         for (size_t i = 0; i < expect->as_array().size(); ++i) {
             Expectation e =
                 parse_expectation(expect->as_array()[i], i, file);
-            if (e.metric.rfind("kernel.", 0) == 0) {
-                // kernel.<name>.<field> — the name must exist, and
-                // verify_rel_err only exists on functional kernels
-                // (else the -1 "not verified" sentinel would satisfy
-                // any max bound vacuously).
-                std::string rest = e.metric.substr(7);
-                // "stall.<reason>" is the one two-component field.
-                size_t dot = rest.find(".stall.");
-                if (dot == std::string::npos)
-                    dot = rest.rfind('.');
-                if (dot == std::string::npos || dot == 0)
-                    fail(file, "bad metric path \"" + e.metric + "\"");
-                std::string kname = rest.substr(0, dot);
-                if (!names.count(kname))
-                    fail(file, "metric \"" + e.metric +
-                                   "\" references an unknown kernel");
-                if (rest.substr(dot + 1) == "verify_rel_err" &&
-                    !functional_names.count(kname))
-                    fail(file, "metric \"" + e.metric +
-                                   "\" needs a functional kernel");
-            }
-            if (e.metric.rfind("verify.", 0) == 0 && !any_functional)
-                fail(file, "metric \"" + e.metric +
-                               "\" needs a functional kernel");
-            if (e.metric.rfind("event.", 0) == 0) {
-                // event.<name>.cycle — the event must be recorded.
-                std::string rest = e.metric.substr(6);
-                size_t dot = rest.rfind('.');
-                if (dot == std::string::npos || dot == 0 ||
-                    rest.substr(dot + 1) != "cycle")
-                    fail(file, "bad metric path \"" + e.metric +
-                                   "\" (want event.<name>.cycle)");
-                if (!recorded_events.count(rest.substr(0, dot)))
-                    fail(file, "metric \"" + e.metric +
-                                   "\" references an event no kernel "
-                                   "records");
-            }
+            validate_expectation(e, names, functional_names,
+                                 recorded_events, any_functional, file);
             sc.expect.push_back(std::move(e));
         }
     }
+
+    if (const JsonValue* sweep = doc.find("sweep"))
+        parse_sweep_into(&sc, *sweep, file);
     return sc;
+}
+
+void
+attach_sweep(Scenario* sc, const JsonValue& doc, const std::string& file)
+{
+    const std::string& where = file.empty() ? sc->file : file;
+    if (sc->is_sweep())
+        fail(where, "scenario \"" + sc->name +
+                        "\" already declares a sweep; --grid cannot "
+                        "attach a second one");
+    parse_sweep_into(sc, doc, where);
+}
+
+Scenario
+materialize_sweep_point(const Scenario& sc, size_t index)
+{
+    if (index >= sc.sweep.points.size())
+        throw ScenarioError("sweep point index out of range");
+    const SweepPoint& pt = sc.sweep.points[index];
+    Scenario out = sc;
+    out.sweep = SweepSpec{};
+    out.name = sc.name + "/" + pt.name;
+    out.kernels.insert(out.kernels.end(), pt.kernels.begin(),
+                       pt.kernels.end());
+    out.expect.insert(out.expect.end(), pt.expect.begin(), pt.expect.end());
+    return out;
 }
 
 Scenario

@@ -19,7 +19,11 @@
  *             "sim_threads": 1,      // intra-sim worker threads
  *                                    // (0 = hardware concurrency);
  *                                    // results are thread-invariant
- *             "idle_skip": true},    // false = lockstep main loop
+ *             "idle_skip": true,     // false = lockstep main loop
+ *             "min_sms": 0,          // floor on the SM-array size
+ *             "detailed_sms": 0,     // sampled-SM fast-forward (see
+ *                                    // SimOptions::detailed_sms)
+ *             "sample_window": 4096},
  *     "kernels": [                          // required, non-empty
  *       {"kernel": "wmma_shared",           // required; see registry
  *        "name": "gemm0", "stream": 0,
@@ -37,8 +41,28 @@
  *     "expect": [
  *       {"metric": "total.cycles", "max": 60000, "min": 1000},
  *       {"metric": "kernel.gemm0.tflops", "min": 4.0},
- *       {"metric": "verify.max_rel_err", "max": 0.01}]
+ *       {"metric": "verify.max_rel_err", "max": 0.01}],
+ *     "sweep": {                            // optional: parameter sweep
+ *       "fork_cycle": 2000,                 // snapshot the shared prefix
+ *                                           // here (>= 1, before any
+ *                                           // prefix stream drains)
+ *       "points": [                         // >= 1 sweep points
+ *         {"name": "gemm64",                // required, unique
+ *          "kernels": [...],                // appended after the prefix
+ *          "expect": [...]}]}               // point-specific assertions
  *   }
+ *
+ * A sweep scenario runs its top-level "kernels" as a *shared prefix*:
+ * the runner simulates the prefix once, snapshots the complete
+ * simulation state at fork_cycle, and forks one run per point (each a
+ * restore + the point's kernels), bit-identical to running
+ * prefix+point cold from cycle 0.  Sweep constraints (validated at
+ * parse time): every kernel must be timing-only (functional=false),
+ * point kernels may only use stream ids the prefix uses (or 0), point
+ * kernel names must not collide with prefix names, and a point's
+ * wait_event must be recorded by the prefix or the same point.  The
+ * per-point "expect" list is evaluated against the merged run
+ * (prefix + point kernels) in addition to the top-level "expect".
  *
  * Metric paths: total.{cycles,instructions,hmma_instructions,ipc,
  * tflops,ticks,skipped_cycles,stall_cycles},
@@ -122,6 +146,23 @@ struct Expectation
     double min = 0.0, max = 0.0, equals = 0.0;
 };
 
+/** One point of a parameter sweep: kernels appended after the shared
+ *  prefix, plus point-specific assertions. */
+struct SweepPoint
+{
+    std::string name;
+    std::vector<KernelSpec> kernels;
+    std::vector<Expectation> expect;
+};
+
+/** A parameter sweep over a shared simulated prefix. */
+struct SweepSpec
+{
+    /** Cycle the prefix is snapshotted at (>= 1). */
+    uint64_t fork_cycle = 0;
+    std::vector<SweepPoint> points;
+};
+
 /** A parsed scenario. */
 struct Scenario
 {
@@ -138,6 +179,10 @@ struct Scenario
     std::vector<Expectation> expect;
     /** Max allowed |D - ref| / (1 + |ref|) for functional kernels. */
     double verify_tolerance = 0.05;
+
+    /** Parameter sweep (empty points = a plain scenario). */
+    SweepSpec sweep;
+    bool is_sweep() const { return !sweep.points.empty(); }
 
     /** Preset with overrides applied. */
     GpuConfig gpu_config() const;
@@ -159,6 +204,24 @@ Scenario parse_scenario_text(const std::string& text,
 
 /** Load and parse scenarios/<name>.json. */
 Scenario load_scenario_file(const std::string& path);
+
+/**
+ * Attach a standalone sweep/grid document ({"fork_cycle": ...,
+ * "points": [...]}) to @p sc and validate the combination (the
+ * simrunner --sweep/--grid form).  Throws ScenarioError when @p sc
+ * already declares a sweep or any sweep constraint fails.
+ */
+void attach_sweep(Scenario* sc, const JsonValue& doc,
+                  const std::string& file = "");
+
+/**
+ * Expand sweep point @p index into a standalone scenario: the shared
+ * prefix kernels followed by the point's kernels, the merged expect
+ * list, and the joined name "<scenario>/<point>".  Running the result
+ * cold (with the same SimOptions::min_sms floor the sweep runner
+ * pins) is the reference a forked run must match bit-identically.
+ */
+Scenario materialize_sweep_point(const Scenario& sc, size_t index);
 
 const char* tc_mode_key(TcMode mode);
 const char* scheduler_key(SchedulerPolicy policy);

@@ -11,6 +11,7 @@
 
 #include "common/logging.h"
 #include "fp16/half.h"
+#include "sim/snapshot_io.h"
 #include "tensor/types.h"
 
 namespace tcsim {
@@ -100,6 +101,20 @@ class WarpRegState
         uint32_t mask = 0xfu << (4 * idx);
         v = (v & ~mask) | ((static_cast<uint32_t>(value) & 0xfu) << (4 * idx));
         write(lane, reg, v);
+    }
+
+    /** Snapshot support: the raw register-file image. */
+    void save_state(SnapshotWriter& w) const
+    {
+        w.i32(num_regs_);
+        w.bytes(bits_.data(), bits_.size() * sizeof(uint32_t));
+    }
+
+    void load_state(SnapshotReader& r)
+    {
+        num_regs_ = r.i32();
+        bits_.assign(static_cast<size_t>(num_regs_) * kWarpSize, 0);
+        r.bytes(bits_.data(), bits_.size() * sizeof(uint32_t));
     }
 
   private:

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "sim/snapshot_io.h"
+
 namespace tcsim {
 
 /**
@@ -38,6 +40,11 @@ class ExecUnit
     /** Earliest cycle a new issue can be accepted (event-driven main
      *  loop: the time a unit-busy stall resolves). */
     uint64_t next_free() const { return next_free_; }
+
+    /** Snapshot support: next_free_ is the only runtime state (the
+     *  II/latency come from construction). */
+    void save_state(SnapshotWriter& w) const { w.u64(next_free_); }
+    void load_state(SnapshotReader& r) { next_free_ = r.u64(); }
 
   private:
     int ii_ = 1;

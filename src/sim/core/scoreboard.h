@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "isa/instruction.h"
+#include "sim/snapshot_io.h"
 
 namespace tcsim {
 
@@ -40,6 +41,32 @@ class Scoreboard
 
     bool reg_pending(int w, int reg) const { return pending_[w][reg]; }
     bool any_pending(int w) const { return pending_[w].any(); }
+
+    /** Serialize/restore the pending bitsets (snapshot support). */
+    void save_state(SnapshotWriter& w) const
+    {
+        w.u64(pending_.size());
+        for (const auto& bits : pending_)
+            for (int word = 0; word < 4; ++word) {
+                uint64_t v = 0;
+                for (int bit = 0; bit < 64; ++bit)
+                    if (bits[word * 64 + bit])
+                        v |= uint64_t{1} << bit;
+                w.u64(v);
+            }
+    }
+
+    void load_state(SnapshotReader& r)
+    {
+        pending_.assign(r.u64(), {});
+        for (auto& bits : pending_)
+            for (int word = 0; word < 4; ++word) {
+                uint64_t v = r.u64();
+                for (int bit = 0; bit < 64; ++bit)
+                    if (v & (uint64_t{1} << bit))
+                        bits.set(word * 64 + bit);
+            }
+    }
 
   private:
     /** Destination register ranges of @p inst (HMMA: the D fragment;

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "sim/mem/coalescer.h"
+#include "sim/snapshot_io.h"
 
 namespace tcsim {
 
@@ -90,7 +91,7 @@ SM::can_accept(const KernelDesc& k) const
 }
 
 void
-SM::launch_cta(GridRun* grid, int cta_id)
+SM::launch_cta(GridRun* grid, int cta_id, uint64_t now)
 {
     const KernelDesc& k = *grid->kernel;
     size_t slot = 0;
@@ -104,6 +105,7 @@ SM::launch_cta(GridRun* grid, int cta_id)
     cta.cta_id = cta_id;
     cta.live_warps = k.warps_per_cta;
     cta.barrier_arrived = 0;
+    cta.start_cycle = now;
     cta.shared = k.shared_mem_bytes
                      ? std::make_unique<SharedMemoryStorage>(
                            k.shared_mem_bytes)
@@ -165,14 +167,16 @@ SM::tick_compute(uint64_t now)
 }
 
 void
-SM::commit_tick()
+SM::commit_tick(std::vector<CtaCompletion>* completions)
 {
     for (const StagedMemOp& op : staged_mem_)
         functional_global_access(*op.warp, *op.inst, op.iter);
     staged_mem_.clear();
-    for (GridRun* grid : staged_cta_done_) {
-        if (++grid->ctas_done == grid->kernel->grid_ctas)
-            grid->finish_cycle = now_;
+    for (const CtaCompletion& done : staged_cta_done_) {
+        if (++done.grid->ctas_done == done.grid->kernel->grid_ctas)
+            done.grid->finish_cycle = now_;
+        if (completions)
+            completions->push_back(done);
     }
     staged_cta_done_.clear();
 }
@@ -344,6 +348,7 @@ SM::warp_finished(int cta_slot)
     ++ctas_completed_;
     GridRun* grid = cta.grid;
     const KernelDesc& k = *grid->kernel;
+    uint64_t latency = now_ - cta.start_cycle;
     --used_ctas_;
     used_warps_ -= k.warps_per_cta;
     used_smem_ -= k.shared_mem_bytes;
@@ -354,7 +359,7 @@ SM::warp_finished(int cta_slot)
 
     // ctas_done / finish_cycle are shared by every SM hosting this
     // grid: the increment applies at commit_tick, in SM-index order.
-    staged_cta_done_.push_back(grid);
+    staged_cta_done_.push_back(CtaCompletion{grid, latency});
 }
 
 void
@@ -537,6 +542,212 @@ SM::functional_global_access(Warp& w, const Instruction& inst, int iter)
             buf[r] = regs.read(lane, inst.src[0] + r);
         mem_->global().write(a, buf, static_cast<size_t>(bytes));
     }
+}
+
+/** Index of @p g in the resident-grid table. */
+static uint32_t
+sm_grid_index(const std::vector<GridRun*>& grids, const GridRun* g)
+{
+    for (size_t i = 0; i < grids.size(); ++i)
+        if (grids[i] == g)
+            return static_cast<uint32_t>(i);
+    throw SnapshotError("SM references a grid not in the resident table");
+}
+
+void
+SM::save_state(SnapshotWriter& w, const std::vector<GridRun*>& grids) const
+{
+    if (!staged_mem_.empty() || !staged_cta_done_.empty())
+        throw SnapshotError(
+            "SM has staged work; snapshots only between ticks");
+    w.tag(kTagSm);
+    w.u64(now_);
+    w.b(progress_);
+
+    // CTA slot table first: SubCore::load_state regenerates warp
+    // programs from each slot's cta_id.
+    w.u64(cta_slots_.size());
+    for (const CtaSlot& cta : cta_slots_) {
+        w.b(cta.valid);
+        if (!cta.valid)
+            continue;
+        w.u32(sm_grid_index(grids, cta.grid));
+        w.i32(cta.cta_id);
+        w.i32(cta.live_warps);
+        w.i32(cta.barrier_arrived);
+        w.u64(cta.start_cycle);
+        w.b(cta.shared != nullptr);
+        if (cta.shared) {
+            uint32_t bytes = cta.shared->size();
+            w.u32(bytes);
+            std::vector<uint8_t> buf(bytes);
+            cta.shared->read(0, buf.data(), buf.size());
+            w.bytes(buf.data(), buf.size());
+        }
+    }
+    // Barrier-release fan-out lists, verbatim (entries of freed slots
+    // are stale but unobservable; they clear on the slot's next
+    // launch — keeping them preserves bit-identity of future state).
+    for (const auto& vec : cta_warps_) {
+        w.u64(vec.size());
+        for (auto [sc, slot] : vec) {
+            w.i32(sc);
+            w.i32(slot);
+        }
+    }
+
+    w.i32(used_ctas_);
+    w.i32(used_warps_);
+    w.u64(used_smem_);
+    w.u64(used_regs_);
+
+    // Sub-cores before the MIO queues: queue entries hold Instruction
+    // pointers into warp programs the sub-cores own.
+    w.u64(subcores_.size());
+    for (const auto& sc : subcores_)
+        sc->save_state(w, grids);
+
+    auto save_queue = [&](const std::deque<MioEntry>& q) {
+        w.u64(q.size());
+        for (const MioEntry& e : q) {
+            w.i32(e.subcore);
+            w.i32(e.warp_slot);
+            const Warp& owner =
+                subcores_[static_cast<size_t>(e.subcore)]->warp(e.warp_slot);
+            size_t idx = static_cast<size_t>(e.inst - owner.prog.data());
+            if (idx >= owner.prog.size())
+                throw SnapshotError(
+                    "MIO instruction outside its warp program");
+            w.u64(idx);
+            w.i32(e.iter);
+            w.u64(e.sectors.size());
+            for (uint64_t s : e.sectors)
+                w.u64(s);
+            w.u64(e.next_sector);
+            w.u64(e.done);
+            w.u64(e.port_next);
+            w.b(e.primed);
+        }
+    };
+    save_queue(mio_shared_);
+    save_queue(mio_global_);
+    w.u64(mio_shared_free_);
+    w.u64(mio_global_free_);
+    w.u64(mio_global_retry_);
+    w.u8(static_cast<uint8_t>(mio_block_reason_));
+    w.i32(ctas_completed_);
+    w.b(busy_cache_);
+    w.u64(next_event_cache_);
+}
+
+void
+SM::load_state(SnapshotReader& r, const std::vector<GridRun*>& grids)
+{
+    r.tag(kTagSm);
+    now_ = r.u64();
+    progress_ = r.b();
+
+    if (r.u64() != cta_slots_.size())
+        throw SnapshotError("CTA slot count mismatch");
+    for (CtaSlot& cta : cta_slots_) {
+        cta.valid = r.b();
+        if (!cta.valid) {
+            cta.grid = nullptr;
+            cta.cta_id = -1;
+            cta.live_warps = 0;
+            cta.barrier_arrived = 0;
+            cta.start_cycle = 0;
+            cta.shared.reset();
+            continue;
+        }
+        uint32_t gi = r.u32();
+        if (gi >= grids.size())
+            throw SnapshotError("CTA grid index out of range");
+        cta.grid = grids[gi];
+        cta.cta_id = r.i32();
+        cta.live_warps = r.i32();
+        cta.barrier_arrived = r.i32();
+        cta.start_cycle = r.u64();
+        if (r.b()) {
+            uint32_t bytes = r.u32();
+            cta.shared = std::make_unique<SharedMemoryStorage>(bytes);
+            std::vector<uint8_t> buf(bytes);
+            r.bytes(buf.data(), buf.size());
+            cta.shared->write(0, buf.data(), buf.size());
+        } else {
+            cta.shared.reset();
+        }
+    }
+    for (auto& vec : cta_warps_) {
+        vec.clear();
+        uint64_t n = r.u64();
+        vec.reserve(n);
+        for (uint64_t i = 0; i < n; ++i) {
+            int sc = r.i32();
+            int slot = r.i32();
+            vec.push_back({sc, slot});
+        }
+    }
+
+    used_ctas_ = r.i32();
+    used_warps_ = r.i32();
+    used_smem_ = r.u64();
+    used_regs_ = r.u64();
+
+    if (r.u64() != subcores_.size())
+        throw SnapshotError("sub-core count mismatch");
+    for (auto& sc : subcores_)
+        sc->load_state(r, grids);
+
+    auto load_queue = [&](std::deque<MioEntry>& q) {
+        q.clear();
+        uint64_t n = r.u64();
+        for (uint64_t i = 0; i < n; ++i) {
+            MioEntry e{};
+            e.subcore = r.i32();
+            e.warp_slot = r.i32();
+            uint64_t idx = r.u64();
+            e.iter = r.i32();
+            uint64_t ns = r.u64();
+            e.sectors.reserve(ns);
+            for (uint64_t s = 0; s < ns; ++s)
+                e.sectors.push_back(r.u64());
+            e.next_sector = r.u64();
+            e.done = r.u64();
+            e.port_next = r.u64();
+            e.primed = r.b();
+            if (e.subcore < 0 ||
+                e.subcore >= static_cast<int>(subcores_.size()))
+                throw SnapshotError("MIO sub-core index out of range");
+            SubCore& sc = *subcores_[static_cast<size_t>(e.subcore)];
+            if (e.warp_slot < 0 ||
+                static_cast<size_t>(e.warp_slot) >= sc.warp_count())
+                throw SnapshotError("MIO warp slot out of range");
+            Warp& owner = sc.warp(e.warp_slot);
+            if (idx >= owner.prog.size())
+                throw SnapshotError(
+                    "MIO instruction index out of range");
+            e.inst = &owner.prog[idx];
+            q.push_back(std::move(e));
+        }
+    };
+    load_queue(mio_shared_);
+    load_queue(mio_global_);
+    mio_shared_free_ = r.u64();
+    mio_global_free_ = r.u64();
+    mio_global_retry_ = r.u64();
+    mio_block_reason_ = static_cast<StallReason>(r.u8());
+    ctas_completed_ = r.i32();
+    busy_cache_ = r.b();
+    next_event_cache_ = r.u64();
+
+    staged_mem_.clear();
+    staged_cta_done_.clear();
+    // Derived memo over the shared executor cache: repopulated on the
+    // next functional HMMA (restores may target a different Gpu whose
+    // ExecutorCache is distinct).
+    executor_memo_ = nullptr;
+    executor_memo_key_ = 0;
 }
 
 }  // namespace tcsim

@@ -35,6 +35,9 @@ class SubCore
 
     Warp& warp(int slot) { return *warps_[slot]; }
 
+    /** Number of warp slots (live + recycled). */
+    size_t warp_count() const { return warps_.size(); }
+
     /** True while any resident warp is unfinished or writes are in
      *  flight. */
     bool busy() const;
@@ -81,6 +84,20 @@ class SubCore
         if (last_block_grid_ == grid)
             last_block_grid_ = nullptr;
     }
+
+    /**
+     * Serialize/restore the full sub-core state (snapshot support).
+     * @p grids maps resident GridRun pointers to stable indices.  Warp
+     * programs are not serialized: load regenerates them from each
+     * grid's deterministic kernel trace and validates the length, so
+     * the in-flight Instruction pointers (encoded as program indices)
+     * re-anchor into identical programs.  Must only run between engine
+     * ticks.  The containing SM must have loaded its CTA slot table
+     * first (trace regeneration needs each warp's cta_id).
+     */
+    void save_state(SnapshotWriter& w,
+                    const std::vector<GridRun*>& grids) const;
+    void load_state(SnapshotReader& r, const std::vector<GridRun*>& grids);
 
   private:
     /** Try to issue the next instruction of one warp. */

@@ -73,6 +73,11 @@ ExecutionEngine::validate_and_size()
             TCSIM_CHECK(k.grid_ctas > 0);
             TCSIM_CHECK(k.trace != nullptr);
             SM::check_fits(cfg_, k);
+            if (opts_.detailed_sms > 0 && k.functional)
+                throw std::runtime_error(detail::format(
+                    "sampled mode (detailed_sms=%d) requires "
+                    "functional=false kernels; \"%s\" is functional",
+                    opts_.detailed_sms, k.name.c_str()));
             total_ctas += static_cast<uint64_t>(k.grid_ctas);
         }
     }
@@ -82,13 +87,26 @@ ExecutionEngine::validate_and_size()
     // Grow the SM array when new work justifies it; SMs appended
     // mid-run behave exactly like SMs that had been idle all along, so
     // timing is independent of when (or whether) the excess SMs exist.
+    // min_sms floors the size: sweep forks pin it so forked and cold
+    // runs of every point get identical (timing-observable) arrays.
     size_t want = static_cast<size_t>(std::min<uint64_t>(
-        cfg_.num_sms, std::max<uint64_t>(1, total_ctas)));
-    while (run_->sms.size() < want) {
+        cfg_.num_sms,
+        std::max<uint64_t>(static_cast<uint64_t>(std::max(opts_.min_sms, 0)),
+                           std::max<uint64_t>(1, total_ctas))));
+    // Sampled mode: cap the detailed array and give the remainder of
+    // the wanted size to occupancy-only shadow SMs.
+    size_t detailed = want;
+    if (opts_.detailed_sms > 0)
+        detailed = std::min<size_t>(
+            want, static_cast<size_t>(opts_.detailed_sms));
+    while (run_->sms.size() < detailed) {
         run_->sms.push_back(std::make_unique<SM>(
             static_cast<int>(run_->sms.size()), cfg_, mem_, executors_,
             opts_.scheduler));
     }
+    if (opts_.detailed_sms > 0 && want > run_->sms.size() &&
+        run_->shadows.size() < want - run_->sms.size())
+        run_->shadows.resize(want - run_->sms.size());
     // Every resident grid needs a stats shard per SM (growth can
     // happen mid-run when work is enqueued between advances).
     for (const auto& l : run_->resident)
@@ -171,11 +189,101 @@ ExecutionEngine::dispatch_to(SM* sm)
     // (hardware rasterizer pacing, matching the legacy distribution).
     for (auto& l : run_->resident) {
         if (l->grid.pending() && sm->can_accept(*l->grid.kernel)) {
-            sm->launch_cta(&l->grid, l->grid.next_cta++);
+            sm->launch_cta(&l->grid, l->grid.next_cta++, run_->now);
             return true;
         }
     }
     return false;
+}
+
+/** Per-CTA register demand (mirrors the SM's accounting). */
+static uint64_t
+shadow_cta_registers(const KernelDesc& k)
+{
+    return static_cast<uint64_t>(k.warps_per_cta) * kWarpSize *
+           static_cast<uint64_t>(k.regs_per_thread);
+}
+
+bool
+ExecutionEngine::dispatch_shadow(ShadowSm& sh, uint64_t now)
+{
+    RunState& rs = *run_;
+    for (auto& l : rs.resident) {
+        GridRun& g = l->grid;
+        if (!g.pending())
+            continue;
+        // A grid must seed the detailed SMs before it fast-forwards:
+        // the estimator needs real completions, and a pending shadow
+        // CTA relies on a live detailed CTA to eventually supply the
+        // measurement that prices it.
+        if (g.next_cta - g.shadow_ctas == 0)
+            continue;
+        const KernelDesc& k = *g.kernel;
+        if (sh.used_ctas >= cfg_.max_ctas_per_sm ||
+            sh.used_warps + k.warps_per_cta > cfg_.max_warps_per_sm ||
+            sh.used_smem + k.shared_mem_bytes > cfg_.shared_mem_per_sm ||
+            sh.used_regs + shadow_cta_registers(k) > cfg_.registers_per_sm)
+            continue;
+        ++sh.used_ctas;
+        sh.used_warps += k.warps_per_cta;
+        sh.used_smem += k.shared_mem_bytes;
+        sh.used_regs += shadow_cta_registers(k);
+        // Price the CTA now if a measurement exists; otherwise leave
+        // it pending (predicted_done = 0) for shadow_commit to price
+        // when the grid's first detailed completion lands.
+        auto it = rs.estimators.find(g.grid_id);
+        uint64_t eta = 0;
+        if (it != rs.estimators.end() && it->second.ready())
+            eta = std::max(now + it->second.mean(), now + 1);
+        sh.resident.push_back(ShadowCta{&g, now, eta});
+        ++g.next_cta;
+        ++g.shadow_ctas;
+        return true;
+    }
+    return false;
+}
+
+void
+ExecutionEngine::shadow_commit(uint64_t now)
+{
+    RunState& rs = *run_;
+    for (const CtaCompletion& c : completions_)
+        rs.estimators[c.grid->grid_id].add(now, c.latency,
+                                           opts_.sample_window);
+    completions_.clear();
+    // Price pending shadow CTAs whose grid now has a measurement,
+    // counting residency from their launch cycle.
+    for (ShadowSm& sh : rs.shadows) {
+        for (ShadowCta& c : sh.resident) {
+            if (c.predicted_done != 0)
+                continue;
+            auto it = rs.estimators.find(c.grid->grid_id);
+            if (it == rs.estimators.end() || !it->second.ready())
+                continue;
+            c.predicted_done =
+                std::max(c.launched + it->second.mean(), now + 1);
+        }
+    }
+    // Retire predicted completions, shadow order then entry order.
+    for (ShadowSm& sh : rs.shadows) {
+        for (size_t i = 0; i < sh.resident.size();) {
+            if (sh.resident[i].predicted_done == 0 ||
+                sh.resident[i].predicted_done > now) {
+                ++i;
+                continue;
+            }
+            GridRun* g = sh.resident[i].grid;
+            const KernelDesc& k = *g->kernel;
+            --sh.used_ctas;
+            sh.used_warps -= k.warps_per_cta;
+            sh.used_smem -= k.shared_mem_bytes;
+            sh.used_regs -= shadow_cta_registers(k);
+            if (++g->ctas_done == k.grid_ctas)
+                g->finish_cycle = now;
+            sh.resident.erase(sh.resident.begin() +
+                              static_cast<ptrdiff_t>(i));
+        }
+    }
 }
 
 LaunchStats
@@ -189,6 +297,17 @@ ExecutionEngine::finalize(Launch& l) const
     s.cycles = l.grid.finish_cycle - l.grid.start_cycle + 1;
     s.instructions = l.grid.stats.instructions();
     s.hmma_instructions = l.grid.stats.hmma_instructions();
+    // Sampled mode: shadow CTAs executed no instructions — scale the
+    // detailed counts up by the full-grid fraction.  Memory counters
+    // are left as-measured (detailed traffic only); total.cycles is
+    // the approximate figure whose error CI bounds.
+    if (l.grid.shadow_ctas > 0) {
+        uint64_t total = static_cast<uint64_t>(l.desc.grid_ctas);
+        uint64_t det = total - static_cast<uint64_t>(l.grid.shadow_ctas);
+        TCSIM_CHECK(det > 0);
+        s.instructions = s.instructions * total / det;
+        s.hmma_instructions = s.hmma_instructions * total / det;
+    }
     s.ipc = s.cycles > 0 ? static_cast<double>(s.instructions) /
                                static_cast<double>(s.cycles)
                          : 0.0;
@@ -290,6 +409,10 @@ ExecutionEngine::step()
             launched |= dispatch_to(sm.get());
             cycled_.push_back(sm.get());
         }
+        // Sampled mode: shadow SMs accept after the detailed array
+        // (same one-CTA-per-SM-per-cycle rasterizer pacing).
+        for (ShadowSm& sh : rs.shadows)
+            launched |= dispatch_shadow(sh, now);
     } else {
         cycled_.reserve(rs.busy_sms.size());
         for (int id : rs.busy_sms)
@@ -319,8 +442,14 @@ ExecutionEngine::step()
 
     // Phase C (engine thread, SM-index order): apply the staged
     // functional global-memory accesses and grid CTA completions.
+    // Sampled mode also collects each CTA's measured latency for the
+    // shadow estimators and retires due shadow CTAs.
+    const bool sampled = !rs.shadows.empty();
+    completions_.clear();
     for (SM* sm : cycled_)
-        sm->commit_tick();
+        sm->commit_tick(sampled ? &completions_ : nullptr);
+    if (sampled)
+        shadow_commit(now);
 
     // The busy list for the next tick (ascending, since cycled_ is).
     rs.busy_sms.clear();
@@ -369,6 +498,15 @@ ExecutionEngine::step()
         for (int id : rs.busy_sms)
             e = std::min(e, rs.sms[static_cast<size_t>(id)]
                                 ->next_event_cached());
+        // Shadow CTAs in flight are scheduled events too: their
+        // predicted completions bound the idle-skip jump (and keep a
+        // shadow-only chip from tripping the dead-chip panic).
+        // (Unpriced CTAs contribute nothing: the detailed CTA that
+        // will price them is itself a scheduled event.)
+        for (const ShadowSm& sh : rs.shadows)
+            for (const ShadowCta& c : sh.resident)
+                if (c.predicted_done != 0)
+                    e = std::min(e, c.predicted_done);
         if (e == UINT64_MAX) {
             if (!rs.resident.empty()) {
                 // Work is on the chip but no SM can ever advance: an
@@ -517,6 +655,360 @@ ExecutionEngine::synchronize(const std::vector<Stream*>& streams,
             return true;  // Unknown stream: trivially drained.
         },
         /*pause_on_block=*/false);
+}
+
+// ---- Snapshot serialization -------------------------------------
+
+namespace {
+
+void
+save_stalls(SnapshotWriter& w, const StallCounts& s)
+{
+    for (uint64_t c : s.counts)
+        w.u64(c);
+}
+
+void
+load_stalls(SnapshotReader& r, StallCounts* s)
+{
+    for (uint64_t& c : s->counts)
+        c = r.u64();
+}
+
+void
+save_mem_stats(SnapshotWriter& w, const MemStats& m)
+{
+    w.u64(m.l1_hits);
+    w.u64(m.l1_misses);
+    w.u64(m.l2_hits);
+    w.u64(m.l2_misses);
+    w.u64(m.dram_bytes);
+    w.u64(m.global_sectors);
+    w.u64(m.mshr_merges);
+    w.u64(m.noc_queue_cycles);
+    w.u64(m.l2_queue_cycles);
+    w.u64(m.dram_queue_cycles);
+    w.u64(m.dram_turnarounds);
+    w.u64(m.mshr_peak);
+}
+
+void
+load_mem_stats(SnapshotReader& r, MemStats* m)
+{
+    m->l1_hits = r.u64();
+    m->l1_misses = r.u64();
+    m->l2_hits = r.u64();
+    m->l2_misses = r.u64();
+    m->dram_bytes = r.u64();
+    m->global_sectors = r.u64();
+    m->mshr_merges = r.u64();
+    m->noc_queue_cycles = r.u64();
+    m->l2_queue_cycles = r.u64();
+    m->dram_queue_cycles = r.u64();
+    m->dram_turnarounds = r.u64();
+    m->mshr_peak = r.u64();
+}
+
+void
+save_macro_latency(SnapshotWriter& w,
+                   const std::map<MacroClass, Histogram>& m)
+{
+    w.u64(m.size());
+    for (const auto& [mc, h] : m) {
+        w.i32(static_cast<int32_t>(mc));
+        // Samples in recorded order: percentiles sort copies, so the
+        // stored order is what merge order produced and must survive.
+        w.u64(h.count());
+        for (double v : h.samples())
+            w.f64(v);
+    }
+}
+
+void
+load_macro_latency(SnapshotReader& r, std::map<MacroClass, Histogram>* m)
+{
+    m->clear();
+    uint64_t n = r.u64();
+    for (uint64_t i = 0; i < n; ++i) {
+        MacroClass mc = static_cast<MacroClass>(r.i32());
+        Histogram& h = (*m)[mc];
+        uint64_t count = r.u64();
+        for (uint64_t s = 0; s < count; ++s)
+            h.add(r.f64());
+    }
+}
+
+void
+save_launch_stats(SnapshotWriter& w, const LaunchStats& k)
+{
+    w.str(k.kernel);
+    w.i32(k.stream);
+    w.u64(k.start_cycle);
+    w.u64(k.finish_cycle);
+    w.u64(k.cycles);
+    w.u64(k.instructions);
+    w.u64(k.hmma_instructions);
+    w.f64(k.ipc);
+    save_mem_stats(w, k.mem);
+    save_macro_latency(w, k.macro_latency);
+    save_stalls(w, k.stalls);
+}
+
+LaunchStats
+load_launch_stats(SnapshotReader& r)
+{
+    LaunchStats k;
+    k.kernel = r.str();
+    k.stream = r.i32();
+    k.start_cycle = r.u64();
+    k.finish_cycle = r.u64();
+    k.cycles = r.u64();
+    k.instructions = r.u64();
+    k.hmma_instructions = r.u64();
+    k.ipc = r.f64();
+    load_mem_stats(r, &k.mem);
+    load_macro_latency(r, &k.macro_latency);
+    load_stalls(r, &k.stalls);
+    return k;
+}
+
+void
+save_run_stats(SnapshotWriter& w, const RunStatsCollector& c)
+{
+    w.u64(c.shard_count());
+    for (size_t i = 0; i < c.shard_count(); ++i) {
+        const RunStatsShard& s = c.shard_at(i);
+        w.u64(s.instructions);
+        w.u64(s.hmma_instructions);
+        save_macro_latency(w, s.macro_latency);
+        save_stalls(w, s.stalls);
+    }
+}
+
+void
+load_run_stats(SnapshotReader& r, RunStatsCollector* c)
+{
+    uint64_t n = r.u64();
+    c->ensure_shards(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        RunStatsShard& s = c->shard(static_cast<int>(i));
+        s.instructions = r.u64();
+        s.hmma_instructions = r.u64();
+        load_macro_latency(r, &s.macro_latency);
+        load_stalls(r, &s.stalls);
+    }
+}
+
+uint32_t
+engine_grid_index(const std::vector<GridRun*>& grids, const GridRun* g)
+{
+    for (size_t i = 0; i < grids.size(); ++i)
+        if (grids[i] == g)
+            return static_cast<uint32_t>(i);
+    throw SnapshotError("shadow CTA references a grid not in the "
+                        "resident table");
+}
+
+}  // namespace
+
+void
+ExecutionEngine::save_state(SnapshotWriter& w,
+                            std::vector<KernelDesc>* kernels) const
+{
+    if (!run_)
+        throw SnapshotError("no active run to snapshot");
+    const RunState& rs = *run_;
+    w.tag(kTagEngine);
+    w.u64(rs.now);
+    w.u64(rs.last_finish);
+    w.i32(rs.next_grid_id);
+    w.u64(rs.stats.ticks);
+    w.u64(rs.stats.skipped_cycles);
+    w.u64(rs.stats.kernels.size());
+    for (const LaunchStats& k : rs.stats.kernels)
+        save_launch_stats(w, k);
+
+    // Resident launches in dispatch-priority order.  Descriptors go
+    // to the side table — their trace std::function is copyable but
+    // not byte-serializable — and everything below references grids
+    // by index into this residency order.
+    w.u64(rs.resident.size());
+    std::vector<GridRun*> grids;
+    grids.reserve(rs.resident.size());
+    for (const auto& l : rs.resident) {
+        w.u32(static_cast<uint32_t>(kernels->size()));
+        kernels->push_back(l->desc);
+        const GridRun& g = l->grid;
+        w.i32(g.grid_id);
+        w.i32(g.stream_id);
+        w.i32(g.next_cta);
+        w.i32(g.ctas_done);
+        w.i32(g.shadow_ctas);
+        w.u64(g.start_cycle);
+        w.u64(g.finish_cycle);
+        save_run_stats(w, g.stats);
+        save_mem_stats(w, l->mem_base);
+        grids.push_back(&l->grid);
+    }
+
+    w.u64(rs.stream_runs.size());
+    for (const StreamRun& sr : rs.stream_runs) {
+        w.i32(sr.stream->id());
+        int live = -1;
+        for (size_t i = 0; i < rs.resident.size(); ++i)
+            if (rs.resident[i].get() == sr.live)
+                live = static_cast<int>(i);
+        w.i32(live);
+    }
+
+    w.u64(rs.sms.size());
+    for (const auto& sm : rs.sms)
+        sm->save_state(w, grids);
+
+    w.u64(rs.busy_sms.size());
+    for (int id : rs.busy_sms)
+        w.i32(id);
+
+    // Sampled mode: shadow occupancy + the per-grid estimators.
+    w.tag(kTagShadow);
+    w.u64(rs.shadows.size());
+    for (const ShadowSm& sh : rs.shadows) {
+        w.i32(sh.used_ctas);
+        w.i32(sh.used_warps);
+        w.u64(sh.used_smem);
+        w.u64(sh.used_regs);
+        w.u64(sh.resident.size());
+        for (const ShadowCta& c : sh.resident) {
+            w.u32(engine_grid_index(grids, c.grid));
+            w.u64(c.launched);
+            w.u64(c.predicted_done);
+        }
+    }
+    w.u64(rs.estimators.size());
+    for (const auto& [gid, est] : rs.estimators) {
+        w.i32(gid);
+        w.u64(est.mean_sum);
+        w.u64(est.mean_count);
+        w.u64(est.win_start);
+        w.u64(est.win_sum);
+        w.u64(est.win_count);
+    }
+}
+
+void
+ExecutionEngine::load_state(SnapshotReader& r,
+                            const std::vector<KernelDesc>& kernels,
+                            const std::vector<Stream*>& streams)
+{
+    r.tag(kTagEngine);
+    run_ = std::make_unique<RunState>();
+    RunState& rs = *run_;
+    cycled_.clear();
+    retiring_.clear();
+    completions_.clear();
+    callbacks_fired_ = false;
+
+    rs.now = r.u64();
+    rs.last_finish = r.u64();
+    rs.next_grid_id = r.i32();
+    rs.stats.ticks = r.u64();
+    rs.stats.skipped_cycles = r.u64();
+    uint64_t nkernels = r.u64();
+    rs.stats.kernels.reserve(nkernels);
+    for (uint64_t i = 0; i < nkernels; ++i)
+        rs.stats.kernels.push_back(load_launch_stats(r));
+
+    uint64_t nres = r.u64();
+    std::vector<GridRun*> grids;
+    grids.reserve(nres);
+    for (uint64_t i = 0; i < nres; ++i) {
+        uint32_t ki = r.u32();
+        if (ki >= kernels.size())
+            throw SnapshotError("kernel table index out of range");
+        auto l = std::make_unique<Launch>();
+        l->desc = kernels[ki];
+        l->grid.kernel = &l->desc;
+        l->grid.grid_id = r.i32();
+        l->grid.stream_id = r.i32();
+        l->grid.next_cta = r.i32();
+        l->grid.ctas_done = r.i32();
+        l->grid.shadow_ctas = r.i32();
+        l->grid.start_cycle = r.u64();
+        l->grid.finish_cycle = r.u64();
+        load_run_stats(r, &l->grid.stats);
+        load_mem_stats(r, &l->mem_base);
+        rs.resident.push_back(std::move(l));
+    }
+    for (const auto& l : rs.resident)
+        grids.push_back(&l->grid);
+
+    uint64_t nsr = r.u64();
+    for (uint64_t i = 0; i < nsr; ++i) {
+        int id = r.i32();
+        int live = r.i32();
+        StreamRun sr;
+        for (Stream* s : streams)
+            if (s->id() == id)
+                sr.stream = s;
+        if (sr.stream == nullptr)
+            throw SnapshotError("archive references unknown stream id " +
+                                std::to_string(id));
+        if (live >= 0) {
+            if (static_cast<uint64_t>(live) >= nres)
+                throw SnapshotError("live launch index out of range");
+            sr.live = rs.resident[static_cast<size_t>(live)].get();
+        }
+        rs.stream_runs.push_back(sr);
+    }
+
+    uint64_t nsms = r.u64();
+    for (uint64_t i = 0; i < nsms; ++i) {
+        rs.sms.push_back(std::make_unique<SM>(
+            static_cast<int>(i), cfg_, mem_, executors_, opts_.scheduler));
+    }
+    // Every resident grid carries one stats shard per SM.
+    for (const auto& l : rs.resident)
+        l->grid.stats.ensure_shards(rs.sms.size());
+    for (auto& sm : rs.sms)
+        sm->load_state(r, grids);
+
+    uint64_t nbusy = r.u64();
+    for (uint64_t i = 0; i < nbusy; ++i) {
+        int id = r.i32();
+        if (id < 0 || static_cast<uint64_t>(id) >= nsms)
+            throw SnapshotError("busy SM index out of range");
+        rs.busy_sms.push_back(id);
+    }
+
+    r.tag(kTagShadow);
+    rs.shadows.resize(r.u64());
+    for (ShadowSm& sh : rs.shadows) {
+        sh.used_ctas = r.i32();
+        sh.used_warps = r.i32();
+        sh.used_smem = r.u64();
+        sh.used_regs = r.u64();
+        uint64_t n = r.u64();
+        sh.resident.reserve(n);
+        for (uint64_t i = 0; i < n; ++i) {
+            uint32_t gi = r.u32();
+            if (gi >= grids.size())
+                throw SnapshotError("shadow grid index out of range");
+            uint64_t launched = r.u64();
+            uint64_t done = r.u64();
+            sh.resident.push_back(ShadowCta{grids[gi], launched, done});
+        }
+    }
+    uint64_t nest = r.u64();
+    for (uint64_t i = 0; i < nest; ++i) {
+        int gid = r.i32();
+        CtaRateEstimator est;
+        est.mean_sum = r.u64();
+        est.mean_count = r.u64();
+        est.win_start = r.u64();
+        est.win_sum = r.u64();
+        est.win_count = r.u64();
+        rs.estimators.emplace(gid, est);
+    }
 }
 
 EngineStats

@@ -165,6 +165,37 @@ struct SimOptions
      * canonical SM-index order.  See README "Performance".
      */
     int sim_threads = 1;
+    /**
+     * Floor on the SM-array size (0 = size purely from pending CTAs).
+     * The engine normally constructs only as many SMs as pending CTAs
+     * could occupy; because idle SMs still record scheduler stalls
+     * while dispatch is pending, the array size is
+     * timing-observable.  Sweep forks set the same floor on the forked
+     * base and on every cold rerun so all of them see identical SM
+     * arrays.  Clamped to GpuConfig::num_sms.
+     */
+    int min_sms = 0;
+    /**
+     * Sampled-SM fast-forward (0 = off, full detail).  When positive,
+     * at most this many SMs are simulated cycle-accurately; the rest
+     * of the array becomes *shadow* SMs that model occupancy only.  A
+     * shadow CTA completes after the measured mean CTA latency of its
+     * grid on the detailed SMs (re-sampled every sample_window
+     * cycles).  Shadows accept CTAs at the same rasterizer pace as
+     * detailed SMs — so occupancy matches a full-detail run — but a
+     * grid must have dispatched at least one detailed CTA first, and
+     * a shadow CTA's completion is only predicted once the first
+     * detailed measurement lands.  Approximate by construction: total
+     * cycles carry the error bound asserted in CI, per-grid
+     * instruction counts are extrapolated from the detailed fraction,
+     * and memory counters reflect detailed traffic only.  Rejected
+     * for functional kernels (shadow CTAs execute nothing).
+     */
+    int detailed_sms = 0;
+    /** Re-sampling window (cycles) of the shadow CTA-latency
+     *  estimator: each window that observed at least one detailed CTA
+     *  completion replaces the running mean. */
+    uint64_t sample_window = 4096;
 };
 
 /** Thrown when no stream can make progress: every unfinished stream
@@ -223,6 +254,25 @@ class ExecutionEngine
     /** Engine clock of the active run (0 when idle). */
     uint64_t now() const;
 
+    /**
+     * Serialize the active run into @p w (snapshot support).  Resident
+     * launches append their KernelDesc to @p kernels and are encoded
+     * by index.  Requires an active run paused between ticks
+     * (run_until()); throws SnapshotError otherwise.
+     */
+    void save_state(SnapshotWriter& w,
+                    std::vector<KernelDesc>* kernels) const;
+
+    /**
+     * Rebuild the run from @p r, discarding any active run.  @p
+     * kernels is the side table save_state filled; @p streams must
+     * contain a stream for every id the archive references (Gpu
+     * restores streams and events before calling this).
+     */
+    void load_state(SnapshotReader& r,
+                    const std::vector<KernelDesc>& kernels,
+                    const std::vector<Stream*>& streams);
+
     /** Install a live stream-set provider (Gpu wires this to its
      *  stream list).  Consulted after host callbacks fire so work
      *  enqueued mid-run — even on streams created inside the callback
@@ -250,6 +300,63 @@ class ExecutionEngine
         Launch* live = nullptr;  ///< Currently resident launch, if any.
     };
 
+    /** Windowed mean CTA latency of one grid (sampled mode): each
+     *  sample_window that saw at least one detailed CTA completion
+     *  replaces the running mean with that window's mean. */
+    struct CtaRateEstimator
+    {
+        uint64_t mean_sum = 0;   ///< Sum of the last closed window.
+        uint64_t mean_count = 0;
+        uint64_t win_start = 0;
+        uint64_t win_sum = 0;
+        uint64_t win_count = 0;
+
+        void add(uint64_t now, uint64_t latency, uint64_t window)
+        {
+            if (win_count > 0 && now - win_start >= window) {
+                mean_sum = win_sum;
+                mean_count = win_count;
+                win_start = now;
+                win_sum = 0;
+                win_count = 0;
+            }
+            win_sum += latency;
+            ++win_count;
+        }
+
+        /** At least one detailed completion observed. */
+        bool ready() const { return mean_count > 0 || win_count > 0; }
+
+        /** Current mean CTA latency (integer cycles, >= 1). */
+        uint64_t mean() const
+        {
+            uint64_t s = mean_count ? mean_sum : win_sum;
+            uint64_t c = mean_count ? mean_count : win_count;
+            return c ? std::max<uint64_t>(1, s / c) : 1;
+        }
+    };
+
+    /** One CTA resident on a shadow SM (sampled mode).  A CTA may be
+     *  dispatched before its grid has any latency measurement;
+     *  predicted_done == 0 marks it pending until the estimator's
+     *  first sample arrives. */
+    struct ShadowCta
+    {
+        GridRun* grid = nullptr;
+        uint64_t launched = 0;
+        uint64_t predicted_done = 0;
+    };
+
+    /** A fast-forwarded SM: occupancy accounting, no pipeline. */
+    struct ShadowSm
+    {
+        int used_ctas = 0;
+        int used_warps = 0;
+        uint64_t used_smem = 0;
+        uint64_t used_regs = 0;
+        std::vector<ShadowCta> resident;
+    };
+
     /** Per-run state: everything that resets at a run boundary.  The
      *  split makes the engine itself persistent and runs resumable. */
     struct RunState
@@ -267,6 +374,9 @@ class ExecutionEngine
         uint64_t last_finish = 0;
         /** Accumulates ticks/skipped_cycles and retired kernels. */
         EngineStats stats;
+        /** Sampled mode: shadow SMs and per-grid-id estimators. */
+        std::vector<ShadowSm> shadows;
+        std::map<int, CtaRateEstimator> estimators;
     };
 
     /** Validate queued launches, begin a run if none is active, and
@@ -301,6 +411,12 @@ class ExecutionEngine
     bool promote_streams(uint64_t now);
 
     bool dispatch_to(SM* sm);
+    /** Place one CTA on shadow SM @p sh at @p now, if any resident
+     *  grid with a ready estimator fits.  Sampled mode only. */
+    bool dispatch_shadow(ShadowSm& sh, uint64_t now);
+    /** Retire shadow CTAs whose predicted completion has arrived and
+     *  feed this tick's detailed completions to the estimators. */
+    void shadow_commit(uint64_t now);
     LaunchStats finalize(Launch& l) const;
     bool drained() const;
     /** Snapshot of the active run's progress. */
@@ -332,6 +448,8 @@ class ExecutionEngine
     std::vector<SM*> cycled_;
     /** Scratch: grids retiring this tick (batched forget pass). */
     std::vector<const GridRun*> retiring_;
+    /** Scratch: detailed CTA completions this tick (sampled mode). */
+    std::vector<CtaCompletion> completions_;
 
     std::unique_ptr<RunState> run_;
     /** Live stream list provider (see set_stream_source). */

@@ -66,6 +66,7 @@ class Event
   private:
     friend class Stream;           // record() marks recorded_.
     friend class ExecutionEngine;  // Completion stamping.
+    friend class Gpu;              // Snapshot/restore of event state.
 
     int id_;
     std::string name_;

@@ -1,5 +1,8 @@
 #include "sim/gpu.h"
 
+#include <cstring>
+#include <stdexcept>
+
 #include "common/logging.h"
 
 namespace tcsim {
@@ -43,6 +46,25 @@ Gpu::create_event(std::string name)
     return *events_.back();
 }
 
+Stream&
+Gpu::stream_by_id(int id)
+{
+    if (id == 0)
+        return default_stream();
+    if (id < 1 || static_cast<size_t>(id) > streams_.size())
+        throw std::out_of_range("no stream with id " + std::to_string(id));
+    return *streams_[static_cast<size_t>(id) - 1];
+}
+
+Event*
+Gpu::find_event(const std::string& name)
+{
+    for (auto& ev : events_)
+        if (ev->name() == name)
+            return ev.get();
+    return nullptr;
+}
+
 std::vector<Stream*>
 Gpu::active_streams()
 {
@@ -77,6 +99,273 @@ EngineStats
 Gpu::synchronize(const Event& event)
 {
     return engine_.synchronize(active_streams(), event);
+}
+
+namespace {
+
+/** FNV-1a accumulator over GpuConfig fields. */
+class ConfigHasher
+{
+  public:
+    void bytes(const void* p, size_t n)
+    {
+        const uint8_t* b = static_cast<const uint8_t*>(p);
+        for (size_t i = 0; i < n; ++i)
+            h_ = (h_ ^ b[i]) * 0x100000001b3ull;
+    }
+    void u64(uint64_t v) { bytes(&v, sizeof v); }
+    void i(int64_t v) { u64(static_cast<uint64_t>(v)); }
+    void d(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+    uint64_t value() const { return h_; }
+
+  private:
+    uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+/** Digest of every timing-relevant GpuConfig field (the name is
+ *  cosmetic and excluded: renamed-but-identical configs may exchange
+ *  snapshots). */
+uint64_t
+hash_config(const GpuConfig& c)
+{
+    ConfigHasher h;
+    h.i(static_cast<int>(c.arch));
+    h.i(c.num_sms);
+    h.i(c.subcores_per_sm);
+    h.i(c.tensor_cores_per_subcore);
+    h.i(c.max_warps_per_sm);
+    h.i(c.max_ctas_per_sm);
+    h.i(c.registers_per_sm);
+    h.i(c.shared_mem_per_sm);
+    h.d(c.clock_ghz);
+    h.i(c.fp32_lanes);
+    h.i(c.int_lanes);
+    h.i(c.fp64_lanes);
+    h.i(c.mufu_lanes);
+    h.i(c.fp32_latency);
+    h.i(c.int_latency);
+    h.i(c.fp64_latency);
+    h.i(c.mufu_latency);
+    h.i(c.fedp_units_per_tc);
+    h.i(c.fedp_pipeline_stages);
+    h.i(c.hmma_issue_interval);
+    h.i(c.max_tc_warps_per_sm);
+    h.i(c.ldst_queue_depth);
+    h.i(c.shared_mem_banks);
+    h.i(c.shared_mem_latency);
+    h.i(c.l1_size);
+    h.i(c.l1_line_bytes);
+    h.i(c.l1_sector_bytes);
+    h.i(c.l1_assoc);
+    h.i(c.l1_hit_latency);
+    h.i(c.l2_size);
+    h.i(c.l2_assoc);
+    h.i(c.l2_hit_latency);
+    h.i(c.dram_latency);
+    h.i(c.num_mem_partitions);
+    h.d(c.dram_bytes_per_cycle_per_partition);
+    h.i(c.mio_bytes_per_cycle);
+    h.i(c.l1_mshr_entries);
+    h.i(c.l2_banks);
+    h.d(c.l2_bank_bytes_per_cycle);
+    h.i(c.l2_bank_queue_depth);
+    h.d(c.noc_bytes_per_cycle);
+    h.i(c.noc_queue_depth);
+    h.i(c.dram_queue_depth);
+    h.i(c.dram_rw_turnaround);
+    return h.value();
+}
+
+}  // namespace
+
+Snapshot
+Gpu::snapshot() const
+{
+    if (!engine_.active())
+        throw SnapshotError(
+            "snapshot requires an active run paused between ticks "
+            "(advance with run_until() first)");
+
+    Snapshot snap;
+    snap.config_hash = hash_config(cfg_);
+    snap.scheduler = static_cast<int>(opts_.scheduler);
+
+    // Copy-on-write global-memory image: forks share these bytes.
+    auto data = std::make_shared<std::vector<uint8_t>>();
+    uint64_t next = 0;
+    mem_->global().save_state(&next, data.get());
+    snap.gmem_data = std::move(data);
+    snap.gmem_next = next;
+
+    SnapshotWriter w;
+    mem_->save_state(w);
+
+    w.tag(kTagEvents);
+    w.u64(events_.size());
+    for (const auto& ev : events_) {
+        w.i32(ev->id_);
+        w.str(ev->name_);
+        w.b(ev->recorded_);
+        w.b(ev->complete_);
+        w.u64(ev->cycle_);
+    }
+
+    // Stream queues.  Launch descriptors go to the kernel side table;
+    // records/waits reference events by id.  Host callbacks cannot be
+    // captured — refuse rather than silently drop them.
+    w.tag(kTagStreams);
+    w.b(default_stream_ != nullptr);
+    w.u64(streams_.size());
+    auto save_stream = [&](const Stream& s) {
+        w.i32(s.id_);
+        w.u64(s.ops_.size());
+        for (const Stream::Op& op : s.ops_) {
+            w.u8(static_cast<uint8_t>(op.kind));
+            switch (op.kind) {
+              case Stream::OpKind::kLaunch:
+                w.u32(static_cast<uint32_t>(snap.kernels.size()));
+                snap.kernels.push_back(op.kernel);
+                break;
+              case Stream::OpKind::kRecordEvent:
+                w.i32(op.record->id_);
+                break;
+              case Stream::OpKind::kWaitEvent:
+                w.i32(op.wait->id_);
+                break;
+              case Stream::OpKind::kCallback:
+                throw SnapshotError(
+                    "stream " + std::to_string(s.id_) +
+                    " holds a queued host callback; callbacks are not "
+                    "serializable");
+            }
+        }
+    };
+    if (default_stream_)
+        save_stream(*default_stream_);
+    for (const auto& s : streams_)
+        save_stream(*s);
+
+    engine_.save_state(w, &snap.kernels);
+    w.tag(kTagEnd);
+    snap.archive = w.take();
+    return snap;
+}
+
+void
+Gpu::restore(const Snapshot& snap)
+{
+    if (!snap.valid())
+        throw SnapshotError("invalid (empty) snapshot");
+    if (snap.version != kSnapshotVersion)
+        throw SnapshotError("format version mismatch (snapshot v" +
+                            std::to_string(snap.version) + ", this build v" +
+                            std::to_string(kSnapshotVersion) + ")");
+    if (snap.config_hash != hash_config(cfg_))
+        throw SnapshotError(
+            "GpuConfig mismatch: snapshots only restore onto an "
+            "identically configured GPU");
+    if (snap.scheduler != static_cast<int>(opts_.scheduler))
+        throw SnapshotError(
+            "scheduler policy mismatch (baked into sub-cores at "
+            "construction)");
+
+    mem_->global().load_state(snap.gmem_next, *snap.gmem_data);
+    SnapshotReader r(snap.archive);
+    mem_->load_state(r);
+
+    // Events first: stream ops and the engine reference them.
+    // Reconcile by id — ids are dense creation indices on both sides.
+    r.tag(kTagEvents);
+    uint64_t nevents = r.u64();
+    for (uint64_t i = 0; i < nevents; ++i) {
+        int id = r.i32();
+        if (id != static_cast<int>(i))
+            throw SnapshotError("event table not in id order");
+        std::string name = r.str();
+        if (events_.size() <= i)
+            events_.push_back(std::make_unique<Event>(id, std::move(name)));
+        Event& ev = *events_[i];
+        ev.recorded_ = r.b();
+        ev.complete_ = r.b();
+        ev.cycle_ = r.u64();
+    }
+    // Events this Gpu created beyond the snapshot: reset.
+    for (size_t i = nevents; i < events_.size(); ++i) {
+        events_[i]->recorded_ = false;
+        events_[i]->complete_ = false;
+        events_[i]->cycle_ = 0;
+    }
+
+    // Streams: recreate by id (ids are dense: default 0, created 1..),
+    // then refill the op queues.  record()/wait() are bypassed — they
+    // would clobber the event state restored above.
+    r.tag(kTagStreams);
+    bool has_default = r.b();
+    uint64_t nstreams = r.u64();
+    if (has_default)
+        default_stream();
+    while (streams_.size() < nstreams)
+        create_stream();
+    if (default_stream_)
+        default_stream_->ops_.clear();
+    for (auto& s : streams_)
+        s->ops_.clear();
+    auto load_stream = [&]() {
+        int id = r.i32();
+        Stream* s = nullptr;
+        if (id == 0)
+            s = default_stream_.get();
+        else if (id >= 1 && static_cast<size_t>(id) <= streams_.size())
+            s = streams_[static_cast<size_t>(id) - 1].get();
+        if (s == nullptr || s->id() != id)
+            throw SnapshotError("stream id table mismatch");
+        uint64_t nops = r.u64();
+        for (uint64_t i = 0; i < nops; ++i) {
+            uint8_t kind = r.u8();
+            s->ops_.emplace_back();
+            Stream::Op& op = s->ops_.back();
+            op.kind = static_cast<Stream::OpKind>(kind);
+            switch (op.kind) {
+              case Stream::OpKind::kLaunch: {
+                uint32_t ki = r.u32();
+                if (ki >= snap.kernels.size())
+                    throw SnapshotError("kernel table index out of range");
+                op.kernel = snap.kernels[ki];
+                break;
+              }
+              case Stream::OpKind::kRecordEvent: {
+                int eid = r.i32();
+                if (eid < 0 || static_cast<size_t>(eid) >= events_.size())
+                    throw SnapshotError("record event id out of range");
+                op.record = events_[static_cast<size_t>(eid)].get();
+                break;
+              }
+              case Stream::OpKind::kWaitEvent: {
+                int eid = r.i32();
+                if (eid < 0 || static_cast<size_t>(eid) >= events_.size())
+                    throw SnapshotError("wait event id out of range");
+                op.wait = events_[static_cast<size_t>(eid)].get();
+                break;
+              }
+              case Stream::OpKind::kCallback:
+                throw SnapshotError("archive holds a host callback op");
+            }
+        }
+    };
+    if (has_default)
+        load_stream();
+    for (uint64_t i = 0; i < nstreams; ++i)
+        load_stream();
+
+    engine_.load_state(r, snap.kernels, active_streams());
+    r.tag(kTagEnd);
+    if (!r.done())
+        throw SnapshotError("trailing bytes after the end tag");
 }
 
 LaunchStats

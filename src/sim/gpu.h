@@ -31,6 +31,7 @@
 #include "sim/event.h"
 #include "sim/kernel_desc.h"
 #include "sim/mem/memory_system.h"
+#include "sim/snapshot.h"
 #include "sim/stream.h"
 
 namespace tcsim {
@@ -60,6 +61,17 @@ class Gpu
      *  and sub-window timing.  Events live as long as the Gpu;
      *  @p name defaults to "event<id>". */
     Event& create_event(std::string name = "");
+
+    /** The stream with dense id @p id (0 = the default stream, which
+     *  this creates on first use like default_stream()).  Throws
+     *  std::out_of_range when no such stream exists — ids are creation
+     *  order, the scheme restore() reconciles by. */
+    Stream& stream_by_id(int id);
+
+    /** The first event named @p name, or nullptr.  Restored snapshots
+     *  recreate events with their captured names, so forks look
+     *  prefix-recorded events up by name. */
+    Event* find_event(const std::string& name);
 
     /** Run every operation queued on every stream to completion:
      *  launches within a stream run back-to-back, launches on
@@ -94,6 +106,30 @@ class Gpu
      *  Compatibility wrapper: cold caches, isolated timing — does not
      *  touch operations queued on this Gpu's streams. */
     LaunchStats launch(const KernelDesc& kernel);
+
+    /**
+     * Capture the complete simulation state of the active run: global
+     * memory (copy-on-write), the timing hierarchy, events, stream
+     * queues, and the engine's run state.  Requires a run paused
+     * between ticks (pause with run_until()); a Gpu restored from the
+     * result and advanced produces bit-identical statistics to this
+     * Gpu advanced directly.  Queued host callbacks are not
+     * serializable — snapshot() throws SnapshotError if any stream
+     * holds one.
+     */
+    Snapshot snapshot() const;
+
+    /**
+     * Replace this Gpu's simulation state with @p snap.  The target
+     * must have an identical GpuConfig and the same scheduler policy
+     * (other SimOptions — sim_threads, idle_skip, bounds — may
+     * differ).  Restoring onto a freshly constructed Gpu recreates
+     * streams and events by id; restoring onto the capturing Gpu
+     * rewinds it.  Throws SnapshotError on version, config, or
+     * archive mismatches; the Gpu is unspecified (do not resume) if
+     * restore throws after validation passed.
+     */
+    void restore(const Snapshot& snap);
 
   private:
     /** All streams, default stream first (engine dispatch order). */

@@ -57,6 +57,10 @@ class RunStatsCollector
     /** SM @p sm's private slice (the only shard that SM may write). */
     RunStatsShard& shard(int sm) { return shards_[static_cast<size_t>(sm)]; }
 
+    /** Read-only shard access (snapshot serialization). */
+    size_t shard_count() const { return shards_.size(); }
+    const RunStatsShard& shard_at(size_t i) const { return shards_[i]; }
+
     uint64_t instructions() const
     {
         uint64_t t = 0;
@@ -112,6 +116,10 @@ struct GridRun
 
     int next_cta = 0;   ///< Next CTA id to dispatch.
     int ctas_done = 0;  ///< CTAs fully completed (all warps drained).
+    /** CTAs dispatched to shadow SMs (sampled mode): these never ran
+     *  in detail, so per-grid instruction counts extrapolate from the
+     *  detailed grid_ctas - shadow_ctas fraction at finalize. */
+    int shadow_ctas = 0;
 
     /** Cycle the grid became resident (eligible for dispatch). */
     uint64_t start_cycle = 0;

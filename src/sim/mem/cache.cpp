@@ -1,6 +1,7 @@
 #include "sim/mem/cache.h"
 
 #include "common/logging.h"
+#include "sim/snapshot_io.h"
 
 namespace tcsim {
 
@@ -109,6 +110,37 @@ Cache::flush()
     tick_ = 0;
     hits_ = 0;
     misses_ = 0;
+}
+
+void
+Cache::save_state(SnapshotWriter& w) const
+{
+    w.u64(lines_.size());
+    for (const Line& line : lines_) {
+        w.u64(line.tag);
+        w.u64(line.lru);
+        w.u8(line.sector_valid);
+        w.b(line.valid);
+    }
+    w.u64(tick_);
+    w.u64(hits_);
+    w.u64(misses_);
+}
+
+void
+Cache::load_state(SnapshotReader& r)
+{
+    if (r.u64() != lines_.size())
+        throw SnapshotError("cache geometry mismatch");
+    for (Line& line : lines_) {
+        line.tag = r.u64();
+        line.lru = r.u64();
+        line.sector_valid = r.u8();
+        line.valid = r.b();
+    }
+    tick_ = r.u64();
+    hits_ = r.u64();
+    misses_ = r.u64();
 }
 
 }  // namespace tcsim

@@ -17,6 +17,9 @@
 
 namespace tcsim {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Outcome of a cache lookup. */
 enum class CacheOutcome { kHit, kSectorMiss, kLineMiss };
 
@@ -58,6 +61,11 @@ class Cache
     int num_sets() const { return num_sets_; }
     uint64_t hits() const { return hits_; }
     uint64_t misses() const { return misses_; }
+
+    /** Serialize/restore the full tag store, LRU clock and counters
+     *  (snapshot support; the geometry must match). */
+    void save_state(SnapshotWriter& w) const;
+    void load_state(SnapshotReader& r);
 
   private:
     struct Line

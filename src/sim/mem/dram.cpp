@@ -1,6 +1,7 @@
 #include "sim/mem/dram.h"
 
 #include "common/logging.h"
+#include "sim/snapshot_io.h"
 
 namespace tcsim {
 
@@ -69,6 +70,31 @@ DramModel::reset()
         p.active = false;
     }
     turnarounds_ = 0;
+}
+
+void
+DramModel::save_state(SnapshotWriter& w) const
+{
+    w.u64(parts_.size());
+    for (const Partition& p : parts_) {
+        p.chan.save_state(w);
+        w.b(p.last_write);
+        w.b(p.active);
+    }
+    w.u64(turnarounds_);
+}
+
+void
+DramModel::load_state(SnapshotReader& r)
+{
+    if (r.u64() != parts_.size())
+        throw SnapshotError("DRAM partition count mismatch");
+    for (Partition& p : parts_) {
+        p.chan.load_state(r);
+        p.last_write = r.b();
+        p.active = r.b();
+    }
+    turnarounds_ = r.u64();
 }
 
 }  // namespace tcsim

@@ -17,6 +17,9 @@
 
 namespace tcsim {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Per-partition bandwidth/latency/queueing model. */
 class DramModel
 {
@@ -67,6 +70,11 @@ class DramModel
 
     /** Reset queue state between engine runs. */
     void reset();
+
+    /** Serialize/restore per-partition queues, bus direction and
+     *  turnaround counter (snapshot support). */
+    void save_state(SnapshotWriter& w) const;
+    void load_state(SnapshotReader& r);
 
   private:
     struct Partition

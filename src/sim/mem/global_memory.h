@@ -64,6 +64,21 @@ class GlobalMemory
         return data_.data() + addr;
     }
 
+    /** Snapshot support: hand out the bump cursor and a copy of the
+     *  contents.  Gpu::snapshot() wraps the copy in a shared immutable
+     *  blob so every fork restores from the same bytes. */
+    void save_state(uint64_t* next, std::vector<uint8_t>* data) const
+    {
+        *next = next_;
+        *data = data_;
+    }
+
+    void load_state(uint64_t next, const std::vector<uint8_t>& data)
+    {
+        next_ = next;
+        data_ = data;
+    }
+
   private:
     // First allocation starts past null page.
     uint64_t next_ = 4096;

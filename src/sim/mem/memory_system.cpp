@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "sim/snapshot_io.h"
 
 namespace tcsim {
 
@@ -178,6 +179,44 @@ MemorySystem::stats() const
     s.dram_queue_cycles = dram_->queue_cycles();
     s.dram_turnarounds = dram_->turnarounds();
     return s;
+}
+
+void
+MemorySystem::save_state(SnapshotWriter& w) const
+{
+    w.tag(kTagMemSystem);
+    w.u64(l1_.size());
+    for (size_t i = 0; i < l1_.size(); ++i) {
+        l1_[i]->save_state(w);
+        mshr_[i]->save_state(w);
+    }
+    l2_->save_state(w);
+    noc_.save_state(w);
+    w.u64(l2_banks_.size());
+    for (const BoundedChannel& b : l2_banks_)
+        b.save_state(w);
+    dram_->save_state(w);
+    w.u64(global_sectors_);
+}
+
+void
+MemorySystem::load_state(SnapshotReader& r)
+{
+    r.tag(kTagMemSystem);
+    if (r.u64() != l1_.size())
+        throw SnapshotError("per-SM cache count mismatch");
+    for (size_t i = 0; i < l1_.size(); ++i) {
+        l1_[i]->load_state(r);
+        mshr_[i]->load_state(r);
+    }
+    l2_->load_state(r);
+    noc_.load_state(r);
+    if (r.u64() != l2_banks_.size())
+        throw SnapshotError("L2 bank count mismatch");
+    for (BoundedChannel& b : l2_banks_)
+        b.load_state(r);
+    dram_->load_state(r);
+    global_sectors_ = r.u64();
 }
 
 }  // namespace tcsim

@@ -32,6 +32,9 @@
 
 namespace tcsim {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Why an access was refused (maps onto the pipeline StallReasons). */
 enum class MemAccept : uint8_t {
     kAccepted,
@@ -120,6 +123,12 @@ class MemorySystem
     void reset_timing();
 
     MemStats stats() const;
+
+    /** Serialize/restore the whole timing hierarchy — L1s, MSHRs, L2,
+     *  NoC, bank queues, DRAM partitions and counters.  Global memory
+     *  contents are snapshotted separately (copy-on-write blob). */
+    void save_state(SnapshotWriter& w) const;
+    void load_state(SnapshotReader& r);
 
   private:
     int l2_bank(uint64_t addr) const

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "sim/snapshot_io.h"
 
 namespace tcsim {
 
@@ -107,6 +108,39 @@ MshrFile::reset()
     active_.clear();
     peak_ = 0;
     merges_ = 0;
+}
+
+void
+MshrFile::save_state(SnapshotWriter& w) const
+{
+    w.u64(active_.size());
+    for (const Entry& e : active_) {
+        w.u64(e.line);
+        for (uint64_t fill : e.sector_fill)
+            w.u64(fill);
+        w.u64(e.last_fill);
+    }
+    w.u64(peak_);
+    w.u64(merges_);
+}
+
+void
+MshrFile::load_state(SnapshotReader& r)
+{
+    uint64_t n = r.u64();
+    if (n > static_cast<uint64_t>(entries_))
+        throw SnapshotError("MSHR occupancy exceeds file size");
+    active_.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+        Entry e;
+        e.line = r.u64();
+        for (uint64_t& fill : e.sector_fill)
+            fill = r.u64();
+        e.last_fill = r.u64();
+        active_.push_back(e);
+    }
+    peak_ = r.u64();
+    merges_ = r.u64();
 }
 
 }  // namespace tcsim

@@ -21,6 +21,9 @@
 
 namespace tcsim {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** The miss-status holding register file of one L1. */
 class MshrFile
 {
@@ -87,6 +90,11 @@ class MshrFile
     int entries() const { return entries_; }
 
     void reset();
+
+    /** Serialize/restore active entries (in scan order — find() walks
+     *  the vector linearly, so order is behaviour) and counters. */
+    void save_state(SnapshotWriter& w) const;
+    void load_state(SnapshotReader& r);
 
   private:
     struct Entry

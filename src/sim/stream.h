@@ -102,6 +102,7 @@ class Stream
 
   private:
     friend class ExecutionEngine;
+    friend class Gpu;  // Snapshot/restore of the op queue.
 
     enum class OpKind : uint8_t {
         kLaunch,

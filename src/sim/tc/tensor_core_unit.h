@@ -12,6 +12,7 @@
 
 #include "isa/instruction.h"
 #include "sass/hmma_timing.h"
+#include "sim/snapshot_io.h"
 
 namespace tcsim {
 
@@ -47,6 +48,29 @@ class TensorCoreUnit
     uint64_t next_ready() const
     {
         return group_active() ? next_issue_ : unit_free_;
+    }
+
+    /** Snapshot support.  The timing-table memo is a derived cache:
+     *  load drops it and the next issue repopulates it. */
+    void save_state(SnapshotWriter& w) const
+    {
+        w.i32(active_warp_);
+        w.i32(position_);
+        w.u64(first_issue_);
+        w.u64(next_issue_);
+        w.u64(unit_free_);
+        w.u64(groups_issued_);
+    }
+
+    void load_state(SnapshotReader& r)
+    {
+        timing_ = nullptr;
+        active_warp_ = r.i32();
+        position_ = r.i32();
+        first_issue_ = r.u64();
+        next_issue_ = r.u64();
+        unit_free_ = r.u64();
+        groups_issued_ = r.u64();
     }
 
   private:

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Accuracy gate for sampled-SM fast-forward (sim.detailed_sms).
+
+Runs simrunner twice over the same scenario set — full detail and
+``--detailed-sms K`` — and checks, per scenario:
+
+  * total.cycles relative error is within ``--bound`` (the sampled
+    mode's declared accuracy envelope), and
+  * total.instructions and total.hmma_instructions match *exactly*
+    (shadow-CTA extrapolation is exact for homogeneous grids, which is
+    all the curated suite launches).
+
+The sampled leg's own scenario assertions are advisory only: expect
+bands are tuned for full-detail cycle counts, and the error bound here
+is the contract the sampled mode actually makes.  A sampled scenario
+that fails to *run* (error string in the report) still fails the gate.
+
+Usage:
+    tools/check_sampled_error.py <simrunner> <scenarios...>
+        [--detailed-sms 2] [--bound 0.25] [--workdir DIR]
+
+Exit status: 0 when every scenario is within bounds, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def run_leg(simrunner, inputs, report, detailed_sms):
+    cmd = [simrunner, "--quiet", "--jobs", "1", "--report", report]
+    if detailed_sms is not None:
+        cmd += ["--detailed-sms", str(detailed_sms)]
+    cmd += inputs
+    print("+", " ".join(cmd), flush=True)
+    return subprocess.call(cmd)
+
+
+def by_name(report_path):
+    with open(report_path) as f:
+        doc = json.load(f)
+    return {r["name"]: r for r in doc.get("results", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="sampled-SM fast-forward accuracy vs full detail")
+    parser.add_argument("simrunner")
+    parser.add_argument("inputs", nargs="+",
+                        help="scenario files or directories")
+    parser.add_argument("--detailed-sms", type=int, default=2)
+    parser.add_argument("--bound", type=float, default=0.25,
+                        help="max |sampled - full| / full on total.cycles")
+    parser.add_argument("--workdir", default=".")
+    args = parser.parse_args()
+
+    full_path = os.path.join(args.workdir, "report_full.json")
+    sampled_path = os.path.join(
+        args.workdir, "report_sampled{}.json".format(args.detailed_sms))
+
+    rc_full = run_leg(args.simrunner, args.inputs, full_path, None)
+    run_leg(args.simrunner, args.inputs, sampled_path, args.detailed_sms)
+    if rc_full != 0:
+        print("check_sampled_error: full-detail leg failed (rc={})"
+              .format(rc_full))
+        return 1
+
+    full = by_name(full_path)
+    sampled = by_name(sampled_path)
+    failures = 0
+    for name, f in sorted(full.items()):
+        s = sampled.get(name)
+        if s is None:
+            print("FAIL {}: missing from the sampled report".format(name))
+            failures += 1
+            continue
+        if s.get("error"):
+            print("FAIL {}: sampled run errored: {}".format(
+                name, s["error"]))
+            failures += 1
+            continue
+        fc = f["total"]["cycles"]
+        sc = s["total"]["cycles"]
+        err = abs(sc - fc) / fc if fc else 0.0
+        ok = err <= args.bound
+        print("{} {}: cycles full={} sampled={} rel_err={:.3f} "
+              "(bound {:.2f})".format("ok  " if ok else "FAIL", name, fc,
+                                      sc, err, args.bound))
+        if not ok:
+            failures += 1
+        for counter in ("instructions", "hmma_instructions"):
+            if f["total"][counter] != s["total"][counter]:
+                print("FAIL {}: total.{} full={} sampled={} (extrapolation "
+                      "must be exact for homogeneous grids)".format(
+                          name, counter, f["total"][counter],
+                          s["total"][counter]))
+                failures += 1
+
+    if failures:
+        print("check_sampled_error: FAILED — {} check(s) out of bounds"
+              .format(failures))
+        return 1
+    print("check_sampled_error: OK — detailed_sms={} within {:.0%} of "
+          "full-detail cycles, counters exact".format(
+              args.detailed_sms, args.bound))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,12 +20,23 @@
  *     --fail-fast     stop the batch on the first scenario failure
  *     --list          list matching scenarios and exit
  *     --quiet         only print the summary and failures
+ *     --sweep FILE    base scenario for a snapshot-forked sweep
+ *                     (combine with --grid; a scenario with an inline
+ *                     "sweep" key sweeps without any flag)
+ *     --grid FILE     standalone {"fork_cycle", "points"} document to
+ *                     attach to the --sweep base
+ *     --cold-sweep    run every sweep point cold (prefix + point from
+ *                     cycle 0) instead of forking the prefix snapshot
+ *                     — the fork-identity reference leg
+ *     --detailed-sms N  override sim.detailed_sms on every scenario
+ *                     (sampled-SM fast-forward; 0 = full detail)
  *
  * Exit status: 0 when every scenario passed, 1 otherwise.
  *
  *   ./build/simrunner scenarios/                 # the curated suite
  *   ./build/simrunner --jobs 4 scenarios/ --report report.json
  *   ./build/simrunner --sim-threads 4 scenarios/ # parallel sim core
+ *   ./build/simrunner --sweep base.json --grid grid.json
  */
 
 #include <algorithm>
@@ -53,6 +64,10 @@ struct Options
     bool fail_fast = false;
     bool list = false;
     bool quiet = false;
+    std::string sweep_path;   ///< --sweep base scenario file.
+    std::string grid_path;    ///< --grid standalone sweep document.
+    bool cold_sweep = false;
+    int detailed_sms = -1;    ///< -1 = per-scenario sim.detailed_sms.
     std::vector<std::string> inputs;
 };
 
@@ -72,7 +87,11 @@ usage(std::FILE* to)
         "  --filter SUB    only run scenarios whose name contains SUB\n"
         "  --fail-fast     stop the batch on the first scenario failure\n"
         "  --list          list matching scenarios and exit\n"
-        "  --quiet         only print the summary and failures\n");
+        "  --quiet         only print the summary and failures\n"
+        "  --sweep FILE    base scenario for a snapshot-forked sweep\n"
+        "  --grid FILE     sweep document to attach to the --sweep base\n"
+        "  --cold-sweep    run sweep points cold instead of forking\n"
+        "  --detailed-sms N  override sim.detailed_sms (0 = full detail)\n");
 }
 
 bool
@@ -117,6 +136,29 @@ parse_args(int argc, char** argv, Options* opts)
             if (!v)
                 return false;
             opts->filter = v;
+        } else if (arg == "--sweep") {
+            const char* v = value();
+            if (!v)
+                return false;
+            opts->sweep_path = v;
+        } else if (arg == "--grid") {
+            const char* v = value();
+            if (!v)
+                return false;
+            opts->grid_path = v;
+        } else if (arg == "--cold-sweep") {
+            opts->cold_sweep = true;
+        } else if (arg == "--detailed-sms") {
+            const char* v = value();
+            if (!v)
+                return false;
+            opts->detailed_sms = std::atoi(v);
+            if (opts->detailed_sms < 0 ||
+                (opts->detailed_sms == 0 && std::strcmp(v, "0") != 0)) {
+                std::fprintf(stderr,
+                             "simrunner: bad --detailed-sms value\n");
+                return false;
+            }
         } else if (arg == "--fail-fast") {
             opts->fail_fast = true;
         } else if (arg == "--list") {
@@ -134,7 +176,12 @@ parse_args(int argc, char** argv, Options* opts)
             opts->inputs.push_back(std::move(arg));
         }
     }
-    if (opts->inputs.empty()) {
+    if (!opts->grid_path.empty() && opts->sweep_path.empty()) {
+        std::fprintf(stderr,
+                     "simrunner: --grid needs a --sweep base scenario\n");
+        return false;
+    }
+    if (opts->inputs.empty() && opts->sweep_path.empty()) {
         usage(stderr);
         return false;
     }
@@ -215,6 +262,25 @@ main(int argc, char** argv)
 
     std::vector<driver::Scenario> scenarios;
     int load_failures = 0;
+    if (!opts.sweep_path.empty()) {
+        try {
+            driver::Scenario sc =
+                driver::load_scenario_file(opts.sweep_path);
+            if (!opts.grid_path.empty())
+                driver::attach_sweep(&sc,
+                                     driver::json_parse_file(opts.grid_path),
+                                     opts.grid_path);
+            if (!sc.is_sweep())
+                throw driver::ScenarioError(
+                    opts.sweep_path + ": scenario \"" + sc.name +
+                    "\" has no sweep (add an inline \"sweep\" key or "
+                    "pass --grid)");
+            scenarios.push_back(std::move(sc));
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "simrunner: %s\n", e.what());
+            ++load_failures;
+        }
+    }
     for (const std::string& file : collect_files(opts.inputs)) {
         try {
             driver::Scenario sc = driver::load_scenario_file(file);
@@ -247,6 +313,8 @@ main(int argc, char** argv)
     batch.jobs = opts.jobs;
     batch.fail_fast = opts.fail_fast;
     batch.sim_threads = opts.sim_threads;
+    batch.cold_sweep = opts.cold_sweep;
+    batch.detailed_sms = opts.detailed_sms;
     int jobs = driver::effective_jobs(batch, scenarios);
     std::printf("running %zu scenario(s) on %d batch worker(s)",
                 scenarios.size(), jobs);
