@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Task-graph compiler microbenchmark: a 256-node pipeline-parallel
+ * MLP (16 microbatches x 16 layers, activations double-buffered by
+ * microbatch parity) is built and compiled repeatedly.  The derived
+ * structure — edge count, stream count, emitted events and waits — is
+ * pinned exactly in BENCH_taskgraph_compile.json for the CI
+ * bench-regression gate; compile wall time is reported but gated only
+ * by a generous in-binary ceiling, since hazard analysis must stay
+ * interactive even for sweep-scale graphs.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/graph/task_graph.h"
+
+using namespace tcsim;
+
+namespace {
+
+constexpr int kMicrobatches = 16;
+constexpr int kLayers = 16;
+
+/** Build the 256-task pipeline graph (declaration order b-major, like
+ *  scenarios/taskgraph_mlp6_pipeline.json scaled up). */
+TaskGraph
+build_pipeline()
+{
+    TaskGraph g;
+    std::vector<int> x, y, w;
+    for (int b = 0; b < kMicrobatches; ++b) {
+        x.push_back(g.declare_tensor("X" + std::to_string(b), 16384));
+        y.push_back(g.declare_tensor("Y" + std::to_string(b), 16384));
+    }
+    for (int l = 1; l <= kLayers; ++l)
+        w.push_back(g.declare_tensor("W" + std::to_string(l), 32768));
+    // Two activation buffers per layer boundary, alternated by
+    // microbatch parity.
+    std::vector<int> act;  // [boundary * 2 + parity]
+    for (int l = 1; l < kLayers; ++l) {
+        act.push_back(g.declare_tensor("A" + std::to_string(l) + "e", 16384));
+        act.push_back(g.declare_tensor("A" + std::to_string(l) + "o", 16384));
+    }
+    for (int b = 0; b < kMicrobatches; ++b) {
+        const int par = b % 2;
+        for (int l = 1; l <= kLayers; ++l) {
+            int t = g.add_task("b" + std::to_string(b) + "l" +
+                               std::to_string(l));
+            g.task_reads(t, l == 1 ? x[static_cast<size_t>(b)]
+                                   : act[static_cast<size_t>(
+                                         (l - 2) * 2 + par)]);
+            g.task_reads(t, w[static_cast<size_t>(l - 1)]);
+            g.task_writes(t, l == kLayers
+                                 ? y[static_cast<size_t>(b)]
+                                 : act[static_cast<size_t>(
+                                       (l - 1) * 2 + par)]);
+        }
+    }
+    return g;
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("Task-graph compile: %d-node pipeline graph, hazard "
+                "analysis + stream coloring + event placement\n\n",
+                kMicrobatches * kLayers);
+
+    const TaskGraph g = build_pipeline();
+    TaskGraph::Compiled plan;
+    constexpr int kReps = 20;
+    double best_ms = 1e300;
+    for (int i = 0; i < kReps; ++i) {
+        auto t0 = std::chrono::steady_clock::now();
+        plan = g.compile();
+        auto t1 = std::chrono::steady_clock::now();
+        double ms = std::chrono::duration<double, std::milli>(t1 - t0)
+                        .count();
+        if (ms < best_ms)
+            best_ms = ms;
+    }
+
+    size_t events = 0, waits = 0;
+    for (const std::string& e : plan.record_event)
+        events += e.empty() ? 0 : 1;
+    for (const std::vector<std::string>& ws : plan.wait_events)
+        waits += ws.size();
+
+    TextTable tbl;
+    tbl.set_header({"metric", "value"});
+    tbl.add_row({"tasks", std::to_string(g.num_tasks())});
+    tbl.add_row({"hazard edges", std::to_string(plan.edges.size())});
+    tbl.add_row({"streams", std::to_string(plan.num_streams)});
+    tbl.add_row({"events recorded", std::to_string(events)});
+    tbl.add_row({"waits emitted", std::to_string(waits)});
+    tbl.add_row({"compile best", fmt_double(best_ms, 3) + " ms"});
+    bench::print_table(tbl);
+
+    bench::JsonEmitter json("taskgraph_compile");
+    json.add("tasks", static_cast<double>(g.num_tasks()));
+    json.add("edge_count", static_cast<double>(plan.edges.size()));
+    json.add("stream_count", static_cast<double>(plan.num_streams));
+    json.add("event_count", static_cast<double>(events));
+    json.add("wait_count", static_cast<double>(waits));
+    json.add("compile_wall_ms", best_ms);
+
+    // Interactivity ceiling: a 256-node graph must compile in well
+    // under a quarter second even on a loaded CI box.
+    if (best_ms > 250.0) {
+        std::printf("FAIL: compile took %.1f ms (> 250 ms ceiling)\n",
+                    best_ms);
+        return 1;
+    }
+    return 0;
+}

@@ -240,7 +240,16 @@ namespace {
 class Parser
 {
   public:
-    explicit Parser(const std::string& text) : text_(text) {}
+    explicit Parser(const std::string& text) : text_(text)
+    {
+        // Byte offsets of line starts: offset -> line:col becomes a
+        // binary search, so every parsed value can be stamped with its
+        // source position cheaply.
+        line_starts_.push_back(0);
+        for (size_t i = 0; i < text_.size(); ++i)
+            if (text_[i] == '\n')
+                line_starts_.push_back(i + 1);
+    }
 
     JsonValue parse_document()
     {
@@ -253,17 +262,21 @@ class Parser
     }
 
   private:
+    /** 1-based line/column of byte offset @p at. */
+    std::pair<int, int> position(size_t at) const
+    {
+        size_t lo = 0, hi = line_starts_.size();
+        while (hi - lo > 1) {
+            size_t mid = (lo + hi) / 2;
+            (line_starts_[mid] <= at ? lo : hi) = mid;
+        }
+        return {static_cast<int>(lo) + 1,
+                static_cast<int>(at - line_starts_[lo]) + 1};
+    }
+
     [[noreturn]] void fail(const std::string& msg) const
     {
-        int line = 1, col = 1;
-        for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
-            if (text_[i] == '\n') {
-                ++line;
-                col = 1;
-            } else {
-                ++col;
-            }
-        }
+        auto [line, col] = position(std::min(pos_, text_.size()));
         throw JsonError(std::to_string(line) + ":" + std::to_string(col) +
                         ": " + msg);
     }
@@ -311,6 +324,14 @@ class Parser
     }
 
     JsonValue parse_value()
+    {
+        auto [line, col] = position(pos_);
+        JsonValue v = parse_value_inner();
+        v.set_pos(line, col);
+        return v;
+    }
+
+    JsonValue parse_value_inner()
     {
         switch (peek()) {
           case '{': return parse_object();
@@ -479,6 +500,7 @@ class Parser
 
     const std::string& text_;
     size_t pos_ = 0;
+    std::vector<size_t> line_starts_;
 };
 
 }  // namespace

@@ -79,6 +79,28 @@ class JsonValue
     /** Object lookup; nullptr when absent (or not an object). */
     const JsonValue* find(const std::string& key) const;
 
+    /**
+     * Source position of this value in the parsed document (1-based;
+     * 0:0 for values built programmatically).  Set by json_parse so
+     * schema layers above the parser — which reject *valid* JSON for
+     * semantic reasons — can still point at the offending line.
+     */
+    int line() const { return line_; }
+    int col() const { return col_; }
+    void set_pos(int line, int col)
+    {
+        line_ = line;
+        col_ = col;
+    }
+
+    /** "line:col: " prefix for diagnostics ("" when unpositioned). */
+    std::string pos_prefix() const
+    {
+        if (line_ == 0)
+            return "";
+        return std::to_string(line_) + ":" + std::to_string(col_) + ": ";
+    }
+
     /** Builder helpers. */
     void push_back(JsonValue v);
     void set(const std::string& key, JsonValue v);
@@ -91,6 +113,7 @@ class JsonValue
     void dump_to(std::string* out, int indent, int depth) const;
 
     Type type_ = Type::kNull;
+    int line_ = 0, col_ = 0;
     bool bool_ = false;
     double num_ = 0.0;
     std::string str_;

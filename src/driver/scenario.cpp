@@ -3,6 +3,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/logging.h"
 #include "kernels/kernel_registry.h"
 
 namespace tcsim {
@@ -88,11 +89,14 @@ parse_scheduler(const std::string& s, const std::string& file)
 }
 
 KernelSpec
-parse_kernel(const JsonValue& obj, size_t index, const std::string& file)
+parse_kernel(const JsonValue& obj, size_t index, const std::string& file,
+             bool declarative = false)
 {
     std::string where = "kernels[" + std::to_string(index) + "]";
 
     KernelSpec spec;
+    spec.line = obj.line();
+    spec.col = obj.col();
     const JsonValue* family = obj.find("kernel");
     if (!family)
         fail(file, where + ": missing required key \"kernel\"");
@@ -105,27 +109,62 @@ parse_kernel(const JsonValue& obj, size_t index, const std::string& file)
     // Strict schema: only keys the selected family actually honours
     // are accepted, so an ignored "warps_per_cta" on wmma_shared (the
     // builder fixes 8 warps) is an error rather than a silent no-op.
-    // The synchronization keys apply to every family.
+    // The synchronization keys apply to every family.  Mode-dependent
+    // keys: the declarative form derives streams and ordering, so
+    // "stream"/"sync" are rejected there; "reads"/"writes" are only
+    // meaningful there.
     where += " (" + spec.family + ")";
+    if (declarative) {
+        if (obj.find("stream") || obj.find("sync"))
+            fail(file, where +
+                           ": declarative scenarios derive stream "
+                           "assignment and ordering from reads/writes; "
+                           "remove \"stream\"/\"sync\"");
+    } else if (obj.find("reads") || obj.find("writes")) {
+        fail(file, where +
+                       ": \"reads\"/\"writes\" belong to the declarative "
+                       "form (a scenario with a \"tensors\" arena); sweep "
+                       "points use the explicit stream/event form");
+    }
     if (info->family == KernelFamily::kWmmaNaive) {
         check_keys(obj,
                    {"kernel", "name", "stream", "m", "n", "k", "mode",
                     "a_layout", "b_layout", "cd_layout", "functional",
-                    "warps_per_cta", "wait_event", "record_event", "sync"},
+                    "warps_per_cta", "wait_event", "record_event", "sync",
+                    "reads", "writes"},
                    where, file);
     } else if (info->is_gemm) {
         check_keys(obj,
                    {"kernel", "name", "stream", "m", "n", "k", "mode",
                     "a_layout", "b_layout", "cd_layout", "functional",
-                    "wait_event", "record_event", "sync"},
+                    "wait_event", "record_event", "sync", "reads",
+                    "writes"},
                    where, file);
     } else {
         check_keys(obj,
                    {"kernel", "name", "stream", "mode", "ctas",
                     "warps_per_cta", "wmma_per_warp", "accumulators",
-                    "wait_event", "record_event", "sync"},
+                    "wait_event", "record_event", "sync", "reads",
+                    "writes"},
                    where, file);
     }
+
+    auto parse_rw = [&](const char* key, std::vector<std::string>* out) {
+        const JsonValue* v = obj.find(key);
+        if (!v)
+            return;
+        if (!v->is_array())
+            fail(file, where + ": \"" + key +
+                           "\" must be an array of tensor names");
+        for (const JsonValue& e : v->as_array()) {
+            if (e.as_string().empty())
+                fail(file,
+                     where + ": " + key + " names must be non-empty");
+            out->push_back(e.as_string());
+        }
+    };
+    parse_rw("reads", &spec.reads);
+    parse_rw("writes", &spec.writes);
 
     spec.name = get_string(obj, "name",
                            spec.family + "_" + std::to_string(index));
@@ -293,6 +332,9 @@ parse_sweep_into(Scenario* sc, const JsonValue& obj, const std::string& file)
 {
     if (!obj.is_object())
         fail(file, "\"sweep\" must be a JSON object");
+    if (sc->declarative)
+        fail(file, "sweep: declarative scenarios do not support sweeps "
+                   "(points extend the explicit stream/event form)");
     check_keys(obj, {"fork_cycle", "points"}, "sweep", file);
 
     const JsonValue* fc = obj.find("fork_cycle");
@@ -501,7 +543,7 @@ parse_scenario(const JsonValue& doc, const std::string& file)
     if (!doc.is_object())
         fail(file, "scenario document must be a JSON object");
     check_keys(doc,
-               {"name", "description", "gpu", "sim", "kernels",
+               {"name", "description", "gpu", "sim", "tensors", "kernels",
                 "verify_tolerance", "expect", "sweep"},
                "scenario", file);
 
@@ -590,16 +632,80 @@ parse_scenario(const JsonValue& doc, const std::string& file)
         }
     }
 
+    // Tensor arena (declarative form).  Parsed before the kernels so
+    // read/write sets resolve against it.
+    if (const JsonValue* tensors = doc.find("tensors")) {
+        if (!tensors->is_array())
+            fail(file, "\"tensors\" must be an array");
+        std::set<std::string> tnames;
+        for (size_t i = 0; i < tensors->as_array().size(); ++i) {
+            const JsonValue& obj = tensors->as_array()[i];
+            std::string where = "tensors[" + std::to_string(i) + "]";
+            if (!obj.is_object())
+                fail(file, where + " must be a JSON object");
+            check_keys(obj, {"name", "bytes", "alias_of", "offset",
+                             "address"},
+                       where, file);
+            TensorSpec t;
+            t.line = obj.line();
+            t.col = obj.col();
+            const JsonValue* nm = obj.find("name");
+            if (!nm || nm->as_string().empty())
+                fail(file, where + ": missing required key \"name\"");
+            t.name = nm->as_string();
+            if (!tnames.insert(t.name).second)
+                fail(file,
+                     where + ": duplicate tensor name \"" + t.name + "\"");
+            const JsonValue* b = obj.find("bytes");
+            if (!b)
+                fail(file, where + ": missing required key \"bytes\"");
+            if (b->as_int() < 1)
+                fail(file, where + ": bytes must be >= 1");
+            t.bytes = static_cast<uint64_t>(b->as_int());
+            t.alias_of = get_string(obj, "alias_of", "");
+            if (const JsonValue* v = obj.find("offset")) {
+                if (t.alias_of.empty())
+                    fail(file, where + ": \"offset\" needs \"alias_of\"");
+                if (v->as_int() < 0)
+                    fail(file, where + ": offset must be >= 0");
+                t.offset = static_cast<uint64_t>(v->as_int());
+            }
+            if (const JsonValue* v = obj.find("address")) {
+                if (!t.alias_of.empty())
+                    fail(file, where + ": \"address\" and \"alias_of\" are "
+                                       "mutually exclusive");
+                if (v->as_int() < 0)
+                    fail(file, where + ": address must be >= 0");
+                t.placed = true;
+                t.address = static_cast<uint64_t>(v->as_int());
+            }
+            sc.tensors.push_back(std::move(t));
+        }
+    }
+
     const JsonValue* kernels = doc.find("kernels");
     if (!kernels || kernels->as_array().empty())
         fail(file, "scenario needs a non-empty \"kernels\" array");
+
+    // Declarative form: a tensor arena, or any kernel declaring its
+    // read/write sets.  Decided before parsing the kernels — it flips
+    // which per-kernel keys are legal.
+    sc.declarative = doc.find("tensors") != nullptr;
+    for (const JsonValue& k : kernels->as_array())
+        if (k.is_object() && (k.find("reads") || k.find("writes")))
+            sc.declarative = true;
+
     std::set<std::string> names;
     std::set<std::string> functional_names;
     std::set<std::string> recorded_events;
     bool any_functional = false;
+    bool legacy_plumbing = false;
     const Arch arch = sc.gpu_preset == "rtx2080" ? Arch::kTuring : Arch::kVolta;
     for (size_t i = 0; i < kernels->as_array().size(); ++i) {
-        KernelSpec spec = parse_kernel(kernels->as_array()[i], i, file);
+        KernelSpec spec =
+            parse_kernel(kernels->as_array()[i], i, file, sc.declarative);
+        legacy_plumbing |= !spec.record_event.empty() ||
+                           !spec.wait_events.empty() || spec.sync;
         if ((spec.mode == TcMode::kInt8 || spec.mode == TcMode::kInt4) &&
             arch != Arch::kTuring)
             fail(file, "kernels[" + std::to_string(i) +
@@ -617,6 +723,23 @@ parse_scenario(const JsonValue& doc, const std::string& file)
             recorded_events.insert(spec.record_event);
         sc.kernels.push_back(std::move(spec));
     }
+    if (sc.declarative) {
+        // Compile read/write sets into streams and events; the plan
+        // overwrites the per-kernel stream/record/wait fields, so
+        // everything downstream of here sees a legacy-shaped scenario.
+        compile_taskgraph(&sc, file);
+        recorded_events.clear();
+        for (const KernelSpec& k : sc.kernels)
+            if (!k.record_event.empty())
+                recorded_events.insert(k.record_event);
+    } else if (legacy_plumbing) {
+        warn("%s: scenario \"%s\" hand-writes record_event/wait_event/"
+             "sync plumbing (deprecated): declare \"tensors\" plus "
+             "per-kernel \"reads\"/\"writes\" and the task-graph "
+             "compiler derives streams and events",
+             file.empty() ? "scenario" : file.c_str(), sc.name.c_str());
+    }
+
     // Dependency sanity: a wait on an event no kernel records can
     // never be satisfied — fail those at parse time.  Deeper problems
     // (record/wait cycles, a record ordered behind its own wait) are
@@ -628,6 +751,21 @@ parse_scenario(const JsonValue& doc, const std::string& file)
                 fail(file, "kernels[" + std::to_string(i) +
                                "]: waits on event \"" + e +
                                "\" which no kernel records");
+    // A wait on an event recorded earlier on the *same* stream is a
+    // no-op — stream FIFO order already guarantees it.  The compiler
+    // never emits one (it only appears in hand-written plumbing).
+    for (size_t i = 0; i < sc.kernels.size(); ++i)
+        for (const std::string& e : sc.kernels[i].wait_events)
+            for (size_t j = 0; j < i; ++j)
+                if (sc.kernels[j].record_event == e &&
+                    sc.kernels[j].stream == sc.kernels[i].stream)
+                    warn("%s: kernels[%zu] (\"%s\") waits on \"%s\", "
+                         "recorded earlier on the same stream %d — a "
+                         "no-op wait (stream order already guarantees "
+                         "it)",
+                         file.empty() ? "scenario" : file.c_str(), i,
+                         sc.kernels[i].name.c_str(), e.c_str(),
+                         sc.kernels[i].stream);
 
     if (const JsonValue* v = doc.find("verify_tolerance")) {
         sc.verify_tolerance = v->as_number();

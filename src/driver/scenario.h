@@ -24,6 +24,13 @@
  *             "detailed_sms": 0,     // sampled-SM fast-forward (see
  *                                    // SimOptions::detailed_sms)
  *             "sample_window": 4096},
+ *     "tensors": [                          // declarative form only
+ *       {"name": "A0", "bytes": 32768},     // bump-placed, 256-aligned
+ *       {"name": "A0_lo", "alias_of": "A0", // declared view (overlap
+ *        "offset": 0, "bytes": 16384},      //   feeds hazard analysis)
+ *       {"name": "X", "address": 0,         // absolute placement; any
+ *        "bytes": 4096}],                   //   undeclared overlap is
+ *                                           //   rejected at parse time
  *     "kernels": [                          // required, non-empty
  *       {"kernel": "wmma_shared",           // required; see registry
  *        "name": "gemm0", "stream": 0,
@@ -34,6 +41,9 @@
  *        "warps_per_cta": 8,                // wmma_naive only
  *        "ctas": 8, "wmma_per_warp": 64,    // hmma_stress only
  *        "accumulators": 4,
+ *        "reads": ["A0"], "writes": ["A1"], // declarative form: the
+ *                                           //   task-graph compiler
+ *                                           //   derives streams/events
  *        "wait_event": "e0" | ["e0","e1"],  // gate on recorded events
  *        "record_event": "e2",              // record after this launch
  *        "sync": true}],                    // join all prior launches
@@ -82,6 +92,16 @@
  * l1_mshr_entries, l2_banks, l2_bank_bytes_per_cycle,
  * l2_bank_queue_depth, noc_bytes_per_cycle, noc_queue_depth,
  * dram_queue_depth and dram_rw_turnaround (see GpuConfig).
+ *
+ * Declarative form: a scenario with a "tensors" arena (or any kernel
+ * declaring "reads"/"writes") switches to the task-graph frontend
+ * (driver/taskgraph.h): every kernel must declare its read/write
+ * sets, "stream" and "sync" are rejected (the compiler assigns
+ * streams), and record_event/wait_event become an event-naming /
+ * audit annotation.  The compiled plan is lowered back onto the
+ * legacy KernelSpec fields, so downstream (runner, engine, reports)
+ * is unchanged.  Hand-written record/wait/sync plumbing without
+ * read/write sets still parses, with a deprecation warning.
  */
 
 #include <stdexcept>
@@ -91,6 +111,7 @@
 
 #include "arch/gpu_config.h"
 #include "driver/json.h"
+#include "driver/taskgraph.h"
 #include "sim/engine.h"
 #include "tensor/types.h"
 
@@ -136,6 +157,13 @@ struct KernelSpec
     /** Join barrier: wait for every launch declared before this one
      *  (across all streams) before starting. */
     bool sync = false;
+
+    // Declarative form (driver/taskgraph.h).  After parsing, the
+    // compiled plan overwrites stream/record_event/wait_events above.
+    /** Tensor names this kernel reads / writes. */
+    std::vector<std::string> reads, writes;
+    /** Source position of the kernel object (diagnostics). */
+    int line = 0, col = 0;
 };
 
 /** One expected-metric assertion. */
@@ -176,6 +204,13 @@ struct Scenario
 
     SimOptions sim;
     std::vector<KernelSpec> kernels;
+    /** Declarative form: the tensor arena ("tensors"). */
+    std::vector<TensorSpec> tensors;
+    /** True when the task-graph compiler derived streams/events. */
+    bool declarative = false;
+    /** The dependency DAG (compiled plan, or empty for legacy —
+     *  build_dag() synthesizes the legacy view on demand). */
+    TaskGraphDag dag;
     std::vector<Expectation> expect;
     /** Max allowed |D - ref| / (1 + |ref|) for functional kernels. */
     double verify_tolerance = 0.05;

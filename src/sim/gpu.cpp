@@ -1,6 +1,7 @@
 #include "sim/gpu.h"
 
 #include <cstring>
+#include <map>
 #include <stdexcept>
 
 #include "common/logging.h"
@@ -366,6 +367,39 @@ Gpu::restore(const Snapshot& snap)
     r.tag(kTagEnd);
     if (!r.done())
         throw SnapshotError("trailing bytes after the end tag");
+}
+
+TaskGraph::Compiled
+Gpu::launch_graph(const TaskGraph& graph,
+                  const std::vector<KernelDesc>& kernels)
+{
+    if (kernels.size() != graph.num_tasks())
+        throw std::invalid_argument(
+            "launch_graph: " + std::to_string(kernels.size()) +
+            " kernels for " + std::to_string(graph.num_tasks()) + " tasks");
+    TaskGraph::Compiled plan = graph.compile();
+
+    std::vector<Stream*> streams;
+    streams.reserve(static_cast<size_t>(plan.num_streams));
+    for (int s = 0; s < plan.num_streams; ++s)
+        streams.push_back(&create_stream());
+
+    // Graph-local event table: compiled names may shadow pre-existing
+    // events on this Gpu, so waits resolve against the events created
+    // here, never through find_event().
+    std::map<std::string, Event*> events;
+    for (size_t t = 0; t < kernels.size(); ++t) {
+        Stream& s = *streams[static_cast<size_t>(plan.stream_of[t] - 1)];
+        for (const std::string& w : plan.wait_events[t])
+            s.wait(*events.at(w));
+        s.enqueue(kernels[t]);
+        if (!plan.record_event[t].empty()) {
+            Event& ev = create_event(plan.record_event[t]);
+            events[plan.record_event[t]] = &ev;
+            s.record(ev);
+        }
+    }
+    return plan;
 }
 
 LaunchStats

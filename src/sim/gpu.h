@@ -29,6 +29,7 @@
 #include "arch/gpu_config.h"
 #include "sim/engine.h"
 #include "sim/event.h"
+#include "sim/graph/task_graph.h"
 #include "sim/kernel_desc.h"
 #include "sim/mem/memory_system.h"
 #include "sim/snapshot.h"
@@ -101,6 +102,19 @@ class Gpu
 
     /** Engine clock of the active run (0 when idle). */
     uint64_t current_cycle() const { return engine_.now(); }
+
+    /**
+     * Compile @p graph and enqueue one kernel per task: fresh streams
+     * are created for the compiled stream set, events are created and
+     * recorded/waited exactly as the plan dictates, and kernels are
+     * enqueued in declaration order (kernels[t] is task t's launch).
+     * Nothing runs yet — follow with run()/run_until() as usual.
+     * Returns the compiled plan for inspection.  Throws TaskGraphError
+     * on rejected graphs, std::invalid_argument on a kernel-count
+     * mismatch.
+     */
+    TaskGraph::Compiled launch_graph(const TaskGraph& graph,
+                                     const std::vector<KernelDesc>& kernels);
 
     /** Run @p kernel alone to completion and return its statistics.
      *  Compatibility wrapper: cold caches, isolated timing — does not

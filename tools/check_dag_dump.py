@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Validity gate for ``simrunner --dump-dag``.
+
+Dumps the dependency DAG of every scenario passed on the command line
+and checks each artifact:
+
+* the ``.dag.json`` parses as strict JSON and is well-formed — task
+  names unique, every edge endpoint is a task, stream ids within
+  ``1..num_streams`` for compiled graphs, every event named by an edge
+  recorded by its producer task;
+* the ``.dag.dot`` is non-empty and looks like a Graphviz digraph;
+* exactly one artifact pair exists per scenario.
+
+Usage:
+    tools/check_dag_dump.py <simrunner> <scenarios...> [--workdir DIR]
+
+Exit status: 0 when every dump is valid, 1 otherwise.
+"""
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+
+
+def check_dag(path, problems):
+    with open(path) as f:
+        dag = json.load(f)
+
+    for key in ("scenario", "declarative", "num_streams", "tasks", "edges",
+                "false_serialization", "tensors"):
+        if key not in dag:
+            problems.append("{}: missing key {!r}".format(path, key))
+            return
+
+    names = [t["name"] for t in dag["tasks"]]
+    if len(set(names)) != len(names):
+        problems.append("{}: duplicate task names".format(path))
+    by_name = {t["name"]: t for t in dag["tasks"]}
+
+    if dag["declarative"]:
+        for t in dag["tasks"]:
+            if not 1 <= t["stream"] <= dag["num_streams"]:
+                problems.append("{}: task {!r} stream {} outside "
+                                "1..{}".format(path, t["name"], t["stream"],
+                                               dag["num_streams"]))
+        tensor_names = {t["name"] for t in dag["tensors"]}
+        for t in dag["tasks"]:
+            for ref in t.get("reads", []) + t.get("writes", []):
+                if ref not in tensor_names:
+                    problems.append("{}: task {!r} references unknown "
+                                    "tensor {!r}".format(path, t["name"],
+                                                         ref))
+
+    for e in dag["edges"]:
+        for end in (e["from"], e["to"]):
+            if end not in by_name:
+                problems.append("{}: edge endpoint {!r} is not a "
+                                "task".format(path, end))
+        if e.get("event"):
+            producer = by_name.get(e["from"], {})
+            if producer.get("record_event") != e["event"]:
+                problems.append("{}: edge {} -> {} waits on {!r} which "
+                                "its producer does not record".format(
+                                    path, e["from"], e["to"], e["event"]))
+
+    for pair in dag["false_serialization"]:
+        for end in (pair["from"], pair["to"]):
+            if end not in by_name:
+                problems.append("{}: false-serialization endpoint {!r} is "
+                                "not a task".format(path, end))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="validate simrunner --dump-dag artifacts")
+    parser.add_argument("simrunner")
+    parser.add_argument("inputs", nargs="+",
+                        help="scenario files or directories")
+    parser.add_argument("--workdir", default=".")
+    args = parser.parse_args()
+
+    dump_dir = os.path.join(args.workdir, "dag_dump")
+    cmd = [args.simrunner, "--dump-dag", dump_dir] + args.inputs
+    print("+", " ".join(cmd), flush=True)
+    if subprocess.call(cmd) != 0:
+        print("check_dag_dump: FAILED — simrunner --dump-dag exited "
+              "nonzero")
+        return 1
+
+    problems = []
+    jsons = sorted(glob.glob(os.path.join(dump_dir, "*.dag.json")))
+    if not jsons:
+        problems.append("{}: no .dag.json artifacts produced".format(
+            dump_dir))
+    for path in jsons:
+        try:
+            check_dag(path, problems)
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            problems.append("{}: {}".format(path, exc))
+        dot = path[:-len(".json")] + ".dot"
+        if not os.path.exists(dot):
+            problems.append("{}: missing DOT twin".format(dot))
+        else:
+            with open(dot) as f:
+                text = f.read()
+            if not text.startswith("digraph") or not text.rstrip().endswith("}"):
+                problems.append("{}: does not look like a Graphviz "
+                                "digraph".format(dot))
+
+    if problems:
+        print("check_dag_dump: FAILED")
+        for p in problems[:50]:
+            print("  ", p)
+        return 1
+    print("check_dag_dump: OK — {} DAG dump(s) valid".format(len(jsons)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

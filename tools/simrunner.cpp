@@ -30,6 +30,11 @@
  *                     — the fork-identity reference leg
  *     --detailed-sms N  override sim.detailed_sms on every scenario
  *                     (sampled-SM fast-forward; 0 = full detail)
+ *     --dump-dag DIR  write the dependency DAG of every matching
+ *                     scenario to DIR/<name>.dag.json and .dag.dot
+ *                     (compiled plan for declarative scenarios, the
+ *                     explicit record/wait/sync plumbing for legacy
+ *                     ones) and exit without running
  *
  * Exit status: 0 when every scenario passed, 1 otherwise.
  *
@@ -49,6 +54,7 @@
 #include "common/table.h"
 #include "driver/runner.h"
 #include "driver/scenario.h"
+#include "driver/taskgraph.h"
 #include "metrics/metrics.h"
 
 using namespace tcsim;
@@ -68,6 +74,7 @@ struct Options
     std::string grid_path;    ///< --grid standalone sweep document.
     bool cold_sweep = false;
     int detailed_sms = -1;    ///< -1 = per-scenario sim.detailed_sms.
+    std::string dump_dag_dir; ///< --dump-dag output directory.
     std::vector<std::string> inputs;
 };
 
@@ -91,7 +98,9 @@ usage(std::FILE* to)
         "  --sweep FILE    base scenario for a snapshot-forked sweep\n"
         "  --grid FILE     sweep document to attach to the --sweep base\n"
         "  --cold-sweep    run sweep points cold instead of forking\n"
-        "  --detailed-sms N  override sim.detailed_sms (0 = full detail)\n");
+        "  --detailed-sms N  override sim.detailed_sms (0 = full detail)\n"
+        "  --dump-dag DIR  write each scenario's dependency DAG to\n"
+        "                  DIR/<name>.dag.{json,dot} and exit\n");
 }
 
 bool
@@ -159,6 +168,11 @@ parse_args(int argc, char** argv, Options* opts)
                              "simrunner: bad --detailed-sms value\n");
                 return false;
             }
+        } else if (arg == "--dump-dag") {
+            const char* v = value();
+            if (!v)
+                return false;
+            opts->dump_dag_dir = v;
         } else if (arg == "--fail-fast") {
             opts->fail_fast = true;
         } else if (arg == "--list") {
@@ -292,6 +306,40 @@ main(int argc, char** argv)
             std::fprintf(stderr, "simrunner: %s\n", e.what());
             ++load_failures;
         }
+    }
+
+    if (!opts.dump_dag_dir.empty()) {
+        namespace fs = std::filesystem;
+        std::error_code ec;
+        fs::create_directories(opts.dump_dag_dir, ec);
+        int dump_failures = 0;
+        for (const driver::Scenario& sc : scenarios) {
+            driver::TaskGraphDag dag = driver::build_dag(sc);
+            std::string name = sc.name;
+            std::replace(name.begin(), name.end(), '/', '_');
+            std::string base = opts.dump_dag_dir + "/" + name + ".dag";
+            bool ok = driver::json_write_file_atomic(
+                driver::dag_to_json(sc, dag), base + ".json", /*indent=*/2);
+            std::string dot = driver::dag_to_dot(sc, dag);
+            if (std::FILE* f = std::fopen((base + ".dot").c_str(), "w")) {
+                ok &= std::fwrite(dot.data(), 1, dot.size(), f) ==
+                      dot.size();
+                ok &= std::fclose(f) == 0;
+            } else {
+                ok = false;
+            }
+            if (!ok) {
+                std::fprintf(stderr, "simrunner: failed to write %s.*\n",
+                             base.c_str());
+                ++dump_failures;
+                continue;
+            }
+            std::printf("%s: %zu task(s), %zu edge(s), %d stream(s) -> "
+                        "%s.{json,dot}\n",
+                        sc.name.c_str(), sc.kernels.size(),
+                        dag.edges.size(), dag.num_streams, base.c_str());
+        }
+        return (load_failures || dump_failures) ? 1 : 0;
     }
 
     if (opts.list) {
