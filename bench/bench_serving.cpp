@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Serving-simulator benchmark: the same fixed-seed Poisson trace
+ * (seed 2024, 24 requests, mean inter-arrival 20us) over a 6-layer
+ * 256-wide MLP, served once with the static batcher (batch 8, 200us
+ * timeout) and once with continuous batching (max_batch 8,
+ * max_in_flight 2) — the committed scenarios/serving_mlp6_*.json pair
+ * as a perf snapshot.  Emits BENCH_serving.json: the cycle-valued
+ * latency percentiles and batch counts are integer-exact and gate
+ * exactly in CI, the wall-time throughput keys gate within the usual
+ * tolerance band.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "driver/scenario.h"
+#include "model/model_graph.h"
+#include "serve/serving_engine.h"
+
+using namespace tcsim;
+using namespace tcsim::serve;
+
+namespace {
+
+model::ModelGraph
+mlp6()
+{
+    model::ModelGraph g;
+    g.name = "mlp6";
+    g.tokens_per_request = 16;
+    g.input_features = 256;
+    for (int i = 1; i <= 6; ++i) {
+        model::LayerSpec l;
+        l.kind = model::LayerKind::kLinear;
+        l.name = "fc" + std::to_string(i);
+        l.out_features = 256;
+        g.layers.push_back(l);
+    }
+    return g;
+}
+
+struct Leg
+{
+    std::string label;
+    ServingReport rep;
+    double wall_ms = 0;
+};
+
+Leg
+run_leg(const std::string& label, const GpuConfig& cfg,
+        const BatchingPolicy& policy)
+{
+    SimOptions sim;
+    model::ModelGraph graph = mlp6();
+    std::vector<Request> trace = poisson_trace(
+        2024, 24,
+        static_cast<double>(driver::us_to_cycles(20.0, cfg.clock_ghz)));
+    bench::Timer t;
+    ServingResult res = run_serving(cfg, sim, graph, trace, policy);
+    Leg leg;
+    leg.label = label;
+    leg.rep = res.report;
+    leg.wall_ms = t.ms();
+    return leg;
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("Inference serving: static vs continuous batching, "
+                "fixed-seed Poisson trace over a 6-layer MLP\n\n");
+
+    GpuConfig cfg = bench::titan_v_slice(8);
+    StaticBatcher st(8, driver::us_to_cycles(200.0, cfg.clock_ghz));
+    ContinuousBatcher ct(8, 2);
+    Leg s = run_leg("static (batch 8, 200us timeout)", cfg, st);
+    Leg c = run_leg("continuous (max_batch 8, in_flight 2)", cfg, ct);
+
+    TextTable tbl;
+    tbl.set_header({"policy", "batches", "p50", "p99", "busy", "wall ms"});
+    for (const Leg* leg : {&s, &c}) {
+        tbl.add_row({leg->label, std::to_string(leg->rep.batches),
+                     std::to_string(leg->rep.latency.latency_p50),
+                     std::to_string(leg->rep.latency.latency_p99),
+                     fmt_double(100.0 * leg->rep.busy_frac, 1) + "%",
+                     fmt_double(leg->wall_ms, 1)});
+    }
+    bench::print_table(tbl);
+
+    const double p99_gain = static_cast<double>(s.rep.latency.latency_p99) /
+                            static_cast<double>(c.rep.latency.latency_p99);
+    std::printf("\ncontinuous p99 speedup over static: %.2fx\n", p99_gain);
+
+    bench::JsonEmitter json("serving");
+    json.add("static_batch_count", s.rep.batches);
+    json.add("static_latency_p50_cycles",
+             static_cast<double>(s.rep.latency.latency_p50));
+    json.add("static_latency_p99_cycles",
+             static_cast<double>(s.rep.latency.latency_p99));
+    json.add("static_queue_wait_p99_cycles",
+             static_cast<double>(s.rep.latency.queue_wait_p99));
+    json.add("static_makespan_cycles",
+             static_cast<double>(s.rep.makespan_cycles));
+    json.add("static_busy_cycles", static_cast<double>(s.rep.busy_cycles));
+    json.add("continuous_batch_count", c.rep.batches);
+    json.add("continuous_latency_p50_cycles",
+             static_cast<double>(c.rep.latency.latency_p50));
+    json.add("continuous_latency_p99_cycles",
+             static_cast<double>(c.rep.latency.latency_p99));
+    json.add("continuous_queue_wait_p99_cycles",
+             static_cast<double>(c.rep.latency.queue_wait_p99));
+    json.add("continuous_makespan_cycles",
+             static_cast<double>(c.rep.makespan_cycles));
+    json.add("continuous_busy_cycles",
+             static_cast<double>(c.rep.busy_cycles));
+    json.add("continuous_p99_speedup", p99_gain);
+    json.add("static_wall_ms", s.wall_ms);
+    json.add("continuous_wall_ms", c.wall_ms);
+    return 0;
+}

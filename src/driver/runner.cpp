@@ -254,8 +254,58 @@ resolve_kernel_metric(const KernelResult& k, const std::string& field)
 }
 
 double
+resolve_serve_metric(const ScenarioResult& r, const std::string& field,
+                     const std::string& path)
+{
+    if (!r.has_serving)
+        throw ScenarioError("metric \"" + path +
+                            "\" needs a \"serving\" scenario");
+    const serve::ServingReport& s = r.serving;
+    const serve::LatencySummary& l = s.latency;
+    if (field == "requests")
+        return s.requests;
+    if (field == "completed")
+        return s.completed;
+    if (field == "batches")
+        return s.batches;
+    if (field == "mean_batch_size")
+        return s.mean_batch_size;
+    if (field == "latency_p50")
+        return static_cast<double>(l.latency_p50);
+    if (field == "latency_p95")
+        return static_cast<double>(l.latency_p95);
+    if (field == "latency_p99")
+        return static_cast<double>(l.latency_p99);
+    if (field == "latency_max")
+        return static_cast<double>(l.latency_max);
+    if (field == "latency_mean")
+        return l.latency_mean;
+    if (field == "queue_wait_p50")
+        return static_cast<double>(l.queue_wait_p50);
+    if (field == "queue_wait_p99")
+        return static_cast<double>(l.queue_wait_p99);
+    if (field == "queue_wait_max")
+        return static_cast<double>(l.queue_wait_max);
+    if (field == "queue_wait_mean")
+        return l.queue_wait_mean;
+    if (field == "queue_depth_peak")
+        return l.queue_depth_peak;
+    if (field == "queue_depth_mean")
+        return l.queue_depth_mean;
+    if (field == "makespan_cycles")
+        return static_cast<double>(s.makespan_cycles);
+    if (field == "busy_cycles")
+        return static_cast<double>(s.busy_cycles);
+    if (field == "busy_frac")
+        return s.busy_frac;
+    throw ScenarioError("unknown serve metric \"" + path + "\"");
+}
+
+double
 resolve_metric(const ScenarioResult& r, const std::string& path)
 {
+    if (path.rfind("serve.", 0) == 0)
+        return resolve_serve_metric(r, path.substr(6), path);
     if (path.rfind("total.", 0) == 0)
         return resolve_total_metric(r, path.substr(6));
     if (path.rfind("verify.", 0) == 0) {
@@ -418,6 +468,43 @@ attribute_kernels(ScenarioResult* r, const Scenario& scenario,
                             cfg.clock_ghz);
 }
 
+/** The serving path of run_scenario: build the trace and policy from
+ *  the spec (wall-clock fields convert with the resolved core clock)
+ *  and hand the whole run to serve::run_serving. */
+void
+run_serving_scenario(const Scenario& scenario, const GpuConfig& cfg,
+                     const SimOptions& sim, ScenarioResult* result)
+{
+    const ServingSpec& ss = scenario.serving;
+    std::vector<serve::Request> trace;
+    if (ss.trace_kind == "poisson")
+        trace = serve::poisson_trace(
+            ss.seed, ss.requests,
+            static_cast<double>(
+                us_to_cycles(ss.mean_interarrival_us, cfg.clock_ghz)));
+    else
+        trace = ss.file_trace;
+
+    std::unique_ptr<serve::BatchingPolicy> policy;
+    if (ss.policy == "static")
+        policy = std::make_unique<serve::StaticBatcher>(
+            ss.batch, us_to_cycles(ss.timeout_us, cfg.clock_ghz));
+    else
+        policy = std::make_unique<serve::ContinuousBatcher>(ss.max_batch,
+                                                            ss.max_in_flight);
+
+    serve::ServingResult sr =
+        serve::run_serving(cfg, sim, ss.model, trace, *policy);
+    result->totals = sr.totals;
+    result->serving = std::move(sr.report);
+    result->has_serving = true;
+    result->total_flops = result->serving.total_flops;
+    if (result->totals.cycles > 0)
+        result->total_tflops = metrics::tflops(
+            result->total_flops, static_cast<double>(result->totals.cycles),
+            cfg.clock_ghz);
+}
+
 AssertionResult
 evaluate(const ScenarioResult& r, const Expectation& e)
 {
@@ -471,6 +558,24 @@ run_scenario(const Scenario& scenario, int sim_threads_override,
     try {
         GpuConfig cfg = scenario.gpu_config();
         result.clock_ghz = cfg.clock_ghz;
+
+        if (scenario.is_serving()) {
+            run_serving_scenario(scenario, cfg, sim, &result);
+            for (const Expectation& e : scenario.expect)
+                result.assertions.push_back(evaluate(result, e));
+            result.passed = true;
+            for (const AssertionResult& a : result.assertions)
+                result.passed &= a.passed;
+            result.wall_ms = std::chrono::duration<double, std::milli>(
+                                 clock::now() - t0)
+                                 .count();
+            if (result.wall_ms > 0.0)
+                result.ticks_per_sec =
+                    static_cast<double>(result.totals.ticks) /
+                    (result.wall_ms / 1000.0);
+            return result;
+        }
+
         Gpu gpu(cfg, sim);
 
         std::vector<PreparedKernel> prepared;
@@ -976,6 +1081,87 @@ report_to_json(const BatchReport& report)
         for (const MemCounter& c : kMemCounters)
             mem.set(c.name, m.*(c.member));
         jr.set("mem", std::move(mem));
+
+        // Serving scenarios: summary + per-request/batch timelines.
+        // Deliberately outside "sim" — every field is a function of
+        // simulated cycles, so the parallel-identity legs diff it.
+        if (r.has_serving) {
+            const serve::ServingReport& s = r.serving;
+            const serve::LatencySummary& l = s.latency;
+            JsonValue js = JsonValue::object();
+            js.set("policy", s.policy);
+            js.set("requests", s.requests);
+            js.set("completed", s.completed);
+            js.set("batches", s.batches);
+            js.set("mean_batch_size", s.mean_batch_size);
+            js.set("makespan_cycles", s.makespan_cycles);
+            js.set("busy_cycles", s.busy_cycles);
+            js.set("busy_frac", s.busy_frac);
+            js.set("flops", s.total_flops);
+
+            JsonValue lat = JsonValue::object();
+            lat.set("p50", l.latency_p50);
+            lat.set("p95", l.latency_p95);
+            lat.set("p99", l.latency_p99);
+            lat.set("max", l.latency_max);
+            lat.set("mean", l.latency_mean);
+            js.set("latency_cycles", std::move(lat));
+
+            JsonValue qw = JsonValue::object();
+            qw.set("p50", l.queue_wait_p50);
+            qw.set("p99", l.queue_wait_p99);
+            qw.set("max", l.queue_wait_max);
+            qw.set("mean", l.queue_wait_mean);
+            js.set("queue_wait_cycles", std::move(qw));
+
+            JsonValue qd = JsonValue::object();
+            qd.set("peak", l.queue_depth_peak);
+            qd.set("mean", l.queue_depth_mean);
+            js.set("queue_depth", std::move(qd));
+
+            JsonValue reqs = JsonValue::array();
+            for (const serve::RequestRecord& q : s.request_records) {
+                JsonValue jq = JsonValue::object();
+                jq.set("id", q.id);
+                jq.set("arrival_cycle", q.arrival_cycle);
+                jq.set("admit_cycle", q.admit_cycle);
+                jq.set("finish_cycle", q.finish_cycle);
+                jq.set("batch", q.batch);
+                reqs.push_back(std::move(jq));
+            }
+            js.set("request_records", std::move(reqs));
+
+            JsonValue batches = JsonValue::array();
+            for (const serve::BatchRecord& b : s.batch_records) {
+                JsonValue jb = JsonValue::object();
+                jb.set("id", b.id);
+                jb.set("admit_cycle", b.admit_cycle);
+                jb.set("finish_cycle", b.finish_cycle);
+                jb.set("size", b.size);
+                batches.push_back(std::move(jb));
+            }
+            js.set("batch_records", std::move(batches));
+
+            JsonValue queue = JsonValue::array();
+            for (const serve::QueueSample& q : s.queue_timeline) {
+                JsonValue jq = JsonValue::object();
+                jq.set("cycle", q.cycle);
+                jq.set("depth", q.depth);
+                queue.push_back(std::move(jq));
+            }
+            js.set("queue_timeline", std::move(queue));
+
+            JsonValue occ = JsonValue::array();
+            for (const serve::OccupancySample& o : s.occupancy) {
+                JsonValue jo = JsonValue::object();
+                jo.set("cycle", o.cycle);
+                jo.set("running", o.running);
+                occ.push_back(std::move(jo));
+            }
+            js.set("occupancy", std::move(occ));
+
+            jr.set("serve", std::move(js));
+        }
 
         JsonValue kernels = JsonValue::array();
         for (const KernelResult& k : r.kernels) {

@@ -18,6 +18,7 @@
 
 #include "driver/json.h"
 #include "driver/scenario.h"
+#include "serve/serving_engine.h"
 #include "sim/engine.h"
 
 namespace tcsim {
@@ -82,6 +83,11 @@ struct ScenarioResult
     double ticks_per_sec = 0.0;
     /** Worker threads the simulation ran with (resolved, >= 1). */
     int sim_threads = 1;
+
+    // Serving scenarios ("serving" key) only.
+    /** True when `serving` below is populated. */
+    bool has_serving = false;
+    serve::ServingReport serving;
 
     // Sweep metadata (set by run_sweep; sweep_point empty otherwise).
     /** Name of the sweep point this result expands. */

@@ -1,10 +1,13 @@
 #include "driver/scenario.h"
 
+#include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <set>
 
 #include "common/logging.h"
 #include "kernels/kernel_registry.h"
+#include "model/model_graph.h"
 
 namespace tcsim {
 namespace driver {
@@ -253,10 +256,11 @@ parse_expectation(const JsonValue& obj, size_t index,
         e.metric.rfind("kernel.", 0) != 0 &&
         e.metric.rfind("event.", 0) != 0 &&
         e.metric.rfind("mem.", 0) != 0 &&
-        e.metric.rfind("verify.", 0) != 0)
+        e.metric.rfind("verify.", 0) != 0 &&
+        e.metric.rfind("serve.", 0) != 0)
         fail(file, where + ": metric must start with \"total.\", "
-                           "\"kernel.\", \"event.\", \"mem.\" or "
-                           "\"verify.\"");
+                           "\"kernel.\", \"event.\", \"mem.\", "
+                           "\"verify.\" or \"serve.\"");
     if (const JsonValue* v = obj.find("min")) {
         e.has_min = true;
         e.min = v->as_number();
@@ -308,6 +312,9 @@ validate_expectation(const Expectation& e, const std::set<std::string>& names,
     }
     if (e.metric.rfind("verify.", 0) == 0 && !any_functional)
         fail(file, "metric \"" + e.metric + "\" needs a functional kernel");
+    if (e.metric.rfind("serve.", 0) == 0)
+        fail(file, "metric \"" + e.metric +
+                       "\" requires a \"serving\" scenario");
     if (e.metric.rfind("event.", 0) == 0) {
         // event.<name>.cycle — the event must be recorded.
         std::string rest = e.metric.substr(6);
@@ -430,6 +437,321 @@ parse_sweep_into(Scenario* sc, const JsonValue& obj, const std::string& file)
     }
 }
 
+// --- Model-graph frontend ("model" / "serving.model" keys) -----------
+
+model::LayerSpec
+parse_model_layer(const JsonValue& obj, size_t index,
+                  const std::string& where0, const std::string& file)
+{
+    std::string where = where0 + ".layers[" + std::to_string(index) + "]";
+    if (!obj.is_object())
+        fail(file, where + " must be a JSON object");
+    const std::string type = get_string(obj, "type", "");
+    model::LayerSpec l;
+    l.name = get_string(obj, "name", "");
+    if (type == "linear") {
+        check_keys(obj,
+                   {"type", "name", "in_features", "out_features",
+                    "precision"},
+                   where, file);
+        l.kind = model::LayerKind::kLinear;
+        l.in_features = get_int(obj, "in_features", 0, file);
+        l.out_features = get_int(obj, "out_features", 0, file);
+        if (l.out_features < 1)
+            fail(file, where + ": linear needs out_features >= 1");
+    } else if (type == "conv2d") {
+        check_keys(obj,
+                   {"type", "name", "in_channels", "out_channels", "kernel",
+                    "stride", "height", "width", "precision"},
+                   where, file);
+        l.kind = model::LayerKind::kConv2d;
+        l.in_channels = get_int(obj, "in_channels", 0, file);
+        l.out_channels = get_int(obj, "out_channels", 0, file);
+        l.kernel = get_int(obj, "kernel", 3, file);
+        l.stride = get_int(obj, "stride", 1, file);
+        l.height = get_int(obj, "height", 0, file);
+        l.width = get_int(obj, "width", 0, file);
+        if (l.out_channels < 1)
+            fail(file, where + ": conv2d needs out_channels >= 1");
+        if (l.kernel < 1 || l.stride < 1)
+            fail(file, where + ": conv2d kernel/stride must be >= 1");
+    } else if (type == "attention") {
+        check_keys(obj, {"type", "name", "embed_dim", "heads", "precision"},
+                   where, file);
+        l.kind = model::LayerKind::kAttention;
+        l.embed_dim = get_int(obj, "embed_dim", 0, file);
+        l.heads = get_int(obj, "heads", 1, file);
+        if (l.heads < 1)
+            fail(file, where + ": attention needs heads >= 1");
+    } else if (type == "elementwise") {
+        check_keys(obj, {"type", "name", "precision"}, where, file);
+        l.kind = model::LayerKind::kElementwise;
+    } else {
+        fail(file, where + ": unknown layer type \"" + type +
+                       "\" (want linear | conv2d | attention | "
+                       "elementwise)");
+    }
+    if (const JsonValue* p = obj.find("precision")) {
+        l.has_precision = true;
+        l.precision = parse_mode(p->as_string(), file);
+    }
+    return l;
+}
+
+/** Parse a "model" object.  @p batch_out is non-null for the
+ *  standalone form, where "batch" sizes the single lowered forward
+ *  pass; the serving form rejects it (the batcher decides). */
+model::ModelGraph
+parse_model_graph(const JsonValue& obj, const std::string& where,
+                  const std::string& scenario_name, int* batch_out,
+                  const std::string& file)
+{
+    if (!obj.is_object())
+        fail(file, "\"" + where + "\" must be a JSON object");
+    if (batch_out)
+        check_keys(obj,
+                   {"batch", "tokens_per_request", "input_features",
+                    "precision", "layers"},
+                   where, file);
+    else
+        check_keys(obj,
+                   {"tokens_per_request", "input_features", "precision",
+                    "layers"},
+                   where, file);
+
+    model::ModelGraph g;
+    g.name = scenario_name;
+    g.tokens_per_request = get_int(obj, "tokens_per_request", 64, file);
+    if (g.tokens_per_request < 1)
+        fail(file, where + ".tokens_per_request must be >= 1");
+    g.input_features = get_int(obj, "input_features", 0, file);
+    if (g.input_features < 0)
+        fail(file, where + ".input_features must be >= 0");
+    if (const JsonValue* p = obj.find("precision"))
+        g.precision = parse_mode(p->as_string(), file);
+    if (batch_out) {
+        *batch_out = get_int(obj, "batch", 1, file);
+        if (*batch_out < 1)
+            fail(file, where + ".batch must be >= 1");
+    }
+
+    const JsonValue* layers = obj.find("layers");
+    if (!layers || !layers->is_array() || layers->as_array().empty())
+        fail(file, where + " needs a non-empty \"layers\" array");
+    for (size_t i = 0; i < layers->as_array().size(); ++i)
+        g.layers.push_back(
+            parse_model_layer(layers->as_array()[i], i, where, file));
+    return g;
+}
+
+/** Lower @p g into the scenario's tensors+kernels, exactly as if the
+ *  scenario had written the declarative form by hand; the task-graph
+ *  compiler takes it from there. */
+void
+lower_model_into(Scenario* sc, const model::ModelGraph& g, int batch,
+                 const std::string& file)
+{
+    model::LoweredModel lm;
+    try {
+        lm = model::lower_model(g, batch);
+    } catch (const model::ModelError& e) {
+        fail(file, std::string("model: ") + e.what());
+    }
+    for (const model::LoweredTensor& t : lm.tensors) {
+        TensorSpec ts;
+        ts.name = t.name;
+        ts.bytes = t.bytes;
+        sc->tensors.push_back(std::move(ts));
+    }
+    for (const model::LoweredKernel& k : lm.kernels) {
+        KernelSpec spec;
+        spec.family = k.family;
+        spec.name = k.name;
+        spec.m = k.m;
+        spec.n = k.n;
+        spec.k = k.k;
+        spec.mode = k.mode;
+        spec.reads = k.reads;
+        spec.writes = k.writes;
+        sc->kernels.push_back(std::move(spec));
+    }
+    sc->declarative = true;
+}
+
+// --- Serving frontend ("serving" key) --------------------------------
+
+std::vector<serve::Request>
+parse_trace_file(const std::string& path, double clock_ghz,
+                 const std::string& file)
+{
+    std::ifstream in(path);
+    if (!in)
+        fail(file, "serving.trace: cannot open \"" + path + "\"");
+    std::vector<serve::Request> trace;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        const std::string where =
+            "serving.trace \"" + path + "\" line " + std::to_string(lineno);
+        JsonValue v;
+        try {
+            v = json_parse(line);
+        } catch (const JsonError& e) {
+            fail(file, where + ": " + e.what());
+        }
+        if (!v.is_object())
+            fail(file, where + ": each line must be a JSON object");
+        // Extra keys (admit/finish/batch) are allowed so --trace-out
+        // dumps replay directly as input traces.
+        check_keys(v,
+                   {"id", "arrival_cycle", "arrival_us", "admit_cycle",
+                    "finish_cycle", "batch"},
+                   where, file);
+        serve::Request r;
+        r.id = get_int(v, "id", static_cast<int>(trace.size()), file);
+        if (const JsonValue* c = v.find("arrival_cycle")) {
+            if (v.find("arrival_us"))
+                fail(file, where + ": \"arrival_cycle\" and \"arrival_us\" "
+                                   "are mutually exclusive");
+            if (c->as_int() < 0)
+                fail(file, where + ": arrival_cycle must be >= 0");
+            r.arrival_cycle = static_cast<uint64_t>(c->as_int());
+        } else if (const JsonValue* u = v.find("arrival_us")) {
+            const double us = u->as_number();
+            if (us < 0)
+                fail(file, where + ": arrival_us must be >= 0");
+            r.arrival_cycle = us_to_cycles(us, clock_ghz);
+        } else {
+            fail(file,
+                 where + ": needs \"arrival_cycle\" or \"arrival_us\"");
+        }
+        trace.push_back(r);
+    }
+    std::stable_sort(trace.begin(), trace.end(),
+                     [](const serve::Request& a, const serve::Request& b) {
+                         return a.arrival_cycle < b.arrival_cycle;
+                     });
+    return trace;
+}
+
+ServingSpec
+parse_serving_spec(const JsonValue& obj, const Scenario& sc,
+                   const std::string& file)
+{
+    if (!obj.is_object())
+        fail(file, "\"serving\" must be a JSON object");
+    check_keys(obj, {"model", "trace", "batching"}, "serving", file);
+
+    ServingSpec spec;
+    spec.enabled = true;
+
+    const JsonValue* m = obj.find("model");
+    if (!m)
+        fail(file, "serving: missing required key \"model\"");
+    spec.model = parse_model_graph(*m, "serving.model", sc.name,
+                                   /*batch_out=*/nullptr, file);
+    // Shape/chaining errors surface at parse time, not mid-serve.
+    try {
+        model::lower_model(spec.model, 1);
+    } catch (const model::ModelError& e) {
+        fail(file, std::string("serving.model: ") + e.what());
+    }
+
+    const JsonValue* trace = obj.find("trace");
+    if (!trace || !trace->is_object())
+        fail(file, "serving: missing required object \"trace\"");
+    check_keys(*trace,
+               {"kind", "seed", "requests", "mean_interarrival_us", "path"},
+               "serving.trace", file);
+    spec.trace_kind = get_string(*trace, "kind", "poisson");
+    if (spec.trace_kind == "poisson") {
+        if (trace->find("path"))
+            fail(file, "serving.trace: \"path\" is for kind \"file\"");
+        const JsonValue* req = trace->find("requests");
+        if (!req)
+            fail(file, "serving.trace: missing required key \"requests\"");
+        spec.requests = get_int(*trace, "requests", 0, file);
+        if (spec.requests < 0)
+            fail(file, "serving.trace.requests must be >= 0");
+        int64_t seed = 1;
+        if (const JsonValue* s = trace->find("seed"))
+            seed = s->as_int();
+        if (seed < 0)
+            fail(file, "serving.trace.seed must be >= 0");
+        spec.seed = static_cast<uint64_t>(seed);
+        if (const JsonValue* mi = trace->find("mean_interarrival_us")) {
+            spec.mean_interarrival_us = mi->as_number();
+            if (spec.mean_interarrival_us <= 0)
+                fail(file,
+                     "serving.trace.mean_interarrival_us must be positive");
+        } else if (spec.requests > 0) {
+            fail(file, "serving.trace: missing required key "
+                       "\"mean_interarrival_us\"");
+        }
+    } else if (spec.trace_kind == "file") {
+        for (const char* k : {"seed", "requests", "mean_interarrival_us"})
+            if (trace->find(k))
+                fail(file, std::string("serving.trace: \"") + k +
+                               "\" is for kind \"poisson\"");
+        std::string path = get_string(*trace, "path", "");
+        if (path.empty())
+            fail(file, "serving.trace: missing required key \"path\"");
+        // Relative paths resolve against the scenario file's directory
+        // so suites stay relocatable.
+        if (!path.empty() && path[0] != '/' && !file.empty()) {
+            const size_t slash = file.find_last_of('/');
+            if (slash != std::string::npos)
+                path = file.substr(0, slash + 1) + path;
+        }
+        spec.file_trace =
+            parse_trace_file(path, sc.gpu_config().clock_ghz, file);
+        spec.requests = static_cast<int>(spec.file_trace.size());
+    } else {
+        fail(file, "serving.trace.kind must be \"poisson\" or \"file\"");
+    }
+
+    const JsonValue* batching = obj.find("batching");
+    if (!batching || !batching->is_object())
+        fail(file, "serving: missing required object \"batching\"");
+    check_keys(*batching,
+               {"policy", "batch", "timeout_us", "max_batch",
+                "max_in_flight"},
+               "serving.batching", file);
+    spec.policy = get_string(*batching, "policy", "static");
+    if (spec.policy == "static") {
+        for (const char* k : {"max_batch", "max_in_flight"})
+            if (batching->find(k))
+                fail(file, std::string("serving.batching: \"") + k +
+                               "\" is for policy \"continuous\"");
+        spec.batch = get_int(*batching, "batch", 1, file);
+        if (spec.batch < 1)
+            fail(file, "serving.batching.batch must be >= 1");
+        if (const JsonValue* t = batching->find("timeout_us")) {
+            spec.timeout_us = t->as_number();
+            if (spec.timeout_us < 0)
+                fail(file, "serving.batching.timeout_us must be >= 0");
+        }
+    } else if (spec.policy == "continuous") {
+        for (const char* k : {"batch", "timeout_us"})
+            if (batching->find(k))
+                fail(file, std::string("serving.batching: \"") + k +
+                               "\" is for policy \"static\"");
+        spec.max_batch = get_int(*batching, "max_batch", 8, file);
+        if (spec.max_batch < 1)
+            fail(file, "serving.batching.max_batch must be >= 1");
+        spec.max_in_flight = get_int(*batching, "max_in_flight", 2, file);
+        if (spec.max_in_flight < 1)
+            fail(file, "serving.batching.max_in_flight must be >= 1");
+    } else {
+        fail(file,
+             "serving.batching.policy must be \"static\" or \"continuous\"");
+    }
+    return spec;
+}
+
 }  // namespace
 
 namespace {
@@ -527,6 +849,12 @@ apply_gpu_override(GpuConfig* cfg, const std::string& key, double value)
     f->apply(cfg, value);
 }
 
+uint64_t
+us_to_cycles(double us, double clock_ghz)
+{
+    return static_cast<uint64_t>(std::llround(us * clock_ghz * 1000.0));
+}
+
 GpuConfig
 Scenario::gpu_config() const
 {
@@ -544,7 +872,7 @@ parse_scenario(const JsonValue& doc, const std::string& file)
         fail(file, "scenario document must be a JSON object");
     check_keys(doc,
                {"name", "description", "gpu", "sim", "tensors", "kernels",
-                "verify_tolerance", "expect", "sweep"},
+                "verify_tolerance", "expect", "sweep", "model", "serving"},
                "scenario", file);
 
     Scenario sc;
@@ -632,6 +960,48 @@ parse_scenario(const JsonValue& doc, const std::string& file)
         }
     }
 
+    // Serving form: a standalone scenario type.  The serving engine
+    // lowers and launches model batches itself, so there is no kernel
+    // list to parse — validate the spec, restrict the expectations to
+    // the metrics a serving run produces, and return.
+    if (const JsonValue* serving = doc.find("serving")) {
+        for (const char* k :
+             {"kernels", "tensors", "model", "sweep", "verify_tolerance"})
+            if (doc.find(k))
+                fail(file, std::string("a \"serving\" scenario excludes \"") +
+                               k + "\"");
+        sc.serving = parse_serving_spec(*serving, sc, file);
+        if (const JsonValue* expect = doc.find("expect")) {
+            for (size_t i = 0; i < expect->as_array().size(); ++i) {
+                Expectation e =
+                    parse_expectation(expect->as_array()[i], i, file);
+                if (e.metric.rfind("kernel.", 0) == 0 ||
+                    e.metric.rfind("event.", 0) == 0 ||
+                    e.metric.rfind("verify.", 0) == 0)
+                    fail(file, "metric \"" + e.metric +
+                                   "\": serving scenarios expose total.*, "
+                                   "mem.* and serve.* metrics");
+                sc.expect.push_back(std::move(e));
+            }
+        }
+        return sc;
+    }
+
+    // Model form: lower the layer graph into tensors+kernels here,
+    // then fall through to the declarative (task-graph) path exactly
+    // as if the scenario had spelled them out.
+    const JsonValue* model_obj = doc.find("model");
+    if (model_obj) {
+        for (const char* k : {"kernels", "tensors"})
+            if (doc.find(k))
+                fail(file,
+                     std::string("\"model\" replaces \"") + k + "\"");
+        int batch = 1;
+        model::ModelGraph g =
+            parse_model_graph(*model_obj, "model", sc.name, &batch, file);
+        lower_model_into(&sc, g, batch, file);
+    }
+
     // Tensor arena (declarative form).  Parsed before the kernels so
     // read/write sets resolve against it.
     if (const JsonValue* tensors = doc.find("tensors")) {
@@ -684,44 +1054,54 @@ parse_scenario(const JsonValue& doc, const std::string& file)
     }
 
     const JsonValue* kernels = doc.find("kernels");
-    if (!kernels || kernels->as_array().empty())
-        fail(file, "scenario needs a non-empty \"kernels\" array");
+    if (!model_obj && (!kernels || kernels->as_array().empty()))
+        fail(file,
+             "scenario needs a non-empty \"kernels\" array (or a \"model\")");
 
-    // Declarative form: a tensor arena, or any kernel declaring its
-    // read/write sets.  Decided before parsing the kernels — it flips
-    // which per-kernel keys are legal.
-    sc.declarative = doc.find("tensors") != nullptr;
-    for (const JsonValue& k : kernels->as_array())
-        if (k.is_object() && (k.find("reads") || k.find("writes")))
-            sc.declarative = true;
+    // Declarative form: a lowered model, a tensor arena, or any kernel
+    // declaring its read/write sets.  Decided before parsing the
+    // kernels — it flips which per-kernel keys are legal.
+    sc.declarative |= doc.find("tensors") != nullptr;
+    if (kernels)
+        for (const JsonValue& k : kernels->as_array())
+            if (k.is_object() && (k.find("reads") || k.find("writes")))
+                sc.declarative = true;
 
     std::set<std::string> names;
     std::set<std::string> functional_names;
     std::set<std::string> recorded_events;
     bool any_functional = false;
-    bool legacy_plumbing = false;
+    int legacy_plumbing = 0;
     const Arch arch = sc.gpu_preset == "rtx2080" ? Arch::kTuring : Arch::kVolta;
-    for (size_t i = 0; i < kernels->as_array().size(); ++i) {
-        KernelSpec spec =
-            parse_kernel(kernels->as_array()[i], i, file, sc.declarative);
-        legacy_plumbing |= !spec.record_event.empty() ||
-                           !spec.wait_events.empty() || spec.sync;
-        if ((spec.mode == TcMode::kInt8 || spec.mode == TcMode::kInt4) &&
-            arch != Arch::kTuring)
-            fail(file, "kernels[" + std::to_string(i) +
-                           "]: int8/int4 modes need the rtx2080 preset");
-        if (spec.mode == TcMode::kInt4)
-            fail(file, "kernels[" + std::to_string(i) +
-                           "]: int4 needs the 8x8x32 tile, which no "
-                           "registered kernel family emits yet");
-        if (!names.insert(spec.name).second)
-            fail(file, "duplicate kernel name \"" + spec.name + "\"");
-        any_functional |= spec.functional;
-        if (spec.functional)
-            functional_names.insert(spec.name);
-        if (!spec.record_event.empty())
-            recorded_events.insert(spec.record_event);
-        sc.kernels.push_back(std::move(spec));
+    if (kernels) {
+        for (size_t i = 0; i < kernels->as_array().size(); ++i) {
+            KernelSpec spec =
+                parse_kernel(kernels->as_array()[i], i, file, sc.declarative);
+            legacy_plumbing += (!spec.record_event.empty() ||
+                                !spec.wait_events.empty() || spec.sync)
+                                   ? 1
+                                   : 0;
+            if ((spec.mode == TcMode::kInt8 || spec.mode == TcMode::kInt4) &&
+                arch != Arch::kTuring)
+                fail(file, "kernels[" + std::to_string(i) +
+                               "]: int8/int4 modes need the rtx2080 preset");
+            if (spec.mode == TcMode::kInt4)
+                fail(file, "kernels[" + std::to_string(i) +
+                               "]: int4 needs the 8x8x32 tile, which no "
+                               "registered kernel family emits yet");
+            if (!names.insert(spec.name).second)
+                fail(file, "duplicate kernel name \"" + spec.name + "\"");
+            any_functional |= spec.functional;
+            if (spec.functional)
+                functional_names.insert(spec.name);
+            if (!spec.record_event.empty())
+                recorded_events.insert(spec.record_event);
+            sc.kernels.push_back(std::move(spec));
+        }
+    } else {
+        // Model form: sc.kernels was filled by lower_model_into.
+        for (const KernelSpec& k : sc.kernels)
+            names.insert(k.name);
     }
     if (sc.declarative) {
         // Compile read/write sets into streams and events; the plan
@@ -732,12 +1112,15 @@ parse_scenario(const JsonValue& doc, const std::string& file)
         for (const KernelSpec& k : sc.kernels)
             if (!k.record_event.empty())
                 recorded_events.insert(k.record_event);
-    } else if (legacy_plumbing) {
-        warn("%s: scenario \"%s\" hand-writes record_event/wait_event/"
-             "sync plumbing (deprecated): declare \"tensors\" plus "
-             "per-kernel \"reads\"/\"writes\" and the task-graph "
-             "compiler derives streams and events",
-             file.empty() ? "scenario" : file.c_str(), sc.name.c_str());
+    } else if (legacy_plumbing > 0) {
+        // One aggregated warning per scenario (not per kernel): batch
+        // runs over the legacy suite stay readable.
+        warn("%s: scenario \"%s\": %d of %zu kernel(s) hand-write "
+             "record_event/wait_event/sync plumbing (deprecated): "
+             "declare \"tensors\" plus per-kernel \"reads\"/\"writes\" "
+             "and the task-graph compiler derives streams and events",
+             file.empty() ? "scenario" : file.c_str(), sc.name.c_str(),
+             legacy_plumbing, sc.kernels.size());
     }
 
     // Dependency sanity: a wait on an event no kernel records can

@@ -59,7 +59,29 @@
  *       "points": [                         // >= 1 sweep points
  *         {"name": "gemm64",                // required, unique
  *          "kernels": [...],                // appended after the prefix
- *          "expect": [...]}]}               // point-specific assertions
+ *          "expect": [...]}]},              // point-specific assertions
+ *     "model": {                            // model form: a layer graph
+ *       "batch": 4,                         //   lowered (src/model) to
+ *       "tokens_per_request": 64,           //   tensors+kernels and fed
+ *       "input_features": 256,              //   through the task-graph
+ *       "precision": "mixed" | "fp16",      //   compiler; replaces
+ *       "layers": [                         //   "kernels"/"tensors"
+ *         {"type": "linear", "name": "fc1",
+ *          "in_features": 256, "out_features": 256},
+ *         {"type": "elementwise"},          // shape from activation
+ *         {"type": "attention", "embed_dim": 256, "heads": 4},
+ *         {"type": "conv2d", "in_channels": 3, "out_channels": 64,
+ *          "kernel": 3, "stride": 1, "height": 32, "width": 32}]},
+ *     "serving": {                          // serving-simulator form
+ *       "model": { ...model object, no "batch"... },
+ *       "trace": {"kind": "poisson", "seed": 42, "requests": 40,
+ *                 "mean_interarrival_us": 2.0}
+ *              | {"kind": "file",           // JSONL, one arrival per
+ *                 "path": "traces/a.jsonl"},//   line (see --trace-out)
+ *       "batching": {"policy": "static", "batch": 4,
+ *                    "timeout_us": 10.0}
+ *                 | {"policy": "continuous", "max_batch": 8,
+ *                    "max_in_flight": 2}}
  *   }
  *
  * A sweep scenario runs its top-level "kernels" as a *shared prefix*:
@@ -85,8 +107,13 @@
  * mshr_merges,mshr_peak,noc_queue_cycles,l2_queue_cycles,
  * dram_queue_cycles,dram_turnarounds} (run-wide memory-hierarchy
  * counters from the transaction path),
- * event.<name>.cycle (completion stamp of a recorded event), and
- * verify.max_rel_err (functional kernels only).
+ * event.<name>.cycle (completion stamp of a recorded event),
+ * verify.max_rel_err (functional kernels only), and — serving
+ * scenarios only — serve.{requests,completed,batches,mean_batch_size,
+ * latency_p50,latency_p95,latency_p99,latency_mean,latency_max,
+ * queue_wait_p50,queue_wait_p99,queue_wait_max,queue_wait_mean,
+ * queue_depth_peak,queue_depth_mean,busy_frac,makespan_cycles}
+ * (latencies and waits in cycles; see src/serve/latency_stats.h).
  *
  * The "gpu" object also accepts the memory-hierarchy knobs
  * l1_mshr_entries, l2_banks, l2_bank_bytes_per_cycle,
@@ -112,6 +139,8 @@
 #include "arch/gpu_config.h"
 #include "driver/json.h"
 #include "driver/taskgraph.h"
+#include "model/model_graph.h"
+#include "serve/request_trace.h"
 #include "sim/engine.h"
 #include "tensor/types.h"
 
@@ -191,6 +220,31 @@ struct SweepSpec
     std::vector<SweepPoint> points;
 };
 
+/** The "serving" scenario form: a request trace served against a
+ *  declarative model under a batching policy (src/serve).  Wall-clock
+ *  times are kept in microseconds here and converted to cycles with
+ *  the resolved GpuConfig::clock_ghz at run time. */
+struct ServingSpec
+{
+    bool enabled = false;
+    model::ModelGraph model;
+
+    // Trace source.
+    std::string trace_kind = "poisson";  ///< "poisson" | "file".
+    uint64_t seed = 1;
+    int requests = 0;
+    double mean_interarrival_us = 0;
+    /** Materialized arrivals for "file" traces. */
+    std::vector<serve::Request> file_trace;
+
+    // Batching policy.
+    std::string policy = "static";  ///< "static" | "continuous".
+    int batch = 1;                  ///< static: target batch size.
+    double timeout_us = 0;          ///< static: partial-batch flush.
+    int max_batch = 8;              ///< continuous: join cap.
+    int max_in_flight = 2;          ///< continuous: concurrent batches.
+};
+
 /** A parsed scenario. */
 struct Scenario
 {
@@ -219,6 +273,11 @@ struct Scenario
     SweepSpec sweep;
     bool is_sweep() const { return !sweep.points.empty(); }
 
+    /** Serving form ("serving" key): no kernel list, the serving
+     *  engine lowers and launches model batches itself. */
+    ServingSpec serving;
+    bool is_serving() const { return serving.enabled; }
+
     /** Preset with overrides applied. */
     GpuConfig gpu_config() const;
 };
@@ -229,6 +288,11 @@ const std::vector<std::string>& gpu_override_keys();
 /** Apply one override to @p cfg; throws ScenarioError when unknown. */
 void apply_gpu_override(GpuConfig* cfg, const std::string& key,
                         double value);
+
+/** Microseconds -> simulated cycles at @p clock_ghz, rounded to
+ *  nearest.  The one conversion used for traces, timeouts and serving
+ *  reports, so scenarios written in wall-clock terms stay consistent. */
+uint64_t us_to_cycles(double us, double clock_ghz);
 
 /** Parse a scenario document; @p file is used in error messages. */
 Scenario parse_scenario(const JsonValue& doc, const std::string& file = "");

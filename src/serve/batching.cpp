@@ -1,0 +1,47 @@
+#include "serve/batching.h"
+
+#include <algorithm>
+
+namespace tcsim::serve {
+
+int
+StaticBatcher::admit(uint64_t now, const BatchingState& s) const
+{
+    if (s.in_flight > 0 || s.queued == 0)
+        return 0;
+    if (s.queued >= batch_)
+        return batch_;
+    // Timeout flush: the oldest request has waited long enough —
+    // launch the partial batch rather than hold it hostage.
+    if (now >= s.oldest_arrival + timeout_)
+        return s.queued;
+    return 0;
+}
+
+uint64_t
+StaticBatcher::next_deadline(const BatchingState& s) const
+{
+    if (s.in_flight > 0 || s.queued == 0)
+        return UINT64_MAX;
+    return s.oldest_arrival + timeout_;
+}
+
+int
+ContinuousBatcher::admit(uint64_t now, const BatchingState& s) const
+{
+    (void)now;
+    if (s.in_flight >= max_in_flight_)
+        return 0;
+    return std::min(s.queued, max_batch_);
+}
+
+uint64_t
+ContinuousBatcher::next_deadline(const BatchingState& s) const
+{
+    // Purely reactive: arrivals, layer boundaries and completions are
+    // the only stimuli.
+    (void)s;
+    return UINT64_MAX;
+}
+
+}  // namespace tcsim::serve

@@ -1,0 +1,72 @@
+#include "serve/latency_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcsim::serve {
+
+uint64_t
+percentile_nearest_rank(std::vector<uint64_t> values, double pct)
+{
+    if (values.empty())
+        return 0;
+    std::sort(values.begin(), values.end());
+    const auto n = static_cast<double>(values.size());
+    auto rank = static_cast<size_t>(std::ceil(pct / 100.0 * n));
+    rank = std::min(std::max<size_t>(rank, 1), values.size());
+    return values[rank - 1];
+}
+
+LatencySummary
+summarize_latency(const std::vector<RequestRecord>& requests,
+                  const std::vector<QueueSample>& queue,
+                  uint64_t makespan_cycles)
+{
+    LatencySummary s;
+    std::vector<uint64_t> latency, wait;
+    latency.reserve(requests.size());
+    wait.reserve(requests.size());
+    double lat_sum = 0, wait_sum = 0;
+    for (const RequestRecord& r : requests) {
+        const uint64_t l = r.finish_cycle - r.arrival_cycle;
+        const uint64_t w = r.admit_cycle - r.arrival_cycle;
+        latency.push_back(l);
+        wait.push_back(w);
+        lat_sum += static_cast<double>(l);
+        wait_sum += static_cast<double>(w);
+        s.latency_max = std::max(s.latency_max, l);
+        s.queue_wait_max = std::max(s.queue_wait_max, w);
+    }
+    if (!requests.empty()) {
+        const auto n = static_cast<double>(requests.size());
+        s.latency_mean = lat_sum / n;
+        s.queue_wait_mean = wait_sum / n;
+    }
+    s.latency_p50 = percentile_nearest_rank(latency, 50.0);
+    s.latency_p95 = percentile_nearest_rank(latency, 95.0);
+    s.latency_p99 = percentile_nearest_rank(latency, 99.0);
+    s.queue_wait_p50 = percentile_nearest_rank(wait, 50.0);
+    s.queue_wait_p99 = percentile_nearest_rank(wait, 99.0);
+
+    // Queue-depth timeline: samples are depth-after-change points in
+    // non-decreasing cycle order; integrate depth over [0, makespan].
+    double area = 0;
+    int depth = 0;
+    uint64_t prev = 0;
+    for (const QueueSample& q : queue) {
+        s.queue_depth_peak = std::max(s.queue_depth_peak, q.depth);
+        const uint64_t at = std::min(q.cycle, makespan_cycles);
+        area += static_cast<double>(depth) *
+                static_cast<double>(at - std::min(prev, at));
+        prev = at;
+        depth = q.depth;
+    }
+    if (makespan_cycles > prev)
+        area += static_cast<double>(depth) *
+                static_cast<double>(makespan_cycles - prev);
+    if (makespan_cycles > 0)
+        s.queue_depth_mean = area / static_cast<double>(makespan_cycles);
+    return s;
+}
+
+}  // namespace tcsim::serve

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Latency and queueing statistics for the serving simulator.
+ *
+ * All percentiles use the nearest-rank definition (the smallest value
+ * with at least p% of the sample at or below it): integer-exact on
+ * cycle counts, no interpolation, so committed assertion bands and
+ * bench baselines gate exactly.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tcsim::serve {
+
+/** Lifecycle of one request through the serving loop. */
+struct RequestRecord
+{
+    int id = 0;
+    uint64_t arrival_cycle = 0;
+    uint64_t admit_cycle = 0;   ///< Cycle its batch launched.
+    uint64_t finish_cycle = 0;  ///< Cycle its batch's last kernel retired.
+    int batch = -1;             ///< Batch (wavefront) id it rode in.
+};
+
+/** One admitted batch. */
+struct BatchRecord
+{
+    int id = 0;
+    uint64_t admit_cycle = 0;
+    uint64_t finish_cycle = 0;
+    int size = 0;
+};
+
+/** Queue depth after a change at `cycle` (arrival or admission). */
+struct QueueSample
+{
+    uint64_t cycle = 0;
+    int depth = 0;
+};
+
+/** Concurrently running kernels after a change at `cycle`. */
+struct OccupancySample
+{
+    uint64_t cycle = 0;
+    int running = 0;
+};
+
+/**
+ * Nearest-rank percentile of @p values (any order); 0 when empty.
+ * @p pct is in percent, e.g. 99.0.
+ */
+uint64_t percentile_nearest_rank(std::vector<uint64_t> values, double pct);
+
+/** Aggregate latency/queueing metrics of one serving run. */
+struct LatencySummary
+{
+    // End-to-end latency (finish - arrival) in cycles.
+    uint64_t latency_p50 = 0;
+    uint64_t latency_p95 = 0;
+    uint64_t latency_p99 = 0;
+    uint64_t latency_max = 0;
+    double latency_mean = 0;
+    // Time in queue (admit - arrival) in cycles.
+    uint64_t queue_wait_p50 = 0;
+    uint64_t queue_wait_p99 = 0;
+    uint64_t queue_wait_max = 0;
+    double queue_wait_mean = 0;
+    // Queue-depth timeline aggregates.
+    int queue_depth_peak = 0;
+    /** Time-weighted mean depth over [0, makespan]. */
+    double queue_depth_mean = 0;
+};
+
+/** Summarize completed requests + the queue-depth timeline. */
+LatencySummary summarize_latency(const std::vector<RequestRecord>& requests,
+                                 const std::vector<QueueSample>& queue,
+                                 uint64_t makespan_cycles);
+
+}  // namespace tcsim::serve

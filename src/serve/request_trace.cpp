@@ -1,0 +1,31 @@
+#include "serve/request_trace.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace tcsim::serve {
+
+std::vector<Request>
+poisson_trace(uint64_t seed, int requests, double mean_interarrival_cycles)
+{
+    TCSIM_CHECK(requests >= 0);
+    TCSIM_CHECK(mean_interarrival_cycles >= 0.0);
+    std::vector<Request> trace;
+    trace.reserve(static_cast<size_t>(requests));
+    // Dedicated RNG stream 0 of the seed: more draws (or other
+    // consumers on other streams) never perturb an existing trace.
+    Pcg32 rng(seed, /*stream=*/0);
+    double t = 0.0;
+    for (int i = 0; i < requests; ++i) {
+        t += rng.exponential(mean_interarrival_cycles);
+        Request r;
+        r.id = i;
+        r.arrival_cycle = static_cast<uint64_t>(std::llround(t));
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+}  // namespace tcsim::serve

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Request arrival traces for the serving simulator.
+ *
+ * A trace is just a sorted list of (id, arrival_cycle) pairs in the
+ * simulated-cycle timebase.  Two sources exist:
+ *
+ *  - poisson_trace(): seeded Poisson process (exponential
+ *    inter-arrival times via src/common/rng.h's Pcg32), bit-identical
+ *    for a given (seed, requests, mean) triple on every platform and
+ *    thread count;
+ *  - file-driven JSONL arrivals, parsed by the scenario driver (one
+ *    object per line with "arrival_cycle" or "arrival_us") — the
+ *    format `simrunner --trace-out` emits, so a recorded trace can be
+ *    replayed.
+ *
+ * Wall-clock arrival timestamps are mapped onto cycles by the caller
+ * (cycles = microseconds * clock_ghz * 1000), which makes the trace
+ * independent of the simulated GPU's clock once materialized.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tcsim::serve {
+
+/** One inference request. */
+struct Request
+{
+    int id = 0;
+    uint64_t arrival_cycle = 0;
+};
+
+/**
+ * Generate @p requests Poisson arrivals with the given mean
+ * inter-arrival gap in cycles.  Deterministic in @p seed; arrivals
+ * are non-decreasing and ids are 0..requests-1 in arrival order.
+ */
+std::vector<Request> poisson_trace(uint64_t seed, int requests,
+                                   double mean_interarrival_cycles);
+
+}  // namespace tcsim::serve

@@ -1,0 +1,350 @@
+#include "serve/serving_engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+#include "kernels/kernel_registry.h"
+#include "sim/gpu.h"
+#include "sim/graph/task_graph.h"
+
+namespace tcsim::serve {
+
+namespace {
+
+class ServingLoop
+{
+  public:
+    ServingLoop(const GpuConfig& cfg, const SimOptions& sim,
+                const model::ModelGraph& graph,
+                const std::vector<Request>& trace,
+                const BatchingPolicy& policy)
+        : cfg_(cfg), sim_(sim), graph_(graph), trace_(trace),
+          policy_(policy), gpu_(cfg, sim)
+    {
+    }
+
+    ServingResult run();
+
+  private:
+    BatchingState state() const;
+    void ingest_arrivals(uint64_t now);
+    void try_admit(uint64_t now);
+    void launch_wavefront(std::vector<int> reqs, uint64_t now);
+    KernelDesc make_desc(const model::LoweredKernel& lk);
+    void on_wavefront_done(int wid, uint64_t cycle);
+    void finalize(ServingResult* out);
+
+    const GpuConfig& cfg_;
+    const SimOptions& sim_;
+    const model::ModelGraph& graph_;
+    const std::vector<Request>& trace_;
+    const BatchingPolicy& policy_;
+    Gpu gpu_;
+
+    Event* shutdown_ = nullptr;
+    size_t next_arrival_ = 0;
+    std::deque<int> queue_;  ///< Request indices, FIFO.
+    int in_flight_ = 0;
+    int completed_ = 0;
+    int next_wavefront_ = 0;
+    std::vector<RequestRecord> records_;
+    std::vector<BatchRecord> batches_;
+    std::vector<QueueSample> queue_timeline_;
+    /** Request indices of each in-flight wavefront. */
+    std::map<int, std::vector<int>> wavefront_reqs_;
+    double total_flops_ = 0;
+};
+
+BatchingState
+ServingLoop::state() const
+{
+    BatchingState s;
+    s.queued = static_cast<int>(queue_.size());
+    s.oldest_arrival =
+        queue_.empty()
+            ? 0
+            : records_[static_cast<size_t>(queue_.front())].arrival_cycle;
+    s.in_flight = in_flight_;
+    return s;
+}
+
+void
+ServingLoop::ingest_arrivals(uint64_t now)
+{
+    while (next_arrival_ < trace_.size() &&
+           trace_[next_arrival_].arrival_cycle <= now) {
+        queue_.push_back(static_cast<int>(next_arrival_));
+        queue_timeline_.push_back({trace_[next_arrival_].arrival_cycle,
+                                   static_cast<int>(queue_.size())});
+        ++next_arrival_;
+    }
+}
+
+KernelDesc
+ServingLoop::make_desc(const model::LoweredKernel& lk)
+{
+    const KernelFamilyInfo* info = find_kernel_family(lk.family);
+    TCSIM_CHECK(info != nullptr && info->is_gemm);
+    // Timing-only launches: bare allocations give each kernel valid,
+    // distinct address ranges (the driver's alloc_only pattern).
+    const uint64_t ab = static_cast<uint64_t>(info->ab_elem_bytes);
+    uint64_t cd = static_cast<uint64_t>(info->cd_elem_bytes);
+    if (info->supports_functional && lk.mode == TcMode::kFp16)
+        cd = 2;
+    GlobalMemory& mem = gpu_.mem();
+    GemmBuffers buf;
+    buf.a = mem.alloc(static_cast<uint64_t>(lk.m) * lk.k * ab);
+    buf.b = mem.alloc(static_cast<uint64_t>(lk.k) * lk.n * ab);
+    buf.c = mem.alloc(static_cast<uint64_t>(lk.m) * lk.n * cd);
+    buf.d = mem.alloc(static_cast<uint64_t>(lk.m) * lk.n * cd);
+    GemmKernelConfig kc;
+    kc.arch = cfg_.arch;
+    kc.mode = lk.mode;
+    kc.m = lk.m;
+    kc.n = lk.n;
+    kc.k = lk.k;
+    kc.functional = false;
+    KernelDesc desc = build_gemm_kernel(info->family, kc, buf,
+                                        /*warps_per_cta=*/8);
+    desc.name = lk.name;
+    return desc;
+}
+
+void
+ServingLoop::launch_wavefront(std::vector<int> reqs, uint64_t now)
+{
+    const int wid = next_wavefront_++;
+    const std::string prefix = "b" + std::to_string(wid) + ".";
+    model::LoweredModel lowered =
+        model::lower_model(graph_, static_cast<int>(reqs.size()), prefix);
+    total_flops_ += lowered.total_flops;
+
+    TaskGraph g;
+    std::map<std::string, int> tensor_ids;
+    for (const model::LoweredTensor& t : lowered.tensors)
+        tensor_ids[t.name] = g.declare_tensor(t.name, t.bytes);
+    for (const model::LoweredKernel& lk : lowered.kernels) {
+        const int t = g.add_task(lk.name);
+        for (const std::string& r : lk.reads)
+            g.task_reads(t, tensor_ids.at(r));
+        for (const std::string& w : lk.writes)
+            g.task_writes(t, tensor_ids.at(w));
+    }
+    TaskGraph::Compiled plan = g.compile();
+
+    std::vector<Stream*> streams;
+    streams.reserve(static_cast<size_t>(plan.num_streams));
+    for (int s = 0; s < plan.num_streams; ++s)
+        streams.push_back(&gpu_.create_stream());
+
+    std::vector<bool> layer_last(lowered.kernels.size(), false);
+    for (int idx : lowered.last_kernel_of_layer)
+        layer_last[static_cast<size_t>(idx)] = true;
+    const int final_idx = lowered.last_kernel_of_layer.back();
+
+    // The launch_graph enqueue pattern, plus decision-point callbacks:
+    // after each layer's last kernel the continuous batcher may join
+    // new work, and after the final kernel the wavefront completes.
+    std::map<std::string, Event*> events;
+    for (size_t t = 0; t < lowered.kernels.size(); ++t) {
+        Stream& s = *streams[static_cast<size_t>(plan.stream_of[t] - 1)];
+        for (const std::string& w : plan.wait_events[t])
+            s.wait(*events.at(w));
+        s.enqueue(make_desc(lowered.kernels[t]));
+        if (!plan.record_event[t].empty()) {
+            Event& ev = gpu_.create_event(prefix + plan.record_event[t]);
+            events[plan.record_event[t]] = &ev;
+            s.record(ev);
+        }
+        if (static_cast<int>(t) == final_idx)
+            s.add_callback([this, wid](uint64_t cycle) {
+                on_wavefront_done(wid, cycle);
+            });
+        else if (layer_last[t])
+            s.add_callback([this](uint64_t cycle) { try_admit(cycle); });
+    }
+
+    for (int ridx : reqs) {
+        RequestRecord& r = records_[static_cast<size_t>(ridx)];
+        r.admit_cycle = now;
+        r.batch = wid;
+    }
+    BatchRecord b;
+    b.id = wid;
+    b.admit_cycle = now;
+    b.size = static_cast<int>(reqs.size());
+    batches_.push_back(b);
+    wavefront_reqs_[wid] = std::move(reqs);
+    ++in_flight_;
+}
+
+void
+ServingLoop::try_admit(uint64_t now)
+{
+    // A callback may fire past pending arrivals (the engine jumps the
+    // clock event-to-event): fold everything due in before deciding,
+    // so joins see the true queue and the timeline stays ordered.
+    ingest_arrivals(now);
+    for (;;) {
+        const int n = policy_.admit(now, state());
+        if (n <= 0)
+            break;
+        TCSIM_CHECK(n <= static_cast<int>(queue_.size()));
+        std::vector<int> reqs;
+        reqs.reserve(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            reqs.push_back(queue_.front());
+            queue_.pop_front();
+        }
+        queue_timeline_.push_back({now, static_cast<int>(queue_.size())});
+        launch_wavefront(std::move(reqs), now);
+    }
+}
+
+void
+ServingLoop::on_wavefront_done(int wid, uint64_t cycle)
+{
+    auto it = wavefront_reqs_.find(wid);
+    TCSIM_CHECK(it != wavefront_reqs_.end());
+    for (int ridx : it->second) {
+        records_[static_cast<size_t>(ridx)].finish_cycle = cycle;
+        ++completed_;
+    }
+    for (BatchRecord& b : batches_)
+        if (b.id == wid)
+            b.finish_cycle = cycle;
+    wavefront_reqs_.erase(it);
+    --in_flight_;
+    // A completed batch frees capacity: the policy may admit again.
+    try_admit(cycle);
+}
+
+void
+ServingLoop::finalize(ServingResult* out)
+{
+    ServingReport& rep = out->report;
+    rep.policy = policy_.name();
+    rep.requests = static_cast<int>(trace_.size());
+    rep.completed = completed_;
+    rep.batches = static_cast<int>(batches_.size());
+    if (!batches_.empty())
+        rep.mean_batch_size = static_cast<double>(completed_) /
+                              static_cast<double>(batches_.size());
+    rep.makespan_cycles = out->totals.cycles;
+    rep.total_flops = total_flops_;
+    rep.request_records = std::move(records_);
+    rep.batch_records = std::move(batches_);
+    rep.queue_timeline = std::move(queue_timeline_);
+    rep.latency = summarize_latency(rep.request_records, rep.queue_timeline,
+                                    rep.makespan_cycles);
+
+    // SM-occupancy over time: concurrently resident launches, rebuilt
+    // from the per-kernel cycle windows (+1 at start, -1 past finish).
+    std::vector<std::pair<uint64_t, int>> deltas;
+    deltas.reserve(out->totals.kernels.size() * 2);
+    for (const LaunchStats& k : out->totals.kernels) {
+        deltas.emplace_back(k.start_cycle, 1);
+        deltas.emplace_back(k.finish_cycle + 1, -1);
+    }
+    std::sort(deltas.begin(), deltas.end());
+    int running = 0;
+    uint64_t busy_from = 0;
+    for (size_t i = 0; i < deltas.size();) {
+        const uint64_t cycle = deltas[i].first;
+        const int before = running;
+        while (i < deltas.size() && deltas[i].first == cycle)
+            running += deltas[i++].second;
+        if (before == 0 && running > 0)
+            busy_from = cycle;
+        else if (before > 0 && running == 0)
+            rep.busy_cycles += cycle - busy_from;
+        rep.occupancy.push_back({cycle, running});
+    }
+    if (rep.makespan_cycles > 0)
+        rep.busy_frac = static_cast<double>(rep.busy_cycles) /
+                        static_cast<double>(rep.makespan_cycles);
+}
+
+ServingResult
+ServingLoop::run()
+{
+    const size_t total = trace_.size();
+    records_.resize(total);
+    for (size_t i = 0; i < total; ++i) {
+        TCSIM_CHECK(i == 0 || trace_[i].arrival_cycle >=
+                                  trace_[i - 1].arrival_cycle);
+        records_[i].id = trace_[i].id;
+        records_[i].arrival_cycle = trace_[i].arrival_cycle;
+    }
+
+    // Keepalive: a stream blocked on a never-recorded event keeps the
+    // resumable run open (monotonic clock, persistent memory timing)
+    // across idle gaps between batches.
+    shutdown_ = &gpu_.create_event("serve.shutdown");
+    gpu_.create_stream().wait(*shutdown_);
+    gpu_.run_until(0);
+
+    while (completed_ < static_cast<int>(total)) {
+        const uint64_t now = gpu_.current_cycle();
+        ingest_arrivals(now);
+        try_admit(now);
+
+        uint64_t next = next_arrival_ < trace_.size()
+                            ? trace_[next_arrival_].arrival_cycle
+                            : UINT64_MAX;
+        if (!queue_.empty())
+            next = std::min(next, policy_.next_deadline(state()));
+        // A stimulus past the simulation horizon is no stimulus.
+        if (next == UINT64_MAX || next > sim_.max_cycles) {
+            if (in_flight_ == 0) {
+                if (completed_ == static_cast<int>(total))
+                    break;
+                // No reachable arrival or deadline, nothing running,
+                // yet requests remain: they will never be admitted.
+                throw ServingError(detail::format(
+                    "serving loop wedged at cycle %llu: %zu request(s) "
+                    "queued, policy \"%s\" admits nothing and its next "
+                    "deadline is unreachable",
+                    static_cast<unsigned long long>(now), queue_.size(),
+                    policy_.name()));
+            }
+            // All remaining progress is on-chip; completion callbacks
+            // will fire (and may admit) inside this advance.
+            gpu_.run_until(sim_.max_cycles);
+            continue;
+        }
+        if (next <= now) {
+            // The policy reported a due deadline but admitted nothing
+            // this round; re-decide strictly later to guarantee
+            // progress.
+            next = now + 1;
+        }
+        gpu_.run_until(next - 1);
+        if (gpu_.current_cycle() < next)
+            gpu_.advance_idle_to(next);
+    }
+
+    // Shutdown: release the keepalive and drain the run to get the
+    // complete statistics (makespan, per-kernel windows).
+    gpu_.default_stream().record(*shutdown_);
+    ServingResult out;
+    out.totals = gpu_.run();
+    finalize(&out);
+    return out;
+}
+
+}  // namespace
+
+ServingResult
+run_serving(const GpuConfig& cfg, const SimOptions& sim,
+            const model::ModelGraph& graph,
+            const std::vector<Request>& trace,
+            const BatchingPolicy& policy)
+{
+    return ServingLoop(cfg, sim, graph, trace, policy).run();
+}
+
+}  // namespace tcsim::serve

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The inference-serving simulator: maps a request arrival trace onto
+ * the resumable execution engine and measures request latency under a
+ * batching policy.
+ *
+ * Mechanism.  One Gpu hosts the whole serving run.  A keepalive
+ * stream waits on a never-recorded "shutdown" event, which keeps the
+ * resumable run open (and the clock monotonic) across idle gaps
+ * between batches.  The loop interleaves three stimuli, all expressed
+ * in simulated cycles:
+ *
+ *  - request arrivals (from the trace);
+ *  - batching-policy deadlines (timeout flushes);
+ *  - in-flight batch progress: stream callbacks planted after each
+ *    layer's last kernel (the continuous batcher's join points) and
+ *    after the final kernel (request completion).
+ *
+ * Between stimuli the engine either simulates forward (run_until) or,
+ * when the chip is fully idle, fast-forwards with
+ * Gpu::advance_idle_to — so a sparse trace costs simulation time
+ * proportional to work, not to wall-clock span.
+ *
+ * Each admitted batch ("wavefront") is lowered from the declarative
+ * ModelGraph with a per-wavefront name prefix, compiled through the
+ * task-graph compiler, and enqueued on fresh streams — so intra-batch
+ * dependencies are derived from tensor hazards and different
+ * wavefronts are automatically independent, overlapping on the GPU
+ * exactly as far as SM capacity allows.
+ *
+ * Every decision is a function of simulated cycles and queue state,
+ * and callbacks fire on the engine thread in canonical order, so
+ * serving results are bit-identical across `--jobs`/`--sim-threads`.
+ */
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_config.h"
+#include "model/model_graph.h"
+#include "serve/batching.h"
+#include "serve/latency_stats.h"
+#include "serve/request_trace.h"
+#include "sim/engine.h"
+
+namespace tcsim::serve {
+
+/** The serving loop wedged itself (requests that can never finish). */
+class ServingError : public std::runtime_error
+{
+  public:
+    explicit ServingError(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Everything the driver reports about one serving run. */
+struct ServingReport
+{
+    std::string policy;
+    int requests = 0;
+    int completed = 0;
+    int batches = 0;
+    double mean_batch_size = 0;
+    LatencySummary latency;
+    /** Cycle the last kernel retired, plus one (0 for empty traces). */
+    uint64_t makespan_cycles = 0;
+    /** Cycles with >= 1 kernel resident, and that as a fraction of
+     *  the makespan (SM-occupancy over time is in `occupancy`). */
+    uint64_t busy_cycles = 0;
+    double busy_frac = 0;
+    double total_flops = 0;
+    // Timelines, all in canonical (deterministic) order.
+    std::vector<RequestRecord> request_records;
+    std::vector<BatchRecord> batch_records;
+    std::vector<QueueSample> queue_timeline;
+    std::vector<OccupancySample> occupancy;
+};
+
+/** Report plus the raw engine statistics of the underlying run. */
+struct ServingResult
+{
+    ServingReport report;
+    EngineStats totals;
+};
+
+/**
+ * Simulate serving @p trace against @p graph under @p policy on a GPU
+ * of @p cfg.  Throws ModelError/ServingError on invalid input or a
+ * wedged loop, std::runtime_error when sim.max_cycles is exceeded.
+ */
+ServingResult run_serving(const GpuConfig& cfg, const SimOptions& sim,
+                          const model::ModelGraph& graph,
+                          const std::vector<Request>& trace,
+                          const BatchingPolicy& policy);
+
+}  // namespace tcsim::serve

@@ -630,6 +630,43 @@ ExecutionEngine::run_until(const std::vector<Stream*>& streams,
                    /*pause_on_block=*/true);
 }
 
+void
+ExecutionEngine::advance_idle_to(uint64_t cycle)
+{
+    if (!run_)
+        throw std::runtime_error(
+            "advance_idle_to: no active run (begin one with run_until())");
+    RunState& rs = *run_;
+    if (!rs.resident.empty())
+        throw std::runtime_error(detail::format(
+            "advance_idle_to: chip is not idle at cycle %llu (%zu "
+            "kernel(s) resident)",
+            static_cast<unsigned long long>(rs.now), rs.resident.size()));
+    for (const StreamRun& sr : rs.stream_runs) {
+        if (sr.stream->ops_.empty())
+            continue;
+        const Stream::Op& front = sr.stream->ops_.front();
+        // Only waits on not-yet-complete events may remain: anything
+        // else is runnable work the jump would incorrectly delay.
+        if (front.kind != Stream::OpKind::kWaitEvent ||
+            front.wait->complete())
+            throw std::runtime_error(detail::format(
+                "advance_idle_to: stream %d has runnable work queued at "
+                "cycle %llu; run it (run_until) before jumping the clock",
+                sr.stream->id(),
+                static_cast<unsigned long long>(rs.now)));
+    }
+    if (cycle <= rs.now)
+        return;
+    if (cycle > opts_.max_cycles)
+        throw std::runtime_error(detail::format(
+            "advance_idle_to: target cycle %llu exceeds max_cycles=%llu",
+            static_cast<unsigned long long>(cycle),
+            static_cast<unsigned long long>(opts_.max_cycles)));
+    rs.stats.skipped_cycles += cycle - rs.now;
+    rs.now = cycle;
+}
+
 EngineStats
 ExecutionEngine::synchronize(const std::vector<Stream*>& streams,
                              const Stream& stream)

@@ -255,6 +255,20 @@ class ExecutionEngine
     uint64_t now() const;
 
     /**
+     * Jump the paused run's clock forward to @p cycle without
+     * simulating the gap (host-controlled idle skip).  Requires an
+     * active run whose chip is completely idle — no resident kernels
+     * and no stream with a runnable front op (only host-resolvable
+     * event waits may remain); throws std::runtime_error otherwise.
+     * The gap is accounted as skipped_cycles, exactly like the
+     * engine's own idle-skip.  A @p cycle at or before the current
+     * clock is a no-op.  This is the serving simulator's tool for
+     * fast-forwarding across request inter-arrival gaps while a
+     * keepalive wait holds the run open.
+     */
+    void advance_idle_to(uint64_t cycle);
+
+    /**
      * Serialize the active run into @p w (snapshot support).  Resident
      * launches append their KernelDesc to @p kernels and are encoded
      * by index.  Requires an active run paused between ticks

@@ -103,6 +103,16 @@ class Gpu
     /** Engine clock of the active run (0 when idle). */
     uint64_t current_cycle() const { return engine_.now(); }
 
+    /** Jump the paused run's clock forward to @p cycle without
+     *  simulating the gap.  Requires a run paused with the chip fully
+     *  idle (only host-resolvable event waits outstanding); throws
+     *  std::runtime_error otherwise.  See
+     *  ExecutionEngine::advance_idle_to. */
+    void advance_idle_to(uint64_t cycle)
+    {
+        engine_.advance_idle_to(cycle);
+    }
+
     /**
      * Compile @p graph and enqueue one kernel per task: fresh streams
      * are created for the compiled stream set, events are created and

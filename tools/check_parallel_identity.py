@@ -9,9 +9,14 @@ every cycle stamp, stall counter, memory counter, event stamp and
 assertion value must match across thread counts, for every scenario in
 the suite.
 
+The parallel leg can additionally raise ``--jobs`` (process-level
+scenario parallelism) so the gate covers the jobs x sim-threads grid,
+and ``--filter`` narrows a directory input to scenarios whose filename
+contains a substring (e.g. ``--filter serving_``).
+
 Usage:
     tools/check_parallel_identity.py <simrunner> <scenarios...>
-        [--threads 4] [--workdir DIR]
+        [--threads 4] [--jobs 1] [--filter SUBSTR] [--workdir DIR]
 
 Exit status: 0 on identity (and both runs passing), 1 otherwise.
 """
@@ -24,11 +29,25 @@ import sys
 HERE = os.path.dirname(os.path.abspath(__file__))
 
 
-def run_leg(simrunner, inputs, threads, report):
-    cmd = [simrunner, "--quiet", "--jobs", "1",
+def run_leg(simrunner, inputs, jobs, threads, report):
+    cmd = [simrunner, "--quiet", "--jobs", str(jobs),
            "--sim-threads", str(threads), "--report", report] + inputs
     print("+", " ".join(cmd), flush=True)
     return subprocess.call(cmd)
+
+
+def expand_filtered(inputs, substr):
+    """Directories become their matching .json files; explicit files
+    pass through the filter too so a stale name fails loudly."""
+    out = []
+    for inp in inputs:
+        if os.path.isdir(inp):
+            for name in sorted(os.listdir(inp)):
+                if name.endswith(".json") and substr in name:
+                    out.append(os.path.join(inp, name))
+        elif substr in os.path.basename(inp):
+            out.append(inp)
+    return out
 
 
 def main():
@@ -38,15 +57,29 @@ def main():
     parser.add_argument("inputs", nargs="+",
                         help="scenario files or directories")
     parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="process-level --jobs for the parallel leg "
+                             "(the serial leg always uses 1)")
+    parser.add_argument("--filter", default=None, metavar="SUBSTR",
+                        help="only scenarios whose filename contains "
+                             "SUBSTR")
     parser.add_argument("--workdir", default=".")
     args = parser.parse_args()
+
+    inputs = args.inputs
+    if args.filter is not None:
+        inputs = expand_filtered(inputs, args.filter)
+        if not inputs:
+            print("check_parallel_identity: no scenarios match "
+                  "--filter {!r}".format(args.filter))
+            return 1
 
     serial = os.path.join(args.workdir, "report_serial.json")
     threaded = os.path.join(args.workdir,
                             "report_t{}.json".format(args.threads))
 
-    rc_serial = run_leg(args.simrunner, args.inputs, 1, serial)
-    rc_threaded = run_leg(args.simrunner, args.inputs, args.threads,
+    rc_serial = run_leg(args.simrunner, inputs, 1, 1, serial)
+    rc_threaded = run_leg(args.simrunner, inputs, args.jobs, args.threads,
                           threaded)
     # Scenario failures fail the gate too, but only after the diff ran:
     # an identity break plus a red scenario should report both.

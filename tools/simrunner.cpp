@@ -35,6 +35,12 @@
  *                     (compiled plan for declarative scenarios, the
  *                     explicit record/wait/sync plumbing for legacy
  *                     ones) and exit without running
+ *   --trace-out DIR write each serving scenario's per-request
+ *                     lifecycle to DIR/<name>.trace.jsonl (one JSON
+ *                     object per request: id, arrival/admit/finish
+ *                     cycles, batch id) — the lines parse back as a
+ *                     "file"-kind input trace, so a recorded run can
+ *                     be replayed
  *
  * Exit status: 0 when every scenario passed, 1 otherwise.
  *
@@ -75,6 +81,7 @@ struct Options
     bool cold_sweep = false;
     int detailed_sms = -1;    ///< -1 = per-scenario sim.detailed_sms.
     std::string dump_dag_dir; ///< --dump-dag output directory.
+    std::string trace_out_dir; ///< --trace-out output directory.
     std::vector<std::string> inputs;
 };
 
@@ -100,7 +107,10 @@ usage(std::FILE* to)
         "  --cold-sweep    run sweep points cold instead of forking\n"
         "  --detailed-sms N  override sim.detailed_sms (0 = full detail)\n"
         "  --dump-dag DIR  write each scenario's dependency DAG to\n"
-        "                  DIR/<name>.dag.{json,dot} and exit\n");
+        "                  DIR/<name>.dag.{json,dot} and exit\n"
+        "  --trace-out DIR write per-request serving traces to\n"
+        "                  DIR/<name>.trace.jsonl (replayable as\n"
+        "                  \"file\"-kind input traces)\n");
 }
 
 bool
@@ -173,6 +183,11 @@ parse_args(int argc, char** argv, Options* opts)
             if (!v)
                 return false;
             opts->dump_dag_dir = v;
+        } else if (arg == "--trace-out") {
+            const char* v = value();
+            if (!v)
+                return false;
+            opts->trace_out_dir = v;
         } else if (arg == "--fail-fast") {
             opts->fail_fast = true;
         } else if (arg == "--list") {
@@ -255,12 +270,68 @@ print_result(const driver::ScenarioResult& r, bool quiet)
                 "wall\n",
                 static_cast<unsigned long long>(r.totals.cycles),
                 r.totals.ipc, r.total_tflops, r.wall_ms);
+    if (r.has_serving) {
+        const serve::ServingReport& s = r.serving;
+        std::printf("  serve: %s, %d/%d request(s) in %d batch(es) "
+                    "(mean %.2f), latency p50/p95/p99 %llu/%llu/%llu "
+                    "cycles, busy %.1f%%\n",
+                    s.policy.c_str(), s.completed, s.requests, s.batches,
+                    s.mean_batch_size,
+                    static_cast<unsigned long long>(s.latency.latency_p50),
+                    static_cast<unsigned long long>(s.latency.latency_p95),
+                    static_cast<unsigned long long>(s.latency.latency_p99),
+                    100.0 * s.busy_frac);
+    }
     std::string mem = metrics::mem_summary(r.totals.mem);
     if (!mem.empty())
         std::printf("  %s\n", mem.c_str());
     for (const driver::AssertionResult& a : r.assertions)
         std::printf("  %s %s = %.10g (want %s)\n", a.passed ? "ok " : "FAIL",
                     a.metric.c_str(), a.value, a.detail.c_str());
+}
+
+/** Write each serving result's per-request lifecycle as JSONL (the
+ *  "file"-kind trace format, so dumps replay as inputs).  Returns the
+ *  number of files that failed to write. */
+int
+write_trace_files(const driver::BatchReport& report, const std::string& dir)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    int failures = 0;
+    for (const driver::ScenarioResult& r : report.results) {
+        if (!r.has_serving)
+            continue;
+        std::string name = r.name;
+        std::replace(name.begin(), name.end(), '/', '_');
+        const std::string path = dir + "/" + name + ".trace.jsonl";
+        std::string out;
+        for (const serve::RequestRecord& q : r.serving.request_records) {
+            driver::JsonValue line = driver::JsonValue::object();
+            line.set("id", q.id);
+            line.set("arrival_cycle", q.arrival_cycle);
+            line.set("admit_cycle", q.admit_cycle);
+            line.set("finish_cycle", q.finish_cycle);
+            line.set("batch", q.batch);
+            out += line.dump() + "\n";
+        }
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        bool ok = f != nullptr;
+        if (f) {
+            ok &= std::fwrite(out.data(), 1, out.size(), f) == out.size();
+            ok &= std::fclose(f) == 0;
+        }
+        if (!ok) {
+            std::fprintf(stderr, "simrunner: failed to write %s\n",
+                         path.c_str());
+            ++failures;
+            continue;
+        }
+        std::printf("wrote %s (%zu request(s))\n", path.c_str(),
+                    r.serving.request_records.size());
+    }
+    return failures;
 }
 
 }  // namespace
@@ -402,6 +473,9 @@ main(int argc, char** argv)
                 "(%d jobs)\n",
                 report.results.size(), failed, report.skipped(),
                 report.wall_ms, report.jobs);
+
+    if (!opts.trace_out_dir.empty())
+        failed += write_trace_files(report, opts.trace_out_dir);
 
     if (!opts.report_path.empty()) {
         // A vanished report artifact must not look like a green run.
