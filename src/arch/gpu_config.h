@@ -116,4 +116,12 @@ GpuConfig titan_v_config();
 /** NVIDIA RTX 2080 (Turing, 46 SMs, 368 tensor cores). */
 GpuConfig rtx2080_config();
 
+/**
+ * FNV-1a digest of every timing-relevant GpuConfig field (the name is
+ * cosmetic and excluded: renamed-but-identical configs may exchange
+ * snapshots and replay profiles).  Snapshot restore and the kernel
+ * replay-cache fingerprint both key on it.
+ */
+uint64_t hash_config(const GpuConfig& c);
+
 }  // namespace tcsim

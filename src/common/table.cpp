@@ -22,9 +22,27 @@ TextTable::add_row(std::vector<std::string> row)
     rows_.push_back(std::move(row));
 }
 
+void
+TextTable::set_max_col_width(size_t col, size_t max_width)
+{
+    if (max_width_.size() <= col)
+        max_width_.resize(col + 1, 0);
+    // ".." needs two characters; anything tighter cannot truncate.
+    max_width_[col] = std::max<size_t>(max_width, 3);
+}
+
 std::string
 TextTable::render() const
 {
+    // A cell longer than its column's cap is truncated with a ".."
+    // tail so the cap holds exactly.
+    auto clip = [&](size_t col, const std::string& cell) {
+        size_t cap = col < max_width_.size() ? max_width_[col] : 0;
+        if (cap == 0 || cell.size() <= cap)
+            return cell;
+        return cell.substr(0, cap - 2) + "..";
+    };
+
     // Compute per-column widths across header and all rows.
     size_t cols = header_.size();
     for (const auto& r : rows_)
@@ -32,7 +50,7 @@ TextTable::render() const
     std::vector<size_t> width(cols, 0);
     auto widen = [&](const std::vector<std::string>& r) {
         for (size_t i = 0; i < r.size(); ++i)
-            width[i] = std::max(width[i], r[i].size());
+            width[i] = std::max(width[i], clip(i, r[i]).size());
     };
     if (!header_.empty())
         widen(header_);
@@ -44,9 +62,10 @@ TextTable::render() const
         out << title_ << "\n";
     auto emit = [&](const std::vector<std::string>& r) {
         for (size_t i = 0; i < r.size(); ++i) {
-            out << r[i];
+            std::string cell = clip(i, r[i]);
+            out << cell;
             if (i + 1 < r.size())
-                out << std::string(width[i] - r[i].size() + 2, ' ');
+                out << std::string(width[i] - cell.size() + 2, ' ');
         }
         out << "\n";
     };

@@ -19,6 +19,13 @@ class TextTable
     void set_header(std::vector<std::string> header);
     void add_row(std::vector<std::string> row);
 
+    /** Cap column @p col at @p max_width characters when rendering;
+     *  longer cells are truncated with a ".." tail so one oversized
+     *  cell (e.g. a long scenario name) cannot push every other
+     *  column past the terminal edge and wrap rows out of alignment.
+     *  Applies to render() only; render_csv() keeps full cells. */
+    void set_max_col_width(size_t col, size_t max_width);
+
     /** Render with column alignment; returns the formatted block. */
     std::string render() const;
 
@@ -31,6 +38,8 @@ class TextTable
     std::string title_;
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;
+    /** Per-column render width caps (0 = unlimited). */
+    std::vector<size_t> max_width_;
 };
 
 /** Format a double with fixed precision (helper for table cells). */

@@ -253,6 +253,16 @@ resolve_kernel_metric(const KernelResult& k, const std::string& field)
     throw ScenarioError("unknown kernel metric \"" + field + "\"");
 }
 
+/** Canonical spelling of a percentile (99.5 -> "99.5", 99 -> "99"),
+ *  used for both report keys and metric-path matching. */
+std::string
+format_pct(double pct)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", pct);
+    return buf;
+}
+
 double
 resolve_serve_metric(const ScenarioResult& r, const std::string& field,
                      const std::string& path)
@@ -276,10 +286,22 @@ resolve_serve_metric(const ScenarioResult& r, const std::string& field,
         return static_cast<double>(l.latency_p95);
     if (field == "latency_p99")
         return static_cast<double>(l.latency_p99);
+    if (field == "latency_p999")
+        return static_cast<double>(l.latency_p999);
     if (field == "latency_max")
         return static_cast<double>(l.latency_max);
     if (field == "latency_mean")
         return l.latency_mean;
+    // latency_p<pct>: any percentile the scenario listed in
+    // serving.percentiles, spelled as written there (e.g. p99.5).
+    if (field.rfind("latency_p", 0) == 0) {
+        const std::string pct = field.substr(9);
+        for (const auto& [p, v] : l.latency_extra)
+            if (format_pct(p) == pct)
+                return static_cast<double>(v);
+        throw ScenarioError("metric \"" + path + "\": percentile " + pct +
+                            " is not in serving.percentiles");
+    }
     if (field == "queue_wait_p50")
         return static_cast<double>(l.queue_wait_p50);
     if (field == "queue_wait_p99")
@@ -493,8 +515,8 @@ run_serving_scenario(const Scenario& scenario, const GpuConfig& cfg,
         policy = std::make_unique<serve::ContinuousBatcher>(ss.max_batch,
                                                             ss.max_in_flight);
 
-    serve::ServingResult sr =
-        serve::run_serving(cfg, sim, ss.model, trace, *policy);
+    serve::ServingResult sr = serve::run_serving(cfg, sim, ss.model, trace,
+                                                 *policy, ss.percentiles);
     result->totals = sr.totals;
     result->serving = std::move(sr.report);
     result->has_serving = true;
@@ -540,7 +562,7 @@ evaluate(const ScenarioResult& r, const Expectation& e)
 
 ScenarioResult
 run_scenario(const Scenario& scenario, int sim_threads_override,
-             int detailed_sms_override)
+             int detailed_sms_override, const ReplayOverride& replay)
 {
     using clock = std::chrono::steady_clock;
     ScenarioResult result;
@@ -551,6 +573,11 @@ run_scenario(const Scenario& scenario, int sim_threads_override,
         sim.sim_threads = sim_threads_override;
     if (detailed_sms_override >= 0)
         sim.detailed_sms = detailed_sms_override;
+    if (replay.mode >= 0)
+        sim.replay_mode = static_cast<SimOptions::ReplayMode>(replay.mode);
+    if (sim.replay_mode != SimOptions::ReplayMode::kOff)
+        sim.replay_cache = replay.cache;  // null = engine-private cache
+    result.replay_mode = static_cast<int>(sim.replay_mode);
     result.sim_threads =
         sim.sim_threads > 0 ? sim.sim_threads : hardware_threads();
     auto t0 = clock::now();
@@ -668,6 +695,7 @@ run_forked_point(const Scenario& sc, size_t index, const GpuConfig& cfg,
     result.file = merged.file;
     result.sim_threads =
         sim.sim_threads > 0 ? sim.sim_threads : hardware_threads();
+    result.replay_mode = static_cast<int>(sim.replay_mode);
     auto t0 = clock::now();
 
     try {
@@ -727,7 +755,8 @@ run_forked_point(const Scenario& sc, size_t index, const GpuConfig& cfg,
 
 std::vector<ScenarioResult>
 run_sweep(const Scenario& scenario, int jobs, int sim_threads_override,
-          int detailed_sms_override, bool cold_sweep)
+          int detailed_sms_override, bool cold_sweep,
+          const ReplayOverride& replay)
 {
     const size_t npts = scenario.sweep.points.size();
     std::vector<ScenarioResult> out(npts);
@@ -755,6 +784,12 @@ run_sweep(const Scenario& scenario, int jobs, int sim_threads_override,
         sim.sim_threads = sim_threads_override;
     if (detailed_sms_override >= 0)
         sim.detailed_sms = detailed_sms_override;
+    if (replay.mode >= 0)
+        sim.replay_mode = static_cast<SimOptions::ReplayMode>(replay.mode);
+    // Sweeps never share a cache across points: each engine owns a
+    // private one, so every point's result is independent of how many
+    // points ran before it (and of the batch-wide --replay-cache).
+    sim.replay_cache = nullptr;
 
     GpuConfig cfg;
     try {
@@ -952,9 +987,11 @@ run_batch(const std::vector<Scenario>& scenarios, const BatchOptions& opts)
         }
         if (sc.is_sweep())
             slots[i] = run_sweep(sc, point_jobs, sim_threads,
-                                 opts.detailed_sms, opts.cold_sweep);
+                                 opts.detailed_sms, opts.cold_sweep,
+                                 opts.replay);
         else
-            slots[i] = {run_scenario(sc, sim_threads, opts.detailed_sms)};
+            slots[i] = {run_scenario(sc, sim_threads, opts.detailed_sms,
+                                     opts.replay)};
         if (fail_fast)
             for (const ScenarioResult& r : slots[i])
                 if (!r.passed)
@@ -1082,6 +1119,19 @@ report_to_json(const BatchReport& report)
             mem.set(c.name, m.*(c.member));
         jr.set("mem", std::move(mem));
 
+        // Replay cache (only when the run had it enabled, so replay-off
+        // reports stay byte-identical to pre-replay ones).
+        if (r.replay_mode != 0) {
+            static const char* kModeNames[] = {"off", "record", "replay",
+                                               "verify"};
+            JsonValue replay = JsonValue::object();
+            replay.set("mode", kModeNames[r.replay_mode & 3]);
+            replay.set("hits", r.totals.replay_hits);
+            replay.set("misses", r.totals.replay_misses);
+            replay.set("verified", r.totals.replay_verified);
+            jr.set("replay", std::move(replay));
+        }
+
         // Serving scenarios: summary + per-request/batch timelines.
         // Deliberately outside "sim" — every field is a function of
         // simulated cycles, so the parallel-identity legs diff it.
@@ -1103,6 +1153,9 @@ report_to_json(const BatchReport& report)
             lat.set("p50", l.latency_p50);
             lat.set("p95", l.latency_p95);
             lat.set("p99", l.latency_p99);
+            lat.set("p999", l.latency_p999);
+            for (const auto& [pct, v] : l.latency_extra)
+                lat.set("p" + format_pct(pct), v);
             lat.set("max", l.latency_max);
             lat.set("mean", l.latency_mean);
             js.set("latency_cycles", std::move(lat));

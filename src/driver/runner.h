@@ -89,6 +89,10 @@ struct ScenarioResult
     bool has_serving = false;
     serve::ServingReport serving;
 
+    /** Resolved SimOptions::ReplayMode the run used (0 = off); the
+     *  hit/miss/verified counters live in `totals`. */
+    int replay_mode = 0;
+
     // Sweep metadata (set by run_sweep; sweep_point empty otherwise).
     /** Name of the sweep point this result expands. */
     std::string sweep_point;
@@ -100,6 +104,17 @@ struct ScenarioResult
     bool sweep_forked = false;
 };
 
+/** Replay-cache overrides from the command line (--replay /
+ *  --replay-cache).  `mode` replaces the scenario's sim.replay when
+ *  >= 0 (values are SimOptions::ReplayMode casts); `cache` is a
+ *  batch-shared profile store borrowed by every run that has replay
+ *  enabled (nullptr = each engine owns a private cache). */
+struct ReplayOverride
+{
+    int mode = -1;
+    ReplayCache* cache = nullptr;
+};
+
 /** Run one scenario to completion; never throws (errors land in
  *  ScenarioResult::error).  @p sim_threads_override replaces the
  *  scenario's sim.sim_threads when >= 0 (the simrunner --sim-threads
@@ -108,7 +123,8 @@ struct ScenarioResult
  *  --detailed-sms flag and the CI sampled-error leg). */
 ScenarioResult run_scenario(const Scenario& scenario,
                             int sim_threads_override = -1,
-                            int detailed_sms_override = -1);
+                            int detailed_sms_override = -1,
+                            const ReplayOverride& replay = {});
 
 /**
  * Run a sweep scenario: simulate the shared kernel prefix once to
@@ -125,7 +141,8 @@ ScenarioResult run_scenario(const Scenario& scenario,
 std::vector<ScenarioResult> run_sweep(const Scenario& scenario, int jobs = 1,
                                       int sim_threads_override = -1,
                                       int detailed_sms_override = -1,
-                                      bool cold_sweep = false);
+                                      bool cold_sweep = false,
+                                      const ReplayOverride& replay = {});
 
 /** Aggregate outcome of a scenario batch. */
 struct BatchReport
@@ -162,6 +179,8 @@ struct BatchOptions
     /** Override every scenario's sim.detailed_sms (-1 = keep the
      *  per-scenario setting). */
     int detailed_sms = -1;
+    /** Replay-cache mode override + batch-shared profile store. */
+    ReplayOverride replay;
 };
 
 /** The batch worker count run_batch will actually use for @p opts

@@ -643,7 +643,8 @@ parse_serving_spec(const JsonValue& obj, const Scenario& sc,
 {
     if (!obj.is_object())
         fail(file, "\"serving\" must be a JSON object");
-    check_keys(obj, {"model", "trace", "batching"}, "serving", file);
+    check_keys(obj, {"model", "trace", "batching", "percentiles"}, "serving",
+               file);
 
     ServingSpec spec;
     spec.enabled = true;
@@ -748,6 +749,17 @@ parse_serving_spec(const JsonValue& obj, const Scenario& sc,
     } else {
         fail(file,
              "serving.batching.policy must be \"static\" or \"continuous\"");
+    }
+
+    if (const JsonValue* pcts = obj.find("percentiles")) {
+        if (!pcts->is_array())
+            fail(file, "serving.percentiles must be an array of numbers");
+        for (const JsonValue& p : pcts->as_array()) {
+            double pct = p.as_number();
+            if (pct <= 0 || pct >= 100)
+                fail(file, "serving.percentiles entries must be in (0, 100)");
+            spec.percentiles.push_back(pct);
+        }
     }
     return spec;
 }
@@ -920,7 +932,8 @@ parse_scenario(const JsonValue& doc, const std::string& file)
     if (const JsonValue* sim = doc.find("sim")) {
         check_keys(*sim,
                    {"scheduler", "max_cycles", "sim_threads", "idle_skip",
-                    "min_sms", "detailed_sms", "sample_window"},
+                    "min_sms", "detailed_sms", "sample_window", "replay",
+                    "replay_verify_every", "replay_verify_bound"},
                    "sim", file);
         sc.sim.scheduler =
             parse_scheduler(get_string(*sim, "scheduler", "gto"), file);
@@ -957,6 +970,37 @@ parse_scenario(const JsonValue& doc, const std::string& file)
             if (w < 1)
                 fail(file, "sim.sample_window must be >= 1");
             sc.sim.sample_window = static_cast<uint64_t>(w);
+        }
+        if (const JsonValue* v = sim->find("replay")) {
+            const std::string mode = v->as_string();
+            if (mode == "off")
+                sc.sim.replay_mode = SimOptions::ReplayMode::kOff;
+            else if (mode == "record")
+                sc.sim.replay_mode = SimOptions::ReplayMode::kRecord;
+            else if (mode == "replay")
+                sc.sim.replay_mode = SimOptions::ReplayMode::kReplay;
+            else if (mode == "verify")
+                sc.sim.replay_mode = SimOptions::ReplayMode::kVerify;
+            else
+                fail(file, "sim.replay must be \"off\", \"record\", "
+                           "\"replay\" or \"verify\"");
+            if (sc.sim.replay_mode != SimOptions::ReplayMode::kOff &&
+                sc.sim.detailed_sms > 0)
+                fail(file, "sim.replay and sim.detailed_sms are mutually "
+                           "exclusive (sampled profiles would poison the "
+                           "replay cache)");
+        }
+        if (const JsonValue* v = sim->find("replay_verify_every")) {
+            int64_t n = v->as_int();
+            if (n < 1)
+                fail(file, "sim.replay_verify_every must be >= 1");
+            sc.sim.replay_verify_every = static_cast<int>(n);
+        }
+        if (const JsonValue* v = sim->find("replay_verify_bound")) {
+            double b = v->as_number();
+            if (b < 0)
+                fail(file, "sim.replay_verify_bound must be >= 0");
+            sc.sim.replay_verify_bound = b;
         }
     }
 

@@ -23,7 +23,12 @@
  *             "min_sms": 0,          // floor on the SM-array size
  *             "detailed_sms": 0,     // sampled-SM fast-forward (see
  *                                    // SimOptions::detailed_sms)
- *             "sample_window": 4096},
+ *             "sample_window": 4096,
+ *             "replay": "off" | "record" | "replay" | "verify",
+ *                                    // kernel-timing replay cache (see
+ *                                    // SimOptions::replay_mode)
+ *             "replay_verify_every": 8,   // verify 1-in-N replays
+ *             "replay_verify_bound": 0.05},  // max rel cycle error
  *     "tensors": [                          // declarative form only
  *       {"name": "A0", "bytes": 32768},     // bump-placed, 256-aligned
  *       {"name": "A0_lo", "alias_of": "A0", // declared view (overlap
@@ -81,7 +86,8 @@
  *       "batching": {"policy": "static", "batch": 4,
  *                    "timeout_us": 10.0}
  *                 | {"policy": "continuous", "max_batch": 8,
- *                    "max_in_flight": 2}}
+ *                    "max_in_flight": 2},
+ *       "percentiles": [99.5]}              // extra latency percentiles
  *   }
  *
  * A sweep scenario runs its top-level "kernels" as a *shared prefix*:
@@ -110,7 +116,9 @@
  * event.<name>.cycle (completion stamp of a recorded event),
  * verify.max_rel_err (functional kernels only), and — serving
  * scenarios only — serve.{requests,completed,batches,mean_batch_size,
- * latency_p50,latency_p95,latency_p99,latency_mean,latency_max,
+ * latency_p50,latency_p95,latency_p99,latency_p999,latency_p<pct>
+ * (any percentile listed in serving.percentiles, dots spelled as in
+ * the list, e.g. latency_p99.5),latency_mean,latency_max,
  * queue_wait_p50,queue_wait_p99,queue_wait_max,queue_wait_mean,
  * queue_depth_peak,queue_depth_mean,busy_frac,makespan_cycles}
  * (latencies and waits in cycles; see src/serve/latency_stats.h).
@@ -243,6 +251,10 @@ struct ServingSpec
     double timeout_us = 0;          ///< static: partial-batch flush.
     int max_batch = 8;              ///< continuous: join cap.
     int max_in_flight = 2;          ///< continuous: concurrent batches.
+
+    /** Extra end-to-end latency percentiles to report beyond the fixed
+     *  p50/95/99/99.9 set, in percent (e.g. [99.5]). */
+    std::vector<double> percentiles;
 };
 
 /** A parsed scenario. */

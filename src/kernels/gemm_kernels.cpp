@@ -72,6 +72,24 @@ stage_block(WarpBuilder* b, uint64_t block_base, Layout layout, int ld_global,
     b->mem(Opcode::kSts, reg, width, saddr);
 }
 
+/**
+ * Builder fingerprint for the replay cache: every parameter the
+ * generated trace depends on, modulo operand base addresses (see
+ * KernelDesc::timing_key).  @p wpc is the *effective* warps-per-CTA
+ * after any clamping the builder applied.
+ */
+std::string
+gemm_timing_key(const char* family, const GemmKernelConfig& cfg, int wpc)
+{
+    return detail::format("%s/a%d/p%d/%dx%dx%d/l%d%d%d/w%d/f%d", family,
+                          static_cast<int>(cfg.arch),
+                          static_cast<int>(cfg.mode), cfg.m, cfg.n, cfg.k,
+                          static_cast<int>(cfg.a_layout),
+                          static_cast<int>(cfg.b_layout),
+                          static_cast<int>(cfg.cd_layout), wpc,
+                          cfg.functional ? 1 : 0);
+}
+
 }  // namespace
 
 KernelDesc
@@ -104,6 +122,7 @@ make_wmma_gemm_naive(const GemmKernelConfig& cfg, const GemmBuffers& buf,
     k.shared_mem_bytes = 0;
     k.regs_per_thread = regs;
     k.functional = cfg.functional;
+    k.timing_key = gemm_timing_key("wmma_naive", cfg, wpc);
     k.trace = [cfg, buf, wpc, tiles, tiles_n, a_ld, b_ld, cd_ld, ab_e, cd_e,
                acc_reg, a_reg, b_reg](int cta, int w) -> WarpProgram {
         WarpBuilder bld(cfg.arch);
@@ -196,6 +215,7 @@ make_wmma_gemm_shared(const GemmKernelConfig& cfg, const GemmBuffers& buf)
     k.shared_mem_bytes = a_bytes + b_bytes;
     k.regs_per_thread = regs;
     k.functional = cfg.functional;
+    k.timing_key = gemm_timing_key("wmma_shared", cfg, kWarps);
     k.trace = [=](int cta, int w) -> WarpProgram {
         WarpBuilder bld(cfg.arch);
         const int bm = cta / grid_n;
@@ -298,6 +318,7 @@ make_simt_gemm(const GemmKernelConfig& cfg, const GemmBuffers& buf,
     k.shared_mem_bytes = a_bytes + b_bytes;
     k.regs_per_thread = 48;
     k.functional = false;  // timing-only baseline
+    k.timing_key = gemm_timing_key(k.name.c_str(), cfg, kWarps);
     k.trace = [=](int cta, int w) -> WarpProgram {
         WarpBuilder bld(cfg.arch);
         const int bm = cta / grid_n;
@@ -395,6 +416,10 @@ make_hmma_stress(Arch arch, TcMode mode, int ctas, int warps_per_cta,
     k.warps_per_cta = warps_per_cta;
     k.regs_per_thread = 8 + fr.a + fr.b + 4 * fr.c;
     k.functional = false;
+    k.timing_key = detail::format("hmma_stress/a%d/p%d/c%d/w%d/n%d/acc%d",
+                                  static_cast<int>(arch),
+                                  static_cast<int>(mode), ctas,
+                                  warps_per_cta, wmma_per_warp, accumulators);
     k.trace = [=](int, int) -> WarpProgram {
         WarpBuilder bld(arch);
         const uint8_t a_reg = 8;

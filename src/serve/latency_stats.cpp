@@ -12,7 +12,11 @@ percentile_nearest_rank(std::vector<uint64_t> values, double pct)
         return 0;
     std::sort(values.begin(), values.end());
     const auto n = static_cast<double>(values.size());
-    auto rank = static_cast<size_t>(std::ceil(pct / 100.0 * n));
+    // ceil(pct/100 * n), robust against the product landing an ulp
+    // above an exact integer rank (99.9% of 1000 samples is rank 999,
+    // but 99.9 / 100.0 * 1000.0 evaluates to 999.0000000000001).
+    const double exact = pct / 100.0 * n;
+    auto rank = static_cast<size_t>(std::ceil(exact * (1.0 - 1e-12)));
     rank = std::min(std::max<size_t>(rank, 1), values.size());
     return values[rank - 1];
 }
@@ -20,7 +24,8 @@ percentile_nearest_rank(std::vector<uint64_t> values, double pct)
 LatencySummary
 summarize_latency(const std::vector<RequestRecord>& requests,
                   const std::vector<QueueSample>& queue,
-                  uint64_t makespan_cycles)
+                  uint64_t makespan_cycles,
+                  const std::vector<double>& extra_percentiles)
 {
     LatencySummary s;
     std::vector<uint64_t> latency, wait;
@@ -45,6 +50,11 @@ summarize_latency(const std::vector<RequestRecord>& requests,
     s.latency_p50 = percentile_nearest_rank(latency, 50.0);
     s.latency_p95 = percentile_nearest_rank(latency, 95.0);
     s.latency_p99 = percentile_nearest_rank(latency, 99.0);
+    s.latency_p999 = percentile_nearest_rank(latency, 99.9);
+    s.latency_extra.reserve(extra_percentiles.size());
+    for (double pct : extra_percentiles)
+        s.latency_extra.emplace_back(pct,
+                                     percentile_nearest_rank(latency, pct));
     s.queue_wait_p50 = percentile_nearest_rank(wait, 50.0);
     s.queue_wait_p99 = percentile_nearest_rank(wait, 99.0);
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace tcsim::serve {
@@ -60,8 +61,12 @@ struct LatencySummary
     uint64_t latency_p50 = 0;
     uint64_t latency_p95 = 0;
     uint64_t latency_p99 = 0;
+    uint64_t latency_p999 = 0;
     uint64_t latency_max = 0;
     double latency_mean = 0;
+    /** Caller-requested extra latency percentiles, as (pct, value)
+     *  pairs in request order (e.g. {99.5, cycles}). */
+    std::vector<std::pair<double, uint64_t>> latency_extra;
     // Time in queue (admit - arrival) in cycles.
     uint64_t queue_wait_p50 = 0;
     uint64_t queue_wait_p99 = 0;
@@ -73,9 +78,13 @@ struct LatencySummary
     double queue_depth_mean = 0;
 };
 
-/** Summarize completed requests + the queue-depth timeline. */
-LatencySummary summarize_latency(const std::vector<RequestRecord>& requests,
-                                 const std::vector<QueueSample>& queue,
-                                 uint64_t makespan_cycles);
+/** Summarize completed requests + the queue-depth timeline.
+ *  @p extra_percentiles requests additional end-to-end latency
+ *  percentiles (in percent, e.g. 99.5) beyond the fixed p50/95/99/99.9
+ *  set; they land in LatencySummary::latency_extra in given order. */
+LatencySummary summarize_latency(
+    const std::vector<RequestRecord>& requests,
+    const std::vector<QueueSample>& queue, uint64_t makespan_cycles,
+    const std::vector<double>& extra_percentiles = {});
 
 }  // namespace tcsim::serve

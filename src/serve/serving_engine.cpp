@@ -20,9 +20,11 @@ class ServingLoop
     ServingLoop(const GpuConfig& cfg, const SimOptions& sim,
                 const model::ModelGraph& graph,
                 const std::vector<Request>& trace,
-                const BatchingPolicy& policy)
+                const BatchingPolicy& policy,
+                const std::vector<double>& extra_percentiles)
         : cfg_(cfg), sim_(sim), graph_(graph), trace_(trace),
-          policy_(policy), gpu_(cfg, sim)
+          policy_(policy), extra_percentiles_(extra_percentiles),
+          gpu_(cfg, sim)
     {
     }
 
@@ -42,6 +44,7 @@ class ServingLoop
     const model::ModelGraph& graph_;
     const std::vector<Request>& trace_;
     const BatchingPolicy& policy_;
+    const std::vector<double>& extra_percentiles_;
     Gpu gpu_;
 
     Event* shutdown_ = nullptr;
@@ -239,7 +242,7 @@ ServingLoop::finalize(ServingResult* out)
     rep.batch_records = std::move(batches_);
     rep.queue_timeline = std::move(queue_timeline_);
     rep.latency = summarize_latency(rep.request_records, rep.queue_timeline,
-                                    rep.makespan_cycles);
+                                    rep.makespan_cycles, extra_percentiles_);
 
     // SM-occupancy over time: concurrently resident launches, rebuilt
     // from the per-kernel cycle windows (+1 at start, -1 past finish).
@@ -342,9 +345,11 @@ ServingResult
 run_serving(const GpuConfig& cfg, const SimOptions& sim,
             const model::ModelGraph& graph,
             const std::vector<Request>& trace,
-            const BatchingPolicy& policy)
+            const BatchingPolicy& policy,
+            const std::vector<double>& extra_percentiles)
 {
-    return ServingLoop(cfg, sim, graph, trace, policy).run();
+    return ServingLoop(cfg, sim, graph, trace, policy, extra_percentiles)
+        .run();
 }
 
 }  // namespace tcsim::serve

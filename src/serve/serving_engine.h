@@ -91,10 +91,13 @@ struct ServingResult
  * Simulate serving @p trace against @p graph under @p policy on a GPU
  * of @p cfg.  Throws ModelError/ServingError on invalid input or a
  * wedged loop, std::runtime_error when sim.max_cycles is exceeded.
+ * @p extra_percentiles requests additional end-to-end latency
+ * percentiles (see summarize_latency).
  */
 ServingResult run_serving(const GpuConfig& cfg, const SimOptions& sim,
                           const model::ModelGraph& graph,
                           const std::vector<Request>& trace,
-                          const BatchingPolicy& policy);
+                          const BatchingPolicy& policy,
+                          const std::vector<double>& extra_percentiles = {});
 
 }  // namespace tcsim::serve

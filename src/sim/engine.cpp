@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/logging.h"
+#include "sim/stats_codec.h"
 
 namespace tcsim {
 
@@ -13,6 +18,19 @@ ExecutionEngine::ExecutionEngine(const GpuConfig& cfg, const SimOptions& opts,
 {
     threads_ = opts_.sim_threads > 0 ? opts_.sim_threads
                                      : hardware_threads();
+    config_hash_ = hash_config(cfg_);
+    if (opts_.replay_mode != SimOptions::ReplayMode::kOff) {
+        if (opts_.detailed_sms > 0)
+            throw std::runtime_error(
+                "replay_mode and detailed_sms are mutually exclusive: "
+                "sampled (extrapolated) executions would poison the "
+                "replay cache with approximate profiles");
+        replay_cache_ = opts_.replay_cache;
+        if (!replay_cache_) {
+            owned_cache_ = std::make_unique<ReplayCache>();
+            replay_cache_ = owned_cache_.get();
+        }
+    }
 }
 
 ExecutionEngine::~ExecutionEngine() = default;
@@ -172,6 +190,8 @@ ExecutionEngine::promote_streams(uint64_t now)
                 l->grid.start_cycle = now;
                 l->grid.stats.ensure_shards(rs.sms.size());
                 l->mem_base = mem_->stats();
+                if (replay_cache_)
+                    classify_replay(l.get(), now);
                 sr.live = l.get();
                 rs.resident.push_back(std::move(l));
                 progress = true;
@@ -194,6 +214,169 @@ ExecutionEngine::dispatch_to(SM* sm)
         }
     }
     return false;
+}
+
+std::string
+ExecutionEngine::replay_key(const KernelDesc& k) const
+{
+    // Uncacheable: no builder fingerprint, or functional (a replayed
+    // launch executes nothing, which would silently drop the data
+    // movement functional kernels exist for).
+    if (k.timing_key.empty() || k.functional)
+        return {};
+    const RunState& rs = *run_;
+    // Memory-warmth class: w0 = nothing retired yet this run (cold
+    // caches), w1 = the last retired launch had this same timing_key
+    // (warmed by this very kernel), w2 = warmed by other work.
+    char warmth = !rs.any_finished
+                      ? '0'
+                      : (rs.last_finished_key == k.timing_key ? '1' : '2');
+    char cfg[24];
+    std::snprintf(cfg, sizeof cfg, "%016llx",
+                  static_cast<unsigned long long>(config_hash_));
+    return k.timing_key + "|cfg:" + cfg + "|w" + warmth;
+}
+
+void
+ExecutionEngine::classify_replay(Launch* l, uint64_t now)
+{
+    RunState& rs = *run_;
+    std::string key = replay_key(l->desc);
+    if (key.empty())
+        return;  // Uncacheable: plain detailed execution.
+
+    // Every cacheable occurrence of a key consumes one sequence slot,
+    // assigned in promotion order: recordings fill their slot at
+    // retire, and the i-th hit is served the i-th recorded duration —
+    // so replaying a recorded trace walks the recorded sequence in
+    // lockstep and hands every launch its own duration.
+    uint64_t seq = 0;
+    if (auto sit = rs.replay_seq.find(key); sit != rs.replay_seq.end())
+        seq = sit->second;
+    auto profile = std::make_unique<KernelTimingProfile>();
+    const bool hit = replay_cache_->lookup(key, seq, profile.get());
+    rs.replay_seq[key] = seq + 1;
+    if (!hit || opts_.replay_mode == SimOptions::ReplayMode::kRecord) {
+        // Miss (or record-only mode): run in detail and fold the
+        // result into the cache at retire.  Record mode folds *every*
+        // execution, not just the first per key, so the duration
+        // sequence covers the key's full range of contention contexts.
+        if (hit)
+            ++rs.stats.replay_hits;
+        else
+            ++rs.stats.replay_misses;
+        l->record_key = std::move(key);
+        l->record_seq = seq;
+        return;
+    }
+
+    ++rs.stats.replay_hits;
+    if (opts_.replay_mode == SimOptions::ReplayMode::kVerify) {
+        // Deterministic 1-in-N sampling: the first hit always
+        // verifies, then every replay_verify_every-th.
+        uint64_t n = std::max(1, opts_.replay_verify_every);
+        bool verify = rs.replay_attempts % n == 0;
+        ++rs.replay_attempts;
+        if (verify) {
+            l->verify_expect = std::move(profile);
+            ++rs.stats.replay_verified;
+            return;  // Runs in detail; retire compares.
+        }
+    }
+
+    // Replay: no CTA ever dispatches (pending() is false from the
+    // start); the grid completes at replay_done with the profile's
+    // statistics applied as deltas.  Stream/event ordering is
+    // untouched — the launch occupies its stream slot until then.
+    TCSIM_CHECK(profile->cycles > 0);
+    l->replay_done = now + profile->cycles - 1;
+    l->replay_profile = std::move(profile);
+    l->grid.next_cta = l->desc.grid_ctas;
+}
+
+void
+ExecutionEngine::record_occupancy(uint64_t now)
+{
+    RunState& rs = *run_;
+    for (const CtaCompletion& c : completions_) {
+        for (auto& l : rs.resident) {
+            if (&l->grid != c.grid)
+                continue;
+            if (l->record_key.empty())
+                break;
+            OccupancyPhase ph;
+            ph.offset = now - l->grid.start_cycle;
+            ph.ctas_left = static_cast<uint32_t>(l->desc.grid_ctas -
+                                                 l->grid.ctas_done);
+            // One sample per tick: completions in the same cycle
+            // collapse onto the last (ctas_done already counts them
+            // all by commit time).
+            if (!l->occupancy.empty() &&
+                l->occupancy.back().offset == ph.offset)
+                l->occupancy.back() = ph;
+            else
+                l->occupancy.push_back(ph);
+            // Compact deterministically: keep every 2nd sample once
+            // the scratch outgrows the profile bound.
+            if (l->occupancy.size() > kMaxOccupancyPhases) {
+                size_t out = 0;
+                for (size_t i = 1; i < l->occupancy.size(); i += 2)
+                    l->occupancy[out++] = l->occupancy[i];
+                l->occupancy.resize(out);
+            }
+            break;
+        }
+    }
+    completions_.clear();
+}
+
+void
+ExecutionEngine::finish_replay(Launch& l, const LaunchStats& ls)
+{
+    RunState& rs = *run_;
+    if (l.verify_expect) {
+        const KernelTimingProfile& p = *l.verify_expect;
+        double detailed = static_cast<double>(ls.cycles);
+        double recorded = static_cast<double>(p.cycles);
+        double rel = detailed > 0
+                         ? std::abs(recorded - detailed) / detailed
+                         : 0.0;
+        if (rel > opts_.replay_verify_bound ||
+            ls.instructions != p.instructions)
+            throw std::runtime_error(detail::format(
+                "replay verify: kernel \"%s\" diverged from its recorded "
+                "profile (cycles %llu recorded vs %llu detailed, rel err "
+                "%.4f > bound %.4f%s)",
+                l.desc.name.c_str(),
+                static_cast<unsigned long long>(p.cycles),
+                static_cast<unsigned long long>(ls.cycles), rel,
+                opts_.replay_verify_bound,
+                ls.instructions != p.instructions
+                    ? "; instruction counters differ"
+                    : ""));
+    }
+    if (!l.record_key.empty() && replay_cache_) {
+        KernelTimingProfile p;
+        p.cycles = ls.cycles;
+        p.instructions = ls.instructions;
+        p.hmma_instructions = ls.hmma_instructions;
+        p.mem = ls.mem;
+        p.stalls = ls.stalls;
+        p.macro_latency = ls.macro_latency;
+        p.occupancy = std::move(l.occupancy);
+        replay_cache_->record(l.record_key, l.record_seq, std::move(p));
+    }
+    if (l.replay_profile) {
+        // The memory system and SMs never saw a replayed launch's
+        // traffic: accumulate its recorded deltas for fill_totals.
+        rs.replay_mem.add(l.replay_profile->mem);
+        rs.replay_stalls.add(l.replay_profile->stalls);
+    }
+    // Warmth tracking advances for *every* retiring launch (replayed
+    // and uncacheable included), so a replay run walks the identical
+    // warmth sequence the detailed run it mirrors did.
+    rs.any_finished = true;
+    rs.last_finished_key = l.desc.timing_key;
 }
 
 /** Per-CTA register demand (mirrors the SM's accounting). */
@@ -295,6 +478,21 @@ ExecutionEngine::finalize(Launch& l) const
     s.start_cycle = l.grid.start_cycle;
     s.finish_cycle = l.grid.finish_cycle;
     s.cycles = l.grid.finish_cycle - l.grid.start_cycle + 1;
+    // Replayed launch: no SM ever saw it — every statistic comes from
+    // the recorded profile (the memory system's counters did not move,
+    // so since(mem_base) would report concurrent kernels' traffic).
+    if (l.replay_profile) {
+        const KernelTimingProfile& p = *l.replay_profile;
+        s.instructions = p.instructions;
+        s.hmma_instructions = p.hmma_instructions;
+        s.ipc = s.cycles > 0 ? static_cast<double>(s.instructions) /
+                                   static_cast<double>(s.cycles)
+                             : 0.0;
+        s.mem = p.mem;
+        s.macro_latency = p.macro_latency;
+        s.stalls = p.stalls;
+        return s;
+    }
     s.instructions = l.grid.stats.instructions();
     s.hmma_instructions = l.grid.stats.hmma_instructions();
     // Sampled mode: shadow CTAs executed no instructions — scale the
@@ -376,7 +574,7 @@ ExecutionEngine::report_deadlock()
 }
 
 ExecutionEngine::StepResult
-ExecutionEngine::step()
+ExecutionEngine::step(uint64_t bound)
 {
     RunState& rs = *run_;
     uint64_t now = rs.now;
@@ -444,12 +642,22 @@ ExecutionEngine::step()
     // functional global-memory accesses and grid CTA completions.
     // Sampled mode also collects each CTA's measured latency for the
     // shadow estimators and retires due shadow CTAs.
+    // Replay recording also wants completions: each one becomes an
+    // occupancy-timeline sample in the launch's profile.  Sampled and
+    // replay modes are mutually exclusive (ctor-enforced), so the two
+    // consumers never contend for the buffer.
+    bool recording = false;
+    for (const auto& l : rs.resident)
+        if (!l->record_key.empty())
+            recording = true;
     const bool sampled = !rs.shadows.empty();
     completions_.clear();
     for (SM* sm : cycled_)
-        sm->commit_tick(sampled ? &completions_ : nullptr);
+        sm->commit_tick((sampled || recording) ? &completions_ : nullptr);
     if (sampled)
         shadow_commit(now);
+    else if (recording)
+        record_occupancy(now);
 
     // The busy list for the next tick (ascending, since cycled_ is).
     rs.busy_sms.clear();
@@ -457,6 +665,17 @@ ExecutionEngine::step()
         if (sm->busy_cached())
             rs.busy_sms.push_back(sm->id());
     ++rs.stats.ticks;
+
+    // Replayed launches complete by the clock, not by CTA drain: mark
+    // each one done once its recorded duration elapses.  Unconditional
+    // on replay_mode so a snapshot captured mid-replay resumes
+    // correctly on a replay-off engine.
+    for (const auto& l : rs.resident) {
+        if (l->replay_profile && !l->grid.done() && now >= l->replay_done) {
+            l->grid.ctas_done = l->desc.grid_ctas;
+            l->grid.finish_cycle = l->replay_done;
+        }
+    }
 
     // Retire launches whose last CTA drained this tick: finalize in
     // residency order, then one forget pass over the SMs for all of
@@ -469,6 +688,7 @@ ExecutionEngine::step()
             continue;
         rs.last_finish = std::max(rs.last_finish, l->grid.finish_cycle);
         rs.stats.kernels.push_back(finalize(*l));
+        finish_replay(*l, rs.stats.kernels.back());
         for (StreamRun& sr : rs.stream_runs)
             if (sr.live == l.get())
                 sr.live = nullptr;
@@ -507,6 +727,12 @@ ExecutionEngine::step()
             for (const ShadowCta& c : sh.resident)
                 if (c.predicted_done != 0)
                     e = std::min(e, c.predicted_done);
+        // Replayed launches never touch an SM: their scheduled
+        // completion is the only event that will unblock them (and a
+        // replay-only chip would otherwise trip the dead-chip panic).
+        for (const auto& l : rs.resident)
+            if (l->replay_profile && !l->grid.done())
+                e = std::min(e, l->replay_done);
         if (e == UINT64_MAX) {
             if (!rs.resident.empty()) {
                 // Work is on the chip but no SM can ever advance: an
@@ -524,6 +750,12 @@ ExecutionEngine::step()
             // host may record the missing event and resume.
             return StepResult::kBlocked;
         }
+        // Never leap past a bounded advance's target: the host has a
+        // stimulus (a request arrival, a deadline) to deliver at
+        // bound + 1, and a replay-heavy chip's next scheduled event can
+        // be an entire kernel duration beyond it.
+        if (bound != UINT64_MAX && e > bound + 1)
+            e = std::max(bound + 1, now + 1);
         if (e > now + 1 && opts_.idle_skip) {
             uint64_t gap = e - (now + 1);
             for (int id : rs.busy_sms)
@@ -568,9 +800,13 @@ ExecutionEngine::fill_totals(EngineStats* out) const
                                      static_cast<double>(out->cycles)
                                : 0.0;
     out->mem = mem_->stats();
+    // Replayed launches' traffic never reached the memory system or
+    // any SM: fold their recorded deltas into the totals.
+    out->mem.add(run_->replay_mem);
     out->stalls = StallCounts{};
     for (const auto& sm : run_->sms)
         sm->add_stalls(&out->stalls);
+    out->stalls.add(run_->replay_stalls);
     out->current_cycle = run_->now;
 }
 
@@ -593,10 +829,10 @@ ExecutionEngine::finish()
 
 template <typename DoneFn>
 EngineStats
-ExecutionEngine::advance(DoneFn done, bool pause_on_block)
+ExecutionEngine::advance(DoneFn done, bool pause_on_block, uint64_t bound)
 {
     while (!done()) {
-        switch (step()) {
+        switch (step(bound)) {
           case StepResult::kDrained:
             return finish();
           case StepResult::kBlocked:
@@ -627,7 +863,7 @@ ExecutionEngine::run_until(const std::vector<Stream*>& streams,
     // A bounded advance pauses on host-resolvable waits instead of
     // throwing: the caller may record the missing event and resume.
     return advance([&] { return run_->now > cycle; },
-                   /*pause_on_block=*/true);
+                   /*pause_on_block=*/true, /*bound=*/cycle);
 }
 
 void
@@ -696,84 +932,11 @@ ExecutionEngine::synchronize(const std::vector<Stream*>& streams,
 
 // ---- Snapshot serialization -------------------------------------
 
+// Scalar stat codecs (stalls / mem / macro-latency) live in
+// sim/stats_codec.h, shared with the replay-profile archive so both
+// formats walk the same field order.
+
 namespace {
-
-void
-save_stalls(SnapshotWriter& w, const StallCounts& s)
-{
-    for (uint64_t c : s.counts)
-        w.u64(c);
-}
-
-void
-load_stalls(SnapshotReader& r, StallCounts* s)
-{
-    for (uint64_t& c : s->counts)
-        c = r.u64();
-}
-
-void
-save_mem_stats(SnapshotWriter& w, const MemStats& m)
-{
-    w.u64(m.l1_hits);
-    w.u64(m.l1_misses);
-    w.u64(m.l2_hits);
-    w.u64(m.l2_misses);
-    w.u64(m.dram_bytes);
-    w.u64(m.global_sectors);
-    w.u64(m.mshr_merges);
-    w.u64(m.noc_queue_cycles);
-    w.u64(m.l2_queue_cycles);
-    w.u64(m.dram_queue_cycles);
-    w.u64(m.dram_turnarounds);
-    w.u64(m.mshr_peak);
-}
-
-void
-load_mem_stats(SnapshotReader& r, MemStats* m)
-{
-    m->l1_hits = r.u64();
-    m->l1_misses = r.u64();
-    m->l2_hits = r.u64();
-    m->l2_misses = r.u64();
-    m->dram_bytes = r.u64();
-    m->global_sectors = r.u64();
-    m->mshr_merges = r.u64();
-    m->noc_queue_cycles = r.u64();
-    m->l2_queue_cycles = r.u64();
-    m->dram_queue_cycles = r.u64();
-    m->dram_turnarounds = r.u64();
-    m->mshr_peak = r.u64();
-}
-
-void
-save_macro_latency(SnapshotWriter& w,
-                   const std::map<MacroClass, Histogram>& m)
-{
-    w.u64(m.size());
-    for (const auto& [mc, h] : m) {
-        w.i32(static_cast<int32_t>(mc));
-        // Samples in recorded order: percentiles sort copies, so the
-        // stored order is what merge order produced and must survive.
-        w.u64(h.count());
-        for (double v : h.samples())
-            w.f64(v);
-    }
-}
-
-void
-load_macro_latency(SnapshotReader& r, std::map<MacroClass, Histogram>* m)
-{
-    m->clear();
-    uint64_t n = r.u64();
-    for (uint64_t i = 0; i < n; ++i) {
-        MacroClass mc = static_cast<MacroClass>(r.i32());
-        Histogram& h = (*m)[mc];
-        uint64_t count = r.u64();
-        for (uint64_t s = 0; s < count; ++s)
-            h.add(r.f64());
-    }
-}
 
 void
 save_launch_stats(SnapshotWriter& w, const LaunchStats& k)
@@ -885,6 +1048,23 @@ ExecutionEngine::save_state(SnapshotWriter& w,
         w.u64(g.finish_cycle);
         save_run_stats(w, g.stats);
         save_mem_stats(w, l->mem_base);
+        // Replay state: a launch may be mid-replay (profile + done
+        // cycle), recording (key + occupancy scratch), or verifying.
+        w.b(l->replay_profile != nullptr);
+        if (l->replay_profile) {
+            save_profile(w, *l->replay_profile);
+            w.u64(l->replay_done);
+        }
+        w.str(l->record_key);
+        w.u64(l->record_seq);
+        w.b(l->verify_expect != nullptr);
+        if (l->verify_expect)
+            save_profile(w, *l->verify_expect);
+        w.u64(l->occupancy.size());
+        for (const OccupancyPhase& ph : l->occupancy) {
+            w.u64(ph.offset);
+            w.u32(ph.ctas_left);
+        }
         grids.push_back(&l->grid);
     }
 
@@ -930,6 +1110,24 @@ ExecutionEngine::save_state(SnapshotWriter& w,
         w.u64(est.win_sum);
         w.u64(est.win_count);
     }
+
+    // Replay run-state: warmth trackers, verify sampling counter, the
+    // hit/miss/verified tallies, and the accumulated deltas of already
+    // retired replayed launches (fill_totals folds them into totals).
+    w.tag(kTagReplay);
+    w.str(rs.last_finished_key);
+    w.b(rs.any_finished);
+    w.u64(rs.replay_attempts);
+    w.u64(rs.replay_seq.size());
+    for (const auto& [key, seq] : rs.replay_seq) {
+        w.str(key);
+        w.u64(seq);
+    }
+    w.u64(rs.stats.replay_hits);
+    w.u64(rs.stats.replay_misses);
+    w.u64(rs.stats.replay_verified);
+    save_mem_stats(w, rs.replay_mem);
+    save_stalls(w, rs.replay_stalls);
 }
 
 void
@@ -974,6 +1172,24 @@ ExecutionEngine::load_state(SnapshotReader& r,
         l->grid.finish_cycle = r.u64();
         load_run_stats(r, &l->grid.stats);
         load_mem_stats(r, &l->mem_base);
+        if (r.b()) {
+            l->replay_profile = std::make_unique<KernelTimingProfile>(
+                load_profile(r));
+            l->replay_done = r.u64();
+        }
+        l->record_key = r.str();
+        l->record_seq = r.u64();
+        if (r.b())
+            l->verify_expect = std::make_unique<KernelTimingProfile>(
+                load_profile(r));
+        uint64_t nocc = r.u64();
+        l->occupancy.reserve(nocc);
+        for (uint64_t o = 0; o < nocc; ++o) {
+            OccupancyPhase ph;
+            ph.offset = r.u64();
+            ph.ctas_left = r.u32();
+            l->occupancy.push_back(ph);
+        }
         rs.resident.push_back(std::move(l));
     }
     for (const auto& l : rs.resident)
@@ -1046,6 +1262,21 @@ ExecutionEngine::load_state(SnapshotReader& r,
         est.win_count = r.u64();
         rs.estimators.emplace(gid, est);
     }
+
+    r.tag(kTagReplay);
+    rs.last_finished_key = r.str();
+    rs.any_finished = r.b();
+    rs.replay_attempts = r.u64();
+    uint64_t nseq = r.u64();
+    for (uint64_t i = 0; i < nseq; ++i) {
+        std::string key = r.str();
+        rs.replay_seq[std::move(key)] = r.u64();
+    }
+    rs.stats.replay_hits = r.u64();
+    rs.stats.replay_misses = r.u64();
+    rs.stats.replay_verified = r.u64();
+    load_mem_stats(r, &rs.replay_mem);
+    load_stalls(r, &rs.replay_stalls);
 }
 
 EngineStats

@@ -61,6 +61,7 @@
 #include "sim/grid_run.h"
 #include "sim/kernel_desc.h"
 #include "sim/mem/memory_system.h"
+#include "sim/replay/replay_cache.h"
 #include "sim/stream.h"
 #include "sim/worker_pool.h"
 
@@ -124,6 +125,14 @@ struct EngineStats
      *  cycles skipped because every SM was provably stalled. */
     uint64_t ticks = 0;
     uint64_t skipped_cycles = 0;
+
+    /** Replay-cache telemetry (SimOptions::replay_mode): launches
+     *  completed from a recorded profile, launches simulated in
+     *  detail because no profile matched (these record one), and
+     *  replayed launches re-simulated by verify mode. */
+    uint64_t replay_hits = 0;
+    uint64_t replay_misses = 0;
+    uint64_t replay_verified = 0;
 
     /** Engine clock when this result was produced.  For a paused run
      *  (run_until/synchronize) this is the next cycle the engine will
@@ -196,6 +205,47 @@ struct SimOptions
      *  estimator: each window that observed at least one detailed CTA
      *  completion replaces the running mean. */
     uint64_t sample_window = 4096;
+
+    /** Kernel-timing replay cache mode (see sim/replay/). */
+    enum class ReplayMode {
+        kOff,     ///< Always simulate in detail (the default).
+        kRecord,  ///< Detail everything; record profiles into the cache.
+        kReplay,  ///< Replay fingerprint hits; detail + record misses.
+        kVerify,  ///< kReplay, but re-simulate 1-in-N hits in detail
+                  ///< and fail the run on divergence past the bound.
+                  ///< Strict by construction: the re-simulated kernel
+                  ///< runs beside *replayed* neighbors (which occupy
+                  ///< no SMs), so under concurrent workloads it lacks
+                  ///< the contention the profile was recorded under
+                  ///< and can flag divergence even when the
+                  ///< end-to-end replay is exact.  Best suited to
+                  ///< serial / sweep-style runs.
+    };
+    /**
+     * Memoize detailed kernel executions and replay fingerprint-
+     * matching launches as coarse timeline events: completion is
+     * scheduled from the recorded duration, statistics apply as
+     * recorded deltas, and stream/event/task-graph ordering is
+     * untouched.  Launches with an empty KernelDesc::timing_key or
+     * with functional=true (replay would skip their data movement)
+     * always run in detail.  Mutually exclusive with detailed_sms
+     * (the engine throws): sampled profiles would poison the cache.
+     */
+    ReplayMode replay_mode = ReplayMode::kOff;
+    /** Verify mode: re-simulate every Nth fingerprint hit (the first
+     *  hit always verifies). */
+    int replay_verify_every = 8;
+    /** Verify mode: maximum |replayed - detailed| / detailed cycle
+     *  divergence; instruction counters must match exactly. */
+    double replay_verify_bound = 0.05;
+    /**
+     * Cache to consult and fill (borrowed; must outlive the engine).
+     * Null with replay enabled = the engine lazily owns a private
+     * cache, scoped to its lifetime.  Sharing one cache across
+     * scenarios makes results depend on run order — deterministic
+     * drivers give each scenario its own seeded copy.
+     */
+    ReplayCache* replay_cache = nullptr;
 };
 
 /** Thrown when no stream can make progress: every unfinished stream
@@ -305,6 +355,25 @@ class ExecutionEngine
         KernelDesc desc;
         GridRun grid;
         MemStats mem_base;  ///< Memory counters at residency start.
+
+        /** Replay cache (SimOptions::replay_mode).  record_key
+         *  non-empty = this launch runs in detail and its profile is
+         *  recorded at retire.  replay_profile non-null = a hit: no
+         *  CTA ever dispatches and the grid completes at replay_done
+         *  with the profile's statistics.  verify_expect non-null =
+         *  a verify-mode hit running in detail; retire compares it
+         *  against the profile and throws on divergence. */
+        std::string record_key;
+        /** Sequence slot assigned at promotion (per-run, per-key
+         *  occurrence index); a recorded duration lands in this slot
+         *  of the cache entry's duration sequence. */
+        uint64_t record_seq = 0;
+        std::unique_ptr<KernelTimingProfile> replay_profile;
+        uint64_t replay_done = 0;
+        std::unique_ptr<KernelTimingProfile> verify_expect;
+        /** Recording scratch: CTA-retirement samples, compacted to
+         *  kMaxOccupancyPhases. */
+        std::vector<OccupancyPhase> occupancy;
     };
 
     /** Per-stream progress: launches run strictly in stream order. */
@@ -391,6 +460,27 @@ class ExecutionEngine
         /** Sampled mode: shadow SMs and per-grid-id estimators. */
         std::vector<ShadowSm> shadows;
         std::map<int, CtaRateEstimator> estimators;
+
+        /** Replay warmth tracking: the timing_key of the most
+         *  recently retired launch (empty for uncacheable kernels)
+         *  and whether anything has retired at all.  Updated in
+         *  residency order at retire — replayed launches update it
+         *  too, so a replay run walks the same warmth sequence the
+         *  detailed run recorded. */
+        std::string last_finished_key;
+        bool any_finished = false;
+        /** Verify mode: fingerprint hits seen so far (the 1-in-N
+         *  verification counter — deterministic, serialized). */
+        uint64_t replay_attempts = 0;
+        /** Per-key hit counters: the i-th hit of a fingerprint is
+         *  served the i-th recorded duration, so replaying a recorded
+         *  trace walks the recorded sequence in order (serialized). */
+        std::map<std::string, uint64_t> replay_seq;
+        /** Counter deltas of retired *replayed* launches: the memory
+         *  system and SMs never saw this traffic, so fill_totals
+         *  folds these into the run totals. */
+        MemStats replay_mem;
+        StallCounts replay_stalls;
     };
 
     /** Validate queued launches, begin a run if none is active, and
@@ -415,8 +505,12 @@ class ExecutionEngine
                    ///< action can complete; the clock did not advance.
     };
 
-    /** One engine tick. */
-    StepResult step();
+    /** One engine tick.  The idle-skip fold never jumps the clock past
+     *  @p bound + 1: a bounded advance (run_until) is a promise that
+     *  the host has a stimulus to deliver there, and a replayed-only
+     *  chip — whose sole scheduled event can be an entire kernel
+     *  duration away — would otherwise leap over it. */
+    StepResult step(uint64_t bound);
 
     /** Process stream queues at @p now until a fixpoint: promote
      *  launches, complete records, satisfy waits, fire callbacks.
@@ -425,6 +519,21 @@ class ExecutionEngine
     bool promote_streams(uint64_t now);
 
     bool dispatch_to(SM* sm);
+    /** Replay fingerprint of @p k at the current warmth class, or
+     *  empty when the launch is uncacheable (no timing_key, or
+     *  functional: replay would skip its data movement). */
+    std::string replay_key(const KernelDesc& k) const;
+    /** Classify a freshly promoted launch against the replay cache:
+     *  arm it for replay (hit), detailed verification (1-in-N hit in
+     *  verify mode), or record-at-retire (miss / record mode). */
+    void classify_replay(Launch* l, uint64_t now);
+    /** Fold this tick's CTA completions into the occupancy scratch of
+     *  recording launches (record path of the profile timeline). */
+    void record_occupancy(uint64_t now);
+    /** Retire-side replay bookkeeping for @p l (finalized as @p ls):
+     *  verify divergence, record the profile, accumulate replayed
+     *  counter deltas, update warmth tracking. */
+    void finish_replay(Launch& l, const LaunchStats& ls);
     /** Place one CTA on shadow SM @p sh at @p now, if any resident
      *  grid with a ready estimator fits.  Sampled mode only. */
     bool dispatch_shadow(ShadowSm& sh, uint64_t now);
@@ -442,15 +551,25 @@ class ExecutionEngine
     /** Advance until @p done_fn() or the run drains; returns final or
      *  snapshot stats accordingly.  When the run blocks on waits only
      *  the host can resolve, pause (snapshot) if @p pause_on_block,
-     *  else throw EngineDeadlockError with the wait graph. */
+     *  else throw EngineDeadlockError with the wait graph.  @p bound
+     *  caps each tick's idle-skip jump (see step()). */
     template <typename DoneFn>
-    EngineStats advance(DoneFn done, bool pause_on_block);
+    EngineStats advance(DoneFn done, bool pause_on_block,
+                        uint64_t bound = UINT64_MAX);
     [[noreturn]] void report_deadlock();
 
     const GpuConfig& cfg_;
     SimOptions opts_;
     MemorySystem* mem_;
     ExecutorCache* executors_;
+
+    /** Replay cache in use (opts_.replay_cache, or the lazily owned
+     *  private one when none was supplied); null when replay_mode is
+     *  kOff. */
+    ReplayCache* replay_cache_ = nullptr;
+    std::unique_ptr<ReplayCache> owned_cache_;
+    /** GpuConfig digest baked into every replay fingerprint. */
+    uint64_t config_hash_ = 0;
 
     /** Resolved sim_threads (0 -> hardware concurrency). */
     int threads_ = 1;

@@ -102,88 +102,6 @@ Gpu::synchronize(const Event& event)
     return engine_.synchronize(active_streams(), event);
 }
 
-namespace {
-
-/** FNV-1a accumulator over GpuConfig fields. */
-class ConfigHasher
-{
-  public:
-    void bytes(const void* p, size_t n)
-    {
-        const uint8_t* b = static_cast<const uint8_t*>(p);
-        for (size_t i = 0; i < n; ++i)
-            h_ = (h_ ^ b[i]) * 0x100000001b3ull;
-    }
-    void u64(uint64_t v) { bytes(&v, sizeof v); }
-    void i(int64_t v) { u64(static_cast<uint64_t>(v)); }
-    void d(double v)
-    {
-        uint64_t bits;
-        std::memcpy(&bits, &v, sizeof bits);
-        u64(bits);
-    }
-    uint64_t value() const { return h_; }
-
-  private:
-    uint64_t h_ = 0xcbf29ce484222325ull;
-};
-
-/** Digest of every timing-relevant GpuConfig field (the name is
- *  cosmetic and excluded: renamed-but-identical configs may exchange
- *  snapshots). */
-uint64_t
-hash_config(const GpuConfig& c)
-{
-    ConfigHasher h;
-    h.i(static_cast<int>(c.arch));
-    h.i(c.num_sms);
-    h.i(c.subcores_per_sm);
-    h.i(c.tensor_cores_per_subcore);
-    h.i(c.max_warps_per_sm);
-    h.i(c.max_ctas_per_sm);
-    h.i(c.registers_per_sm);
-    h.i(c.shared_mem_per_sm);
-    h.d(c.clock_ghz);
-    h.i(c.fp32_lanes);
-    h.i(c.int_lanes);
-    h.i(c.fp64_lanes);
-    h.i(c.mufu_lanes);
-    h.i(c.fp32_latency);
-    h.i(c.int_latency);
-    h.i(c.fp64_latency);
-    h.i(c.mufu_latency);
-    h.i(c.fedp_units_per_tc);
-    h.i(c.fedp_pipeline_stages);
-    h.i(c.hmma_issue_interval);
-    h.i(c.max_tc_warps_per_sm);
-    h.i(c.ldst_queue_depth);
-    h.i(c.shared_mem_banks);
-    h.i(c.shared_mem_latency);
-    h.i(c.l1_size);
-    h.i(c.l1_line_bytes);
-    h.i(c.l1_sector_bytes);
-    h.i(c.l1_assoc);
-    h.i(c.l1_hit_latency);
-    h.i(c.l2_size);
-    h.i(c.l2_assoc);
-    h.i(c.l2_hit_latency);
-    h.i(c.dram_latency);
-    h.i(c.num_mem_partitions);
-    h.d(c.dram_bytes_per_cycle_per_partition);
-    h.i(c.mio_bytes_per_cycle);
-    h.i(c.l1_mshr_entries);
-    h.i(c.l2_banks);
-    h.d(c.l2_bank_bytes_per_cycle);
-    h.i(c.l2_bank_queue_depth);
-    h.d(c.noc_bytes_per_cycle);
-    h.i(c.noc_queue_depth);
-    h.i(c.dram_queue_depth);
-    h.i(c.dram_rw_turnaround);
-    return h.value();
-}
-
-}  // namespace
-
 Snapshot
 Gpu::snapshot() const
 {

@@ -30,6 +30,18 @@ struct KernelDesc
      *  data).  Disable for timing-only runs at large problem sizes. */
     bool functional = true;
 
+    /**
+     * Timing fingerprint of the generated program: every builder
+     * parameter the trace depends on (family, shape, precision,
+     * layouts, CTA geometry, arch), set by the kernel builders.  Two
+     * descriptors with equal timing_key produce identical instruction
+     * traces modulo operand addresses.  Empty = uncacheable: the
+     * replay cache (SimOptions::replay_mode) always simulates such
+     * launches in detail.  Renaming a kernel (desc.name) does not
+     * change its timing_key.
+     */
+    std::string timing_key;
+
     /** Produces the instruction trace of warp @p warp_id (within the
      *  CTA) of CTA @p cta_id.  Called lazily at CTA dispatch. */
     std::function<WarpProgram(int cta_id, int warp_id)> trace;

@@ -94,6 +94,26 @@ struct MemStats
         s.mshr_peak = mshr_peak;  // A high-water mark does not window.
         return s;
     }
+
+    /** Accumulate @p other into this (replayed-launch deltas folding
+     *  into run totals).  mshr_peak takes the max: it is a high-water
+     *  mark, not a flow counter. */
+    void add(const MemStats& other)
+    {
+        l1_hits += other.l1_hits;
+        l1_misses += other.l1_misses;
+        l2_hits += other.l2_hits;
+        l2_misses += other.l2_misses;
+        dram_bytes += other.dram_bytes;
+        global_sectors += other.global_sectors;
+        mshr_merges += other.mshr_merges;
+        noc_queue_cycles += other.noc_queue_cycles;
+        l2_queue_cycles += other.l2_queue_cycles;
+        dram_queue_cycles += other.dram_queue_cycles;
+        dram_turnarounds += other.dram_turnarounds;
+        mshr_peak = mshr_peak > other.mshr_peak ? mshr_peak
+                                                : other.mshr_peak;
+    }
 };
 
 /** Timing + functional chip memory. */

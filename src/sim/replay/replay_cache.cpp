@@ -1,0 +1,254 @@
+#include "sim/replay/replay_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "sim/stats_codec.h"
+
+namespace tcsim {
+
+namespace {
+
+/** Archive magic + layout version.  Bump the version on any change to
+ *  the profile field order (save_profile below). */
+constexpr char kMagic[4] = {'T', 'C', 'R', 'P'};
+constexpr uint32_t kReplayArchiveVersion = 1;
+
+}  // namespace
+
+void
+save_profile(SnapshotWriter& w, const KernelTimingProfile& p)
+{
+    w.u64(p.cycles);
+    w.u64(p.instructions);
+    w.u64(p.hmma_instructions);
+    save_mem_stats(w, p.mem);
+    save_stalls(w, p.stalls);
+    save_macro_latency(w, p.macro_latency);
+    w.u64(p.occupancy.size());
+    for (const OccupancyPhase& o : p.occupancy) {
+        w.u64(o.offset);
+        w.u32(o.ctas_left);
+    }
+}
+
+KernelTimingProfile
+load_profile(SnapshotReader& r)
+{
+    KernelTimingProfile p;
+    p.cycles = r.u64();
+    p.instructions = r.u64();
+    p.hmma_instructions = r.u64();
+    load_mem_stats(r, &p.mem);
+    load_stalls(r, &p.stalls);
+    load_macro_latency(r, &p.macro_latency);
+    uint64_t n = r.u64();
+    p.occupancy.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        OccupancyPhase o;
+        o.offset = r.u64();
+        o.ctas_left = r.u32();
+        p.occupancy.push_back(o);
+    }
+    return p;
+}
+
+ReplayCache::ReplayCache(const ReplayCache& other)
+{
+    std::lock_guard<std::mutex> lk(other.mu_);
+    profiles_ = other.profiles_;
+}
+
+ReplayCache&
+ReplayCache::operator=(const ReplayCache& other)
+{
+    if (this == &other)
+        return *this;
+    std::map<std::string, Entry> copy;
+    {
+        std::lock_guard<std::mutex> lk(other.mu_);
+        copy = other.profiles_;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    profiles_ = std::move(copy);
+    return *this;
+}
+
+bool
+ReplayCache::lookup(const std::string& key, uint64_t seq,
+                    KernelTimingProfile* out) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = profiles_.find(key);
+    if (it == profiles_.end())
+        return false;
+    const Entry& e = it->second;
+    *out = e.profile;
+    // Walk the recorded sequence: the engine's i-th occurrence of
+    // this key gets the i-th recorded duration, so replaying the
+    // recorded trace hands every launch its own duration; a different
+    // trace cycles through the recorded empirical distribution.  A
+    // slot can be unfilled (0) when its recording run was cut short
+    // mid-flight — fall back to the first-recorded duration.
+    uint64_t d = e.durations[seq % e.durations.size()];
+    out->cycles = d > 0 ? d : e.profile.cycles;
+    return true;
+}
+
+void
+ReplayCache::record(const std::string& key, uint64_t seq,
+                    KernelTimingProfile profile)
+{
+    const uint64_t cycles = profile.cycles;
+    std::lock_guard<std::mutex> lk(mu_);
+    auto [it, inserted] = profiles_.try_emplace(key);
+    if (inserted)
+        it->second.profile = std::move(profile);
+    if (seq >= kMaxRecordedDurations)
+        return;
+    if (it->second.durations.size() <= seq)
+        it->second.durations.resize(seq + 1, 0);
+    it->second.durations[static_cast<size_t>(seq)] = cycles;
+}
+
+size_t
+ReplayCache::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return profiles_.size();
+}
+
+std::vector<std::string>
+ReplayCache::keys() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<std::string> out;
+    out.reserve(profiles_.size());
+    for (const auto& [k, p] : profiles_)
+        out.push_back(k);
+    return out;
+}
+
+std::vector<uint8_t>
+ReplayCache::serialize() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    SnapshotWriter w;
+    w.bytes(kMagic, sizeof kMagic);
+    w.u32(kReplayArchiveVersion);
+    w.u64(profiles_.size());
+    for (const auto& [key, e] : profiles_) {
+        w.str(key);
+        save_profile(w, e.profile);
+        w.u64(e.durations.size());
+        for (uint64_t d : e.durations)
+            w.u64(d);
+    }
+    return w.take();
+}
+
+void
+ReplayCache::deserialize(const std::vector<uint8_t>& data)
+{
+    SnapshotReader r(data);
+    char magic[4];
+    r.bytes(magic, sizeof magic);
+    if (std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+        throw SnapshotError("replay cache: bad magic (not a TCRP archive)");
+    uint32_t version = r.u32();
+    if (version != kReplayArchiveVersion)
+        throw SnapshotError(
+            "replay cache: format version mismatch (archive v" +
+            std::to_string(version) + ", this build v" +
+            std::to_string(kReplayArchiveVersion) + ")");
+    uint64_t n = r.u64();
+    for (uint64_t i = 0; i < n; ++i) {
+        std::string key = r.str();
+        KernelTimingProfile p = load_profile(r);
+        uint64_t count = r.u64();
+        if (count == 0)
+            throw SnapshotError(
+                "replay cache: entry \"" + key +
+                "\" has no recorded durations (corrupt archive?)");
+        std::vector<uint64_t> durations;
+        durations.reserve(count);
+        for (uint64_t d = 0; d < count; ++d)
+            durations.push_back(r.u64());
+        // Merge: the first-seen profile keeps the counter fields;
+        // duration sequences append in file order (load_dir sorts by
+        // name, so a fixed file set merges deterministically).
+        std::lock_guard<std::mutex> lk(mu_);
+        auto [it, inserted] = profiles_.try_emplace(std::move(key));
+        if (inserted)
+            it->second.profile = std::move(p);
+        for (uint64_t d : durations) {
+            if (it->second.durations.size() >= kMaxRecordedDurations)
+                break;
+            it->second.durations.push_back(d);
+        }
+    }
+    if (!r.done())
+        throw SnapshotError("replay cache: trailing bytes after entries");
+}
+
+bool
+ReplayCache::save_file(const std::string& path) const
+{
+    std::vector<uint8_t> bytes = serialize();
+    std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    size_t wrote = bytes.empty()
+                       ? 0
+                       : std::fwrite(bytes.data(), 1, bytes.size(), f);
+    bool ok = std::fclose(f) == 0 && wrote == bytes.size();
+    if (!ok) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+ReplayCache::load_file(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::vector<uint8_t> bytes;
+    uint8_t buf[1 << 16];
+    for (size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;)
+        bytes.insert(bytes.end(), buf, buf + n);
+    std::fclose(f);
+    deserialize(bytes);
+    return true;
+}
+
+size_t
+ReplayCache::load_dir(const std::string& dir)
+{
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec)
+        return 0;
+    std::vector<std::string> files;
+    for (const auto& entry : it) {
+        if (entry.is_regular_file() && entry.path().extension() == ".rpc")
+            files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    size_t merged = 0;
+    for (const std::string& f : files)
+        merged += load_file(f) ? 1 : 0;
+    return merged;
+}
+
+}  // namespace tcsim

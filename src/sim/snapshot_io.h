@@ -187,6 +187,7 @@ enum : uint8_t {
     kTagSubCore = 0x63,      // 'c'
     kTagWarp = 0x77,         // 'w'
     kTagShadow = 0x68,       // 'h'
+    kTagReplay = 0x72,       // 'r'
     kTagEnd = 0x5a,          // 'Z'
 };
 

@@ -1,0 +1,98 @@
+#pragma once
+/**
+ * @file
+ * Shared snapshot codecs for the statistics value types (MemStats,
+ * StallCounts, macro-latency histogram maps).  Both the engine's run
+ * archive (save_state/load_state) and the replay-cache profile codec
+ * serialize these — one definition keeps the field order from
+ * diverging between the two formats.
+ */
+
+#include <map>
+
+#include "common/stats.h"
+#include "isa/instruction.h"
+#include "sim/core/stall.h"
+#include "sim/mem/memory_system.h"
+#include "sim/snapshot_io.h"
+
+namespace tcsim {
+
+inline void
+save_stalls(SnapshotWriter& w, const StallCounts& s)
+{
+    for (uint64_t c : s.counts)
+        w.u64(c);
+}
+
+inline void
+load_stalls(SnapshotReader& r, StallCounts* s)
+{
+    for (uint64_t& c : s->counts)
+        c = r.u64();
+}
+
+inline void
+save_mem_stats(SnapshotWriter& w, const MemStats& m)
+{
+    w.u64(m.l1_hits);
+    w.u64(m.l1_misses);
+    w.u64(m.l2_hits);
+    w.u64(m.l2_misses);
+    w.u64(m.dram_bytes);
+    w.u64(m.global_sectors);
+    w.u64(m.mshr_merges);
+    w.u64(m.noc_queue_cycles);
+    w.u64(m.l2_queue_cycles);
+    w.u64(m.dram_queue_cycles);
+    w.u64(m.dram_turnarounds);
+    w.u64(m.mshr_peak);
+}
+
+inline void
+load_mem_stats(SnapshotReader& r, MemStats* m)
+{
+    m->l1_hits = r.u64();
+    m->l1_misses = r.u64();
+    m->l2_hits = r.u64();
+    m->l2_misses = r.u64();
+    m->dram_bytes = r.u64();
+    m->global_sectors = r.u64();
+    m->mshr_merges = r.u64();
+    m->noc_queue_cycles = r.u64();
+    m->l2_queue_cycles = r.u64();
+    m->dram_queue_cycles = r.u64();
+    m->dram_turnarounds = r.u64();
+    m->mshr_peak = r.u64();
+}
+
+inline void
+save_macro_latency(SnapshotWriter& w,
+                   const std::map<MacroClass, Histogram>& m)
+{
+    w.u64(m.size());
+    for (const auto& [mc, h] : m) {
+        w.i32(static_cast<int32_t>(mc));
+        // Samples in recorded order: percentiles sort copies, so the
+        // stored order is what merge order produced and must survive.
+        w.u64(h.count());
+        for (double v : h.samples())
+            w.f64(v);
+    }
+}
+
+inline void
+load_macro_latency(SnapshotReader& r, std::map<MacroClass, Histogram>* m)
+{
+    m->clear();
+    uint64_t n = r.u64();
+    for (uint64_t i = 0; i < n; ++i) {
+        MacroClass mc = static_cast<MacroClass>(r.i32());
+        Histogram& h = (*m)[mc];
+        uint64_t count = r.u64();
+        for (uint64_t s = 0; s < count; ++s)
+            h.add(r.f64());
+    }
+}
+
+}  // namespace tcsim

@@ -142,6 +142,46 @@ TEST(LatencyStats, NearestRankPercentiles)
     EXPECT_EQ(percentile_nearest_rank({30, 10, 20}, 99.0), 30u);
 }
 
+TEST(LatencyStats, NearestRankBoundaries)
+{
+    // 1..1000: exact rank boundaries of the tail percentiles.  p99.9
+    // is the 999th sample (ceil(0.999 * 1000) = 999), not the max.
+    std::vector<uint64_t> v(1000);
+    std::iota(v.begin(), v.end(), 1);
+    EXPECT_EQ(percentile_nearest_rank(v, 99.9), 999u);
+    EXPECT_EQ(percentile_nearest_rank(v, 99.91), 1000u);
+    // With n = 10 the p99.9 rank clamps to the max sample.
+    std::vector<uint64_t> w(10);
+    std::iota(w.begin(), w.end(), 1);
+    EXPECT_EQ(percentile_nearest_rank(w, 99.9), 10u);
+    EXPECT_EQ(percentile_nearest_rank(w, 90.0), 9u);
+    // Exact multiples never round up to the next rank.
+    EXPECT_EQ(percentile_nearest_rank(w, 50.0), 5u);
+    EXPECT_EQ(percentile_nearest_rank(w, 50.01), 6u);
+}
+
+TEST(LatencyStats, ExtraPercentilesInRequestOrder)
+{
+    std::vector<RequestRecord> reqs;
+    for (int i = 0; i < 1000; ++i) {
+        RequestRecord r;
+        r.arrival_cycle = 0;
+        r.admit_cycle = 0;
+        r.finish_cycle = static_cast<uint64_t>(i + 1);
+        reqs.push_back(r);
+    }
+    LatencySummary s =
+        summarize_latency(reqs, {}, 1000, {90.0, 99.5, 50.0});
+    EXPECT_EQ(s.latency_p999, 999u);
+    ASSERT_EQ(s.latency_extra.size(), 3u);
+    EXPECT_DOUBLE_EQ(s.latency_extra[0].first, 90.0);
+    EXPECT_EQ(s.latency_extra[0].second, 900u);
+    EXPECT_DOUBLE_EQ(s.latency_extra[1].first, 99.5);
+    EXPECT_EQ(s.latency_extra[1].second, 995u);
+    EXPECT_DOUBLE_EQ(s.latency_extra[2].first, 50.0);
+    EXPECT_EQ(s.latency_extra[2].second, 500u);
+}
+
 TEST(LatencyStats, SummaryOnKnownRecords)
 {
     std::vector<RequestRecord> reqs;

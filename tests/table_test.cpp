@@ -28,6 +28,37 @@ TEST(TextTable, RendersAlignedColumns)
     ASSERT_NE(pos22, std::string::npos);
 }
 
+TEST(TextTable, MaxColWidthTruncatesWithEllipsis)
+{
+    TextTable t;
+    t.set_header({"name", "value"});
+    t.add_row({"a_scenario_name_far_longer_than_the_cap", "1"});
+    t.add_row({"short", "22"});
+    t.set_max_col_width(0, 16);
+    std::string s = t.render();
+    // The oversized cell is clipped to the cap with a ".." tail; the
+    // full text never reaches the output.
+    EXPECT_EQ(s.find("a_scenario_name_far_longer_than_the_cap"),
+              std::string::npos);
+    EXPECT_NE(s.find("a_scenario_nam.."), std::string::npos);
+    // Short cells and other columns are untouched.
+    EXPECT_NE(s.find("short"), std::string::npos);
+    EXPECT_NE(s.find("22"), std::string::npos);
+    // Every rendered line fits the capped layout: no line exceeds
+    // cap + separator + widest value column.
+    size_t start = 0;
+    while (start < s.size()) {
+        size_t end = s.find('\n', start);
+        if (end == std::string::npos)
+            end = s.size();
+        EXPECT_LE(end - start, 16u + 2u + 5u);
+        start = end + 1;
+    }
+    // CSV output is raw data: the cap is render-only.
+    EXPECT_NE(t.render_csv().find("a_scenario_name_far_longer_than_the_cap"),
+              std::string::npos);
+}
+
 TEST(TextTable, Csv)
 {
     TextTable t;

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Accuracy gate for the kernel-timing replay cache (sim.replay).
+
+Exercises the production replay flow over each scenario input: a
+full-detail reference run, a ``--replay=record`` pass that persists
+profiles to a cache directory, then a ``--replay`` pass warmed from
+that directory (the record-once / replay-many loop the cache exists
+for, including the .rpc archive round-trip).  Each input gets its own
+cache directory: a key's duration sequence is indexed by per-run
+occurrence order, so scenarios sharing fingerprints would overwrite
+each other's slots in a shared cache.  Checks, per scenario:
+
+  * every ``serve.latency_cycles`` percentile is within ``--bound``
+    of the detailed run (the replay mode's declared accuracy envelope
+    across contexts; exact-fingerprint same-context hits are exact),
+  * ``total.instructions`` and ``total.hmma_instructions`` match
+    *exactly* — profile counters are shape-deterministic, so replay
+    may move timing but never instruction work, and
+  * the replay leg actually replayed something (summed ``replay.hits``
+    over the suite > 0), so the gate cannot pass vacuously.
+
+The replay leg's own scenario assertions are advisory only: expect
+bands are tuned for full-detail runs; the bound here is the contract
+replay mode actually makes.  A replay scenario that fails to *run*
+(error string in the report) still fails the gate.
+
+Usage:
+    tools/check_replay_error.py <simrunner> <scenarios...>
+        [--bound 0.05] [--workdir DIR]
+
+Exit status: 0 when every scenario is within bounds, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def run_leg(simrunner, inputs, report, replay=None, cache=None):
+    cmd = [simrunner, "--quiet", "--jobs", "1", "--report", report]
+    if replay:
+        cmd += ["--replay={}".format(replay)]
+    if cache:
+        cmd += ["--replay-cache", cache]
+    cmd += inputs
+    print("+", " ".join(cmd), flush=True)
+    return subprocess.call(cmd)
+
+
+def by_name(report_path):
+    with open(report_path) as f:
+        doc = json.load(f)
+    return {r["name"]: r for r in doc.get("results", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="replay-cache accuracy vs full detail")
+    parser.add_argument("simrunner")
+    parser.add_argument("inputs", nargs="+",
+                        help="scenario files or directories")
+    parser.add_argument("--bound", type=float, default=0.05,
+                        help="max |replay - full| / full on serve "
+                             "latency percentiles")
+    parser.add_argument("--workdir", default=".")
+    args = parser.parse_args()
+
+    os.makedirs(args.workdir, exist_ok=True)
+    full = {}
+    replay = {}
+    for idx, inp in enumerate(args.inputs):
+        full_path = os.path.join(
+            args.workdir, "report_replay_full_{}.json".format(idx))
+        record_path = os.path.join(
+            args.workdir, "report_replay_record_{}.json".format(idx))
+        replay_path = os.path.join(
+            args.workdir, "report_replay_on_{}.json".format(idx))
+        cache_dir = os.path.join(args.workdir,
+                                 "replay_cache_{}".format(idx))
+
+        rc_full = run_leg(args.simrunner, [inp], full_path)
+        rc_record = run_leg(args.simrunner, [inp], record_path,
+                            replay="record", cache=cache_dir)
+        run_leg(args.simrunner, [inp], replay_path,
+                replay="replay", cache=cache_dir)
+        if rc_full != 0:
+            print("check_replay_error: full-detail leg failed (rc={})"
+                  .format(rc_full))
+            return 1
+        if rc_record != 0:
+            print("check_replay_error: record leg failed (rc={}) — "
+                  "recording must not perturb execution".format(rc_record))
+            return 1
+        full.update(by_name(full_path))
+        replay.update(by_name(replay_path))
+
+    failures = 0
+    total_hits = 0
+    for name, f in sorted(full.items()):
+        r = replay.get(name)
+        if r is None:
+            print("FAIL {}: missing from the replay report".format(name))
+            failures += 1
+            continue
+        if r.get("error"):
+            print("FAIL {}: replay run errored: {}".format(
+                name, r["error"]))
+            failures += 1
+            continue
+        total_hits += r.get("replay", {}).get("hits", 0)
+        for counter in ("instructions", "hmma_instructions"):
+            if f["total"][counter] != r["total"][counter]:
+                print("FAIL {}: total.{} full={} replay={} (profile "
+                      "counters are shape-deterministic)".format(
+                          name, counter, f["total"][counter],
+                          r["total"][counter]))
+                failures += 1
+        fl = f.get("serve", {}).get("latency_cycles")
+        rl = r.get("serve", {}).get("latency_cycles")
+        if fl is None:
+            continue  # Not a serving scenario: counters were the gate.
+        for key in sorted(fl):
+            fv, rv = fl[key], rl.get(key)
+            if rv is None:
+                print("FAIL {}: latency {} missing from replay".format(
+                    name, key))
+                failures += 1
+                continue
+            err = abs(rv - fv) / fv if fv else 0.0
+            ok = err <= args.bound
+            print("{} {}: latency {} full={} replay={} rel_err={:.4f} "
+                  "(bound {:.2f})".format("ok  " if ok else "FAIL", name,
+                                          key, fv, rv, err, args.bound))
+            if not ok:
+                failures += 1
+
+    if total_hits == 0:
+        print("FAIL: replay leg never hit the cache — the gate would "
+              "be vacuous")
+        failures += 1
+
+    if failures:
+        print("check_replay_error: FAILED — {} check(s) out of bounds"
+              .format(failures))
+        return 1
+    print("check_replay_error: OK — replay within {:.0%} of full-detail "
+          "serve percentiles, counters exact, {} hit(s)".format(
+              args.bound, total_hits))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

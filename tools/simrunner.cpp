@@ -16,7 +16,13 @@
  *                     scenarios' sim.sim_threads.  Results are
  *                     bit-identical for every value
  *     --report FILE   write the aggregate JSON report to FILE
- *     --filter SUB    only run scenarios whose name contains SUB
+ *     --filter SUBS   only run scenarios whose name contains any of
+ *                     the comma-separated patterns (repeatable)
+ *     --replay[=MODE] override sim.replay on every scenario
+ *                     (MODE: replay (default), record, verify, off)
+ *     --replay-cache DIR  merge every .rpc file under DIR into a
+ *                     batch-shared profile cache before running,
+ *                     write DIR/profiles.rpc after; needs --replay
  *     --fail-fast     stop the batch on the first scenario failure
  *     --list          list matching scenarios and exit
  *     --quiet         only print the summary and failures
@@ -62,6 +68,7 @@
 #include "driver/scenario.h"
 #include "driver/taskgraph.h"
 #include "metrics/metrics.h"
+#include "sim/replay/replay_cache.h"
 
 using namespace tcsim;
 
@@ -72,7 +79,9 @@ struct Options
     int jobs = 0;         ///< 0 = hardware concurrency.
     int sim_threads = -1; ///< -1 = per-scenario sim.sim_threads.
     std::string report_path;
-    std::string filter;
+    /** --filter patterns (comma-separated and/or repeated); a
+     *  scenario runs when its name contains ANY pattern. */
+    std::vector<std::string> filters;
     bool fail_fast = false;
     bool list = false;
     bool quiet = false;
@@ -82,6 +91,10 @@ struct Options
     int detailed_sms = -1;    ///< -1 = per-scenario sim.detailed_sms.
     std::string dump_dag_dir; ///< --dump-dag output directory.
     std::string trace_out_dir; ///< --trace-out output directory.
+    /** --replay mode as a SimOptions::ReplayMode int (-1 = keep the
+     *  per-scenario sim.replay setting). */
+    int replay_mode = -1;
+    std::string replay_cache_dir; ///< --replay-cache directory.
     std::vector<std::string> inputs;
 };
 
@@ -98,7 +111,13 @@ usage(std::FILE* to)
         "                  (0 = hardware concurrency; results are\n"
         "                  bit-identical for every value)\n"
         "  --report FILE   write the aggregate JSON report to FILE\n"
-        "  --filter SUB    only run scenarios whose name contains SUB\n"
+        "  --filter SUBS   only run scenarios whose name contains any\n"
+        "                  of the comma-separated patterns (repeatable)\n"
+        "  --replay[=MODE] override sim.replay on every scenario.\n"
+        "                  MODE: replay (default), record, verify, off\n"
+        "  --replay-cache DIR  share one profile cache across the\n"
+        "                  batch: merge DIR/*.rpc before running and\n"
+        "                  write DIR/profiles.rpc after (needs --replay)\n"
         "  --fail-fast     stop the batch on the first scenario failure\n"
         "  --list          list matching scenarios and exit\n"
         "  --quiet         only print the summary and failures\n"
@@ -154,7 +173,42 @@ parse_args(int argc, char** argv, Options* opts)
             const char* v = value();
             if (!v)
                 return false;
-            opts->filter = v;
+            // Comma-separated patterns; repeated flags accumulate.
+            std::string pats = v;
+            size_t start = 0;
+            while (start <= pats.size()) {
+                size_t comma = pats.find(',', start);
+                if (comma == std::string::npos)
+                    comma = pats.size();
+                if (comma > start)
+                    opts->filters.push_back(
+                        pats.substr(start, comma - start));
+                start = comma + 1;
+            }
+        } else if (arg == "--replay" ||
+                   arg.rfind("--replay=", 0) == 0) {
+            std::string mode = arg == "--replay" ? "replay"
+                                                 : arg.substr(9);
+            if (mode == "off")
+                opts->replay_mode = 0;
+            else if (mode == "record")
+                opts->replay_mode = 1;
+            else if (mode == "replay")
+                opts->replay_mode = 2;
+            else if (mode == "verify")
+                opts->replay_mode = 3;
+            else {
+                std::fprintf(stderr,
+                             "simrunner: bad --replay mode \"%s\" "
+                             "(want off|record|replay|verify)\n",
+                             mode.c_str());
+                return false;
+            }
+        } else if (arg == "--replay-cache") {
+            const char* v = value();
+            if (!v)
+                return false;
+            opts->replay_cache_dir = v;
         } else if (arg == "--sweep") {
             const char* v = value();
             if (!v)
@@ -208,6 +262,11 @@ parse_args(int argc, char** argv, Options* opts)
     if (!opts->grid_path.empty() && opts->sweep_path.empty()) {
         std::fprintf(stderr,
                      "simrunner: --grid needs a --sweep base scenario\n");
+        return false;
+    }
+    if (!opts->replay_cache_dir.empty() && opts->replay_mode < 0) {
+        std::fprintf(stderr,
+                     "simrunner: --replay-cache needs --replay[=MODE]\n");
         return false;
     }
     if (opts->inputs.empty() && opts->sweep_path.empty()) {
@@ -369,8 +428,12 @@ main(int argc, char** argv)
     for (const std::string& file : collect_files(opts.inputs)) {
         try {
             driver::Scenario sc = driver::load_scenario_file(file);
-            if (!opts.filter.empty() &&
-                sc.name.find(opts.filter) == std::string::npos)
+            if (!opts.filters.empty() &&
+                std::none_of(opts.filters.begin(), opts.filters.end(),
+                             [&](const std::string& pat) {
+                                 return sc.name.find(pat) !=
+                                        std::string::npos;
+                             }))
                 continue;
             scenarios.push_back(std::move(sc));
         } catch (const std::exception& e) {
@@ -434,6 +497,19 @@ main(int argc, char** argv)
     batch.sim_threads = opts.sim_threads;
     batch.cold_sweep = opts.cold_sweep;
     batch.detailed_sms = opts.detailed_sms;
+    ReplayCache replay_cache;
+    if (opts.replay_mode >= 0) {
+        if (!opts.replay_cache_dir.empty()) {
+            size_t merged = replay_cache.load_dir(opts.replay_cache_dir);
+            if (merged > 0)
+                std::printf("replay cache: merged %zu file(s) from %s "
+                            "(%zu profile(s))\n",
+                            merged, opts.replay_cache_dir.c_str(),
+                            replay_cache.size());
+        }
+        batch.replay.mode = opts.replay_mode;
+        batch.replay.cache = &replay_cache;
+    }
     int jobs = driver::effective_jobs(batch, scenarios);
     std::printf("running %zu scenario(s) on %d batch worker(s)",
                 scenarios.size(), jobs);
@@ -457,6 +533,10 @@ main(int argc, char** argv)
         TextTable agg;
         agg.set_header({"scenario", "status", "wall ms", "ticks/s",
                         "sim thr"});
+        // Cap the name column so one long scenario name cannot push
+        // the numeric columns past the terminal edge and wrap rows
+        // out of alignment.
+        agg.set_max_col_width(0, 48);
         for (const driver::ScenarioResult& r : report.results) {
             std::snprintf(wall, sizeof(wall), "%.1f", r.wall_ms);
             std::snprintf(tps, sizeof(tps), "%.3g", r.ticks_per_sec);
@@ -473,6 +553,35 @@ main(int argc, char** argv)
                 "(%d jobs)\n",
                 report.results.size(), failed, report.skipped(),
                 report.wall_ms, report.jobs);
+
+    if (opts.replay_mode >= 0) {
+        uint64_t hits = 0, misses = 0, verified = 0;
+        for (const driver::ScenarioResult& r : report.results) {
+            hits += r.totals.replay_hits;
+            misses += r.totals.replay_misses;
+            verified += r.totals.replay_verified;
+        }
+        std::printf("replay: %llu hit(s), %llu miss(es), %llu verified, "
+                    "%zu profile(s) cached\n",
+                    static_cast<unsigned long long>(hits),
+                    static_cast<unsigned long long>(misses),
+                    static_cast<unsigned long long>(verified),
+                    replay_cache.size());
+        if (!opts.replay_cache_dir.empty()) {
+            namespace fs = std::filesystem;
+            std::error_code ec;
+            fs::create_directories(opts.replay_cache_dir, ec);
+            const std::string path =
+                opts.replay_cache_dir + "/profiles.rpc";
+            if (replay_cache.save_file(path)) {
+                std::printf("wrote %s\n", path.c_str());
+            } else {
+                std::fprintf(stderr, "simrunner: failed to write %s\n",
+                             path.c_str());
+                ++failed;
+            }
+        }
+    }
 
     if (!opts.trace_out_dir.empty())
         failed += write_trace_files(report, opts.trace_out_dir);
