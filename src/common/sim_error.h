@@ -1,0 +1,41 @@
+#pragma once
+/**
+ * @file
+ * Typed simulation errors.
+ *
+ * Errors reachable from *scenario input* (an over-subscribed kernel,
+ * an unsatisfiable configuration, a run that exceeds its cycle or
+ * wall-clock budget) throw these instead of calling fatal()/exit(1),
+ * so a batch driver can contain one bad scenario to a structured
+ * error row while the rest of the batch completes.  Internal
+ * invariant violations still panic (common/logging.h).
+ */
+
+#include <stdexcept>
+#include <string>
+
+namespace tcsim {
+
+/** A scenario asked the simulator for something it cannot do (e.g. a
+ *  kernel whose per-CTA resources exceed any SM).  Recoverable at the
+ *  driver level: report and move on. */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string& what) : std::runtime_error(what)
+    {
+    }
+};
+
+/** The run watchdog fired: the simulation exceeded its cycle budget
+ *  (SimOptions::max_cycles), its wall-clock budget
+ *  (SimOptions::wall_budget_ms), or the chip wedged with fault-hung
+ *  kernels nobody will ever retire.  The message carries a diagnostic
+ *  dump: busy-SM list, resident grids, and the event wait graph. */
+class SimHangError : public SimError
+{
+  public:
+    explicit SimHangError(const std::string& what) : SimError(what) {}
+};
+
+}  // namespace tcsim

@@ -320,7 +320,52 @@ resolve_serve_metric(const ScenarioResult& r, const std::string& field,
         return static_cast<double>(s.busy_cycles);
     if (field == "busy_frac")
         return s.busy_frac;
+    // Resilience outcomes exist only when the scenario declared a
+    // serving.resilience object (reports stay byte-identical
+    // otherwise).
+    for (const char* m : {"deadline_miss", "goodput", "retries", "shed",
+                          "dropped", "killed_batches"})
+        if (field == m && !s.resilience)
+            throw ScenarioError("metric \"" + path +
+                                "\" needs a serving.resilience object");
+    if (field == "deadline_miss")
+        return s.deadline_miss;
+    if (field == "goodput")
+        return s.goodput;
+    if (field == "retries")
+        return s.retries;
+    if (field == "shed")
+        return s.shed;
+    if (field == "dropped")
+        return s.dropped;
+    if (field == "killed_batches")
+        return s.killed_batches;
     throw ScenarioError("unknown serve metric \"" + path + "\"");
+}
+
+double
+resolve_fault_metric(const ScenarioResult& r, const std::string& field,
+                     const std::string& path)
+{
+    if (!r.has_faults)
+        throw ScenarioError("metric \"" + path +
+                            "\" needs a \"faults\" object");
+    const FaultCounters& f = r.fault_counters;
+    if (field == "disabled_sms")
+        return static_cast<double>(f.disabled_sms);
+    if (field == "degraded_sms")
+        return static_cast<double>(f.degraded_sms);
+    if (field == "slowdowns")
+        return static_cast<double>(f.slowdowns);
+    if (field == "slowdown_extra_cycles")
+        return static_cast<double>(f.slowdown_extra_cycles);
+    if (field == "hangs")
+        return static_cast<double>(f.hangs);
+    if (field == "ecc_retries")
+        return static_cast<double>(f.ecc_retries);
+    if (field == "ecc_extra_cycles")
+        return static_cast<double>(f.ecc_extra_cycles);
+    throw ScenarioError("unknown fault metric \"" + path + "\"");
 }
 
 double
@@ -328,6 +373,8 @@ resolve_metric(const ScenarioResult& r, const std::string& path)
 {
     if (path.rfind("serve.", 0) == 0)
         return resolve_serve_metric(r, path.substr(6), path);
+    if (path.rfind("fault.", 0) == 0)
+        return resolve_fault_metric(r, path.substr(6), path);
     if (path.rfind("total.", 0) == 0)
         return resolve_total_metric(r, path.substr(6));
     if (path.rfind("verify.", 0) == 0) {
@@ -515,11 +562,26 @@ run_serving_scenario(const Scenario& scenario, const GpuConfig& cfg,
         policy = std::make_unique<serve::ContinuousBatcher>(ss.max_batch,
                                                             ss.max_in_flight);
 
-    serve::ServingResult sr = serve::run_serving(cfg, sim, ss.model, trace,
-                                                 *policy, ss.percentiles);
+    serve::ServingResilience res;
+    if (ss.resilience) {
+        res.deadline_cycles = us_to_cycles(ss.deadline_us, cfg.clock_ghz);
+        res.batch_timeout_cycles =
+            us_to_cycles(ss.batch_timeout_us, cfg.clock_ghz);
+        res.max_retries = ss.max_retries;
+        res.retry_backoff_cycles =
+            us_to_cycles(ss.retry_backoff_us, cfg.clock_ghz);
+        res.shed_queue_depth = ss.shed_queue_depth;
+    }
+
+    serve::ServingResult sr =
+        serve::run_serving(cfg, sim, ss.model, trace, *policy,
+                           ss.percentiles, res, scenario.faults);
     result->totals = sr.totals;
     result->serving = std::move(sr.report);
     result->has_serving = true;
+    result->has_faults = sr.faults_enabled;
+    if (sr.faults_enabled)
+        result->fault_counters = sr.faults;
     result->total_flops = result->serving.total_flops;
     if (result->totals.cycles > 0)
         result->total_tflops = metrics::tflops(
@@ -562,7 +624,8 @@ evaluate(const ScenarioResult& r, const Expectation& e)
 
 ScenarioResult
 run_scenario(const Scenario& scenario, int sim_threads_override,
-             int detailed_sms_override, const ReplayOverride& replay)
+             int detailed_sms_override, const ReplayOverride& replay,
+             uint64_t wall_budget_ms)
 {
     using clock = std::chrono::steady_clock;
     ScenarioResult result;
@@ -573,6 +636,8 @@ run_scenario(const Scenario& scenario, int sim_threads_override,
         sim.sim_threads = sim_threads_override;
     if (detailed_sms_override >= 0)
         sim.detailed_sms = detailed_sms_override;
+    if (wall_budget_ms > 0)
+        sim.wall_budget_ms = wall_budget_ms;
     if (replay.mode >= 0)
         sim.replay_mode = static_cast<SimOptions::ReplayMode>(replay.mode);
     if (sim.replay_mode != SimOptions::ReplayMode::kOff)
@@ -603,7 +668,7 @@ run_scenario(const Scenario& scenario, int sim_threads_override,
             return result;
         }
 
-        Gpu gpu(cfg, sim);
+        Gpu gpu(cfg, sim, scenario.faults);
 
         std::vector<PreparedKernel> prepared;
         prepared.reserve(scenario.kernels.size());
@@ -624,6 +689,10 @@ run_scenario(const Scenario& scenario, int sim_threads_override,
         enqueue_kernels(&gpu, &prepared, streams, &launches_on);
 
         result.totals = gpu.run();
+
+        result.has_faults = gpu.faults_enabled();
+        if (result.has_faults)
+            result.fault_counters = gpu.fault_counters();
 
         collect_events(&result, scenario, &gpu);
         attribute_kernels(&result, scenario, cfg);
@@ -991,7 +1060,7 @@ run_batch(const std::vector<Scenario>& scenarios, const BatchOptions& opts)
                                  opts.replay);
         else
             slots[i] = {run_scenario(sc, sim_threads, opts.detailed_sms,
-                                     opts.replay)};
+                                     opts.replay, opts.timeout_ms)};
         if (fail_fast)
             for (const ScenarioResult& r : slots[i])
                 if (!r.passed)
@@ -1149,6 +1218,20 @@ report_to_json(const BatchReport& report)
             js.set("busy_frac", s.busy_frac);
             js.set("flops", s.total_flops);
 
+            // Resilience outcome (only when the scenario declared
+            // serving.resilience — resilience-off reports stay
+            // byte-identical to pre-resilience ones).
+            if (s.resilience) {
+                JsonValue jres = JsonValue::object();
+                jres.set("deadline_miss", s.deadline_miss);
+                jres.set("goodput", s.goodput);
+                jres.set("retries", s.retries);
+                jres.set("shed", s.shed);
+                jres.set("dropped", s.dropped);
+                jres.set("killed_batches", s.killed_batches);
+                js.set("resilience", std::move(jres));
+            }
+
             JsonValue lat = JsonValue::object();
             lat.set("p50", l.latency_p50);
             lat.set("p95", l.latency_p95);
@@ -1180,6 +1263,12 @@ report_to_json(const BatchReport& report)
                 jq.set("admit_cycle", q.admit_cycle);
                 jq.set("finish_cycle", q.finish_cycle);
                 jq.set("batch", q.batch);
+                if (s.resilience) {
+                    jq.set("retries", q.retries);
+                    jq.set("shed", q.shed);
+                    jq.set("dropped", q.dropped);
+                    jq.set("deadline_missed", q.deadline_missed);
+                }
                 reqs.push_back(std::move(jq));
             }
             js.set("request_records", std::move(reqs));
@@ -1191,6 +1280,8 @@ report_to_json(const BatchReport& report)
                 jb.set("admit_cycle", b.admit_cycle);
                 jb.set("finish_cycle", b.finish_cycle);
                 jb.set("size", b.size);
+                if (s.resilience)
+                    jb.set("killed", b.killed);
                 batches.push_back(std::move(jb));
             }
             js.set("batch_records", std::move(batches));
@@ -1214,6 +1305,23 @@ report_to_json(const BatchReport& report)
             js.set("occupancy", std::move(occ));
 
             jr.set("serve", std::move(js));
+        }
+
+        // Fault-injection telemetry (only when the scenario declared
+        // "faults" — healthy-chip reports stay byte-identical).
+        // Outside "sim": every counter is a function of simulated
+        // cycles, so the fault-identity leg diffs it.
+        if (r.has_faults) {
+            const FaultCounters& f = r.fault_counters;
+            JsonValue jf = JsonValue::object();
+            jf.set("disabled_sms", f.disabled_sms);
+            jf.set("degraded_sms", f.degraded_sms);
+            jf.set("slowdowns", f.slowdowns);
+            jf.set("slowdown_extra_cycles", f.slowdown_extra_cycles);
+            jf.set("hangs", f.hangs);
+            jf.set("ecc_retries", f.ecc_retries);
+            jf.set("ecc_extra_cycles", f.ecc_extra_cycles);
+            jr.set("fault", std::move(jf));
         }
 
         JsonValue kernels = JsonValue::array();

@@ -89,6 +89,12 @@ struct ScenarioResult
     bool has_serving = false;
     serve::ServingReport serving;
 
+    // Fault-injected scenarios ("faults" key) only.
+    /** True when the run injected faults (`fault_counters` is then
+     *  meaningful and the report gains a "fault" block). */
+    bool has_faults = false;
+    FaultCounters fault_counters;
+
     /** Resolved SimOptions::ReplayMode the run used (0 = off); the
      *  hit/miss/verified counters live in `totals`. */
     int replay_mode = 0;
@@ -120,11 +126,16 @@ struct ReplayOverride
  *  scenario's sim.sim_threads when >= 0 (the simrunner --sim-threads
  *  flag and the CI serial-vs-threaded identity legs);
  *  @p detailed_sms_override likewise replaces sim.detailed_sms (the
- *  --detailed-sms flag and the CI sampled-error leg). */
+ *  --detailed-sms flag and the CI sampled-error leg);
+ *  @p wall_budget_ms > 0 arms the engine wall-clock watchdog (the
+ *  --timeout-ms flag): a scenario stuck past the budget dies with a
+ *  SimHangError diagnostic in its error row while the rest of the
+ *  batch completes. */
 ScenarioResult run_scenario(const Scenario& scenario,
                             int sim_threads_override = -1,
                             int detailed_sms_override = -1,
-                            const ReplayOverride& replay = {});
+                            const ReplayOverride& replay = {},
+                            uint64_t wall_budget_ms = 0);
 
 /**
  * Run a sweep scenario: simulate the shared kernel prefix once to
@@ -181,6 +192,10 @@ struct BatchOptions
     int detailed_sms = -1;
     /** Replay-cache mode override + batch-shared profile store. */
     ReplayOverride replay;
+    /** Per-scenario wall-clock watchdog in milliseconds (0 = none):
+     *  a hung or runaway scenario is cut short with a structured
+     *  error row instead of stalling the whole batch. */
+    uint64_t timeout_ms = 0;
 };
 
 /** The batch worker count run_batch will actually use for @p opts

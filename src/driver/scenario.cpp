@@ -257,10 +257,11 @@ parse_expectation(const JsonValue& obj, size_t index,
         e.metric.rfind("event.", 0) != 0 &&
         e.metric.rfind("mem.", 0) != 0 &&
         e.metric.rfind("verify.", 0) != 0 &&
-        e.metric.rfind("serve.", 0) != 0)
+        e.metric.rfind("serve.", 0) != 0 &&
+        e.metric.rfind("fault.", 0) != 0)
         fail(file, where + ": metric must start with \"total.\", "
                            "\"kernel.\", \"event.\", \"mem.\", "
-                           "\"verify.\" or \"serve.\"");
+                           "\"verify.\", \"serve.\" or \"fault.\"");
     if (const JsonValue* v = obj.find("min")) {
         e.has_min = true;
         e.min = v->as_number();
@@ -643,8 +644,9 @@ parse_serving_spec(const JsonValue& obj, const Scenario& sc,
 {
     if (!obj.is_object())
         fail(file, "\"serving\" must be a JSON object");
-    check_keys(obj, {"model", "trace", "batching", "percentiles"}, "serving",
-               file);
+    check_keys(obj, {"model", "trace", "batching", "percentiles",
+                     "resilience"},
+               "serving", file);
 
     ServingSpec spec;
     spec.enabled = true;
@@ -760,6 +762,168 @@ parse_serving_spec(const JsonValue& obj, const Scenario& sc,
                 fail(file, "serving.percentiles entries must be in (0, 100)");
             spec.percentiles.push_back(pct);
         }
+    }
+
+    if (const JsonValue* res = obj.find("resilience")) {
+        if (!res->is_object())
+            fail(file, "serving.resilience must be a JSON object");
+        check_keys(*res,
+                   {"deadline_us", "batch_timeout_us", "max_retries",
+                    "retry_backoff_us", "shed_queue_depth"},
+                   "serving.resilience", file);
+        spec.resilience = true;
+        if (const JsonValue* v = res->find("deadline_us")) {
+            spec.deadline_us = v->as_number();
+            if (spec.deadline_us <= 0)
+                fail(file,
+                     "serving.resilience.deadline_us must be positive");
+        }
+        if (const JsonValue* v = res->find("batch_timeout_us")) {
+            spec.batch_timeout_us = v->as_number();
+            if (spec.batch_timeout_us <= 0)
+                fail(file,
+                     "serving.resilience.batch_timeout_us must be positive");
+        }
+        spec.max_retries = get_int(*res, "max_retries", 0, file);
+        if (spec.max_retries < 0)
+            fail(file, "serving.resilience.max_retries must be >= 0");
+        if (const JsonValue* v = res->find("retry_backoff_us")) {
+            spec.retry_backoff_us = v->as_number();
+            if (spec.retry_backoff_us < 0)
+                fail(file,
+                     "serving.resilience.retry_backoff_us must be >= 0");
+        }
+        spec.shed_queue_depth = get_int(*res, "shed_queue_depth", 0, file);
+        if (spec.shed_queue_depth < 0)
+            fail(file, "serving.resilience.shed_queue_depth must be >= 0");
+        if (spec.max_retries > 0 && spec.batch_timeout_us <= 0)
+            fail(file, "serving.resilience.max_retries needs "
+                       "batch_timeout_us (retries happen when a timed-out "
+                       "batch is killed)");
+    }
+    return spec;
+}
+
+/** One entry of "faults.slowdowns" / "faults.hangs". */
+KernelFaultRule
+parse_fault_rule(const JsonValue& obj, const std::string& where,
+                 bool is_slowdown, const std::string& file)
+{
+    if (!obj.is_object())
+        fail(file, where + " must be a JSON object");
+    if (is_slowdown)
+        check_keys(obj, {"match", "factor", "count"}, where, file);
+    else
+        check_keys(obj, {"match", "count"}, where, file);
+    KernelFaultRule r;
+    r.match = get_string(obj, "match", "");
+    if (r.match.empty())
+        fail(file, where + ": missing required key \"match\"");
+    if (is_slowdown) {
+        const JsonValue* f = obj.find("factor");
+        if (!f)
+            fail(file, where + ": missing required key \"factor\"");
+        r.factor = f->as_number();
+        if (r.factor <= 1.0)
+            fail(file, where + ": factor must be > 1.0");
+    }
+    r.count = get_int(obj, "count", 0, file);
+    if (r.count < 0)
+        fail(file, where + ": count must be >= 0 (0 = every match)");
+    return r;
+}
+
+/** The top-level "faults" object (see the schema comment). */
+FaultSpec
+parse_fault_spec(const JsonValue& obj, const std::string& file)
+{
+    if (!obj.is_object())
+        fail(file, "\"faults\" must be a JSON object");
+    check_keys(obj,
+               {"seed", "disabled_sms", "random_disabled_sms",
+                "degraded_sms", "random_degraded_sms",
+                "degraded_warp_slots", "slowdowns", "hangs", "ecc"},
+               "faults", file);
+    FaultSpec spec;
+    spec.enabled = true;
+    if (const JsonValue* s = obj.find("seed")) {
+        if (s->as_int() < 0)
+            fail(file, "faults.seed must be >= 0");
+        spec.seed = static_cast<uint64_t>(s->as_int());
+    }
+    if (const JsonValue* v = obj.find("disabled_sms")) {
+        if (!v->is_array())
+            fail(file, "faults.disabled_sms must be an array of SM ids");
+        for (const JsonValue& e : v->as_array()) {
+            if (e.as_int() < 0)
+                fail(file, "faults.disabled_sms entries must be >= 0");
+            spec.disabled_sms.push_back(static_cast<int>(e.as_int()));
+        }
+    }
+    spec.random_disabled_sms = get_int(obj, "random_disabled_sms", 0, file);
+    if (spec.random_disabled_sms < 0)
+        fail(file, "faults.random_disabled_sms must be >= 0");
+    if (const JsonValue* v = obj.find("degraded_sms")) {
+        if (!v->is_array())
+            fail(file, "faults.degraded_sms must be an array of objects");
+        for (size_t i = 0; i < v->as_array().size(); ++i) {
+            const JsonValue& d = v->as_array()[i];
+            std::string where =
+                "faults.degraded_sms[" + std::to_string(i) + "]";
+            if (!d.is_object())
+                fail(file, where + " must be a JSON object");
+            check_keys(d, {"sm", "warp_slots"}, where, file);
+            const int sm = get_int(d, "sm", -1, file);
+            const int slots = get_int(d, "warp_slots", 0, file);
+            if (sm < 0)
+                fail(file, where + ": missing or negative \"sm\"");
+            if (slots < 1)
+                fail(file, where + ": warp_slots must be >= 1");
+            spec.degraded_sms.emplace_back(sm, slots);
+        }
+    }
+    spec.random_degraded_sms = get_int(obj, "random_degraded_sms", 0, file);
+    if (spec.random_degraded_sms < 0)
+        fail(file, "faults.random_degraded_sms must be >= 0");
+    spec.degraded_warp_slots = get_int(obj, "degraded_warp_slots", 0, file);
+    if (spec.degraded_warp_slots < 0)
+        fail(file, "faults.degraded_warp_slots must be >= 0");
+    if (spec.random_degraded_sms > 0 && spec.degraded_warp_slots < 1)
+        fail(file, "faults.random_degraded_sms needs degraded_warp_slots "
+                   ">= 1");
+    if (const JsonValue* v = obj.find("slowdowns")) {
+        if (!v->is_array())
+            fail(file, "faults.slowdowns must be an array");
+        for (size_t i = 0; i < v->as_array().size(); ++i)
+            spec.slowdowns.push_back(parse_fault_rule(
+                v->as_array()[i],
+                "faults.slowdowns[" + std::to_string(i) + "]",
+                /*is_slowdown=*/true, file));
+    }
+    if (const JsonValue* v = obj.find("hangs")) {
+        if (!v->is_array())
+            fail(file, "faults.hangs must be an array");
+        for (size_t i = 0; i < v->as_array().size(); ++i)
+            spec.hangs.push_back(parse_fault_rule(
+                v->as_array()[i],
+                "faults.hangs[" + std::to_string(i) + "]",
+                /*is_slowdown=*/false, file));
+    }
+    if (const JsonValue* ecc = obj.find("ecc")) {
+        if (!ecc->is_object())
+            fail(file, "faults.ecc must be a JSON object");
+        check_keys(*ecc, {"prob", "extra_cycles"}, "faults.ecc", file);
+        const JsonValue* p = ecc->find("prob");
+        if (!p)
+            fail(file, "faults.ecc: missing required key \"prob\"");
+        spec.ecc_prob = p->as_number();
+        if (spec.ecc_prob < 0 || spec.ecc_prob >= 1)
+            fail(file, "faults.ecc.prob must be in [0, 1)");
+        const int extra = get_int(*ecc, "extra_cycles", 0, file);
+        if (spec.ecc_prob > 0 && extra < 1)
+            fail(file, "faults.ecc.extra_cycles must be >= 1 when prob "
+                       "> 0");
+        spec.ecc_extra_cycles = static_cast<uint64_t>(extra);
     }
     return spec;
 }
@@ -884,7 +1048,8 @@ parse_scenario(const JsonValue& doc, const std::string& file)
         fail(file, "scenario document must be a JSON object");
     check_keys(doc,
                {"name", "description", "gpu", "sim", "tensors", "kernels",
-                "verify_tolerance", "expect", "sweep", "model", "serving"},
+                "verify_tolerance", "expect", "sweep", "model", "serving",
+                "faults"},
                "scenario", file);
 
     Scenario sc;
@@ -1004,6 +1169,23 @@ parse_scenario(const JsonValue& doc, const std::string& file)
         }
     }
 
+    // Deterministic fault injection.  Parsed before the serving form
+    // so faulty serving scenarios see it; mutually exclusive with the
+    // paths that assume a healthy, homogeneous chip.
+    if (const JsonValue* faults = doc.find("faults")) {
+        if (doc.find("sweep"))
+            fail(file, "\"faults\" and \"sweep\" are mutually exclusive "
+                       "(forked sweep points assume a healthy prefix)");
+        if (sc.sim.replay_mode != SimOptions::ReplayMode::kOff)
+            fail(file, "\"faults\" and sim.replay are mutually exclusive "
+                       "(fault timing would poison the replay cache)");
+        if (sc.sim.detailed_sms > 0)
+            fail(file, "\"faults\" and sim.detailed_sms are mutually "
+                       "exclusive (sampled-SM scaling assumes homogeneous "
+                       "SMs)");
+        sc.faults = parse_fault_spec(*faults, file);
+    }
+
     // Serving form: a standalone scenario type.  The serving engine
     // lowers and launches model batches itself, so there is no kernel
     // list to parse — validate the spec, restrict the expectations to
@@ -1024,7 +1206,18 @@ parse_scenario(const JsonValue& doc, const std::string& file)
                     e.metric.rfind("verify.", 0) == 0)
                     fail(file, "metric \"" + e.metric +
                                    "\": serving scenarios expose total.*, "
-                                   "mem.* and serve.* metrics");
+                                   "mem.*, serve.* and fault.* metrics");
+                if (e.metric.rfind("fault.", 0) == 0 && !sc.has_faults())
+                    fail(file, "metric \"" + e.metric +
+                                   "\": needs a \"faults\" object");
+                for (const char* m :
+                     {"serve.deadline_miss", "serve.goodput",
+                      "serve.retries", "serve.shed", "serve.dropped",
+                      "serve.killed_batches"})
+                    if (e.metric == m && !sc.serving.resilience)
+                        fail(file, "metric \"" + e.metric +
+                                       "\": needs a serving.resilience "
+                                       "object");
                 sc.expect.push_back(std::move(e));
             }
         }
@@ -1206,6 +1399,13 @@ parse_scenario(const JsonValue& doc, const std::string& file)
                 parse_expectation(expect->as_array()[i], i, file);
             validate_expectation(e, names, functional_names,
                                  recorded_events, any_functional, file);
+            if (e.metric.rfind("fault.", 0) == 0 && !sc.has_faults())
+                fail(file, "metric \"" + e.metric +
+                               "\": needs a \"faults\" object");
+            if (e.metric.rfind("serve.", 0) == 0)
+                fail(file, "metric \"" + e.metric +
+                               "\": serve.* metrics need a \"serving\" "
+                               "scenario");
             sc.expect.push_back(std::move(e));
         }
     }

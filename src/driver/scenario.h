@@ -87,7 +87,27 @@
  *                    "timeout_us": 10.0}
  *                 | {"policy": "continuous", "max_batch": 8,
  *                    "max_in_flight": 2},
- *       "percentiles": [99.5]}              // extra latency percentiles
+ *       "percentiles": [99.5],              // extra latency percentiles
+ *       "resilience": {                     // all optional, default off
+ *         "deadline_us": 50.0,              // per-request deadline
+ *         "batch_timeout_us": 100.0,        // kill a batch after this
+ *         "max_retries": 2,                 // re-queues before drop
+ *         "retry_backoff_us": 5.0,          // linear backoff per retry
+ *         "shed_queue_depth": 8}},          // load-shed past this depth
+ *     "faults": {                           // deterministic injection
+ *       "seed": 7,                          //   (see sim/fault)
+ *       "disabled_sms": [0, 3],             // never dispatched to
+ *       "random_disabled_sms": 1,           // + seeded random picks
+ *       "degraded_sms": [                   // reduced warp-slot caps
+ *         {"sm": 1, "warp_slots": 16}],
+ *       "random_degraded_sms": 2,           // + seeded random picks...
+ *       "degraded_warp_slots": 16,          //   ...capped to this
+ *       "slowdowns": [                      // kernel-name substring
+ *         {"match": "fc1", "factor": 2.0,   //   rules, in promotion
+ *          "count": 1}],                    //   order; count 0 = all
+ *       "hangs": [{"match": "b0.", "count": 1}],  // never retires
+ *       "ecc": {"prob": 0.001,              // per-sector retry odds on
+ *               "extra_cycles": 200}}       //   the L2/DRAM path
  *   }
  *
  * A sweep scenario runs its top-level "kernels" as a *shared prefix*:
@@ -122,6 +142,14 @@
  * queue_wait_p50,queue_wait_p99,queue_wait_max,queue_wait_mean,
  * queue_depth_peak,queue_depth_mean,busy_frac,makespan_cycles}
  * (latencies and waits in cycles; see src/serve/latency_stats.h).
+ * Serving scenarios with a "resilience" object additionally get
+ * serve.{deadline_miss,goodput,retries,shed,dropped,killed_batches},
+ * and scenarios with a "faults" object get
+ * fault.{disabled_sms,degraded_sms,slowdowns,slowdown_extra_cycles,
+ * hangs,ecc_retries,ecc_extra_cycles} (see sim/fault/fault_plan.h).
+ * "faults" composes with the kernel, declarative, model and serving
+ * forms, but is rejected alongside "sweep", sim.replay and
+ * sim.detailed_sms (those paths assume a healthy chip).
  *
  * The "gpu" object also accepts the memory-hierarchy knobs
  * l1_mshr_entries, l2_banks, l2_bank_bytes_per_cycle,
@@ -150,6 +178,7 @@
 #include "model/model_graph.h"
 #include "serve/request_trace.h"
 #include "sim/engine.h"
+#include "sim/fault/fault_plan.h"
 #include "tensor/types.h"
 
 namespace tcsim {
@@ -255,6 +284,16 @@ struct ServingSpec
     /** Extra end-to-end latency percentiles to report beyond the fixed
      *  p50/95/99/99.9 set, in percent (e.g. [99.5]). */
     std::vector<double> percentiles;
+
+    // Resilience ("resilience" object; all default off).  Microsecond
+    // knobs convert to cycles at run time like the other wall-clock
+    // fields.
+    bool resilience = false;
+    double deadline_us = 0;
+    double batch_timeout_us = 0;
+    int max_retries = 0;
+    double retry_backoff_us = 0;
+    int shed_queue_depth = 0;
 };
 
 /** A parsed scenario. */
@@ -289,6 +328,11 @@ struct Scenario
      *  engine lowers and launches model batches itself. */
     ServingSpec serving;
     bool is_serving() const { return serving.enabled; }
+
+    /** Deterministic fault injection ("faults" key; default: healthy
+     *  chip). */
+    FaultSpec faults;
+    bool has_faults() const { return faults.enabled; }
 
     /** Preset with overrides applied. */
     GpuConfig gpu_config() const;

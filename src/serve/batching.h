@@ -55,6 +55,53 @@ class BatchingPolicy
      * idle and no arrival comes sooner.
      */
     virtual uint64_t next_deadline(const BatchingState& s) const = 0;
+
+    /**
+     * Admission control: may a newly arrived request join the queue
+     * when @p queue_depth requests are already waiting?  The default
+     * accepts everything; LoadSheddingPolicy rejects past a depth cap
+     * (the request is counted as shed and never admitted).
+     */
+    virtual bool accept_arrival(int queue_depth) const
+    {
+        (void)queue_depth;
+        return true;
+    }
+};
+
+/**
+ * Queue-depth load shedding as a policy wrapper: batching decisions
+ * delegate to the inner policy untouched, but arrivals that would
+ * push the queue past @p max_queue_depth are shed at the door.  Under
+ * overload this trades completion rate for bounded queue wait — the
+ * classic admission-control knee — and keeps the wedge detector
+ * honest: a shed request is resolved, not forgotten.
+ */
+class LoadSheddingPolicy : public BatchingPolicy
+{
+  public:
+    LoadSheddingPolicy(const BatchingPolicy& inner, int max_queue_depth)
+        : inner_(inner), max_queue_depth_(max_queue_depth)
+    {
+    }
+
+    const char* name() const override { return inner_.name(); }
+    int admit(uint64_t now, const BatchingState& s) const override
+    {
+        return inner_.admit(now, s);
+    }
+    uint64_t next_deadline(const BatchingState& s) const override
+    {
+        return inner_.next_deadline(s);
+    }
+    bool accept_arrival(int queue_depth) const override
+    {
+        return queue_depth < max_queue_depth_;
+    }
+
+  private:
+    const BatchingPolicy& inner_;
+    int max_queue_depth_;
 };
 
 /** Fixed batch size with a timeout flush; one batch in flight. */

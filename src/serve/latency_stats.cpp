@@ -33,6 +33,10 @@ summarize_latency(const std::vector<RequestRecord>& requests,
     wait.reserve(requests.size());
     double lat_sum = 0, wait_sum = 0;
     for (const RequestRecord& r : requests) {
+        // Shed and dropped requests never finished: they have no
+        // latency sample (goodput metrics count them separately).
+        if (r.shed || r.dropped)
+            continue;
         const uint64_t l = r.finish_cycle - r.arrival_cycle;
         const uint64_t w = r.admit_cycle - r.arrival_cycle;
         latency.push_back(l);
@@ -42,8 +46,8 @@ summarize_latency(const std::vector<RequestRecord>& requests,
         s.latency_max = std::max(s.latency_max, l);
         s.queue_wait_max = std::max(s.queue_wait_max, w);
     }
-    if (!requests.empty()) {
-        const auto n = static_cast<double>(requests.size());
+    if (!latency.empty()) {
+        const auto n = static_cast<double>(latency.size());
         s.latency_mean = lat_sum / n;
         s.queue_wait_mean = wait_sum / n;
     }

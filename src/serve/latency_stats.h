@@ -23,6 +23,12 @@ struct RequestRecord
     uint64_t admit_cycle = 0;   ///< Cycle its batch launched.
     uint64_t finish_cycle = 0;  ///< Cycle its batch's last kernel retired.
     int batch = -1;             ///< Batch (wavefront) id it rode in.
+    // Resilience lifecycle (all zero/false on the happy path; only
+    // emitted in reports when resilience features are enabled).
+    int retries = 0;      ///< Times its batch was killed and it re-queued.
+    bool shed = false;    ///< Rejected at the door by admission control.
+    bool dropped = false; ///< Gave up: retry budget exhausted.
+    bool deadline_missed = false;  ///< Finished (or died) past deadline.
 };
 
 /** One admitted batch. */
@@ -30,8 +36,9 @@ struct BatchRecord
 {
     int id = 0;
     uint64_t admit_cycle = 0;
-    uint64_t finish_cycle = 0;
+    uint64_t finish_cycle = 0;  ///< Kill cycle when `killed`.
     int size = 0;
+    bool killed = false;  ///< Batch timeout expired; requests re-queued.
 };
 
 /** Queue depth after a change at `cycle` (arrival or admission). */

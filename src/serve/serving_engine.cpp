@@ -21,43 +21,68 @@ class ServingLoop
                 const model::ModelGraph& graph,
                 const std::vector<Request>& trace,
                 const BatchingPolicy& policy,
-                const std::vector<double>& extra_percentiles)
+                const std::vector<double>& extra_percentiles,
+                const ServingResilience& res, const FaultSpec& faults)
         : cfg_(cfg), sim_(sim), graph_(graph), trace_(trace),
-          policy_(policy), extra_percentiles_(extra_percentiles),
-          gpu_(cfg, sim)
+          extra_percentiles_(extra_percentiles), res_(res),
+          gpu_(cfg, sim, faults)
     {
+        // Load shedding is admission control, so it lives in the
+        // policy: wrap the user's policy when a depth cap is set.
+        if (res_.shed_queue_depth > 0) {
+            shedder_ = std::make_unique<LoadSheddingPolicy>(
+                policy, res_.shed_queue_depth);
+            policy_ = shedder_.get();
+        } else {
+            policy_ = &policy;
+        }
     }
 
     ServingResult run();
 
   private:
     BatchingState state() const;
-    void ingest_arrivals(uint64_t now);
+    void ingest_due(uint64_t now);
     void try_admit(uint64_t now);
     void launch_wavefront(std::vector<int> reqs, uint64_t now);
     KernelDesc make_desc(const model::LoweredKernel& lk);
     void on_wavefront_done(int wid, uint64_t cycle);
+    void kill_due_wavefronts(uint64_t now);
+    int finished() const { return completed_ + shed_count_ + dropped_; }
+    std::string loop_state_string(uint64_t now) const;
     void finalize(ServingResult* out);
 
     const GpuConfig& cfg_;
     const SimOptions& sim_;
     const model::ModelGraph& graph_;
     const std::vector<Request>& trace_;
-    const BatchingPolicy& policy_;
     const std::vector<double>& extra_percentiles_;
+    const ServingResilience res_;
+    /** Set when shedding is on (policy_ then points at it). */
+    std::unique_ptr<LoadSheddingPolicy> shedder_;
+    const BatchingPolicy* policy_ = nullptr;
     Gpu gpu_;
 
     Event* shutdown_ = nullptr;
     size_t next_arrival_ = 0;
     std::deque<int> queue_;  ///< Request indices, FIFO.
+    /** Killed-batch requests awaiting re-queue: ready cycle -> index
+     *  (multimap: equal ready cycles keep insertion order). */
+    std::multimap<uint64_t, int> retry_ready_;
     int in_flight_ = 0;
     int completed_ = 0;
+    int shed_count_ = 0;
+    int dropped_ = 0;
+    int total_retries_ = 0;
+    int killed_batches_ = 0;
     int next_wavefront_ = 0;
     std::vector<RequestRecord> records_;
     std::vector<BatchRecord> batches_;
     std::vector<QueueSample> queue_timeline_;
     /** Request indices of each in-flight wavefront. */
     std::map<int, std::vector<int>> wavefront_reqs_;
+    /** Streams of each in-flight wavefront (for batch kills). */
+    std::map<int, std::vector<Stream*>> wavefront_streams_;
     double total_flops_ = 0;
 };
 
@@ -75,14 +100,38 @@ ServingLoop::state() const
 }
 
 void
-ServingLoop::ingest_arrivals(uint64_t now)
+ServingLoop::ingest_due(uint64_t now)
 {
-    while (next_arrival_ < trace_.size() &&
-           trace_[next_arrival_].arrival_cycle <= now) {
-        queue_.push_back(static_cast<int>(next_arrival_));
-        queue_timeline_.push_back({trace_[next_arrival_].arrival_cycle,
-                                   static_cast<int>(queue_.size())});
-        ++next_arrival_;
+    // Merge trace arrivals and due retries in cycle order (retry
+    // first on ties: it is older work) so the queue timeline stays
+    // non-decreasing.  A shed arrival never enters the queue — it is
+    // finished on the spot, and retries bypass admission control
+    // (they were accepted once already).
+    for (;;) {
+        const uint64_t a = next_arrival_ < trace_.size()
+                               ? trace_[next_arrival_].arrival_cycle
+                               : UINT64_MAX;
+        const uint64_t r = retry_ready_.empty()
+                               ? UINT64_MAX
+                               : retry_ready_.begin()->first;
+        if (a > now && r > now)
+            break;
+        if (r <= a) {
+            queue_.push_back(retry_ready_.begin()->second);
+            retry_ready_.erase(retry_ready_.begin());
+            queue_timeline_.push_back({r, static_cast<int>(queue_.size())});
+        } else {
+            const int ridx = static_cast<int>(next_arrival_++);
+            if (!policy_->accept_arrival(static_cast<int>(queue_.size()))) {
+                RequestRecord& rec = records_[static_cast<size_t>(ridx)];
+                rec.shed = true;
+                rec.deadline_missed = true;
+                ++shed_count_;
+                continue;
+            }
+            queue_.push_back(ridx);
+            queue_timeline_.push_back({a, static_cast<int>(queue_.size())});
+        }
     }
 }
 
@@ -181,6 +230,7 @@ ServingLoop::launch_wavefront(std::vector<int> reqs, uint64_t now)
     b.size = static_cast<int>(reqs.size());
     batches_.push_back(b);
     wavefront_reqs_[wid] = std::move(reqs);
+    wavefront_streams_[wid] = std::move(streams);
     ++in_flight_;
 }
 
@@ -190,9 +240,9 @@ ServingLoop::try_admit(uint64_t now)
     // A callback may fire past pending arrivals (the engine jumps the
     // clock event-to-event): fold everything due in before deciding,
     // so joins see the true queue and the timeline stays ordered.
-    ingest_arrivals(now);
+    ingest_due(now);
     for (;;) {
-        const int n = policy_.admit(now, state());
+        const int n = policy_->admit(now, state());
         if (n <= 0)
             break;
         TCSIM_CHECK(n <= static_cast<int>(queue_.size()));
@@ -220,16 +270,94 @@ ServingLoop::on_wavefront_done(int wid, uint64_t cycle)
         if (b.id == wid)
             b.finish_cycle = cycle;
     wavefront_reqs_.erase(it);
+    wavefront_streams_.erase(wid);
     --in_flight_;
     // A completed batch frees capacity: the policy may admit again.
     try_admit(cycle);
 }
 
 void
+ServingLoop::kill_due_wavefronts(uint64_t now)
+{
+    // Batch timeout: a wavefront admitted more than
+    // batch_timeout_cycles ago is presumed hung.  Kill it only once
+    // every one of its streams is quiescent (a fault-hung launch is
+    // quiescent by construction; a stream still executing CTAs
+    // postpones the kill to a later loop iteration — the engine
+    // drains CTAs on its own, so the wait is bounded).
+    std::vector<int> due;
+    for (const auto& [wid, streams] : wavefront_streams_) {
+        uint64_t admit = 0;
+        for (const BatchRecord& b : batches_)
+            if (b.id == wid)
+                admit = b.admit_cycle;
+        if (now < admit + res_.batch_timeout_cycles)
+            continue;
+        bool quiescent = true;
+        for (Stream* s : streams)
+            quiescent &= gpu_.stream_quiescent(*s);
+        if (quiescent)
+            due.push_back(wid);
+    }
+    for (int wid : due) {
+        for (Stream* s : wavefront_streams_[wid])
+            gpu_.kill_stream(*s);
+        ++killed_batches_;
+        for (BatchRecord& b : batches_)
+            if (b.id == wid) {
+                b.killed = true;
+                b.finish_cycle = now;
+            }
+        for (int ridx : wavefront_reqs_[wid]) {
+            RequestRecord& r = records_[static_cast<size_t>(ridx)];
+            if (r.retries >= res_.max_retries) {
+                // Budget exhausted: this kill is a drop, not another
+                // re-queue (retries counts re-queues only).
+                r.dropped = true;
+                r.deadline_missed = true;
+                ++dropped_;
+            } else {
+                ++r.retries;
+                ++total_retries_;
+                // Linear backoff per attempt; re-queued via
+                // ingest_due when the ready cycle comes due.
+                retry_ready_.emplace(
+                    now + res_.retry_backoff_cycles *
+                              static_cast<uint64_t>(r.retries),
+                    ridx);
+            }
+        }
+        wavefront_reqs_.erase(wid);
+        wavefront_streams_.erase(wid);
+        --in_flight_;
+    }
+    if (!due.empty())
+        try_admit(now);
+}
+
+std::string
+ServingLoop::loop_state_string(uint64_t now) const
+{
+    const BatchingState s = state();
+    std::string msg = detail::format(
+        "[serving state: cycle=%llu queued=%d oldest_arrival=%llu "
+        "in_flight=%d pending_retries=%zu completed=%d shed=%d "
+        "dropped=%d of %zu; policy \"%s\" next_deadline=",
+        static_cast<unsigned long long>(now), s.queued,
+        static_cast<unsigned long long>(s.oldest_arrival), s.in_flight,
+        retry_ready_.size(), completed_, shed_count_, dropped_,
+        trace_.size(), policy_->name());
+    const uint64_t dl = policy_->next_deadline(s);
+    msg += dl == UINT64_MAX ? "none" : std::to_string(dl);
+    msg += "]";
+    return msg;
+}
+
+void
 ServingLoop::finalize(ServingResult* out)
 {
     ServingReport& rep = out->report;
-    rep.policy = policy_.name();
+    rep.policy = policy_->name();
     rep.requests = static_cast<int>(trace_.size());
     rep.completed = completed_;
     rep.batches = static_cast<int>(batches_.size());
@@ -238,6 +366,30 @@ ServingLoop::finalize(ServingResult* out)
                               static_cast<double>(batches_.size());
     rep.makespan_cycles = out->totals.cycles;
     rep.total_flops = total_flops_;
+
+    // Resilience accounting.  Deadline misses are judged here, when
+    // every finish cycle is known: a completed request misses if its
+    // end-to-end latency exceeds the deadline; shed and dropped
+    // requests missed by definition (flagged where they died).
+    // Goodput is the in-deadline completion fraction.
+    rep.resilience = res_.enabled();
+    if (res_.deadline_cycles > 0)
+        for (RequestRecord& r : records_)
+            if (!r.shed && !r.dropped &&
+                r.finish_cycle - r.arrival_cycle > res_.deadline_cycles)
+                r.deadline_missed = true;
+    int good = 0;
+    for (const RequestRecord& r : records_)
+        good += !r.deadline_missed;
+    rep.deadline_miss = static_cast<int>(records_.size()) - good;
+    if (!records_.empty())
+        rep.goodput = static_cast<double>(good) /
+                      static_cast<double>(records_.size());
+    rep.retries = total_retries_;
+    rep.shed = shed_count_;
+    rep.dropped = dropped_;
+    rep.killed_batches = killed_batches_;
+
     rep.request_records = std::move(records_);
     rep.batch_records = std::move(batches_);
     rep.queue_timeline = std::move(queue_timeline_);
@@ -290,33 +442,59 @@ ServingLoop::run()
     gpu_.create_stream().wait(*shutdown_);
     gpu_.run_until(0);
 
-    while (completed_ < static_cast<int>(total)) {
+    while (finished() < static_cast<int>(total)) {
         const uint64_t now = gpu_.current_cycle();
-        ingest_arrivals(now);
+        if (res_.batch_timeout_cycles > 0)
+            kill_due_wavefronts(now);
+        ingest_due(now);
         try_admit(now);
+        if (finished() == static_cast<int>(total))
+            break;
 
         uint64_t next = next_arrival_ < trace_.size()
                             ? trace_[next_arrival_].arrival_cycle
                             : UINT64_MAX;
         if (!queue_.empty())
-            next = std::min(next, policy_.next_deadline(state()));
+            next = std::min(next, policy_->next_deadline(state()));
+        if (!retry_ready_.empty())
+            next = std::min(next, retry_ready_.begin()->first);
+        if (res_.batch_timeout_cycles > 0)
+            for (const BatchRecord& b : batches_)
+                if (wavefront_streams_.count(b.id))
+                    next = std::min(
+                        next, b.admit_cycle + res_.batch_timeout_cycles);
         // A stimulus past the simulation horizon is no stimulus.
         if (next == UINT64_MAX || next > sim_.max_cycles) {
             if (in_flight_ == 0) {
-                if (completed_ == static_cast<int>(total))
+                if (finished() == static_cast<int>(total))
                     break;
                 // No reachable arrival or deadline, nothing running,
                 // yet requests remain: they will never be admitted.
                 throw ServingError(detail::format(
                     "serving loop wedged at cycle %llu: %zu request(s) "
                     "queued, policy \"%s\" admits nothing and its next "
-                    "deadline is unreachable",
+                    "deadline is unreachable %s",
                     static_cast<unsigned long long>(now), queue_.size(),
-                    policy_.name()));
+                    policy_->name(), loop_state_string(now).c_str()));
             }
             // All remaining progress is on-chip; completion callbacks
             // will fire (and may admit) inside this advance.
+            const uint64_t before_cycle = gpu_.current_cycle();
+            const int before_finished = finished();
             gpu_.run_until(sim_.max_cycles);
+            if (gpu_.current_cycle() == before_cycle &&
+                finished() == before_finished) {
+                // The chip is blocked (every resident kernel is an
+                // injected hang) and no batch timeout is armed to
+                // recover it: the in-flight requests can never
+                // finish.
+                throw ServingError(detail::format(
+                    "serving loop wedged at cycle %llu: %d batch(es) "
+                    "in flight but the GPU is blocked and no batch "
+                    "timeout is configured to kill them %s",
+                    static_cast<unsigned long long>(before_cycle),
+                    in_flight_, loop_state_string(before_cycle).c_str()));
+            }
             continue;
         }
         if (next <= now) {
@@ -335,6 +513,9 @@ ServingLoop::run()
     gpu_.default_stream().record(*shutdown_);
     ServingResult out;
     out.totals = gpu_.run();
+    out.faults_enabled = gpu_.faults_enabled();
+    if (out.faults_enabled)
+        out.faults = gpu_.fault_counters();
     finalize(&out);
     return out;
 }
@@ -346,9 +527,11 @@ run_serving(const GpuConfig& cfg, const SimOptions& sim,
             const model::ModelGraph& graph,
             const std::vector<Request>& trace,
             const BatchingPolicy& policy,
-            const std::vector<double>& extra_percentiles)
+            const std::vector<double>& extra_percentiles,
+            const ServingResilience& resilience, const FaultSpec& faults)
 {
-    return ServingLoop(cfg, sim, graph, trace, policy, extra_percentiles)
+    return ServingLoop(cfg, sim, graph, trace, policy, extra_percentiles,
+                       resilience, faults)
         .run();
 }
 

@@ -44,6 +44,7 @@
 #include "serve/latency_stats.h"
 #include "serve/request_trace.h"
 #include "sim/engine.h"
+#include "sim/fault/fault_plan.h"
 
 namespace tcsim::serve {
 
@@ -54,6 +55,39 @@ class ServingError : public std::runtime_error
     explicit ServingError(const std::string& what)
         : std::runtime_error(what)
     {
+    }
+};
+
+/**
+ * Resilience knobs for the serving loop, all in simulated cycles.
+ * Every feature defaults to off, in which case the loop behaves (and
+ * reports) exactly as it did without this struct — the happy path
+ * stays byte-identical.
+ */
+struct ServingResilience
+{
+    /** Per-request end-to-end deadline; 0 = none.  A request whose
+     *  finish - arrival exceeds this is counted as a deadline miss
+     *  (shed and dropped requests always miss). */
+    uint64_t deadline_cycles = 0;
+    /** Kill an in-flight batch this many cycles after admission if it
+     *  has not finished (the injected-kernel-hang escape hatch);
+     *  0 = never kill. */
+    uint64_t batch_timeout_cycles = 0;
+    /** Times a request whose batch was killed may re-queue before it
+     *  is dropped. */
+    int max_retries = 0;
+    /** Re-queue delay after a kill: backoff * (retry attempt). */
+    uint64_t retry_backoff_cycles = 0;
+    /** Shed arrivals once this many requests are queued; 0 = never
+     *  (applied by wrapping the policy in LoadSheddingPolicy). */
+    int shed_queue_depth = 0;
+
+    bool enabled() const
+    {
+        return deadline_cycles != 0 || batch_timeout_cycles != 0 ||
+               max_retries != 0 || retry_backoff_cycles != 0 ||
+               shed_queue_depth != 0;
     }
 };
 
@@ -73,6 +107,16 @@ struct ServingReport
     uint64_t busy_cycles = 0;
     double busy_frac = 0;
     double total_flops = 0;
+    // Resilience outcome (all zero when `resilience` is false; the
+    // driver omits these fields from reports so happy-path output is
+    // byte-identical to builds before fault injection existed).
+    bool resilience = false;
+    int deadline_miss = 0;   ///< Requests that finished late or never.
+    double goodput = 0;      ///< In-deadline completions / requests.
+    int retries = 0;         ///< Total request re-queues after kills.
+    int shed = 0;            ///< Arrivals rejected by admission control.
+    int dropped = 0;         ///< Requests whose retry budget ran out.
+    int killed_batches = 0;  ///< Batches killed by the batch timeout.
     // Timelines, all in canonical (deterministic) order.
     std::vector<RequestRecord> request_records;
     std::vector<BatchRecord> batch_records;
@@ -85,19 +129,29 @@ struct ServingResult
 {
     ServingReport report;
     EngineStats totals;
+    /** Injected-fault telemetry of the underlying Gpu (meaningful
+     *  only when `faults_enabled`). */
+    bool faults_enabled = false;
+    FaultCounters faults;
 };
 
 /**
  * Simulate serving @p trace against @p graph under @p policy on a GPU
  * of @p cfg.  Throws ModelError/ServingError on invalid input or a
- * wedged loop, std::runtime_error when sim.max_cycles is exceeded.
- * @p extra_percentiles requests additional end-to-end latency
- * percentiles (see summarize_latency).
+ * wedged loop, SimHangError when a watchdog fires (unless the batch
+ * timeout recovers the run first), std::runtime_error when
+ * sim.max_cycles is exceeded.  @p extra_percentiles requests
+ * additional end-to-end latency percentiles (see summarize_latency).
+ * @p resilience enables deadlines/retries/shedding (defaults: all
+ * off); @p faults injects deterministic hardware faults into the
+ * underlying Gpu (default: none).
  */
 ServingResult run_serving(const GpuConfig& cfg, const SimOptions& sim,
                           const model::ModelGraph& graph,
                           const std::vector<Request>& trace,
                           const BatchingPolicy& policy,
-                          const std::vector<double>& extra_percentiles = {});
+                          const std::vector<double>& extra_percentiles = {},
+                          const ServingResilience& resilience = {},
+                          const FaultSpec& faults = {});
 
 }  // namespace tcsim::serve

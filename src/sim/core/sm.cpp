@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "common/logging.h"
+#include "common/sim_error.h"
 #include "sim/mem/coalescer.h"
 #include "sim/snapshot_io.h"
 
@@ -45,7 +46,8 @@ ExecutorCache::get(Arch arch, const HmmaInfo& info)
 
 SM::SM(int id, const GpuConfig& cfg, MemorySystem* mem,
        ExecutorCache* executors, SchedulerPolicy policy)
-    : id_(id), cfg_(cfg), mem_(mem), executors_(executors)
+    : id_(id), cfg_(cfg), mem_(mem), executors_(executors),
+      warp_cap_(cfg.max_warps_per_sm)
 {
     subcores_.reserve(static_cast<size_t>(cfg.subcores_per_sm));
     for (int i = 0; i < cfg.subcores_per_sm; ++i)
@@ -75,9 +77,10 @@ void
 SM::check_fits(const GpuConfig& cfg, const KernelDesc& k)
 {
     if (!fits(cfg, k)) {
-        fatal("kernel %s exceeds SM resources (warps=%d smem=%u regs=%d)",
-              k.name.c_str(), k.warps_per_cta, k.shared_mem_bytes,
-              k.regs_per_thread);
+        throw SimError(detail::format(
+            "kernel %s exceeds SM resources (warps=%d smem=%u regs=%d)",
+            k.name.c_str(), k.warps_per_cta, k.shared_mem_bytes,
+            k.regs_per_thread));
     }
 }
 
@@ -85,7 +88,7 @@ bool
 SM::can_accept(const KernelDesc& k) const
 {
     return used_ctas_ < cfg_.max_ctas_per_sm &&
-           used_warps_ + k.warps_per_cta <= cfg_.max_warps_per_sm &&
+           used_warps_ + k.warps_per_cta <= warp_cap_ &&
            used_smem_ + k.shared_mem_bytes <= cfg_.shared_mem_per_sm &&
            used_regs_ + cta_registers(k) <= cfg_.registers_per_sm;
 }

@@ -125,8 +125,24 @@ class SM
      *  pre-checks with this to report instead of abort. */
     static bool fits(const GpuConfig& cfg, const KernelDesc& k);
 
-    /** Abort with a diagnostic if @p k cannot fit even an empty SM. */
+    /** Throw SimError with a diagnostic if @p k cannot fit even an
+     *  empty SM (scenario-reachable: the batch driver contains it to
+     *  an error row). */
     static void check_fits(const GpuConfig& cfg, const KernelDesc& k);
+
+    /**
+     * Cap this SM's warp slots below the architectural maximum
+     * (fault injection: a degraded SM).  Takes effect for future
+     * can_accept() decisions only; must be set before any CTA is
+     * dispatched.  Values <= 0 or >= max_warps_per_sm restore the
+     * architectural cap.
+     */
+    void set_warp_cap(int warps)
+    {
+        warp_cap_ = (warps > 0 && warps < cfg_.max_warps_per_sm)
+                        ? warps
+                        : cfg_.max_warps_per_sm;
+    }
 
     /**
      * Earliest future cycle this SM can make progress: now+1 after a
@@ -263,6 +279,10 @@ class SM
     std::vector<CtaSlot> cta_slots_;
     /** (subcore, warp_slot) pairs per CTA slot, for barrier release. */
     std::vector<std::vector<std::pair<int, int>>> cta_warps_;
+
+    /** Warp-slot cap for dispatch decisions (== max_warps_per_sm on a
+     *  healthy SM; lower on a fault-degraded one). */
+    int warp_cap_ = 0;
 
     /** Additive occupancy accounting across all resident grids. */
     int used_ctas_ = 0;

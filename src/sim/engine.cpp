@@ -8,6 +8,8 @@
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "common/sim_error.h"
+#include "sim/fault/fault_plan.h"
 #include "sim/stats_codec.h"
 
 namespace tcsim {
@@ -52,6 +54,7 @@ ExecutionEngine::prepare(const std::vector<Stream*>& streams)
         if (!any_work)
             return false;
         run_ = std::make_unique<RunState>();
+        run_->wall_start = std::chrono::steady_clock::now();
         mem_->reset_timing();
     }
     absorb_streams(streams);
@@ -118,9 +121,13 @@ ExecutionEngine::validate_and_size()
         detailed = std::min<size_t>(
             want, static_cast<size_t>(opts_.detailed_sms));
     while (run_->sms.size() < detailed) {
-        run_->sms.push_back(std::make_unique<SM>(
-            static_cast<int>(run_->sms.size()), cfg_, mem_, executors_,
-            opts_.scheduler));
+        const int id = static_cast<int>(run_->sms.size());
+        auto sm = std::make_unique<SM>(id, cfg_, mem_, executors_,
+                                       opts_.scheduler);
+        if (fault_plan_)
+            if (int cap = fault_plan_->warp_slot_cap(id))
+                sm->set_warp_cap(cap);
+        run_->sms.push_back(std::move(sm));
     }
     if (opts_.detailed_sms > 0 && want > run_->sms.size() &&
         run_->shadows.size() < want - run_->sms.size())
@@ -192,6 +199,17 @@ ExecutionEngine::promote_streams(uint64_t now)
                 l->mem_base = mem_->stats();
                 if (replay_cache_)
                     classify_replay(l.get(), now);
+                // Fault classification: promotion happens on the
+                // engine thread in canonical stream order, so the
+                // per-rule match budgets drain identically however
+                // the run is parallelized.
+                if (fault_plan_ && fault_plan_->enabled()) {
+                    if (fault_plan_->take_hang(l->desc.name))
+                        l->fault_hung = true;
+                    else
+                        l->fault_slowdown =
+                            fault_plan_->take_slowdown(l->desc.name);
+                }
                 sr.live = l.get();
                 rs.resident.push_back(std::move(l));
                 progress = true;
@@ -205,6 +223,10 @@ ExecutionEngine::promote_streams(uint64_t now)
 bool
 ExecutionEngine::dispatch_to(SM* sm)
 {
+    // A fault-disabled SM never receives work (it still exists and
+    // ticks idle, so chip timing stays comparable to a healthy run).
+    if (fault_plan_ && fault_plan_->sm_disabled(sm->id()))
+        return false;
     // Resident grids compete in launch order; one CTA per SM per cycle
     // (hardware rasterizer pacing, matching the legacy distribution).
     for (auto& l : run_->resident) {
@@ -524,15 +546,11 @@ ExecutionEngine::drained() const
     return run_->resident.empty();
 }
 
-void
-ExecutionEngine::report_deadlock()
+std::string
+ExecutionEngine::wait_graph_string() const
 {
-    RunState& rs = *run_;
-    // Chip idle, streams blocked: every remaining front op is a wait
-    // on an event that did not complete.  Report the wait graph.
-    std::string graph = detail::format(
-        "deadlock detected at cycle %llu: no stream can make progress\n",
-        static_cast<unsigned long long>(rs.now));
+    const RunState& rs = *run_;
+    std::string graph;
     for (const StreamRun& sr : rs.stream_runs) {
         if (sr.stream->ops_.empty())
             continue;
@@ -570,7 +588,62 @@ ExecutionEngine::report_deadlock()
             sr.stream->id(), ev->name().c_str(), why.c_str(),
             sr.stream->depth());
     }
-    throw EngineDeadlockError(graph);
+    return graph;
+}
+
+void
+ExecutionEngine::report_deadlock()
+{
+    // Chip idle, streams blocked: every remaining front op is a wait
+    // on an event that did not complete.  Report the wait graph.
+    throw EngineDeadlockError(
+        detail::format("deadlock detected at cycle %llu: no stream can "
+                       "make progress\n",
+                       static_cast<unsigned long long>(run_->now)) +
+        wait_graph_string());
+}
+
+bool
+ExecutionEngine::any_fault_hung() const
+{
+    if (!run_)
+        return false;
+    for (const auto& l : run_->resident)
+        if (l->fault_hung)
+            return true;
+    return false;
+}
+
+std::string
+ExecutionEngine::hang_dump(const std::string& reason) const
+{
+    const RunState& rs = *run_;
+    size_t queued = 0;
+    for (const StreamRun& sr : rs.stream_runs)
+        queued += sr.stream->depth();
+    std::string out = detail::format(
+        "%s\n  cycle %llu: %zu resident kernel(s), %zu queued op(s), "
+        "%zu busy SM(s)\n",
+        reason.c_str(), static_cast<unsigned long long>(rs.now),
+        rs.resident.size(), queued, rs.busy_sms.size());
+    if (!rs.busy_sms.empty()) {
+        out += "  busy SMs:";
+        for (int id : rs.busy_sms)
+            out += " " + std::to_string(id);
+        out += "\n";
+    }
+    for (const auto& l : rs.resident) {
+        const char* hold = l->fault_hung ? " [fault: hung]"
+                           : l->fault_release > rs.now
+                               ? " [fault: slowdown hold]"
+                               : "";
+        out += detail::format(
+            "  resident: \"%s\" stream=%d grid=%d ctas %d/%d done%s\n",
+            l->desc.name.c_str(), l->grid.stream_id, l->grid.grid_id,
+            l->grid.ctas_done, l->desc.grid_ctas, hold);
+    }
+    out += wait_graph_string();
+    return out;
 }
 
 ExecutionEngine::StepResult
@@ -686,6 +759,26 @@ ExecutionEngine::step(uint64_t bound)
     for (const auto& l : rs.resident) {
         if (!l->grid.done())
             continue;
+        // Fault holds: a hung launch never signals completion (its
+        // stream stays blocked until kill_stream() or a watchdog), a
+        // slowed one is held until its stretched duration elapses.
+        if (l->fault_hung)
+            continue;
+        if (l->fault_slowdown > 1.0 && l->fault_release == 0) {
+            const uint64_t dur =
+                l->grid.finish_cycle - l->grid.start_cycle + 1;
+            const auto held = static_cast<uint64_t>(std::ceil(
+                l->fault_slowdown * static_cast<double>(dur)));
+            l->fault_release =
+                l->grid.start_cycle + std::max(held, dur) - 1;
+        }
+        if (l->fault_release > now)
+            continue;
+        if (l->fault_release > l->grid.finish_cycle) {
+            fault_plan_->add_slowdown_cycles(l->fault_release -
+                                             l->grid.finish_cycle);
+            l->grid.finish_cycle = l->fault_release;
+        }
         rs.last_finish = std::max(rs.last_finish, l->grid.finish_cycle);
         rs.stats.kernels.push_back(finalize(*l));
         finish_replay(*l, rs.stats.kernels.back());
@@ -693,6 +786,7 @@ ExecutionEngine::step(uint64_t bound)
             if (sr.live == l.get())
                 sr.live = nullptr;
         retiring_.push_back(&l->grid);
+        l->retired = true;
         retired = true;
     }
     if (retired) {
@@ -700,7 +794,7 @@ ExecutionEngine::step(uint64_t bound)
             sm->forget_grids(retiring_);
         std::erase_if(rs.resident,
                       [](const std::unique_ptr<Launch>& l) {
-                          return l->grid.done();
+                          return l->retired;
                       });
         retiring_.clear();
     }
@@ -733,8 +827,39 @@ ExecutionEngine::step(uint64_t bound)
         for (const auto& l : rs.resident)
             if (l->replay_profile && !l->grid.done())
                 e = std::min(e, l->replay_done);
+        // A slowdown-held launch retires at fault_release: that is a
+        // scheduled event (a hung launch schedules nothing — only
+        // host action or a watchdog ends it).
+        for (const auto& l : rs.resident)
+            if (l->grid.done() && !l->fault_hung && l->fault_release > now)
+                e = std::min(e, l->fault_release);
         if (e == UINT64_MAX) {
             if (!rs.resident.empty()) {
+                bool all_hung = true;
+                for (const auto& l : rs.resident)
+                    all_hung &= l->grid.done() && l->fault_hung;
+                if (all_hung) {
+                    // Every resident kernel is an injected hang: the
+                    // chip is quiescent and only host action (a
+                    // kill_stream, a watchdog) can end the run.
+                    // Blocked, not a bug.
+                    return StepResult::kBlocked;
+                }
+                // An enabled fault plan can starve a pending grid for
+                // good: every SM is disabled or degraded below the
+                // kernel's CTA footprint.  That is scenario input, not
+                // a modelling bug — throw a typed error the batch
+                // driver can contain to one error row.
+                if (fault_plan_ && fault_plan_->enabled()) {
+                    for (const auto& l : rs.resident)
+                        if (l->grid.pending())
+                            throw SimError(hang_dump(detail::format(
+                                "faults: kernel \"%s\" is undispatchable "
+                                "— no enabled SM can accept its CTAs "
+                                "under the fault plan's disabled/degraded "
+                                "SMs",
+                                l->desc.name.c_str())));
+                }
                 // Work is on the chip but no SM can ever advance: an
                 // internal modelling bug, not a user-constructed
                 // dependency cycle.
@@ -773,15 +898,23 @@ ExecutionEngine::step(uint64_t bound)
         // A user-settable limit, not an internal invariant: throw so
         // embedders (the scenario batch runner) can report one runaway
         // simulation without aborting the process.
-        size_t unfinished = rs.resident.size();
-        for (const StreamRun& sr : rs.stream_runs)
-            unfinished += sr.stream->depth();
-        throw std::runtime_error(detail::format(
-            "engine exceeded max_cycles=%llu (%zu kernels unfinished, "
-            "first: %s)",
-            static_cast<unsigned long long>(opts_.max_cycles), unfinished,
-            rs.resident.empty() ? "<none resident>"
-                                : rs.resident[0]->desc.name.c_str()));
+        throw SimHangError(hang_dump(detail::format(
+            "engine exceeded max_cycles=%llu",
+            static_cast<unsigned long long>(opts_.max_cycles))));
+    }
+    // Wall-clock watchdog (containment only): probed once per 4096
+    // ticks so a healthy run pays nothing measurable.
+    if (opts_.wall_budget_ms > 0 && (rs.stats.ticks & 0xFFFu) == 0) {
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - rs.wall_start)
+                .count();
+        if (static_cast<uint64_t>(elapsed) > opts_.wall_budget_ms)
+            throw SimHangError(hang_dump(detail::format(
+                "engine exceeded wall budget of %llu ms (%llu ms "
+                "elapsed)",
+                static_cast<unsigned long long>(opts_.wall_budget_ms),
+                static_cast<unsigned long long>(elapsed))));
     }
     return StepResult::kRunning;
 }
@@ -836,8 +969,18 @@ ExecutionEngine::advance(DoneFn done, bool pause_on_block, uint64_t bound)
           case StepResult::kDrained:
             return finish();
           case StepResult::kBlocked:
-            if (!pause_on_block)
+            if (!pause_on_block) {
+                // A run-to-completion entry point cannot hand control
+                // back to the host: an injected hang is terminal here
+                // (a resumable run — run_until — pauses instead, so
+                // the serving loop can kill the batch and retry).
+                if (any_fault_hung())
+                    throw SimHangError(hang_dump(detail::format(
+                        "injected kernel hang wedged the run at cycle "
+                        "%llu",
+                        static_cast<unsigned long long>(run_->now))));
                 report_deadlock();
+            }
             return snapshot();
           case StepResult::kRunning:
             break;
@@ -873,13 +1016,26 @@ ExecutionEngine::advance_idle_to(uint64_t cycle)
         throw std::runtime_error(
             "advance_idle_to: no active run (begin one with run_until())");
     RunState& rs = *run_;
-    if (!rs.resident.empty())
-        throw std::runtime_error(detail::format(
-            "advance_idle_to: chip is not idle at cycle %llu (%zu "
-            "kernel(s) resident)",
-            static_cast<unsigned long long>(rs.now), rs.resident.size()));
+    if (cycle <= rs.now)
+        return;
+    // Resident launches forbid the jump — except hung ones: an
+    // injected hang is quiescent (all CTAs drained) and will never
+    // schedule an event, so skipping idle time past it is exact.  A
+    // slowdown hold is NOT exempt: its release is a scheduled event
+    // the jump would leap over.
+    for (const auto& l : rs.resident)
+        if (!(l->grid.done() && l->fault_hung))
+            throw std::runtime_error(detail::format(
+                "advance_idle_to: chip is not idle at cycle %llu (%zu "
+                "kernel(s) resident)",
+                static_cast<unsigned long long>(rs.now),
+                rs.resident.size()));
     for (const StreamRun& sr : rs.stream_runs) {
         if (sr.stream->ops_.empty())
+            continue;
+        // A stream blocked behind its own hung launch cannot run
+        // anything regardless of what is queued on it.
+        if (sr.live != nullptr)
             continue;
         const Stream::Op& front = sr.stream->ops_.front();
         // Only waits on not-yet-complete events may remain: anything
@@ -892,8 +1048,6 @@ ExecutionEngine::advance_idle_to(uint64_t cycle)
                 sr.stream->id(),
                 static_cast<unsigned long long>(rs.now)));
     }
-    if (cycle <= rs.now)
-        return;
     if (cycle > opts_.max_cycles)
         throw std::runtime_error(detail::format(
             "advance_idle_to: target cycle %llu exceeds max_cycles=%llu",
@@ -901,6 +1055,48 @@ ExecutionEngine::advance_idle_to(uint64_t cycle)
             static_cast<unsigned long long>(opts_.max_cycles)));
     rs.stats.skipped_cycles += cycle - rs.now;
     rs.now = cycle;
+}
+
+void
+ExecutionEngine::kill_stream(Stream* stream)
+{
+    stream->ops_.clear();
+    if (!run_)
+        return;
+    RunState& rs = *run_;
+    for (StreamRun& sr : rs.stream_runs) {
+        if (sr.stream != stream || sr.live == nullptr)
+            continue;
+        Launch* l = sr.live;
+        if (!l->grid.done())
+            throw std::runtime_error(detail::format(
+                "kill_stream: launch \"%s\" on stream %d still has CTAs "
+                "executing at cycle %llu (%d/%d done); killing it would "
+                "leave SM state dangling",
+                l->desc.name.c_str(), stream->id(),
+                static_cast<unsigned long long>(rs.now), l->grid.ctas_done,
+                l->desc.grid_ctas));
+        // Evict without a statistics entry: the kernel never
+        // completed, so its work is lost — exactly the cost a real
+        // fleet pays for killing a hung batch.
+        for (auto& sm : rs.sms)
+            sm->forget_grid(&l->grid);
+        sr.live = nullptr;
+        std::erase_if(rs.resident, [l](const std::unique_ptr<Launch>& p) {
+            return p.get() == l;
+        });
+    }
+}
+
+bool
+ExecutionEngine::stream_quiescent(const Stream* stream) const
+{
+    if (!run_)
+        return true;
+    for (const StreamRun& sr : run_->stream_runs)
+        if (sr.stream == stream)
+            return sr.live == nullptr || sr.live->grid.done();
+    return true;
 }
 
 EngineStats
@@ -1137,6 +1333,7 @@ ExecutionEngine::load_state(SnapshotReader& r,
 {
     r.tag(kTagEngine);
     run_ = std::make_unique<RunState>();
+    run_->wall_start = std::chrono::steady_clock::now();
     RunState& rs = *run_;
     cycled_.clear();
     retiring_.clear();
@@ -1216,8 +1413,12 @@ ExecutionEngine::load_state(SnapshotReader& r,
 
     uint64_t nsms = r.u64();
     for (uint64_t i = 0; i < nsms; ++i) {
-        rs.sms.push_back(std::make_unique<SM>(
-            static_cast<int>(i), cfg_, mem_, executors_, opts_.scheduler));
+        auto sm = std::make_unique<SM>(static_cast<int>(i), cfg_, mem_,
+                                       executors_, opts_.scheduler);
+        if (fault_plan_)
+            if (int cap = fault_plan_->warp_slot_cap(static_cast<int>(i)))
+                sm->set_warp_cap(cap);
+        rs.sms.push_back(std::move(sm));
     }
     // Every resident grid carries one stats shard per SM.
     for (const auto& l : rs.resident)

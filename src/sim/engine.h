@@ -52,6 +52,8 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "arch/gpu_config.h"
 #include "common/stats.h"
 #include "sim/core/scheduler.h"
@@ -66,6 +68,8 @@
 #include "sim/worker_pool.h"
 
 namespace tcsim {
+
+class FaultPlan;
 
 /** Result of one kernel launch. */
 struct LaunchStats
@@ -153,8 +157,16 @@ struct SimOptions
 {
     SchedulerPolicy scheduler = SchedulerPolicy::kGto;
     /** Stop runaway simulations after this many cycles (the engine
-     *  throws std::runtime_error when exceeded). */
+     *  throws SimHangError with a diagnostic dump when exceeded). */
     uint64_t max_cycles = 2'000'000'000;
+    /**
+     * Wall-clock watchdog (0 = off): a run that simulates longer than
+     * this many milliseconds of host time throws SimHangError with
+     * the same diagnostic dump.  Containment only — the check runs
+     * every 4096 ticks and never influences simulated timing, so
+     * enabling it cannot perturb a healthy run's results.
+     */
+    uint64_t wall_budget_ms = 0;
     /**
      * Jump the clock over provably stalled cycles (the event-driven
      * fast path).  The jump target folds in every pending memory
@@ -348,6 +360,29 @@ class ExecutionEngine
         stream_source_ = std::move(source);
     }
 
+    /** Install a fault-injection plan (borrowed; must outlive the
+     *  engine).  Null = healthy chip.  Must be set before any run
+     *  begins: SM warp caps apply at SM construction. */
+    void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+
+    /**
+     * Abandon @p stream's work: drop its queued ops and evict its
+     * resident launch without a statistics entry (the work is lost,
+     * as on a real chip after killing a hung kernel).  The launch
+     * must be quiescent — all CTAs drained, held only by a fault hang
+     * or awaiting retirement; throws std::runtime_error while CTAs
+     * are still executing.  This is the host-side containment tool
+     * the serving simulator uses to kill a hung batch and retry its
+     * requests elsewhere.  No-op for streams the run has not seen.
+     */
+    void kill_stream(Stream* stream);
+
+    /** True when @p stream can be kill_stream()ed safely: it has no
+     *  live launch, or its live launch has drained all CTAs (it may
+     *  still be fault-hung — that is exactly the killable state).
+     *  Streams the run has not seen are quiescent. */
+    bool stream_quiescent(const Stream* stream) const;
+
   private:
     /** One in-flight launch: the owned descriptor plus grid state. */
     struct Launch
@@ -374,6 +409,19 @@ class ExecutionEngine
         /** Recording scratch: CTA-retirement samples, compacted to
          *  kMaxOccupancyPhases. */
         std::vector<OccupancyPhase> occupancy;
+
+        /** Fault injection (FaultPlan, resolved at promotion).  A
+         *  hung launch never retires: its grid drains normally but
+         *  the completion is never signalled, so its stream stays
+         *  blocked until kill_stream() or a watchdog contains it.  A
+         *  slowed launch is held past its natural finish until
+         *  fault_release (finish_cycle is stretched to match at
+         *  retirement).  All default-off fields: with no plan
+         *  installed the retire path is bit-identical to before. */
+        bool fault_hung = false;
+        double fault_slowdown = 1.0;
+        uint64_t fault_release = 0;  ///< 0 = not yet computed.
+        bool retired = false;        ///< Finalized this tick; erase.
     };
 
     /** Per-stream progress: launches run strictly in stream order. */
@@ -455,6 +503,8 @@ class ExecutionEngine
         int next_grid_id = 0;
         uint64_t now = 0;
         uint64_t last_finish = 0;
+        /** Wall-clock watchdog anchor (SimOptions::wall_budget_ms). */
+        std::chrono::steady_clock::time_point wall_start;
         /** Accumulates ticks/skipped_cycles and retired kernels. */
         EngineStats stats;
         /** Sampled mode: shadow SMs and per-grid-id estimators. */
@@ -557,11 +607,21 @@ class ExecutionEngine
     EngineStats advance(DoneFn done, bool pause_on_block,
                         uint64_t bound = UINT64_MAX);
     [[noreturn]] void report_deadlock();
+    /** Per-stream wait-graph lines of the current run (shared by the
+     *  deadlock report and the hang dump). */
+    std::string wait_graph_string() const;
+    /** Watchdog diagnostic: @p reason plus busy-SM list, resident
+     *  grids (with fault-hold markers), and the event wait graph. */
+    std::string hang_dump(const std::string& reason) const;
+    /** Any resident launch held forever by an injected hang. */
+    bool any_fault_hung() const;
 
     const GpuConfig& cfg_;
     SimOptions opts_;
     MemorySystem* mem_;
     ExecutorCache* executors_;
+    /** Fault-injection plan (borrowed from Gpu; null = healthy). */
+    FaultPlan* fault_plan_ = nullptr;
 
     /** Replay cache in use (opts_.replay_cache, or the lazily owned
      *  private one when none was supplied); null when replay_mode is

@@ -1,0 +1,146 @@
+#include "sim/fault/fault_plan.h"
+
+#include <algorithm>
+#include <climits>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/sim_error.h"
+
+namespace tcsim {
+
+FaultPlan::FaultPlan(const FaultSpec& spec, const GpuConfig& cfg)
+    : spec_(spec)
+{
+    const int n = cfg.num_sms;
+    disabled_.assign(static_cast<size_t>(n), false);
+    warp_cap_.assign(static_cast<size_t>(n), 0);
+    if (!spec_.enabled)
+        return;
+
+    auto check_sm = [n](int sm) {
+        if (sm < 0 || sm >= n)
+            throw SimError(detail::format(
+                "faults: SM id %d out of range (chip has %d SMs)", sm, n));
+    };
+
+    for (int sm : spec_.disabled_sms) {
+        check_sm(sm);
+        disabled_[static_cast<size_t>(sm)] = true;
+    }
+    for (const auto& [sm, cap] : spec_.degraded_sms) {
+        check_sm(sm);
+        warp_cap_[static_cast<size_t>(sm)] = cap;
+    }
+
+    // Random picks: one canonical Pcg32 stream, drawn at compile time
+    // in a fixed order (disables first, then degrades), so the same
+    // (seed, chip) always yields the same afflicted SMs regardless of
+    // how the run is later parallelized.
+    Pcg32 rng(spec_.seed, /*stream=*/0);
+    auto pick = [&](auto already) {
+        // Rejection-sample an SM not yet picked by this pass.
+        for (;;) {
+            int sm = static_cast<int>(rng.next_u32() %
+                                      static_cast<uint32_t>(n));
+            if (!already(sm))
+                return sm;
+        }
+    };
+    for (int i = 0; i < spec_.random_disabled_sms; ++i) {
+        if (static_cast<int>(std::count(disabled_.begin(), disabled_.end(),
+                                        true)) >= n)
+            throw SimError("faults: random_disabled_sms exceeds chip size");
+        int sm = pick([&](int s) { return bool(disabled_[size_t(s)]); });
+        disabled_[static_cast<size_t>(sm)] = true;
+    }
+    for (int i = 0; i < spec_.random_degraded_sms; ++i) {
+        bool all_touched = true;
+        for (int s = 0; s < n; ++s)
+            all_touched = all_touched && (disabled_[size_t(s)] ||
+                                          warp_cap_[size_t(s)] != 0);
+        if (all_touched)
+            throw SimError("faults: random_degraded_sms exceeds healthy SMs");
+        int sm = pick([&](int s) {
+            return disabled_[size_t(s)] || warp_cap_[size_t(s)] != 0;
+        });
+        warp_cap_[static_cast<size_t>(sm)] = spec_.degraded_warp_slots;
+    }
+
+    int live = 0;
+    for (int s = 0; s < n; ++s)
+        live += disabled_[static_cast<size_t>(s)] ? 0 : 1;
+    if (live == 0)
+        throw SimError(
+            "faults: every SM is disabled; no CTA could ever dispatch");
+
+    for (int s = 0; s < n; ++s) {
+        counters_.disabled_sms += disabled_[static_cast<size_t>(s)] ? 1 : 0;
+        counters_.degraded_sms += warp_cap_[static_cast<size_t>(s)] ? 1 : 0;
+    }
+
+    hang_left_.reserve(spec_.hangs.size());
+    for (const KernelFaultRule& r : spec_.hangs)
+        hang_left_.push_back(r.count > 0 ? r.count : INT_MAX);
+    slow_left_.reserve(spec_.slowdowns.size());
+    for (const KernelFaultRule& r : spec_.slowdowns)
+        slow_left_.push_back(r.count > 0 ? r.count : INT_MAX);
+}
+
+bool
+FaultPlan::take_hang(const std::string& kernel)
+{
+    if (!spec_.enabled)
+        return false;
+    for (size_t i = 0; i < spec_.hangs.size(); ++i) {
+        if (hang_left_[i] > 0 &&
+            kernel.find(spec_.hangs[i].match) != std::string::npos) {
+            --hang_left_[i];
+            ++counters_.hangs;
+            return true;
+        }
+    }
+    return false;
+}
+
+double
+FaultPlan::take_slowdown(const std::string& kernel)
+{
+    if (!spec_.enabled)
+        return 1.0;
+    for (size_t i = 0; i < spec_.slowdowns.size(); ++i) {
+        if (slow_left_[i] > 0 &&
+            kernel.find(spec_.slowdowns[i].match) != std::string::npos) {
+            --slow_left_[i];
+            ++counters_.slowdowns;
+            return spec_.slowdowns[i].factor;
+        }
+    }
+    return 1.0;
+}
+
+uint64_t
+FaultPlan::ecc_delay(int sm, uint64_t addr, uint64_t now)
+{
+    if (!ecc_enabled())
+        return 0;
+    // Stateless Bernoulli: hash (seed, sm, sector, cycle) through
+    // splitmix64 and compare against the probability threshold.  The
+    // draw depends only on the transaction's identity, never on how
+    // many other transactions were decided before it.
+    uint64_t h = spec_.seed;
+    splitmix64_next(h);
+    h ^= (static_cast<uint64_t>(static_cast<uint32_t>(sm)) << 48) ^ addr;
+    splitmix64_next(h);
+    h ^= now;
+    const uint64_t draw = splitmix64_next(h);
+    const auto threshold = static_cast<uint64_t>(
+        spec_.ecc_prob * 18446744073709551616.0 /* 2^64 */);
+    if (draw >= threshold)
+        return 0;
+    ++counters_.ecc_retries;
+    counters_.ecc_extra_cycles += spec_.ecc_extra_cycles;
+    return spec_.ecc_extra_cycles;
+}
+
+}  // namespace tcsim

@@ -19,6 +19,16 @@ Gpu::Gpu(GpuConfig cfg, SimOptions opts)
     engine_.set_stream_source([this] { return active_streams(); });
 }
 
+Gpu::Gpu(GpuConfig cfg, SimOptions opts, const FaultSpec& faults)
+    : Gpu(std::move(cfg), opts)
+{
+    if (!faults.enabled)
+        return;
+    fault_plan_ = std::make_unique<FaultPlan>(faults, cfg_);
+    engine_.set_fault_plan(fault_plan_.get());
+    mem_->set_fault_plan(fault_plan_.get());
+}
+
 Gpu::~Gpu() = default;
 
 Stream&

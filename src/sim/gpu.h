@@ -29,6 +29,7 @@
 #include "arch/gpu_config.h"
 #include "sim/engine.h"
 #include "sim/event.h"
+#include "sim/fault/fault_plan.h"
 #include "sim/graph/task_graph.h"
 #include "sim/kernel_desc.h"
 #include "sim/mem/memory_system.h"
@@ -42,6 +43,11 @@ class Gpu
 {
   public:
     explicit Gpu(GpuConfig cfg, SimOptions opts = {});
+    /** With fault injection: @p faults compiles into a FaultPlan
+     *  against @p cfg before any run begins (throws SimError on an
+     *  unsatisfiable plan).  All faults are timing-only; see
+     *  sim/fault/fault_plan.h. */
+    Gpu(GpuConfig cfg, SimOptions opts, const FaultSpec& faults);
     ~Gpu();
 
     GpuConfig& config() { return cfg_; }
@@ -113,6 +119,30 @@ class Gpu
         engine_.advance_idle_to(cycle);
     }
 
+    /** Abandon @p stream's queued and resident work without a
+     *  statistics entry (host-side hung-batch containment; see
+     *  ExecutionEngine::kill_stream). */
+    void kill_stream(Stream& stream) { engine_.kill_stream(&stream); }
+
+    /** True when @p stream can be kill_stream()ed safely (see
+     *  ExecutionEngine::stream_quiescent). */
+    bool stream_quiescent(const Stream& stream) const
+    {
+        return engine_.stream_quiescent(&stream);
+    }
+
+    /** Fault injection active on this Gpu. */
+    bool faults_enabled() const
+    {
+        return fault_plan_ && fault_plan_->enabled();
+    }
+
+    /** Injected-fault telemetry (zeros when faults are off). */
+    FaultCounters fault_counters() const
+    {
+        return fault_plan_ ? fault_plan_->counters() : FaultCounters{};
+    }
+
     /**
      * Compile @p graph and enqueue one kernel per task: fresh streams
      * are created for the compiled stream set, events are created and
@@ -161,6 +191,9 @@ class Gpu
 
     GpuConfig cfg_;
     SimOptions opts_;
+    /** Compiled fault plan (null = healthy chip).  Constructed before
+     *  the engine so warp caps apply at SM construction. */
+    std::unique_ptr<FaultPlan> fault_plan_;
     std::unique_ptr<MemorySystem> mem_;
     ExecutorCache executors_;
     /** The implicit stream (id 0), lazily created. */

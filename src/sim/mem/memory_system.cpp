@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "sim/fault/fault_plan.h"
 #include "sim/snapshot_io.h"
 
 namespace tcsim {
@@ -108,6 +109,11 @@ MemorySystem::access_sector(int sm, uint64_t addr, bool is_write,
                 dram_->access(addr, cfg_.l1_sector_bytes, false, bank_start);
             done = dram_done + l2_lat;
         }
+        // Injected ECC retry: the fill completes late, and any
+        // hit-under-miss riders on this MSHR entry inherit the delay
+        // (the whole line re-read costs everyone, as on real silicon).
+        if (fault_plan_)
+            done += fault_plan_->ecc_delay(sm, addr, now);
         mshr.track(addr, mq, done);
         ++global_sectors_;
         return {MemAccept::kAccepted, done};

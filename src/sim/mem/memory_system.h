@@ -32,6 +32,7 @@
 
 namespace tcsim {
 
+class FaultPlan;
 class SnapshotReader;
 class SnapshotWriter;
 
@@ -150,6 +151,13 @@ class MemorySystem
     void save_state(SnapshotWriter& w) const;
     void load_state(SnapshotReader& r);
 
+    /** Install a fault-injection plan (borrowed; null = healthy).
+     *  Accepted L1-miss transactions — the ones that traverse the
+     *  L2/DRAM path — then suffer the plan's per-sector "ECC retry"
+     *  extra latency.  Timing-only; refusals and functional data are
+     *  untouched. */
+    void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+
   private:
     int l2_bank(uint64_t addr) const
     {
@@ -167,6 +175,8 @@ class MemorySystem
     std::vector<BoundedChannel> l2_banks_;
     std::unique_ptr<DramModel> dram_;
     uint64_t global_sectors_ = 0;
+    /** ECC-retry fault injection (see set_fault_plan). */
+    FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace tcsim

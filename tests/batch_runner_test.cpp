@@ -303,3 +303,91 @@ TEST(BatchRunner, SimThreadsOverrideKeepsResultsIdentical)
         EXPECT_EQ(b.results[i].sim_threads, 3);
     }
 }
+
+TEST(BatchRunner, OversubscribedScenarioIsATypedErrorRow)
+{
+    // SM-resource overflow is scenario input: the batch must finish
+    // with one structured error row naming the offending kernel and
+    // the limit, never a process-level fatal().
+    std::vector<Scenario> suite = make_suite();
+    suite.insert(suite.begin() + 2, parse_scenario_text(R"({
+      "name": "too_big",
+      "gpu": {"preset": "titan_v", "num_sms": 1, "registers_per_sm": 1024},
+      "kernels": [{"kernel": "hmma_stress", "name": "fat",
+                   "warps_per_cta": 4}]
+    })"));
+
+    BatchReport report = run_batch(suite, 4);
+    EXPECT_EQ(report.failed(), 1);
+    const ScenarioResult& bad = report.results[2];
+    EXPECT_EQ(bad.name, "too_big");
+    EXPECT_FALSE(bad.passed);
+    EXPECT_NE(bad.error.find("exceeds SM resources"), std::string::npos)
+        << bad.error;
+    for (size_t i = 0; i < report.results.size(); ++i)
+        if (i != 2)
+            EXPECT_TRUE(report.results[i].passed)
+                << report.results[i].name << ": "
+                << report.results[i].error;
+}
+
+TEST(BatchRunner, HungScenarioIsContainedByTheWallWatchdog)
+{
+    // An injected kernel hang wedges one scenario; the per-scenario
+    // wall budget (the simrunner --timeout-ms flag) cuts it short
+    // with a SimHangError row while the rest of the batch completes.
+    std::vector<Scenario> suite = make_suite();
+    suite.insert(suite.begin(), parse_scenario_text(R"({
+      "name": "hung",
+      "gpu": {"preset": "titan_v", "num_sms": 2},
+      "faults": {"hangs": [{"match": "s", "count": 1}]},
+      "kernels": [
+        {"kernel": "hmma_stress", "name": "s", "ctas": 2,
+         "warps_per_cta": 2, "wmma_per_warp": 16}
+      ]
+    })"));
+
+    BatchOptions opts;
+    opts.jobs = 2;
+    opts.timeout_ms = 2000;
+    BatchReport report = run_batch(suite, opts);
+    EXPECT_EQ(report.failed(), 1);
+    const ScenarioResult& hung = report.results[0];
+    EXPECT_FALSE(hung.passed);
+    // The hang is detected as terminal (the chip wedges with only the
+    // hung launch resident) or by the wall budget -- either way the
+    // row carries the diagnostic dump.
+    EXPECT_NE(hung.error.find("resident kernel"), std::string::npos)
+        << hung.error;
+    for (size_t i = 1; i < report.results.size(); ++i)
+        EXPECT_TRUE(report.results[i].passed) << report.results[i].name;
+}
+
+TEST(BatchRunner, FaultMetricsSurfaceInScenarioResults)
+{
+    // A fault-injected scenario reports fault.* counters and stays
+    // deterministic across batch parallelism.
+    Scenario sc = parse_scenario_text(R"({
+      "name": "degraded",
+      "gpu": {"preset": "titan_v", "num_sms": 2},
+      "faults": {"disabled_sms": [0],
+                 "slowdowns": [{"match": "g", "factor": 2.0}]},
+      "kernels": [
+        {"kernel": "wmma_naive", "name": "g", "m": 64, "n": 64, "k": 64}
+      ],
+      "expect": [
+        {"metric": "fault.disabled_sms", "equals": 1},
+        {"metric": "fault.slowdowns", "equals": 1},
+        {"metric": "fault.slowdown_extra_cycles", "min": 1}
+      ]
+    })");
+
+    ScenarioResult serial = run_scenario(sc, 1);
+    ScenarioResult threaded = run_scenario(sc, 3);
+    EXPECT_TRUE(serial.passed) << serial.error;
+    EXPECT_TRUE(threaded.passed) << threaded.error;
+    EXPECT_TRUE(serial.has_faults);
+    EXPECT_EQ(serial.fault_counters.slowdown_extra_cycles,
+              threaded.fault_counters.slowdown_extra_cycles);
+    EXPECT_EQ(serial.totals.cycles, threaded.totals.cycles);
+}

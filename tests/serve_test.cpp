@@ -382,3 +382,214 @@ TEST(Serving, BitIdenticalAcrossSimThreads)
     EXPECT_EQ(serial.report.latency.latency_p99,
               par.report.latency.latency_p99);
 }
+
+TEST(Serving, WedgeErrorCarriesLoopStateSnapshot)
+{
+    // The wedge diagnostic must say what the loop was looking at:
+    // queue depth, in-flight count, and the policy's next deadline.
+    StaticBatcher policy(4, UINT64_MAX / 2);
+    try {
+        run_serving(small_gpu(), serial_sim(), tiny_mlp(),
+                    at_cycles({0}), policy);
+        FAIL() << "expected ServingError";
+    } catch (const ServingError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("[serving state:"), std::string::npos);
+        EXPECT_NE(what.find("queued=1"), std::string::npos);
+        EXPECT_NE(what.find("in_flight=0"), std::string::npos);
+        EXPECT_NE(what.find("policy \"static\""), std::string::npos);
+    }
+}
+
+// --- Batcher deadline edge cases -------------------------------------
+
+TEST(Serving, StaticTimeoutOfZeroFlushesAtArrival)
+{
+    // timeout == 0: the deadline IS the arrival cycle.  Each request
+    // must flush the moment it arrives, never wait a policy tick.
+    StaticBatcher policy(4, 0);
+    EXPECT_EQ(policy.next_deadline({1, 700, 0}), 700u);
+    EXPECT_EQ(policy.admit(700, {1, 700, 0}), 1);
+
+    ServingResult r = run_serving(small_gpu(), serial_sim(), tiny_mlp(),
+                                  at_cycles({500}), policy);
+    EXPECT_EQ(r.report.completed, 1);
+    ASSERT_EQ(r.report.batches, 1);
+    EXPECT_EQ(r.report.batch_records[0].admit_cycle, 500u);
+    EXPECT_EQ(r.report.latency.queue_wait_max, 0u);
+}
+
+TEST(Serving, NoDeadlineWithNonEmptyQueueWakesOnCompletion)
+{
+    // One batch in flight, one request queued: StaticBatcher reports
+    // next_deadline == UINT64_MAX (deadlines apply when idle only).
+    // The loop must wake on batch completion, not spin or wedge.
+    StaticBatcher policy(1, UINT64_MAX / 2);
+    ServingResult r = run_serving(small_gpu(), serial_sim(), tiny_mlp(),
+                                  at_cycles({0, 0}), policy);
+    EXPECT_EQ(r.report.completed, 2);
+    ASSERT_EQ(r.report.batches, 2);
+    const std::vector<BatchRecord>& b = r.report.batch_records;
+    EXPECT_EQ(b[0].admit_cycle, 0u);
+    // Admitted exactly when the in-flight batch finished.
+    EXPECT_EQ(b[1].admit_cycle, b[0].finish_cycle);
+}
+
+TEST(Serving, ContinuousAdmitsAtFinalLayerBoundary)
+{
+    // In-flight cap reached when the second request arrives: the only
+    // remaining decision point of the running batch is its final
+    // layer's completion callback, which must admit the latecomer.
+    ContinuousBatcher policy(1, 1);
+    ServingResult r = run_serving(small_gpu(), serial_sim(), tiny_mlp(),
+                                  at_cycles({0, 10}), policy);
+    EXPECT_EQ(r.report.completed, 2);
+    ASSERT_EQ(r.report.batches, 2);
+    const std::vector<BatchRecord>& b = r.report.batch_records;
+    EXPECT_EQ(b[1].admit_cycle, b[0].finish_cycle);
+}
+
+// --- Resilience: deadlines, shedding, retries ------------------------
+
+TEST(ServingResilience, DeadlineMissAccounting)
+{
+    StaticBatcher policy(1, 0);
+    ServingResilience strict;
+    strict.deadline_cycles = 1;  // Nothing finishes this fast.
+    ServingResult r = run_serving(small_gpu(), serial_sim(), tiny_mlp(),
+                                  at_cycles({0, 1000}), policy, {}, strict);
+    EXPECT_TRUE(r.report.resilience);
+    EXPECT_EQ(r.report.completed, 2);
+    EXPECT_EQ(r.report.deadline_miss, 2);
+    EXPECT_DOUBLE_EQ(r.report.goodput, 0.0);
+    EXPECT_TRUE(r.report.request_records[0].deadline_missed);
+
+    ServingResilience lax;
+    lax.deadline_cycles = UINT64_MAX / 2;
+    ServingResult ok = run_serving(small_gpu(), serial_sim(), tiny_mlp(),
+                                   at_cycles({0, 1000}), policy, {}, lax);
+    EXPECT_EQ(ok.report.deadline_miss, 0);
+    EXPECT_DOUBLE_EQ(ok.report.goodput, 1.0);
+}
+
+TEST(ServingResilience, ShedsArrivalsPastQueueDepth)
+{
+    // Queue cap 2 with five simultaneous arrivals: two join, three are
+    // shed at the door; the shed ones never admit and count as missed.
+    StaticBatcher policy(4, 40000);
+    ServingResilience res;
+    res.shed_queue_depth = 2;
+    ServingResult r =
+        run_serving(small_gpu(), serial_sim(), tiny_mlp(),
+                    at_cycles({0, 0, 0, 0, 0}), policy, {}, res);
+    EXPECT_EQ(r.report.requests, 5);
+    EXPECT_EQ(r.report.completed, 2);
+    EXPECT_EQ(r.report.shed, 3);
+    EXPECT_EQ(r.report.deadline_miss, 3);  // Shed always miss.
+    EXPECT_DOUBLE_EQ(r.report.goodput, 2.0 / 5.0);
+    ASSERT_EQ(r.report.batches, 1);
+    EXPECT_EQ(r.report.batch_records[0].size, 2);
+    int shed = 0;
+    for (const RequestRecord& q : r.report.request_records)
+        shed += q.shed;
+    EXPECT_EQ(shed, 3);
+}
+
+TEST(ServingResilience, HangKillRetryCompletes)
+{
+    // Wavefront b0's first kernel hangs.  The batch timeout kills the
+    // batch; the request re-queues after the backoff and its retry
+    // wavefront (b1, unmatched by the hang rule) completes.
+    FaultSpec faults;
+    faults.enabled = true;
+    faults.hangs.push_back({"b0.", 1.0, 1});
+
+    StaticBatcher policy(1, 0);
+    ServingResilience res;
+    res.batch_timeout_cycles = 50000;
+    res.max_retries = 2;
+    res.retry_backoff_cycles = 1000;
+    ServingResult r = run_serving(small_gpu(), serial_sim(), tiny_mlp(),
+                                  at_cycles({0}), policy, {}, res, faults);
+    EXPECT_TRUE(r.faults_enabled);
+    EXPECT_EQ(r.faults.hangs, 1u);
+    EXPECT_EQ(r.report.completed, 1);
+    EXPECT_EQ(r.report.retries, 1);
+    EXPECT_EQ(r.report.killed_batches, 1);
+    EXPECT_EQ(r.report.dropped, 0);
+    ASSERT_EQ(r.report.batches, 2);
+    EXPECT_TRUE(r.report.batch_records[0].killed);
+    EXPECT_FALSE(r.report.batch_records[1].killed);
+    // Kill at admit + timeout, retry admitted after the backoff.
+    EXPECT_EQ(r.report.batch_records[0].finish_cycle, 50000u);
+    EXPECT_GE(r.report.batch_records[1].admit_cycle, 51000u);
+    const RequestRecord& q = r.report.request_records[0];
+    EXPECT_EQ(q.retries, 1);
+    EXPECT_EQ(q.batch, 1);
+    EXPECT_DOUBLE_EQ(r.report.goodput, 1.0);
+}
+
+TEST(ServingResilience, RetryBudgetExhaustionDrops)
+{
+    // Every wavefront's first-layer kernel hangs (count 0 = all): the
+    // original admit and the single permitted retry both die, then the
+    // request is dropped and the loop terminates cleanly.
+    FaultSpec faults;
+    faults.enabled = true;
+    faults.hangs.push_back({"fc0", 1.0, 0});
+
+    StaticBatcher policy(1, 0);
+    ServingResilience res;
+    res.batch_timeout_cycles = 20000;
+    res.max_retries = 1;
+    res.retry_backoff_cycles = 500;
+    ServingResult r = run_serving(small_gpu(), serial_sim(), tiny_mlp(),
+                                  at_cycles({0}), policy, {}, res, faults);
+    EXPECT_EQ(r.report.completed, 0);
+    EXPECT_EQ(r.report.dropped, 1);
+    EXPECT_EQ(r.report.retries, 1);
+    EXPECT_EQ(r.report.killed_batches, 2);
+    EXPECT_EQ(r.report.deadline_miss, 1);
+    EXPECT_DOUBLE_EQ(r.report.goodput, 0.0);
+    EXPECT_TRUE(r.report.request_records[0].dropped);
+}
+
+TEST(ServingResilience, FaultyServingIsBitIdenticalAcrossSimThreads)
+{
+    FaultSpec faults;
+    faults.enabled = true;
+    faults.disabled_sms = {0};
+    faults.ecc_prob = 0.02;
+    faults.ecc_extra_cycles = 60;
+    faults.hangs.push_back({"b0.", 1.0, 1});
+
+    StaticBatcher policy(2, 30000);
+    ServingResilience res;
+    res.deadline_cycles = 400000;
+    res.batch_timeout_cycles = 60000;
+    res.max_retries = 2;
+    res.retry_backoff_cycles = 2000;
+    std::vector<Request> trace = poisson_trace(5, 6, 20000.0);
+
+    SimOptions threaded;
+    threaded.sim_threads = 4;
+    ServingResult serial = run_serving(small_gpu(), serial_sim(),
+                                       tiny_mlp(), trace, policy, {}, res,
+                                       faults);
+    ServingResult par = run_serving(small_gpu(), threaded, tiny_mlp(),
+                                    trace, policy, {}, res, faults);
+    EXPECT_EQ(serial.report.killed_batches, par.report.killed_batches);
+    EXPECT_EQ(serial.report.retries, par.report.retries);
+    EXPECT_EQ(serial.report.deadline_miss, par.report.deadline_miss);
+    EXPECT_EQ(serial.faults.ecc_retries, par.faults.ecc_retries);
+    ASSERT_EQ(serial.report.request_records.size(),
+              par.report.request_records.size());
+    for (size_t i = 0; i < serial.report.request_records.size(); ++i) {
+        const RequestRecord& a = serial.report.request_records[i];
+        const RequestRecord& b = par.report.request_records[i];
+        EXPECT_EQ(a.admit_cycle, b.admit_cycle);
+        EXPECT_EQ(a.finish_cycle, b.finish_cycle);
+        EXPECT_EQ(a.retries, b.retries);
+        EXPECT_EQ(a.deadline_missed, b.deadline_missed);
+    }
+}

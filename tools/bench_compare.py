@@ -52,14 +52,37 @@ def within(baseline, current, tolerance):
     return abs(baseline - current) <= tolerance * scale
 
 
+def load_snapshot(path, role):
+    """Parse one snapshot file.  Returns (doc, error): an unreadable or
+    truncated file becomes one clear per-file failure line instead of a
+    traceback that aborts the whole gate."""
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError as e:
+        return None, "{}: unreadable {} file: {}".format(
+            os.path.basename(path), role, e.strerror or e)
+    if not text.strip():
+        return None, "{}: {} file is empty (truncated write?)".format(
+            os.path.basename(path), role)
+    try:
+        return json.loads(text), None
+    except json.JSONDecodeError as e:
+        return None, ("{}: {} file is not valid JSON (line {}: {}) — "
+                      "truncated or corrupt snapshot?".format(
+                          os.path.basename(path), role, e.lineno, e.msg))
+
+
 def compare_file(base_path, cur_path, wall_tol, rel_tol):
     failures = []
-    with open(base_path) as f:
-        base = json.load(f)
+    base, err = load_snapshot(base_path, "baseline")
+    if err:
+        return [err]
     if not os.path.exists(cur_path):
         return ["missing snapshot {} (did the bench run?)".format(cur_path)]
-    with open(cur_path) as f:
-        cur = json.load(f)
+    cur, err = load_snapshot(cur_path, "report")
+    if err:
+        return [err]
 
     name = os.path.basename(base_path)
     if "metrics" not in base or not isinstance(base["metrics"], dict):

@@ -74,6 +74,7 @@ def main():
                   "--filter {!r}".format(args.filter))
             return 1
 
+    os.makedirs(args.workdir, exist_ok=True)
     serial = os.path.join(args.workdir, "report_serial.json")
     threaded = os.path.join(args.workdir,
                             "report_t{}.json".format(args.threads))

@@ -95,6 +95,8 @@ struct Options
      *  per-scenario sim.replay setting). */
     int replay_mode = -1;
     std::string replay_cache_dir; ///< --replay-cache directory.
+    /** --timeout-ms per-scenario wall-clock watchdog (0 = none). */
+    uint64_t timeout_ms = 0;
     std::vector<std::string> inputs;
 };
 
@@ -129,7 +131,10 @@ usage(std::FILE* to)
         "                  DIR/<name>.dag.{json,dot} and exit\n"
         "  --trace-out DIR write per-request serving traces to\n"
         "                  DIR/<name>.trace.jsonl (replayable as\n"
-        "                  \"file\"-kind input traces)\n");
+        "                  \"file\"-kind input traces)\n"
+        "  --timeout-ms N  per-scenario wall-clock watchdog: a hung or\n"
+        "                  runaway scenario becomes a structured error\n"
+        "                  row while the rest of the batch completes\n");
 }
 
 bool
@@ -232,6 +237,16 @@ parse_args(int argc, char** argv, Options* opts)
                              "simrunner: bad --detailed-sms value\n");
                 return false;
             }
+        } else if (arg == "--timeout-ms") {
+            const char* v = value();
+            if (!v)
+                return false;
+            long long ms = std::atoll(v);
+            if (ms < 1) {
+                std::fprintf(stderr, "simrunner: bad --timeout-ms value\n");
+                return false;
+            }
+            opts->timeout_ms = static_cast<uint64_t>(ms);
         } else if (arg == "--dump-dag") {
             const char* v = value();
             if (!v)
@@ -497,6 +512,7 @@ main(int argc, char** argv)
     batch.sim_threads = opts.sim_threads;
     batch.cold_sweep = opts.cold_sweep;
     batch.detailed_sms = opts.detailed_sms;
+    batch.timeout_ms = opts.timeout_ms;
     ReplayCache replay_cache;
     if (opts.replay_mode >= 0) {
         if (!opts.replay_cache_dir.empty()) {
